@@ -1,0 +1,61 @@
+// Shared configuration for the figure-reproduction benches. Scale knob:
+// JOINOPT_BENCH_SCALE (default 1.0) multiplies workload sizes so quick
+// sanity runs (0.2) and heavier runs (4.0) use the same binaries.
+#ifndef JOINOPT_BENCH_BENCH_COMMON_H_
+#define JOINOPT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "joinopt/common/units.h"
+#include "joinopt/harness/runner.h"
+#include "joinopt/harness/report.h"
+
+namespace joinopt {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("JOINOPT_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// The paper's testbed: 20 nodes (10 compute + 10 data for framework runs),
+/// two quad-core Xeons (8 cores), 1 Gbps Ethernet, SSD-like effective disk
+/// (Section 9's note that the disk cache behaves like an SSD).
+inline ClusterConfig PaperCluster() {
+  ClusterConfig c;
+  c.num_compute_nodes = 10;
+  c.num_data_nodes = 10;
+  c.machine.cores = 8;
+  c.machine.disk.seek_time = 100e-6;
+  c.machine.disk.bandwidth_bytes_per_sec = 200e6;
+  c.network.bandwidth_bytes_per_sec = 125e6;  // 1 Gbps
+  c.network.latency = 100e-6;
+  return c;
+}
+
+/// Engine defaults matching Section 9: 100 MB memory cache, batch size 64.
+inline EngineConfig PaperEngine() {
+  EngineConfig e;
+  e.decision.cache.memory_capacity_bytes = 100.0 * 1024 * 1024;
+  return e;
+}
+
+inline void PrintHeader(const std::string& figure,
+                        const std::string& paper_expectation) {
+  std::printf("\n############################################################\n");
+  std::printf("# %s\n", figure.c_str());
+  std::printf("# Paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("# (scale=%.2f; set JOINOPT_BENCH_SCALE to change)\n",
+              BenchScale());
+  std::printf("############################################################\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace joinopt
+
+#endif  // JOINOPT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,65 @@
+// Figure 5: entity annotation of a web corpus (ClueWeb09 stand-in) as a
+// batch job — total time for the MapReduce baselines (Hadoop, CSAW,
+// FlowJoinLB, all 20 nodes) and the framework strategies (NO, FC, FD, FR,
+// FO, on 10 compute + 10 data nodes). Lower is better.
+//
+// Paper shape: Hadoop far worst (straggler reducers); FD poor (data-node
+// skew); CSAW and FlowJoinLB mitigate skew but stay ~2x slower than FO
+// (shuffle + duplicated model reads + phase barrier); FC ~1.25x FO; FO best.
+#include <vector>
+
+#include "bench_common.h"
+#include "joinopt/workload/entity_annotation.h"
+
+int main() {
+  using namespace joinopt;
+  using namespace joinopt::bench;
+  const double scale = BenchScale();
+
+  PrintHeader("Figure 5: ClueWeb entity annotation (batch)",
+              "Hadoop >> FD > CSAW ~ FlowJoinLB > NO > FC (~1.25x FO) > FO");
+
+  AnnotationConfig cfg;
+  cfg.num_tokens = static_cast<int>(20000 * scale);
+  cfg.documents = static_cast<int>(8000 * scale);
+  cfg.spots_per_doc_mean = 12.0;
+  AnnotationSpots spots = GenerateAnnotationSpots(cfg);
+  std::printf("corpus: %lld documents, %lld spots, %s of models, "
+              "%.0f CPU-seconds of classification\n",
+              static_cast<long long>(spots.documents),
+              static_cast<long long>(spots.num_spots()),
+              FormatBytes(spots.total_model_bytes()).c_str(),
+              spots.total_classify_cost());
+
+  FrameworkRunConfig run;
+  run.cluster = PaperCluster();
+  run.engine = PaperEngine();
+  NodeLayout layout = NodeLayout::Of(run.cluster.num_compute_nodes,
+                                     run.cluster.num_data_nodes);
+  GeneratedWorkload workload = ToFrameworkWorkload(spots, layout);
+
+  ReportTable table({"technique", "time", "rel. to FO", "cpu-skew"});
+  std::vector<std::pair<std::string, JobResult>> results;
+
+  for (MrBaselineKind kind :
+       {MrBaselineKind::kHadoop, MrBaselineKind::kCsaw,
+        MrBaselineKind::kFlowJoinLb}) {
+    auto r = RunAnnotationBaselineJob(spots, kind, run.cluster);
+    results.emplace_back(MrBaselineKindToString(kind), r.job);
+  }
+  for (Strategy s : {Strategy::kNO, Strategy::kFC, Strategy::kFD,
+                     Strategy::kFR, Strategy::kFO}) {
+    results.emplace_back(StrategyToString(s),
+                         RunFrameworkJob(workload, s, run));
+  }
+
+  double fo_time = results.back().second.makespan;
+  for (const auto& [name, r] : results) {
+    table.AddRow({name, FormatDuration(r.makespan),
+                  FormatDouble(fo_time > 0 ? r.makespan / fo_time : 0, 2),
+                  FormatDouble(std::max(r.compute_cpu_skew, r.data_cpu_skew),
+                               2)});
+  }
+  table.Print("Entity annotation, total time (lower is better)");
+  return 0;
+}

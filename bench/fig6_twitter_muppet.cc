@@ -1,0 +1,50 @@
+// Figure 6: entity annotation of a tweet stream on the Muppet-style engine —
+// tweets annotated per second for NO, FC, FD, FR, FO. Higher is better.
+//
+// Paper shape: FD worst (data-node skew); NO low (blocking fetches);
+// FC > NO (batching/prefetch); FO ~2x NO and ~1.2x FR.
+#include "bench_common.h"
+#include "joinopt/stream/muppet.h"
+#include "joinopt/workload/entity_annotation.h"
+
+int main() {
+  using namespace joinopt;
+  using namespace joinopt::bench;
+  const double scale = BenchScale();
+
+  PrintHeader("Figure 6: Twitter entity annotation on Muppet (stream)",
+              "FD lowest; NO low; FC > NO; FO ~2x NO, ~1.2x FR");
+
+  TweetStreamConfig cfg;
+  cfg.tweets = static_cast<int>(60000 * scale);
+  cfg.num_tokens = static_cast<int>(20000 * scale);
+  cfg.popularity_shifts = 8;  // trending topics
+  AnnotationSpots spots = GenerateTweetStream(cfg);
+  std::printf("stream: %lld tweets, %lld spots (%.0f%% annotatable target)\n",
+              static_cast<long long>(spots.documents),
+              static_cast<long long>(spots.num_spots()),
+              cfg.annotatable_fraction * 100);
+
+  FrameworkRunConfig run;
+  run.cluster = PaperCluster();
+  run.engine = PaperEngine();
+  NodeLayout layout = NodeLayout::Of(run.cluster.num_compute_nodes,
+                                     run.cluster.num_data_nodes);
+  GeneratedWorkload workload = ToFrameworkWorkload(spots, layout);
+
+  ReportTable table({"strategy", "tweets/s", "spots/s", "rel. to NO"});
+  double no_rate = 0;
+  for (Strategy s : {Strategy::kNO, Strategy::kFC, Strategy::kFD,
+                     Strategy::kFR, Strategy::kFO}) {
+    MuppetRunResult r = RunMuppetStream(workload, s, run, spots.documents);
+    if (s == Strategy::kNO) no_rate = r.documents_per_second;
+    table.AddRow({StrategyToString(s),
+                  FormatDouble(r.documents_per_second, 0),
+                  FormatDouble(r.items_per_second, 0),
+                  FormatDouble(no_rate > 0 ? r.documents_per_second / no_rate
+                                           : 0,
+                               2)});
+  }
+  table.Print("Tweets annotated per second (higher is better)");
+  return 0;
+}

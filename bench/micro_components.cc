@@ -1,0 +1,178 @@
+// Component micro-benchmarks (google-benchmark): the per-request costs of
+// every building block on the framework's hot path. These bound the runtime
+// overhead the paper's techniques add per tuple (cf. the FO-vs-FD gap at
+// zero skew in Fig. 8a).
+#include <benchmark/benchmark.h>
+
+#include "joinopt/cache/tiered_cache.h"
+#include "joinopt/common/random.h"
+#include "joinopt/engine/batcher.h"
+#include "joinopt/freq/exact_counter.h"
+#include "joinopt/freq/lossy_counting.h"
+#include "joinopt/freq/space_saving.h"
+#include "joinopt/loadbalance/balancer.h"
+#include "joinopt/sim/event_queue.h"
+#include "joinopt/skirental/decision_engine.h"
+
+namespace joinopt {
+namespace {
+
+void BM_LossyCountingObserve(benchmark::State& state) {
+  LossyCounting counter(1e-4);
+  Rng rng(1);
+  ZipfDistribution zipf(1 << 20, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Observe(zipf.Sample(rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LossyCountingObserve);
+
+void BM_SpaceSavingObserve(benchmark::State& state) {
+  SpaceSaving counter(1 << 14);
+  Rng rng(1);
+  ZipfDistribution zipf(1 << 20, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Observe(zipf.Sample(rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingObserve);
+
+void BM_ExactCounterObserve(benchmark::State& state) {
+  ExactCounter counter;
+  Rng rng(1);
+  ZipfDistribution zipf(1 << 20, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Observe(zipf.Sample(rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactCounterObserve);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(7);
+  ZipfDistribution zipf(static_cast<uint64_t>(state.range(0)), 1.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1 << 10)->Arg(1 << 20)->Arg(1 << 26);
+
+void BM_TieredCacheAdmission(benchmark::State& state) {
+  LfuDaPolicy policy;
+  TieredCacheConfig cfg;
+  cfg.memory_capacity_bytes = 64.0 * 1024 * 1024;
+  TieredCache cache(cfg, &policy);
+  Rng rng(3);
+  ZipfDistribution zipf(100000, 1.0);
+  int64_t i = 0;
+  for (auto _ : state) {
+    Key k = zipf.Sample(rng);
+    double benefit = static_cast<double>(++i % 1000);
+    if (cache.Lookup(k) == CacheTier::kNone) {
+      cache.CondCacheInMemory(k, 4096.0, benefit, /*insert=*/true);
+    } else {
+      cache.UpdateBenefit(k, benefit);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TieredCacheAdmission);
+
+void BM_DecisionEngineDecide(benchmark::State& state) {
+  DecisionEngineConfig cfg;
+  DecisionEngine engine(cfg);
+  engine.cost_model().SetBandwidth(10, 125e6);
+  Rng rng(5);
+  ZipfDistribution zipf(100000, static_cast<double>(state.range(0)) / 10.0);
+  // Warm the engine with metadata so Decide exercises the full path.
+  for (Key k = 0; k < 1000; ++k) {
+    engine.OnComputeResponse(k, 10, 4096.0, 1, {1e-3, 2e-3, 5e-4, 1e-3});
+  }
+  for (auto _ : state) {
+    Key k = zipf.Sample(rng) % 1000;
+    Decision d = engine.Decide(k, 10);
+    benchmark::DoNotOptimize(d);
+    if (d.route == Route::kFetchCacheMemory ||
+        d.route == Route::kFetchCacheDisk) {
+      engine.OnValueFetched(k, d.route, 4096.0, 1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecisionEngineDecide)->Arg(0)->Arg(10)->Arg(15);
+
+void BM_GradientDescent(benchmark::State& state) {
+  ComputeNodeStats cn;
+  cn.tcc = 1e-3;
+  cn.cores = 8;
+  cn.lcc = 120;
+  DataNodeLocalStats dn;
+  dn.tcd = 1e-3;
+  dn.cores = 8;
+  dn.rd_all = 200;
+  SizeParams sizes;
+  BatchLoadModel model = BuildLoadModel(cn, dn, sizes, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GradientDescentMinimize(model));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GradientDescent);
+
+void BM_ExactMinimize(benchmark::State& state) {
+  ComputeNodeStats cn;
+  cn.tcc = 1e-3;
+  cn.cores = 8;
+  cn.lcc = 120;
+  DataNodeLocalStats dn;
+  dn.tcd = 1e-3;
+  dn.cores = 8;
+  dn.rd_all = 200;
+  SizeParams sizes;
+  BatchLoadModel model = BuildLoadModel(cn, dn, sizes, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactMinimize(model));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactMinimize);
+
+void BM_BatcherAdd(benchmark::State& state) {
+  Simulation sim;
+  int64_t flushed = 0;
+  Batcher batcher(&sim, 64, 5e-3, true,
+                  [&flushed](std::vector<RequestItem> items) {
+                    flushed += static_cast<int64_t>(items.size());
+                  });
+  RequestItem item;
+  for (auto _ : state) {
+    batcher.Add(item);
+  }
+  benchmark::DoNotOptimize(flushed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatcherAdd);
+
+void BM_SimulationEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.Schedule(static_cast<double>(i) * 1e-6, [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulationEventLoop);
+
+}  // namespace
+}  // namespace joinopt
+
+BENCHMARK_MAIN();

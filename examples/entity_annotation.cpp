@@ -1,0 +1,65 @@
+// Entity annotation — the paper's running example (Section 2.1). Documents
+// contain token "spots"; each spot joins with a per-token ML model stored in
+// the parallel store and a classification UDF runs on the pair. Token
+// frequency AND per-model cost are both heavy-tailed, so reduce-side joins
+// straggle and map-side joins drown in model transfers.
+//
+//   $ ./build/examples/entity_annotation
+//
+// Compares plain Hadoop MapReduce, the cost-aware CSAW partitioner [12],
+// and the framework's FO strategy on the same synthetic corpus.
+#include <cstdio>
+
+#include "joinopt/joinopt.h"
+
+using namespace joinopt;
+
+int main() {
+  AnnotationConfig config;
+  config.num_tokens = 8000;
+  config.documents = 3000;
+  config.spots_per_doc_mean = 10.0;
+  AnnotationSpots corpus = GenerateAnnotationSpots(config);
+  std::printf("corpus: %lld documents, %lld spots\n",
+              static_cast<long long>(corpus.documents),
+              static_cast<long long>(corpus.num_spots()));
+  std::printf("models: %s total, %.1f CPU-hours of classification if run "
+              "serially\n",
+              FormatBytes(corpus.total_model_bytes()).c_str(),
+              corpus.total_classify_cost() / 3600.0);
+
+  FrameworkRunConfig run;
+  run.cluster.num_compute_nodes = 5;
+  run.cluster.num_data_nodes = 5;
+  run.cluster.machine.cores = 8;
+
+  ReportTable table({"technique", "time", "max/mean CPU skew"});
+
+  // Reduce-side baselines run on all 10 machines.
+  for (MrBaselineKind kind : {MrBaselineKind::kHadoop, MrBaselineKind::kCsaw}) {
+    auto result = RunAnnotationBaselineJob(corpus, kind, run.cluster);
+    table.AddRow({MrBaselineKindToString(kind),
+                  FormatDuration(result.job.makespan),
+                  FormatDouble(result.job.compute_cpu_skew, 2)});
+  }
+
+  // The framework splits the same machines 5 compute + 5 data.
+  NodeLayout layout = NodeLayout::Of(run.cluster.num_compute_nodes,
+                                     run.cluster.num_data_nodes);
+  GeneratedWorkload workload = ToFrameworkWorkload(corpus, layout);
+  for (Strategy s : {Strategy::kFD, Strategy::kFO}) {
+    JobResult r = RunFrameworkJob(workload, s, run);
+    table.AddRow({StrategyToString(s), FormatDuration(r.makespan),
+                  FormatDouble(std::max(r.compute_cpu_skew, r.data_cpu_skew),
+                               2)});
+  }
+  table.Print("Entity annotation (lower time, lower skew = better)");
+
+  std::printf(
+      "\nHadoop hashes every token to one reducer: the hot tokens' models\n"
+      "are classified by a single straggler. CSAW replicates the costly\n"
+      "models using precomputed statistics. FO needs no statistics: the\n"
+      "ski-rental notices the hot tokens at runtime and caches exactly\n"
+      "those models at the compute nodes.\n");
+  return 0;
+}

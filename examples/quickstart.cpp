@@ -1,0 +1,76 @@
+// Quickstart: join a skewed input stream with an indexed stored relation on
+// a small simulated cluster, and watch the per-key ski-rental routing beat
+// the static alternatives.
+//
+//   $ ./build/examples/quickstart
+//
+// The scenario: 4 compute nodes join a 40k-tuple input against 10k stored
+// values (16 KB each, 5 ms of UDF per match). Keys follow a Zipf(1.2)
+// distribution, so a handful of keys dominate — the regime where neither
+// pure map-side (fetch everything) nor pure reduce-side (ship everything)
+// works well.
+#include <cstdio>
+
+#include "joinopt/joinopt.h"
+
+using namespace joinopt;
+
+int main() {
+  // 1. A cluster: 4 compute nodes + 4 data nodes, 4 cores each.
+  ClusterConfig cluster_config;
+  cluster_config.num_compute_nodes = 4;
+  cluster_config.num_data_nodes = 4;
+  cluster_config.machine.cores = 4;
+
+  // 2. A stored relation, indexed by key, partitioned over the data nodes.
+  NodeLayout layout = NodeLayout::Of(4, 4);
+  ParallelStore store(ParallelStoreConfig{}, layout.data_nodes,
+                      layout.compute_nodes);
+  for (Key k = 0; k < 10000; ++k) {
+    StoredItem item;
+    item.size_bytes = KiB(16);
+    item.udf_cost = Milliseconds(5);
+    store.Put(k, item);
+  }
+  std::printf("store: %zu items, %s total\n", store.total_items(),
+              FormatBytes(store.total_bytes()).c_str());
+
+  // 3. A skewed input stream, split across the compute nodes.
+  Rng rng(2024);
+  ZipfDistribution zipf(10000, 1.2);
+  auto make_input = [&](int n) {
+    std::vector<InputTuple> input;
+    for (int i = 0; i < n; ++i) {
+      InputTuple t;
+      t.keys = {zipf.Sample(rng)};
+      t.param_bytes = 200;
+      input.push_back(t);
+    }
+    return input;
+  };
+
+  // 4. Run the join under each strategy on a fresh simulator.
+  std::printf("\n%-10s %-12s %-12s %-10s %-10s\n", "strategy", "time",
+              "throughput", "cache-hit", "at-data");
+  for (Strategy s : {Strategy::kFC, Strategy::kFD, Strategy::kFO}) {
+    Simulation sim;
+    Cluster cluster(cluster_config);
+    EngineConfig engine;
+    JoinJob job(&sim, &cluster, {&store}, s, engine);
+    Rng input_rng(2024);  // same input for every strategy
+    rng = input_rng;
+    for (int i = 0; i < 4; ++i) job.SetInput(i, make_input(10000));
+    JobResult r = job.Run();
+    std::printf("%-10s %-12s %-12.0f %-10lld %-10lld\n", StrategyToString(s),
+                FormatDuration(r.makespan).c_str(), r.throughput,
+                static_cast<long long>(r.cache_memory_hits +
+                                       r.cache_disk_hits),
+                static_cast<long long>(r.computed_at_data));
+  }
+
+  std::printf(
+      "\nFO fetches and caches the heavy hitters at the compute nodes,\n"
+      "ships the long tail to the data nodes, and load-balances the rest —\n"
+      "the per-key runtime decision of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// The reduce-side-join skew-mitigation baselines of Figure 5, all running on
+// the mini-MapReduce substrate over the same annotation corpus:
+//
+//  * Hadoop     — plain hash partitioning, no skew mitigation.
+//  * CSAW       — Gupta et al. [12]: keys whose total load (frequency x
+//                 classification cost, plus model fetch) exceeds a fair
+//                 per-partition share are replicated: their records are
+//                 sprayed over all partitions and their models read
+//                 everywhere. Needs full precomputed statistics.
+//  * FlowJoinLB — the Flow-Join [23] policy with *exact* statistics (hence a
+//                 lower bound on real Flow-Join, which samples): replicates
+//                 by frequency only, ignoring per-key UDF cost.
+#ifndef JOINOPT_BASELINES_ANNOTATION_BASELINES_H_
+#define JOINOPT_BASELINES_ANNOTATION_BASELINES_H_
+
+#include "joinopt/mapreduce/mapreduce.h"
+#include "joinopt/workload/entity_annotation.h"
+
+namespace joinopt {
+
+enum class MrBaselineKind { kHadoop, kCsaw, kFlowJoinLb };
+
+const char* MrBaselineKindToString(MrBaselineKind k);
+
+struct AnnotationBaselineResult {
+  JobResult job;
+  /// Keys the partitioner chose to replicate (0 for Hadoop).
+  int64_t replicated_keys = 0;
+};
+
+/// Runs the chosen baseline on a cluster whose *every* node is a worker
+/// (the paper gives the MapReduce baselines all 20 machines).
+AnnotationBaselineResult RunAnnotationBaseline(Simulation* sim,
+                                               Cluster* cluster,
+                                               const AnnotationSpots& spots,
+                                               MrBaselineKind kind,
+                                               const MapReduceConfig& config = {});
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_BASELINES_ANNOTATION_BASELINES_H_

@@ -1,0 +1,77 @@
+// Cache benefit policies. Algorithm 1 calls updateBenefit(k) on every request
+// and uses the benefit to drive condCacheInMemory. The paper adopts the
+// weighted LFU-DA algorithm [Arlitt et al., 2000]: benefits grow with access
+// frequency but are offset by a global "age" L that rises whenever an item is
+// evicted, so stale-but-once-hot items eventually lose to recently-hot ones.
+// An LRU policy is provided for the eviction-policy ablation.
+#ifndef JOINOPT_CACHE_POLICY_H_
+#define JOINOPT_CACHE_POLICY_H_
+
+#include <cstdint>
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+/// Computes the benefit score of an item at access time. Higher = more worth
+/// keeping in memory.
+class BenefitPolicy {
+ public:
+  virtual ~BenefitPolicy() = default;
+
+  /// Benefit of an item accessed now. `frequency` is the item's estimated
+  /// access count; `weight` its per-access value (the paper weights by the
+  /// cost saved per hit divided by size — callers choose).
+  virtual double Benefit(int64_t frequency, double weight) = 0;
+
+  /// Notifies the policy that an item with the given stored benefit was
+  /// evicted (LFU-DA raises its age to that value).
+  virtual void OnEvict(double evicted_benefit) = 0;
+
+  /// Current aging offset (0 for policies without aging).
+  virtual double age() const { return 0.0; }
+};
+
+/// Weighted LFU with Dynamic Aging: benefit = weight * frequency + L, where
+/// L is raised to the benefit of each evicted item. Recent and frequent
+/// accesses both raise an item's standing.
+class LfuDaPolicy : public BenefitPolicy {
+ public:
+  double Benefit(int64_t frequency, double weight) override {
+    return weight * static_cast<double>(frequency) + age_;
+  }
+  void OnEvict(double evicted_benefit) override {
+    if (evicted_benefit > age_) age_ = evicted_benefit;
+  }
+  double age() const override { return age_; }
+
+ private:
+  double age_ = 0.0;
+};
+
+/// LRU expressed in the benefit framework: benefit = access sequence number,
+/// so the least recently touched item always has the minimum benefit.
+class LruPolicy : public BenefitPolicy {
+ public:
+  double Benefit(int64_t /*frequency*/, double /*weight*/) override {
+    return static_cast<double>(++tick_);
+  }
+  void OnEvict(double /*evicted_benefit*/) override {}
+
+ private:
+  int64_t tick_ = 0;
+};
+
+/// Plain LFU (no aging): benefit = weight * frequency. Ablation baseline
+/// showing why aging matters under shifting distributions (Fig. 9 workloads).
+class LfuPolicy : public BenefitPolicy {
+ public:
+  double Benefit(int64_t frequency, double weight) override {
+    return weight * static_cast<double>(frequency);
+  }
+  void OnEvict(double /*evicted_benefit*/) override {}
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CACHE_POLICY_H_

@@ -1,0 +1,230 @@
+#include "joinopt/cache/tiered_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace joinopt {
+
+TieredCache::TieredCache(const TieredCacheConfig& config,
+                         BenefitPolicy* policy)
+    : config_(config), policy_(policy) {
+  assert(policy != nullptr);
+  assert(config.memory_capacity_bytes >= 0.0);
+}
+
+CacheTier TieredCache::Lookup(Key key) {
+  CacheTier tier = Peek(key);
+  switch (tier) {
+    case CacheTier::kMemory:
+      ++stats_.memory_hits;
+      break;
+    case CacheTier::kDisk:
+      ++stats_.disk_hits;
+      break;
+    case CacheTier::kNone:
+      ++stats_.misses;
+      break;
+  }
+  return tier;
+}
+
+CacheTier TieredCache::Peek(Key key) const {
+  auto it = items_.find(key);
+  return it == items_.end() ? CacheTier::kNone : it->second.tier;
+}
+
+void TieredCache::UpdateBenefit(Key key, double benefit) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return;
+  Item& item = it->second;
+  OrderMap& order =
+      item.tier == CacheTier::kMemory ? memory_order_ : disk_order_;
+  order.erase(item.order_it);
+  item.benefit = benefit;
+  item.order_it = order.emplace(benefit, key);
+}
+
+bool TieredCache::CondCacheInMemory(Key key, double size, double benefit,
+                                    bool insert) {
+  auto it = items_.find(key);
+  if (it != items_.end() && it->second.tier == CacheTier::kMemory) {
+    if (insert) UpdateBenefit(key, benefit);
+    return true;  // already resident in memory
+  }
+  bool decision = config_.uniform_item_size
+                      ? CondCacheUniform(key, size, benefit, insert)
+                      : CondCacheVariable(key, size, benefit, insert);
+  if (!decision) ++stats_.admission_rejections;
+  return decision;
+}
+
+bool TieredCache::CondCacheUniform(Key key, double size, double benefit,
+                                   bool insert) {
+  // Algorithm 2: free space, or beat the single minimum-benefit item.
+  if (memory_used_ + size <= config_.memory_capacity_bytes) {
+    if (insert) PlaceInMemory(key, size, benefit);
+    return true;
+  }
+  if (memory_order_.empty()) return false;  // item larger than the tier
+  double min_benefit = memory_order_.begin()->first;
+  if (benefit <= min_benefit) return false;
+  if (insert) {
+    Key victim = memory_order_.begin()->second;
+    policy_->OnEvict(min_benefit);
+    Demote(victim);
+    PlaceInMemory(key, size, benefit);
+  }
+  return true;
+}
+
+bool TieredCache::CondCacheVariable(Key key, double size, double benefit,
+                                    bool insert) {
+  if (size > config_.memory_capacity_bytes) return false;
+  if (memory_used_ + size <= config_.memory_capacity_bytes) {
+    if (insert) PlaceInMemory(key, size, benefit);
+    return true;
+  }
+  // Algorithm 3: gather least-benefit items until eviction would free
+  // enough space.
+  double free_mem = config_.memory_capacity_bytes - memory_used_;
+  double gathered = 0.0;
+  double benefit_sum = 0.0;
+  std::vector<Key> prelim;
+  for (const auto& [b, k] : memory_order_) {
+    if (free_mem + gathered >= size) break;
+    prelim.push_back(k);
+    gathered += items_.at(k).size;
+    benefit_sum += b;
+  }
+  if (free_mem + gathered < size) return false;  // cannot make space
+  // Strictly-greater admission (Algorithm 3 writes >=; we reject ties like
+  // Algorithm 2 does, so equal-benefit items cannot thrash each other).
+  if (benefit <= benefit_sum) return false;
+  if (!insert) return true;
+  // Keep back the highest-benefit gathered items that still fit: walk the
+  // prelim list from most to least valuable, retaining whatever fits into
+  // the slack left after the newcomer is placed.
+  double slack = free_mem + gathered - size;
+  std::vector<Key> evict;
+  for (auto rit = prelim.rbegin(); rit != prelim.rend(); ++rit) {
+    double isz = items_.at(*rit).size;
+    if (isz <= slack) {
+      slack -= isz;  // retained
+    } else {
+      evict.push_back(*rit);
+    }
+  }
+  for (Key victim : evict) {
+    policy_->OnEvict(items_.at(victim).benefit);
+    Demote(victim);
+  }
+  PlaceInMemory(key, size, benefit);
+  return true;
+}
+
+void TieredCache::PlaceInMemory(Key key, double size, double benefit) {
+  auto it = items_.find(key);
+  if (it != items_.end()) {
+    // Promotion from disk: remove the disk-tier residency first. (Appendix B:
+    // items moved to mCache are removed from dCache to save space.)
+    assert(it->second.tier == CacheTier::kDisk);
+    disk_order_.erase(it->second.order_it);
+    disk_used_ -= it->second.size;
+    items_.erase(it);
+    ++stats_.promotions;
+  }
+  Item item{size, benefit, CacheTier::kMemory, {}};
+  auto [ins, ok] = items_.emplace(key, item);
+  assert(ok);
+  ins->second.order_it = memory_order_.emplace(benefit, key);
+  memory_used_ += size;
+  ++stats_.memory_insertions;
+  assert(memory_used_ <= config_.memory_capacity_bytes + 1e-6);
+}
+
+void TieredCache::Demote(Key key) {
+  auto it = items_.find(key);
+  assert(it != items_.end() && it->second.tier == CacheTier::kMemory);
+  Item& item = it->second;
+  memory_order_.erase(item.order_it);
+  memory_used_ -= item.size;
+  EnsureDiskSpace(item.size);
+  item.tier = CacheTier::kDisk;
+  item.order_it = disk_order_.emplace(item.benefit, key);
+  disk_used_ += item.size;
+  ++stats_.demotions;
+}
+
+void TieredCache::InsertDisk(Key key, double size, double benefit) {
+  auto it = items_.find(key);
+  if (it != items_.end()) {
+    UpdateBenefit(key, benefit);
+    return;
+  }
+  if (size > config_.disk_capacity_bytes) return;
+  EnsureDiskSpace(size);
+  Item item{size, benefit, CacheTier::kDisk, {}};
+  auto [ins, ok] = items_.emplace(key, item);
+  assert(ok);
+  ins->second.order_it = disk_order_.emplace(benefit, key);
+  disk_used_ += size;
+  ++stats_.disk_insertions;
+}
+
+void TieredCache::EnsureDiskSpace(double size) {
+  if (disk_used_ + size <= config_.disk_capacity_bytes) return;
+  // Discard by lowest benefit-to-size ratio (Appendix B). The order map is
+  // keyed by benefit, so scan it for the best ratio victims; the map is
+  // bounded by the disk tier's item count, and finite disk tiers are an
+  // ablation configuration, so the linear scan is acceptable.
+  while (disk_used_ + size > config_.disk_capacity_bytes &&
+         !disk_order_.empty()) {
+    auto best = disk_order_.begin();
+    double best_ratio = best->first / items_.at(best->second).size;
+    for (auto it2 = disk_order_.begin(); it2 != disk_order_.end(); ++it2) {
+      double ratio = it2->first / items_.at(it2->second).size;
+      if (ratio < best_ratio) {
+        best = it2;
+        best_ratio = ratio;
+      }
+    }
+    policy_->OnEvict(best->first);
+    DiscardFromDisk(best->second);
+  }
+}
+
+void TieredCache::DiscardFromDisk(Key key) {
+  auto it = items_.find(key);
+  assert(it != items_.end() && it->second.tier == CacheTier::kDisk);
+  disk_order_.erase(it->second.order_it);
+  disk_used_ -= it->second.size;
+  items_.erase(it);
+  ++stats_.discards;
+}
+
+void TieredCache::Invalidate(Key key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return;
+  Item& item = it->second;
+  if (item.tier == CacheTier::kMemory) {
+    memory_order_.erase(item.order_it);
+    memory_used_ -= item.size;
+  } else {
+    disk_order_.erase(item.order_it);
+    disk_used_ -= item.size;
+  }
+  items_.erase(it);
+  ++stats_.invalidations;
+}
+
+double TieredCache::ItemSize(Key key) const {
+  auto it = items_.find(key);
+  return it == items_.end() ? 0.0 : it->second.size;
+}
+
+double TieredCache::MemoryMinBenefit() const {
+  return memory_order_.empty() ? std::numeric_limits<double>::infinity()
+                               : memory_order_.begin()->first;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,134 @@
+// Two-tier (memory + disk) cache with benefit-based admission and eviction —
+// the mCache / dCache pair of Section 4.2.2 and Appendix B. The cache stores
+// item *metadata* (size, benefit, version); actual payloads live with the
+// caller (in a real deployment, Ehcache-style byte storage; in the simulator,
+// synthesized values).
+//
+// Admission implements both variants of condCacheInMemory:
+//  * Algorithm 2 (uniform item size): evict the single minimum-benefit
+//    memory item if the newcomer's benefit exceeds it.
+//  * Algorithm 3 (variable sizes): gather the least-benefit items whose
+//    eviction frees enough space; admit iff the newcomer's benefit beats
+//    their benefit sum; then keep back the highest-benefit gathered items
+//    that still fit.
+// Memory evictions demote to the disk tier; disk evictions (when the disk
+// tier has finite capacity) discard by benefit-to-size ratio, per Appendix B.
+#ifndef JOINOPT_CACHE_TIERED_CACHE_H_
+#define JOINOPT_CACHE_TIERED_CACHE_H_
+
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "joinopt/cache/policy.h"
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+/// Where a lookup found (or would place) an item.
+enum class CacheTier { kMemory, kDisk, kNone };
+
+struct TieredCacheConfig {
+  /// Memory-tier capacity in bytes (the paper limits this to 100 MB in the
+  /// experiments to force tier pressure).
+  double memory_capacity_bytes = 100.0 * 1024 * 1024;
+  /// Disk-tier capacity in bytes; infinity = unbounded (the paper's
+  /// default assumption).
+  double disk_capacity_bytes = std::numeric_limits<double>::infinity();
+  /// Use Algorithm 2 (uniform sizes) instead of Algorithm 3. Only valid if
+  /// every inserted item has the same size.
+  bool uniform_item_size = false;
+};
+
+struct TieredCacheStats {
+  int64_t memory_hits = 0;
+  int64_t disk_hits = 0;
+  int64_t misses = 0;
+  int64_t memory_insertions = 0;
+  int64_t disk_insertions = 0;
+  int64_t demotions = 0;   // memory -> disk
+  int64_t promotions = 0;  // disk -> memory
+  int64_t discards = 0;    // evicted from disk entirely
+  int64_t invalidations = 0;
+  int64_t admission_rejections = 0;
+};
+
+class TieredCache {
+ public:
+  /// The cache consults (but does not own) `policy` for eviction aging.
+  TieredCache(const TieredCacheConfig& config, BenefitPolicy* policy);
+
+  /// Looks `key` up, recording hit/miss stats. Does not change residency.
+  CacheTier Lookup(Key key);
+
+  /// Peeks without touching stats.
+  CacheTier Peek(Key key) const;
+
+  /// Re-scores a resident item after an access (Algorithm 1's
+  /// updateBenefit for cached items).
+  void UpdateBenefit(Key key, double benefit);
+
+  /// condCacheInMemory: decides whether an item of the given size/benefit
+  /// belongs in the memory tier; when `insert` is true and the decision is
+  /// positive, performs the insertion (evicting/demoting as needed). For an
+  /// item currently in the disk tier this acts as conditional promotion.
+  /// Returns the decision.
+  bool CondCacheInMemory(Key key, double size, double benefit, bool insert);
+
+  /// Inserts into the disk tier directly (Algorithm 1 line 19: items bought
+  /// under the disk-cache ski-rental condition).
+  void InsertDisk(Key key, double size, double benefit);
+
+  /// Drops `key` from whatever tier holds it (update notification,
+  /// Section 4.2.3).
+  void Invalidate(Key key);
+
+  /// Size in bytes of a resident item; 0 if absent.
+  double ItemSize(Key key) const;
+
+  double memory_used() const { return memory_used_; }
+  double disk_used() const { return disk_used_; }
+  size_t memory_items() const { return memory_order_.size(); }
+  size_t disk_items() const { return disk_order_.size(); }
+  /// Minimum benefit currently held in the memory tier (+inf when empty).
+  double MemoryMinBenefit() const;
+
+  const TieredCacheStats& stats() const { return stats_; }
+  const TieredCacheConfig& config() const { return config_; }
+
+ private:
+  struct Item {
+    double size;
+    double benefit;
+    CacheTier tier;
+    std::multimap<double, Key>::iterator order_it;
+  };
+  using OrderMap = std::multimap<double, Key>;  // ascending benefit
+
+  bool CondCacheUniform(Key key, double size, double benefit, bool insert);
+  bool CondCacheVariable(Key key, double size, double benefit, bool insert);
+
+  /// Moves an existing memory item to the disk tier.
+  void Demote(Key key);
+  /// Removes an item from the disk tier entirely.
+  void DiscardFromDisk(Key key);
+  /// Frees disk space for `size` bytes by discarding lowest benefit/size
+  /// ratio items.
+  void EnsureDiskSpace(double size);
+  /// Inserts a brand-new or promoted item into memory (space must exist).
+  void PlaceInMemory(Key key, double size, double benefit);
+
+  TieredCacheConfig config_;
+  BenefitPolicy* policy_;
+  std::unordered_map<Key, Item> items_;
+  OrderMap memory_order_;
+  OrderMap disk_order_;
+  double memory_used_ = 0.0;
+  double disk_used_ = 0.0;
+  TieredCacheStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CACHE_TIERED_CACHE_H_

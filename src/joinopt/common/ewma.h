@@ -1,0 +1,60 @@
+// Exponentially weighted moving average, the smoothing the paper applies to
+// all runtime-measured cost parameters (Section 3.2):
+//   value_{t+1} = alpha * measured + (1 - alpha) * value_t
+#ifndef JOINOPT_COMMON_EWMA_H_
+#define JOINOPT_COMMON_EWMA_H_
+
+#include <cassert>
+
+namespace joinopt {
+
+/// Exponentially smoothed estimate of a scalar. The first observation
+/// initializes the estimate directly (no bias toward zero).
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest measurement.
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  /// Feeds one measurement.
+  void Observe(double measured) {
+    if (!initialized_) {
+      value_ = measured;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * measured + (1.0 - alpha_) * value_;
+    }
+    ++count_;
+  }
+
+  /// Current smoothed value, or `fallback` before any observation.
+  double ValueOr(double fallback) const {
+    return initialized_ ? value_ : fallback;
+  }
+
+  double value() const {
+    assert(initialized_);
+    return value_;
+  }
+  bool initialized() const { return initialized_; }
+  long count() const { return count_; }
+  double alpha() const { return alpha_; }
+
+  /// Forgets all observations.
+  void Reset() {
+    initialized_ = false;
+    value_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+  long count_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_EWMA_H_

@@ -1,0 +1,43 @@
+// Hashing utilities shared by the partitioner, the lossy counter and the
+// caches. Join keys are 64-bit identifiers (workloads map tokens / FK values
+// onto them); partitioning hashes must be stable across runs.
+#ifndef JOINOPT_COMMON_HASH_H_
+#define JOINOPT_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace joinopt {
+
+/// Join key type. Workload generators map domain values (tokens, foreign
+/// keys) to dense or hashed 64-bit keys.
+using Key = uint64_t;
+
+/// Node identifier within a cluster (compute or data node).
+using NodeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// Finalizer from MurmurHash3: a fast, high-quality 64-bit mixer. Used to
+/// decorrelate sequential keys before modulo partitioning.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over bytes; for hashing string tokens to keys.
+constexpr uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_HASH_H_

@@ -1,0 +1,38 @@
+#include "joinopt/common/histogram.h"
+
+#include <sstream>
+
+namespace joinopt {
+
+double Histogram::Quantile(double q) const {
+  if (stats_.count() == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(stats_.count());
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double lo = (i == 0) ? stats_.min() : bounds_[i - 1];
+      double hi = (i == counts_.size() - 1) ? stats_.max() : bounds_[i];
+      if (counts_[i] == 0) return lo;
+      double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return stats_.max();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << stats_.count() << " mean=" << stats_.mean()
+     << " min=" << stats_.min() << " max=" << stats_.max() << " buckets=[";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i) os << ", ";
+    os << counts_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace joinopt

@@ -1,0 +1,102 @@
+// Streaming summary statistics and a fixed-boundary histogram, used by the
+// experiment harness to report per-node load distribution and skew.
+#ifndef JOINOPT_COMMON_HISTOGRAM_H_
+#define JOINOPT_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace joinopt {
+
+/// Running mean / min / max / stddev without storing samples.
+class SummaryStats {
+ public:
+  void Observe(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    // Welford's online algorithm.
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Coefficient of variation: stddev / mean (0 when mean == 0). A standard
+  /// scalar measure of skew across per-node loads.
+  double cv() const { return mean() != 0.0 ? stddev() / mean() : 0.0; }
+
+  void Merge(const SummaryStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    double delta = other.mean_ - mean_;
+    int64_t total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(total);
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) /
+            static_cast<double>(total);
+    n_ = total;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over explicit bucket boundaries: bucket i counts values in
+/// [bounds[i-1], bounds[i]), with under/overflow buckets at the ends.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void Observe(double x) {
+    size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), x) -
+               bounds_.begin();
+    ++counts_[i];
+    stats_.Observe(x);
+  }
+
+  int64_t bucket_count(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  const SummaryStats& stats() const { return stats_; }
+
+  /// Approximate quantile by linear interpolation within buckets.
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;
+  SummaryStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,8 @@
+#include "joinopt/common/logging.h"
+
+namespace joinopt {
+
+LogLevel Logger::threshold_ = LogLevel::kWarn;
+std::ostream* Logger::stream_ = &std::cerr;
+
+}  // namespace joinopt

@@ -1,0 +1,90 @@
+// Minimal leveled logger used across the library. Logging is off by default
+// (kWarn threshold) so simulations stay quiet; tests and examples can raise
+// the level. Not thread safe by design: the simulator is single threaded.
+#ifndef JOINOPT_COMMON_LOGGING_H_
+#define JOINOPT_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace joinopt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Global log configuration.
+class Logger {
+ public:
+  static LogLevel threshold() { return threshold_; }
+  static void set_threshold(LogLevel lvl) { threshold_ = lvl; }
+  static std::ostream& stream() { return *stream_; }
+  static void set_stream(std::ostream* os) { stream_ = os; }
+
+ private:
+  static LogLevel threshold_;
+  static std::ostream* stream_;
+};
+
+/// One log statement; flushes on destruction. Fatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    buf_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+         << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= Logger::threshold()) {
+      Logger::stream() << buf_.str() << std::endl;
+    }
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    buf_ << v;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream buf_;
+};
+
+}  // namespace joinopt
+
+#define JO_LOG(level) \
+  ::joinopt::LogMessage(::joinopt::LogLevel::k##level, __FILE__, __LINE__)
+
+#define JO_CHECK(cond)                                         \
+  if (!(cond))                                                 \
+  ::joinopt::LogMessage(::joinopt::LogLevel::kFatal, __FILE__, \
+                        __LINE__)                              \
+      << "Check failed: " #cond " "
+
+#define JO_DCHECK(cond) assert(cond)
+
+#endif  // JOINOPT_COMMON_LOGGING_H_

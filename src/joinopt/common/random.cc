@@ -1,0 +1,116 @@
+#include "joinopt/common/random.h"
+
+#include <cassert>
+
+namespace joinopt {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z) : n_(n), z_(z) {
+  assert(n >= 1);
+  assert(z >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -z));
+  // Exact normalization for Pmf; O(n) once. For very large n where the
+  // caller only samples, Pmf is still cheap to precompute lazily, but we
+  // keep construction simple: cap the exact sum at 10M terms and use the
+  // integral approximation beyond (error < 1e-7 relative there).
+  generalized_harmonic_ = 0.0;
+  const uint64_t exact_terms = n < 10'000'000 ? n : 10'000'000;
+  for (uint64_t i = 1; i <= exact_terms; ++i) {
+    generalized_harmonic_ += std::pow(static_cast<double>(i), -z);
+  }
+  if (exact_terms < n) {
+    // Integral tail: sum_{i=a}^{b} i^-z ~ integral_{a-0.5}^{b+0.5} x^-z dx.
+    double a = static_cast<double>(exact_terms) + 0.5;
+    double b = static_cast<double>(n) + 0.5;
+    if (z == 1.0) {
+      generalized_harmonic_ += std::log(b / a);
+    } else {
+      generalized_harmonic_ +=
+          (std::pow(b, 1.0 - z) - std::pow(a, 1.0 - z)) / (1.0 - z);
+    }
+  }
+}
+
+double ZipfDistribution::H(double x) const {
+  // H(x) = integral of t^-z dt, the antiderivative used by
+  // rejection-inversion.
+  if (z_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - z_) - 1.0) / (1.0 - z_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (z_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - z_), 1.0 / (1.0 - z_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  if (z_ == 0.0) return rng.NextBounded(n_);
+  // Hormann & Derflinger rejection-inversion for Zipf.
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -z_)) {
+      return k - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+double ZipfDistribution::Pmf(uint64_t rank) const {
+  assert(rank < n_);
+  return std::pow(static_cast<double>(rank + 1), -z_) / generalized_harmonic_;
+}
+
+}  // namespace joinopt

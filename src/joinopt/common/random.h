@@ -1,0 +1,107 @@
+// Deterministic random number generation for workload synthesis and the
+// simulator: xoshiro256** core generator plus the distributions the paper's
+// workloads need (uniform, Zipf, exponential, heavy-tailed sizes).
+#ifndef JOINOPT_COMMON_RANDOM_H_
+#define JOINOPT_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace joinopt {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation). Deterministic across platforms; much faster than
+/// std::mt19937_64 and with better statistical properties.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  void Seed(uint64_t seed);
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's method.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Exponentially distributed with the given rate (mean = 1/rate).
+  double Exponential(double rate) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -std::log(1.0 - u) / rate;
+  }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Pareto-distributed value with shape alpha and scale x_min.
+  /// Heavy-tailed; used for model sizes / UDF costs in the annotation
+  /// workload.
+  double Pareto(double alpha, double x_min) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return x_min / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Forks an independent deterministic stream (for per-node RNGs).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(N, z) sampler over ranks {0, 1, ..., n-1}: rank i has probability
+/// proportional to 1/(i+1)^z. z = 0 degenerates to uniform. Uses the
+/// rejection-inversion method of Hormann & Derflinger, which needs O(1)
+/// memory and setup regardless of n — important for the 10^6..10^8 key
+/// domains the synthetic workloads use.
+class ZipfDistribution {
+ public:
+  /// n: domain size (>= 1); z: skew parameter (>= 0).
+  ZipfDistribution(uint64_t n, double z);
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+  /// Samples a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank i (exact, O(1) after construction).
+  double Pmf(uint64_t rank) const;
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double z_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+  double generalized_harmonic_;  // H_{n,z}: normalization for Pmf
+};
+
+/// Fisher–Yates shuffle of a vector (deterministic given the Rng state).
+template <typename T>
+void Shuffle(std::vector<T>& v, Rng& rng) {
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.NextBounded(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_RANDOM_H_

@@ -1,0 +1,159 @@
+// Status and StatusOr: error handling without exceptions, in the style of
+// Arrow / RocksDB. Every fallible public API in joinopt returns one of these.
+#ifndef JOINOPT_COMMON_STATUS_H_
+#define JOINOPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace joinopt {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+};
+
+/// Returns a human-readable name for a status code ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (no allocation); carries a code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from non-OK status. Constructing from an OK status is a bug.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+}  // namespace joinopt
+
+/// Propagates an error status from an expression returning Status.
+#define JOINOPT_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::joinopt::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define JOINOPT_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto JOINOPT_CONCAT_(_res, __LINE__) = (expr);    \
+  if (!JOINOPT_CONCAT_(_res, __LINE__).ok())        \
+    return JOINOPT_CONCAT_(_res, __LINE__).status();\
+  lhs = std::move(JOINOPT_CONCAT_(_res, __LINE__)).value()
+
+#define JOINOPT_CONCAT_IMPL_(a, b) a##b
+#define JOINOPT_CONCAT_(a, b) JOINOPT_CONCAT_IMPL_(a, b)
+
+#endif  // JOINOPT_COMMON_STATUS_H_

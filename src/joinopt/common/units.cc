@@ -1,0 +1,38 @@
+#include "joinopt/common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace joinopt {
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  double abs = std::fabs(bytes);
+  if (abs >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / kGiB);
+  } else if (abs >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", bytes / kMiB);
+  } else if (abs >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", bytes / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  double abs = std::fabs(seconds);
+  if (abs >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace joinopt

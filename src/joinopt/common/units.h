@@ -1,0 +1,37 @@
+// Unit helpers. All simulator time is in seconds (double); all sizes are in
+// bytes (double — payloads never materialize, only their sizes flow through
+// cost formulas). These helpers keep workload configs readable.
+#ifndef JOINOPT_COMMON_UNITS_H_
+#define JOINOPT_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace joinopt {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+
+constexpr double KiB(double x) { return x * kKiB; }
+constexpr double MiB(double x) { return x * kMiB; }
+constexpr double GiB(double x) { return x * kGiB; }
+
+constexpr double Microseconds(double x) { return x * 1e-6; }
+constexpr double Milliseconds(double x) { return x * 1e-3; }
+constexpr double Seconds(double x) { return x; }
+constexpr double Minutes(double x) { return x * 60.0; }
+
+/// Gigabit-per-second link speed expressed as bytes/second.
+constexpr double Gbps(double x) { return x * 1e9 / 8.0; }
+/// Megabit-per-second link speed expressed as bytes/second.
+constexpr double Mbps(double x) { return x * 1e6 / 8.0; }
+
+/// "1.50 GiB", "12.0 KiB", "830 B" — for reports.
+std::string FormatBytes(double bytes);
+/// "1.23 s", "45.1 ms", "7.8 us" — for reports.
+std::string FormatDuration(double seconds);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_UNITS_H_

@@ -1,0 +1,159 @@
+#include "joinopt/engine/async_api.h"
+
+#include <chrono>
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StatusOr<DataService::Fetched> LocalDataService::Fetch(Key key) {
+  ++fetches_;
+  auto item = store_->Get(key);
+  if (!item.ok()) return item.status();
+  return Fetched{item->payload, item->version};
+}
+
+StatusOr<std::string> LocalDataService::Execute(Key key,
+                                                const std::string& params,
+                                                const UserFn& fn) {
+  ++executes_;
+  const StoredItem* item = store_->Find(key);
+  if (item == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return fn(key, params, item->payload);
+}
+
+StatusOr<DataService::ItemStat> LocalDataService::Stat(Key key) const {
+  const StoredItem* item = store_->Find(key);
+  if (item == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return ItemStat{item->size_bytes, item->version};
+}
+
+AsyncInvoker::AsyncInvoker(DataService* service, UserFn fn,
+                           const Options& options)
+    : service_(service),
+      fn_(std::move(fn)),
+      options_(options),
+      engine_(std::make_unique<DecisionEngine>(options.decision)) {}
+
+AsyncInvoker::~AsyncInvoker() = default;
+
+uint64_t AsyncInvoker::RequestId(Key key, const std::string& params) {
+  return Mix64(key) ^ Fnv1a(params);
+}
+
+void AsyncInvoker::SubmitComp(Key key, std::string params) {
+  ++stats_.submitted;
+  auto result = Run(key, params);
+  if (result.ok()) {
+    results_[RequestId(key, params)].push_back(std::move(result).value());
+  }
+  // Errors are re-surfaced by FetchComp's on-demand retry.
+}
+
+StatusOr<std::string> AsyncInvoker::FetchComp(Key key,
+                                              const std::string& params) {
+  auto it = results_.find(RequestId(key, params));
+  if (it != results_.end() && !it->second.empty()) {
+    std::string out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) results_.erase(it);
+    return out;
+  }
+  // Not prefetched (or it failed): blocking path.
+  return Run(key, params);
+}
+
+StatusOr<std::string> AsyncInvoker::Run(Key key, const std::string& params) {
+  if (++runs_since_trim_ >= 256) {
+    runs_since_trim_ = 0;
+    TrimEvicted();
+  }
+  NodeId owner = service_->OwnerOf(key);
+  engine_->cost_model().SetBandwidth(owner, options_.bandwidth_bytes_per_sec);
+  Decision decision = engine_->Decide(key, owner);
+
+  switch (decision.route) {
+    case Route::kLocalMemoryHit:
+    case Route::kLocalDiskHit: {
+      auto vit = values_.find(key);
+      if (vit == values_.end()) {
+        // The engine believes the key is cached but the payload is gone
+        // (external invalidation race): fall back to delegation.
+        break;
+      }
+      ++stats_.served_from_cache;
+      double t0 = NowSeconds();
+      std::string out = fn_(key, params, vit->second.value);
+      engine_->ObserveLocalCompute(NowSeconds() - t0);
+      return out;
+    }
+    case Route::kFetchCacheMemory:
+    case Route::kFetchCacheDisk: {
+      auto fetched = service_->Fetch(key);
+      if (!fetched.ok()) return fetched.status();
+      engine_->OnValueFetched(key, decision.route,
+                              static_cast<double>(fetched->value.size()),
+                              fetched->version);
+      ++stats_.fetched_then_computed;
+      double t0 = NowSeconds();
+      std::string out = fn_(key, params, fetched->value);
+      engine_->ObserveLocalCompute(NowSeconds() - t0);
+      values_[key] = CachedValue{std::move(fetched)->value, 0};
+      return out;
+    }
+    case Route::kComputeAtData:
+      break;
+  }
+
+  // Compute request: delegate to the service and learn the cost
+  // parameters from the exchange (Section 4.3's piggybacking, here
+  // measured directly).
+  ++stats_.delegated;
+  double t0 = NowSeconds();
+  auto result = service_->Execute(key, params, fn_);
+  double elapsed = NowSeconds() - t0;
+  if (!result.ok()) return result.status();
+  // Learn sv/version for future ski-rental decisions (piggybacked stats).
+  auto stat = service_->Stat(key);
+  if (stat.ok()) {
+    DataNodeCostReport report;
+    report.t_cpu = elapsed;
+    report.t_cpu_service = elapsed;
+    report.t_disk = 1e-6;
+    report.t_disk_service = 1e-6;
+    engine_->OnComputeResponse(key, owner, stat->size_bytes, stat->version,
+                               report);
+  }
+  return result;
+}
+
+void AsyncInvoker::TrimEvicted() {
+  for (auto it = values_.begin(); it != values_.end();) {
+    if (engine_->cache().Peek(it->first) == CacheTier::kNone) {
+      it = values_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AsyncInvoker::OnUpdate(Key key, uint64_t new_version) {
+  engine_->OnUpdateNotification(key, new_version);
+  values_.erase(key);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,194 @@
+// The Section 7 programming API as a real, in-process executor (not the
+// simulator): the <preMap, map> pair of Figure 10 with submitComp /
+// fetchComp calls, a prefetch queue, and a result hash-map (Figure 4).
+//
+// A user registers f'(k, p, v); submitComp(k, p) enqueues a prefetch
+// request; fetchComp(k, p) returns the computed value, executing whatever
+// the optimizer decided: local computation on a cached value, a "data
+// request" (fetch the value from the service, cache it per Algorithm 1,
+// compute locally), or a "compute request" (delegate to the service — the
+// coprocessor path). Costs are measured with real clocks and fed to the
+// same DecisionEngine the simulator uses, so the ski-rental caching policy
+// is live on real payloads.
+//
+// The provided LocalDataService backs the API with an in-process
+// ParallelStore; a deployment would implement DataService over HBase or any
+// store with server-side function shipping.
+#ifndef JOINOPT_ENGINE_ASYNC_API_H_
+#define JOINOPT_ENGINE_ASYNC_API_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "joinopt/common/status.h"
+#include "joinopt/skirental/decision_engine.h"
+#include "joinopt/store/log_store.h"
+#include "joinopt/store/parallel_store.h"
+
+namespace joinopt {
+
+/// The user-defined function f'(k, p, v) (Section 3.1).
+using UserFn = std::function<std::string(Key key, const std::string& params,
+                                         const std::string& value)>;
+
+/// Remote side of the API: point fetches and server-side execution.
+class DataService {
+ public:
+  virtual ~DataService() = default;
+
+  struct Fetched {
+    std::string value;
+    uint64_t version = 0;
+  };
+  /// Data request: returns the stored value for caching + local execution.
+  virtual StatusOr<Fetched> Fetch(Key key) = 0;
+  /// Compute request: executes `fn` next to the data ("coprocessor").
+  virtual StatusOr<std::string> Execute(Key key, const std::string& params,
+                                        const UserFn& fn) = 0;
+  /// Metadata only (size + version) — what a compute-request response
+  /// piggybacks (Section 4.3) without shipping the payload.
+  struct ItemStat {
+    double size_bytes = 0;
+    uint64_t version = 0;
+  };
+  virtual StatusOr<ItemStat> Stat(Key key) const = 0;
+  /// Placement: which (logical) data node owns the key.
+  virtual NodeId OwnerOf(Key key) const = 0;
+};
+
+/// In-process DataService over a ParallelStore holding real payloads.
+class LocalDataService : public DataService {
+ public:
+  explicit LocalDataService(ParallelStore* store) : store_(store) {}
+
+  StatusOr<Fetched> Fetch(Key key) override;
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override;
+  StatusOr<ItemStat> Stat(Key key) const override;
+  NodeId OwnerOf(Key key) const override { return store_->OwnerOf(key); }
+
+  int64_t fetches() const { return fetches_; }
+  int64_t executes() const { return executes_; }
+
+ private:
+  ParallelStore* store_;
+  int64_t fetches_ = 0;
+  int64_t executes_ = 0;
+};
+
+/// DataService over a LogStructuredStore — the fully real storage path:
+/// payloads live in the segmented log, versions come from the log's
+/// per-key version chain. `num_shards` only affects OwnerOf (placement
+/// metadata for the cost model); the store itself is one process.
+class LogStoreDataService : public DataService {
+ public:
+  LogStoreDataService(LogStructuredStore* store, int num_shards = 4)
+      : store_(store), num_shards_(num_shards) {}
+
+  StatusOr<Fetched> Fetch(Key key) override {
+    ++fetches_;
+    auto value = store_->Get(key);
+    if (!value.ok()) return value.status();
+    return Fetched{std::move(value).value(), store_->VersionOf(key)};
+  }
+
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override {
+    ++executes_;
+    auto value = store_->Get(key);
+    if (!value.ok()) return value.status();
+    return fn(key, params, *value);
+  }
+
+  StatusOr<ItemStat> Stat(Key key) const override {
+    auto value = store_->Get(key);
+    if (!value.ok()) return value.status();
+    return ItemStat{static_cast<double>(value->size()),
+                    store_->VersionOf(key)};
+  }
+
+  NodeId OwnerOf(Key key) const override {
+    return static_cast<NodeId>(Mix64(key) %
+                               static_cast<uint64_t>(num_shards_));
+  }
+
+  int64_t fetches() const { return fetches_; }
+  int64_t executes() const { return executes_; }
+
+ private:
+  LogStructuredStore* store_;
+  int num_shards_;
+  int64_t fetches_ = 0;
+  int64_t executes_ = 0;
+};
+
+struct AsyncInvokerStats {
+  int64_t submitted = 0;
+  int64_t served_from_cache = 0;
+  int64_t fetched_then_computed = 0;
+  int64_t delegated = 0;  // compute requests
+};
+
+struct AsyncInvokerOptions {
+  DecisionEngineConfig decision;
+  /// Used for the cost model's network terms; a logical constant here
+  /// since the local service has no real network.
+  double bandwidth_bytes_per_sec = 125e6;
+};
+
+/// The preMap/map executor. Deterministic single-threaded implementation:
+/// SubmitComp records the request and runs the optimizer's plan eagerly;
+/// FetchComp returns the memoized result (or computes on demand for
+/// requests that were never submitted — the blocking fallback).
+class AsyncInvoker {
+ public:
+  using Options = AsyncInvokerOptions;
+
+  AsyncInvoker(DataService* service, UserFn fn,
+               const Options& options = Options());
+  ~AsyncInvoker();
+
+  /// preMap: announce that (key, params) will be needed (Figure 10's
+  /// submitComp). Triggers routing, prefetching and caching.
+  void SubmitComp(Key key, std::string params);
+
+  /// map: obtain the computed value (Figure 10's fetchComp).
+  StatusOr<std::string> FetchComp(Key key, const std::string& params);
+
+  /// Invalidate a cached value after a store update (Section 4.2.3).
+  void OnUpdate(Key key, uint64_t new_version);
+
+  const AsyncInvokerStats& stats() const { return stats_; }
+  const DecisionEngine& engine() const { return *engine_; }
+
+ private:
+  struct CachedValue {
+    std::string value;
+    uint64_t version = 0;
+  };
+
+  /// Executes the optimizer's plan for one request and returns the result.
+  StatusOr<std::string> Run(Key key, const std::string& params);
+  /// Drops payloads whose cache residency the engine has revoked.
+  void TrimEvicted();
+  static uint64_t RequestId(Key key, const std::string& params);
+
+  DataService* service_;
+  UserFn fn_;
+  Options options_;
+  std::unique_ptr<DecisionEngine> engine_;
+  /// Real payloads for keys the engine's cache holds (the engine tracks
+  /// sizes/benefits; the bytes live here).
+  std::unordered_map<Key, CachedValue> values_;
+  /// Result hash-map: (key, params) -> FIFO of computed results.
+  std::unordered_map<uint64_t, std::deque<std::string>> results_;
+  AsyncInvokerStats stats_;
+  int64_t runs_since_trim_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_ASYNC_API_H_

@@ -1,0 +1,107 @@
+// Request batcher (Section 7.2): per-destination buffers flushed when full
+// or when the oldest buffered item has waited `max_wait` (the latency bound
+// the paper's streaming deployments need). With batching disabled every item
+// flushes immediately — the NO baseline's behaviour.
+#ifndef JOINOPT_ENGINE_BATCHER_H_
+#define JOINOPT_ENGINE_BATCHER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "joinopt/common/ewma.h"
+#include "joinopt/engine/messages.h"
+#include "joinopt/sim/event_queue.h"
+
+namespace joinopt {
+
+/// Dynamic sizing (a paper "future work" item): pick the batch size from
+/// the observed inter-arrival time so batching adds at most target_delay
+/// of queueing latency.
+struct BatcherDynamicSizing {
+  bool enabled = false;
+  double target_delay = 2e-3;
+  int min_size = 1;
+  int max_size = 1024;
+};
+
+class Batcher {
+ public:
+  using FlushFn = std::function<void(std::vector<RequestItem>)>;
+  using DynamicSizing = BatcherDynamicSizing;
+
+  /// `enabled == false` degrades to flush-per-item.
+  Batcher(Simulation* sim, int batch_size, double max_wait, bool enabled,
+          FlushFn flush, DynamicSizing dynamic = DynamicSizing())
+      : sim_(sim),
+        batch_size_(batch_size),
+        max_wait_(max_wait),
+        enabled_(enabled),
+        dynamic_(dynamic),
+        flush_(std::move(flush)) {}
+
+  void Add(RequestItem item) {
+    if (dynamic_.enabled) {
+      double now = sim_->now();
+      if (last_add_ >= 0.0) inter_arrival_.Observe(now - last_add_);
+      last_add_ = now;
+    }
+    buf_.push_back(std::move(item));
+    if (!enabled_ || static_cast<int>(buf_.size()) >= EffectiveBatchSize()) {
+      Flush();
+      return;
+    }
+    if (buf_.size() == 1) {
+      // First item of a fresh batch: arm the timeout.
+      uint64_t epoch = epoch_;
+      sim_->Schedule(max_wait_, [this, epoch] {
+        if (epoch == epoch_ && !buf_.empty()) Flush();
+      });
+    }
+  }
+
+  /// Current batch-size target (== the static size unless dynamic).
+  int EffectiveBatchSize() const {
+    if (!dynamic_.enabled || !inter_arrival_.initialized()) {
+      return batch_size_;
+    }
+    double rate_based =
+        dynamic_.target_delay / std::max(inter_arrival_.value(), 1e-9);
+    int size = static_cast<int>(rate_based);
+    if (size < dynamic_.min_size) size = dynamic_.min_size;
+    if (size > dynamic_.max_size) size = dynamic_.max_size;
+    return size;
+  }
+
+  /// Flushes whatever is buffered (end-of-input drain).
+  void Flush() {
+    if (buf_.empty()) return;
+    ++epoch_;
+    std::vector<RequestItem> out;
+    out.swap(buf_);
+    ++flushes_;
+    flush_(std::move(out));
+  }
+
+  size_t pending() const { return buf_.size(); }
+  int64_t flushes() const { return flushes_; }
+
+ private:
+  Simulation* sim_;
+  int batch_size_;
+  double max_wait_;
+  bool enabled_;
+  DynamicSizing dynamic_;
+  FlushFn flush_;
+  std::vector<RequestItem> buf_;
+  uint64_t epoch_ = 0;  // invalidates stale timeout events
+  int64_t flushes_ = 0;
+  double last_add_ = -1.0;
+  Ewma inter_arrival_{0.1};
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_BATCHER_H_

@@ -1,0 +1,847 @@
+#include "joinopt/engine/join_job.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+
+#include "joinopt/common/logging.h"
+
+namespace joinopt {
+
+// ---------------------------------------------------------------------------
+// DataNodeRuntime
+// ---------------------------------------------------------------------------
+
+DataNodeRuntime::DataNodeRuntime(JoinJob* job, NodeId id)
+    : job_(job),
+      id_(id),
+      balancer_(job->traits().load_balancing
+                    ? job->config().balancer
+                    : BalancerConfig{MinimizerKind::kAllAtData, {}}) {}
+
+double DataNodeRuntime::ReadStoredValue(SimNode& node, Key key, double bytes,
+                                        double now) {
+  auto it = block_cache_.find(key);
+  if (it != block_cache_.end()) {
+    ++block_cache_hits_;
+    block_lru_.erase(it->second.lru_it);
+    block_lru_.push_front(key);
+    it->second.lru_it = block_lru_.begin();
+    // Memory read: negligible next to disk/network (Section 3.2 neglects
+    // memory access cost).
+    return now;
+  }
+  ++block_cache_misses_;
+  double disk_service = node.DiskServiceTime(bytes);
+  double done = node.disk().Reserve(now, disk_service);
+  disk_wall_.Observe(done - now);
+  disk_service_.Observe(disk_service);
+  double capacity = job_->config().data_node_block_cache_bytes;
+  if (bytes <= capacity) {
+    while (block_cache_used_ + bytes > capacity && !block_lru_.empty()) {
+      Key victim = block_lru_.back();
+      block_lru_.pop_back();
+      auto vit = block_cache_.find(victim);
+      block_cache_used_ -= vit->second.bytes;
+      block_cache_.erase(vit);
+    }
+    block_lru_.push_front(key);
+    block_cache_.emplace(key, BlockEntry{bytes, block_lru_.begin()});
+    block_cache_used_ += bytes;
+  }
+  return done;
+}
+
+DataNodeLocalStats DataNodeRuntime::SnapshotStats() const {
+  DataNodeLocalStats s;
+  s.ndc_all = pending_data_items_;
+  s.ndrd = 0;  // folded into ndc_all (responses leave with the batch)
+  s.nrd_all = pending_compute_items_;
+  s.rd_all = pending_local_compute_;
+  // The load model multiplies *queue lengths* by per-item cost, so the cost
+  // must be pure service time — wall time would double-count the queueing.
+  s.tcd = udf_service_.ValueOr(1e-3);
+  s.net_bw = job_->cluster().network().EffectiveBandwidth(
+      id_, id_ == 0 ? 1 : 0);  // own NIC speed (min with any peer)
+  s.cores = job_->cluster().node(id_).cpu().cores();
+  return s;
+}
+
+void DataNodeRuntime::HandleBatch(RequestBatch batch) {
+  Simulation& sim = job_->sim();
+  SimNode& node = job_->cluster().node(id_);
+  const EngineConfig& cfg = job_->config();
+  const int64_t b = static_cast<int64_t>(batch.items.size());
+  if (b == 0) return;
+  // RPC receive/dispatch cost: paid once per message — what batching
+  // amortizes over the items.
+  const double now = node.cpu().Reserve(sim.now(), cfg.rpc_cpu_cost);
+
+  // Resolve all items up front: the balancer needs this batch's actual
+  // average value size (a batch destined to the node owning the heavy
+  // hitters carries much larger values than the store-wide average).
+  std::vector<const StoredItem*> resolved(static_cast<size_t>(b));
+  double sv_sum = 0.0;
+  for (int64_t i = 0; i < b; ++i) {
+    const RequestItem& req = batch.items[static_cast<size_t>(i)];
+    const StoredItem* stored =
+        job_->store(req.stage).engine(id_).Find(req.key);
+    JO_CHECK(stored != nullptr)
+        << "data node " << id_ << " missing key " << req.key << " stage "
+        << req.stage;
+    resolved[static_cast<size_t>(i)] = stored;
+    sv_sum += stored->size_bytes;
+  }
+
+  int64_t d = b;
+  if (batch.compute_batch) {
+    pending_compute_items_ += static_cast<double>(b);
+    SizeParams sizes;
+    sizes.sk = cfg.key_bytes;
+    sizes.sp = batch.items.front().param_bytes;
+    sizes.sv = sv_sum / static_cast<double>(b);
+    sizes.scv = cfg.computed_value_bytes;
+    d = balancer_.ChooseComputedAtData(batch.sender_stats, SnapshotStats(),
+                                       sizes, b);
+    pending_local_compute_ += static_cast<double>(d);
+  } else {
+    pending_data_items_ += static_cast<double>(b);
+  }
+
+  // Responses do not wait for batch-mates: bounced (uncomputed) values
+  // leave together as soon as their disk reads finish, and each computed
+  // result leaves when its own UDF completes — holding results back until
+  // the slowest UDF of the batch would stall the requesters' pipelines.
+  ResponseBatch response;       // the whole data batch (fetches)
+  ResponseBatch early_response; // bounced part of a compute batch
+  response.from = id_;
+  early_response.from = id_;
+  response.items.reserve(batch.items.size());
+  double response_bytes = 0.0;
+  double early_bytes = 0.0;
+  double batch_done = now;
+  double early_done = now;
+  std::vector<std::pair<double, ResponseItem>> computed_items;
+
+  // Which d of the batch run here: prefer the items whose stored values are
+  // most expensive to ship back (the balancer picks how many; shipping the
+  // smallest values minimizes the bounce traffic for the same d).
+  std::vector<bool> run_here(static_cast<size_t>(b), false);
+  if (batch.compute_batch && d > 0) {
+    std::vector<int64_t> order(static_cast<size_t>(b));
+    for (int64_t i = 0; i < b; ++i) order[static_cast<size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t c) {
+      return resolved[static_cast<size_t>(a)]->size_bytes >
+             resolved[static_cast<size_t>(c)]->size_bytes;
+    });
+    for (int64_t i = 0; i < d && i < b; ++i) {
+      run_here[static_cast<size_t>(order[static_cast<size_t>(i)])] = true;
+    }
+  }
+
+  for (int64_t i = 0; i < b; ++i) {
+    const RequestItem& req = batch.items[static_cast<size_t>(i)];
+    const StoredItem* stored = resolved[static_cast<size_t>(i)];
+    ++items_served_;
+
+    double disk_done = ReadStoredValue(node, req.key, stored->size_bytes, now);
+
+    ResponseItem resp;
+    resp.key = req.key;
+    resp.stage = req.stage;
+    resp.tuple_id = req.tuple_id;
+    resp.stored_value_bytes = stored->size_bytes;
+    resp.udf_cost = stored->udf_cost;
+    resp.version = stored->version;
+    resp.disposition = req.disposition;
+    resp.was_data_request = !batch.compute_batch;
+
+    if (batch.compute_batch && run_here[static_cast<size_t>(i)]) {
+      double cpu_done = node.cpu().Reserve(disk_done, stored->udf_cost);
+      udf_wall_.Observe(cpu_done - disk_done);
+      udf_service_.Observe(stored->udf_cost);
+      resp.computed = true;
+      job_->NotifyUdfInvocation();
+      ++computed_here_;
+      batch_done = std::max(batch_done, cpu_done);
+      computed_items.emplace_back(cpu_done, resp);
+    } else if (batch.compute_batch) {
+      resp.computed = false;
+      early_bytes += stored->size_bytes;
+      ++bounced_;
+      early_done = std::max(early_done, disk_done);
+      early_response.items.push_back(resp);
+    } else {
+      resp.computed = false;
+      response_bytes += stored->size_bytes;
+      batch_done = std::max(batch_done, disk_done);
+      response.items.push_back(resp);
+    }
+  }
+
+  // Even when the balancer sent every item back (d = 0), the data node
+  // knows the items' UDF costs and can report the service estimate.
+  if (!udf_service_.initialized() && batch.compute_batch) {
+    for (const RequestItem& req : batch.items) {
+      const StoredItem* stored =
+          job_->store(req.stage).engine(id_).Find(req.key);
+      if (stored != nullptr) udf_service_.Observe(stored->udf_cost);
+    }
+  }
+  DataNodeCostReport report;
+  report.t_disk = disk_wall_.ValueOr(1e-3);
+  report.t_cpu = udf_wall_.ValueOr(1e-3);
+  report.t_disk_service = disk_service_.ValueOr(0.0);
+  report.t_cpu_service = udf_service_.ValueOr(0.0);
+  response.report = report;
+  early_response.report = report;
+
+  // Pending counters drop once the batch has been fully served.
+  bool compute_batch = batch.compute_batch;
+  double db = static_cast<double>(b);
+  double dd = static_cast<double>(d);
+  sim.At(batch_done, [this, compute_batch, db, dd] {
+    if (compute_batch) {
+      pending_compute_items_ -= db;
+      pending_local_compute_ -= dd;
+    } else {
+      pending_data_items_ -= db;
+    }
+  });
+
+  NodeId dest = batch.from;
+  JoinJob* job = job_;
+  if (!early_response.items.empty()) {
+    double arrival = job_->cluster().network().Transfer(
+        id_, dest, early_bytes, early_done);
+    sim.At(arrival,
+           [job, dest, early_response = std::move(early_response)]() mutable {
+             job->compute_runtime(dest).HandleResponseBatch(
+                 std::move(early_response));
+           });
+  }
+  if (!response.items.empty()) {
+    double arrival = job_->cluster().network().Transfer(
+        id_, dest, response_bytes, batch_done);
+    sim.At(arrival, [job, dest, response = std::move(response)]() mutable {
+      job->compute_runtime(dest).HandleResponseBatch(std::move(response));
+    });
+  }
+  for (auto& [cpu_done, item] : computed_items) {
+    double arrival = job_->cluster().network().Transfer(
+        id_, dest, cfg.computed_value_bytes, cpu_done);
+    ResponseBatch single;
+    single.from = id_;
+    single.report = report;
+    single.items.push_back(item);
+    sim.At(arrival, [job, dest, single = std::move(single)]() mutable {
+      job->compute_runtime(dest).HandleResponseBatch(std::move(single));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ComputeNodeRuntime
+// ---------------------------------------------------------------------------
+
+ComputeNodeRuntime::ComputeNodeRuntime(JoinJob* job, NodeId id,
+                                       std::vector<InputTuple> input,
+                                       double arrival_rate)
+    : job_(job),
+      id_(id),
+      input_(std::move(input)),
+      arrival_rate_(arrival_rate),
+      next_tuple_id_(1),
+      rng_(job->config().seed ^ (0x9E3779B97F4A7C15ULL * (id + 1))) {
+  const EngineConfig& cfg = job_->config();
+  const StrategyTraits& traits = job_->traits();
+  int stages = job_->num_stages();
+
+  key_info_.resize(static_cast<size_t>(stages));
+  fetch_waiters_.resize(static_cast<size_t>(stages));
+  meta_waiters_.resize(static_cast<size_t>(stages));
+  if (traits.caching) {
+    for (int s = 0; s < stages; ++s) {
+      DecisionEngineConfig dec = cfg.decision;
+      // Pipelined joins split the node's cache budget across stages.
+      dec.cache.memory_capacity_bytes /= stages;
+      auto engine = std::make_unique<DecisionEngine>(dec);
+      for (int j = 0; j < job_->cluster().num_data_nodes(); ++j) {
+        NodeId dj = job_->cluster().data_node_id(j);
+        engine->cost_model().SetBandwidth(
+            dj, job_->cluster().network().EffectiveBandwidth(id_, dj));
+      }
+      engines_.push_back(std::move(engine));
+    }
+  }
+
+  for (int j = 0; j < job_->cluster().num_data_nodes(); ++j) {
+    NodeId dj = job_->cluster().data_node_id(j);
+    auto make_flush = [this, dj](bool compute_batch) {
+      return [this, dj, compute_batch](std::vector<RequestItem> items) {
+        RequestBatch batch;
+        batch.from = id_;
+        batch.compute_batch = compute_batch;
+        batch.sender_stats = SnapshotStats(dj);
+        double bytes = 0;
+        for (const RequestItem& it : items) {
+          bytes += job_->config().key_bytes +
+                   (compute_batch ? it.param_bytes : 0.0);
+        }
+        if (compute_batch) {
+          inflight_compute_[dj] += static_cast<double>(items.size());
+        } else {
+          inflight_data_[dj] += static_cast<double>(items.size());
+        }
+        batch.items = std::move(items);
+        double arrival = job_->cluster().network().Transfer(
+            id_, dj, bytes, job_->sim().now());
+        JoinJob* job = job_;
+        job_->sim().At(arrival, [job, dj, batch = std::move(batch)]() mutable {
+          job->data_runtime_for(dj).HandleBatch(std::move(batch));
+        });
+      };
+    };
+    Batcher::DynamicSizing dynamic;
+    dynamic.enabled = cfg.dynamic_batch_size;
+    dynamic.target_delay = cfg.batch_target_delay;
+    data_batchers_[dj] = std::make_unique<Batcher>(
+        &job_->sim(), cfg.batch_size, cfg.batch_max_wait, traits.batching,
+        make_flush(false), dynamic);
+    compute_batchers_[dj] = std::make_unique<Batcher>(
+        &job_->sim(), cfg.batch_size, cfg.batch_max_wait, traits.batching,
+        make_flush(true), dynamic);
+  }
+}
+
+void ComputeNodeRuntime::Start() {
+  if (input_.empty()) {
+    input_drained_ = true;
+    return;
+  }
+  job_->sim().Schedule(0.0, [this] { ProcessNext(); });
+}
+
+void ComputeNodeRuntime::ProcessNext() {
+  if (next_input_ >= input_.size()) {
+    if (!input_drained_) {
+      input_drained_ = true;
+      FlushAllBatchers();
+    }
+    return;
+  }
+  // Without prefetching each blocking worker has one request in flight;
+  // the node still runs one such worker per core (Hadoop map slots).
+  int max_out = job_->traits().prefetch
+                    ? job_->config().max_outstanding
+                    : job_->cluster().node(id_).cpu().cores();
+  if (outstanding_ >= max_out) {
+    driver_waiting_ = true;
+    return;
+  }
+  double now = job_->sim().now();
+  if (arrival_rate_ > 0) {
+    double arrival = static_cast<double>(next_input_) / arrival_rate_;
+    if (now < arrival) {
+      job_->sim().At(arrival, [this] { ProcessNext(); });
+      return;
+    }
+  }
+
+  uint64_t id = next_tuple_id_++;
+  pending_.emplace(id, PendingTuple{std::move(input_[next_input_]), 0});
+  ++next_input_;
+  ++outstanding_;
+
+  // The preMap drivers are their own threads (Figure 4), one per core —
+  // Hadoop/Spark run one input task per core. Their per-tuple parse cost
+  // paces admission but does not queue behind the UDF executor pool.
+  double pace = job_->config().parse_cost /
+                std::max(job_->cluster().node(id_).cpu().cores(), 1);
+  job_->sim().Schedule(pace, [this, id] {
+    RouteStage(id);
+    ProcessNext();
+  });
+}
+
+void ComputeNodeRuntime::RouteStage(uint64_t tuple_id) {
+  if (!job_->traits().caching) {
+    RouteStageDecided(tuple_id);
+    return;
+  }
+  // Ski-rental strategies pay a small bookkeeping cost per routing
+  // decision; like the parse cost it runs on the driver thread.
+  job_->sim().Schedule(job_->config().decision_overhead,
+                       [this, tuple_id] { RouteStageDecided(tuple_id); });
+}
+
+void ComputeNodeRuntime::RouteStageDecided(uint64_t tuple_id) {
+  auto it = pending_.find(tuple_id);
+  JO_CHECK(it != pending_.end());
+  int stage = it->second.stage;
+  Key key = it->second.tuple.keys[static_cast<size_t>(stage)];
+  NodeId owner = job_->store(stage).OwnerOf(key);
+  const StrategyTraits& traits = job_->traits();
+
+  if (traits.always_fetch) {
+    EnqueueRequest(tuple_id, stage, key, /*compute=*/false,
+                   FetchDisposition::kNoCache);
+    return;
+  }
+  if (traits.always_compute) {
+    EnqueueRequest(tuple_id, stage, key, /*compute=*/true,
+                   FetchDisposition::kNoCache);
+    return;
+  }
+  if (traits.random_choice) {
+    bool fetch = rng_.Bernoulli(0.5);
+    EnqueueRequest(tuple_id, stage, key, /*compute=*/!fetch,
+                   FetchDisposition::kNoCache);
+    return;
+  }
+
+  JO_CHECK(traits.caching);
+  Decision decision =
+      engines_[static_cast<size_t>(stage)]->Decide(key, owner);
+
+  // Extension (the paper's footnote 4 future work): under very high skew
+  // all cached-key UDFs concentrate at the compute nodes; when the local
+  // backlog dwarfs the remote option, offload even cached keys.
+  if (job_->config().offload_cached_under_overload &&
+      (decision.route == Route::kLocalMemoryHit ||
+       decision.route == Route::kLocalDiskHit)) {
+    SimNode& node = job_->cluster().node(id_);
+    double local_wait =
+        node.cpu().Backlog(job_->sim().now()) / node.cpu().cores();
+    double remote =
+        engines_[static_cast<size_t>(stage)]->cost_model().TCompute(owner);
+    if (local_wait > job_->config().offload_threshold * remote) {
+      EnqueueRequest(tuple_id, stage, key, /*compute=*/true,
+                     FetchDisposition::kNoCache);
+      return;
+    }
+  }
+
+  switch (decision.route) {
+    case Route::kLocalMemoryHit: {
+      auto info = key_info_[static_cast<size_t>(stage)].find(key);
+      double cost = info != key_info_[static_cast<size_t>(stage)].end()
+                        ? info->second.udf_cost
+                        : 1e-3;
+      SubmitLocalUdf(tuple_id, cost);
+      break;
+    }
+    case Route::kLocalDiskHit: {
+      auto& infos = key_info_[static_cast<size_t>(stage)];
+      auto info = infos.find(key);
+      double cost = info != infos.end() ? info->second.udf_cost : 1e-3;
+      double bytes =
+          engines_[static_cast<size_t>(stage)]->cache().ItemSize(key);
+      SubmitLocalDiskThenUdf(tuple_id, bytes, cost);
+      break;
+    }
+    case Route::kFetchCacheMemory:
+    case Route::kFetchCacheDisk: {
+      // Coalesce: if this key's value is already on its way, wait for it.
+      auto& waiters = fetch_waiters_[static_cast<size_t>(stage)];
+      auto wit = waiters.find(key);
+      if (wit != waiters.end()) {
+        wit->second.push_back(tuple_id);
+        break;
+      }
+      waiters.emplace(key, std::vector<uint64_t>{});
+      EnqueueRequest(tuple_id, stage, key, false,
+                     decision.route == Route::kFetchCacheMemory
+                         ? FetchDisposition::kCacheMemory
+                         : FetchDisposition::kCacheDisk);
+      break;
+    }
+    case Route::kComputeAtData: {
+      if (decision.first_request) {
+        auto& waiters = meta_waiters_[static_cast<size_t>(stage)];
+        auto wit = waiters.find(key);
+        if (wit != waiters.end()) {
+          // A first request for this key is already in flight: hold this
+          // tuple until the cost parameters arrive.
+          wit->second.push_back(tuple_id);
+          break;
+        }
+        waiters.emplace(key, std::vector<uint64_t>{});
+      }
+      EnqueueRequest(tuple_id, stage, key, true, FetchDisposition::kNoCache);
+      break;
+    }
+  }
+}
+
+void ComputeNodeRuntime::EnqueueRequest(uint64_t tuple_id, int stage, Key key,
+                                        bool compute,
+                                        FetchDisposition disposition) {
+  auto it = pending_.find(tuple_id);
+  RequestItem item;
+  item.key = key;
+  item.stage = stage;
+  item.tuple_id = tuple_id;
+  item.param_bytes = it->second.tuple.param_bytes;
+  item.is_compute_request = compute;
+  item.disposition = disposition;
+  if (compute) {
+    ++compute_requests_issued_;
+  } else {
+    ++data_requests_issued_;
+  }
+  NodeId owner = job_->store(stage).OwnerOf(key);
+  (compute ? compute_batchers_ : data_batchers_)[owner]->Add(std::move(item));
+}
+
+void ComputeNodeRuntime::SubmitLocalUdf(uint64_t tuple_id, double udf_cost) {
+  local_queue_len_ += 1;
+  local_udf_service_.Observe(udf_cost);
+  double submit = job_->sim().now();
+  SimNode& node = job_->cluster().node(id_);
+  double done = node.cpu().Reserve(submit, udf_cost);
+  job_->NotifyUdfInvocation();
+  auto stage_it = pending_.find(tuple_id);
+  int stage = stage_it != pending_.end() ? stage_it->second.stage : 0;
+  job_->sim().At(done, [this, tuple_id, submit, stage] {
+    local_queue_len_ -= 1;
+    double wall = job_->sim().now() - submit;
+    local_udf_wall_.Observe(wall);
+    if (!engines_.empty()) {
+      engines_[static_cast<size_t>(stage)]->ObserveLocalCompute(wall);
+    }
+    OnStageComplete(tuple_id);
+  });
+}
+
+void ComputeNodeRuntime::SubmitLocalDiskThenUdf(uint64_t tuple_id,
+                                                double bytes,
+                                                double udf_cost) {
+  SimNode& node = job_->cluster().node(id_);
+  double submit = job_->sim().now();
+  double disk_done = node.disk().Reserve(submit, node.DiskServiceTime(bytes));
+  auto stage_it = pending_.find(tuple_id);
+  int stage = stage_it != pending_.end() ? stage_it->second.stage : 0;
+  job_->sim().At(disk_done, [this, tuple_id, udf_cost, submit, stage] {
+    if (!engines_.empty()) {
+      engines_[static_cast<size_t>(stage)]->ObserveLocalDisk(
+          job_->sim().now() - submit);
+    }
+    SubmitLocalUdf(tuple_id, udf_cost);
+  });
+}
+
+void ComputeNodeRuntime::HandleResponseBatch(ResponseBatch batch) {
+  // Response-side RPC handling cost (accounting only; the handler thread is
+  // not on the tuples' critical path).
+  job_->cluster().node(id_).cpu().Reserve(job_->sim().now(),
+                                          job_->config().rpc_cpu_cost);
+  // Feed the piggybacked cost report to every stage's cost model.
+  for (auto& engine : engines_) {
+    engine->cost_model().ObserveDataNode(batch.from, batch.report);
+  }
+  if (batch.report.t_cpu_service > 0) {
+    reported_udf_service_.Observe(batch.report.t_cpu_service);
+  }
+  for (ResponseItem& item : batch.items) {
+    size_t stage = static_cast<size_t>(item.stage);
+    key_info_[stage][item.key] =
+        KeyInfo{item.stored_value_bytes, item.udf_cost};
+    if (!engines_.empty()) {
+      engines_[stage]->cost_model().ObserveSizes(
+          job_->config().key_bytes, -1, job_->config().computed_value_bytes,
+          item.stored_value_bytes);
+    }
+    if (item.was_data_request) {
+      inflight_data_[batch.from] -= 1;
+      if (!engines_.empty() &&
+          item.disposition != FetchDisposition::kNoCache) {
+        Route route = item.disposition == FetchDisposition::kCacheMemory
+                          ? Route::kFetchCacheMemory
+                          : Route::kFetchCacheDisk;
+        engines_[stage]->OnValueFetched(item.key, route,
+                                        item.stored_value_bytes,
+                                        item.version);
+        job_->store(item.stage).RegisterFetch(item.key, id_);
+        // Release the tuples that coalesced onto this fetch.
+        auto wit = fetch_waiters_[stage].find(item.key);
+        if (wit != fetch_waiters_[stage].end()) {
+          for (uint64_t waiter : wit->second) {
+            SubmitLocalUdf(waiter, item.udf_cost);
+          }
+          fetch_waiters_[stage].erase(wit);
+        }
+      }
+      SubmitLocalUdf(item.tuple_id, item.udf_cost);
+    } else {
+      inflight_compute_[batch.from] -= 1;
+      auto frac_it = computed_fraction_.find(batch.from);
+      if (frac_it == computed_fraction_.end()) {
+        frac_it = computed_fraction_.emplace(batch.from, Ewma(0.2)).first;
+      }
+      frac_it->second.Observe(item.computed ? 1.0 : 0.0);
+      if (!engines_.empty()) {
+        engines_[stage]->OnComputeResponse(item.key, batch.from,
+                                           item.stored_value_bytes,
+                                           item.version, batch.report);
+        // Cost parameters are in: release and re-route any tuples that
+        // were waiting on this key's first request.
+        auto wit = meta_waiters_[stage].find(item.key);
+        if (wit != meta_waiters_[stage].end()) {
+          std::vector<uint64_t> held = std::move(wit->second);
+          meta_waiters_[stage].erase(wit);
+          for (uint64_t waiter : held) RouteStage(waiter);
+        }
+      }
+      if (item.computed) {
+        OnStageComplete(item.tuple_id);
+      } else {
+        SubmitLocalUdf(item.tuple_id, item.udf_cost);
+      }
+    }
+  }
+}
+
+void ComputeNodeRuntime::HandleUpdateNotification(int stage, Key key,
+                                                  uint64_t version) {
+  if (engines_.empty()) return;
+  engines_[static_cast<size_t>(stage)]->OnUpdateNotification(key, version);
+}
+
+void ComputeNodeRuntime::OnStageComplete(uint64_t tuple_id) {
+  auto it = pending_.find(tuple_id);
+  JO_CHECK(it != pending_.end());
+  int stage = it->second.stage;
+  bool last = stage + 1 >= job_->num_stages();
+  bool survives = false;
+  if (!last) {
+    double sel = job_->stage_selectivity(stage);
+    survives = sel >= 1.0 || rng_.NextDouble() < sel;
+  }
+  if (survives) {
+    it->second.stage = stage + 1;
+    RouteStage(tuple_id);
+    return;
+  }
+  pending_.erase(it);
+  ++tuples_done_;
+  --outstanding_;
+  job_->NotifyTupleDone(job_->sim().now());
+  if (!finished_ && next_input_ >= input_.size() && outstanding_ == 0) {
+    finished_ = true;
+    finish_time_ = job_->sim().now();
+  }
+  MaybeResumeDriver();
+}
+
+void ComputeNodeRuntime::MaybeResumeDriver() {
+  int max_out = job_->traits().prefetch
+                    ? job_->config().max_outstanding
+                    : job_->cluster().node(id_).cpu().cores();
+  if (driver_waiting_ && outstanding_ < max_out) {
+    driver_waiting_ = false;
+    job_->sim().Schedule(0.0, [this] { ProcessNext(); });
+  }
+}
+
+std::vector<InputTuple> ComputeNodeRuntime::DonateInput(size_t count) {
+  std::vector<InputTuple> out;
+  size_t remaining = input_.size() - next_input_;
+  count = std::min(count, remaining);
+  if (count == 0) return out;
+  out.assign(std::make_move_iterator(input_.end() - count),
+             std::make_move_iterator(input_.end()));
+  input_.resize(input_.size() - count);
+  return out;
+}
+
+void ComputeNodeRuntime::ReceiveInput(std::vector<InputTuple> tuples) {
+  if (tuples.empty()) return;
+  bool was_exhausted = next_input_ >= input_.size();
+  for (auto& t : tuples) input_.push_back(std::move(t));
+  finished_ = false;
+  if (was_exhausted) {
+    // The driver had stopped; restart it. Streaming arrival schedules do
+    // not apply to stolen work — it is available immediately.
+    input_drained_ = false;
+    arrival_rate_ = 0.0;
+    job_->sim().Schedule(0.0, [this] { ProcessNext(); });
+  }
+}
+
+int64_t JoinJob::RebalanceInput(int from, int to, double fraction) {
+  JO_CHECK(from >= 0 && from < cluster_->num_compute_nodes());
+  JO_CHECK(to >= 0 && to < cluster_->num_compute_nodes());
+  ComputeNodeRuntime& src = compute_runtime(from);
+  size_t remaining = src.input_.size() - src.next_input_;
+  size_t count = static_cast<size_t>(fraction * static_cast<double>(remaining));
+  std::vector<InputTuple> moved = src.DonateInput(count);
+  int64_t n = static_cast<int64_t>(moved.size());
+  compute_runtime(to).ReceiveInput(std::move(moved));
+  return n;
+}
+
+void ComputeNodeRuntime::FlushAllBatchers() {
+  for (auto& [j, b] : data_batchers_) b->Flush();
+  for (auto& [j, b] : compute_batchers_) b->Flush();
+}
+
+ComputeNodeStats ComputeNodeRuntime::SnapshotStats(
+    NodeId target_data_node) const {
+  ComputeNodeStats s;
+  s.lcc = local_queue_len_;
+  for (const auto& [j, b] : data_batchers_) {
+    s.ndc += static_cast<double>(b->pending());
+  }
+  for (const auto& [j, b] : compute_batchers_) {
+    s.ncc += static_cast<double>(b->pending());
+  }
+  for (const auto& [j, n] : inflight_data_) s.ndrc += n;
+  for (const auto& [j, n] : inflight_compute_) {
+    auto frac_it = computed_fraction_.find(j);
+    double frac = frac_it != computed_fraction_.end()
+                      ? frac_it->second.ValueOr(1.0)
+                      : 1.0;
+    if (j == target_data_node) {
+      s.nrd_ij = n;
+      s.rd_ij = n * frac;
+    } else {
+      s.nrc_other += n;
+      s.rc_other += n * frac;
+    }
+  }
+  // Service time, not wall time: the model multiplies it by queue lengths.
+  s.tcc = local_udf_service_.ValueOr(reported_udf_service_.ValueOr(1e-3));
+  s.net_bw = job_->cluster().network().EffectiveBandwidth(
+      id_, target_data_node);
+  s.cores = job_->cluster().node(id_).cpu().cores();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// JoinJob
+// ---------------------------------------------------------------------------
+
+JoinJob::JoinJob(Simulation* sim, Cluster* cluster,
+                 std::vector<ParallelStore*> stores, Strategy strategy,
+                 const EngineConfig& config)
+    : sim_(sim),
+      cluster_(cluster),
+      stores_(std::move(stores)),
+      strategy_(strategy),
+      traits_(StrategyTraits::For(strategy)),
+      config_(config) {
+  JO_CHECK(!stores_.empty());
+  double bytes = 0;
+  size_t items = 0;
+  for (ParallelStore* st : stores_) {
+    bytes += st->total_bytes();
+    items += st->total_items();
+  }
+  avg_sv_ = items > 0 ? bytes / static_cast<double>(items) : 4096.0;
+
+  compute_runtimes_.resize(
+      static_cast<size_t>(cluster_->num_compute_nodes()));
+  for (int i = 0; i < cluster_->num_compute_nodes(); ++i) {
+    compute_runtimes_[static_cast<size_t>(i)] =
+        std::make_unique<ComputeNodeRuntime>(this, cluster_->compute_node_id(i),
+                                             std::vector<InputTuple>{}, 0.0);
+  }
+  for (int j = 0; j < cluster_->num_data_nodes(); ++j) {
+    NodeId id = cluster_->data_node_id(j);
+    data_runtimes_[id] = std::make_unique<DataNodeRuntime>(this, id);
+  }
+}
+
+void JoinJob::SetInput(int compute_index, std::vector<InputTuple> input,
+                       double arrival_rate) {
+  total_tuples_ -= static_cast<int64_t>(
+      compute_runtimes_[static_cast<size_t>(compute_index)]->input_.size());
+  total_tuples_ += static_cast<int64_t>(input.size());
+  compute_runtimes_[static_cast<size_t>(compute_index)] =
+      std::make_unique<ComputeNodeRuntime>(
+          this, cluster_->compute_node_id(compute_index), std::move(input),
+          arrival_rate);
+}
+
+DataNodeRuntime& JoinJob::data_runtime_for(NodeId id) {
+  auto it = data_runtimes_.find(id);
+  JO_CHECK(it != data_runtimes_.end());
+  return *it->second;
+}
+
+double JoinJob::stage_selectivity(int stage) const {
+  if (static_cast<size_t>(stage) < config_.stage_selectivity.size()) {
+    return config_.stage_selectivity[static_cast<size_t>(stage)];
+  }
+  return 1.0;
+}
+
+void JoinJob::NotifyTupleDone(double now) {
+  ++tuples_done_;
+  last_done_time_ = std::max(last_done_time_, now);
+}
+
+Status JoinJob::ApplyUpdate(int stage, Key key) {
+  auto result = store(stage).Update(key, [](StoredItem&) {});
+  if (!result.ok()) return result.status();
+  NodeId owner = store(stage).OwnerOf(key);
+  for (NodeId c : result->notify) {
+    double arrival =
+        cluster_->network().Transfer(owner, c, 64.0, sim_->now());
+    uint64_t version = result->new_version;
+    sim_->At(arrival, [this, c, stage, key, version] {
+      compute_runtime(c).HandleUpdateNotification(stage, key, version);
+    });
+  }
+  return Status::OK();
+}
+
+JobResult JoinJob::Run() {
+  for (auto& rt : compute_runtimes_) rt->Start();
+  uint64_t events = sim_->Run();
+
+  JobResult r;
+  r.makespan = last_done_time_;
+  r.tuples_processed = tuples_done_;
+  r.udf_invocations = udf_invocations_;
+  r.throughput = r.makespan > 0
+                     ? static_cast<double>(r.tuples_processed) / r.makespan
+                     : 0.0;
+  r.network_bytes = cluster_->network().total_bytes_transferred();
+  r.network_messages = cluster_->network().total_messages();
+  r.sim_events = events;
+  r.total_cpu_busy = cluster_->TotalCpuBusy();
+
+  SummaryStats comp_busy, data_busy;
+  for (int i = 0; i < cluster_->num_compute_nodes(); ++i) {
+    comp_busy.Observe(cluster_->compute_node(i).cpu().busy_time());
+  }
+  for (int j = 0; j < cluster_->num_data_nodes(); ++j) {
+    data_busy.Observe(cluster_->data_node(j).cpu().busy_time());
+  }
+  r.compute_cpu_skew =
+      comp_busy.mean() > 0 ? comp_busy.max() / comp_busy.mean() : 1.0;
+  r.data_cpu_skew =
+      data_busy.mean() > 0 ? data_busy.max() / data_busy.mean() : 1.0;
+
+  for (const auto& [id, rt] : data_runtimes_) {
+    r.computed_at_data += rt->computed_here();
+    r.bounced_to_compute += rt->bounced();
+  }
+  for (const auto& rt : compute_runtimes_) {
+    r.data_requests += rt->data_requests_issued_;
+    r.compute_requests += rt->compute_requests_issued_;
+    for (const auto& engine : rt->engines_) {
+      r.cache_memory_hits += engine->cache().stats().memory_hits;
+      r.cache_disk_hits += engine->cache().stats().disk_hits;
+    }
+  }
+  if (tuples_done_ != total_tuples_) {
+    JO_LOG(Warn) << "job finished with " << tuples_done_ << "/"
+                 << total_tuples_ << " tuples processed";
+  }
+  return r;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,237 @@
+// The join-execution engine: compute node and data node runtimes driven by
+// the discrete-event simulator, plus the JoinJob orchestrator that wires a
+// workload, a cluster and a strategy together and runs to completion.
+//
+// Data flow for one tuple (Figure 4 of the paper):
+//   input -> preMap (parse, prefetch decision) -> per-stage routing:
+//     * cache hit            -> local UDF on the compute node
+//     * data request (buy)   -> batched fetch; value cached; local UDF
+//     * compute request(rent)-> batched ship of (k, p); the data node's
+//                               balancer executes d of the batch locally and
+//                               bounces b-d raw values back for local UDFs
+//   ... next stage (Section 6 pipelining) until the tuple completes.
+#ifndef JOINOPT_ENGINE_JOIN_JOB_H_
+#define JOINOPT_ENGINE_JOIN_JOB_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "joinopt/common/ewma.h"
+#include "joinopt/common/random.h"
+#include "joinopt/engine/batcher.h"
+#include "joinopt/engine/messages.h"
+#include "joinopt/engine/types.h"
+#include "joinopt/loadbalance/balancer.h"
+#include "joinopt/sim/cluster.h"
+#include "joinopt/sim/event_queue.h"
+#include "joinopt/store/parallel_store.h"
+
+namespace joinopt {
+
+class JoinJob;
+
+/// Runtime living at each data node: serves data batches (multi-gets) and
+/// compute batches (coprocessor executions with load balancing).
+class DataNodeRuntime {
+ public:
+  DataNodeRuntime(JoinJob* job, NodeId id);
+
+  void HandleBatch(RequestBatch batch);
+
+  DataNodeLocalStats SnapshotStats() const;
+  const Balancer& balancer() const { return balancer_; }
+  int64_t items_served() const { return items_served_; }
+  int64_t computed_here() const { return computed_here_; }
+  int64_t bounced() const { return bounced_; }
+
+ private:
+  JoinJob* job_;
+  NodeId id_;
+  Balancer balancer_;
+  Ewma udf_wall_{0.2};
+  Ewma disk_wall_{0.2};
+  Ewma udf_service_{0.2};
+  Ewma disk_service_{0.2};
+  double pending_compute_items_ = 0;  // nrd_all
+  double pending_local_compute_ = 0;  // rd_all
+  double pending_data_items_ = 0;     // ndc_all
+  int64_t items_served_ = 0;
+  int64_t computed_here_ = 0;
+  int64_t bounced_ = 0;
+
+  /// Block cache (HBase block cache / page cache): LRU over stored values;
+  /// hits skip the disk. Returns the read's completion time and charges
+  /// the disk only on a miss.
+  double ReadStoredValue(SimNode& node, Key key, double bytes, double now);
+  struct BlockEntry {
+    double bytes;
+    std::list<Key>::iterator lru_it;
+  };
+  std::unordered_map<Key, BlockEntry> block_cache_;
+  std::list<Key> block_lru_;  // front = most recent
+  double block_cache_used_ = 0;
+  int64_t block_cache_hits_ = 0;
+  int64_t block_cache_misses_ = 0;
+};
+
+/// Runtime living at each compute node: the preMap/map driver, per-stage
+/// decision engines, batchers, response handling and local UDF execution.
+class ComputeNodeRuntime {
+ public:
+  ComputeNodeRuntime(JoinJob* job, NodeId id, std::vector<InputTuple> input,
+                     double arrival_rate);
+
+  /// Begins consuming input (call once before Simulation::Run).
+  void Start();
+  void HandleResponseBatch(ResponseBatch batch);
+  /// Push update notification from the data store (Section 4.2.3).
+  void HandleUpdateNotification(int stage, Key key, uint64_t version);
+
+  ComputeNodeStats SnapshotStats(NodeId target_data_node) const;
+  int64_t tuples_done() const { return tuples_done_; }
+  bool finished() const { return finished_; }
+  double finish_time() const { return finish_time_; }
+  const DecisionEngine* engine(int stage) const {
+    return engines_.empty() ? nullptr : engines_[static_cast<size_t>(stage)].get();
+  }
+
+ private:
+  friend class JoinJob;
+  struct PendingTuple {
+    InputTuple tuple;
+    int stage = 0;
+  };
+  struct KeyInfo {
+    double stored_value_bytes = 0;
+    double udf_cost = 0;
+  };
+
+  void ProcessNext();
+  void RouteStage(uint64_t tuple_id);
+  void RouteStageDecided(uint64_t tuple_id);
+  void EnqueueRequest(uint64_t tuple_id, int stage, Key key, bool compute,
+                      FetchDisposition disposition);
+  void SubmitLocalUdf(uint64_t tuple_id, double udf_cost);
+  void SubmitLocalDiskThenUdf(uint64_t tuple_id, double bytes,
+                              double udf_cost);
+  void OnStageComplete(uint64_t tuple_id);
+  void FlushAllBatchers();
+  void MaybeResumeDriver();
+  /// Removes up to `count` tuples from the unconsumed input tail.
+  std::vector<InputTuple> DonateInput(size_t count);
+  /// Appends tuples to the input and (re)starts the driver if needed.
+  void ReceiveInput(std::vector<InputTuple> tuples);
+
+  JoinJob* job_;
+  NodeId id_;
+  std::vector<InputTuple> input_;
+  double arrival_rate_;  // tuples/s; <= 0 means all available at t=0
+  size_t next_input_ = 0;
+  uint64_t next_tuple_id_;
+  std::unordered_map<uint64_t, PendingTuple> pending_;
+  int outstanding_ = 0;
+  bool driver_waiting_ = false;
+  bool input_drained_ = false;
+  bool finished_ = false;
+  double finish_time_ = 0.0;
+  int64_t tuples_done_ = 0;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<DecisionEngine>> engines_;  // per stage
+  std::vector<std::unordered_map<Key, KeyInfo>> key_info_;  // per stage
+  /// Fetch coalescing (the Figure 4 result hash-map): while a data request
+  /// for (stage, key) is in flight, later tuples for the same key wait for
+  /// that one value instead of duplicating the fetch.
+  std::vector<std::unordered_map<Key, std::vector<uint64_t>>> fetch_waiters_;
+  /// First-request coalescing: while a key's first (cost-parameter-less)
+  /// compute request is in flight, later tuples for the same key wait and
+  /// are re-routed once the parameters arrive — a heavy hitter must not
+  /// flood its data node with blind requests before the ski-rental can act.
+  std::vector<std::unordered_map<Key, std::vector<uint64_t>>> meta_waiters_;
+
+  // Batchers per data node: [data requests, compute requests].
+  std::unordered_map<NodeId, std::unique_ptr<Batcher>> data_batchers_;
+  std::unordered_map<NodeId, std::unique_ptr<Batcher>> compute_batchers_;
+
+  // Request accounting (JobResult).
+  int64_t data_requests_issued_ = 0;
+  int64_t compute_requests_issued_ = 0;
+
+  // Load-statistics trackers.
+  double local_queue_len_ = 0;  // lcc
+  Ewma local_udf_wall_{0.2};
+  Ewma local_udf_service_{0.2};     // pure UDF cost of locally-run items
+  Ewma reported_udf_service_{0.2};  // bootstrap for tcc before local UDFs
+  std::unordered_map<NodeId, double> inflight_data_;          // ndrc per j
+  std::unordered_map<NodeId, double> inflight_compute_;       // nrc/nrd per j
+  std::unordered_map<NodeId, Ewma> computed_fraction_;        // history per j
+};
+
+/// One join job: a workload (per-compute-node inputs + loaded stores), a
+/// strategy, a cluster, and the runtimes gluing them together.
+class JoinJob {
+ public:
+  /// `stores` holds one ParallelStore per pipeline stage (Section 6);
+  /// single-join jobs pass one. Stores must outlive the job and be loaded.
+  JoinJob(Simulation* sim, Cluster* cluster,
+          std::vector<ParallelStore*> stores, Strategy strategy,
+          const EngineConfig& config);
+
+  /// Assigns the input partition of compute node index `i`.
+  /// `arrival_rate` <= 0 means batch mode (everything available at t = 0).
+  void SetInput(int compute_index, std::vector<InputTuple> input,
+                double arrival_rate = 0.0);
+
+  /// Runs the job to completion and returns the collected metrics.
+  JobResult Run();
+
+  /// Applies an update to `key` of stage `stage` mid-run (call from a
+  /// scheduled simulation event): bumps the version and sends update
+  /// notifications to registered compute nodes.
+  Status ApplyUpdate(int stage, Key key);
+
+  /// Elasticity (Section 1's contribution 3: compute nodes are stateless,
+  /// so input can move freely): transfers `fraction` of compute node
+  /// `from`'s *unconsumed* input to compute node `to`, mid-run. Use to
+  /// model scale-out (a node joining takes load) or work stealing. Returns
+  /// the number of tuples moved.
+  int64_t RebalanceInput(int from, int to, double fraction);
+
+  // --- accessors used by the runtimes -------------------------------
+  Simulation& sim() { return *sim_; }
+  Cluster& cluster() { return *cluster_; }
+  ParallelStore& store(int stage) { return *stores_[static_cast<size_t>(stage)]; }
+  int num_stages() const { return static_cast<int>(stores_.size()); }
+  Strategy strategy() const { return strategy_; }
+  const StrategyTraits& traits() const { return traits_; }
+  const EngineConfig& config() const { return config_; }
+  ComputeNodeRuntime& compute_runtime(int i) { return *compute_runtimes_[static_cast<size_t>(i)]; }
+  DataNodeRuntime& data_runtime_for(NodeId id);
+  /// Average stored-value size across all stages (for SizeParams).
+  double avg_stored_value_bytes() const { return avg_sv_; }
+  double stage_selectivity(int stage) const;
+
+  void NotifyTupleDone(double now);
+  void NotifyUdfInvocation() { ++udf_invocations_; }
+
+ private:
+  Simulation* sim_;
+  Cluster* cluster_;
+  std::vector<ParallelStore*> stores_;
+  Strategy strategy_;
+  StrategyTraits traits_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<ComputeNodeRuntime>> compute_runtimes_;
+  std::unordered_map<NodeId, std::unique_ptr<DataNodeRuntime>> data_runtimes_;
+  int64_t total_tuples_ = 0;
+  int64_t tuples_done_ = 0;
+  int64_t udf_invocations_ = 0;
+  double last_done_time_ = 0.0;
+  double avg_sv_ = 0.0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_JOIN_JOB_H_

@@ -1,0 +1,66 @@
+// Wire-level message items exchanged between compute and data node runtimes.
+// Payloads never materialize — items carry the sizes the cost model needs.
+#ifndef JOINOPT_ENGINE_MESSAGES_H_
+#define JOINOPT_ENGINE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/loadbalance/stats.h"
+#include "joinopt/skirental/decision_engine.h"
+
+namespace joinopt {
+
+/// How the compute node wants a fetched value handled when it lands.
+enum class FetchDisposition {
+  kNoCache,      ///< compute locally, do not cache (NO / FC / FR fetches)
+  kCacheMemory,  ///< insert into the memory tier (ski-rental buy)
+  kCacheDisk,    ///< insert into the disk tier
+};
+
+/// One item inside a request batch.
+struct RequestItem {
+  Key key = 0;
+  int stage = 0;
+  uint64_t tuple_id = 0;
+  double param_bytes = 0.0;        ///< sp (compute requests ship p)
+  bool is_compute_request = false;
+  FetchDisposition disposition = FetchDisposition::kNoCache;
+};
+
+/// One item inside a response batch.
+struct ResponseItem {
+  Key key = 0;
+  int stage = 0;
+  uint64_t tuple_id = 0;
+  bool computed = false;            ///< UDF ran at the data node
+  double stored_value_bytes = 0.0;  ///< sv (meaningful when !computed too)
+  double udf_cost = 0.0;            ///< per-invocation UDF CPU cost
+  uint64_t version = 0;             ///< item version (update detection)
+  FetchDisposition disposition = FetchDisposition::kNoCache;
+  /// True when this answers a data request (fetch); false for a compute
+  /// request's response (computed or bounced back by the balancer).
+  bool was_data_request = false;
+};
+
+/// A batch of requests on the wire, with the piggybacked load statistics
+/// (Section 5) and kind tag.
+struct RequestBatch {
+  NodeId from = kInvalidNode;
+  bool compute_batch = false;  ///< true: compute requests; false: data
+  std::vector<RequestItem> items;
+  ComputeNodeStats sender_stats;
+};
+
+/// A batch of responses plus the data node's piggybacked cost report
+/// (Section 4.3).
+struct ResponseBatch {
+  NodeId from = kInvalidNode;
+  std::vector<ResponseItem> items;
+  DataNodeCostReport report;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_MESSAGES_H_

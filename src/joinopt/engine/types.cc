@@ -1,0 +1,57 @@
+#include "joinopt/engine/types.h"
+
+namespace joinopt {
+
+const char* StrategyToString(Strategy s) {
+  switch (s) {
+    case Strategy::kNO:
+      return "NO";
+    case Strategy::kFC:
+      return "FC";
+    case Strategy::kFD:
+      return "FD";
+    case Strategy::kFR:
+      return "FR";
+    case Strategy::kCO:
+      return "CO";
+    case Strategy::kLO:
+      return "LO";
+    case Strategy::kFO:
+      return "FO";
+  }
+  return "?";
+}
+
+StrategyTraits StrategyTraits::For(Strategy s) {
+  StrategyTraits t;
+  switch (s) {
+    case Strategy::kNO:
+      t.prefetch = false;
+      t.batching = false;
+      t.always_fetch = true;
+      break;
+    case Strategy::kFC:
+      t.always_fetch = true;
+      break;
+    case Strategy::kFD:
+      t.always_compute = true;
+      break;
+    case Strategy::kFR:
+      t.random_choice = true;
+      break;
+    case Strategy::kCO:
+      t.caching = true;
+      break;
+    case Strategy::kLO:
+      t.always_compute = true;
+      t.load_balancing = true;
+      break;
+    case Strategy::kFO:
+      t.caching = true;
+      t.load_balancing = true;
+      break;
+  }
+  return t;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,133 @@
+// Shared types for the join-execution engine: input tuples, execution
+// strategies, and the job configuration tying workload, cluster and strategy
+// together.
+#ifndef JOINOPT_ENGINE_TYPES_H_
+#define JOINOPT_ENGINE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/loadbalance/balancer.h"
+#include "joinopt/skirental/decision_engine.h"
+
+namespace joinopt {
+
+/// One input tuple flowing through a (possibly multi-stage) join pipeline.
+/// keys[s] is the join key for stage s (Section 6's left-deep pipelining:
+/// each stage joins the running tuple with one stored relation).
+struct InputTuple {
+  std::vector<Key> keys;
+  /// Size of the non-key parameters p shipped with a compute request.
+  double param_bytes = 256.0;
+};
+
+/// The execution strategies compared throughout the paper's evaluation
+/// (Section 9.1.1's naming).
+enum class Strategy {
+  kNO,  ///< map-side join, blocking per-tuple fetches, no optimizations
+  kFC,  ///< function at compute nodes; batching/prefetching; no caching
+  kFD,  ///< function at data nodes; batching/prefetching
+  kFR,  ///< random 50/50 choice per tuple; batching/prefetching
+  kCO,  ///< ski-rental caching only (no load balancing)
+  kLO,  ///< load balancing only (no caching)
+  kFO,  ///< everything: ski-rental caching + load balancing
+};
+
+const char* StrategyToString(Strategy s);
+
+/// Per-strategy execution toggles, derived from the Strategy tag.
+struct StrategyTraits {
+  bool prefetch = true;       ///< async submission (max_outstanding >> 1)
+  bool batching = true;       ///< batch requests per data node
+  bool caching = false;       ///< ski-rental decision engine drives routing
+  bool load_balancing = false;///< data nodes may bounce compute requests back
+  bool always_fetch = false;  ///< route everything as data requests
+  bool always_compute = false;///< route everything as compute requests
+  bool random_choice = false; ///< FR: coin-flip fetch vs compute
+
+  static StrategyTraits For(Strategy s);
+};
+
+/// Knobs for the engine that are not strategy-dependent.
+struct EngineConfig {
+  /// Batch size for data/compute request batches (Section 7.2: static).
+  int batch_size = 64;
+  /// Max wait before a partial batch is flushed (latency bound).
+  double batch_max_wait = 5e-3;
+  /// Prefetch window: max requests in flight per compute node. NO runs
+  /// with 1 (synchronous); everything else uses this. Deep enough to hide
+  /// batch round trips, shallow enough that the runtime decisions see
+  /// feedback (response statistics) while the input is still flowing.
+  int max_outstanding = 256;
+  /// CPU cost of parsing one input tuple at the compute node (the preMap
+  /// spot-extraction work).
+  double parse_cost = 2e-6;
+  /// Extra per-tuple CPU overhead of the ski-rental bookkeeping (counter,
+  /// benefit, cost resolution) — the "some overheads" FO pays in Fig. 8a.
+  double decision_overhead = 3e-6;
+  /// Size of the computed value the UDF emits (scv).
+  double computed_value_bytes = 256.0;
+  /// Key size on the wire (sk).
+  double key_bytes = 16.0;
+  /// Decision-engine configuration (cache sizes, counter, eviction).
+  DecisionEngineConfig decision;
+  /// Balancer configuration for load-balancing strategies.
+  BalancerConfig balancer;
+  /// Data-node block cache (the HBase block cache / OS page cache): bytes
+  /// of recently read stored values served without disk access.
+  double data_node_block_cache_bytes = 1024.0 * 1024 * 1024;
+  /// CPU cost of receiving and dispatching one RPC message (per batch, not
+  /// per item — this is exactly the cost batching amortizes, Section 7.2).
+  double rpc_cpu_cost = 100e-6;
+
+  // ---- Extensions beyond the paper (its "future work" items) ----------
+
+  /// Footnote 4 / Section 10 extension: when the compute node's local UDF
+  /// backlog exceeds `offload_threshold` times the estimated remote compute
+  /// time, route even *cached* keys as compute requests — fixing the
+  /// very-high-skew regime where all cached work piles onto the compute
+  /// nodes while data nodes idle.
+  bool offload_cached_under_overload = false;
+  double offload_threshold = 2.0;
+
+  /// Section 10 extension: size batches dynamically from the observed
+  /// request inter-arrival time so that batching adds at most
+  /// `batch_target_delay` of queueing latency (large batches under load,
+  /// small batches when traffic is light).
+  bool dynamic_batch_size = false;
+  double batch_target_delay = 2e-3;
+  /// Per-stage join selectivity: probability a joined tuple survives to the
+  /// next stage (1.0 = no filtering). Sized to the number of stages or
+  /// empty (treated as all-1).
+  std::vector<double> stage_selectivity;
+  /// Seed for the engine's internal randomness (FR coin flips, selectivity).
+  uint64_t seed = 12345;
+};
+
+/// Outcome of one job run (one workload under one strategy).
+struct JobResult {
+  double makespan = 0.0;        ///< virtual seconds until the last tuple done
+  int64_t tuples_processed = 0; ///< tuples fully through the pipeline
+  int64_t udf_invocations = 0;  ///< total UDF executions (all stages)
+  double throughput = 0.0;      ///< tuples_processed / makespan
+  double network_bytes = 0.0;
+  int64_t network_messages = 0;
+  int64_t data_requests = 0;    ///< items fetched via data requests
+  int64_t compute_requests = 0; ///< items shipped as compute requests
+  int64_t computed_at_data = 0; ///< compute-request items executed at data
+  int64_t bounced_to_compute = 0; ///< compute-request items bounced back
+  int64_t cache_memory_hits = 0;
+  int64_t cache_disk_hits = 0;
+  /// Straggler factor: max over nodes of CPU busy divided by the mean
+  /// (1.0 = perfectly even).
+  double compute_cpu_skew = 1.0;
+  double data_cpu_skew = 1.0;
+  double total_cpu_busy = 0.0;
+  uint64_t sim_events = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_TYPES_H_

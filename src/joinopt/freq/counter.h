@@ -1,0 +1,42 @@
+// Frequency-counter interface. Section 4.3 of the paper: "Since the number of
+// keys may be very large it may not be possible [to] keep exact count for all
+// keys... We maintain the count of most frequent keys in buckets of hashmap
+// using the Lossy Counting algorithm." We provide Lossy Counting (the paper's
+// choice), Space-Saving (an ablation alternative) and an exact counter (the
+// oracle, for tests and ablations).
+#ifndef JOINOPT_FREQ_COUNTER_H_
+#define JOINOPT_FREQ_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+/// Approximate per-key occurrence counter over a stream.
+class FrequencyCounter {
+ public:
+  virtual ~FrequencyCounter() = default;
+
+  /// Records one occurrence of `key`; returns the key's estimated count
+  /// after the update.
+  virtual int64_t Observe(Key key) = 0;
+
+  /// Estimated count of `key` (0 if not tracked).
+  virtual int64_t EstimatedCount(Key key) const = 0;
+
+  /// Resets the count of `key` to zero (used when the stored item behind the
+  /// key is updated — Section 4.2.3).
+  virtual void ResetKey(Key key) = 0;
+
+  /// Number of keys currently tracked (memory footprint proxy).
+  virtual size_t TrackedKeys() const = 0;
+
+  /// Total observations so far.
+  virtual int64_t TotalObservations() const = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_FREQ_COUNTER_H_

@@ -1,0 +1,33 @@
+// Exact per-key counter: the oracle against which the approximate counters
+// are tested, and an ablation option for small key domains.
+#ifndef JOINOPT_FREQ_EXACT_COUNTER_H_
+#define JOINOPT_FREQ_EXACT_COUNTER_H_
+
+#include <unordered_map>
+
+#include "joinopt/freq/counter.h"
+
+namespace joinopt {
+
+class ExactCounter : public FrequencyCounter {
+ public:
+  int64_t Observe(Key key) override {
+    ++n_;
+    return ++counts_[key];
+  }
+  int64_t EstimatedCount(Key key) const override {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  void ResetKey(Key key) override { counts_[key] = 0; }
+  size_t TrackedKeys() const override { return counts_.size(); }
+  int64_t TotalObservations() const override { return n_; }
+
+ private:
+  int64_t n_ = 0;
+  std::unordered_map<Key, int64_t> counts_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_FREQ_EXACT_COUNTER_H_

@@ -1,0 +1,63 @@
+#include "joinopt/freq/lossy_counting.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace joinopt {
+
+LossyCounting::LossyCounting(double epsilon) : epsilon_(epsilon) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  width_ = static_cast<int64_t>(std::ceil(1.0 / epsilon));
+}
+
+int64_t LossyCounting::Observe(Key key) {
+  ++n_;
+  int64_t count;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    count = ++it->second.count;
+  } else {
+    entries_.emplace(key, Entry{1, bucket_ - 1});
+    count = 1;
+  }
+  MaybePrune();
+  return count;
+}
+
+void LossyCounting::MaybePrune() {
+  if (n_ % width_ != 0) return;
+  // Bucket boundary: advance and prune low-count entries.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.count + it->second.delta <= bucket_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++bucket_;
+}
+
+int64_t LossyCounting::EstimatedCount(Key key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+void LossyCounting::ResetKey(Key key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Re-inserting as a fresh item of the current bucket: the next prune can
+    // evict it unless it becomes frequent again.
+    it->second.count = 0;
+    it->second.delta = bucket_ - 1;
+  }
+}
+
+std::vector<Key> LossyCounting::FrequentKeys(int64_t threshold) const {
+  std::vector<Key> out;
+  for (const auto& [key, e] : entries_) {
+    if (e.count >= threshold) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace joinopt

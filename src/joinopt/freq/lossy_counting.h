@@ -1,0 +1,56 @@
+// Lossy Counting (Manku & Motwani, VLDB 2002). The stream is divided into
+// buckets of width w = ceil(1/epsilon). Each tracked key holds (count,
+// delta); at each bucket boundary, keys with count + delta <= current bucket
+// id are pruned. Guarantees: estimated count underestimates the true count by
+// at most epsilon * N, and at most O((1/epsilon) log(epsilon N)) keys are
+// tracked.
+#ifndef JOINOPT_FREQ_LOSSY_COUNTING_H_
+#define JOINOPT_FREQ_LOSSY_COUNTING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "joinopt/freq/counter.h"
+
+namespace joinopt {
+
+class LossyCounting : public FrequencyCounter {
+ public:
+  /// epsilon in (0, 1): maximum relative undercount. Smaller epsilon tracks
+  /// more keys. The paper's heavy-hitter use cares about keys whose
+  /// frequency crosses the ski-rental threshold, so epsilon should be below
+  /// threshold / expected stream length; 1e-4 is a safe default for the
+  /// workloads here.
+  explicit LossyCounting(double epsilon = 1e-4);
+
+  int64_t Observe(Key key) override;
+  int64_t EstimatedCount(Key key) const override;
+  void ResetKey(Key key) override;
+  size_t TrackedKeys() const override { return entries_.size(); }
+  int64_t TotalObservations() const override { return n_; }
+
+  /// Keys whose estimated frequency is at least `threshold` occurrences.
+  std::vector<Key> FrequentKeys(int64_t threshold) const;
+
+  double epsilon() const { return epsilon_; }
+  int64_t bucket_width() const { return width_; }
+  int64_t current_bucket() const { return bucket_; }
+
+ private:
+  struct Entry {
+    int64_t count;
+    int64_t delta;  // max undercount at insertion time
+  };
+
+  void MaybePrune();
+
+  double epsilon_;
+  int64_t width_;
+  int64_t n_ = 0;
+  int64_t bucket_ = 1;
+  std::unordered_map<Key, Entry> entries_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_FREQ_LOSSY_COUNTING_H_

@@ -1,0 +1,63 @@
+#include "joinopt/freq/space_saving.h"
+
+#include <cassert>
+
+namespace joinopt {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+}
+
+void SpaceSaving::Bump(std::unordered_map<Key, Entry>::iterator it,
+                       int64_t new_count) {
+  by_count_.erase(it->second.order_it);
+  it->second.count = new_count;
+  it->second.order_it = by_count_.emplace(new_count, it->first);
+}
+
+int64_t SpaceSaving::Observe(Key key) {
+  ++n_;
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    Bump(it, it->second.count + 1);
+    return it->second.count;
+  }
+  if (counts_.size() < capacity_) {
+    Entry e{1, 0, {}};
+    auto [ins, ok] = counts_.emplace(key, e);
+    assert(ok);
+    ins->second.order_it = by_count_.emplace(1, key);
+    return 1;
+  }
+  // Replace the minimum-count entry; inherit its count as error.
+  auto min_it = by_count_.begin();
+  Key victim = min_it->second;
+  int64_t min_count = min_it->first;
+  by_count_.erase(min_it);
+  counts_.erase(victim);
+  Entry e{min_count + 1, min_count, {}};
+  auto [ins, ok] = counts_.emplace(key, e);
+  assert(ok);
+  ins->second.order_it = by_count_.emplace(min_count + 1, key);
+  return min_count + 1;
+}
+
+int64_t SpaceSaving::EstimatedCount(Key key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second.count;
+}
+
+void SpaceSaving::ResetKey(Key key) {
+  auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    it->second.error = 0;
+    Bump(it, 0);
+  }
+}
+
+int64_t SpaceSaving::ErrorBound(Key key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second.error;
+}
+
+}  // namespace joinopt

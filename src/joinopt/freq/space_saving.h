@@ -1,0 +1,51 @@
+// Space-Saving (Metwally, Agrawal & El Abbadi, 2005): fixed-capacity top-k
+// counter. When a new key arrives at a full table, the minimum-count entry is
+// replaced and its count inherited (so estimates overestimate by at most the
+// evicted minimum). Provided as an ablation alternative to Lossy Counting;
+// see bench/ablation_design_choices.
+#ifndef JOINOPT_FREQ_SPACE_SAVING_H_
+#define JOINOPT_FREQ_SPACE_SAVING_H_
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+
+#include "joinopt/freq/counter.h"
+
+namespace joinopt {
+
+class SpaceSaving : public FrequencyCounter {
+ public:
+  /// capacity: maximum number of keys tracked simultaneously.
+  explicit SpaceSaving(size_t capacity);
+
+  int64_t Observe(Key key) override;
+  int64_t EstimatedCount(Key key) const override;
+  void ResetKey(Key key) override;
+  size_t TrackedKeys() const override { return counts_.size(); }
+  int64_t TotalObservations() const override { return n_; }
+
+  size_t capacity() const { return capacity_; }
+  /// Maximum overestimation of EstimatedCount for `key` (its inherited
+  /// error term; 0 for keys tracked since count zero).
+  int64_t ErrorBound(Key key) const;
+
+ private:
+  struct Entry {
+    int64_t count;
+    int64_t error;
+    // Iterator into the ordered multimap used to find the min-count victim.
+    std::multimap<int64_t, Key>::iterator order_it;
+  };
+
+  void Bump(std::unordered_map<Key, Entry>::iterator it, int64_t new_count);
+
+  size_t capacity_;
+  int64_t n_ = 0;
+  std::unordered_map<Key, Entry> counts_;
+  std::multimap<int64_t, Key> by_count_;  // ascending count order
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_FREQ_SPACE_SAVING_H_

@@ -1,0 +1,82 @@
+#include "joinopt/harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace joinopt {
+
+ReportTable::ReportTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void ReportTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void ReportTable::AddNumericRow(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row{label};
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string ReportTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      os << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < cols; ++c) total += width[c] + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void ReportTable::Print(const std::string& title) const {
+  if (!title.empty()) {
+    std::printf("\n=== %s ===\n", title.c_str());
+  }
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::vector<double> NormalizeBy(const std::vector<double>& values,
+                                double baseline) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(baseline != 0 ? v / baseline : 0.0);
+  return out;
+}
+
+std::vector<double> InverseNormalizeBy(const std::vector<double>& values,
+                                       double baseline) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(v != 0 ? baseline / v : 0.0);
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,44 @@
+// ASCII reporting for the figure-reproduction benches: aligned tables and
+// simple normalization helpers matching the paper's presentation (Fig. 8 and
+// 11 normalize against NO at skew 0).
+#ifndef JOINOPT_HARNESS_REPORT_H_
+#define JOINOPT_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace joinopt {
+
+/// A printable table with a header row and aligned columns.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: label + numeric cells with the given precision.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int precision = 3);
+
+  std::string ToString() const;
+  /// Prints to stdout with an optional title banner.
+  void Print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// values[i] / baseline — the paper's "normalized time" (Fig. 8).
+std::vector<double> NormalizeBy(const std::vector<double>& values,
+                                double baseline);
+
+/// baseline / values[i] — the paper's "normalized throughput" (Fig. 11),
+/// where higher is better.
+std::vector<double> InverseNormalizeBy(const std::vector<double>& values,
+                                       double baseline);
+
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_HARNESS_REPORT_H_

@@ -1,0 +1,50 @@
+#include "joinopt/harness/runner.h"
+
+namespace joinopt {
+
+JobResult RunFrameworkJob(const GeneratedWorkload& workload,
+                          Strategy strategy,
+                          const FrameworkRunConfig& config) {
+  Simulation sim;
+  Cluster cluster(config.cluster);
+  EngineConfig engine = config.engine;
+  engine.computed_value_bytes = workload.computed_value_bytes;
+  if (!workload.stage_selectivity.empty()) {
+    engine.stage_selectivity = workload.stage_selectivity;
+  }
+  JoinJob job(&sim, &cluster, workload.store_ptrs(), strategy, engine);
+  for (size_t i = 0; i < workload.inputs.size(); ++i) {
+    job.SetInput(static_cast<int>(i), workload.inputs[i],
+                 config.arrival_rate_per_node);
+  }
+  return job.Run();
+}
+
+ClusterConfig BaselineClusterConfig(const ClusterConfig& framework_config) {
+  ClusterConfig c = framework_config;
+  // Same total machine count, but every node is a worker (the paper gives
+  // the MapReduce/Spark baselines all 20 nodes for a fair comparison).
+  c.num_compute_nodes =
+      framework_config.num_compute_nodes + framework_config.num_data_nodes;
+  c.num_data_nodes = 0;
+  return c;
+}
+
+AnnotationBaselineResult RunAnnotationBaselineJob(
+    const AnnotationSpots& spots, MrBaselineKind kind,
+    const ClusterConfig& framework_cluster, const MapReduceConfig& mr) {
+  Simulation sim;
+  Cluster cluster(BaselineClusterConfig(framework_cluster));
+  return RunAnnotationBaseline(&sim, &cluster, spots, kind, mr);
+}
+
+JobResult RunSparkBaselineJob(const TpcdsQuerySpec& spec,
+                              int64_t fact_rows_total,
+                              const ClusterConfig& framework_cluster,
+                              const SparkJoinConfig& spark) {
+  Simulation sim;
+  Cluster cluster(BaselineClusterConfig(framework_cluster));
+  return RunSparkShuffleJoin(&sim, &cluster, spec, fact_rows_total, spark);
+}
+
+}  // namespace joinopt

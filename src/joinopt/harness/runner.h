@@ -1,0 +1,44 @@
+// Experiment harness: one call = one fresh simulator + cluster + job. The
+// figure benches sweep (workload x strategy x skew) through this.
+#ifndef JOINOPT_HARNESS_RUNNER_H_
+#define JOINOPT_HARNESS_RUNNER_H_
+
+#include "joinopt/baselines/annotation_baselines.h"
+#include "joinopt/baselines/spark_shuffle_join.h"
+#include "joinopt/engine/join_job.h"
+#include "joinopt/workload/workload.h"
+
+namespace joinopt {
+
+struct FrameworkRunConfig {
+  /// Cluster for framework runs: the paper's 10 compute + 10 data split.
+  ClusterConfig cluster;
+  EngineConfig engine;
+  /// Tuples/second fed to each compute node; <= 0 = batch (all at t=0).
+  double arrival_rate_per_node = 0.0;
+};
+
+/// Runs `workload` under `strategy` on a fresh simulator + cluster.
+/// The workload's stores are shared read-only; inputs are copied.
+JobResult RunFrameworkJob(const GeneratedWorkload& workload,
+                          Strategy strategy,
+                          const FrameworkRunConfig& config);
+
+/// Cluster used by the all-20-nodes baselines (MapReduce, Spark).
+ClusterConfig BaselineClusterConfig(const ClusterConfig& framework_config);
+
+/// Runs one of the MapReduce annotation baselines on a fresh cluster where
+/// every node is a worker.
+AnnotationBaselineResult RunAnnotationBaselineJob(
+    const AnnotationSpots& spots, MrBaselineKind kind,
+    const ClusterConfig& framework_cluster, const MapReduceConfig& mr = {});
+
+/// Runs the Spark-style shuffle multi-join on a fresh all-workers cluster.
+JobResult RunSparkBaselineJob(const TpcdsQuerySpec& spec,
+                              int64_t fact_rows_total,
+                              const ClusterConfig& framework_cluster,
+                              const SparkJoinConfig& spark = {});
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_HARNESS_RUNNER_H_

@@ -1,0 +1,22 @@
+#include "joinopt/harness/trace.h"
+
+#include <sstream>
+
+namespace joinopt {
+
+std::string Tracer::ToCsv() const {
+  std::ostringstream os;
+  os << "time";
+  for (const std::string& name : names_) os << "," << name;
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace joinopt

@@ -1,0 +1,72 @@
+// Time-series tracing for simulator runs: register named gauges, sample
+// them periodically on the virtual clock, export as CSV. Used to inspect
+// how queue depths, cache contents and node loads evolve during a run —
+// the dynamics behind the end-to-end numbers the benches report.
+#ifndef JOINOPT_HARNESS_TRACE_H_
+#define JOINOPT_HARNESS_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "joinopt/sim/event_queue.h"
+
+namespace joinopt {
+
+class Tracer {
+ public:
+  using Gauge = std::function<double()>;
+
+  /// Samples every `interval` virtual seconds once Start() is called.
+  Tracer(Simulation* sim, double interval)
+      : sim_(sim), interval_(interval) {}
+
+  /// Registers a gauge column (call before Start).
+  void AddGauge(std::string name, Gauge gauge) {
+    names_.push_back(std::move(name));
+    gauges_.push_back(std::move(gauge));
+  }
+
+  /// Begins sampling; continues until Stop() or the simulation drains.
+  void Start() {
+    stopped_ = false;
+    Sample();
+  }
+  void Stop() { stopped_ = true; }
+
+  size_t num_samples() const { return rows_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+  double value_at(size_t sample, size_t gauge) const {
+    return rows_[sample][gauge + 1];  // column 0 is time
+  }
+  double time_at(size_t sample) const { return rows_[sample][0]; }
+
+  /// "time,<g1>,<g2>,...\n<t>,<v1>,<v2>..." — ready for plotting.
+  std::string ToCsv() const;
+
+ private:
+  void Sample() {
+    if (stopped_) return;
+    std::vector<double> row;
+    row.reserve(gauges_.size() + 1);
+    row.push_back(sim_->now());
+    for (const Gauge& g : gauges_) row.push_back(g());
+    rows_.push_back(std::move(row));
+    // Re-arm only while other work is pending, so the tracer never keeps
+    // an otherwise-drained simulation alive.
+    if (!sim_->empty()) {
+      sim_->Schedule(interval_, [this] { Sample(); });
+    }
+  }
+
+  Simulation* sim_;
+  double interval_;
+  bool stopped_ = false;
+  std::vector<std::string> names_;
+  std::vector<Gauge> gauges_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_HARNESS_TRACE_H_

@@ -1,0 +1,75 @@
+// Umbrella header: the joinopt public API.
+//
+// joinopt is a reproduction of "Runtime Optimization of Join Location in
+// Parallel Data Management Systems" (Chandra & Sudarshan, VLDB 2017): a
+// framework that joins streaming/stored input with data indexed in a
+// parallel store, deciding **per key at runtime** whether to fetch-and-cache
+// the stored value at the compute node (map-side) or ship the tuple to the
+// data node (reduce-side), using an extended ski-rental policy plus
+// compute/data-node load balancing.
+//
+// Typical use (see examples/):
+//   1. Build a Cluster (simulated nodes) and load ParallelStores.
+//   2. Generate or supply per-compute-node InputTuple streams.
+//   3. Run a JoinJob under a Strategy (kFO = all optimizations).
+//   4. Read the JobResult metrics, or use harness/ to sweep configurations.
+#ifndef JOINOPT_JOINOPT_H_
+#define JOINOPT_JOINOPT_H_
+
+#include "joinopt/common/ewma.h"
+#include "joinopt/common/hash.h"
+#include "joinopt/common/histogram.h"
+#include "joinopt/common/logging.h"
+#include "joinopt/common/random.h"
+#include "joinopt/common/status.h"
+#include "joinopt/common/units.h"
+
+#include "joinopt/sim/cluster.h"
+#include "joinopt/sim/event_queue.h"
+#include "joinopt/sim/network.h"
+#include "joinopt/sim/resource.h"
+
+#include "joinopt/store/parallel_store.h"
+#include "joinopt/store/region_map.h"
+#include "joinopt/store/storage_engine.h"
+#include "joinopt/store/log_store.h"
+#include "joinopt/store/region_balancer.h"
+#include "joinopt/store/update_notifier.h"
+
+#include "joinopt/freq/exact_counter.h"
+#include "joinopt/freq/lossy_counting.h"
+#include "joinopt/freq/space_saving.h"
+
+#include "joinopt/cache/policy.h"
+#include "joinopt/cache/tiered_cache.h"
+
+#include "joinopt/skirental/cost_model.h"
+#include "joinopt/skirental/decision_engine.h"
+#include "joinopt/skirental/ski_rental.h"
+
+#include "joinopt/loadbalance/balancer.h"
+#include "joinopt/loadbalance/gradient_descent.h"
+#include "joinopt/loadbalance/load_model.h"
+#include "joinopt/loadbalance/stats.h"
+
+#include "joinopt/engine/join_job.h"
+#include "joinopt/engine/async_api.h"
+#include "joinopt/engine/types.h"
+
+#include "joinopt/mapreduce/mapreduce.h"
+#include "joinopt/stream/muppet.h"
+
+#include "joinopt/baselines/annotation_baselines.h"
+#include "joinopt/baselines/spark_shuffle_join.h"
+
+#include "joinopt/workload/entity_annotation.h"
+#include "joinopt/workload/synthetic.h"
+#include "joinopt/workload/cloudburst.h"
+#include "joinopt/workload/tpcds_lite.h"
+#include "joinopt/workload/workload.h"
+
+#include "joinopt/harness/report.h"
+#include "joinopt/harness/runner.h"
+#include "joinopt/harness/trace.h"
+
+#endif  // JOINOPT_JOINOPT_H_

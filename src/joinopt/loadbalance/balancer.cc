@@ -1,0 +1,41 @@
+#include "joinopt/loadbalance/balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace joinopt {
+
+int64_t Balancer::ChooseComputedAtData(const ComputeNodeStats& cn,
+                                       const DataNodeLocalStats& dn,
+                                       const SizeParams& sizes, int64_t b) {
+  ++stats_.batches;
+  stats_.requests_seen += b;
+  int64_t d = 0;
+  switch (config_.minimizer) {
+    case MinimizerKind::kAllAtData:
+      d = b;
+      break;
+    case MinimizerKind::kAllAtCompute:
+      d = 0;
+      break;
+    case MinimizerKind::kGradientDescent: {
+      BatchLoadModel model =
+          BuildLoadModel(cn, dn, sizes, static_cast<double>(b));
+      d = static_cast<int64_t>(
+          std::llround(GradientDescentMinimize(model, config_.gd)));
+      break;
+    }
+    case MinimizerKind::kExact: {
+      BatchLoadModel model =
+          BuildLoadModel(cn, dn, sizes, static_cast<double>(b));
+      d = static_cast<int64_t>(std::llround(ExactMinimize(model)));
+      break;
+    }
+  }
+  d = std::clamp<int64_t>(d, 0, b);
+  stats_.computed_at_data += d;
+  stats_.returned_to_compute += b - d;
+  return d;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,56 @@
+// The data-node-side balancer (Section 5): for each arriving batch of b
+// compute requests it picks d — how many the data node executes itself — and
+// sends the remaining b - d back as raw values for the compute node to
+// process. The decision is local to the (compute node, data node) pair, which
+// is what lets the scheme scale; global balance emerges because loaded data
+// nodes return more work and loaded compute nodes receive less (Section 5's
+// closing observation).
+#ifndef JOINOPT_LOADBALANCE_BALANCER_H_
+#define JOINOPT_LOADBALANCE_BALANCER_H_
+
+#include <cstdint>
+
+#include "joinopt/loadbalance/gradient_descent.h"
+#include "joinopt/loadbalance/load_model.h"
+
+namespace joinopt {
+
+enum class MinimizerKind {
+  kGradientDescent,  ///< the paper's heuristic
+  kExact,            ///< candidate-enumeration oracle (ablation)
+  kAllAtData,        ///< d = b: no balancing (FD / CO behaviour)
+  kAllAtCompute,     ///< d = 0: degenerate, for tests
+};
+
+struct BalancerConfig {
+  MinimizerKind minimizer = MinimizerKind::kGradientDescent;
+  GradientDescentOptions gd;
+};
+
+struct BalancerStats {
+  int64_t batches = 0;
+  int64_t requests_seen = 0;
+  int64_t computed_at_data = 0;
+  int64_t returned_to_compute = 0;
+};
+
+class Balancer {
+ public:
+  explicit Balancer(const BalancerConfig& config = {}) : config_(config) {}
+
+  /// Chooses d in [0, b] for a batch of `b` compute requests.
+  int64_t ChooseComputedAtData(const ComputeNodeStats& cn,
+                               const DataNodeLocalStats& dn,
+                               const SizeParams& sizes, int64_t b);
+
+  const BalancerStats& stats() const { return stats_; }
+  const BalancerConfig& config() const { return config_; }
+
+ private:
+  BalancerConfig config_;
+  BalancerStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_LOADBALANCE_BALANCER_H_

@@ -1,0 +1,60 @@
+#include "joinopt/loadbalance/gradient_descent.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace joinopt {
+
+double GradientDescentMinimize(const BatchLoadModel& model,
+                               const GradientDescentOptions& options) {
+  const double b = model.batch_size;
+  if (b <= 0) return 0.0;
+  double d = std::clamp(options.start_fraction * b, 0.0, b);
+  double step = options.initial_step_fraction * b;
+  double best_d = d;
+  double best_val = model.CompletionTime(d);
+  for (int it = 0; it < options.max_iterations && step > options.tolerance * b;
+       ++it) {
+    double g = model.Subgradient(d);
+    if (g == 0.0) break;  // flat active piece: already at a minimum plateau
+    double candidate = std::clamp(d - step * (g > 0 ? 1.0 : -1.0), 0.0, b);
+    double val = model.CompletionTime(candidate);
+    if (val < best_val - options.tolerance) {
+      best_val = val;
+      best_d = candidate;
+      d = candidate;
+    } else {
+      step *= 0.5;  // overshot the kink; shrink
+    }
+  }
+  return best_d;
+}
+
+double ExactMinimize(const BatchLoadModel& model) {
+  const double b = model.batch_size;
+  if (b <= 0) return 0.0;
+  std::array<const AffineLoad*, 4> fs = {&model.comp_cpu, &model.comp_net,
+                                         &model.data_cpu, &model.data_net};
+  double best_d = 0.0;
+  double best_val = model.CompletionTime(0.0);
+  auto consider = [&](double d) {
+    d = std::clamp(d, 0.0, b);
+    double v = model.CompletionTime(d);
+    if (v < best_val) {
+      best_val = v;
+      best_d = d;
+    }
+  };
+  consider(b);
+  for (size_t i = 0; i < fs.size(); ++i) {
+    for (size_t j = i + 1; j < fs.size(); ++j) {
+      double ds = fs[i]->slope - fs[j]->slope;
+      if (std::abs(ds) < 1e-15) continue;  // parallel
+      consider((fs[j]->intercept - fs[i]->intercept) / ds);
+    }
+  }
+  return best_d;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,43 @@
+// Minimizers for the batch completion time max(compCPU, compNet, dataCPU,
+// dataNet) over d in [0, b].
+//
+//  * GradientDescentMinimize — the paper's choice (Section 5 / Appendix C):
+//    start from a point in [0, b], follow the decreasing subgradient with a
+//    shrinking step, project onto the box. Cheap (a handful of evaluations
+//    per batch) and, because the objective is a max of affine functions and
+//    hence convex, it converges to the global minimum despite the paper's
+//    caution about local minima.
+//  * ExactMinimize — oracle: the minimum of a convex piecewise-linear
+//    function lies at a boundary or at an intersection of two component
+//    lines; enumerate all O(1) candidates. Used to validate gradient descent
+//    (tests) and to measure its gap (bench/ablation_design_choices).
+#ifndef JOINOPT_LOADBALANCE_GRADIENT_DESCENT_H_
+#define JOINOPT_LOADBALANCE_GRADIENT_DESCENT_H_
+
+#include "joinopt/loadbalance/load_model.h"
+
+namespace joinopt {
+
+struct GradientDescentOptions {
+  /// Initial point as a fraction of b (the paper starts at a random point;
+  /// a deterministic midpoint keeps simulations reproducible).
+  double start_fraction = 0.5;
+  int max_iterations = 64;
+  /// Initial step as a fraction of b; halved whenever a step fails to
+  /// improve the objective.
+  double initial_step_fraction = 0.5;
+  double tolerance = 1e-9;
+};
+
+/// Minimizes model.CompletionTime over d in [0, model.batch_size]; returns
+/// the minimizing d (continuous — the balancer rounds it).
+double GradientDescentMinimize(const BatchLoadModel& model,
+                               const GradientDescentOptions& options = {});
+
+/// Exact minimizer by candidate enumeration (boundaries + pairwise line
+/// intersections).
+double ExactMinimize(const BatchLoadModel& model);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_LOADBALANCE_GRADIENT_DESCENT_H_

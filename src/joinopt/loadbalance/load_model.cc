@@ -1,0 +1,85 @@
+#include "joinopt/loadbalance/load_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace joinopt {
+
+double BatchLoadModel::CompletionTime(double d) const {
+  return std::max({comp_cpu.At(d), comp_net.At(d), data_cpu.At(d),
+                   data_net.At(d)});
+}
+
+double BatchLoadModel::Subgradient(double d) const {
+  double value = CompletionTime(d);
+  double slope = 0.0;
+  bool first = true;
+  for (const AffineLoad* f : {&comp_cpu, &comp_net, &data_cpu, &data_net}) {
+    if (f->At(d) >= value - 1e-12) {
+      if (first) {
+        slope = f->slope;
+        first = false;
+      } else {
+        // Among active components take the steepest magnitude so descent
+        // never stalls on a flat co-active piece.
+        if (std::abs(f->slope) > std::abs(slope)) slope = f->slope;
+      }
+    }
+  }
+  return slope;
+}
+
+BatchLoadModel BuildLoadModel(const ComputeNodeStats& cn,
+                              const DataNodeLocalStats& dn,
+                              const SizeParams& sizes, double b) {
+  assert(b >= 0);
+  BatchLoadModel m;
+  m.batch_size = b;
+  double comp_cores = std::max(cn.cores, 1);
+  double data_cores = std::max(dn.cores, 1);
+
+  // compCPU(d) = [tcc*lcc + tcc*(nrc-rc) + tcc*(nrd_ij - rd_ij)
+  //               + tcc*(b - d)] / cores_i
+  {
+    double fixed = cn.tcc * cn.lcc + cn.tcc * (cn.nrc_other - cn.rc_other) +
+                   cn.tcc * (cn.nrd_ij - cn.rd_ij) + cn.tcc * b;
+    m.comp_cpu.intercept = fixed / comp_cores;
+    m.comp_cpu.slope = -cn.tcc / comp_cores;
+  }
+
+  // compNet(d) = [ndc*(sk+sv) + ncc*(sk+sp) + ndrc*sv
+  //               + (nrc-rc)*sv + rc*scv + (nrd_ij-rd_ij)*sv + rd_ij*scv
+  //               + d*scv + (b-d)*sv] / netBw_i
+  {
+    double fixed = cn.ndc * (sizes.sk + sizes.sv) +
+                   cn.ncc * (sizes.sk + sizes.sp) + cn.ndrc * sizes.sv +
+                   (cn.nrc_other - cn.rc_other) * sizes.sv +
+                   cn.rc_other * sizes.scv +
+                   (cn.nrd_ij - cn.rd_ij) * sizes.sv + cn.rd_ij * sizes.scv +
+                   b * sizes.sv;
+    m.comp_net.intercept = fixed / cn.net_bw;
+    m.comp_net.slope = (sizes.scv - sizes.sv) / cn.net_bw;
+  }
+
+  // dataCPU(d) = [tcd*rd_all + tcd*d] / cores_j
+  {
+    m.data_cpu.intercept = dn.tcd * dn.rd_all / data_cores;
+    m.data_cpu.slope = dn.tcd / data_cores;
+  }
+
+  // dataNet(d) = [ndc_all*(sk+sv) + ndrd*sv + nrd_all*(sk+sp)
+  //               + (nrd_all - rd_all)*sv + rd_all*scv
+  //               + d*scv + (b-d)*sv] / netBw_j
+  {
+    double fixed = dn.ndc_all * (sizes.sk + sizes.sv) + dn.ndrd * sizes.sv +
+                   dn.nrd_all * (sizes.sk + sizes.sp) +
+                   (dn.nrd_all - dn.rd_all) * sizes.sv +
+                   dn.rd_all * sizes.scv + b * sizes.sv;
+    m.data_net.intercept = fixed / dn.net_bw;
+    m.data_net.slope = (sizes.scv - sizes.sv) / dn.net_bw;
+  }
+
+  return m;
+}
+
+}  // namespace joinopt

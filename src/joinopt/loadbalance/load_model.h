@@ -1,0 +1,56 @@
+// The four load estimates of Appendix C, each affine in d (the number of
+// requests from the current batch the data node computes locally):
+//
+//   compCPU(d)  : CPU time to drain the compute node's work if b-d come back
+//   compNet(d)  : network time at the compute node
+//   dataCPU(d)  : CPU time to drain the data node's UDF queue plus d
+//   dataNet(d)  : network time at the data node
+//
+// The batch completes when the slowest of the four finishes, so the balancer
+// minimizes max of the four affine functions over d in [0, b].
+//
+// One deliberate deviation from the paper's formula text: Appendix C
+// multiplies the compute-node terms (2)-(4) by tcd; those computations run
+// at the *compute* node, so we charge tcc (the compute node's measured
+// per-UDF time). With a homogeneous cluster tcc ~= tcd and the two readings
+// coincide. We also divide CPU work by the node's core count — the paper's
+// single-scalar CPU load is the cores=1 special case.
+#ifndef JOINOPT_LOADBALANCE_LOAD_MODEL_H_
+#define JOINOPT_LOADBALANCE_LOAD_MODEL_H_
+
+#include "joinopt/loadbalance/stats.h"
+
+namespace joinopt {
+
+/// An affine function a + c * d with evaluation helpers.
+struct AffineLoad {
+  double intercept = 0;
+  double slope = 0;
+  double At(double d) const { return intercept + slope * d; }
+};
+
+/// The four affine load components for one batch.
+struct BatchLoadModel {
+  AffineLoad comp_cpu;
+  AffineLoad comp_net;
+  AffineLoad data_cpu;
+  AffineLoad data_net;
+  double batch_size = 0;
+
+  /// Estimated completion time if the data node computes d of the batch.
+  double CompletionTime(double d) const;
+  /// Subgradient of CompletionTime at d (slope of the active component;
+  /// ties pick the steepest, which is the correct ascent direction).
+  double Subgradient(double d) const;
+};
+
+/// Builds the Appendix C load model for a batch of `b` compute requests from
+/// the compute node described by `cn` arriving at the data node described by
+/// `dn`.
+BatchLoadModel BuildLoadModel(const ComputeNodeStats& cn,
+                              const DataNodeLocalStats& dn,
+                              const SizeParams& sizes, double b);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_LOADBALANCE_LOAD_MODEL_H_

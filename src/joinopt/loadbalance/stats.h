@@ -1,0 +1,54 @@
+// Statistics exchanged for compute/data-node load balancing (Section 5 and
+// Appendix C). A compute node snapshots ComputeNodeStats and piggybacks it on
+// every batch of compute requests it sends; the receiving data node combines
+// it with its own DataNodeLocalStats to estimate both sides' CPU and network
+// load as functions of d — the number of requests from the batch it chooses
+// to execute locally.
+//
+// Naming follows the paper's Appendix C symbols (superscript c = reported by
+// the compute node, d = local to the data node).
+#ifndef JOINOPT_LOADBALANCE_STATS_H_
+#define JOINOPT_LOADBALANCE_STATS_H_
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+/// Snapshot taken at compute node i when dispatching a batch to data node j.
+struct ComputeNodeStats {
+  double lcc = 0;        ///< pending local computations at i
+  double ndc = 0;        ///< pending data requests still to be sent from i
+  double ncc = 0;        ///< pending compute requests still to be sent from i
+  double ndrc = 0;       ///< pending responses to data requests sent from i
+  double nrc_other = 0;  ///< pending compute requests at data nodes != j
+  double rc_other = 0;   ///< ...of which expected computed there (history)
+  double nrd_ij = 0;     ///< pending compute requests from i at j (previous)
+  double rd_ij = 0;      ///< ...of which expected computed at j
+  double tcc = 1e-3;     ///< avg per-UDF wall time at the compute node
+  double net_bw = 125e6; ///< compute node effective bandwidth (bytes/s)
+  int cores = 1;         ///< CPU cores at the compute node
+};
+
+/// Local state at data node j when the batch arrives.
+struct DataNodeLocalStats {
+  double ndc_all = 0;   ///< pending data requests at j (all compute nodes)
+  double ndrd = 0;      ///< pending data-request responses to be sent from j
+  double nrd_all = 0;   ///< pending compute requests at j (all compute nodes)
+  double rd_all = 0;    ///< ...of which to be computed at j
+  double tcd = 1e-3;    ///< avg per-UDF wall time at the data node
+  double net_bw = 125e6;///< data node effective bandwidth (bytes/s)
+  int cores = 1;        ///< CPU cores at the data node
+};
+
+/// Average message-component sizes (Table 1) used to convert request counts
+/// into bytes on the wire.
+struct SizeParams {
+  double sk = 16;    ///< key bytes
+  double sp = 256;   ///< parameter bytes
+  double sv = 4096;  ///< stored value bytes
+  double scv = 256;  ///< computed value bytes
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_LOADBALANCE_STATS_H_

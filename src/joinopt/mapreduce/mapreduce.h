@@ -1,0 +1,71 @@
+// Mini-MapReduce engine on the cluster simulator — the substrate for the
+// reduce-side-join baselines of Figure 5 (basic Hadoop, CSAW [12],
+// FlowJoinLB [23]).
+//
+// Execution model:
+//  * Map: input records are split round-robin across all workers; map tasks
+//    parse records and emit (key, record) pairs. Map CPU is charged in
+//    per-core blocks; map output is materialized (spill write + read).
+//  * Shuffle: each (source worker, reduce partition) cell becomes one
+//    network transfer once the source's map phase finishes — the phase
+//    barrier MapReduce pays and the paper's pipelined framework avoids.
+//  * Reduce: partitions are single-threaded tasks (reduce_tasks_per_node per
+//    worker). A partition sorts its records, reads each needed stored model
+//    from local disk once, and runs the UDF per record. A partition stacked
+//    with a heavy-hitter key runs long — the straggler effect.
+//
+// The partitioner is pluggable: records of "replicated" keys are sprayed
+// round-robin over all partitions and their models are read at every
+// partition that received records (the broadcast/replicate skew mitigation
+// of DeWitt et al. [10] that CSAW and Flow-Join build on).
+#ifndef JOINOPT_MAPREDUCE_MAPREDUCE_H_
+#define JOINOPT_MAPREDUCE_MAPREDUCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "joinopt/engine/types.h"
+#include "joinopt/sim/cluster.h"
+#include "joinopt/sim/event_queue.h"
+
+namespace joinopt {
+
+struct MapReduceConfig {
+  int reduce_tasks_per_node = 8;
+  /// Concurrent reduce containers per node. Reduce tasks that join against
+  /// multi-MB stored models are memory-bound (model + sort buffers inside a
+  /// JVM heap), so a 16 GB node runs fewer containers than cores — the
+  /// standard MRv1/YARN sizing the paper's baselines inherit.
+  int reduce_slots_per_node = 4;
+  double map_parse_cost = 2e-6;     ///< CPU per record in the map
+  double sort_cost_per_record = 1.5e-6;
+  /// Map output is spilled and re-read: bytes written+read per record
+  /// relative to its wire size.
+  double materialize_factor = 2.0;
+  double record_key_bytes = 16.0;
+};
+
+/// A reduce-side join job description over keyed records.
+struct MapReduceJoinSpec {
+  /// The record stream: key per record (record payload size is uniform).
+  const std::vector<Key>* records = nullptr;
+  double record_payload_bytes = 200.0;
+  /// Per-key stored-value size and UDF cost (indexed by key; keys must be
+  /// dense 0..n-1).
+  const std::vector<double>* value_bytes = nullptr;
+  const std::vector<double>* udf_cost = nullptr;
+  /// partition(key, record_index) -> reduce partition. record_index lets
+  /// replicating partitioners spray a key across partitions.
+  std::function<int(Key, int64_t)> partitioner;
+  int num_partitions = 0;
+};
+
+/// Runs the job on `cluster` (all nodes act as both map and reduce workers)
+/// and returns the usual metrics (makespan, throughput over records, skew).
+JobResult RunMapReduceJoin(Simulation* sim, Cluster* cluster,
+                           const MapReduceJoinSpec& spec,
+                           const MapReduceConfig& config);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_MAPREDUCE_MAPREDUCE_H_

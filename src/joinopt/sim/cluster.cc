@@ -1,0 +1,23 @@
+#include "joinopt/sim/cluster.h"
+
+namespace joinopt {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      network_(config.num_compute_nodes + config.num_data_nodes,
+               config.network) {
+  int total = config.num_compute_nodes + config.num_data_nodes;
+  assert(total > 0);
+  nodes_.reserve(static_cast<size_t>(total));
+  for (NodeId id = 0; id < total; ++id) {
+    nodes_.push_back(std::make_unique<SimNode>(id, config.machine));
+  }
+}
+
+double Cluster::TotalCpuBusy() const {
+  double busy = 0.0;
+  for (const auto& n : nodes_) busy += n->cpu().busy_time();
+  return busy;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,113 @@
+// Cluster substrate: a set of simulated machines (multi-core CPU + disk)
+// connected by a Network. Mirrors the paper's testbed — by default 20 nodes,
+// 8 cores each, 16 GB-class disks, 1 Gbps NICs — split into compute nodes
+// and data nodes (10 + 10 in the paper's framework runs; all 20 in the
+// MapReduce baseline runs).
+#ifndef JOINOPT_SIM_CLUSTER_H_
+#define JOINOPT_SIM_CLUSTER_H_
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/sim/network.h"
+#include "joinopt/sim/resource.h"
+
+namespace joinopt {
+
+struct DiskConfig {
+  /// Fixed per-request overhead (seek + request dispatch). The paper notes
+  /// its disk cache behaves like an SSD because of the file-system buffer,
+  /// so the default is SSD-like.
+  double seek_time = 100e-6;
+  /// Sequential transfer bandwidth in bytes/second.
+  double bandwidth_bytes_per_sec = 200e6;
+};
+
+struct MachineConfig {
+  int cores = 8;
+  DiskConfig disk;
+};
+
+struct ClusterConfig {
+  int num_compute_nodes = 10;
+  int num_data_nodes = 10;
+  MachineConfig machine;
+  NetworkConfig network;
+};
+
+/// One simulated machine.
+class SimNode {
+ public:
+  SimNode(NodeId id, const MachineConfig& config)
+      : id_(id), config_(config), cpu_(config.cores) {}
+
+  NodeId id() const { return id_; }
+  MultiServer& cpu() { return cpu_; }
+  const MultiServer& cpu() const { return cpu_; }
+  FifoServer& disk() { return disk_; }
+  const FifoServer& disk() const { return disk_; }
+
+  /// Service time for fetching `bytes` from this node's disk.
+  double DiskServiceTime(double bytes) const {
+    return config_.disk.seek_time + bytes / config_.disk.bandwidth_bytes_per_sec;
+  }
+
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  NodeId id_;
+  MachineConfig config_;
+  MultiServer cpu_;
+  FifoServer disk_;
+};
+
+/// A full cluster: nodes 0..num_compute-1 are compute nodes, the rest are
+/// data nodes. (Roles matter only to the runtimes; the substrate is uniform,
+/// matching the paper's homogeneous testbed.)
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_compute_nodes() const { return config_.num_compute_nodes; }
+  int num_data_nodes() const { return config_.num_data_nodes; }
+
+  SimNode& node(NodeId id) { return *nodes_[static_cast<size_t>(id)]; }
+  const SimNode& node(NodeId id) const {
+    return *nodes_[static_cast<size_t>(id)];
+  }
+
+  /// i-th compute node (0-based).
+  SimNode& compute_node(int i) {
+    assert(i >= 0 && i < config_.num_compute_nodes);
+    return node(i);
+  }
+  /// j-th data node (0-based).
+  SimNode& data_node(int j) {
+    assert(j >= 0 && j < config_.num_data_nodes);
+    return node(config_.num_compute_nodes + j);
+  }
+  NodeId compute_node_id(int i) const { return i; }
+  NodeId data_node_id(int j) const { return config_.num_compute_nodes + j; }
+  bool is_data_node(NodeId id) const {
+    return id >= config_.num_compute_nodes;
+  }
+
+  Network& network() { return network_; }
+  const Network& network() const { return network_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Total CPU-busy seconds across all nodes (for utilization reports).
+  double TotalCpuBusy() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  Network network_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_SIM_CLUSTER_H_

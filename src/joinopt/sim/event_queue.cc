@@ -1,0 +1,38 @@
+#include "joinopt/sim/event_queue.h"
+
+#include <utility>
+
+namespace joinopt {
+
+uint64_t Simulation::Run(double until) {
+  stopped_ = false;
+  uint64_t ran = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.time > until) break;
+    // Move the closure out before popping: the closure may schedule new
+    // events, which could reallocate the heap.
+    EventFn fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.time;
+    queue_.pop();
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  if (queue_.empty() && now_ < until && until < kForever) now_ = until;
+  return ran;
+}
+
+bool Simulation::Step(double until) {
+  if (queue_.empty()) return false;
+  const Event& top = queue_.top();
+  if (top.time > until) return false;
+  EventFn fn = std::move(const_cast<Event&>(top).fn);
+  now_ = top.time;
+  queue_.pop();
+  fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace joinopt

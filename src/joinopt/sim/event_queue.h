@@ -1,0 +1,77 @@
+// Discrete-event simulation core: a virtual clock plus a priority queue of
+// scheduled closures. Deterministic: ties in time break by insertion order.
+//
+// The cluster substrate (nodes, disks, NICs) and the runtimes built on top of
+// it (compute/data node engines, MapReduce, the stream engine) all advance
+// through one Simulation instance, so every experiment is reproducible from
+// its seed.
+#ifndef JOINOPT_SIM_EVENT_QUEUE_H_
+#define JOINOPT_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace joinopt {
+
+/// The simulation event loop and virtual clock.
+class Simulation {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Current virtual time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Negative delays clamp
+  /// to zero (run "immediately", after currently pending same-time events).
+  void Schedule(double delay, EventFn fn) {
+    At(now_ + (delay > 0 ? delay : 0.0), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now).
+  void At(double when, EventFn fn) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs events until the queue drains or virtual time exceeds `until`.
+  /// Returns the number of events executed.
+  uint64_t Run(double until = kForever);
+
+  /// Runs a single event if one is pending within `until`. Returns false if
+  /// the queue is empty or the next event lies beyond `until`.
+  bool Step(double until = kForever);
+
+  /// Requests that Run() return after the current event.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_executed() const { return executed_; }
+
+  static constexpr double kForever = 1e300;
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_SIM_EVENT_QUEUE_H_

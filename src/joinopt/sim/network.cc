@@ -1,0 +1,45 @@
+#include "joinopt/sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace joinopt {
+
+Network::Network(int num_nodes, const NetworkConfig& config)
+    : config_(config),
+      egress_(static_cast<size_t>(num_nodes)),
+      ingress_(static_cast<size_t>(num_nodes)),
+      bandwidth_(static_cast<size_t>(num_nodes),
+                 config.bandwidth_bytes_per_sec) {
+  assert(num_nodes > 0);
+}
+
+double Network::Transfer(NodeId src, NodeId dst, double bytes, double now) {
+  assert(src >= 0 && src < num_nodes());
+  assert(dst >= 0 && dst < num_nodes());
+  double payload = bytes + config_.per_message_overhead_bytes;
+  total_bytes_ += payload;
+  ++total_messages_;
+  if (src == dst) {
+    // Loopback: no NIC time, only a small fixed cost.
+    return now + config_.latency * 0.1;
+  }
+  double out_time = payload / bandwidth_[src];
+  double departed = egress_[src].Reserve(now, out_time);
+  double in_time = payload / bandwidth_[dst];
+  double arrived = ingress_[dst].Reserve(departed, in_time);
+  return arrived + config_.latency;
+}
+
+double Network::EffectiveBandwidth(NodeId src, NodeId dst) const {
+  if (src == dst) return 1e12;  // effectively infinite for loopback
+  return std::min(bandwidth_[src], bandwidth_[dst]);
+}
+
+void Network::SetNodeBandwidth(NodeId node, double bytes_per_sec) {
+  assert(node >= 0 && node < num_nodes());
+  assert(bytes_per_sec > 0);
+  bandwidth_[node] = bytes_per_sec;
+}
+
+}  // namespace joinopt

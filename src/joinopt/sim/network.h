@@ -1,0 +1,62 @@
+// Network model: each node has a full-duplex NIC (independent egress and
+// ingress FIFO links) with a configurable per-node bandwidth, plus a flat
+// propagation latency. A transfer serializes on the sender's egress link and
+// then on the receiver's ingress link, which captures both sender fan-out
+// contention and receiver incast — the two effects behind the paper's
+// network-bound crossovers (data-heavy workload, Fig. 8a).
+#ifndef JOINOPT_SIM_NETWORK_H_
+#define JOINOPT_SIM_NETWORK_H_
+
+#include <vector>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/sim/resource.h"
+
+namespace joinopt {
+
+struct NetworkConfig {
+  /// Per-node NIC bandwidth in bytes/second (both directions).
+  double bandwidth_bytes_per_sec = 125e6;  // 1 Gbps
+  /// One-way propagation latency in seconds.
+  double latency = 100e-6;
+  /// Fixed per-message overhead in bytes (headers, RPC framing).
+  double per_message_overhead_bytes = 256.0;
+};
+
+/// The cluster interconnect.
+class Network {
+ public:
+  Network(int num_nodes, const NetworkConfig& config);
+
+  /// Reserves link time for a `bytes`-sized message from `src` to `dst`
+  /// submitted at `now`; returns its arrival time at `dst`.
+  double Transfer(NodeId src, NodeId dst, double bytes, double now);
+
+  /// Effective bandwidth between two nodes in bytes/second — what the
+  /// paper's setup phase measures and the cost model consumes (netBw_ij).
+  double EffectiveBandwidth(NodeId src, NodeId dst) const;
+
+  /// Sets an individual node's NIC bandwidth (heterogeneous clusters).
+  void SetNodeBandwidth(NodeId node, double bytes_per_sec);
+
+  const NetworkConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(egress_.size()); }
+
+  const FifoServer& egress(NodeId n) const { return egress_[n]; }
+  const FifoServer& ingress(NodeId n) const { return ingress_[n]; }
+
+  double total_bytes_transferred() const { return total_bytes_; }
+  long total_messages() const { return total_messages_; }
+
+ private:
+  NetworkConfig config_;
+  std::vector<FifoServer> egress_;
+  std::vector<FifoServer> ingress_;
+  std::vector<double> bandwidth_;
+  double total_bytes_ = 0.0;
+  long total_messages_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_SIM_NETWORK_H_

@@ -1,0 +1,36 @@
+#include "joinopt/sim/resource.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace joinopt {
+
+double MultiServer::Reserve(double now, double service) {
+  assert(!free_.empty());
+  std::pop_heap(free_.begin(), free_.end(), std::greater<>());
+  double core_free = free_.back();
+  double start = core_free > now ? core_free : now;
+  queue_delay_.Observe(start - now);
+  double done = start + service;
+  free_.back() = done;
+  std::push_heap(free_.begin(), free_.end(), std::greater<>());
+  busy_ += service;
+  ++jobs_;
+  return done;
+}
+
+double MultiServer::EarliestStart(double now) const {
+  double earliest = free_.front();  // heap root = min free time
+  for (double f : free_) earliest = std::min(earliest, f);
+  return earliest > now ? earliest : now;
+}
+
+double MultiServer::Backlog(double now) const {
+  double backlog = 0.0;
+  for (double f : free_) {
+    if (f > now) backlog += f - now;
+  }
+  return backlog;
+}
+
+}  // namespace joinopt

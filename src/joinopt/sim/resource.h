@@ -1,0 +1,90 @@
+// Queueing-server models of physical resources. A resource reserves service
+// time on a FIFO timeline: callers ask "if I submit a job of length s now,
+// when does it finish?" and then schedule their continuation at that time on
+// the Simulation. This reservation style keeps resources decoupled from the
+// event queue while still modeling contention (an overloaded node's timeline
+// runs far ahead of the clock, which is exactly the straggler effect the
+// paper's skew experiments measure).
+#ifndef JOINOPT_SIM_RESOURCE_H_
+#define JOINOPT_SIM_RESOURCE_H_
+
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "joinopt/common/histogram.h"
+
+namespace joinopt {
+
+/// Single FIFO server (disk, NIC link). Jobs are served one at a time in
+/// submission order.
+class FifoServer {
+ public:
+  FifoServer() = default;
+  explicit FifoServer(std::string name) : name_(std::move(name)) {}
+
+  /// Reserves `service` seconds of server time for a job arriving at `now`.
+  /// Returns the completion time.
+  double Reserve(double now, double service) {
+    double start = free_at_ > now ? free_at_ : now;
+    queue_delay_.Observe(start - now);
+    free_at_ = start + service;
+    busy_ += service;
+    ++jobs_;
+    return free_at_;
+  }
+
+  /// Earliest time a newly submitted job would start.
+  double free_at() const { return free_at_; }
+  /// Outstanding backlog relative to `now` (0 if idle).
+  double Backlog(double now) const {
+    return free_at_ > now ? free_at_ - now : 0.0;
+  }
+
+  double busy_time() const { return busy_; }
+  long jobs() const { return jobs_; }
+  const SummaryStats& queue_delay() const { return queue_delay_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  double free_at_ = 0.0;
+  double busy_ = 0.0;
+  long jobs_ = 0;
+  SummaryStats queue_delay_;
+};
+
+/// k identical servers with a shared FIFO queue (a multi-core CPU). Each job
+/// runs on the earliest-free core.
+class MultiServer {
+ public:
+  explicit MultiServer(int cores, std::string name = "")
+      : name_(std::move(name)), free_(static_cast<size_t>(cores), 0.0) {}
+
+  /// Reserves `service` seconds on the earliest-free core for a job arriving
+  /// at `now`. Returns the completion time.
+  double Reserve(double now, double service);
+
+  int cores() const { return static_cast<int>(free_.size()); }
+  /// Earliest time a newly submitted job would start.
+  double EarliestStart(double now) const;
+  /// Total queued-but-unstarted work relative to `now`, summed over cores.
+  double Backlog(double now) const;
+
+  double busy_time() const { return busy_; }
+  long jobs() const { return jobs_; }
+  const SummaryStats& queue_delay() const { return queue_delay_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  // Min-heap by free time, stored as a vector heap.
+  std::vector<double> free_;
+  double busy_ = 0.0;
+  long jobs_ = 0;
+  SummaryStats queue_delay_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_SIM_RESOURCE_H_

@@ -1,0 +1,127 @@
+#include "joinopt/skirental/cost_model.h"
+
+#include <algorithm>
+
+namespace joinopt {
+
+CostModel::CostModel(const CostModelConfig& config)
+    : config_(config),
+      sk_(config.alpha),
+      sp_(config.alpha),
+      scv_(config.alpha),
+      sv_(config.alpha),
+      local_tc_(config.alpha),
+      local_tdisk_(config.alpha),
+      reported_tc_service_(config.alpha),
+      reported_tdisk_service_(config.alpha) {}
+
+void CostModel::ObserveSizes(double key_bytes, double param_bytes,
+                             double computed_value_bytes,
+                             double stored_value_bytes) {
+  if (key_bytes >= 0) sk_.Observe(key_bytes);
+  if (param_bytes >= 0) sp_.Observe(param_bytes);
+  if (computed_value_bytes >= 0) scv_.Observe(computed_value_bytes);
+  if (stored_value_bytes >= 0) sv_.Observe(stored_value_bytes);
+}
+
+void CostModel::ObserveDataNode(NodeId j, const DataNodeCostReport& report) {
+  PerDataNode& pd = FindOrCreate(j);
+  if (report.t_disk > 0) pd.t_disk.Observe(report.t_disk);
+  if (report.t_cpu > 0) pd.t_cpu.Observe(report.t_cpu);
+  if (report.t_cpu_service > 0) {
+    reported_tc_service_.Observe(report.t_cpu_service);
+  }
+  if (report.t_disk_service > 0) {
+    reported_tdisk_service_.Observe(report.t_disk_service);
+  }
+}
+
+void CostModel::ObserveLocalCompute(double seconds) {
+  local_tc_.Observe(seconds);
+}
+
+void CostModel::ObserveLocalDisk(double seconds) {
+  local_tdisk_.Observe(seconds);
+}
+
+void CostModel::SetBandwidth(NodeId j, double bytes_per_sec) {
+  FindOrCreate(j).bandwidth = bytes_per_sec;
+}
+
+const CostModel::PerDataNode* CostModel::Find(NodeId j) const {
+  auto it = per_data_node_.find(j);
+  return it == per_data_node_.end() ? nullptr : &it->second;
+}
+
+CostModel::PerDataNode& CostModel::FindOrCreate(NodeId j) {
+  auto it = per_data_node_.find(j);
+  if (it == per_data_node_.end()) {
+    it = per_data_node_.emplace(j, PerDataNode(config_.alpha)).first;
+  }
+  return it->second;
+}
+
+double CostModel::avg_key_bytes() const {
+  return sk_.ValueOr(config_.prior_key_bytes);
+}
+double CostModel::avg_param_bytes() const {
+  return sp_.ValueOr(config_.prior_param_bytes);
+}
+double CostModel::avg_computed_value_bytes() const {
+  return scv_.ValueOr(config_.prior_computed_value_bytes);
+}
+double CostModel::avg_stored_value_bytes() const {
+  return sv_.ValueOr(config_.prior_stored_value_bytes);
+}
+double CostModel::local_compute_time() const {
+  // Before any local execution, estimate from the service times the data
+  // nodes report (the cluster is homogeneous), then the prior.
+  return local_tc_.ValueOr(
+      reported_tc_service_.ValueOr(config_.prior_compute_time));
+}
+double CostModel::local_disk_time() const {
+  return local_tdisk_.ValueOr(
+      reported_tdisk_service_.ValueOr(config_.prior_disk_time));
+}
+double CostModel::bandwidth(NodeId j) const {
+  const PerDataNode* pd = Find(j);
+  return (pd != nullptr && pd->bandwidth > 0) ? pd->bandwidth
+                                              : config_.prior_bandwidth;
+}
+double CostModel::data_node_disk_time(NodeId j) const {
+  const PerDataNode* pd = Find(j);
+  return pd != nullptr ? pd->t_disk.ValueOr(config_.prior_disk_time)
+                       : config_.prior_disk_time;
+}
+double CostModel::data_node_compute_time(NodeId j) const {
+  const PerDataNode* pd = Find(j);
+  return pd != nullptr ? pd->t_cpu.ValueOr(config_.prior_compute_time)
+                       : config_.prior_compute_time;
+}
+
+double CostModel::TCompute(NodeId j) const {
+  double net = (avg_key_bytes() + avg_param_bytes() +
+                avg_computed_value_bytes()) /
+               bandwidth(j);
+  return std::max({data_node_disk_time(j), net, data_node_compute_time(j)});
+}
+
+double CostModel::TFetch(NodeId j, double stored_value_bytes) const {
+  double sv = stored_value_bytes >= 0 ? stored_value_bytes
+                                      : avg_stored_value_bytes();
+  double net = (avg_key_bytes() + sv) / bandwidth(j);
+  return std::max(data_node_disk_time(j), net);
+}
+
+double CostModel::TRecMem() const { return local_compute_time(); }
+
+double CostModel::TRecDisk() const {
+  return std::max(local_compute_time(), local_disk_time());
+}
+
+ResolvedCosts CostModel::Resolve(NodeId j, double stored_value_bytes) const {
+  return ResolvedCosts{TCompute(j), TFetch(j, stored_value_bytes), TRecMem(),
+                       TRecDisk()};
+}
+
+}  // namespace joinopt

@@ -1,0 +1,127 @@
+// Runtime cost model (Section 3.2, Table 1 and Section 4.3). One instance
+// lives at each compute node. All parameters are measured at runtime and
+// exponentially smoothed; network bandwidth is measured once at setup (the
+// paper's Appendix D.4) and injected via SetBandwidth.
+//
+// Derived request costs from compute node i to data node j:
+//   tCompute = max(tDisk_j, (sk + sp + scv) / netBw_ij, tc_j)   [rent]
+//   tFetch   = max(tDisk_j, (sk + sv) / netBw_ij)               [buy]
+//   tRecMem  = tc_i                                             [recurring]
+//   tRecDisk = max(tc_i, tDisk_i)
+//
+// tc_j / tDisk_j are learned from statistics the data node piggybacks on
+// every response (Section 4.3: "it sends the parameters for cost computation
+// back to the compute node"). A data node under load reports a higher
+// effective tc_j — its per-UDF wall time includes queueing — which is what
+// lets the ski-rental react to data-node saturation.
+#ifndef JOINOPT_SKIRENTAL_COST_MODEL_H_
+#define JOINOPT_SKIRENTAL_COST_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "joinopt/common/ewma.h"
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+/// The Table 1 parameter vector for one (compute node, data node) pair,
+/// fully resolved. Produced by CostModel::Resolve for decision making and
+/// consumed by the ski-rental threshold helpers.
+struct ResolvedCosts {
+  double t_compute;  // rent: one compute request round
+  double t_fetch;    // buy: one data request round
+  double t_rec_mem;  // recurring, value cached in memory
+  double t_rec_disk; // recurring, value cached in the disk tier
+};
+
+struct CostModelConfig {
+  /// Smoothing factor for all EWMAs (Section 3.2's alpha).
+  double alpha = 0.2;
+  /// Priors used before the first measurement arrives.
+  double prior_key_bytes = 16.0;
+  double prior_param_bytes = 256.0;
+  double prior_computed_value_bytes = 256.0;
+  double prior_stored_value_bytes = 4096.0;
+  double prior_disk_time = 1e-3;
+  double prior_compute_time = 1e-3;
+  double prior_bandwidth = 125e6;  // 1 Gbps
+};
+
+/// Per-data-node statistics piggybacked on responses. Wall times include
+/// queueing (they measure *response* behaviour and make the ski-rental react
+/// to data-node load); service times exclude it (they estimate what the
+/// same work would cost on an idle, homogeneous machine — the compute
+/// node's bootstrap estimate for its own recurring cost before it has run
+/// any UDF locally).
+struct DataNodeCostReport {
+  double t_disk = 0.0;          // per-fetch wall time at the data node
+  double t_cpu = 0.0;           // per-UDF wall time at the data node
+  double t_disk_service = 0.0;  // pure disk service time
+  double t_cpu_service = 0.0;   // pure UDF CPU time
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CostModelConfig& config = {});
+
+  // ---- Measurements --------------------------------------------------
+  /// Records the sizes observed on one request/response exchange. Any
+  /// negative field is skipped (not every exchange observes every size).
+  void ObserveSizes(double key_bytes, double param_bytes,
+                    double computed_value_bytes, double stored_value_bytes);
+  /// Records a piggybacked report from data node `j`.
+  void ObserveDataNode(NodeId j, const DataNodeCostReport& report);
+  /// Records a locally executed UDF's wall time.
+  void ObserveLocalCompute(double seconds);
+  /// Records a local disk-cache fetch time.
+  void ObserveLocalDisk(double seconds);
+  /// Injects the setup-time bandwidth measurement for data node `j`
+  /// (bytes/second).
+  void SetBandwidth(NodeId j, double bytes_per_sec);
+
+  // ---- Derived costs (Section 4.3) -------------------------------------
+  /// Resolves all four costs toward data node `j` for an item whose stored
+  /// value size is `sv` bytes (pass a negative value to use the global
+  /// average).
+  ResolvedCosts Resolve(NodeId j, double stored_value_bytes = -1.0) const;
+
+  double TCompute(NodeId j) const;
+  double TFetch(NodeId j, double stored_value_bytes = -1.0) const;
+  double TRecMem() const;
+  double TRecDisk() const;
+
+  // ---- Accessors for the smoothed parameters --------------------------
+  double avg_key_bytes() const;
+  double avg_param_bytes() const;
+  double avg_computed_value_bytes() const;
+  double avg_stored_value_bytes() const;
+  double local_compute_time() const;
+  double local_disk_time() const;
+  double bandwidth(NodeId j) const;
+  double data_node_disk_time(NodeId j) const;
+  double data_node_compute_time(NodeId j) const;
+  const CostModelConfig& config() const { return config_; }
+
+ private:
+  struct PerDataNode {
+    Ewma t_disk;
+    Ewma t_cpu;
+    double bandwidth = -1.0;
+    PerDataNode(double alpha) : t_disk(alpha), t_cpu(alpha) {}
+  };
+  const PerDataNode* Find(NodeId j) const;
+  PerDataNode& FindOrCreate(NodeId j);
+
+  CostModelConfig config_;
+  Ewma sk_, sp_, scv_, sv_;
+  Ewma local_tc_, local_tdisk_;
+  /// Cluster-wide service-time estimates from reports: the fallback for
+  /// local recurring costs before any local execution happened.
+  Ewma reported_tc_service_, reported_tdisk_service_;
+  std::unordered_map<NodeId, PerDataNode> per_data_node_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_SKIRENTAL_COST_MODEL_H_

@@ -1,0 +1,255 @@
+#include "joinopt/skirental/decision_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "joinopt/freq/exact_counter.h"
+#include "joinopt/freq/lossy_counting.h"
+#include "joinopt/freq/space_saving.h"
+
+namespace joinopt {
+
+const char* RouteToString(Route route) {
+  switch (route) {
+    case Route::kLocalMemoryHit:
+      return "LocalMemoryHit";
+    case Route::kLocalDiskHit:
+      return "LocalDiskHit";
+    case Route::kFetchCacheMemory:
+      return "FetchCacheMemory";
+    case Route::kFetchCacheDisk:
+      return "FetchCacheDisk";
+    case Route::kComputeAtData:
+      return "ComputeAtData";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<BenefitPolicy> MakePolicy(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kLfuDa:
+      return std::make_unique<LfuDaPolicy>();
+    case EvictionKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case EvictionKind::kLfu:
+      return std::make_unique<LfuPolicy>();
+  }
+  return std::make_unique<LfuDaPolicy>();
+}
+
+std::unique_ptr<FrequencyCounter> MakeCounter(
+    const DecisionEngineConfig& config) {
+  switch (config.counter) {
+    case CounterKind::kLossyCounting:
+      return std::make_unique<LossyCounting>(config.counter_epsilon);
+    case CounterKind::kSpaceSaving:
+      return std::make_unique<SpaceSaving>(config.space_saving_capacity);
+    case CounterKind::kExact:
+      return std::make_unique<ExactCounter>();
+  }
+  return std::make_unique<LossyCounting>(config.counter_epsilon);
+}
+
+}  // namespace
+
+DecisionEngine::DecisionEngine(const DecisionEngineConfig& config)
+    : config_(config),
+      cost_model_(config.cost),
+      policy_(MakePolicy(config.eviction)),
+      cache_(std::make_unique<TieredCache>(config.cache, policy_.get())),
+      counter_(MakeCounter(config)) {}
+
+double DecisionEngine::BenefitWeight(Key /*key*/, NodeId data_node,
+                                     double sv) const {
+  double saved =
+      std::max(cost_model_.TCompute(data_node) - cost_model_.TRecMem(), 1e-9);
+  double size = sv > 0 ? sv : cost_model_.avg_stored_value_bytes();
+  return saved / std::max(size, 1.0);
+}
+
+DecisionEngine::KeyMeta* DecisionEngine::FindMeta(Key key) {
+  auto it = meta_.find(key);
+  return it == meta_.end() ? nullptr : &it->second;
+}
+
+DecisionEngine::KeyMeta* DecisionEngine::TouchMeta(Key key) {
+  auto it = meta_.find(key);
+  if (it != meta_.end()) return &it->second;
+  if (meta_.size() >= config_.max_key_meta) return nullptr;
+  return &meta_.emplace(key, KeyMeta{}).first->second;
+}
+
+void DecisionEngine::RecordMeta(Key key, double sv, uint64_t version) {
+  auto it = meta_.find(key);
+  if (it != meta_.end()) {
+    if (sv >= 0) it->second.stored_value_bytes = sv;
+    if (version > it->second.version) it->second.version = version;
+    return;
+  }
+  if (meta_.size() >= config_.max_key_meta) return;  // fall back to averages
+  meta_.emplace(key, KeyMeta{sv, version});
+}
+
+Decision DecisionEngine::Decide(Key key, NodeId data_node) {
+  ++decide_calls_;
+  if (frozen()) {
+    // Non-adaptive mode: serve what the warm-up cached, rent everything
+    // else; no counter/benefit/cache churn.
+    CacheTier tier = cache_->Lookup(key);
+    if (tier == CacheTier::kMemory) {
+      ++stats_.local_memory_hits;
+      return Decision{Route::kLocalMemoryHit, 0,
+                      std::numeric_limits<double>::infinity()};
+    }
+    if (tier == CacheTier::kDisk) {
+      ++stats_.local_disk_hits;
+      return Decision{Route::kLocalDiskHit, 0,
+                      std::numeric_limits<double>::infinity()};
+    }
+    ++stats_.compute_requests;
+    return Decision{Route::kComputeAtData, 0,
+                    std::numeric_limits<double>::infinity()};
+  }
+
+  // Algorithm 1 lines 1-2: updateBenefit(k), updateCounter(k).
+  int64_t count = counter_->Observe(key);
+  KeyMeta* meta = TouchMeta(key);
+  double sv = meta != nullptr ? meta->stored_value_bytes : -1.0;
+  double benefit = policy_->Benefit(count, BenefitWeight(key, data_node, sv));
+  if (meta != nullptr) meta->last_benefit = benefit;
+  cache_->UpdateBenefit(key, benefit);
+
+  // Lines 3-9: cache hits compute locally; a disk hit may be promoted.
+  CacheTier tier = cache_->Lookup(key);
+  if (tier == CacheTier::kMemory) {
+    ++stats_.local_memory_hits;
+    return Decision{Route::kLocalMemoryHit, count,
+                    std::numeric_limits<double>::infinity()};
+  }
+  if (tier == CacheTier::kDisk) {
+    ++stats_.local_disk_hits;
+    cache_->CondCacheInMemory(key, cache_->ItemSize(key), benefit,
+                              /*insert=*/true);
+    return Decision{Route::kLocalDiskHit, count,
+                    std::numeric_limits<double>::infinity()};
+  }
+
+  // Cache miss. The very first request for a key is always a compute
+  // request: the compute node has no cost parameters for it yet
+  // (Section 4.3).
+  if (meta == nullptr || sv < 0) {
+    ++stats_.first_requests;
+    ++stats_.compute_requests;
+    return Decision{Route::kComputeAtData, count,
+                    std::numeric_limits<double>::infinity(),
+                    /*first_request=*/true};
+  }
+
+  if (!config_.caching_enabled) {
+    ++stats_.compute_requests;
+    return Decision{Route::kComputeAtData, count,
+                    std::numeric_limits<double>::infinity()};
+  }
+
+  ResolvedCosts costs = cost_model_.Resolve(data_node, sv);
+  // Section 4.3's assumption check: when fetching is outright cheaper than a
+  // compute request, always issue data requests (threshold 0).
+  double threshold_mem =
+      costs.t_fetch <= costs.t_compute
+          ? 0.0
+          : SkiRentalBuyThreshold(costs.t_compute, costs.t_fetch,
+                                  costs.t_rec_mem);
+
+  // Lines 11-12: not frequent enough for the memory tier -> rent.
+  if (static_cast<double>(count) <= threshold_mem) {
+    ++stats_.compute_requests;
+    return Decision{Route::kComputeAtData, count, threshold_mem};
+  }
+
+  // Line 14: frequent enough — can the memory tier take it?
+  if (cache_->CondCacheInMemory(key, sv, benefit, /*insert=*/false)) {
+    ++stats_.fetch_memory;
+    return Decision{Route::kFetchCacheMemory, count, threshold_mem};
+  }
+
+  // Lines 16-19: memory is contended; re-check with the disk-tier recurring
+  // cost (brD >= brM, so this threshold is at least as large).
+  double threshold_disk =
+      costs.t_fetch <= costs.t_compute
+          ? 0.0
+          : SkiRentalBuyThreshold(costs.t_compute, costs.t_fetch,
+                                  costs.t_rec_disk);
+  if (static_cast<double>(count) <= threshold_disk) {
+    ++stats_.compute_requests;
+    return Decision{Route::kComputeAtData, count, threshold_disk};
+  }
+  ++stats_.fetch_disk;
+  return Decision{Route::kFetchCacheDisk, count, threshold_disk};
+}
+
+void DecisionEngine::OnValueFetched(Key key, Route route,
+                                    double stored_value_bytes,
+                                    uint64_t version) {
+  assert(route == Route::kFetchCacheMemory ||
+         route == Route::kFetchCacheDisk);
+  RecordMeta(key, stored_value_bytes, version);
+  cost_model_.ObserveSizes(-1, -1, -1, stored_value_bytes);
+  const KeyMeta* meta = FindMeta(key);
+  // Admission uses the benefit scored at decision time (the most recent
+  // Decide for this key); falls back to a fresh score if the meta slot was
+  // capped out.
+  double benefit =
+      meta != nullptr
+          ? meta->last_benefit
+          : policy_->Benefit(counter_->EstimatedCount(key), 1.0);
+  if (route == Route::kFetchCacheMemory) {
+    // Conditions may have changed between the decision and the value's
+    // arrival; re-run the admission check, falling back to the disk tier.
+    if (!cache_->CondCacheInMemory(key, stored_value_bytes, benefit,
+                                   /*insert=*/true)) {
+      cache_->InsertDisk(key, stored_value_bytes, benefit);
+    }
+  } else {
+    cache_->InsertDisk(key, stored_value_bytes, benefit);
+  }
+}
+
+void DecisionEngine::OnComputeResponse(Key key, NodeId j,
+                                       double stored_value_bytes,
+                                       uint64_t version,
+                                       const DataNodeCostReport& report) {
+  cost_model_.ObserveDataNode(j, report);
+  cost_model_.ObserveSizes(-1, -1, -1, stored_value_bytes);
+  KeyMeta* meta = FindMeta(key);
+  // version 0 in the meta slot means "never seen a version yet" — only a
+  // change between two *known* versions is an update (Section 4.2.3).
+  if (meta != nullptr && meta->version > 0 && version > meta->version) {
+    // The item changed between two compute requests: treat it as new so
+    // frequently-updated items are not bought.
+    counter_->ResetKey(key);
+    cache_->Invalidate(key);
+    ++stats_.update_resets;
+  }
+  RecordMeta(key, stored_value_bytes, version);
+}
+
+void DecisionEngine::OnUpdateNotification(Key key, uint64_t new_version) {
+  KeyMeta* meta = FindMeta(key);
+  if (meta != nullptr && new_version <= meta->version) return;  // stale
+  if (cache_->Peek(key) != CacheTier::kNone) {
+    cache_->Invalidate(key);
+    ++stats_.update_invalidations;
+  }
+  counter_->ResetKey(key);
+  ++stats_.update_resets;
+  RecordMeta(key, -1.0, new_version);
+}
+
+double DecisionEngine::KnownValueSize(Key key) const {
+  auto it = meta_.find(key);
+  return it == meta_.end() ? -1.0 : it->second.stored_value_bytes;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,167 @@
+// The per-compute-node decision engine: Algorithm 1 (skiRentalCaching) wired
+// to the frequency counter (Section 4.3), the two-tier cache (Section 4.2.2)
+// and the cost model (Section 3.2/4.3). Given an incoming key it routes the
+// request to one of:
+//   * local computation against a memory- or disk-cached value,
+//   * a data request (fetch the stored value, cache it at the decided tier,
+//     compute locally), or
+//   * a compute request (ship (k, p) to the data node).
+// It also implements the update-handling rules of Section 4.2.3 (version
+// piggybacking, counter reset, cache invalidation).
+#ifndef JOINOPT_SKIRENTAL_DECISION_ENGINE_H_
+#define JOINOPT_SKIRENTAL_DECISION_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "joinopt/cache/policy.h"
+#include "joinopt/cache/tiered_cache.h"
+#include "joinopt/freq/counter.h"
+#include "joinopt/skirental/cost_model.h"
+#include "joinopt/skirental/ski_rental.h"
+
+namespace joinopt {
+
+/// Where a request should be executed / how its value should be obtained.
+enum class Route {
+  kLocalMemoryHit,    ///< value in mCache: compute the UDF locally
+  kLocalDiskHit,      ///< value in dCache: compute locally (maybe promote)
+  kFetchCacheMemory,  ///< data request; cache in memory when the value lands
+  kFetchCacheDisk,    ///< data request; cache on disk when the value lands
+  kComputeAtData,     ///< compute request (rent)
+};
+
+const char* RouteToString(Route route);
+
+struct Decision {
+  Route route;
+  /// Estimated access count of the key after this request.
+  int64_t access_count;
+  /// Ski-rental buy threshold that applied (+inf when renting forever).
+  double buy_threshold;
+  /// True when this was forced to kComputeAtData because the key's cost
+  /// parameters are still unknown (Section 4.3's first-request rule).
+  /// Callers may hold same-key work until the parameters arrive instead of
+  /// flooding the data node with more blind requests.
+  bool first_request = false;
+};
+
+/// Which frequency counter backs the engine (ablation knob).
+enum class CounterKind { kLossyCounting, kSpaceSaving, kExact };
+
+/// Which eviction/benefit policy the caches use (ablation knob).
+enum class EvictionKind { kLfuDa, kLru, kLfu };
+
+struct DecisionEngineConfig {
+  CostModelConfig cost;
+  TieredCacheConfig cache;
+  CounterKind counter = CounterKind::kLossyCounting;
+  double counter_epsilon = 1e-4;
+  size_t space_saving_capacity = 1 << 16;
+  EvictionKind eviction = EvictionKind::kLfuDa;
+  /// Upper bound on the per-key metadata map (sv, version). Beyond this the
+  /// engine falls back to global size averages for new keys.
+  size_t max_key_meta = 1 << 20;
+  /// When false, the engine never buys: every miss becomes a compute
+  /// request. (The LO strategy and the FD baseline run with caching off.)
+  bool caching_enabled = true;
+  /// Non-adaptive mode (Section 9.3.2's comparison): after this many
+  /// Decide calls, ski-rental/caching decisions freeze — cache hits are
+  /// still served but no new values are bought and cache contents stop
+  /// changing. 0 = always adaptive.
+  int64_t freeze_after_decisions = 0;
+};
+
+struct DecisionEngineStats {
+  int64_t local_memory_hits = 0;
+  int64_t local_disk_hits = 0;
+  int64_t fetch_memory = 0;
+  int64_t fetch_disk = 0;
+  int64_t compute_requests = 0;
+  int64_t first_requests = 0;      // forced compute: costs unknown
+  int64_t update_resets = 0;       // Section 4.2.3 counter resets
+  int64_t update_invalidations = 0;
+};
+
+class DecisionEngine {
+ public:
+  explicit DecisionEngine(const DecisionEngineConfig& config = {});
+
+  /// Routes one incoming request for `key`, owned by data node
+  /// `data_node`. Updates benefit and counter state (Algorithm 1 lines 1-2)
+  /// and returns the routing decision.
+  Decision Decide(Key key, NodeId data_node);
+
+  /// The value bought by a data request has arrived: insert it into the
+  /// tier the decision chose (`route` must be one of the kFetch* routes).
+  /// `stored_value_bytes` is the actual size; `version` the item's version
+  /// at fetch time.
+  void OnValueFetched(Key key, Route route, double stored_value_bytes,
+                      uint64_t version);
+
+  /// A compute-request response arrived from data node `j` carrying
+  /// piggybacked cost parameters and the item's current version
+  /// (Section 4.3 and 4.2.3).
+  void OnComputeResponse(Key key, NodeId j, double stored_value_bytes,
+                         uint64_t version, const DataNodeCostReport& report);
+
+  /// Push-style update notification from the data store for `key`
+  /// (Section 4.2.3's targeted notification path).
+  void OnUpdateNotification(Key key, uint64_t new_version);
+
+  /// After a local UDF execution finished, feed its wall time back.
+  void ObserveLocalCompute(double seconds) {
+    cost_model_.ObserveLocalCompute(seconds);
+  }
+  void ObserveLocalDisk(double seconds) {
+    cost_model_.ObserveLocalDisk(seconds);
+  }
+
+  CostModel& cost_model() { return cost_model_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  TieredCache& cache() { return *cache_; }
+  const TieredCache& cache() const { return *cache_; }
+  FrequencyCounter& counter() { return *counter_; }
+  const DecisionEngineStats& stats() const { return stats_; }
+  const DecisionEngineConfig& config() const { return config_; }
+
+  /// Known stored-value size for a key (< 0 when unknown).
+  double KnownValueSize(Key key) const;
+
+  /// Whether the non-adaptive freeze is in effect.
+  bool frozen() const {
+    return config_.freeze_after_decisions > 0 &&
+           decide_calls_ >= config_.freeze_after_decisions;
+  }
+
+ private:
+  struct KeyMeta {
+    double stored_value_bytes = -1.0;
+    uint64_t version = 0;
+    /// Benefit computed at the most recent Decide (reused when the fetched
+    /// value lands, so admission sees the score current at decision time).
+    double last_benefit = 0.0;
+  };
+
+  /// Benefit weight: cost saved per access divided by item size, which is
+  /// what the weighted LFU-DA of [Arlitt et al.] keys on.
+  double BenefitWeight(Key key, NodeId data_node, double sv) const;
+  KeyMeta* FindMeta(Key key);
+  /// Creates the meta slot if the cap allows; may return nullptr.
+  KeyMeta* TouchMeta(Key key);
+  void RecordMeta(Key key, double sv, uint64_t version);
+
+  DecisionEngineConfig config_;
+  CostModel cost_model_;
+  std::unique_ptr<BenefitPolicy> policy_;
+  std::unique_ptr<TieredCache> cache_;
+  std::unique_ptr<FrequencyCounter> counter_;
+  std::unordered_map<Key, KeyMeta> meta_;
+  DecisionEngineStats stats_;
+  int64_t decide_calls_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_SKIRENTAL_DECISION_ENGINE_H_

@@ -1,0 +1,26 @@
+#include "joinopt/skirental/ski_rental.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace joinopt {
+
+double SkiRentalOnlineCost(int64_t accesses, double rent_cost,
+                           double buy_cost, double recurring_cost) {
+  double m = SkiRentalBuyThreshold(rent_cost, buy_cost, recurring_cost);
+  double a = static_cast<double>(accesses);
+  if (a <= m) return a * rent_cost;  // never bought
+  // Rent for floor(m) accesses, buy, then pay recurring for the rest.
+  double rented = std::floor(m);
+  return rented * rent_cost + buy_cost + (a - rented) * recurring_cost;
+}
+
+double SkiRentalOfflineCost(int64_t accesses, double rent_cost,
+                            double buy_cost, double recurring_cost) {
+  double a = static_cast<double>(accesses);
+  double rent_always = a * rent_cost;
+  double buy_first = buy_cost + a * recurring_cost;
+  return std::min(rent_always, buy_first);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,65 @@
+// Ski-rental formulations (Section 4). Pure math, no state:
+//
+//  * Classic [Karlin et al. 1988]: rent at cost r per use or buy once at
+//    cost b; renting for the first b/r uses and then buying is
+//    2-competitive.
+//  * Extended with a recurring cost br charged on every use *after* buying
+//    (Section 4.2.1): keep renting while r*m <= b + br*m, i.e. buy at
+//    m = b/(r - br) accesses when r > br; never buy when r <= br. The
+//    competitive ratio becomes 2 - br/r.
+//
+// In the join-location setting: renting = a compute request (ship (k,p) to
+// the data node), buying = a data request (fetch the stored value and cache
+// it), and the recurring cost = executing the UDF locally on the cached
+// value.
+#ifndef JOINOPT_SKIRENTAL_SKI_RENTAL_H_
+#define JOINOPT_SKIRENTAL_SKI_RENTAL_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace joinopt {
+
+/// Number of accesses after which buying becomes worthwhile: b / (r - br),
+/// or +infinity when renting is never beaten (r <= br) or inputs are
+/// degenerate. The classic problem is the br = 0 special case.
+inline double SkiRentalBuyThreshold(double rent_cost, double buy_cost,
+                                    double recurring_cost = 0.0) {
+  if (rent_cost <= recurring_cost || buy_cost < 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return buy_cost / (rent_cost - recurring_cost);
+}
+
+/// The online decision: buy once the observed access count reaches the
+/// threshold. `accesses` is the number of accesses seen so far *including*
+/// the current one.
+inline bool SkiRentalShouldBuy(int64_t accesses, double rent_cost,
+                               double buy_cost, double recurring_cost = 0.0) {
+  double m = SkiRentalBuyThreshold(rent_cost, buy_cost, recurring_cost);
+  return static_cast<double>(accesses) > m;
+}
+
+/// Worst-case competitive ratio of the extended policy: 2 - br/r
+/// (Section 4.2.1); 2 for the classic problem. Returns 1 when buying never
+/// happens (always renting is then optimal among the considered policies).
+inline double SkiRentalCompetitiveRatio(double rent_cost,
+                                        double recurring_cost = 0.0) {
+  if (rent_cost <= 0.0 || recurring_cost >= rent_cost) return 1.0;
+  return 2.0 - recurring_cost / rent_cost;
+}
+
+/// Total cost of the online policy if the item ends up accessed `accesses`
+/// times: rent until the threshold, then buy, then pay recurring. Used by
+/// the property tests to verify the competitive-ratio guarantee against the
+/// offline optimum.
+double SkiRentalOnlineCost(int64_t accesses, double rent_cost,
+                           double buy_cost, double recurring_cost = 0.0);
+
+/// Offline optimal cost with hindsight: min(rent always, buy at first use).
+double SkiRentalOfflineCost(int64_t accesses, double rent_cost,
+                            double buy_cost, double recurring_cost = 0.0);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_SKIRENTAL_SKI_RENTAL_H_

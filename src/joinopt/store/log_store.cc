@@ -1,0 +1,191 @@
+#include "joinopt/store/log_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace joinopt {
+
+LogStructuredStore::LogStructuredStore(const LogStoreConfig& config)
+    : config_(config) {
+  segments_.push_back(std::make_unique<Segment>());
+}
+
+LogStructuredStore::Segment& LogStructuredStore::ActiveSegment() {
+  Segment& active = *segments_.back();
+  if (active.bytes >= config_.segment_bytes) {
+    segments_.back()->sealed = true;
+    segments_.push_back(std::make_unique<Segment>());
+  }
+  return *segments_.back();
+}
+
+void LogStructuredStore::Append(Record record) {
+  Key key = record.key;
+  uint64_t version = record.version;
+  bool tombstone = record.tombstone;
+  Segment& seg = ActiveSegment();
+  seg.bytes += record.bytes();
+  seg.records.push_back(std::move(record));
+  size_t seg_index = segments_.size() - 1;
+  size_t offset = seg.records.size() - 1;
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    MarkGarbage(it->second);
+    if (tombstone) {
+      index_.erase(it);
+    } else {
+      it->second = IndexEntry{seg_index, offset, version};
+    }
+  } else if (!tombstone) {
+    index_.emplace(key, IndexEntry{seg_index, offset, version});
+  } else {
+    // Tombstone for an absent key: immediately garbage.
+    seg.garbage_bytes += seg.records.back().bytes();
+  }
+}
+
+void LogStructuredStore::MarkGarbage(const IndexEntry& entry) {
+  Segment& seg = *segments_[entry.segment];
+  seg.garbage_bytes += seg.records[entry.offset].bytes();
+}
+
+uint64_t LogStructuredStore::Put(Key key, std::string value) {
+  ++stats_.puts;
+  auto it = index_.find(key);
+  uint64_t version = it != index_.end() ? it->second.version + 1 : 1;
+  Append(Record{key, version, false, std::move(value)});
+  if (config_.auto_compact) MaybeCompact();
+  return version;
+}
+
+StatusOr<std::string> LogStructuredStore::Get(Key key) const {
+  ++stats_.gets;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  const Segment& seg = *segments_[it->second.segment];
+  return seg.records[it->second.offset].value;
+}
+
+uint64_t LogStructuredStore::VersionOf(Key key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second.version;
+}
+
+bool LogStructuredStore::Contains(Key key) const {
+  return index_.count(key) > 0;
+}
+
+Status LogStructuredStore::Delete(Key key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  ++stats_.deletes;
+  uint64_t version = it->second.version + 1;
+  Append(Record{key, version, true, ""});
+  if (config_.auto_compact) MaybeCompact();
+  return Status::OK();
+}
+
+void LogStructuredStore::MaybeCompact() {
+  for (size_t s = 0; s + 1 < segments_.size(); ++s) {  // sealed only
+    const Segment& seg = *segments_[s];
+    if (seg.bytes > 0 &&
+        static_cast<double>(seg.garbage_bytes) /
+                static_cast<double>(seg.bytes) >=
+            config_.compaction_garbage_ratio) {
+      CompactSegment(s);
+    }
+  }
+}
+
+int LogStructuredStore::CompactNow() {
+  int compacted = 0;
+  for (size_t s = 0; s + 1 < segments_.size(); ++s) {
+    const Segment& seg = *segments_[s];
+    if (seg.bytes > 0 && seg.garbage_bytes > 0 &&
+        static_cast<double>(seg.garbage_bytes) /
+                static_cast<double>(seg.bytes) >=
+            config_.compaction_garbage_ratio) {
+      CompactSegment(s);
+      ++compacted;
+    }
+  }
+  return compacted;
+}
+
+void LogStructuredStore::CompactSegment(size_t seg_index) {
+  ++stats_.compactions;
+  Segment& seg = *segments_[seg_index];
+  // Re-append live records (those the index still points at) to the active
+  // segment, then drop this one's contents.
+  std::vector<Record> live;
+  for (size_t off = 0; off < seg.records.size(); ++off) {
+    auto it = index_.find(seg.records[off].key);
+    if (it != index_.end() && it->second.segment == seg_index &&
+        it->second.offset == off) {
+      live.push_back(seg.records[off]);
+    }
+  }
+  seg.records.clear();
+  seg.bytes = 0;
+  seg.garbage_bytes = 0;
+  for (Record& record : live) {
+    ++stats_.records_rewritten;
+    Key key = record.key;
+    uint64_t version = record.version;
+    // Append without bumping the version: compaction is invisible.
+    Segment& dst = ActiveSegment();
+    dst.bytes += record.bytes();
+    dst.records.push_back(std::move(record));
+    index_[key] =
+        IndexEntry{segments_.size() - 1, dst.records.size() - 1, version};
+  }
+}
+
+void LogStructuredStore::RecoverIndex() {
+  // Replay the log in order: the highest version per key wins.
+  std::unordered_map<Key, IndexEntry> rebuilt;
+  std::unordered_map<Key, bool> dead;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& seg = *segments_[s];
+    for (size_t off = 0; off < seg.records.size(); ++off) {
+      const Record& record = seg.records[off];
+      auto it = rebuilt.find(record.key);
+      if (it != rebuilt.end() && it->second.version >= record.version) {
+        continue;
+      }
+      if (record.tombstone) {
+        rebuilt.erase(record.key);
+        dead[record.key] = true;
+        continue;
+      }
+      dead.erase(record.key);
+      rebuilt[record.key] = IndexEntry{s, off, record.version};
+    }
+  }
+  index_ = std::move(rebuilt);
+}
+
+LogStoreStats LogStructuredStore::stats() const {
+  LogStoreStats out = stats_;
+  out.live_keys = index_.size();
+  out.segments = segments_.size();
+  for (const auto& [key, entry] : index_) {
+    out.live_bytes += segments_[entry.segment]->records[entry.offset].bytes();
+  }
+  for (const auto& seg : segments_) out.total_bytes += seg->bytes;
+  return out;
+}
+
+void LogStructuredStore::ForEach(
+    const std::function<void(Key, const std::string&)>& fn) const {
+  for (const auto& [key, entry] : index_) {
+    fn(key, segments_[entry.segment]->records[entry.offset].value);
+  }
+}
+
+}  // namespace joinopt

@@ -1,0 +1,112 @@
+// Log-structured key-value store: the storage engine behind the real
+// (non-simulated) data service. Writes append to fixed-size segments; a
+// hash index maps keys to their latest record; deletes write tombstones;
+// compaction rewrites live records out of garbage-heavy segments.
+//
+// This is the classic bitcask/LSM-lite design: O(1) indexed point reads
+// (what the paper's framework requires of its data store) with sequential
+// write amplification controlled by the compaction trigger.
+#ifndef JOINOPT_STORE_LOG_STORE_H_
+#define JOINOPT_STORE_LOG_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/common/status.h"
+
+namespace joinopt {
+
+struct LogStoreConfig {
+  /// Segment capacity in bytes; a full segment is sealed and a new one
+  /// opened.
+  size_t segment_bytes = 4 * 1024 * 1024;
+  /// Compact a sealed segment once this fraction of its bytes is garbage
+  /// (overwritten or deleted records).
+  double compaction_garbage_ratio = 0.5;
+  /// Run compaction automatically inside Put/Delete when triggered.
+  bool auto_compact = true;
+};
+
+struct LogStoreStats {
+  int64_t puts = 0;
+  int64_t gets = 0;
+  int64_t deletes = 0;
+  int64_t compactions = 0;
+  int64_t records_rewritten = 0;
+  size_t live_keys = 0;
+  size_t segments = 0;
+  size_t live_bytes = 0;
+  size_t total_bytes = 0;  // live + garbage
+};
+
+class LogStructuredStore {
+ public:
+  explicit LogStructuredStore(const LogStoreConfig& config = {});
+
+  /// Inserts or overwrites; returns the record's version (monotonic per
+  /// key).
+  uint64_t Put(Key key, std::string value);
+
+  /// Point lookup via the hash index.
+  StatusOr<std::string> Get(Key key) const;
+  /// Latest version of a key (0 if absent).
+  uint64_t VersionOf(Key key) const;
+  bool Contains(Key key) const;
+
+  Status Delete(Key key);
+
+  /// Compacts every segment whose garbage ratio exceeds the threshold.
+  /// Returns the number of segments compacted.
+  int CompactNow();
+
+  /// Rebuilds the index from the log — the recovery path. Verifies that a
+  /// rebuilt index matches the live one (used by tests and on "restart").
+  void RecoverIndex();
+
+  LogStoreStats stats() const;
+  size_t size() const { return index_.size(); }
+
+  /// Iterates live records.
+  void ForEach(
+      const std::function<void(Key, const std::string&)>& fn) const;
+
+ private:
+  struct Record {
+    Key key;
+    uint64_t version;
+    bool tombstone;
+    std::string value;
+    size_t bytes() const { return value.size() + 24; }
+  };
+  struct Segment {
+    std::vector<Record> records;
+    size_t bytes = 0;
+    size_t garbage_bytes = 0;
+    bool sealed = false;
+  };
+  struct IndexEntry {
+    size_t segment;
+    size_t offset;  // record index within the segment
+    uint64_t version;
+  };
+
+  Segment& ActiveSegment();
+  void Append(Record record);
+  void MarkGarbage(const IndexEntry& entry);
+  void MaybeCompact();
+  void CompactSegment(size_t seg_index);
+
+  LogStoreConfig config_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::unordered_map<Key, IndexEntry> index_;
+  mutable LogStoreStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STORE_LOG_STORE_H_

@@ -1,0 +1,64 @@
+#include "joinopt/store/parallel_store.h"
+
+#include <cassert>
+
+namespace joinopt {
+
+ParallelStore::ParallelStore(const ParallelStoreConfig& config,
+                             std::vector<NodeId> data_node_ids,
+                             std::vector<NodeId> compute_node_ids)
+    : config_(config),
+      data_node_ids_(data_node_ids),
+      regions_(static_cast<int>(data_node_ids.size()) *
+                   config.regions_per_node,
+               data_node_ids),
+      notifier_(config.notify_mode, std::move(compute_node_ids)) {
+  for (NodeId id : data_node_ids_) {
+    engines_.emplace(id, std::make_unique<StorageEngine>());
+  }
+}
+
+void ParallelStore::Put(Key key, StoredItem item) {
+  engine(OwnerOf(key)).Put(key, std::move(item));
+}
+
+StatusOr<StoredItem> ParallelStore::Get(Key key) const {
+  return engine(OwnerOf(key)).Get(key);
+}
+
+const StoredItem* ParallelStore::Find(Key key) const {
+  return engine(OwnerOf(key)).Find(key);
+}
+
+StatusOr<ParallelStore::UpdateResult> ParallelStore::Update(
+    Key key, std::function<void(StoredItem&)> mutator) {
+  auto version = engine(OwnerOf(key)).Update(key, std::move(mutator));
+  if (!version.ok()) return version.status();
+  return UpdateResult{*version, notifier_.OnUpdate(key)};
+}
+
+StorageEngine& ParallelStore::engine(NodeId data_node) {
+  auto it = engines_.find(data_node);
+  assert(it != engines_.end() && "not a data node");
+  return *it->second;
+}
+
+const StorageEngine& ParallelStore::engine(NodeId data_node) const {
+  auto it = engines_.find(data_node);
+  assert(it != engines_.end() && "not a data node");
+  return *it->second;
+}
+
+size_t ParallelStore::total_items() const {
+  size_t n = 0;
+  for (const auto& [id, e] : engines_) n += e->size();
+  return n;
+}
+
+double ParallelStore::total_bytes() const {
+  double n = 0;
+  for (const auto& [id, e] : engines_) n += e->total_bytes();
+  return n;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,81 @@
+// The parallel data store facade (HBase analogue): region-partitioned
+// StorageEngines across data nodes, point access by primary key, server-side
+// UDF execution (the coprocessor path the framework's compute requests use),
+// and versioned updates feeding the UpdateNotifier.
+//
+// The facade is substrate-agnostic: it stores items and answers ownership
+// questions; *cost* (disk time, network time) is charged by whichever runtime
+// drives it — the simulator's DataNodeRuntime in the experiments.
+#ifndef JOINOPT_STORE_PARALLEL_STORE_H_
+#define JOINOPT_STORE_PARALLEL_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "joinopt/common/status.h"
+#include "joinopt/store/region_map.h"
+#include "joinopt/store/storage_engine.h"
+#include "joinopt/store/update_notifier.h"
+
+namespace joinopt {
+
+struct ParallelStoreConfig {
+  /// Regions per data node (HBase-style: several regions per server).
+  int regions_per_node = 4;
+  NotifyMode notify_mode = NotifyMode::kTargeted;
+};
+
+class ParallelStore {
+ public:
+  ParallelStore(const ParallelStoreConfig& config,
+                std::vector<NodeId> data_node_ids,
+                std::vector<NodeId> compute_node_ids);
+
+  /// Data node owning `key`.
+  NodeId OwnerOf(Key key) const { return regions_.OwnerOf(key); }
+
+  /// Loads an item (bulk load path; lands on the owner's engine).
+  void Put(Key key, StoredItem item);
+
+  /// Point lookup routed to the owner's engine.
+  StatusOr<StoredItem> Get(Key key) const;
+  const StoredItem* Find(Key key) const;
+
+  /// Versioned update; returns the new version and the compute nodes the
+  /// notifier says must be told (Section 4.2.3).
+  struct UpdateResult {
+    uint64_t new_version;
+    std::vector<NodeId> notify;
+  };
+  StatusOr<UpdateResult> Update(Key key,
+                                std::function<void(StoredItem&)> mutator);
+
+  /// Records that a compute node fetched `key` (so targeted notification
+  /// knows where copies live).
+  void RegisterFetch(Key key, NodeId compute_node) {
+    notifier_.RegisterFetch(key, compute_node);
+  }
+
+  StorageEngine& engine(NodeId data_node);
+  const StorageEngine& engine(NodeId data_node) const;
+  RegionMap& regions() { return regions_; }
+  const RegionMap& regions() const { return regions_; }
+  UpdateNotifier& notifier() { return notifier_; }
+
+  size_t total_items() const;
+  double total_bytes() const;
+  const std::vector<NodeId>& data_node_ids() const { return data_node_ids_; }
+
+ private:
+  ParallelStoreConfig config_;
+  std::vector<NodeId> data_node_ids_;
+  RegionMap regions_;
+  UpdateNotifier notifier_;
+  std::unordered_map<NodeId, std::unique_ptr<StorageEngine>> engines_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STORE_PARALLEL_STORE_H_

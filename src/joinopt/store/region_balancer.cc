@@ -1,0 +1,96 @@
+#include "joinopt/store/region_balancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace joinopt {
+
+namespace {
+
+std::map<NodeId, double> NodeLoads(const RegionMap& regions,
+                                   const std::vector<double>& region_load) {
+  std::map<NodeId, double> loads;
+  for (NodeId n : regions.data_nodes()) loads[n] = 0.0;
+  for (int r = 0; r < regions.num_regions(); ++r) {
+    double load = static_cast<size_t>(r) < region_load.size()
+                      ? region_load[static_cast<size_t>(r)]
+                      : 0.0;
+    loads[regions.RegionOwner(r)] += load;
+  }
+  return loads;
+}
+
+}  // namespace
+
+double RegionBalancer::Imbalance(const RegionMap& regions,
+                                 const std::vector<double>& region_load) {
+  auto loads = NodeLoads(regions, region_load);
+  double total = 0.0, max_load = 0.0;
+  for (const auto& [n, l] : loads) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  double mean = total / static_cast<double>(loads.size());
+  return mean > 0 ? max_load / mean : 1.0;
+}
+
+std::vector<RegionMove> RegionBalancer::PlanMoves(
+    const RegionMap& regions, const std::vector<double>& region_load) const {
+  // Work on a scratch copy so planning has no side effects.
+  RegionMap scratch = regions;
+  std::vector<RegionMove> moves;
+  auto loads = NodeLoads(scratch, region_load);
+  double total = 0.0;
+  for (const auto& [n, l] : loads) total += l;
+  double mean = total / static_cast<double>(loads.size());
+  if (mean <= 0) return moves;
+
+  for (int iteration = 0; iteration < config_.max_moves; ++iteration) {
+    // Identify the most and least loaded nodes.
+    NodeId hot = loads.begin()->first, cold = loads.begin()->first;
+    for (const auto& [n, l] : loads) {
+      if (l > loads[hot]) hot = n;
+      if (l < loads[cold]) cold = n;
+    }
+    if (loads[hot] <= config_.imbalance_threshold * mean) break;
+
+    // Best region to move: transferring load l changes the hot-cold gap to
+    // |gap - 2l|, so the region with load closest to gap/2 equalizes the
+    // pair best (moving more than the gap would just swap the imbalance).
+    double gap = loads[hot] - loads[cold];
+    int best_region = -1;
+    double best_load = 0.0;
+    double best_distance = gap;
+    for (int r : scratch.RegionsOf(hot)) {
+      double l = static_cast<size_t>(r) < region_load.size()
+                     ? region_load[static_cast<size_t>(r)]
+                     : 0.0;
+      if (l <= 0 || l >= gap) continue;
+      double distance = std::abs(gap / 2.0 - l);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_load = l;
+        best_region = r;
+      }
+    }
+    if (best_region < 0 || best_load < config_.min_improvement * mean) break;
+
+    moves.push_back(RegionMove{best_region, hot, cold});
+    (void)scratch.MoveRegion(best_region, cold);
+    loads[hot] -= best_load;
+    loads[cold] += best_load;
+  }
+  return moves;
+}
+
+std::vector<RegionMove> RegionBalancer::Rebalance(
+    RegionMap& regions, const std::vector<double>& region_load) const {
+  std::vector<RegionMove> moves = PlanMoves(regions, region_load);
+  for (const RegionMove& move : moves) {
+    (void)regions.MoveRegion(move.region, move.to);
+  }
+  return moves;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,60 @@
+// The data store's long-term load balancer (Section 5: "Data storage
+// systems can perform data migration to deal with load imbalances across
+// data nodes, but since data migration is usually expensive, this would be
+// done for long-term load imbalances" — HBase's balancer). Given observed
+// per-region load, it proposes region moves that shrink the spread between
+// the most- and least-loaded data nodes, subject to a minimum-improvement
+// bar so migrations only happen for persistent imbalance.
+#ifndef JOINOPT_STORE_REGION_BALANCER_H_
+#define JOINOPT_STORE_REGION_BALANCER_H_
+
+#include <vector>
+
+#include "joinopt/store/region_map.h"
+
+namespace joinopt {
+
+struct RegionMove {
+  int region;
+  NodeId from;
+  NodeId to;
+};
+
+struct RegionBalancerConfig {
+  /// Keep proposing moves while max node load exceeds the mean by this
+  /// factor.
+  double imbalance_threshold = 1.2;
+  /// Never propose a move that improves the max-min spread by less than
+  /// this fraction of the mean (migration cost bar).
+  double min_improvement = 0.05;
+  /// Safety cap on moves per balancing round.
+  int max_moves = 16;
+};
+
+/// Proposes (and optionally applies) region moves for the given observed
+/// per-region loads (indexed by region id; any non-negative load metric —
+/// requests, bytes, CPU seconds).
+class RegionBalancer {
+ public:
+  explicit RegionBalancer(const RegionBalancerConfig& config = {})
+      : config_(config) {}
+
+  /// Computes the moves without touching the map.
+  std::vector<RegionMove> PlanMoves(const RegionMap& regions,
+                                    const std::vector<double>& region_load) const;
+
+  /// Plans and applies; returns the applied moves.
+  std::vector<RegionMove> Rebalance(RegionMap& regions,
+                                    const std::vector<double>& region_load) const;
+
+  /// Max-over-mean node load for the given assignment (1.0 = balanced).
+  static double Imbalance(const RegionMap& regions,
+                          const std::vector<double>& region_load);
+
+ private:
+  RegionBalancerConfig config_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STORE_REGION_BALANCER_H_

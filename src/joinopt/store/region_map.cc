@@ -1,0 +1,39 @@
+#include "joinopt/store/region_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace joinopt {
+
+RegionMap::RegionMap(int num_regions, std::vector<NodeId> data_node_ids)
+    : num_regions_(num_regions), data_nodes_(std::move(data_node_ids)) {
+  assert(num_regions > 0);
+  assert(!data_nodes_.empty());
+  region_owner_.resize(static_cast<size_t>(num_regions));
+  for (int r = 0; r < num_regions; ++r) {
+    region_owner_[r] = data_nodes_[static_cast<size_t>(r) % data_nodes_.size()];
+  }
+}
+
+Status RegionMap::MoveRegion(int region, NodeId new_owner) {
+  if (region < 0 || region >= num_regions_) {
+    return Status::OutOfRange("region " + std::to_string(region));
+  }
+  if (std::find(data_nodes_.begin(), data_nodes_.end(), new_owner) ==
+      data_nodes_.end()) {
+    return Status::InvalidArgument("node " + std::to_string(new_owner) +
+                                   " is not a data node");
+  }
+  region_owner_[static_cast<size_t>(region)] = new_owner;
+  return Status::OK();
+}
+
+std::vector<int> RegionMap::RegionsOf(NodeId node) const {
+  std::vector<int> out;
+  for (int r = 0; r < num_regions_; ++r) {
+    if (region_owner_[static_cast<size_t>(r)] == node) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace joinopt

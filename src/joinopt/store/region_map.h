@@ -1,0 +1,52 @@
+// Region-based partitioning, HBase style: the key space is divided into
+// regions by hashing, and regions are assigned to data nodes. The indirection
+// (key -> region -> node) is what makes data-node rebalancing and elasticity
+// possible without touching clients: moving a region re-homes all its keys.
+#ifndef JOINOPT_STORE_REGION_MAP_H_
+#define JOINOPT_STORE_REGION_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/common/status.h"
+
+namespace joinopt {
+
+class RegionMap {
+ public:
+  /// Creates `num_regions` regions round-robin assigned over
+  /// `data_node_ids`. More regions than nodes (the HBase norm) smooths load
+  /// when regions move.
+  RegionMap(int num_regions, std::vector<NodeId> data_node_ids);
+
+  /// Region owning `key` (stable hash: same key always lands in the same
+  /// region across runs).
+  int RegionOf(Key key) const {
+    return static_cast<int>(Mix64(key) % static_cast<uint64_t>(num_regions_));
+  }
+
+  /// Data node currently hosting `key`.
+  NodeId OwnerOf(Key key) const { return region_owner_[RegionOf(key)]; }
+
+  NodeId RegionOwner(int region) const { return region_owner_[region]; }
+
+  /// Moves a region to another data node (the data store's long-term
+  /// balancer, Section 5's "HBase has a balancer").
+  Status MoveRegion(int region, NodeId new_owner);
+
+  /// Regions currently hosted by `node`.
+  std::vector<int> RegionsOf(NodeId node) const;
+
+  int num_regions() const { return num_regions_; }
+  const std::vector<NodeId>& data_nodes() const { return data_nodes_; }
+
+ private:
+  int num_regions_;
+  std::vector<NodeId> data_nodes_;
+  std::vector<NodeId> region_owner_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STORE_REGION_MAP_H_

@@ -1,0 +1,66 @@
+#include "joinopt/store/storage_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace joinopt {
+
+void StorageEngine::Put(Key key, StoredItem item) {
+  ++puts_;
+  auto it = items_.find(key);
+  if (it != items_.end()) {
+    total_bytes_ -= it->second.size_bytes;
+    item.version = std::max(item.version, it->second.version + 1);
+    it->second = std::move(item);
+    total_bytes_ += it->second.size_bytes;
+  } else {
+    total_bytes_ += item.size_bytes;
+    items_.emplace(key, std::move(item));
+  }
+}
+
+StatusOr<StoredItem> StorageEngine::Get(Key key) const {
+  ++gets_;
+  auto it = items_.find(key);
+  if (it == items_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return it->second;
+}
+
+const StoredItem* StorageEngine::Find(Key key) const {
+  ++gets_;
+  auto it = items_.find(key);
+  return it == items_.end() ? nullptr : &it->second;
+}
+
+StatusOr<uint64_t> StorageEngine::Update(
+    Key key, std::function<void(StoredItem&)> mutator) {
+  auto it = items_.find(key);
+  if (it == items_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  total_bytes_ -= it->second.size_bytes;
+  mutator(it->second);
+  ++it->second.version;
+  total_bytes_ += it->second.size_bytes;
+  ++puts_;
+  return it->second.version;
+}
+
+Status StorageEngine::Delete(Key key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  total_bytes_ -= it->second.size_bytes;
+  items_.erase(it);
+  return Status::OK();
+}
+
+void StorageEngine::ForEach(
+    const std::function<void(Key, const StoredItem&)>& fn) const {
+  for (const auto& [key, item] : items_) fn(key, item);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,54 @@
+// Local indexed key-value storage engine — the per-data-node store behind
+// the ParallelStore facade. Point lookups on the primary key, versioned
+// updates, and iteration for bulk operations. Disk *cost* accounting is the
+// caller's job (the data node runtime charges its SimNode disk for
+// item.size_bytes); the engine itself is an ordinary in-process index.
+#ifndef JOINOPT_STORE_STORAGE_ENGINE_H_
+#define JOINOPT_STORE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "joinopt/common/status.h"
+#include "joinopt/store/stored_item.h"
+
+namespace joinopt {
+
+class StorageEngine {
+ public:
+  /// Inserts or replaces `key`. Replacement bumps the version past the old
+  /// one (an update, in the Section 4.2.3 sense).
+  void Put(Key key, StoredItem item);
+
+  /// Point lookup.
+  StatusOr<StoredItem> Get(Key key) const;
+  /// Lookup without copying the payload (simulation hot path).
+  const StoredItem* Find(Key key) const;
+
+  /// Applies an in-place update (size and/or payload change), bumping the
+  /// version. Returns the new version.
+  StatusOr<uint64_t> Update(Key key, std::function<void(StoredItem&)> mutator);
+
+  Status Delete(Key key);
+
+  bool Contains(Key key) const { return items_.count(key) > 0; }
+  size_t size() const { return items_.size(); }
+  double total_bytes() const { return total_bytes_; }
+
+  /// Iterates all items (bulk load verification, statistics).
+  void ForEach(const std::function<void(Key, const StoredItem&)>& fn) const;
+
+  int64_t gets() const { return gets_; }
+  int64_t puts() const { return puts_; }
+
+ private:
+  std::unordered_map<Key, StoredItem> items_;
+  double total_bytes_ = 0.0;
+  mutable int64_t gets_ = 0;
+  int64_t puts_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STORE_STORAGE_ENGINE_H_

@@ -1,0 +1,32 @@
+// The unit stored in the parallel data store. Payloads are optional: the
+// simulator's workloads describe items by logical size and per-key UDF cost
+// (what the cost formulas consume), while the storage engine also supports
+// real byte payloads for library use outside the simulator.
+#ifndef JOINOPT_STORE_STORED_ITEM_H_
+#define JOINOPT_STORE_STORED_ITEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+struct StoredItem {
+  /// Logical size in bytes (drives disk and network costs). When a payload
+  /// is present this should equal payload.size().
+  double size_bytes = 0.0;
+  /// CPU seconds one UDF invocation on this item costs (per-key UDF cost
+  /// variance is a first-class skew source in the paper — e.g. expensive
+  /// classification models).
+  double udf_cost = 0.0;
+  /// Monotonically increasing version; bumped on every update
+  /// (Section 4.2.3's update timestamps).
+  uint64_t version = 1;
+  /// Optional real payload.
+  std::string payload;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STORE_STORED_ITEM_H_

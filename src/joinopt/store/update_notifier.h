@@ -1,0 +1,62 @@
+// Update notification plumbing (Section 4.2.3). The data store keeps, per
+// item, the set of compute nodes that fetched and cached it; an update
+// notifies exactly those nodes (targeted mode) or everyone (broadcast mode,
+// the paper's rejected-but-discussed alternative, kept for the ablation).
+#ifndef JOINOPT_STORE_UPDATE_NOTIFIER_H_
+#define JOINOPT_STORE_UPDATE_NOTIFIER_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+enum class NotifyMode { kTargeted, kBroadcast };
+
+class UpdateNotifier {
+ public:
+  UpdateNotifier(NotifyMode mode, std::vector<NodeId> all_compute_nodes)
+      : mode_(mode), all_compute_nodes_(std::move(all_compute_nodes)) {}
+
+  /// Records that `compute_node` fetched (and may cache) `key`.
+  void RegisterFetch(Key key, NodeId compute_node) {
+    if (mode_ == NotifyMode::kTargeted) {
+      cached_at_[key].insert(compute_node);
+    }
+  }
+
+  /// The item behind `key` was updated: returns the compute nodes to
+  /// notify, and clears the registration (they must re-fetch to re-cache).
+  std::vector<NodeId> OnUpdate(Key key) {
+    if (mode_ == NotifyMode::kBroadcast) return all_compute_nodes_;
+    auto it = cached_at_.find(key);
+    if (it == cached_at_.end()) return {};
+    std::vector<NodeId> out(it->second.begin(), it->second.end());
+    cached_at_.erase(it);
+    return out;
+  }
+
+  /// A compute node dropped the key from its cache (eviction): stop
+  /// notifying it.
+  void Unregister(Key key, NodeId compute_node) {
+    auto it = cached_at_.find(key);
+    if (it == cached_at_.end()) return;
+    it->second.erase(compute_node);
+    if (it->second.empty()) cached_at_.erase(it);
+  }
+
+  NotifyMode mode() const { return mode_; }
+  size_t tracked_keys() const { return cached_at_.size(); }
+
+ private:
+  NotifyMode mode_;
+  std::vector<NodeId> all_compute_nodes_;
+  std::unordered_map<Key, std::set<NodeId>> cached_at_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STORE_UPDATE_NOTIFIER_H_

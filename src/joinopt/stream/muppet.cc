@@ -1,0 +1,21 @@
+#include "joinopt/stream/muppet.h"
+
+namespace joinopt {
+
+MuppetRunResult RunMuppetStream(const GeneratedWorkload& workload,
+                                Strategy strategy,
+                                const FrameworkRunConfig& config,
+                                int64_t documents) {
+  MuppetRunResult out;
+  out.job = RunFrameworkJob(workload, strategy, config);
+  out.items_per_second = out.job.throughput;
+  int64_t items = workload.total_tuples();
+  if (documents > 0 && items > 0) {
+    out.documents_per_second = out.items_per_second *
+                               static_cast<double>(documents) /
+                               static_cast<double>(items);
+  }
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,31 @@
+// Muppet-style streaming runs (Sections 9.1.2, Appendix E): the same engine
+// as the batch runs, but fed as a stream and reported as throughput. The
+// MapReduce-family baselines do not apply here — only NO/FC/FD/FR/CO/LO/FO.
+#ifndef JOINOPT_STREAM_MUPPET_H_
+#define JOINOPT_STREAM_MUPPET_H_
+
+#include "joinopt/harness/runner.h"
+
+namespace joinopt {
+
+struct MuppetRunResult {
+  JobResult job;
+  /// Input items (spots/tuples) per second.
+  double items_per_second = 0.0;
+  /// Documents (tweets) per second — the Fig. 6 metric. Computed from the
+  /// items/document ratio of the workload.
+  double documents_per_second = 0.0;
+};
+
+/// Runs `workload` as a stream at maximum sustainable rate (batch-fed,
+/// throughput = items / makespan — the steady-state rate the engine can
+/// absorb). `documents` is the document count behind the item stream (used
+/// for the documents/second metric; pass 0 to skip).
+MuppetRunResult RunMuppetStream(const GeneratedWorkload& workload,
+                                Strategy strategy,
+                                const FrameworkRunConfig& config,
+                                int64_t documents = 0);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_STREAM_MUPPET_H_

@@ -1,0 +1,115 @@
+#include "joinopt/workload/cloudburst.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+
+namespace {
+
+/// Packs an n-gram of bases (2 bits each) into a key.
+Key PackNgram(const std::vector<uint8_t>& seq, int64_t pos, int n) {
+  Key k = 0;
+  for (int i = 0; i < n; ++i) {
+    k = (k << 2) | seq[static_cast<size_t>(pos + i)];
+  }
+  return k;
+}
+
+}  // namespace
+
+NgramIndex GenerateCloudBurst(const CloudBurstConfig& config) {
+  NgramIndex out;
+  out.config = config;
+  Rng rng(config.seed);
+
+  // Reference: random bases with planted repeats. A repeat region copies a
+  // short motif over and over — the source of n-gram heavy hitters.
+  std::vector<uint8_t> reference(static_cast<size_t>(config.reference_bases));
+  for (auto& base : reference) base = static_cast<uint8_t>(rng.NextBounded(4));
+  int64_t repeat_bases =
+      static_cast<int64_t>(config.repeat_fraction *
+                           static_cast<double>(config.reference_bases));
+  int64_t planted = 0;
+  while (planted < repeat_bases) {
+    int64_t region =
+        std::min<int64_t>(500 + static_cast<int64_t>(rng.NextBounded(2000)),
+                          repeat_bases - planted);
+    int64_t start = static_cast<int64_t>(rng.NextBounded(
+        static_cast<uint64_t>(config.reference_bases - region)));
+    int motif_len = 4 + static_cast<int>(rng.NextBounded(12));
+    for (int64_t i = 0; i < region; ++i) {
+      reference[static_cast<size_t>(start + i)] =
+          reference[static_cast<size_t>(start + (i % motif_len))];
+    }
+    planted += region;
+  }
+
+  // Index every n-gram of the reference.
+  std::unordered_map<Key, int32_t> occurrences;
+  int64_t positions = config.reference_bases - config.ngram + 1;
+  for (int64_t pos = 0; pos < positions; ++pos) {
+    ++occurrences[PackNgram(reference, pos, config.ngram)];
+  }
+  out.keys.reserve(occurrences.size());
+  out.occurrences.reserve(occurrences.size());
+  for (const auto& [key, count] : occurrences) {
+    out.keys.push_back(key);
+    out.occurrences.push_back(count);
+  }
+
+  // Reads: sampled from the reference (with rare sequencing errors), each
+  // probing the index with its leading n-gram — CloudBurst's seed step.
+  out.read_stream.reserve(static_cast<size_t>(config.reads));
+  for (int64_t r = 0; r < config.reads; ++r) {
+    int64_t start = static_cast<int64_t>(rng.NextBounded(
+        static_cast<uint64_t>(config.reference_bases - config.read_length)));
+    Key probe = PackNgram(reference, start, config.ngram);
+    if (rng.Bernoulli(0.02)) {
+      // Sequencing error inside the seed: probe a mutated n-gram; align to
+      // whatever it happens to hit (possibly nothing in real life — here
+      // the nearest indexed n-gram, so the stream stays store-resolvable).
+      probe ^= 1;
+      if (occurrences.find(probe) == occurrences.end()) probe ^= 1;
+    }
+    out.read_stream.push_back(probe);
+    out.total_candidate_alignments +=
+        occurrences.at(probe);
+  }
+  return out;
+}
+
+GeneratedWorkload ToCloudBurstWorkload(const NgramIndex& index,
+                                       const NodeLayout& layout) {
+  GeneratedWorkload out;
+  out.computed_value_bytes = 64.0;  // alignment result (position + score)
+
+  const CloudBurstConfig& cfg = index.config;
+  auto store = std::make_unique<ParallelStore>(
+      ParallelStoreConfig{}, layout.data_nodes, layout.compute_nodes);
+  for (size_t i = 0; i < index.keys.size(); ++i) {
+    StoredItem item;
+    // Location list: 4 bytes per occurrence plus header.
+    item.size_bytes = 32.0 + 4.0 * index.occurrences[i];
+    // Approximate matching against every candidate location.
+    item.udf_cost = cfg.match_cost_per_hit * index.occurrences[i];
+    store->Put(index.keys[i], item);
+  }
+  out.stores.push_back(std::move(store));
+
+  const int num_compute = static_cast<int>(layout.compute_nodes.size());
+  out.inputs.resize(static_cast<size_t>(num_compute));
+  for (size_t i = 0; i < index.read_stream.size(); ++i) {
+    InputTuple tuple;
+    tuple.keys = {index.read_stream[i]};
+    tuple.param_bytes = static_cast<double>(cfg.read_length);
+    out.inputs[i % static_cast<size_t>(num_compute)].push_back(
+        std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,65 @@
+// CloudBurst-style genome read alignment (Appendix A of the paper): a large
+// set of short reads is aligned against a reference sequence by matching
+// n-grams. In the MapReduce formulation every read with a given n-gram goes
+// to the single reducer owning that n-gram, and UDO (approximate-matching)
+// cost varies per n-gram — the skew SkewTune was built for. In the paper's
+// framework the reference's n-gram index lives in the parallel store; reads
+// fan out from compute nodes and hot n-grams (low-complexity repeats like
+// poly-A runs) get cached.
+//
+// Synthetic stand-in for real genome data (not available offline): the
+// reference is a random sequence with planted repetitive regions, so the
+// n-gram frequency distribution has the real data's heavy tail.
+#ifndef JOINOPT_WORKLOAD_CLOUDBURST_H_
+#define JOINOPT_WORKLOAD_CLOUDBURST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "joinopt/workload/workload.h"
+
+namespace joinopt {
+
+struct CloudBurstConfig {
+  /// Reference sequence length in bases.
+  int64_t reference_bases = 500000;
+  /// Fraction of the reference covered by repetitive regions (drives the
+  /// n-gram heavy hitters).
+  double repeat_fraction = 0.15;
+  /// Seed (n-gram) length used for indexing, as in CloudBurst.
+  int ngram = 12;
+  /// Number of reads to align.
+  int64_t reads = 100000;
+  int read_length = 36;
+  /// Approximate-matching cost per candidate location (CPU seconds).
+  double match_cost_per_hit = 40e-6;
+  uint64_t seed = 17;
+};
+
+/// One entry of the reference n-gram index: the n-gram hash plus how many
+/// reference locations it occurs at (the UDO workload per probing read).
+struct NgramIndex {
+  CloudBurstConfig config;
+  /// Dense n-gram ids in stream order are not meaningful; entries are
+  /// addressed by hashed n-gram key.
+  std::vector<Key> keys;
+  std::vector<int32_t> occurrences;       // hits per n-gram in the reference
+  std::vector<Key> read_stream;           // one probed n-gram per read
+  int64_t total_candidate_alignments = 0; // sum over reads of occurrences
+};
+
+/// Builds the reference, indexes its n-grams and samples the read stream
+/// (reads are drawn from the reference with noise, so their n-grams follow
+/// the reference's skewed n-gram distribution).
+NgramIndex GenerateCloudBurst(const CloudBurstConfig& config);
+
+/// Loads the n-gram index into a parallel store (value = the location list,
+/// UDF = approximate matching against all candidate locations) and splits
+/// the read stream across compute nodes.
+GeneratedWorkload ToCloudBurstWorkload(const NgramIndex& index,
+                                       const NodeLayout& layout);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_WORKLOAD_CLOUDBURST_H_

@@ -1,0 +1,151 @@
+#include "joinopt/workload/entity_annotation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+
+double AnnotationSpots::total_model_bytes() const {
+  return std::accumulate(model_bytes.begin(), model_bytes.end(), 0.0);
+}
+
+double AnnotationSpots::total_classify_cost() const {
+  double total = 0;
+  for (Key t : tokens) total += model_cost[static_cast<size_t>(t)];
+  return total;
+}
+
+namespace {
+
+/// Builds the rank-correlated heavy-tailed model catalog.
+void BuildModels(const AnnotationConfig& cfg, Rng& rng,
+                 std::vector<double>* bytes, std::vector<double>* cost) {
+  bytes->resize(static_cast<size_t>(cfg.num_tokens));
+  cost->resize(static_cast<size_t>(cfg.num_tokens));
+  for (int t = 0; t < cfg.num_tokens; ++t) {
+    double size = cfg.max_model_bytes *
+                  std::pow(static_cast<double>(t + 1), -cfg.size_decay);
+    // Multiplicative noise in [0.5, 2): model quality varies per token.
+    size *= 0.5 * std::exp(rng.NextDouble() * std::log(4.0));
+    size = std::max(size, cfg.min_model_bytes);
+    (*bytes)[static_cast<size_t>(t)] = size;
+    (*cost)[static_cast<size_t>(t)] =
+        cfg.base_classify_cost + size * cfg.cost_per_byte;
+  }
+}
+
+/// Draws a spot stream: Zipf ranks mapped to token ids through an
+/// epoch-shifting permutation (identity when popularity_shifts == 0).
+void DrawSpots(const AnnotationConfig& cfg, int64_t total_spots,
+               const std::vector<int64_t>& spots_per_unit, Rng& rng,
+               AnnotationSpots* out) {
+  ZipfDistribution zipf(static_cast<uint64_t>(cfg.num_tokens),
+                        cfg.token_zipf);
+  std::vector<uint32_t> perm(static_cast<size_t>(cfg.num_tokens));
+  std::iota(perm.begin(), perm.end(), 0u);
+  int current_epoch = -1;
+  out->tokens.reserve(static_cast<size_t>(total_spots));
+  out->token_count.assign(static_cast<size_t>(cfg.num_tokens), 0);
+  int64_t emitted = 0;
+  for (size_t unit = 0; unit < spots_per_unit.size(); ++unit) {
+    for (int64_t s = 0; s < spots_per_unit[unit]; ++s) {
+      if (cfg.popularity_shifts > 0 && total_spots > 0) {
+        int epoch = static_cast<int>(emitted * cfg.popularity_shifts /
+                                     std::max<int64_t>(total_spots, 1));
+        if (epoch != current_epoch) {
+          current_epoch = epoch;
+          Rng perm_rng(cfg.seed ^ (0xA24BAED4963EE407ULL *
+                                   static_cast<uint64_t>(epoch + 1)));
+          Shuffle(perm, perm_rng);
+        }
+      }
+      Key token = perm[zipf.Sample(rng)];
+      out->tokens.push_back(token);
+      ++out->token_count[static_cast<size_t>(token)];
+      ++emitted;
+    }
+  }
+}
+
+}  // namespace
+
+AnnotationSpots GenerateAnnotationSpots(const AnnotationConfig& config) {
+  AnnotationSpots out;
+  out.config = config;
+  out.documents = config.documents;
+  Rng rng(config.seed);
+  BuildModels(config, rng, &out.model_bytes, &out.model_cost);
+
+  // Geometric spots-per-document with the configured mean.
+  std::vector<int64_t> spots_per_doc(static_cast<size_t>(config.documents));
+  double p = 1.0 / std::max(config.spots_per_doc_mean, 1.0);
+  int64_t total = 0;
+  for (auto& s : spots_per_doc) {
+    int64_t n = 1;
+    while (rng.NextDouble() > p && n < 1000) ++n;
+    s = n;
+    total += n;
+  }
+  DrawSpots(config, total, spots_per_doc, rng, &out);
+  return out;
+}
+
+AnnotationSpots GenerateTweetStream(const TweetStreamConfig& config) {
+  AnnotationConfig cfg;
+  cfg.num_tokens = config.num_tokens;
+  cfg.token_zipf = config.token_zipf;
+  cfg.popularity_shifts = config.popularity_shifts;
+  cfg.seed = config.seed;
+  cfg.context_bytes = 140.0;  // tweets are short
+
+  AnnotationSpots out;
+  out.config = cfg;
+  out.documents = config.tweets;
+  Rng rng(config.seed);
+  BuildModels(cfg, rng, &out.model_bytes, &out.model_cost);
+
+  std::vector<int64_t> spots_per_tweet(static_cast<size_t>(config.tweets), 0);
+  int64_t total = 0;
+  double p = 1.0 / std::max(config.spots_per_annotatable_tweet, 1.0);
+  for (auto& s : spots_per_tweet) {
+    if (rng.NextDouble() >= config.annotatable_fraction) continue;  // 0 spots
+    int64_t n = 1;
+    while (rng.NextDouble() > p && n < 20) ++n;
+    s = n;
+    total += n;
+  }
+  DrawSpots(cfg, total, spots_per_tweet, rng, &out);
+  return out;
+}
+
+GeneratedWorkload ToFrameworkWorkload(const AnnotationSpots& spots,
+                                      const NodeLayout& layout) {
+  GeneratedWorkload out;
+  out.computed_value_bytes = spots.config.annotation_bytes;
+
+  auto store = std::make_unique<ParallelStore>(
+      ParallelStoreConfig{}, layout.data_nodes, layout.compute_nodes);
+  for (size_t t = 0; t < spots.model_bytes.size(); ++t) {
+    StoredItem item;
+    item.size_bytes = spots.model_bytes[t];
+    item.udf_cost = spots.model_cost[t];
+    store->Put(static_cast<Key>(t), item);
+  }
+  out.stores.push_back(std::move(store));
+
+  const int num_compute = static_cast<int>(layout.compute_nodes.size());
+  out.inputs.resize(static_cast<size_t>(num_compute));
+  for (size_t i = 0; i < spots.tokens.size(); ++i) {
+    InputTuple tuple;
+    tuple.keys = {spots.tokens[i]};
+    tuple.param_bytes = spots.config.context_bytes;
+    out.inputs[i % static_cast<size_t>(num_compute)].push_back(
+        std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,92 @@
+// Entity-annotation workload (Sections 2.1 and 9.1): documents contain
+// "spots" (token mentions with surrounding context); each spot joins with a
+// trained per-token model stored in the parallel store, and a classification
+// UDF runs on the pair.
+//
+// Synthetic stand-in for the paper's ClueWeb09 corpus + 28.7 GB model set
+// (not available offline): token frequency is Zipf-distributed, and model
+// sizes are rank-correlated and heavy-tailed (frequent tokens have the large
+// models — the premise of CSAW's cost-aware partitioning [12]), with
+// classification cost proportional to model size. Both skew sources the
+// paper's Figure 5 exercises are present: key-frequency skew and per-key UDF
+// cost skew.
+#ifndef JOINOPT_WORKLOAD_ENTITY_ANNOTATION_H_
+#define JOINOPT_WORKLOAD_ENTITY_ANNOTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "joinopt/workload/workload.h"
+
+namespace joinopt {
+
+struct AnnotationConfig {
+  int num_tokens = 20000;
+  /// Zipf skew of token mentions across spots.
+  double token_zipf = 1.0;
+  int documents = 7000;
+  /// Mean spots per document (geometric).
+  double spots_per_doc_mean = 12.0;
+  /// Model size tail: size(rank) ~ max_model_bytes * (rank+1)^-size_decay,
+  /// floored at min_model_bytes, with multiplicative noise.
+  double max_model_bytes = 2.0 * 1024 * 1024;
+  double min_model_bytes = 512.0;
+  double size_decay = 0.55;
+  /// Classification cost = base + bytes * cost_per_byte. Classification is
+  /// strongly CPU-bound in the paper (a 1 GB corpus takes >5 h of basic
+  /// MapReduce), so per-byte cost dominates transfer time by an order of
+  /// magnitude.
+  double base_classify_cost = 0.5e-3;
+  double cost_per_byte = 3.2e-7;
+  /// Bytes of document context shipped with a spot (the p parameter).
+  double context_bytes = 200.0;
+  /// Annotated-result size (scv).
+  double annotation_bytes = 128.0;
+  /// > 0: the hot tokens change this many times over the stream (tweet
+  /// style trending, Section 2.1's Twitter discussion).
+  int popularity_shifts = 0;
+  uint64_t seed = 7;
+};
+
+/// The flat spot stream plus per-token ground truth — shared by the
+/// framework runs and the MapReduce baselines (Hadoop / CSAW / FlowJoinLB)
+/// so every technique annotates exactly the same corpus.
+struct AnnotationSpots {
+  AnnotationConfig config;
+  std::vector<Key> tokens;           ///< one entry per spot, stream order
+  std::vector<double> model_bytes;   ///< indexed by token id
+  std::vector<double> model_cost;    ///< classification cost per invocation
+  std::vector<int64_t> token_count;  ///< exact frequency (baseline stats)
+  int64_t documents = 0;
+
+  int64_t num_spots() const { return static_cast<int64_t>(tokens.size()); }
+  double total_model_bytes() const;
+  /// Total classification CPU if every spot were computed once.
+  double total_classify_cost() const;
+};
+
+AnnotationSpots GenerateAnnotationSpots(const AnnotationConfig& config);
+
+/// Loads the models into a parallel store and splits the spot stream
+/// round-robin across compute nodes for a framework (JoinJob) run.
+GeneratedWorkload ToFrameworkWorkload(const AnnotationSpots& spots,
+                                      const NodeLayout& layout);
+
+/// Tweet-stream variant (Section 9.1.2): short documents, roughly half with
+/// no annotatable entity, trending tokens. Returns spots with
+/// popularity_shifts pre-set; `annotatable_fraction` of tweets carry >= 1
+/// spot. `tweets` counts all tweets (for tweets/second reporting).
+struct TweetStreamConfig {
+  int num_tokens = 20000;
+  double token_zipf = 1.0;
+  int tweets = 40000;
+  double annotatable_fraction = 0.5;
+  double spots_per_annotatable_tweet = 1.4;
+  int popularity_shifts = 8;
+  uint64_t seed = 11;
+};
+AnnotationSpots GenerateTweetStream(const TweetStreamConfig& config);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_WORKLOAD_ENTITY_ANNOTATION_H_

@@ -1,0 +1,92 @@
+#include "joinopt/workload/synthetic.h"
+
+#include <numeric>
+
+#include "joinopt/common/random.h"
+#include "joinopt/common/units.h"
+
+namespace joinopt {
+
+const char* SyntheticKindToString(SyntheticKind k) {
+  switch (k) {
+    case SyntheticKind::kDataHeavy:
+      return "DH";
+    case SyntheticKind::kComputeHeavy:
+      return "CH";
+    case SyntheticKind::kDataComputeHeavy:
+      return "DCH";
+  }
+  return "?";
+}
+
+SyntheticProfile SyntheticProfile::For(SyntheticKind kind) {
+  switch (kind) {
+    case SyntheticKind::kDataHeavy:
+      // "each data fetch being about 100 KB ... heavy in disk and network
+      // but not on CPU ... projects attributes, returning a small result"
+      return {KiB(100), Microseconds(100), 128.0};
+    case SyntheticKind::kComputeHeavy:
+      // "fetches only small amounts of data but ... each computation takes
+      // about 100 ms"
+      return {KiB(2), Milliseconds(100), 256.0};
+    case SyntheticKind::kDataComputeHeavy:
+      return {KiB(100), Milliseconds(100), 256.0};
+  }
+  return {KiB(4), Milliseconds(1), 256.0};
+}
+
+GeneratedWorkload MakeSyntheticWorkload(const SyntheticConfig& config,
+                                        const NodeLayout& layout) {
+  GeneratedWorkload out;
+  SyntheticProfile profile = SyntheticProfile::For(config.kind);
+  out.computed_value_bytes = profile.computed_value_bytes;
+
+  auto store = std::make_unique<ParallelStore>(
+      ParallelStoreConfig{}, layout.data_nodes, layout.compute_nodes);
+  for (Key k = 0; k < static_cast<Key>(config.num_keys); ++k) {
+    StoredItem item;
+    item.size_bytes = profile.stored_value_bytes;
+    item.udf_cost = profile.udf_cost;
+    store->Put(k, item);
+  }
+  out.stores.push_back(std::move(store));
+
+  // Keys are drawn Zipf over *ranks*; the rank -> key mapping is a
+  // permutation that is re-drawn `popularity_shifts` times across the
+  // stream, so "which keys are hot" changes while the skew stays constant.
+  Rng rng(config.seed);
+  ZipfDistribution zipf(static_cast<uint64_t>(config.num_keys),
+                        config.zipf_z);
+  std::vector<uint32_t> perm(static_cast<size_t>(config.num_keys));
+  std::iota(perm.begin(), perm.end(), 0u);
+  int current_epoch = -1;
+
+  const int num_compute = static_cast<int>(layout.compute_nodes.size());
+  const int64_t total =
+      static_cast<int64_t>(config.tuples_per_node) * num_compute;
+  out.inputs.resize(static_cast<size_t>(num_compute));
+  for (auto& in : out.inputs) {
+    in.reserve(static_cast<size_t>(config.tuples_per_node));
+  }
+
+  for (int64_t t = 0; t < total; ++t) {
+    if (config.popularity_shifts > 0) {
+      int epoch = static_cast<int>(t * config.popularity_shifts / total);
+      if (epoch != current_epoch) {
+        current_epoch = epoch;
+        Rng perm_rng(config.seed ^ (0xD1B54A32D192ED03ULL *
+                                    static_cast<uint64_t>(epoch + 1)));
+        Shuffle(perm, perm_rng);
+      }
+    }
+    uint64_t rank = zipf.Sample(rng);
+    InputTuple tuple;
+    tuple.keys = {static_cast<Key>(perm[rank])};
+    tuple.param_bytes = 128.0;
+    out.inputs[static_cast<size_t>(t % num_compute)].push_back(
+        std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace joinopt

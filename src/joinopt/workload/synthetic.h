@@ -1,0 +1,56 @@
+// The paper's synthetic workloads (Section 9.3):
+//   DH  — data heavy: 200 GB store, ~100 KB values, tiny UDF, small result
+//   CH  — compute heavy: 20 GB store, small values, ~100 ms UDFs
+//   DCH — both: 200 GB store, 100 KB values, ~100 ms UDFs
+// Join keys are Zipf(z) over the key domain; z is swept 0..1.5 in the
+// figures. The store has no skew (uniform primary keys, uniform sizes).
+//
+// Sizes here are scaled down from the paper's cluster by `scale` so a run
+// finishes in simulator seconds; all *ratios* (value size vs bandwidth, UDF
+// cost vs CPU) are preserved, which is what the normalized figures compare.
+//
+// Dynamic distribution (Section 9.3.2): `popularity_shifts` > 0 re-maps
+// which concrete keys are the frequent ones that many times over the course
+// of the stream, modelling trending keys in a tweet stream.
+#ifndef JOINOPT_WORKLOAD_SYNTHETIC_H_
+#define JOINOPT_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "joinopt/workload/workload.h"
+
+namespace joinopt {
+
+enum class SyntheticKind { kDataHeavy, kComputeHeavy, kDataComputeHeavy };
+
+const char* SyntheticKindToString(SyntheticKind k);
+
+struct SyntheticConfig {
+  SyntheticKind kind = SyntheticKind::kDataHeavy;
+  /// Zipf skew of the join keys (paper sweeps 0, 0.5, 1.0, 1.5).
+  double zipf_z = 0.0;
+  /// Tuples per compute node.
+  int tuples_per_node = 20000;
+  /// Number of distinct keys in the store.
+  int num_keys = 100000;
+  /// How many times the set of frequent keys changes during the stream
+  /// (0 = static distribution; the paper's dynamic experiment uses 10).
+  int popularity_shifts = 0;
+  uint64_t seed = 42;
+};
+
+/// Per-kind physical parameters (value size, UDF cost, result size).
+struct SyntheticProfile {
+  double stored_value_bytes;
+  double udf_cost;
+  double computed_value_bytes;
+  static SyntheticProfile For(SyntheticKind kind);
+};
+
+/// Builds the stores and inputs for a synthetic run.
+GeneratedWorkload MakeSyntheticWorkload(const SyntheticConfig& config,
+                                        const NodeLayout& layout);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_WORKLOAD_SYNTHETIC_H_

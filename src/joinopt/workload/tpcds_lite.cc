@@ -1,0 +1,128 @@
+#include "joinopt/workload/tpcds_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+
+const char* TpcdsQueryToString(TpcdsQuery q) {
+  switch (q) {
+    case TpcdsQuery::kQ3:
+      return "Q3";
+    case TpcdsQuery::kQ7:
+      return "Q7";
+    case TpcdsQuery::kQ27:
+      return "Q27";
+    case TpcdsQuery::kQ42:
+      return "Q42";
+  }
+  return "?";
+}
+
+std::vector<TpcdsQuery> AllTpcdsQueries() {
+  return {TpcdsQuery::kQ3, TpcdsQuery::kQ7, TpcdsQuery::kQ27,
+          TpcdsQuery::kQ42};
+}
+
+namespace {
+
+TpcdsStageSpec DateDim(double scale, double selectivity) {
+  // date_dim: dense calendar; filters select a month / a year.
+  return {"date_dim", static_cast<int64_t>(7300 * scale), 160.0, 0.0,
+          selectivity};
+}
+TpcdsStageSpec ItemDim(double scale, double selectivity) {
+  // item: popular products dominate sales -> skewed FKs.
+  return {"item", static_cast<int64_t>(18000 * scale), 300.0, 0.8,
+          selectivity};
+}
+TpcdsStageSpec CdemoDim(double scale, double selectivity) {
+  // customer_demographics: large, mildly skewed.
+  return {"customer_demographics", static_cast<int64_t>(96000 * scale), 48.0,
+          0.4, selectivity};
+}
+TpcdsStageSpec StoreDim(double scale, double selectivity) {
+  // store: tiny, very skewed (big stores sell more).
+  return {"store", std::max<int64_t>(static_cast<int64_t>(60 * scale), 4),
+          260.0, 1.0, selectivity};
+}
+TpcdsStageSpec PromoDim(double scale, double selectivity) {
+  return {"promotion", std::max<int64_t>(static_cast<int64_t>(150 * scale), 4),
+          120.0, 0.6, selectivity};
+}
+
+}  // namespace
+
+TpcdsQuerySpec GetTpcdsQuerySpec(TpcdsQuery query, double scale) {
+  TpcdsQuerySpec spec;
+  spec.name = TpcdsQueryToString(query);
+  spec.fact_row_bytes = 110.0;  // the store_sales columns these queries read
+  switch (query) {
+    case TpcdsQuery::kQ3:
+      // date filter (one month, d_moy = 11) then item (manufact filter).
+      spec.stages = {DateDim(scale, 0.08), ItemDim(scale, 0.05)};
+      break;
+    case TpcdsQuery::kQ7:
+      // cdemo filters (gender/marital/education), date (year), item,
+      // promotion (email or event).
+      spec.stages = {CdemoDim(scale, 0.15), DateDim(scale, 0.2),
+                     ItemDim(scale, 1.0), PromoDim(scale, 0.4)};
+      break;
+    case TpcdsQuery::kQ27:
+      spec.stages = {CdemoDim(scale, 0.15), DateDim(scale, 0.2),
+                     StoreDim(scale, 0.5), ItemDim(scale, 1.0)};
+      break;
+    case TpcdsQuery::kQ42:
+      spec.stages = {DateDim(scale, 0.08), ItemDim(scale, 0.1)};
+      break;
+  }
+  return spec;
+}
+
+GeneratedWorkload MakeTpcdsWorkload(TpcdsQuery query,
+                                    const TpcdsConfig& config,
+                                    const NodeLayout& layout) {
+  TpcdsQuerySpec spec = GetTpcdsQuerySpec(query, config.scale);
+  GeneratedWorkload out;
+  out.computed_value_bytes = 96.0;  // joined + projected row
+
+  for (const TpcdsStageSpec& stage : spec.stages) {
+    auto store = std::make_unique<ParallelStore>(
+        ParallelStoreConfig{}, layout.data_nodes, layout.compute_nodes);
+    for (Key k = 0; k < static_cast<Key>(stage.dim_rows); ++k) {
+      StoredItem item;
+      item.size_bytes = stage.dim_row_bytes;
+      // Pure join + predicate: a cheap row-comparison "UDF".
+      item.udf_cost = 3e-6;
+      store->Put(k, item);
+    }
+    out.stores.push_back(std::move(store));
+    out.stage_selectivity.push_back(stage.selectivity);
+  }
+
+  Rng rng(config.seed);
+  std::vector<ZipfDistribution> fks;
+  fks.reserve(spec.stages.size());
+  for (const TpcdsStageSpec& stage : spec.stages) {
+    fks.emplace_back(static_cast<uint64_t>(stage.dim_rows), stage.fk_zipf);
+  }
+
+  const int num_compute = static_cast<int>(layout.compute_nodes.size());
+  out.inputs.resize(static_cast<size_t>(num_compute));
+  for (int i = 0; i < num_compute; ++i) {
+    auto& slice = out.inputs[static_cast<size_t>(i)];
+    slice.reserve(static_cast<size_t>(config.fact_rows_per_node));
+    for (int r = 0; r < config.fact_rows_per_node; ++r) {
+      InputTuple tuple;
+      tuple.keys.reserve(spec.stages.size());
+      for (auto& fk : fks) tuple.keys.push_back(fk.Sample(rng));
+      tuple.param_bytes = spec.fact_row_bytes;
+      slice.push_back(std::move(tuple));
+    }
+  }
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,63 @@
+// TPC-DS-lite: a scaled-down star-schema generator for the multi-join
+// experiment (Section 9.2 / Figure 7). The paper runs Q3, Q7, Q27 and Q42 at
+// SF=500 on SparkSQL vs. the framework; we reproduce the *join structure* of
+// those queries — store_sales joined left-deep with 2-4 dimension tables,
+// with per-dimension filters — at a simulator-friendly scale.
+//
+// store_sales rows live with the compute nodes (the paper keeps the fact
+// table in HDFS next to Spark); dimension tables are loaded into the
+// parallel store, one pipeline stage per dimension.
+#ifndef JOINOPT_WORKLOAD_TPCDS_LITE_H_
+#define JOINOPT_WORKLOAD_TPCDS_LITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "joinopt/workload/workload.h"
+
+namespace joinopt {
+
+enum class TpcdsQuery { kQ3, kQ7, kQ27, kQ42 };
+
+const char* TpcdsQueryToString(TpcdsQuery q);
+std::vector<TpcdsQuery> AllTpcdsQueries();
+
+/// One dimension join in a query plan (left-deep order).
+struct TpcdsStageSpec {
+  std::string dim_name;
+  int64_t dim_rows;
+  double dim_row_bytes;
+  /// Zipf skew of the fact table's foreign keys into this dimension
+  /// (popular items / common demographics).
+  double fk_zipf;
+  /// Fraction of probes surviving this dimension's filter predicate.
+  double selectivity;
+};
+
+struct TpcdsQuerySpec {
+  std::string name;
+  double fact_row_bytes;
+  std::vector<TpcdsStageSpec> stages;
+};
+
+struct TpcdsConfig {
+  /// Scales all dimension cardinalities (1.0 ~ SF 5-ish lite tables).
+  double scale = 1.0;
+  /// store_sales rows per compute node.
+  int fact_rows_per_node = 20000;
+  uint64_t seed = 99;
+};
+
+/// The join plan + statistics for a query (also consumed by the Spark-style
+/// shuffle-join baseline so both systems run the same logical plan).
+TpcdsQuerySpec GetTpcdsQuerySpec(TpcdsQuery query, double scale);
+
+/// Builds per-stage dimension stores and the per-compute-node fact slices.
+GeneratedWorkload MakeTpcdsWorkload(TpcdsQuery query,
+                                    const TpcdsConfig& config,
+                                    const NodeLayout& layout);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_WORKLOAD_TPCDS_LITE_H_

@@ -1,0 +1,54 @@
+// Common workload types: a generated workload bundles the loaded parallel
+// stores (one per join stage) with the per-compute-node input partitions and
+// the engine knobs the workload dictates (computed value size, selectivity).
+#ifndef JOINOPT_WORKLOAD_WORKLOAD_H_
+#define JOINOPT_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "joinopt/engine/types.h"
+#include "joinopt/store/parallel_store.h"
+
+namespace joinopt {
+
+/// Node layout handed to workload generators (who owns which store shard,
+/// who consumes which input slice).
+struct NodeLayout {
+  std::vector<NodeId> compute_nodes;
+  std::vector<NodeId> data_nodes;
+
+  /// Convenience: 0..c-1 compute, c..c+d-1 data (the Cluster convention).
+  static NodeLayout Of(int num_compute, int num_data) {
+    NodeLayout l;
+    for (int i = 0; i < num_compute; ++i) l.compute_nodes.push_back(i);
+    for (int j = 0; j < num_data; ++j) l.data_nodes.push_back(num_compute + j);
+    return l;
+  }
+};
+
+struct GeneratedWorkload {
+  /// One store per pipeline stage, already loaded.
+  std::vector<std::unique_ptr<ParallelStore>> stores;
+  /// inputs[i] = the tuple stream of compute node i.
+  std::vector<std::vector<InputTuple>> inputs;
+  /// Workload-dictated engine knobs (computed value size, selectivity);
+  /// strategy-independent.
+  double computed_value_bytes = 256.0;
+  std::vector<double> stage_selectivity;
+
+  std::vector<ParallelStore*> store_ptrs() const {
+    std::vector<ParallelStore*> out;
+    for (const auto& s : stores) out.push_back(s.get());
+    return out;
+  }
+  int64_t total_tuples() const {
+    int64_t n = 0;
+    for (const auto& in : inputs) n += static_cast<int64_t>(in.size());
+    return n;
+  }
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,89 @@
+#include "joinopt/baselines/annotation_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "joinopt/harness/runner.h"
+
+namespace joinopt {
+namespace {
+
+AnnotationSpots SmallCorpus() {
+  AnnotationConfig cfg;
+  cfg.num_tokens = 2000;
+  cfg.documents = 800;
+  cfg.spots_per_doc_mean = 8.0;
+  cfg.token_zipf = 1.1;
+  cfg.max_model_bytes = 2.0 * 1024 * 1024;
+  return GenerateAnnotationSpots(cfg);
+}
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.num_compute_nodes = 4;
+  c.num_data_nodes = 4;
+  c.machine.cores = 4;
+  return c;
+}
+
+TEST(AnnotationBaselinesTest, AllBaselinesProcessEverySpot) {
+  AnnotationSpots spots = SmallCorpus();
+  for (MrBaselineKind kind :
+       {MrBaselineKind::kHadoop, MrBaselineKind::kCsaw,
+        MrBaselineKind::kFlowJoinLb}) {
+    auto result = RunAnnotationBaselineJob(spots, kind, SmallCluster());
+    EXPECT_EQ(result.job.tuples_processed, spots.num_spots())
+        << MrBaselineKindToString(kind);
+    EXPECT_GT(result.job.makespan, 0.0);
+  }
+}
+
+TEST(AnnotationBaselinesTest, HadoopReplicatesNothing) {
+  auto result = RunAnnotationBaselineJob(SmallCorpus(),
+                                         MrBaselineKind::kHadoop,
+                                         SmallCluster());
+  EXPECT_EQ(result.replicated_keys, 0);
+}
+
+TEST(AnnotationBaselinesTest, SkewMitigatorsReplicateHeavyKeys) {
+  AnnotationSpots spots = SmallCorpus();
+  auto csaw = RunAnnotationBaselineJob(spots, MrBaselineKind::kCsaw,
+                                       SmallCluster());
+  auto flow = RunAnnotationBaselineJob(spots, MrBaselineKind::kFlowJoinLb,
+                                       SmallCluster());
+  EXPECT_GT(csaw.replicated_keys, 0);
+  EXPECT_GT(flow.replicated_keys, 0);
+}
+
+TEST(AnnotationBaselinesTest, SkewMitigatorsBeatPlainHadoop) {
+  AnnotationSpots spots = SmallCorpus();
+  ClusterConfig cluster = SmallCluster();
+  auto hadoop =
+      RunAnnotationBaselineJob(spots, MrBaselineKind::kHadoop, cluster);
+  auto csaw = RunAnnotationBaselineJob(spots, MrBaselineKind::kCsaw, cluster);
+  auto flow =
+      RunAnnotationBaselineJob(spots, MrBaselineKind::kFlowJoinLb, cluster);
+  EXPECT_LT(csaw.job.makespan, hadoop.job.makespan);
+  EXPECT_LT(flow.job.makespan, hadoop.job.makespan);
+}
+
+TEST(AnnotationBaselinesTest, CostAwareCsawAtLeastMatchesFrequencyOnly) {
+  // CSAW accounts for per-key UDF cost; FlowJoinLB only for frequency. On a
+  // corpus where cost and frequency are correlated they are close, but CSAW
+  // should never be much worse.
+  AnnotationSpots spots = SmallCorpus();
+  ClusterConfig cluster = SmallCluster();
+  auto csaw = RunAnnotationBaselineJob(spots, MrBaselineKind::kCsaw, cluster);
+  auto flow =
+      RunAnnotationBaselineJob(spots, MrBaselineKind::kFlowJoinLb, cluster);
+  EXPECT_LT(csaw.job.makespan, flow.job.makespan * 1.25);
+}
+
+TEST(AnnotationBaselinesTest, BaselineClusterUsesAllNodes) {
+  ClusterConfig framework = SmallCluster();
+  ClusterConfig baseline = BaselineClusterConfig(framework);
+  EXPECT_EQ(baseline.num_compute_nodes, 8);
+  EXPECT_EQ(baseline.num_data_nodes, 0);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,70 @@
+#include "joinopt/baselines/spark_shuffle_join.h"
+
+#include <gtest/gtest.h>
+
+#include "joinopt/harness/runner.h"
+
+namespace joinopt {
+namespace {
+
+ClusterConfig Workers(int n) {
+  ClusterConfig c;
+  c.num_compute_nodes = n;
+  c.num_data_nodes = 0;
+  c.machine.cores = 4;
+  return c;
+}
+
+TEST(SparkShuffleJoinTest, RunsAllFourQueries) {
+  for (TpcdsQuery q : AllTpcdsQueries()) {
+    Simulation sim;
+    Cluster cluster(Workers(8));
+    auto spec = GetTpcdsQuerySpec(q, 0.2);
+    JobResult r = RunSparkShuffleJoin(&sim, &cluster, spec, 100000);
+    EXPECT_GT(r.makespan, 0.0) << spec.name;
+    EXPECT_GT(r.network_bytes, 0.0) << spec.name;
+  }
+}
+
+TEST(SparkShuffleJoinTest, MoreJoinsCostMore) {
+  Simulation s1, s2;
+  Cluster c1(Workers(8)), c2(Workers(8));
+  JobResult q3 = RunSparkShuffleJoin(
+      &s1, &c1, GetTpcdsQuerySpec(TpcdsQuery::kQ3, 0.2), 100000);
+  JobResult q7 = RunSparkShuffleJoin(
+      &s2, &c2, GetTpcdsQuerySpec(TpcdsQuery::kQ7, 0.2), 100000);
+  EXPECT_GT(q7.makespan, q3.makespan);
+}
+
+TEST(SparkShuffleJoinTest, ShuffleVolumeScalesWithFactRows) {
+  Simulation s1, s2;
+  Cluster c1(Workers(8)), c2(Workers(8));
+  auto spec = GetTpcdsQuerySpec(TpcdsQuery::kQ42, 0.2);
+  JobResult small = RunSparkShuffleJoin(&s1, &c1, spec, 50000);
+  JobResult large = RunSparkShuffleJoin(&s2, &c2, spec, 200000);
+  EXPECT_GT(large.network_bytes, small.network_bytes * 2.5);
+  EXPECT_GT(large.makespan, small.makespan);
+}
+
+TEST(SparkShuffleJoinTest, MoreWorkersGoFaster) {
+  Simulation s1, s2;
+  Cluster c1(Workers(4)), c2(Workers(16));
+  auto spec = GetTpcdsQuerySpec(TpcdsQuery::kQ27, 0.2);
+  JobResult few = RunSparkShuffleJoin(&s1, &c1, spec, 200000);
+  JobResult many = RunSparkShuffleJoin(&s2, &c2, spec, 200000);
+  EXPECT_LT(many.makespan, few.makespan);
+}
+
+TEST(SparkShuffleJoinTest, SelectivityShrinksLaterStages) {
+  // With total selectivity << 1, doubling only the *later* dims' sizes must
+  // matter less than doubling the fact rows.
+  Simulation s1, s2;
+  Cluster c1(Workers(8)), c2(Workers(8));
+  auto spec = GetTpcdsQuerySpec(TpcdsQuery::kQ3, 0.2);
+  JobResult base = RunSparkShuffleJoin(&s1, &c1, spec, 100000);
+  JobResult doubled = RunSparkShuffleJoin(&s2, &c2, spec, 200000);
+  EXPECT_GT(doubled.makespan, base.makespan * 1.3);
+}
+
+}  // namespace
+}  // namespace joinopt

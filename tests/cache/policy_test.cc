@@ -1,0 +1,61 @@
+#include "joinopt/cache/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(LfuDaPolicyTest, BenefitGrowsWithFrequency) {
+  LfuDaPolicy p;
+  EXPECT_LT(p.Benefit(1, 1.0), p.Benefit(5, 1.0));
+}
+
+TEST(LfuDaPolicyTest, WeightScalesBenefit) {
+  LfuDaPolicy p;
+  EXPECT_DOUBLE_EQ(p.Benefit(10, 2.0), 20.0);
+}
+
+TEST(LfuDaPolicyTest, AgingRaisesFloor) {
+  LfuDaPolicy p;
+  EXPECT_DOUBLE_EQ(p.age(), 0.0);
+  p.OnEvict(50.0);
+  EXPECT_DOUBLE_EQ(p.age(), 50.0);
+  // A brand-new item (freq 1) now scores above a stale pre-aging score.
+  EXPECT_GT(p.Benefit(1, 1.0), 50.0);
+}
+
+TEST(LfuDaPolicyTest, AgeNeverDecreases) {
+  LfuDaPolicy p;
+  p.OnEvict(50.0);
+  p.OnEvict(10.0);
+  EXPECT_DOUBLE_EQ(p.age(), 50.0);
+}
+
+TEST(LfuDaPolicyTest, NewItemsOutscoreStaleHotItems) {
+  // The dynamic-aging property that matters for shifting distributions
+  // (Fig. 9): after enough evictions at high ages, a fresh key beats a key
+  // whose (stale) benefit was computed long ago.
+  LfuDaPolicy p;
+  double old_hot = p.Benefit(100, 1.0);  // scored at age 0
+  p.OnEvict(old_hot + 50.0);
+  double fresh = p.Benefit(1, 1.0);
+  EXPECT_GT(fresh, old_hot);
+}
+
+TEST(LruPolicyTest, LaterAccessAlwaysWins) {
+  LruPolicy p;
+  double b1 = p.Benefit(100, 5.0);  // frequency ignored
+  double b2 = p.Benefit(1, 0.1);
+  EXPECT_GT(b2, b1);
+}
+
+TEST(LfuPolicyTest, NoAging) {
+  LfuPolicy p;
+  double before = p.Benefit(3, 1.0);
+  p.OnEvict(1000.0);
+  EXPECT_DOUBLE_EQ(p.Benefit(3, 1.0), before);
+  EXPECT_DOUBLE_EQ(p.age(), 0.0);
+}
+
+}  // namespace
+}  // namespace joinopt

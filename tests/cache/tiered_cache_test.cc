@@ -1,0 +1,232 @@
+#include "joinopt/cache/tiered_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+TieredCacheConfig SmallConfig(double mem = 100.0,
+                              double disk = std::numeric_limits<double>::infinity(),
+                              bool uniform = false) {
+  TieredCacheConfig c;
+  c.memory_capacity_bytes = mem;
+  c.disk_capacity_bytes = disk;
+  c.uniform_item_size = uniform;
+  return c;
+}
+
+class TieredCacheTest : public ::testing::Test {
+ protected:
+  LfuDaPolicy policy_;
+};
+
+TEST_F(TieredCacheTest, MissOnEmpty) {
+  TieredCache cache(SmallConfig(), &policy_);
+  EXPECT_EQ(cache.Lookup(1), CacheTier::kNone);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST_F(TieredCacheTest, InsertIntoFreeMemory) {
+  TieredCache cache(SmallConfig(), &policy_);
+  EXPECT_TRUE(cache.CondCacheInMemory(1, 40.0, 1.0, /*insert=*/true));
+  EXPECT_EQ(cache.Lookup(1), CacheTier::kMemory);
+  EXPECT_DOUBLE_EQ(cache.memory_used(), 40.0);
+}
+
+TEST_F(TieredCacheTest, DecisionOnlyDoesNotInsert) {
+  TieredCache cache(SmallConfig(), &policy_);
+  EXPECT_TRUE(cache.CondCacheInMemory(1, 40.0, 1.0, /*insert=*/false));
+  EXPECT_EQ(cache.Peek(1), CacheTier::kNone);
+}
+
+TEST_F(TieredCacheTest, LowBenefitNewcomerRejectedWhenFull) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 60.0, 10.0, true);
+  cache.CondCacheInMemory(2, 40.0, 10.0, true);
+  // Memory full; newcomer with lower benefit than everything resident.
+  EXPECT_FALSE(cache.CondCacheInMemory(3, 50.0, 1.0, true));
+  EXPECT_EQ(cache.Peek(3), CacheTier::kNone);
+  EXPECT_GT(cache.stats().admission_rejections, 0);
+}
+
+TEST_F(TieredCacheTest, HighBenefitNewcomerDemotesVictims) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 60.0, 1.0, true);
+  cache.CondCacheInMemory(2, 40.0, 5.0, true);
+  EXPECT_TRUE(cache.CondCacheInMemory(3, 60.0, 100.0, true));
+  EXPECT_EQ(cache.Peek(3), CacheTier::kMemory);
+  EXPECT_EQ(cache.Peek(1), CacheTier::kDisk);  // least benefit demoted
+  EXPECT_EQ(cache.Peek(2), CacheTier::kMemory);
+  EXPECT_EQ(cache.stats().demotions, 1);
+}
+
+TEST_F(TieredCacheTest, VariableSizeEvictsMultipleVictims) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 30.0, 1.0, true);
+  cache.CondCacheInMemory(2, 30.0, 2.0, true);
+  cache.CondCacheInMemory(3, 30.0, 3.0, true);
+  // Needs 90 bytes free: the gather pass collects all three victims (after
+  // two, only 70 bytes would be free), and the 10-byte slack left once the
+  // newcomer is placed cannot retain any 30-byte item.
+  EXPECT_TRUE(cache.CondCacheInMemory(4, 90.0, 100.0, true));
+  EXPECT_EQ(cache.Peek(4), CacheTier::kMemory);
+  EXPECT_EQ(cache.Peek(1), CacheTier::kDisk);
+  EXPECT_EQ(cache.Peek(2), CacheTier::kDisk);
+  EXPECT_EQ(cache.Peek(3), CacheTier::kDisk);
+  EXPECT_EQ(cache.stats().demotions, 3);
+}
+
+TEST_F(TieredCacheTest, BenefitSumBlocksAdmission) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 50.0, 40.0, true);
+  cache.CondCacheInMemory(2, 50.0, 40.0, true);
+  // Newcomer benefit 50 < 80 (sum of both victims): rejected.
+  EXPECT_FALSE(cache.CondCacheInMemory(3, 100.0, 50.0, true));
+  // Newcomer benefit 90 > 80: admitted.
+  EXPECT_TRUE(cache.CondCacheInMemory(3, 100.0, 90.0, true));
+  EXPECT_EQ(cache.Peek(1), CacheTier::kDisk);
+  EXPECT_EQ(cache.Peek(2), CacheTier::kDisk);
+}
+
+TEST_F(TieredCacheTest, KeepsBackHighestBenefitGatheredItems) {
+  // Algorithm 3's retainment: gathering may over-collect; the best of the
+  // gathered set that still fits must survive.
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 50.0, 1.0, true);
+  cache.CondCacheInMemory(2, 50.0, 2.0, true);
+  // Newcomer of size 50 with huge benefit: gathering collects key 1
+  // (benefit 1) then key 2 — but evicting key 1 alone frees enough.
+  EXPECT_TRUE(cache.CondCacheInMemory(3, 50.0, 1000.0, true));
+  EXPECT_EQ(cache.Peek(1), CacheTier::kDisk);
+  EXPECT_EQ(cache.Peek(2), CacheTier::kMemory);
+  EXPECT_EQ(cache.Peek(3), CacheTier::kMemory);
+}
+
+TEST_F(TieredCacheTest, ItemLargerThanMemoryTierRejected) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  EXPECT_FALSE(cache.CondCacheInMemory(1, 200.0, 1e9, true));
+  EXPECT_EQ(cache.Peek(1), CacheTier::kNone);
+}
+
+TEST_F(TieredCacheTest, InsertDiskAndPromotion) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.InsertDisk(1, 40.0, 5.0);
+  EXPECT_EQ(cache.Lookup(1), CacheTier::kDisk);
+  EXPECT_EQ(cache.stats().disk_hits, 1);
+  // Promote it.
+  EXPECT_TRUE(cache.CondCacheInMemory(1, 40.0, 5.0, true));
+  EXPECT_EQ(cache.Peek(1), CacheTier::kMemory);
+  EXPECT_EQ(cache.stats().promotions, 1);
+  EXPECT_DOUBLE_EQ(cache.disk_used(), 0.0);  // removed from dCache on promote
+}
+
+TEST_F(TieredCacheTest, AlreadyInMemoryIsIdempotent) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 40.0, 5.0, true);
+  EXPECT_TRUE(cache.CondCacheInMemory(1, 40.0, 7.0, true));
+  EXPECT_DOUBLE_EQ(cache.memory_used(), 40.0);
+  EXPECT_EQ(cache.memory_items(), 1u);
+}
+
+TEST_F(TieredCacheTest, UniformModeEvictsSingleMinBenefit) {
+  TieredCache cache(SmallConfig(100.0, std::numeric_limits<double>::infinity(),
+                                /*uniform=*/true),
+                    &policy_);
+  cache.CondCacheInMemory(1, 50.0, 1.0, true);
+  cache.CondCacheInMemory(2, 50.0, 5.0, true);
+  EXPECT_FALSE(cache.CondCacheInMemory(3, 50.0, 0.5, true));
+  EXPECT_TRUE(cache.CondCacheInMemory(3, 50.0, 3.0, true));
+  EXPECT_EQ(cache.Peek(1), CacheTier::kDisk);
+  EXPECT_EQ(cache.Peek(2), CacheTier::kMemory);
+}
+
+TEST_F(TieredCacheTest, FiniteDiskDiscardsByBenefitPerSize) {
+  TieredCache cache(SmallConfig(100.0, 100.0), &policy_);
+  cache.InsertDisk(1, 60.0, 6.0);   // ratio 0.1
+  cache.InsertDisk(2, 40.0, 20.0);  // ratio 0.5
+  cache.InsertDisk(3, 60.0, 30.0);  // needs space: discards key 1
+  EXPECT_EQ(cache.Peek(1), CacheTier::kNone);
+  EXPECT_EQ(cache.Peek(2), CacheTier::kDisk);
+  EXPECT_EQ(cache.Peek(3), CacheTier::kDisk);
+  EXPECT_EQ(cache.stats().discards, 1);
+}
+
+TEST_F(TieredCacheTest, InvalidateRemovesFromEitherTier) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 40.0, 5.0, true);
+  cache.InsertDisk(2, 30.0, 2.0);
+  cache.Invalidate(1);
+  cache.Invalidate(2);
+  cache.Invalidate(3);  // absent: no-op
+  EXPECT_EQ(cache.Peek(1), CacheTier::kNone);
+  EXPECT_EQ(cache.Peek(2), CacheTier::kNone);
+  EXPECT_DOUBLE_EQ(cache.memory_used(), 0.0);
+  EXPECT_DOUBLE_EQ(cache.disk_used(), 0.0);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+}
+
+TEST_F(TieredCacheTest, UpdateBenefitReordersEviction) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 50.0, 1.0, true);
+  cache.CondCacheInMemory(2, 50.0, 2.0, true);
+  cache.UpdateBenefit(1, 10.0);  // key 1 is now the more valuable one
+  EXPECT_TRUE(cache.CondCacheInMemory(3, 50.0, 5.0, true));
+  EXPECT_EQ(cache.Peek(2), CacheTier::kDisk);
+  EXPECT_EQ(cache.Peek(1), CacheTier::kMemory);
+}
+
+TEST_F(TieredCacheTest, EvictionRaisesPolicyAge) {
+  TieredCache cache(SmallConfig(100.0), &policy_);
+  cache.CondCacheInMemory(1, 100.0, 7.0, true);
+  cache.CondCacheInMemory(2, 100.0, 9.0, true);
+  EXPECT_DOUBLE_EQ(policy_.age(), 7.0);
+}
+
+TEST_F(TieredCacheTest, ItemSizeReported) {
+  TieredCache cache(SmallConfig(), &policy_);
+  cache.CondCacheInMemory(1, 33.0, 1.0, true);
+  EXPECT_DOUBLE_EQ(cache.ItemSize(1), 33.0);
+  EXPECT_DOUBLE_EQ(cache.ItemSize(2), 0.0);
+}
+
+TEST_F(TieredCacheTest, MemoryMinBenefitTracksContents) {
+  TieredCache cache(SmallConfig(), &policy_);
+  EXPECT_TRUE(std::isinf(cache.MemoryMinBenefit()));
+  cache.CondCacheInMemory(1, 10.0, 3.0, true);
+  cache.CondCacheInMemory(2, 10.0, 1.5, true);
+  EXPECT_DOUBLE_EQ(cache.MemoryMinBenefit(), 1.5);
+}
+
+TEST_F(TieredCacheTest, StressInvariantsHold) {
+  TieredCacheConfig cfg = SmallConfig(1000.0, 3000.0);
+  TieredCache cache(cfg, &policy_);
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.NextBounded(500);
+    double size = 1.0 + static_cast<double>(rng.NextBounded(100));
+    double benefit = rng.NextDouble() * 100.0;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        cache.CondCacheInMemory(k, size, benefit, true);
+        break;
+      case 1:
+        cache.InsertDisk(k, size, benefit);
+        break;
+      case 2:
+        cache.Lookup(k);
+        break;
+      case 3:
+        cache.Invalidate(k);
+        break;
+    }
+    ASSERT_LE(cache.memory_used(), cfg.memory_capacity_bytes + 1e-9);
+    ASSERT_LE(cache.disk_used(), cfg.disk_capacity_bytes + 1e-9);
+    ASSERT_GE(cache.memory_used(), 0.0);
+    ASSERT_GE(cache.disk_used(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,71 @@
+#include "joinopt/common/ewma.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(EwmaTest, FirstObservationInitializesDirectly) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  e.Observe(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, FollowsPaperFormula) {
+  // value_{t+1} = alpha * measured + (1 - alpha) * value_t (Section 3.2)
+  Ewma e(0.25);
+  e.Observe(100.0);
+  e.Observe(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25 * 0.0 + 0.75 * 100.0);
+  e.Observe(200.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25 * 200.0 + 0.75 * 75.0);
+}
+
+TEST(EwmaTest, ValueOrFallsBackBeforeInit) {
+  Ewma e;
+  EXPECT_DOUBLE_EQ(e.ValueOr(3.5), 3.5);
+  e.Observe(1.0);
+  EXPECT_DOUBLE_EQ(e.ValueOr(3.5), 1.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.Observe(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(EwmaTest, SmoothsSpikes) {
+  // A single spike should move the estimate by exactly alpha * spike.
+  Ewma e(0.1);
+  for (int i = 0; i < 50; ++i) e.Observe(1.0);
+  e.Observe(101.0);
+  EXPECT_NEAR(e.value(), 1.0 + 0.1 * 100.0, 1e-9);
+}
+
+TEST(EwmaTest, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.Observe(5.0);
+  e.Observe(9.0);
+  EXPECT_DOUBLE_EQ(e.value(), 9.0);
+}
+
+TEST(EwmaTest, ResetForgets) {
+  Ewma e(0.5);
+  e.Observe(10.0);
+  e.Reset();
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.count(), 0);
+  e.Observe(2.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+}
+
+TEST(EwmaTest, CountsObservations) {
+  Ewma e;
+  for (int i = 0; i < 7; ++i) e.Observe(static_cast<double>(i));
+  EXPECT_EQ(e.count(), 7);
+}
+
+}  // namespace
+}  // namespace joinopt

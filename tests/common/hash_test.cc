@@ -1,0 +1,52 @@
+#include "joinopt/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace joinopt {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+}
+
+TEST(HashTest, Mix64DecorrelatesSequentialKeys) {
+  // Sequential keys must spread across partitions roughly evenly.
+  const int partitions = 10;
+  std::vector<int> counts(partitions, 0);
+  const int n = 100000;
+  for (uint64_t k = 0; k < static_cast<uint64_t>(n); ++k) {
+    ++counts[Mix64(k) % partitions];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / partitions, n / partitions * 0.05);
+  }
+}
+
+TEST(HashTest, Mix64IsInjectiveOnSample) {
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 10000; ++k) seen.insert(Mix64(k));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashTest, Fnv1aKnownVector) {
+  // FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(HashTest, Fnv1aDistinguishesTokens) {
+  EXPECT_NE(Fnv1a("michael jordan"), Fnv1a("michael jordon"));
+  EXPECT_NE(Fnv1a("ab"), Fnv1a("ba"));
+}
+
+TEST(HashTest, Fnv1aIsConstexpr) {
+  constexpr uint64_t h = Fnv1a("compile-time");
+  static_assert(h != 0);
+  EXPECT_EQ(h, Fnv1a("compile-time"));
+}
+
+}  // namespace
+}  // namespace joinopt

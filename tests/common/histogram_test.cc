@@ -1,0 +1,106 @@
+#include "joinopt/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Observe(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, CvZeroForConstant) {
+  SummaryStats s;
+  for (int i = 0; i < 10; ++i) s.Observe(3.0);
+  EXPECT_NEAR(s.cv(), 0.0, 1e-12);
+}
+
+TEST(SummaryStatsTest, MergeMatchesCombinedStream) {
+  SummaryStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = static_cast<double>(i * i % 17);
+    if (i % 2 == 0) {
+      a.Observe(x);
+    } else {
+      b.Observe(x);
+    }
+    all.Observe(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmptyIsIdentity) {
+  SummaryStats a, empty;
+  a.Observe(1.0);
+  a.Observe(2.0);
+  double mean = a.mean();
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2);
+
+  SummaryStats c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(HistogramTest, BucketsCountCorrectly) {
+  Histogram h({1.0, 2.0, 3.0});
+  for (double x : {0.5, 1.5, 1.7, 2.5, 3.5, 10.0}) h.Observe(x);
+  EXPECT_EQ(h.bucket_count(0), 1);  // < 1
+  EXPECT_EQ(h.bucket_count(1), 2);  // [1, 2)
+  EXPECT_EQ(h.bucket_count(2), 1);  // [2, 3)
+  EXPECT_EQ(h.bucket_count(3), 2);  // >= 3
+  EXPECT_EQ(h.stats().count(), 6);
+}
+
+TEST(HistogramTest, BoundaryValueGoesToUpperBucket) {
+  Histogram h({1.0});
+  h.Observe(1.0);
+  EXPECT_EQ(h.bucket_count(0), 0);
+  EXPECT_EQ(h.bucket_count(1), 1);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);   // bucket 0
+  for (int i = 0; i < 100; ++i) h.Observe(15.0);  // bucket 1
+  double median = h.Quantile(0.5);
+  EXPECT_GE(median, 5.0);
+  EXPECT_LE(median, 15.0);
+  EXPECT_GE(h.Quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 5.0);
+}
+
+TEST(HistogramTest, QuantileOnEmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace joinopt

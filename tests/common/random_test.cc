@@ -1,0 +1,156 @@
+#include "joinopt/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace joinopt {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.NextBounded(10)];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 expected each
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasExpectedMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 3.0), 3.0);
+  }
+}
+
+TEST(RngTest, ForkGivesIndependentStream) {
+  Rng a(9);
+  Rng b = a.Fork();
+  // The fork must not replay the parent's sequence.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfTest, UniformWhenZIsZero) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double z : {0.0, 0.5, 1.0, 1.5}) {
+    ZipfDistribution zipf(1000, z);
+    double sum = 0;
+    for (uint64_t i = 0; i < 1000; ++i) sum += zipf.Pmf(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "z=" << z;
+  }
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfDistribution zipf(100, 1.2);
+  for (uint64_t i = 1; i < 100; ++i) {
+    EXPECT_LE(zipf.Pmf(i), zipf.Pmf(i - 1));
+  }
+}
+
+class ZipfSampleMatchesPmfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSampleMatchesPmfTest, EmpiricalFrequencyTracksPmf) {
+  const double z = GetParam();
+  const uint64_t domain = 500;
+  ZipfDistribution zipf(domain, z);
+  Rng rng(101);
+  std::vector<int64_t> counts(domain, 0);
+  const int64_t n = 400000;
+  for (int64_t i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  // Compare the head of the distribution (the heavy hitters the paper's
+  // techniques key on) against the analytic PMF.
+  for (uint64_t rank = 0; rank < 10; ++rank) {
+    double expected = zipf.Pmf(rank) * static_cast<double>(n);
+    if (expected < 100) continue;
+    EXPECT_NEAR(counts[rank], expected, expected * 0.1)
+        << "z=" << z << " rank=" << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSampleMatchesPmfTest,
+                         ::testing::Values(0.0, 0.5, 0.9, 1.0, 1.2, 1.5));
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  ZipfDistribution zipf(42, 1.5);
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) EXPECT_LT(zipf.Sample(rng), 42u);
+}
+
+TEST(ShuffleTest, PermutationPreservesElements) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Rng rng(21);
+  Shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // And it actually moved something.
+  bool moved = false;
+  for (int i = 0; i < 100; ++i) {
+    if (v[static_cast<size_t>(i)] != i) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,40 @@
+#include "joinopt/common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(UnitsTest, ByteHelpers) {
+  EXPECT_DOUBLE_EQ(KiB(1), 1024.0);
+  EXPECT_DOUBLE_EQ(MiB(1), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(GiB(2), 2.0 * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(Microseconds(5), 5e-6);
+  EXPECT_DOUBLE_EQ(Milliseconds(100), 0.1);
+  EXPECT_DOUBLE_EQ(Minutes(2), 120.0);
+}
+
+TEST(UnitsTest, BandwidthHelpers) {
+  EXPECT_DOUBLE_EQ(Gbps(1), 125e6);
+  EXPECT_DOUBLE_EQ(Mbps(8), 1e6);
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3.5 * kMiB), "3.50 MiB");
+  EXPECT_EQ(FormatBytes(1.25 * kGiB), "1.25 GiB");
+}
+
+TEST(UnitsTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(90.0), "1.5 min");
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(0.05), "50.00 ms");
+  EXPECT_EQ(FormatDuration(3e-6), "3.00 us");
+}
+
+}  // namespace
+}  // namespace joinopt

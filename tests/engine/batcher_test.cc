@@ -1,0 +1,101 @@
+#include "joinopt/engine/batcher.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+RequestItem Item(Key k = 0) {
+  RequestItem item;
+  item.key = k;
+  return item;
+}
+
+TEST(BatcherTest, FlushesWhenFull) {
+  Simulation sim;
+  std::vector<size_t> flushes;
+  Batcher b(&sim, 3, 1.0, true, [&](std::vector<RequestItem> items) {
+    flushes.push_back(items.size());
+  });
+  b.Add(Item(1));
+  b.Add(Item(2));
+  EXPECT_TRUE(flushes.empty());
+  b.Add(Item(3));
+  ASSERT_EQ(flushes.size(), 1u);
+  EXPECT_EQ(flushes[0], 3u);
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(BatcherTest, TimeoutFlushesPartialBatch) {
+  Simulation sim;
+  std::vector<double> flush_times;
+  Batcher b(&sim, 100, 0.005, true, [&](std::vector<RequestItem>) {
+    flush_times.push_back(sim.now());
+  });
+  sim.Schedule(0.0, [&] { b.Add(Item()); });
+  sim.Run();
+  ASSERT_EQ(flush_times.size(), 1u);
+  EXPECT_NEAR(flush_times[0], 0.005, 1e-9);
+}
+
+TEST(BatcherTest, TimeoutMeasuredFromFirstItem) {
+  Simulation sim;
+  std::vector<double> flush_times;
+  Batcher b(&sim, 100, 0.010, true, [&](std::vector<RequestItem>) {
+    flush_times.push_back(sim.now());
+  });
+  sim.Schedule(0.002, [&] { b.Add(Item(1)); });
+  sim.Schedule(0.008, [&] { b.Add(Item(2)); });  // does not re-arm
+  sim.Run();
+  ASSERT_EQ(flush_times.size(), 1u);
+  EXPECT_NEAR(flush_times[0], 0.012, 1e-9);
+}
+
+TEST(BatcherTest, StaleTimeoutDoesNotDoubleFlush) {
+  Simulation sim;
+  int flushes = 0;
+  Batcher b(&sim, 2, 0.005, true,
+            [&](std::vector<RequestItem>) { ++flushes; });
+  sim.Schedule(0.0, [&] {
+    b.Add(Item(1));
+    b.Add(Item(2));  // size-triggered flush; timeout event now stale
+  });
+  sim.Schedule(0.004, [&] { b.Add(Item(3)); });  // fresh batch, new epoch
+  sim.Run();
+  // Flush 1 at t=0 (full), flush 2 at t=0.009 (timeout of the new batch).
+  EXPECT_EQ(flushes, 2);
+}
+
+TEST(BatcherTest, DisabledFlushesEveryItem) {
+  Simulation sim;
+  int flushes = 0;
+  Batcher b(&sim, 100, 1.0, false,
+            [&](std::vector<RequestItem> items) {
+              ++flushes;
+              EXPECT_EQ(items.size(), 1u);
+            });
+  for (int i = 0; i < 5; ++i) b.Add(Item());
+  EXPECT_EQ(flushes, 5);
+}
+
+TEST(BatcherTest, ManualFlushDrains) {
+  Simulation sim;
+  int flushes = 0;
+  Batcher b(&sim, 100, 1.0, true,
+            [&](std::vector<RequestItem>) { ++flushes; });
+  b.Add(Item());
+  b.Flush();
+  EXPECT_EQ(flushes, 1);
+  b.Flush();  // empty: no-op
+  EXPECT_EQ(flushes, 1);
+  EXPECT_EQ(b.flushes(), 1);
+}
+
+TEST(BatcherTest, StaticEffectiveSize) {
+  Simulation sim;
+  Batcher b(&sim, 42, 1.0, true, [](std::vector<RequestItem>) {});
+  EXPECT_EQ(b.EffectiveBatchSize(), 42);
+}
+
+}  // namespace
+}  // namespace joinopt

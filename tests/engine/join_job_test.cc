@@ -1,0 +1,293 @@
+#include "joinopt/engine/join_job.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "joinopt/common/random.h"
+#include "joinopt/common/units.h"
+
+namespace joinopt {
+namespace {
+
+struct TestRig {
+  ClusterConfig cluster_config;
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<ParallelStore> store;
+
+  explicit TestRig(int compute = 2, int data = 2) {
+    cluster_config.num_compute_nodes = compute;
+    cluster_config.num_data_nodes = data;
+    cluster_config.machine.cores = 4;
+    sim = std::make_unique<Simulation>();
+    cluster = std::make_unique<Cluster>(cluster_config);
+    std::vector<NodeId> data_ids, compute_ids;
+    for (int j = 0; j < data; ++j) data_ids.push_back(cluster->data_node_id(j));
+    for (int i = 0; i < compute; ++i) compute_ids.push_back(i);
+    store = std::make_unique<ParallelStore>(ParallelStoreConfig{}, data_ids,
+                                            compute_ids);
+  }
+
+  void LoadStore(int num_keys, double sv, double udf_cost) {
+    for (Key k = 0; k < static_cast<Key>(num_keys); ++k) {
+      StoredItem item;
+      item.size_bytes = sv;
+      item.udf_cost = udf_cost;
+      store->Put(k, item);
+    }
+  }
+
+  std::vector<InputTuple> ZipfInput(int n, int num_keys, double z,
+                                    uint64_t seed) {
+    Rng rng(seed);
+    ZipfDistribution zipf(static_cast<uint64_t>(num_keys), z);
+    std::vector<InputTuple> input;
+    input.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      InputTuple t;
+      t.keys = {zipf.Sample(rng)};
+      t.param_bytes = 128;
+      input.push_back(std::move(t));
+    }
+    return input;
+  }
+
+  JobResult RunStrategy(Strategy s, int tuples_per_node, int num_keys,
+                        double z, EngineConfig cfg = {}) {
+    JoinJob job(sim.get(), cluster.get(), {store.get()}, s, cfg);
+    for (int i = 0; i < cluster->num_compute_nodes(); ++i) {
+      job.SetInput(i, ZipfInput(tuples_per_node, num_keys, z,
+                                1000 + static_cast<uint64_t>(i)));
+    }
+    return job.Run();
+  }
+};
+
+class AllStrategiesTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(AllStrategiesTest, ProcessesEveryTuple) {
+  TestRig rig;
+  rig.LoadStore(200, KiB(4), Milliseconds(1));
+  JobResult r = rig.RunStrategy(GetParam(), 500, 200, 0.8);
+  EXPECT_EQ(r.tuples_processed, 1000);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_EQ(r.udf_invocations, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AllStrategiesTest,
+                         ::testing::Values(Strategy::kNO, Strategy::kFC,
+                                           Strategy::kFD, Strategy::kFR,
+                                           Strategy::kCO, Strategy::kLO,
+                                           Strategy::kFO),
+                         [](const auto& info) {
+                           return StrategyToString(info.param);
+                         });
+
+TEST(JoinJobTest, FdComputesEverythingAtDataNodes) {
+  TestRig rig;
+  rig.LoadStore(100, KiB(4), Milliseconds(1));
+  JobResult r = rig.RunStrategy(Strategy::kFD, 300, 100, 0.5);
+  EXPECT_EQ(r.computed_at_data, 600);
+  EXPECT_EQ(r.bounced_to_compute, 0);
+  EXPECT_EQ(r.compute_requests, 600);
+  EXPECT_EQ(r.data_requests, 0);
+}
+
+TEST(JoinJobTest, FcFetchesEverything) {
+  TestRig rig;
+  rig.LoadStore(100, KiB(4), Milliseconds(1));
+  JobResult r = rig.RunStrategy(Strategy::kFC, 300, 100, 0.5);
+  EXPECT_EQ(r.data_requests, 600);
+  EXPECT_EQ(r.compute_requests, 0);
+  EXPECT_EQ(r.computed_at_data, 0);
+}
+
+TEST(JoinJobTest, FrSplitsRoughlyInHalf) {
+  TestRig rig;
+  rig.LoadStore(100, KiB(4), Milliseconds(1));
+  JobResult r = rig.RunStrategy(Strategy::kFR, 1000, 100, 0.0);
+  EXPECT_NEAR(static_cast<double>(r.data_requests), 1000.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(r.compute_requests), 1000.0, 150.0);
+}
+
+TEST(JoinJobTest, BatchingBeatsBlockingRequests) {
+  // FC (batched, prefetched) must beat NO (one synchronous fetch at a
+  // time) — the benefit the paper attributes to Section 7.
+  TestRig rig_no, rig_fc;
+  rig_no.LoadStore(100, KiB(4), Microseconds(50));
+  rig_fc.LoadStore(100, KiB(4), Microseconds(50));
+  JobResult no = rig_no.RunStrategy(Strategy::kNO, 400, 100, 0.5);
+  JobResult fc = rig_fc.RunStrategy(Strategy::kFC, 400, 100, 0.5);
+  // FC pipelines down to the disk-bound floor; NO pays a full round trip
+  // per blocking worker (one per core) per tuple.
+  EXPECT_LT(fc.makespan * 1.2, no.makespan);
+}
+
+TEST(JoinJobTest, SkiRentalCachesHeavyHitters) {
+  TestRig rig;
+  rig.LoadStore(1000, KiB(32), Milliseconds(1));
+  // z=1.4: a handful of keys dominate -> FO should serve most requests
+  // from cache.
+  JobResult r = rig.RunStrategy(Strategy::kFO, 3000, 1000, 1.4);
+  EXPECT_GT(r.cache_memory_hits + r.cache_disk_hits, 1500);
+  EXPECT_EQ(r.tuples_processed, 6000);
+}
+
+TEST(JoinJobTest, NoCachingAtUniformLowTraffic) {
+  TestRig rig;
+  rig.LoadStore(5000, KiB(32), Milliseconds(1));
+  // Uniform keys, each seen ~0.4 times per node: ski-rental buys almost
+  // nothing (a few repeats may be fetched during the startup transient
+  // when data-node response times are inflated), and cache hits stay
+  // negligible.
+  JobResult r = rig.RunStrategy(Strategy::kFO, 1000, 5000, 0.0);
+  EXPECT_LT(r.data_requests, 2000 / 10);
+  EXPECT_LT(r.cache_memory_hits, 2000 / 20);
+}
+
+TEST(JoinJobTest, LoadBalancerBouncesUnderComputePressure) {
+  TestRig rig;
+  // Compute-heavy: 20 ms UDFs, small values. LO must offload part of the
+  // work back to compute nodes.
+  rig.LoadStore(100, 256.0, Milliseconds(20));
+  JobResult r = rig.RunStrategy(Strategy::kLO, 500, 100, 0.0);
+  EXPECT_GT(r.bounced_to_compute, 50);
+  EXPECT_GT(r.computed_at_data, 50);
+  EXPECT_EQ(r.tuples_processed, 1000);
+}
+
+TEST(JoinJobTest, LoBeatsFdOnComputeHeavyWork) {
+  TestRig rig_fd, rig_lo;
+  rig_fd.LoadStore(100, 256.0, Milliseconds(20));
+  rig_lo.LoadStore(100, 256.0, Milliseconds(20));
+  JobResult fd = rig_fd.RunStrategy(Strategy::kFD, 500, 100, 0.0);
+  JobResult lo = rig_lo.RunStrategy(Strategy::kLO, 500, 100, 0.0);
+  // FD uses only the data nodes' CPUs; LO uses both sides.
+  EXPECT_LT(lo.makespan, fd.makespan * 0.85);
+}
+
+TEST(JoinJobTest, MultiStagePipelineCompletes) {
+  TestRig rig;
+  rig.LoadStore(100, KiB(4), Milliseconds(1));
+  // Second store for stage 1.
+  std::vector<NodeId> data_ids, compute_ids;
+  for (int j = 0; j < rig.cluster->num_data_nodes(); ++j) {
+    data_ids.push_back(rig.cluster->data_node_id(j));
+  }
+  for (int i = 0; i < rig.cluster->num_compute_nodes(); ++i) {
+    compute_ids.push_back(i);
+  }
+  ParallelStore store2(ParallelStoreConfig{}, data_ids, compute_ids);
+  for (Key k = 0; k < 50; ++k) {
+    StoredItem item;
+    item.size_bytes = KiB(2);
+    item.udf_cost = Milliseconds(0.5);
+    store2.Put(k, item);
+  }
+  EngineConfig cfg;
+  JoinJob job(rig.sim.get(), rig.cluster.get(), {rig.store.get(), &store2},
+              Strategy::kFO, cfg);
+  Rng rng(7);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<InputTuple> input;
+    for (int t = 0; t < 300; ++t) {
+      InputTuple tuple;
+      tuple.keys = {rng.NextBounded(100), rng.NextBounded(50)};
+      input.push_back(tuple);
+    }
+    job.SetInput(i, std::move(input));
+  }
+  JobResult r = job.Run();
+  EXPECT_EQ(r.tuples_processed, 600);
+  // Each surviving tuple runs two UDFs.
+  EXPECT_EQ(r.udf_invocations, 1200);
+}
+
+TEST(JoinJobTest, StageSelectivityFiltersTuples) {
+  TestRig rig;
+  rig.LoadStore(100, KiB(4), Milliseconds(1));
+  std::vector<NodeId> data_ids{rig.cluster->data_node_id(0),
+                               rig.cluster->data_node_id(1)};
+  ParallelStore store2(ParallelStoreConfig{}, data_ids, {0, 1});
+  for (Key k = 0; k < 50; ++k) {
+    StoredItem item;
+    item.size_bytes = KiB(2);
+    item.udf_cost = Milliseconds(0.5);
+    store2.Put(k, item);
+  }
+  EngineConfig cfg;
+  cfg.stage_selectivity = {0.5, 1.0};
+  JoinJob job(rig.sim.get(), rig.cluster.get(), {rig.store.get(), &store2},
+              Strategy::kFC, cfg);
+  Rng rng(9);
+  std::vector<InputTuple> input;
+  for (int t = 0; t < 2000; ++t) {
+    InputTuple tuple;
+    tuple.keys = {rng.NextBounded(100), rng.NextBounded(50)};
+    input.push_back(tuple);
+  }
+  job.SetInput(0, std::move(input));
+  JobResult r = job.Run();
+  EXPECT_EQ(r.tuples_processed, 2000);
+  // ~half the tuples run the stage-1 UDF: 2000 + ~1000 invocations.
+  EXPECT_NEAR(static_cast<double>(r.udf_invocations), 3000.0, 150.0);
+}
+
+TEST(JoinJobTest, StreamingArrivalRateBoundsThroughput) {
+  TestRig rig;
+  rig.LoadStore(100, KiB(4), Microseconds(100));
+  EngineConfig cfg;
+  JoinJob job(rig.sim.get(), rig.cluster.get(), {rig.store.get()},
+              Strategy::kFC, cfg);
+  for (int i = 0; i < 2; ++i) {
+    job.SetInput(i, rig.ZipfInput(1000, 100, 0.5, 77), /*arrival_rate=*/500.0);
+  }
+  JobResult r = job.Run();
+  EXPECT_EQ(r.tuples_processed, 2000);
+  // 1000 tuples at 500/s: the last arrives at t = 999/500 = 1.998 s, so
+  // the makespan cannot beat the arrival horizon.
+  EXPECT_GE(r.makespan, 1.998);
+}
+
+TEST(JoinJobTest, UpdateInvalidatesCachedValue) {
+  TestRig rig(1, 1);
+  rig.LoadStore(10, KiB(8), Milliseconds(1));
+  EngineConfig cfg;
+  JoinJob job(rig.sim.get(), rig.cluster.get(), {rig.store.get()},
+              Strategy::kFO, cfg);
+  // A stream hammering one key: it gets cached quickly.
+  std::vector<InputTuple> input;
+  for (int t = 0; t < 2000; ++t) {
+    InputTuple tuple;
+    tuple.keys = {3};
+    input.push_back(tuple);
+  }
+  job.SetInput(0, std::move(input));
+  // Mid-run update to the hot key.
+  rig.sim->Schedule(0.05, [&job] { ASSERT_TRUE(job.ApplyUpdate(0, 3).ok()); });
+  JobResult r = job.Run();
+  EXPECT_EQ(r.tuples_processed, 2000);
+  const DecisionEngine* engine = job.compute_runtime(0).engine(0);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GE(engine->stats().update_resets, 1);
+}
+
+TEST(JoinJobTest, ComputeCpuSkewLowUnderUniformKeys) {
+  TestRig rig(4, 4);
+  rig.LoadStore(1000, KiB(4), Milliseconds(2));
+  JobResult r = rig.RunStrategy(Strategy::kFD, 500, 1000, 0.0);
+  EXPECT_LT(r.data_cpu_skew, 1.5);
+}
+
+TEST(JoinJobTest, FdDataSkewHighUnderHeavyHitters) {
+  TestRig rig(4, 4);
+  rig.LoadStore(1000, KiB(4), Milliseconds(2));
+  JobResult r = rig.RunStrategy(Strategy::kFD, 500, 1000, 1.5);
+  // One data node owns the dominant key and does most of the work.
+  EXPECT_GT(r.data_cpu_skew, 1.8);
+}
+
+}  // namespace
+}  // namespace joinopt

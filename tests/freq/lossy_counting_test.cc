@@ -1,0 +1,115 @@
+#include "joinopt/freq/lossy_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+TEST(LossyCountingTest, CountsExactlyWithinFirstBucket) {
+  LossyCounting lc(0.01);  // bucket width 100
+  for (int i = 0; i < 5; ++i) lc.Observe(7);
+  EXPECT_EQ(lc.EstimatedCount(7), 5);
+  EXPECT_EQ(lc.EstimatedCount(8), 0);
+}
+
+TEST(LossyCountingTest, ObserveReturnsRunningCount) {
+  LossyCounting lc(0.1);
+  EXPECT_EQ(lc.Observe(1), 1);
+  EXPECT_EQ(lc.Observe(1), 2);
+  EXPECT_EQ(lc.Observe(2), 1);
+}
+
+TEST(LossyCountingTest, PrunesInfrequentKeysAtBucketBoundary) {
+  LossyCounting lc(0.1);  // bucket width 10
+  // Keys 0..9 once each fills exactly one bucket; all are pruned.
+  for (Key k = 0; k < 10; ++k) lc.Observe(k);
+  EXPECT_EQ(lc.TrackedKeys(), 0u);
+}
+
+TEST(LossyCountingTest, KeepsHeavyHitterAcrossBuckets) {
+  LossyCounting lc(0.1);
+  for (int i = 0; i < 100; ++i) {
+    lc.Observe(42);                          // heavy
+    lc.Observe(static_cast<Key>(1000 + i)); // one-off noise
+  }
+  EXPECT_GE(lc.EstimatedCount(42), 90);  // undercount bounded by eps*N = 20
+  EXPECT_LE(lc.EstimatedCount(42), 100);
+}
+
+TEST(LossyCountingTest, UndercountBoundedByEpsilonN) {
+  const double eps = 0.02;
+  LossyCounting lc(eps);
+  Rng rng(5);
+  ZipfDistribution zipf(200, 1.0);
+  std::map<Key, int64_t> exact;
+  const int64_t n = 20000;
+  for (int64_t i = 0; i < n; ++i) {
+    Key k = zipf.Sample(rng);
+    ++exact[k];
+    lc.Observe(k);
+  }
+  for (const auto& [k, true_count] : exact) {
+    int64_t est = lc.EstimatedCount(k);
+    EXPECT_LE(est, true_count) << "overestimate for key " << k;
+    EXPECT_GE(est, true_count - static_cast<int64_t>(eps * n))
+        << "undercount too large for key " << k;
+  }
+}
+
+TEST(LossyCountingTest, MemoryStaysBounded) {
+  LossyCounting lc(0.001);
+  Rng rng(9);
+  // A million distinct keys, uniformly: tracked keys must stay near 1/eps.
+  for (int i = 0; i < 1000000; ++i) {
+    lc.Observe(rng.Next());
+  }
+  EXPECT_LT(lc.TrackedKeys(), 20000u);  // well below the 1M distinct keys
+}
+
+TEST(LossyCountingTest, FrequentKeysFindsHeavyHitters) {
+  LossyCounting lc(0.01);
+  for (int i = 0; i < 1000; ++i) {
+    lc.Observe(1);
+    if (i % 2 == 0) lc.Observe(2);
+    lc.Observe(static_cast<Key>(10000 + i));
+  }
+  auto frequent = lc.FrequentKeys(400);
+  bool has1 = false, has2 = false;
+  for (Key k : frequent) {
+    if (k == 1) has1 = true;
+    if (k == 2) has2 = true;
+    EXPECT_TRUE(k == 1 || k == 2) << "false heavy hitter " << k;
+  }
+  EXPECT_TRUE(has1);
+  EXPECT_TRUE(has2);
+}
+
+TEST(LossyCountingTest, ResetKeyZeroesAndAllowsPruning) {
+  LossyCounting lc(0.1);  // width 10
+  for (int i = 0; i < 50; ++i) lc.Observe(5);
+  EXPECT_GE(lc.EstimatedCount(5), 40);
+  lc.ResetKey(5);
+  EXPECT_EQ(lc.EstimatedCount(5), 0);
+  // Without further hits, the next boundary prunes it.
+  for (Key k = 100; k < 110; ++k) lc.Observe(k);
+  EXPECT_EQ(lc.EstimatedCount(5), 0);
+  EXPECT_EQ(lc.TrackedKeys(), 0u);
+}
+
+TEST(LossyCountingTest, TotalObservationsCounts) {
+  LossyCounting lc(0.5);
+  for (int i = 0; i < 17; ++i) lc.Observe(static_cast<Key>(i % 3));
+  EXPECT_EQ(lc.TotalObservations(), 17);
+}
+
+TEST(LossyCountingTest, BucketWidthFromEpsilon) {
+  LossyCounting lc(0.001);
+  EXPECT_EQ(lc.bucket_width(), 1000);
+}
+
+}  // namespace
+}  // namespace joinopt

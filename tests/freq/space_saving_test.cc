@@ -1,0 +1,107 @@
+#include "joinopt/freq/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhileUnderCapacity) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 5; ++i) ss.Observe(1);
+  ss.Observe(2);
+  EXPECT_EQ(ss.EstimatedCount(1), 5);
+  EXPECT_EQ(ss.EstimatedCount(2), 1);
+  EXPECT_EQ(ss.ErrorBound(1), 0);
+}
+
+TEST(SpaceSavingTest, CapacityNeverExceeded) {
+  SpaceSaving ss(8);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) ss.Observe(rng.Next());
+  EXPECT_LE(ss.TrackedKeys(), 8u);
+}
+
+TEST(SpaceSavingTest, ReplacementInheritsMinCount) {
+  SpaceSaving ss(2);
+  ss.Observe(1);
+  ss.Observe(1);
+  ss.Observe(2);
+  // Table full {1:2, 2:1}; new key 3 evicts key 2 (min count 1).
+  ss.Observe(3);
+  EXPECT_EQ(ss.EstimatedCount(2), 0);
+  EXPECT_EQ(ss.EstimatedCount(3), 2);  // 1 (inherited) + 1
+  EXPECT_EQ(ss.ErrorBound(3), 1);
+}
+
+TEST(SpaceSavingTest, NeverUndercounts) {
+  // Space-Saving guarantee: estimate >= true count for tracked keys.
+  SpaceSaving ss(20);
+  Rng rng(17);
+  ZipfDistribution zipf(100, 1.2);
+  std::map<Key, int64_t> exact;
+  for (int i = 0; i < 50000; ++i) {
+    Key k = zipf.Sample(rng);
+    ++exact[k];
+    ss.Observe(k);
+  }
+  for (const auto& [k, true_count] : exact) {
+    int64_t est = ss.EstimatedCount(k);
+    if (est > 0) {
+      EXPECT_GE(est, true_count) << "undercount for key " << k;
+    }
+  }
+}
+
+TEST(SpaceSavingTest, HeavyHittersSurvive) {
+  SpaceSaving ss(10);
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    ss.Observe(777);  // heavy
+    ss.Observe(rng.Next());
+  }
+  EXPECT_GE(ss.EstimatedCount(777), 20000);
+}
+
+TEST(SpaceSavingTest, OverestimateBoundedByErrorTerm) {
+  SpaceSaving ss(4);
+  Rng rng(31);
+  std::map<Key, int64_t> exact;
+  for (int i = 0; i < 5000; ++i) {
+    Key k = rng.NextBounded(50);
+    ++exact[k];
+    ss.Observe(k);
+  }
+  for (Key k = 0; k < 50; ++k) {
+    int64_t est = ss.EstimatedCount(k);
+    if (est > 0) {
+      EXPECT_LE(est - ss.ErrorBound(k), exact[k]);
+    }
+  }
+}
+
+TEST(SpaceSavingTest, ResetKeyZeroes) {
+  SpaceSaving ss(4);
+  for (int i = 0; i < 10; ++i) ss.Observe(1);
+  ss.ResetKey(1);
+  EXPECT_EQ(ss.EstimatedCount(1), 0);
+  // The reset entry is now the eviction victim.
+  ss.Observe(2);
+  ss.Observe(3);
+  ss.Observe(4);
+  ss.Observe(5);  // evicts key 1 (count 0)
+  EXPECT_EQ(ss.EstimatedCount(5), 1);
+  EXPECT_EQ(ss.EstimatedCount(1), 0);
+}
+
+TEST(SpaceSavingTest, TotalObservations) {
+  SpaceSaving ss(2);
+  for (int i = 0; i < 9; ++i) ss.Observe(static_cast<Key>(i));
+  EXPECT_EQ(ss.TotalObservations(), 9);
+}
+
+}  // namespace
+}  // namespace joinopt

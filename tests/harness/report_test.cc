@@ -1,0 +1,57 @@
+#include "joinopt/harness/report.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(ReportTableTest, AlignsColumns) {
+  ReportTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "2.5"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(ReportTableTest, NumericRowFormatsPrecision) {
+  ReportTable t({"strategy", "z=0", "z=1"});
+  t.AddNumericRow("FO", {1.0, 2.34567}, 2);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("1.00"), std::string::npos);
+  EXPECT_NE(s.find("2.35"), std::string::npos);
+}
+
+TEST(ReportTableTest, HandlesRaggedRows) {
+  ReportTable t({"a"});
+  t.AddRow({"x", "y", "z"});
+  EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(NormalizeTest, NormalizeByBaseline) {
+  auto out = NormalizeBy({2.0, 4.0, 1.0}, 2.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(NormalizeTest, InverseForThroughput) {
+  auto out = InverseNormalizeBy({2.0, 0.5}, 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);  // took twice as long -> half throughput
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(NormalizeTest, ZeroBaselinesSafe) {
+  EXPECT_DOUBLE_EQ(NormalizeBy({1.0}, 0.0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(InverseNormalizeBy({0.0}, 1.0)[0], 0.0);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace joinopt

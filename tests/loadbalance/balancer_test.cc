@@ -1,0 +1,126 @@
+#include "joinopt/loadbalance/balancer.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+SizeParams CpuOnlySizes() {
+  SizeParams s;
+  s.sk = s.sp = s.sv = s.scv = 1;
+  return s;
+}
+
+TEST(BalancerTest, AllAtDataMode) {
+  Balancer b({MinimizerKind::kAllAtData, {}});
+  EXPECT_EQ(b.ChooseComputedAtData({}, {}, {}, 50), 50);
+}
+
+TEST(BalancerTest, AllAtComputeMode) {
+  Balancer b({MinimizerKind::kAllAtCompute, {}});
+  EXPECT_EQ(b.ChooseComputedAtData({}, {}, {}, 50), 0);
+}
+
+TEST(BalancerTest, SplitsCpuBoundBatchEvenly) {
+  ComputeNodeStats cn;
+  cn.tcc = 0.1;
+  cn.cores = 8;
+  cn.net_bw = 1e12;
+  DataNodeLocalStats dn;
+  dn.tcd = 0.1;
+  dn.cores = 8;
+  dn.net_bw = 1e12;
+  Balancer b;
+  int64_t d = b.ChooseComputedAtData(cn, dn, CpuOnlySizes(), 100);
+  EXPECT_NEAR(static_cast<double>(d), 50.0, 3.0);
+}
+
+TEST(BalancerTest, LoadedDataNodeReturnsMore) {
+  ComputeNodeStats cn;
+  cn.tcc = 0.1;
+  cn.cores = 8;
+  cn.net_bw = 1e12;
+  DataNodeLocalStats dn;
+  dn.tcd = 0.1;
+  dn.cores = 8;
+  dn.net_bw = 1e12;
+  dn.rd_all = 500;  // deep local UDF queue
+  Balancer b;
+  int64_t d = b.ChooseComputedAtData(cn, dn, CpuOnlySizes(), 100);
+  EXPECT_LT(d, 10);  // nearly everything bounced back
+}
+
+TEST(BalancerTest, LoadedComputeNodeKeepsWorkAtData) {
+  ComputeNodeStats cn;
+  cn.tcc = 0.1;
+  cn.cores = 8;
+  cn.net_bw = 1e12;
+  cn.lcc = 500;  // compute node drowning in local work
+  DataNodeLocalStats dn;
+  dn.tcd = 0.1;
+  dn.cores = 8;
+  dn.net_bw = 1e12;
+  Balancer b;
+  int64_t d = b.ChooseComputedAtData(cn, dn, CpuOnlySizes(), 100);
+  EXPECT_GT(d, 90);
+}
+
+TEST(BalancerTest, NetworkBoundBatchPrefersComputeAtData) {
+  // Large stored values, tiny computed values, slow network: shipping raw
+  // values back dominates — compute at the data node.
+  ComputeNodeStats cn;
+  cn.tcc = 1e-6;
+  cn.cores = 8;
+  cn.net_bw = 1e6;
+  DataNodeLocalStats dn;
+  dn.tcd = 1e-6;
+  dn.cores = 8;
+  dn.net_bw = 1e6;
+  SizeParams s;
+  s.sk = 16;
+  s.sp = 64;
+  s.sv = 100000;  // 100 KB stored values (the DH workload shape)
+  s.scv = 100;
+  Balancer b;
+  int64_t d = b.ChooseComputedAtData(cn, dn, s, 100);
+  EXPECT_GT(d, 90);
+}
+
+TEST(BalancerTest, StatsAccumulate) {
+  Balancer b({MinimizerKind::kAllAtData, {}});
+  b.ChooseComputedAtData({}, {}, {}, 10);
+  b.ChooseComputedAtData({}, {}, {}, 20);
+  EXPECT_EQ(b.stats().batches, 2);
+  EXPECT_EQ(b.stats().requests_seen, 30);
+  EXPECT_EQ(b.stats().computed_at_data, 30);
+  EXPECT_EQ(b.stats().returned_to_compute, 0);
+}
+
+TEST(BalancerTest, ExactMinimizerAgreesWithGradientDescent) {
+  ComputeNodeStats cn;
+  cn.tcc = 0.05;
+  cn.cores = 4;
+  cn.net_bw = 1e9;
+  DataNodeLocalStats dn;
+  dn.tcd = 0.08;
+  dn.cores = 8;
+  dn.net_bw = 1e9;
+  dn.rd_all = 40;
+  SizeParams s;
+  Balancer gd({MinimizerKind::kGradientDescent, {}});
+  Balancer ex({MinimizerKind::kExact, {}});
+  int64_t d_gd = gd.ChooseComputedAtData(cn, dn, s, 200);
+  int64_t d_ex = ex.ChooseComputedAtData(cn, dn, s, 200);
+  BatchLoadModel m = BuildLoadModel(cn, dn, s, 200);
+  EXPECT_LE(m.CompletionTime(static_cast<double>(d_gd)),
+            m.CompletionTime(static_cast<double>(d_ex)) * 1.05);
+}
+
+TEST(BalancerTest, ClampsToBatch) {
+  Balancer b;
+  int64_t d = b.ChooseComputedAtData({}, {}, {}, 0);
+  EXPECT_EQ(d, 0);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,100 @@
+#include "joinopt/loadbalance/gradient_descent.h"
+
+#include <gtest/gtest.h>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+BatchLoadModel MakeModel(AffineLoad a, AffineLoad b, AffineLoad c,
+                         AffineLoad d, double batch) {
+  BatchLoadModel m;
+  m.comp_cpu = a;
+  m.comp_net = b;
+  m.data_cpu = c;
+  m.data_net = d;
+  m.batch_size = batch;
+  return m;
+}
+
+TEST(GradientDescentTest, FindsInteriorKink) {
+  // comp_cpu decreasing, data_cpu increasing; optimum where they cross:
+  // 10 - 0.1 d = 0.2 d -> d = 33.33.
+  BatchLoadModel m = MakeModel({10, -0.1}, {0, 0}, {0, 0.2}, {0, 0}, 100);
+  double d = GradientDescentMinimize(m);
+  EXPECT_NEAR(d, 100.0 / 3.0, 0.5);
+}
+
+TEST(GradientDescentTest, BoundarySolutionAtZero) {
+  // Everything increasing in d: best is d = 0.
+  BatchLoadModel m = MakeModel({0, 0.1}, {0, 0}, {0, 0.2}, {0, 0}, 100);
+  EXPECT_NEAR(GradientDescentMinimize(m), 0.0, 0.5);
+}
+
+TEST(GradientDescentTest, BoundarySolutionAtB) {
+  // Everything decreasing: best is d = b.
+  BatchLoadModel m = MakeModel({10, -0.1}, {5, -0.01}, {0, 0}, {0, 0}, 100);
+  EXPECT_NEAR(GradientDescentMinimize(m), 100.0, 0.5);
+}
+
+TEST(GradientDescentTest, FlatObjectiveReturnsValidPoint) {
+  BatchLoadModel m = MakeModel({5, 0}, {5, 0}, {5, 0}, {5, 0}, 100);
+  double d = GradientDescentMinimize(m);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 100.0);
+}
+
+TEST(GradientDescentTest, ZeroBatch) {
+  BatchLoadModel m = MakeModel({1, -1}, {0, 0}, {0, 1}, {0, 0}, 0);
+  EXPECT_DOUBLE_EQ(GradientDescentMinimize(m), 0.0);
+}
+
+TEST(ExactMinimizeTest, MatchesAnalyticOptimum) {
+  BatchLoadModel m = MakeModel({10, -0.1}, {0, 0}, {0, 0.2}, {0, 0}, 100);
+  EXPECT_NEAR(ExactMinimize(m), 100.0 / 3.0, 1e-9);
+}
+
+// Property: on random convex instances, gradient descent lands within a
+// small relative gap of the exact optimum — justifying the paper's "cheap
+// heuristic" claim (the objective is convex, so there are no bad local
+// minima to get stuck in).
+class GdVsExactProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GdVsExactProperty, NearOptimal) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    auto rand_affine = [&](double sign_bias) {
+      double intercept = rng.NextDouble() * 100.0;
+      double slope = (rng.NextDouble() - sign_bias) * 2.0;
+      return AffineLoad{intercept, slope};
+    };
+    double b = 1.0 + static_cast<double>(rng.NextBounded(1000));
+    BatchLoadModel m = MakeModel(rand_affine(0.8), rand_affine(0.5),
+                                 rand_affine(0.2), rand_affine(0.5), b);
+    double d_gd = GradientDescentMinimize(m);
+    double d_exact = ExactMinimize(m);
+    double v_gd = m.CompletionTime(d_gd);
+    double v_exact = m.CompletionTime(d_exact);
+    ASSERT_GE(v_gd, v_exact - 1e-9);
+    // Gap bounded at 2.5% of the objective's magnitude (random instances
+    // may have negative values, so scale by |v_exact|).
+    EXPECT_LE(v_gd - v_exact, 0.025 * std::max(std::abs(v_exact), 1.0))
+        << "trial " << trial << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GdVsExactProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(GradientDescentTest, RespectsStartFraction) {
+  GradientDescentOptions opt;
+  opt.start_fraction = 0.0;
+  BatchLoadModel m = MakeModel({10, -0.1}, {0, 0}, {0, 0.2}, {0, 0}, 100);
+  EXPECT_NEAR(GradientDescentMinimize(m, opt), 100.0 / 3.0, 0.5);
+  opt.start_fraction = 1.0;
+  EXPECT_NEAR(GradientDescentMinimize(m, opt), 100.0 / 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace joinopt

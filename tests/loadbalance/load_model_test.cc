@@ -1,0 +1,126 @@
+#include "joinopt/loadbalance/load_model.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+SizeParams SimpleSizes() {
+  SizeParams s;
+  s.sk = 10;
+  s.sp = 90;
+  s.sv = 1000;
+  s.scv = 100;
+  return s;
+}
+
+TEST(LoadModelTest, CompCpuDecreasesInD) {
+  ComputeNodeStats cn;
+  cn.tcc = 0.1;
+  DataNodeLocalStats dn;
+  BatchLoadModel m = BuildLoadModel(cn, dn, SimpleSizes(), 100);
+  EXPECT_LT(m.comp_cpu.slope, 0.0);
+  EXPECT_GT(m.comp_cpu.At(0), m.comp_cpu.At(100));
+}
+
+TEST(LoadModelTest, DataCpuIncreasesInD) {
+  ComputeNodeStats cn;
+  DataNodeLocalStats dn;
+  dn.tcd = 0.1;
+  BatchLoadModel m = BuildLoadModel(cn, dn, SimpleSizes(), 100);
+  EXPECT_GT(m.data_cpu.slope, 0.0);
+  EXPECT_DOUBLE_EQ(m.data_cpu.At(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.data_cpu.At(50), 5.0);
+}
+
+TEST(LoadModelTest, NetworkSlopePrefersComputedResponsesWhenSmall) {
+  // scv < sv: each request computed at the data node sends back scv
+  // instead of sv, so both network loads decrease in d.
+  ComputeNodeStats cn;
+  DataNodeLocalStats dn;
+  BatchLoadModel m = BuildLoadModel(cn, dn, SimpleSizes(), 100);
+  EXPECT_LT(m.comp_net.slope, 0.0);
+  EXPECT_LT(m.data_net.slope, 0.0);
+}
+
+TEST(LoadModelTest, NetworkSlopeFlipsWhenComputedValuesAreLarge) {
+  SizeParams s = SimpleSizes();
+  s.scv = 5000;  // UDF inflates the data
+  ComputeNodeStats cn;
+  DataNodeLocalStats dn;
+  BatchLoadModel m = BuildLoadModel(cn, dn, s, 100);
+  EXPECT_GT(m.comp_net.slope, 0.0);
+  EXPECT_GT(m.data_net.slope, 0.0);
+}
+
+TEST(LoadModelTest, CpuWorkDividedByCores) {
+  ComputeNodeStats cn;
+  cn.tcc = 0.1;
+  cn.cores = 1;
+  DataNodeLocalStats dn;
+  dn.tcd = 0.1;
+  dn.cores = 4;
+  BatchLoadModel m = BuildLoadModel(cn, dn, SimpleSizes(), 100);
+  EXPECT_DOUBLE_EQ(m.data_cpu.At(40), 0.1 * 40 / 4);
+  EXPECT_DOUBLE_EQ(m.comp_cpu.At(100), 0.0);  // all work shipped to data
+}
+
+TEST(LoadModelTest, PendingWorkRaisesIntercepts) {
+  ComputeNodeStats cn;
+  cn.tcc = 0.1;
+  cn.lcc = 50;
+  DataNodeLocalStats dn;
+  dn.tcd = 0.1;
+  dn.rd_all = 30;
+  BatchLoadModel m = BuildLoadModel(cn, dn, SimpleSizes(), 10);
+  ComputeNodeStats cn0;
+  cn0.tcc = 0.1;
+  DataNodeLocalStats dn0;
+  dn0.tcd = 0.1;
+  BatchLoadModel m0 = BuildLoadModel(cn0, dn0, SimpleSizes(), 10);
+  EXPECT_GT(m.comp_cpu.intercept, m0.comp_cpu.intercept);
+  EXPECT_GT(m.data_cpu.intercept, m0.data_cpu.intercept);
+}
+
+TEST(LoadModelTest, CompletionTimeIsMaxOfComponents) {
+  BatchLoadModel m;
+  m.comp_cpu = {10, 0};
+  m.comp_net = {0, 0.5};
+  m.data_cpu = {0, 0};
+  m.data_net = {2, 0};
+  m.batch_size = 100;
+  EXPECT_DOUBLE_EQ(m.CompletionTime(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.CompletionTime(40), 20.0);
+}
+
+TEST(LoadModelTest, SubgradientPicksActiveComponent) {
+  BatchLoadModel m;
+  m.comp_cpu = {10, -0.1};
+  m.data_cpu = {0, 0.2};
+  m.comp_net = {0, 0};
+  m.data_net = {0, 0};
+  m.batch_size = 100;
+  EXPECT_DOUBLE_EQ(m.Subgradient(0), -0.1);    // comp_cpu active
+  EXPECT_DOUBLE_EQ(m.Subgradient(100), 0.2);   // data_cpu active
+}
+
+TEST(LoadModelTest, BalancedClusterCrossoverNearHalf) {
+  // Symmetric nodes, pure CPU workload: the optimum splits the batch in
+  // proportion to capacity — here 50/50.
+  ComputeNodeStats cn;
+  cn.tcc = 0.1;
+  cn.cores = 8;
+  DataNodeLocalStats dn;
+  dn.tcd = 0.1;
+  dn.cores = 8;
+  SizeParams tiny;
+  tiny.sk = tiny.sp = tiny.sv = tiny.scv = 1;  // network negligible
+  cn.net_bw = dn.net_bw = 1e12;
+  BatchLoadModel m = BuildLoadModel(cn, dn, tiny, 100);
+  double at_half = m.CompletionTime(50);
+  EXPECT_LT(at_half, m.CompletionTime(0));
+  EXPECT_LT(at_half, m.CompletionTime(100));
+}
+
+}  // namespace
+}  // namespace joinopt

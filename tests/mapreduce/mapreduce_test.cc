@@ -1,0 +1,134 @@
+#include "joinopt/mapreduce/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+struct MrRig {
+  Simulation sim;
+  Cluster cluster;
+  std::vector<Key> records;
+  std::vector<double> value_bytes;
+  std::vector<double> udf_cost;
+
+  explicit MrRig(int nodes = 4)
+      : cluster([&nodes] {
+          ClusterConfig c;
+          c.num_compute_nodes = nodes;
+          c.num_data_nodes = 0;
+          c.machine.cores = 4;
+          return c;
+        }()) {}
+
+  void MakeKeys(int num_keys, double sv, double cost) {
+    value_bytes.assign(static_cast<size_t>(num_keys), sv);
+    udf_cost.assign(static_cast<size_t>(num_keys), cost);
+  }
+
+  MapReduceJoinSpec Spec(int partitions) {
+    MapReduceJoinSpec s;
+    s.records = &records;
+    s.value_bytes = &value_bytes;
+    s.udf_cost = &udf_cost;
+    s.num_partitions = partitions;
+    s.partitioner = [partitions](Key k, int64_t) {
+      return static_cast<int>(Mix64(k) % static_cast<uint64_t>(partitions));
+    };
+    return s;
+  }
+};
+
+TEST(MapReduceTest, ProcessesAllRecords) {
+  MrRig rig;
+  rig.MakeKeys(100, 1024, 1e-3);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    rig.records.push_back(rng.NextBounded(100));
+  }
+  JobResult r = RunMapReduceJoin(&rig.sim, &rig.cluster, rig.Spec(16), {});
+  EXPECT_EQ(r.tuples_processed, 5000);
+  EXPECT_EQ(r.udf_invocations, 5000);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.network_bytes, 0.0);
+}
+
+TEST(MapReduceTest, UniformKeysBalanceWell) {
+  MrRig rig(4);
+  rig.MakeKeys(10000, 1024, 1e-3);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    rig.records.push_back(rng.NextBounded(10000));
+  }
+  JobResult r = RunMapReduceJoin(&rig.sim, &rig.cluster, rig.Spec(32), {});
+  EXPECT_LT(r.compute_cpu_skew, 1.3);
+}
+
+TEST(MapReduceTest, HeavyHitterCreatesStraggler) {
+  MrRig skewed(4), uniform(4);
+  skewed.MakeKeys(1000, 1024, 1e-3);
+  uniform.MakeKeys(1000, 1024, 1e-3);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    // 60% of records hit key 7.
+    skewed.records.push_back(rng.Bernoulli(0.6) ? 7 : rng.NextBounded(1000));
+    uniform.records.push_back(rng.NextBounded(1000));
+  }
+  JobResult rs =
+      RunMapReduceJoin(&skewed.sim, &skewed.cluster, skewed.Spec(32), {});
+  JobResult ru =
+      RunMapReduceJoin(&uniform.sim, &uniform.cluster, uniform.Spec(32), {});
+  EXPECT_GT(rs.makespan, ru.makespan * 2);
+  EXPECT_GT(rs.compute_cpu_skew, 1.5);
+}
+
+TEST(MapReduceTest, SprayPartitionerRemovesHeavyHitterSkew) {
+  MrRig rig(4);
+  rig.MakeKeys(1000, 1024, 1e-3);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    rig.records.push_back(rng.Bernoulli(0.6) ? 7 : rng.NextBounded(1000));
+  }
+  MapReduceJoinSpec spec = rig.Spec(32);
+  spec.partitioner = [](Key k, int64_t i) {
+    if (k == 7) return static_cast<int>(i % 32);  // replicate key 7
+    return static_cast<int>(Mix64(k) % 32);
+  };
+  JobResult r = RunMapReduceJoin(&rig.sim, &rig.cluster, spec, {});
+  EXPECT_LT(r.compute_cpu_skew, 1.4);
+}
+
+TEST(MapReduceTest, ExpensiveUdfKeyDominatesWithoutCostAwareness) {
+  // One moderately frequent key with a 100x UDF cost: frequency-based
+  // replication won't catch it, cost-aware (CSAW-style) will.
+  MrRig rig(4);
+  rig.MakeKeys(1000, 1024, 1e-3);
+  rig.udf_cost[42] = 0.1;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    rig.records.push_back(rng.Bernoulli(0.05) ? 42 : rng.NextBounded(1000));
+  }
+  JobResult hashed = RunMapReduceJoin(&rig.sim, &rig.cluster, rig.Spec(32), {});
+  EXPECT_GT(hashed.compute_cpu_skew, 1.5);
+}
+
+TEST(MapReduceTest, MorePartitionsSmoothLoad) {
+  MrRig coarse(4), fine(4);
+  coarse.MakeKeys(64, 1024, 2e-3);
+  fine.MakeKeys(64, 1024, 2e-3);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    Key k = rng.NextBounded(64);
+    coarse.records.push_back(k);
+    fine.records.push_back(k);
+  }
+  JobResult rc =
+      RunMapReduceJoin(&coarse.sim, &coarse.cluster, coarse.Spec(4), {});
+  JobResult rf = RunMapReduceJoin(&fine.sim, &fine.cluster, fine.Spec(32), {});
+  EXPECT_LE(rf.makespan, rc.makespan * 1.05);
+}
+
+}  // namespace
+}  // namespace joinopt

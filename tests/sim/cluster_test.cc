@@ -1,0 +1,67 @@
+#include "joinopt/sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+ClusterConfig SmallConfig() {
+  ClusterConfig c;
+  c.num_compute_nodes = 3;
+  c.num_data_nodes = 2;
+  c.machine.cores = 4;
+  return c;
+}
+
+TEST(ClusterTest, CreatesAllNodes) {
+  Cluster cluster(SmallConfig());
+  EXPECT_EQ(cluster.num_nodes(), 5);
+  EXPECT_EQ(cluster.num_compute_nodes(), 3);
+  EXPECT_EQ(cluster.num_data_nodes(), 2);
+}
+
+TEST(ClusterTest, RoleMappingIsConsistent) {
+  Cluster cluster(SmallConfig());
+  EXPECT_EQ(cluster.compute_node(0).id(), 0);
+  EXPECT_EQ(cluster.compute_node(2).id(), 2);
+  EXPECT_EQ(cluster.data_node(0).id(), 3);
+  EXPECT_EQ(cluster.data_node(1).id(), 4);
+  EXPECT_FALSE(cluster.is_data_node(2));
+  EXPECT_TRUE(cluster.is_data_node(3));
+  EXPECT_EQ(cluster.data_node_id(1), 4);
+}
+
+TEST(ClusterTest, NodesHaveConfiguredCores) {
+  Cluster cluster(SmallConfig());
+  EXPECT_EQ(cluster.node(0).cpu().cores(), 4);
+}
+
+TEST(ClusterTest, DiskServiceTimeFollowsModel) {
+  ClusterConfig c = SmallConfig();
+  c.machine.disk.seek_time = 0.01;
+  c.machine.disk.bandwidth_bytes_per_sec = 1000.0;
+  Cluster cluster(c);
+  EXPECT_DOUBLE_EQ(cluster.node(0).DiskServiceTime(500.0), 0.01 + 0.5);
+}
+
+TEST(ClusterTest, NetworkSpansAllNodes) {
+  Cluster cluster(SmallConfig());
+  EXPECT_EQ(cluster.network().num_nodes(), 5);
+}
+
+TEST(ClusterTest, TotalCpuBusyAggregates) {
+  Cluster cluster(SmallConfig());
+  cluster.node(0).cpu().Reserve(0.0, 2.0);
+  cluster.node(4).cpu().Reserve(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(cluster.TotalCpuBusy(), 5.0);
+}
+
+TEST(ClusterTest, PaperScaleCluster) {
+  ClusterConfig c;  // defaults: 10 + 10 nodes, 8 cores
+  Cluster cluster(c);
+  EXPECT_EQ(cluster.num_nodes(), 20);
+  EXPECT_EQ(cluster.node(0).cpu().cores(), 8);
+}
+
+}  // namespace
+}  // namespace joinopt

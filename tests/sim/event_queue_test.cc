@@ -1,0 +1,130 @@
+#include "joinopt/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace joinopt {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.Schedule(1.0, chain);
+  };
+  sim.Schedule(1.0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulationTest, RunUntilStopsBeforeLaterEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(10.0, [&] { ++fired; });
+  sim.Run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  double when = -1;
+  sim.Schedule(2.0, [&] {
+    sim.Schedule(-5.0, [&] { when = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(when, 2.0);
+}
+
+TEST(SimulationTest, AtClampsPastTimes) {
+  Simulation sim;
+  double when = -1;
+  sim.Schedule(3.0, [&] {
+    sim.At(1.0, [&] { when = sim.now(); });  // in the past: runs "now"
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(when, 3.0);
+}
+
+TEST(SimulationTest, StopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StepExecutesOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, StepRespectsUntil) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(5.0, [&] { ++fired; });
+  EXPECT_FALSE(sim.Step(4.0));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulationTest, CountsExecutedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 17; ++i) sim.Schedule(static_cast<double>(i), [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 17u);
+}
+
+TEST(SimulationTest, RunToUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.Run(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+}  // namespace
+}  // namespace joinopt

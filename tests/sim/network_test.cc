@@ -1,0 +1,80 @@
+#include "joinopt/sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+NetworkConfig TestConfig() {
+  NetworkConfig c;
+  c.bandwidth_bytes_per_sec = 1000.0;  // 1000 B/s for easy math
+  c.latency = 0.5;
+  c.per_message_overhead_bytes = 0.0;
+  return c;
+}
+
+TEST(NetworkTest, SingleTransferTime) {
+  Network net(2, TestConfig());
+  // 1000 bytes at 1000 B/s on egress, then ingress, then latency.
+  double arrival = net.Transfer(0, 1, 1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(arrival, 1.0 + 1.0 + 0.5);
+}
+
+TEST(NetworkTest, SenderSerializesConcurrentTransfers) {
+  Network net(3, TestConfig());
+  double a1 = net.Transfer(0, 1, 1000.0, 0.0);
+  double a2 = net.Transfer(0, 2, 1000.0, 0.0);
+  // Second message waits for the first on node 0's egress link.
+  EXPECT_GT(a2, a1);
+  EXPECT_DOUBLE_EQ(a2, 2.0 + 1.0 + 0.5);
+}
+
+TEST(NetworkTest, ReceiverIncastSerializes) {
+  Network net(3, TestConfig());
+  double a1 = net.Transfer(0, 2, 1000.0, 0.0);
+  double a2 = net.Transfer(1, 2, 1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(a1, 2.5);
+  // Node 1's egress is free, but node 2's ingress is busy until t=2.
+  EXPECT_DOUBLE_EQ(a2, 3.5);
+}
+
+TEST(NetworkTest, LoopbackSkipsNic) {
+  Network net(2, TestConfig());
+  double arrival = net.Transfer(0, 0, 1e9, 0.0);
+  EXPECT_LT(arrival, 0.1);
+  EXPECT_DOUBLE_EQ(net.egress(0).busy_time(), 0.0);
+}
+
+TEST(NetworkTest, OverheadAddsBytes) {
+  NetworkConfig c = TestConfig();
+  c.per_message_overhead_bytes = 500.0;
+  Network net(2, c);
+  double arrival = net.Transfer(0, 1, 500.0, 0.0);
+  EXPECT_DOUBLE_EQ(arrival, 1.0 + 1.0 + 0.5);
+}
+
+TEST(NetworkTest, EffectiveBandwidthIsMinOfEndpoints) {
+  Network net(3, TestConfig());
+  net.SetNodeBandwidth(1, 100.0);
+  EXPECT_DOUBLE_EQ(net.EffectiveBandwidth(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(net.EffectiveBandwidth(0, 2), 1000.0);
+}
+
+TEST(NetworkTest, HeterogeneousBandwidthSlowsTransfer) {
+  Network net(2, TestConfig());
+  net.SetNodeBandwidth(1, 100.0);
+  double arrival = net.Transfer(0, 1, 1000.0, 0.0);
+  // Egress at 1000 B/s (1s), ingress at 100 B/s (10s), latency.
+  EXPECT_DOUBLE_EQ(arrival, 1.0 + 10.0 + 0.5);
+}
+
+TEST(NetworkTest, AccountsTraffic) {
+  Network net(2, TestConfig());
+  net.Transfer(0, 1, 100.0, 0.0);
+  net.Transfer(1, 0, 200.0, 0.0);
+  EXPECT_DOUBLE_EQ(net.total_bytes_transferred(), 300.0);
+  EXPECT_EQ(net.total_messages(), 2);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,92 @@
+#include "joinopt/sim/resource.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(FifoServerTest, IdleServerStartsImmediately) {
+  FifoServer s;
+  EXPECT_DOUBLE_EQ(s.Reserve(10.0, 2.0), 12.0);
+  EXPECT_DOUBLE_EQ(s.busy_time(), 2.0);
+}
+
+TEST(FifoServerTest, BusyServerQueues) {
+  FifoServer s;
+  s.Reserve(0.0, 5.0);
+  // Second job at t=1 must wait until t=5.
+  EXPECT_DOUBLE_EQ(s.Reserve(1.0, 2.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.queue_delay().max(), 4.0);
+}
+
+TEST(FifoServerTest, GapsLeaveServerIdle) {
+  FifoServer s;
+  s.Reserve(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.Reserve(10.0, 1.0), 11.0);
+  EXPECT_DOUBLE_EQ(s.busy_time(), 2.0);
+}
+
+TEST(FifoServerTest, BacklogReflectsQueuedWork) {
+  FifoServer s;
+  EXPECT_DOUBLE_EQ(s.Backlog(0.0), 0.0);
+  s.Reserve(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.Backlog(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Backlog(6.0), 0.0);
+}
+
+TEST(MultiServerTest, ParallelJobsUseAllCores) {
+  MultiServer s(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(s.Reserve(0.0, 3.0), 3.0);
+  }
+  // Fifth job queues behind the earliest core.
+  EXPECT_DOUBLE_EQ(s.Reserve(0.0, 3.0), 6.0);
+}
+
+TEST(MultiServerTest, SingleCoreBehavesLikeFifo) {
+  MultiServer s(1);
+  EXPECT_DOUBLE_EQ(s.Reserve(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.Reserve(0.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.Reserve(5.0, 2.0), 7.0);
+}
+
+TEST(MultiServerTest, JobsGoToEarliestFreeCore) {
+  MultiServer s(2);
+  s.Reserve(0.0, 10.0);  // core A busy till 10
+  s.Reserve(0.0, 1.0);   // core B busy till 1
+  EXPECT_DOUBLE_EQ(s.Reserve(2.0, 1.0), 3.0);  // core B, idle since 1
+}
+
+TEST(MultiServerTest, MakespanOfUniformJobs) {
+  // 100 jobs of 1s on 8 cores: ceil(100/8) waves -> last completes at 13.
+  MultiServer s(8);
+  double last = 0;
+  for (int i = 0; i < 100; ++i) last = std::max(last, s.Reserve(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(last, 13.0);
+  EXPECT_DOUBLE_EQ(s.busy_time(), 100.0);
+}
+
+TEST(MultiServerTest, BacklogSumsOverCores) {
+  MultiServer s(2);
+  s.Reserve(0.0, 4.0);
+  s.Reserve(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.Backlog(1.0), 3.0 + 1.0);
+  EXPECT_DOUBLE_EQ(s.Backlog(5.0), 0.0);
+}
+
+TEST(MultiServerTest, EarliestStartTracksFreeCore) {
+  MultiServer s(2);
+  EXPECT_DOUBLE_EQ(s.EarliestStart(3.0), 3.0);
+  s.Reserve(0.0, 10.0);
+  s.Reserve(0.0, 6.0);
+  EXPECT_DOUBLE_EQ(s.EarliestStart(0.0), 6.0);
+}
+
+TEST(MultiServerTest, CountsJobs) {
+  MultiServer s(3);
+  for (int i = 0; i < 7; ++i) s.Reserve(0.0, 0.5);
+  EXPECT_EQ(s.jobs(), 7);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,161 @@
+#include "joinopt/skirental/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(CostModelTest, PriorsBeforeMeasurements) {
+  CostModelConfig cfg;
+  CostModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.avg_key_bytes(), cfg.prior_key_bytes);
+  EXPECT_DOUBLE_EQ(m.local_compute_time(), cfg.prior_compute_time);
+  EXPECT_DOUBLE_EQ(m.bandwidth(3), cfg.prior_bandwidth);
+}
+
+TEST(CostModelTest, ObserveSizesSkipsNegatives) {
+  CostModel m;
+  m.ObserveSizes(8.0, -1, -1, 1000.0);
+  EXPECT_DOUBLE_EQ(m.avg_key_bytes(), 8.0);
+  EXPECT_DOUBLE_EQ(m.avg_stored_value_bytes(), 1000.0);
+  EXPECT_DOUBLE_EQ(m.avg_param_bytes(), CostModelConfig{}.prior_param_bytes);
+}
+
+TEST(CostModelTest, TComputeIsMaxOfThreeComponents) {
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;  // track exactly for the test
+  CostModel m(cfg);
+  m.SetBandwidth(1, 100.0);  // bytes/s
+  m.ObserveSizes(10.0, 20.0, 30.0, 0.0);
+  m.ObserveDataNode(1, {0.001, 0.002});
+  // Network: (10+20+30)/100 = 0.6s dominates disk (1ms) and CPU (2ms).
+  EXPECT_DOUBLE_EQ(m.TCompute(1), 0.6);
+  // Make CPU dominate.
+  m.ObserveDataNode(1, {0.001, 5.0});
+  EXPECT_DOUBLE_EQ(m.TCompute(1), 5.0);
+}
+
+TEST(CostModelTest, TFetchUsesStoredValueSize) {
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  m.SetBandwidth(1, 100.0);
+  m.ObserveSizes(10.0, -1, -1, -1);
+  m.ObserveDataNode(1, {0.001, 0.0});
+  // Per-key sv overrides the global average.
+  EXPECT_DOUBLE_EQ(m.TFetch(1, 990.0), (10.0 + 990.0) / 100.0);
+}
+
+TEST(CostModelTest, TFetchFallsBackToAverageSv) {
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  m.SetBandwidth(1, 100.0);
+  m.ObserveSizes(10.0, -1, -1, 490.0);
+  m.ObserveDataNode(1, {0.001, 0.0});
+  EXPECT_DOUBLE_EQ(m.TFetch(1), (10.0 + 490.0) / 100.0);
+}
+
+TEST(CostModelTest, TRecDiskIsMaxOfCpuAndDisk) {
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  m.ObserveLocalCompute(0.010);
+  m.ObserveLocalDisk(0.002);
+  EXPECT_DOUBLE_EQ(m.TRecMem(), 0.010);
+  EXPECT_DOUBLE_EQ(m.TRecDisk(), 0.010);
+  m.ObserveLocalDisk(0.100);
+  EXPECT_DOUBLE_EQ(m.TRecDisk(), 0.100);
+}
+
+TEST(CostModelTest, SmoothingFollowsAlpha) {
+  CostModelConfig cfg;
+  cfg.alpha = 0.5;
+  CostModel m(cfg);
+  m.ObserveLocalCompute(10.0);
+  m.ObserveLocalCompute(20.0);
+  EXPECT_DOUBLE_EQ(m.local_compute_time(), 15.0);
+}
+
+TEST(CostModelTest, PerDataNodeIsolation) {
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  m.ObserveDataNode(1, {0.5, 0.6});
+  m.ObserveDataNode(2, {0.1, 0.2});
+  EXPECT_DOUBLE_EQ(m.data_node_disk_time(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.data_node_disk_time(2), 0.1);
+  EXPECT_DOUBLE_EQ(m.data_node_compute_time(1), 0.6);
+  EXPECT_DOUBLE_EQ(m.data_node_compute_time(2), 0.2);
+}
+
+TEST(CostModelTest, ResolveBundlesAllFour) {
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  m.SetBandwidth(1, 1000.0);
+  m.ObserveSizes(10.0, 10.0, 10.0, 100.0);
+  m.ObserveDataNode(1, {0.004, 0.005});
+  m.ObserveLocalCompute(0.003);
+  m.ObserveLocalDisk(0.001);
+  ResolvedCosts c = m.Resolve(1);
+  EXPECT_DOUBLE_EQ(c.t_compute, std::max(0.005, 30.0 / 1000.0));
+  EXPECT_DOUBLE_EQ(c.t_fetch, std::max(0.004, 110.0 / 1000.0));
+  EXPECT_DOUBLE_EQ(c.t_rec_mem, 0.003);
+  EXPECT_DOUBLE_EQ(c.t_rec_disk, 0.003);
+}
+
+TEST(CostModelTest, LocalCostBootstrapsFromReportedServiceTimes) {
+  // Before the compute node has run any UDF locally, its recurring-cost
+  // estimate comes from the service times data nodes report (homogeneous
+  // cluster assumption) — not from the static prior.
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  DataNodeCostReport report;
+  report.t_cpu = 0.500;          // wall (includes queueing)
+  report.t_cpu_service = 0.050;  // pure service
+  report.t_disk = 0.020;
+  report.t_disk_service = 0.002;
+  m.ObserveDataNode(1, report);
+  EXPECT_DOUBLE_EQ(m.local_compute_time(), 0.050);  // service, not wall
+  EXPECT_DOUBLE_EQ(m.local_disk_time(), 0.002);
+  // A real local measurement overrides the bootstrap.
+  m.ObserveLocalCompute(0.080);
+  EXPECT_DOUBLE_EQ(m.local_compute_time(), 0.080);
+}
+
+TEST(CostModelTest, WallAndServiceTimesKeptSeparate) {
+  // tCompute (rent) must see the wall time; tRecMem must not.
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  m.SetBandwidth(1, 1e9);
+  DataNodeCostReport report;
+  report.t_cpu = 0.400;
+  report.t_cpu_service = 0.010;
+  report.t_disk = 0.001;
+  report.t_disk_service = 0.001;
+  m.ObserveDataNode(1, report);
+  EXPECT_DOUBLE_EQ(m.TCompute(1), 0.400);  // queue-inflated rent cost
+  EXPECT_DOUBLE_EQ(m.TRecMem(), 0.010);    // pure recurring cost
+  // This is what makes the ski-rental buy from overloaded data nodes:
+  // r - br = 0.39 > 0 even though the UDF itself is identical either way.
+  EXPECT_GT(m.TCompute(1) - m.TRecMem(), 0.3);
+}
+
+TEST(CostModelTest, LoadedDataNodeRaisesRentCost) {
+  // The adaptivity hook: a data node reporting inflated per-UDF wall time
+  // (queueing) must raise tCompute, lowering the ski-rental threshold.
+  CostModelConfig cfg;
+  cfg.alpha = 1.0;
+  CostModel m(cfg);
+  m.SetBandwidth(1, 1e9);
+  m.ObserveDataNode(1, {0.001, 0.010});
+  double relaxed = m.TCompute(1);
+  m.ObserveDataNode(1, {0.001, 0.500});
+  EXPECT_GT(m.TCompute(1), relaxed);
+}
+
+}  // namespace
+}  // namespace joinopt

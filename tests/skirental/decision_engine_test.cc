@@ -1,0 +1,237 @@
+#include "joinopt/skirental/decision_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "joinopt/common/units.h"
+
+namespace joinopt {
+namespace {
+
+constexpr NodeId kDataNode = 10;
+
+DecisionEngineConfig TestConfig() {
+  DecisionEngineConfig cfg;
+  cfg.cost.alpha = 1.0;  // exact tracking keeps the arithmetic transparent
+  cfg.cache.memory_capacity_bytes = 1e6;
+  cfg.counter = CounterKind::kExact;
+  return cfg;
+}
+
+// Primes the engine so that costs for `key` are known: one compute request
+// plus its response carrying the data node's cost report.
+void Prime(DecisionEngine& engine, Key key, double sv, double t_disk,
+           double t_cpu_data, double t_cpu_local, double bw) {
+  engine.cost_model().SetBandwidth(kDataNode, bw);
+  engine.ObserveLocalCompute(t_cpu_local);
+  Decision first = engine.Decide(key, kDataNode);
+  EXPECT_EQ(first.route, Route::kComputeAtData);
+  engine.OnComputeResponse(key, kDataNode, sv, /*version=*/1,
+                           {t_disk, t_cpu_data});
+  engine.cost_model().ObserveSizes(16.0, 100.0, 100.0, -1);
+}
+
+TEST(DecisionEngineTest, FirstRequestIsComputeRequest) {
+  DecisionEngine engine(TestConfig());
+  Decision d = engine.Decide(1, kDataNode);
+  EXPECT_EQ(d.route, Route::kComputeAtData);
+  EXPECT_EQ(engine.stats().first_requests, 1);
+}
+
+TEST(DecisionEngineTest, RentsBelowThresholdThenBuys) {
+  DecisionEngine engine(TestConfig());
+  // r = tCompute = max(1ms disk, small net, 1ms cpu) = 1ms... make fetch
+  // expensive: sv = 1 MB over 1 MB/s => tFetch ~ 1s; r = 0.1s; brM = 1ms.
+  // Threshold ~ 1 / (0.1 - 0.001) ~ 10.1 accesses.
+  Prime(engine, 1, /*sv=*/1e6, /*t_disk=*/1e-3, /*t_cpu_data=*/0.1,
+        /*t_cpu_local=*/1e-3, /*bw=*/1e6);
+  int64_t rents = 0;
+  Decision d{Route::kComputeAtData, 0, 0};
+  for (int i = 0; i < 40; ++i) {
+    d = engine.Decide(1, kDataNode);
+    if (d.route != Route::kComputeAtData) break;
+    ++rents;
+  }
+  EXPECT_EQ(d.route, Route::kFetchCacheMemory);
+  // Threshold ~10.1, first request already consumed one access.
+  EXPECT_NEAR(static_cast<double>(rents), 10.0, 2.0);
+}
+
+TEST(DecisionEngineTest, CacheHitAfterFetch) {
+  DecisionEngine engine(TestConfig());
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  Decision d{Route::kComputeAtData, 0, 0};
+  for (int i = 0; i < 100; ++i) {
+    d = engine.Decide(1, kDataNode);
+    if (d.route == Route::kFetchCacheMemory) break;
+  }
+  ASSERT_EQ(d.route, Route::kFetchCacheMemory);
+  engine.OnValueFetched(1, d.route, 1e6, 1);
+  EXPECT_EQ(engine.Decide(1, kDataNode).route, Route::kLocalMemoryHit);
+  EXPECT_GT(engine.stats().local_memory_hits, 0);
+}
+
+TEST(DecisionEngineTest, NeverBuysWhenRecurringExceedsRent) {
+  DecisionEngine engine(TestConfig());
+  // Fetching is expensive (1 MB over 1 MB/s) and the local UDF costs as
+  // much as the remote one (100 ms): r <= br, so renting forever wins.
+  Prime(engine, 1, /*sv=*/1e6, /*t_disk=*/1e-4, /*t_cpu_data=*/0.1,
+        /*t_cpu_local=*/0.1, /*bw=*/1e6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(engine.Decide(1, kDataNode).route, Route::kComputeAtData);
+  }
+}
+
+TEST(DecisionEngineTest, BuysImmediatelyWhenFetchIsCheaper) {
+  DecisionEngine engine(TestConfig());
+  // tFetch < tCompute (tiny value, expensive remote CPU): per Section 4.3,
+  // always issue data requests once costs are known.
+  Prime(engine, 1, /*sv=*/50.0, /*t_disk=*/1e-4, /*t_cpu_data=*/0.2,
+        /*t_cpu_local=*/1e-3, /*bw=*/1e9);
+  Decision d = engine.Decide(1, kDataNode);
+  EXPECT_EQ(d.route, Route::kFetchCacheMemory);
+}
+
+TEST(DecisionEngineTest, CachingDisabledAlwaysRents) {
+  DecisionEngineConfig cfg = TestConfig();
+  cfg.caching_enabled = false;
+  DecisionEngine engine(cfg);
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(engine.Decide(1, kDataNode).route, Route::kComputeAtData);
+  }
+  EXPECT_EQ(engine.cache().memory_items(), 0u);
+}
+
+TEST(DecisionEngineTest, OverflowsToDiskTierWhenMemoryContended) {
+  DecisionEngineConfig cfg = TestConfig();
+  cfg.cache.memory_capacity_bytes = 1e6;  // fits exactly one 1 MB value
+  DecisionEngine engine(cfg);
+  engine.cost_model().SetBandwidth(kDataNode, 1e6);
+  engine.ObserveLocalCompute(1e-3);
+  engine.ObserveLocalDisk(2e-3);
+
+  auto drive_until_fetch = [&](Key k) -> Route {
+    Decision d{Route::kComputeAtData, 0, 0};
+    for (int i = 0; i < 200; ++i) {
+      d = engine.Decide(k, kDataNode);
+      if (d.route != Route::kComputeAtData) return d.route;
+      engine.OnComputeResponse(k, kDataNode, 1e6, 1, {1e-3, 0.1});
+    }
+    return d.route;
+  };
+
+  Route r1 = drive_until_fetch(1);
+  ASSERT_EQ(r1, Route::kFetchCacheMemory);
+  engine.OnValueFetched(1, r1, 1e6, 1);
+  // Key 1 now occupies the whole memory tier with a high (frequent) benefit.
+  // Key 2, equally hot, can't displace it (same benefit) — expect the disk
+  // tier route once the disk ski-rental condition is met.
+  Route r2 = drive_until_fetch(2);
+  EXPECT_EQ(r2, Route::kFetchCacheDisk);
+  engine.OnValueFetched(2, r2, 1e6, 1);
+  EXPECT_EQ(engine.Decide(2, kDataNode).route, Route::kLocalDiskHit);
+}
+
+TEST(DecisionEngineTest, UpdateResetsCounterAndInvalidates) {
+  DecisionEngine engine(TestConfig());
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  Decision d{Route::kComputeAtData, 0, 0};
+  for (int i = 0; i < 100; ++i) {
+    d = engine.Decide(1, kDataNode);
+    if (d.route == Route::kFetchCacheMemory) break;
+  }
+  ASSERT_EQ(d.route, Route::kFetchCacheMemory);
+  engine.OnValueFetched(1, d.route, 1e6, 1);
+  ASSERT_EQ(engine.Decide(1, kDataNode).route, Route::kLocalMemoryHit);
+
+  engine.OnUpdateNotification(1, /*new_version=*/2);
+  EXPECT_EQ(engine.cache().Peek(1), CacheTier::kNone);
+  EXPECT_EQ(engine.counter().EstimatedCount(1), 0);
+  EXPECT_GE(engine.stats().update_invalidations, 1);
+  // Fresh access counts restart: immediately renting again.
+  EXPECT_EQ(engine.Decide(1, kDataNode).route, Route::kComputeAtData);
+}
+
+TEST(DecisionEngineTest, VersionBumpViaComputeResponseResets) {
+  DecisionEngine engine(TestConfig());
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  for (int i = 0; i < 5; ++i) {
+    engine.Decide(1, kDataNode);
+    engine.OnComputeResponse(1, kDataNode, 1e6, 1, {1e-3, 0.5});
+  }
+  int64_t before = engine.counter().EstimatedCount(1);
+  ASSERT_GT(before, 3);
+  // The item was updated between two compute requests (version 1 -> 3).
+  engine.Decide(1, kDataNode);
+  engine.OnComputeResponse(1, kDataNode, 1e6, 3, {1e-3, 0.5});
+  EXPECT_EQ(engine.counter().EstimatedCount(1), 0);
+  EXPECT_GE(engine.stats().update_resets, 1);
+}
+
+TEST(DecisionEngineTest, StaleNotificationIgnored) {
+  DecisionEngine engine(TestConfig());
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  engine.OnComputeResponse(1, kDataNode, 1e6, 5, {1e-3, 0.5});
+  int64_t count = engine.counter().EstimatedCount(1);
+  engine.OnUpdateNotification(1, /*new_version=*/4);  // older than known
+  EXPECT_EQ(engine.counter().EstimatedCount(1), count);
+}
+
+TEST(DecisionEngineTest, StatsAccumulateByRoute) {
+  DecisionEngine engine(TestConfig());
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  for (int i = 0; i < 50; ++i) {
+    Decision d = engine.Decide(1, kDataNode);
+    if (d.route == Route::kFetchCacheMemory) {
+      engine.OnValueFetched(1, d.route, 1e6, 1);
+    }
+  }
+  const auto& s = engine.stats();
+  EXPECT_GT(s.compute_requests, 0);
+  EXPECT_EQ(s.fetch_memory, 1);
+  EXPECT_GT(s.local_memory_hits, 0);
+  EXPECT_EQ(s.local_memory_hits + s.compute_requests + s.fetch_memory +
+                s.fetch_disk + s.local_disk_hits,
+            51);  // Prime's first Decide + 50 here
+}
+
+TEST(DecisionEngineTest, FreezeStopsAdaptation) {
+  DecisionEngineConfig cfg = TestConfig();
+  cfg.freeze_after_decisions = 40;
+  DecisionEngine engine(cfg);
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  // Warm-up: key 1 gets bought and cached.
+  Decision d{Route::kComputeAtData, 0, 0};
+  for (int i = 0; i < 30; ++i) {
+    d = engine.Decide(1, kDataNode);
+    if (d.route == Route::kFetchCacheMemory) {
+      engine.OnValueFetched(1, d.route, 1e6, 1);
+      break;
+    }
+  }
+  ASSERT_EQ(engine.Decide(1, kDataNode).route, Route::kLocalMemoryHit);
+  // Burn through the freeze threshold.
+  while (!engine.frozen()) engine.Decide(1, kDataNode);
+  // Cached key still served from memory.
+  EXPECT_EQ(engine.Decide(1, kDataNode).route, Route::kLocalMemoryHit);
+  // A new hot key can no longer be bought, no matter how often it appears.
+  for (int i = 0; i < 100; ++i) {
+    Decision d2 = engine.Decide(2, kDataNode);
+    EXPECT_EQ(d2.route, Route::kComputeAtData);
+    engine.OnComputeResponse(2, kDataNode, 1e6, 1, {1e-3, 0.5});
+  }
+  EXPECT_EQ(engine.cache().memory_items(), 1u);
+}
+
+TEST(DecisionEngineTest, DistinctKeysTrackedIndependently) {
+  DecisionEngine engine(TestConfig());
+  Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+  engine.Decide(2, kDataNode);  // first request for key 2
+  engine.OnComputeResponse(2, kDataNode, 2e6, 1, {1e-3, 0.5});
+  EXPECT_DOUBLE_EQ(engine.KnownValueSize(1), 1e6);
+  EXPECT_DOUBLE_EQ(engine.KnownValueSize(2), 2e6);
+  EXPECT_LT(engine.KnownValueSize(3), 0.0);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,98 @@
+#include "joinopt/skirental/ski_rental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace joinopt {
+namespace {
+
+TEST(SkiRentalTest, ClassicThreshold) {
+  // b/r with no recurring cost.
+  EXPECT_DOUBLE_EQ(SkiRentalBuyThreshold(1.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(SkiRentalBuyThreshold(2.0, 10.0), 5.0);
+}
+
+TEST(SkiRentalTest, RecurringCostRaisesThreshold) {
+  // m = b / (r - br) (Section 4.2.1).
+  EXPECT_DOUBLE_EQ(SkiRentalBuyThreshold(2.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(SkiRentalBuyThreshold(2.0, 10.0, 1.5), 20.0);
+}
+
+TEST(SkiRentalTest, NeverBuyWhenRentingIsCheaperForever) {
+  EXPECT_TRUE(std::isinf(SkiRentalBuyThreshold(1.0, 10.0, 1.0)));
+  EXPECT_TRUE(std::isinf(SkiRentalBuyThreshold(1.0, 10.0, 2.0)));
+}
+
+TEST(SkiRentalTest, ShouldBuyCrossesThreshold) {
+  // r=1, b=5: rent for the first 5 accesses, buy on the 6th.
+  EXPECT_FALSE(SkiRentalShouldBuy(5, 1.0, 5.0));
+  EXPECT_TRUE(SkiRentalShouldBuy(6, 1.0, 5.0));
+}
+
+TEST(SkiRentalTest, CompetitiveRatioFormula) {
+  // 2 - br/r (Section 4.2.1); classic case gives 2.
+  EXPECT_DOUBLE_EQ(SkiRentalCompetitiveRatio(1.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(SkiRentalCompetitiveRatio(2.0, 1.0), 1.5);
+  EXPECT_DOUBLE_EQ(SkiRentalCompetitiveRatio(1.0, 1.0), 1.0);  // never buys
+}
+
+TEST(SkiRentalTest, OnlineCostRentOnlyBelowThreshold) {
+  EXPECT_DOUBLE_EQ(SkiRentalOnlineCost(3, 1.0, 10.0), 3.0);
+}
+
+TEST(SkiRentalTest, OfflineCostPicksCheaperOption) {
+  EXPECT_DOUBLE_EQ(SkiRentalOfflineCost(3, 1.0, 10.0), 3.0);     // rent
+  EXPECT_DOUBLE_EQ(SkiRentalOfflineCost(100, 1.0, 10.0), 10.0);  // buy
+  EXPECT_DOUBLE_EQ(SkiRentalOfflineCost(100, 2.0, 10.0, 1.0),
+                   10.0 + 100.0);  // buy with recurring
+}
+
+// Property: for every (r, b, br) with r > br and every access count, the
+// online policy pays at most (2 - br/r) times the offline optimum — the
+// paper's worst-case guarantee.
+class CompetitiveRatioProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(CompetitiveRatioProperty, GuaranteeHolds) {
+  auto [r, b, br] = GetParam();
+  double guarantee = SkiRentalCompetitiveRatio(r, br);
+  for (int64_t accesses = 1; accesses <= 1000; accesses += 7) {
+    double online = SkiRentalOnlineCost(accesses, r, b, br);
+    double offline = SkiRentalOfflineCost(accesses, r, b, br);
+    ASSERT_GT(offline, 0.0);
+    EXPECT_LE(online / offline, guarantee + 1e-9)
+        << "r=" << r << " b=" << b << " br=" << br
+        << " accesses=" << accesses;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostGrid, CompetitiveRatioProperty,
+    ::testing::Values(std::make_tuple(1.0, 10.0, 0.0),
+                      std::make_tuple(1.0, 10.0, 0.5),
+                      std::make_tuple(2.0, 5.0, 1.0),
+                      std::make_tuple(10.0, 100.0, 9.0),
+                      std::make_tuple(0.5, 3.0, 0.25),
+                      std::make_tuple(1.0, 1.0, 0.0),
+                      std::make_tuple(1.0, 0.5, 0.9)));
+
+TEST(SkiRentalTest, WorstCaseIsTightAtThreshold) {
+  // Adversary stops exactly when we buy: ratio approaches 2 - br/r.
+  double r = 2.0, b = 10.0, br = 1.0;
+  int64_t m = static_cast<int64_t>(SkiRentalBuyThreshold(r, b, br));  // 10
+  int64_t accesses = m + 1;
+  double online = SkiRentalOnlineCost(accesses, r, b, br);
+  double offline = SkiRentalOfflineCost(accesses, r, b, br);
+  EXPECT_NEAR(online / offline, SkiRentalCompetitiveRatio(r, br), 0.15);
+}
+
+TEST(SkiRentalTest, DegenerateInputs) {
+  EXPECT_TRUE(std::isinf(SkiRentalBuyThreshold(0.0, 1.0)));   // free rent
+  EXPECT_TRUE(std::isinf(SkiRentalBuyThreshold(1.0, -1.0)));  // bad buy cost
+  EXPECT_DOUBLE_EQ(SkiRentalBuyThreshold(1.0, 0.0), 0.0);     // free buy
+  EXPECT_TRUE(SkiRentalShouldBuy(1, 1.0, 0.0));
+}
+
+}  // namespace
+}  // namespace joinopt

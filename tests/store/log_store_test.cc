@@ -1,0 +1,173 @@
+#include "joinopt/store/log_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+LogStoreConfig SmallSegments() {
+  LogStoreConfig cfg;
+  cfg.segment_bytes = 1024;  // force frequent sealing
+  return cfg;
+}
+
+TEST(LogStoreTest, PutGetRoundTrip) {
+  LogStructuredStore store;
+  EXPECT_EQ(store.Put(1, "hello"), 1u);
+  auto got = store.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_EQ(store.VersionOf(1), 1u);
+}
+
+TEST(LogStoreTest, GetMissingIsNotFound) {
+  LogStructuredStore store;
+  EXPECT_TRUE(store.Get(42).status().IsNotFound());
+  EXPECT_EQ(store.VersionOf(42), 0u);
+}
+
+TEST(LogStoreTest, OverwriteBumpsVersionAndReadsLatest) {
+  LogStructuredStore store;
+  store.Put(1, "v1");
+  EXPECT_EQ(store.Put(1, "v2"), 2u);
+  EXPECT_EQ(*store.Get(1), "v2");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(LogStoreTest, DeleteWritesTombstone) {
+  LogStructuredStore store;
+  store.Put(1, "x");
+  ASSERT_TRUE(store.Delete(1).ok());
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_TRUE(store.Get(1).status().IsNotFound());
+  EXPECT_TRUE(store.Delete(1).IsNotFound());
+  // Re-insert after delete works and continues the version chain upward.
+  uint64_t v = store.Put(1, "y");
+  EXPECT_GE(v, 1u);
+  EXPECT_EQ(*store.Get(1), "y");
+}
+
+TEST(LogStoreTest, SegmentsSealAsTheyFill) {
+  LogStructuredStore store(SmallSegments());
+  for (Key k = 0; k < 100; ++k) store.Put(k, std::string(100, 'a'));
+  EXPECT_GT(store.stats().segments, 3u);
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(store.Get(k).ok()) << k;
+  }
+}
+
+TEST(LogStoreTest, CompactionReclaimsGarbage) {
+  LogStoreConfig cfg = SmallSegments();
+  cfg.auto_compact = false;
+  LogStructuredStore store(cfg);
+  // Overwrite the same keys repeatedly: mostly garbage.
+  for (int round = 0; round < 20; ++round) {
+    for (Key k = 0; k < 10; ++k) {
+      store.Put(k, "round-" + std::to_string(round));
+    }
+  }
+  size_t before = store.stats().total_bytes;
+  int compacted = store.CompactNow();
+  EXPECT_GT(compacted, 0);
+  size_t after = store.stats().total_bytes;
+  EXPECT_LT(after, before / 2);
+  // Liveness preserved.
+  for (Key k = 0; k < 10; ++k) {
+    EXPECT_EQ(*store.Get(k), "round-19");
+  }
+}
+
+TEST(LogStoreTest, AutoCompactionKeepsFootprintBounded) {
+  LogStructuredStore store(SmallSegments());
+  for (int round = 0; round < 200; ++round) {
+    store.Put(7, std::string(64, static_cast<char>('a' + round % 26)));
+  }
+  LogStoreStats s = store.stats();
+  EXPECT_GT(s.compactions, 0);
+  // One live 64-byte value; the log must not retain 200 copies.
+  EXPECT_LT(s.total_bytes, 200 * 88 / 4);
+}
+
+TEST(LogStoreTest, RecoveryRebuildsIdenticalIndex) {
+  LogStructuredStore store(SmallSegments());
+  Rng rng(5);
+  std::map<Key, std::string> model;
+  for (int op = 0; op < 2000; ++op) {
+    Key k = rng.NextBounded(50);
+    if (rng.Bernoulli(0.2) && model.count(k)) {
+      ASSERT_TRUE(store.Delete(k).ok());
+      model.erase(k);
+    } else {
+      std::string v = "v" + std::to_string(op);
+      store.Put(k, v);
+      model[k] = v;
+    }
+  }
+  store.RecoverIndex();  // simulate restart: replay the log
+  EXPECT_EQ(store.size(), model.size());
+  for (const auto& [k, v] : model) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(LogStoreTest, ForEachVisitsLiveRecordsOnly) {
+  LogStructuredStore store;
+  store.Put(1, "a");
+  store.Put(2, "b");
+  store.Put(1, "a2");
+  ASSERT_TRUE(store.Delete(2).ok());
+  int visited = 0;
+  store.ForEach([&](Key k, const std::string& v) {
+    ++visited;
+    EXPECT_EQ(k, 1u);
+    EXPECT_EQ(v, "a2");
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(LogStoreTest, RandomizedAgainstReferenceModel) {
+  LogStructuredStore store(SmallSegments());
+  Rng rng(11);
+  std::map<Key, std::string> model;
+  for (int op = 0; op < 5000; ++op) {
+    Key k = rng.NextBounded(200);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        std::string v(1 + rng.NextBounded(100), 'x');
+        store.Put(k, v);
+        model[k] = v;
+        break;
+      }
+      case 2:
+        if (model.count(k)) {
+          ASSERT_TRUE(store.Delete(k).ok());
+          model.erase(k);
+        } else {
+          EXPECT_TRUE(store.Delete(k).IsNotFound());
+        }
+        break;
+      case 3: {
+        auto got = store.Get(k);
+        if (model.count(k)) {
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(*got, model[k]);
+        } else {
+          EXPECT_TRUE(got.status().IsNotFound());
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(store.size(), model.size());
+}
+
+}  // namespace
+}  // namespace joinopt

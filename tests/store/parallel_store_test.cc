@@ -1,0 +1,98 @@
+#include "joinopt/store/parallel_store.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+ParallelStore MakeStore() {
+  ParallelStoreConfig cfg;
+  cfg.regions_per_node = 4;
+  return ParallelStore(cfg, /*data nodes=*/{10, 11, 12},
+                       /*compute nodes=*/{0, 1});
+}
+
+StoredItem Item(double size) {
+  StoredItem it;
+  it.size_bytes = size;
+  return it;
+}
+
+TEST(ParallelStoreTest, PutLandsOnOwner) {
+  ParallelStore store = MakeStore();
+  for (Key k = 0; k < 100; ++k) store.Put(k, Item(10));
+  EXPECT_EQ(store.total_items(), 100u);
+  for (Key k = 0; k < 100; ++k) {
+    NodeId owner = store.OwnerOf(k);
+    EXPECT_TRUE(store.engine(owner).Contains(k));
+  }
+}
+
+TEST(ParallelStoreTest, GetRoutesToOwner) {
+  ParallelStore store = MakeStore();
+  store.Put(5, Item(123));
+  auto got = store.Get(5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->size_bytes, 123.0);
+  EXPECT_TRUE(store.Get(999).status().IsNotFound());
+}
+
+TEST(ParallelStoreTest, DataSpreadsOverNodes) {
+  ParallelStore store = MakeStore();
+  for (Key k = 0; k < 3000; ++k) store.Put(k, Item(1));
+  for (NodeId n : {10, 11, 12}) {
+    EXPECT_GT(store.engine(n).size(), 500u) << "node " << n;
+  }
+}
+
+TEST(ParallelStoreTest, UpdateBumpsVersionAndNotifies) {
+  ParallelStore store = MakeStore();
+  store.Put(7, Item(10));
+  store.RegisterFetch(7, /*compute node=*/0);
+  store.RegisterFetch(7, /*compute node=*/1);
+  auto result = store.Update(7, [](StoredItem& it) { it.size_bytes = 20; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->new_version, 2u);
+  EXPECT_EQ(result->notify.size(), 2u);
+  // Registration is consumed: a second update notifies nobody.
+  auto again = store.Update(7, [](StoredItem& it) { it.size_bytes = 30; });
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->notify.empty());
+}
+
+TEST(ParallelStoreTest, UpdateMissingKeyFails) {
+  ParallelStore store = MakeStore();
+  EXPECT_TRUE(store.Update(1, [](StoredItem&) {}).status().IsNotFound());
+}
+
+TEST(ParallelStoreTest, BroadcastModeNotifiesEveryComputeNode) {
+  ParallelStoreConfig cfg;
+  cfg.notify_mode = NotifyMode::kBroadcast;
+  ParallelStore store(cfg, {10}, {0, 1, 2});
+  store.Put(1, Item(5));
+  auto result = store.Update(1, [](StoredItem&) {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->notify.size(), 3u);
+}
+
+TEST(ParallelStoreTest, TotalBytesAggregates) {
+  ParallelStore store = MakeStore();
+  store.Put(1, Item(100));
+  store.Put(2, Item(200));
+  EXPECT_DOUBLE_EQ(store.total_bytes(), 300.0);
+}
+
+TEST(ParallelStoreTest, RegionMoveRehomesData) {
+  // Region moves change ownership for *future* placement; the facade's
+  // OwnerOf must agree with the region map at all times.
+  ParallelStore store = MakeStore();
+  Key k = 3;
+  NodeId before = store.OwnerOf(k);
+  int region = store.regions().RegionOf(k);
+  NodeId target = before == 10 ? 11 : 10;
+  ASSERT_TRUE(store.regions().MoveRegion(region, target).ok());
+  EXPECT_EQ(store.OwnerOf(k), target);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,61 @@
+#include "joinopt/store/region_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace joinopt {
+namespace {
+
+TEST(RegionMapTest, RoundRobinAssignment) {
+  RegionMap rm(6, {10, 11, 12});
+  EXPECT_EQ(rm.RegionOwner(0), 10);
+  EXPECT_EQ(rm.RegionOwner(1), 11);
+  EXPECT_EQ(rm.RegionOwner(2), 12);
+  EXPECT_EQ(rm.RegionOwner(3), 10);
+}
+
+TEST(RegionMapTest, OwnerIsStable) {
+  RegionMap rm(8, {1, 2});
+  for (Key k = 0; k < 100; ++k) {
+    EXPECT_EQ(rm.OwnerOf(k), rm.OwnerOf(k));
+    EXPECT_EQ(rm.RegionOwner(rm.RegionOf(k)), rm.OwnerOf(k));
+  }
+}
+
+TEST(RegionMapTest, KeysSpreadAcrossNodes) {
+  RegionMap rm(40, {0, 1, 2, 3});
+  std::map<NodeId, int> counts;
+  for (Key k = 0; k < 40000; ++k) ++counts[rm.OwnerOf(k)];
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, 10000, 2500) << "node " << node;
+  }
+}
+
+TEST(RegionMapTest, MoveRegionRehomesKeys) {
+  RegionMap rm(4, {1, 2});
+  // Find a key in region 0 (owned by node 1).
+  Key k = 0;
+  while (rm.RegionOf(k) != 0) ++k;
+  ASSERT_EQ(rm.OwnerOf(k), 1);
+  ASSERT_TRUE(rm.MoveRegion(0, 2).ok());
+  EXPECT_EQ(rm.OwnerOf(k), 2);
+}
+
+TEST(RegionMapTest, MoveRegionValidatesInputs) {
+  RegionMap rm(4, {1, 2});
+  EXPECT_TRUE(rm.MoveRegion(-1, 1).code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(rm.MoveRegion(4, 1).code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(rm.MoveRegion(0, 99).IsInvalidArgument());
+}
+
+TEST(RegionMapTest, RegionsOfListsHostedRegions) {
+  RegionMap rm(4, {1, 2});
+  EXPECT_EQ(rm.RegionsOf(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(rm.RegionsOf(2), (std::vector<int>{1, 3}));
+  ASSERT_TRUE(rm.MoveRegion(1, 1).ok());
+  EXPECT_EQ(rm.RegionsOf(1), (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace joinopt

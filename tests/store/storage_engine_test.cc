@@ -1,0 +1,104 @@
+#include "joinopt/store/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+StoredItem Item(double size, double cost = 0.01) {
+  StoredItem it;
+  it.size_bytes = size;
+  it.udf_cost = cost;
+  return it;
+}
+
+TEST(StorageEngineTest, PutThenGet) {
+  StorageEngine e;
+  e.Put(1, Item(100));
+  auto got = e.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->size_bytes, 100.0);
+  EXPECT_EQ(got->version, 1u);
+}
+
+TEST(StorageEngineTest, GetMissingIsNotFound) {
+  StorageEngine e;
+  EXPECT_TRUE(e.Get(42).status().IsNotFound());
+  EXPECT_EQ(e.Find(42), nullptr);
+}
+
+TEST(StorageEngineTest, ReplaceBumpsVersion) {
+  StorageEngine e;
+  e.Put(1, Item(100));
+  e.Put(1, Item(200));
+  auto got = e.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->size_bytes, 200.0);
+  EXPECT_EQ(got->version, 2u);
+}
+
+TEST(StorageEngineTest, TotalBytesTracksContents) {
+  StorageEngine e;
+  e.Put(1, Item(100));
+  e.Put(2, Item(50));
+  EXPECT_DOUBLE_EQ(e.total_bytes(), 150.0);
+  e.Put(1, Item(10));  // replace
+  EXPECT_DOUBLE_EQ(e.total_bytes(), 60.0);
+  ASSERT_TRUE(e.Delete(2).ok());
+  EXPECT_DOUBLE_EQ(e.total_bytes(), 10.0);
+}
+
+TEST(StorageEngineTest, UpdateMutatesAndBumpsVersion) {
+  StorageEngine e;
+  e.Put(1, Item(100));
+  auto v = e.Update(1, [](StoredItem& it) { it.size_bytes = 300; });
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 2u);
+  EXPECT_DOUBLE_EQ(e.Get(1)->size_bytes, 300.0);
+  EXPECT_DOUBLE_EQ(e.total_bytes(), 300.0);
+}
+
+TEST(StorageEngineTest, UpdateMissingFails) {
+  StorageEngine e;
+  EXPECT_TRUE(e.Update(9, [](StoredItem&) {}).status().IsNotFound());
+}
+
+TEST(StorageEngineTest, DeleteMissingFails) {
+  StorageEngine e;
+  EXPECT_TRUE(e.Delete(9).IsNotFound());
+}
+
+TEST(StorageEngineTest, PayloadRoundTrips) {
+  StorageEngine e;
+  StoredItem it;
+  it.payload = "model-bytes";
+  it.size_bytes = static_cast<double>(it.payload.size());
+  e.Put(7, it);
+  EXPECT_EQ(e.Get(7)->payload, "model-bytes");
+}
+
+TEST(StorageEngineTest, ForEachVisitsAll) {
+  StorageEngine e;
+  for (Key k = 0; k < 10; ++k) e.Put(k, Item(1));
+  int visited = 0;
+  double bytes = 0;
+  e.ForEach([&](Key, const StoredItem& it) {
+    ++visited;
+    bytes += it.size_bytes;
+  });
+  EXPECT_EQ(visited, 10);
+  EXPECT_DOUBLE_EQ(bytes, 10.0);
+}
+
+TEST(StorageEngineTest, CountsAccesses) {
+  StorageEngine e;
+  e.Put(1, Item(1));
+  e.Get(1);
+  e.Find(1);
+  e.Get(2);
+  EXPECT_EQ(e.gets(), 3);
+  EXPECT_EQ(e.puts(), 1);
+}
+
+}  // namespace
+}  // namespace joinopt

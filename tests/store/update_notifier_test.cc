@@ -1,0 +1,64 @@
+#include "joinopt/store/update_notifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace joinopt {
+namespace {
+
+TEST(UpdateNotifierTest, TargetedNotifiesOnlyRegistered) {
+  UpdateNotifier n(NotifyMode::kTargeted, {0, 1, 2, 3});
+  n.RegisterFetch(5, 1);
+  n.RegisterFetch(5, 3);
+  n.RegisterFetch(6, 0);
+  auto notified = n.OnUpdate(5);
+  std::sort(notified.begin(), notified.end());
+  EXPECT_EQ(notified, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(UpdateNotifierTest, TargetedUnknownKeyNotifiesNobody) {
+  UpdateNotifier n(NotifyMode::kTargeted, {0, 1});
+  EXPECT_TRUE(n.OnUpdate(99).empty());
+}
+
+TEST(UpdateNotifierTest, RegistrationConsumedOnUpdate) {
+  UpdateNotifier n(NotifyMode::kTargeted, {0, 1});
+  n.RegisterFetch(5, 1);
+  EXPECT_FALSE(n.OnUpdate(5).empty());
+  EXPECT_TRUE(n.OnUpdate(5).empty());
+}
+
+TEST(UpdateNotifierTest, DuplicateRegistrationDedups) {
+  UpdateNotifier n(NotifyMode::kTargeted, {0, 1});
+  n.RegisterFetch(5, 1);
+  n.RegisterFetch(5, 1);
+  EXPECT_EQ(n.OnUpdate(5).size(), 1u);
+}
+
+TEST(UpdateNotifierTest, UnregisterStopsNotification) {
+  UpdateNotifier n(NotifyMode::kTargeted, {0, 1, 2});
+  n.RegisterFetch(5, 1);
+  n.RegisterFetch(5, 2);
+  n.Unregister(5, 1);
+  EXPECT_EQ(n.OnUpdate(5), (std::vector<NodeId>{2}));
+}
+
+TEST(UpdateNotifierTest, BroadcastAlwaysNotifiesEveryone) {
+  UpdateNotifier n(NotifyMode::kBroadcast, {0, 1, 2});
+  EXPECT_EQ(n.OnUpdate(5).size(), 3u);
+  n.RegisterFetch(6, 0);  // no-op in broadcast mode
+  EXPECT_EQ(n.tracked_keys(), 0u);
+}
+
+TEST(UpdateNotifierTest, TrackedKeysReflectsRegistrations) {
+  UpdateNotifier n(NotifyMode::kTargeted, {0});
+  n.RegisterFetch(1, 0);
+  n.RegisterFetch(2, 0);
+  EXPECT_EQ(n.tracked_keys(), 2u);
+  n.Unregister(1, 0);
+  EXPECT_EQ(n.tracked_keys(), 1u);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,93 @@
+#include "joinopt/workload/cloudburst.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "joinopt/harness/runner.h"
+
+namespace joinopt {
+namespace {
+
+CloudBurstConfig SmallConfig() {
+  CloudBurstConfig c;
+  c.reference_bases = 50000;
+  c.reads = 5000;
+  return c;
+}
+
+TEST(CloudBurstTest, IndexCoversReference) {
+  CloudBurstConfig cfg = SmallConfig();
+  NgramIndex index = GenerateCloudBurst(cfg);
+  int64_t total = std::accumulate(index.occurrences.begin(),
+                                  index.occurrences.end(), int64_t{0});
+  EXPECT_EQ(total, cfg.reference_bases - cfg.ngram + 1);
+  EXPECT_EQ(index.keys.size(), index.occurrences.size());
+  EXPECT_EQ(index.read_stream.size(), static_cast<size_t>(cfg.reads));
+}
+
+TEST(CloudBurstTest, RepeatsCreateHeavyHitterNgrams) {
+  NgramIndex index = GenerateCloudBurst(SmallConfig());
+  int32_t max_occ = *std::max_element(index.occurrences.begin(),
+                                      index.occurrences.end());
+  double mean_occ =
+      static_cast<double>(std::accumulate(index.occurrences.begin(),
+                                          index.occurrences.end(), int64_t{0})) /
+      static_cast<double>(index.occurrences.size());
+  // Planted repeats make some n-grams orders of magnitude more frequent.
+  EXPECT_GT(max_occ, 50 * mean_occ);
+}
+
+TEST(CloudBurstTest, ReadsResolveInIndex) {
+  NgramIndex index = GenerateCloudBurst(SmallConfig());
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  GeneratedWorkload w = ToCloudBurstWorkload(index, layout);
+  for (const auto& slice : w.inputs) {
+    for (const InputTuple& t : slice) {
+      EXPECT_NE(w.stores[0]->Find(t.keys[0]), nullptr);
+    }
+  }
+}
+
+TEST(CloudBurstTest, UdoCostScalesWithOccurrences) {
+  CloudBurstConfig cfg = SmallConfig();
+  NgramIndex index = GenerateCloudBurst(cfg);
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  GeneratedWorkload w = ToCloudBurstWorkload(index, layout);
+  for (size_t i = 0; i < index.keys.size(); ++i) {
+    const StoredItem* item = w.stores[0]->Find(index.keys[i]);
+    ASSERT_NE(item, nullptr);
+    EXPECT_NEAR(item->udf_cost,
+                cfg.match_cost_per_hit * index.occurrences[i], 1e-12);
+  }
+}
+
+TEST(CloudBurstTest, Deterministic) {
+  NgramIndex a = GenerateCloudBurst(SmallConfig());
+  NgramIndex b = GenerateCloudBurst(SmallConfig());
+  EXPECT_EQ(a.read_stream, b.read_stream);
+  EXPECT_EQ(a.total_candidate_alignments, b.total_candidate_alignments);
+}
+
+TEST(CloudBurstTest, FrameworkMitigatesAlignmentSkew) {
+  // Appendix A's claim: map-side n-gram distribution (FO) evens out the
+  // UDO load that concentrates on the reducers owning the repeat n-grams.
+  CloudBurstConfig cfg = SmallConfig();
+  cfg.reads = 8000;
+  NgramIndex index = GenerateCloudBurst(cfg);
+  NodeLayout layout = NodeLayout::Of(3, 3);
+  GeneratedWorkload w = ToCloudBurstWorkload(index, layout);
+  FrameworkRunConfig run;
+  run.cluster.num_compute_nodes = 3;
+  run.cluster.num_data_nodes = 3;
+  run.cluster.machine.cores = 4;
+  JobResult fd = RunFrameworkJob(w, Strategy::kFD, run);
+  JobResult fo = RunFrameworkJob(w, Strategy::kFO, run);
+  EXPECT_EQ(fo.tuples_processed, 8000);
+  EXPECT_LE(fo.makespan, fd.makespan);
+  EXPECT_LE(fo.data_cpu_skew, fd.data_cpu_skew + 0.5);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,135 @@
+#include "joinopt/workload/entity_annotation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace joinopt {
+namespace {
+
+AnnotationConfig SmallConfig() {
+  AnnotationConfig c;
+  c.num_tokens = 500;
+  c.documents = 200;
+  c.spots_per_doc_mean = 5.0;
+  return c;
+}
+
+TEST(AnnotationWorkloadTest, GeneratesSpotsAndModels) {
+  AnnotationSpots spots = GenerateAnnotationSpots(SmallConfig());
+  EXPECT_GT(spots.num_spots(), 500);
+  EXPECT_EQ(spots.model_bytes.size(), 500u);
+  EXPECT_EQ(spots.model_cost.size(), 500u);
+  EXPECT_EQ(spots.documents, 200);
+}
+
+TEST(AnnotationWorkloadTest, TokenCountsMatchStream) {
+  AnnotationSpots spots = GenerateAnnotationSpots(SmallConfig());
+  std::vector<int64_t> recount(500, 0);
+  for (Key t : spots.tokens) ++recount[static_cast<size_t>(t)];
+  EXPECT_EQ(recount, spots.token_count);
+  EXPECT_EQ(std::accumulate(recount.begin(), recount.end(), int64_t{0}),
+            spots.num_spots());
+}
+
+TEST(AnnotationWorkloadTest, ModelSizesAreHeavyTailedAndRankCorrelated) {
+  // Full-size token catalog (tiny corpus keeps the test fast): the paper's
+  // models span bytes to hundreds of MB, so the catalog must cover orders
+  // of magnitude.
+  AnnotationConfig big = SmallConfig();
+  big.num_tokens = 20000;
+  big.documents = 10;
+  AnnotationSpots catalog = GenerateAnnotationSpots(big);
+  double max_size = *std::max_element(catalog.model_bytes.begin(),
+                                      catalog.model_bytes.end());
+  double min_size = *std::min_element(catalog.model_bytes.begin(),
+                                      catalog.model_bytes.end());
+  EXPECT_GT(max_size / min_size, 100.0);
+
+  AnnotationSpots spots = GenerateAnnotationSpots(SmallConfig());
+  // Low-rank (frequent) tokens carry big models on average.
+  double head = 0, tail = 0;
+  for (int t = 0; t < 50; ++t) head += spots.model_bytes[t];
+  for (int t = 450; t < 500; ++t) tail += spots.model_bytes[t];
+  EXPECT_GT(head, tail * 5);
+}
+
+TEST(AnnotationWorkloadTest, CostProportionalToSize) {
+  AnnotationConfig cfg = SmallConfig();
+  AnnotationSpots spots = GenerateAnnotationSpots(cfg);
+  for (size_t t = 0; t < spots.model_bytes.size(); ++t) {
+    EXPECT_NEAR(spots.model_cost[t],
+                cfg.base_classify_cost +
+                    spots.model_bytes[t] * cfg.cost_per_byte,
+                1e-12);
+  }
+}
+
+TEST(AnnotationWorkloadTest, FrequencyTimesCostIsSkewed) {
+  // The CSAW premise: total load concentrates on few tokens.
+  AnnotationSpots spots = GenerateAnnotationSpots(SmallConfig());
+  std::vector<double> load(spots.model_bytes.size());
+  double total = 0;
+  for (size_t t = 0; t < load.size(); ++t) {
+    load[t] = static_cast<double>(spots.token_count[t]) * spots.model_cost[t];
+    total += load[t];
+  }
+  std::sort(load.rbegin(), load.rend());
+  double top10 = std::accumulate(load.begin(), load.begin() + 10, 0.0);
+  EXPECT_GT(top10, total * 0.3);
+}
+
+TEST(AnnotationWorkloadTest, FrameworkWorkloadRoundTrips) {
+  AnnotationSpots spots = GenerateAnnotationSpots(SmallConfig());
+  NodeLayout layout = NodeLayout::Of(3, 2);
+  GeneratedWorkload w = ToFrameworkWorkload(spots, layout);
+  ASSERT_EQ(w.stores.size(), 1u);
+  EXPECT_EQ(w.stores[0]->total_items(), 500u);
+  EXPECT_EQ(w.total_tuples(), spots.num_spots());
+  // Store items carry the model sizes and costs.
+  const StoredItem* item = w.stores[0]->Find(0);
+  ASSERT_NE(item, nullptr);
+  EXPECT_DOUBLE_EQ(item->size_bytes, spots.model_bytes[0]);
+  EXPECT_DOUBLE_EQ(item->udf_cost, spots.model_cost[0]);
+}
+
+TEST(AnnotationWorkloadTest, Deterministic) {
+  AnnotationSpots a = GenerateAnnotationSpots(SmallConfig());
+  AnnotationSpots b = GenerateAnnotationSpots(SmallConfig());
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.model_bytes, b.model_bytes);
+}
+
+TEST(TweetStreamTest, RoughlyHalfTweetsAnnotatable) {
+  TweetStreamConfig cfg;
+  cfg.tweets = 10000;
+  cfg.num_tokens = 500;
+  AnnotationSpots spots = GenerateTweetStream(cfg);
+  // ~50% annotatable at ~1.4 spots each -> ~0.7 spots per tweet.
+  double per_tweet =
+      static_cast<double>(spots.num_spots()) / static_cast<double>(cfg.tweets);
+  EXPECT_GT(per_tweet, 0.4);
+  EXPECT_LT(per_tweet, 1.1);
+  EXPECT_EQ(spots.documents, 10000);
+}
+
+TEST(TweetStreamTest, TrendingTokensShift) {
+  TweetStreamConfig cfg;
+  cfg.tweets = 20000;
+  cfg.num_tokens = 500;
+  cfg.token_zipf = 1.4;
+  cfg.popularity_shifts = 4;
+  AnnotationSpots spots = GenerateTweetStream(cfg);
+  size_t n = spots.tokens.size();
+  auto hot = [&](size_t lo, size_t hi) {
+    std::vector<int> counts(500, 0);
+    for (size_t i = lo; i < hi; ++i) ++counts[spots.tokens[i]];
+    return static_cast<Key>(std::max_element(counts.begin(), counts.end()) -
+                            counts.begin());
+  };
+  EXPECT_NE(hot(0, n / 4), hot(3 * n / 4, n));
+}
+
+}  // namespace
+}  // namespace joinopt

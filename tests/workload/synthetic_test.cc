@@ -1,0 +1,138 @@
+#include "joinopt/workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "joinopt/common/units.h"
+
+namespace joinopt {
+namespace {
+
+SyntheticConfig SmallConfig(SyntheticKind kind, double z) {
+  SyntheticConfig c;
+  c.kind = kind;
+  c.zipf_z = z;
+  c.tuples_per_node = 1000;
+  c.num_keys = 2000;
+  return c;
+}
+
+TEST(SyntheticWorkloadTest, ProfilesMatchPaperShapes) {
+  SyntheticProfile dh = SyntheticProfile::For(SyntheticKind::kDataHeavy);
+  SyntheticProfile ch = SyntheticProfile::For(SyntheticKind::kComputeHeavy);
+  SyntheticProfile dch =
+      SyntheticProfile::For(SyntheticKind::kDataComputeHeavy);
+  EXPECT_DOUBLE_EQ(dh.stored_value_bytes, KiB(100));   // ~100 KB fetches
+  EXPECT_LT(dh.udf_cost, Milliseconds(1));             // CPU-light
+  EXPECT_DOUBLE_EQ(ch.udf_cost, Milliseconds(100));    // ~100 ms UDFs
+  EXPECT_LT(ch.stored_value_bytes, KiB(10));           // small values
+  EXPECT_DOUBLE_EQ(dch.stored_value_bytes, KiB(100));
+  EXPECT_DOUBLE_EQ(dch.udf_cost, Milliseconds(100));
+}
+
+TEST(SyntheticWorkloadTest, BuildsStoreAndInputs) {
+  NodeLayout layout = NodeLayout::Of(4, 4);
+  GeneratedWorkload w = MakeSyntheticWorkload(
+      SmallConfig(SyntheticKind::kDataHeavy, 0.5), layout);
+  ASSERT_EQ(w.stores.size(), 1u);
+  EXPECT_EQ(w.stores[0]->total_items(), 2000u);
+  ASSERT_EQ(w.inputs.size(), 4u);
+  for (const auto& in : w.inputs) EXPECT_EQ(in.size(), 1000u);
+  EXPECT_EQ(w.total_tuples(), 4000);
+}
+
+TEST(SyntheticWorkloadTest, AllKeysResolveInStore) {
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  GeneratedWorkload w = MakeSyntheticWorkload(
+      SmallConfig(SyntheticKind::kComputeHeavy, 1.5), layout);
+  for (const auto& in : w.inputs) {
+    for (const InputTuple& t : in) {
+      ASSERT_EQ(t.keys.size(), 1u);
+      EXPECT_NE(w.stores[0]->Find(t.keys[0]), nullptr);
+    }
+  }
+}
+
+TEST(SyntheticWorkloadTest, ZeroSkewIsRoughlyUniform) {
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  SyntheticConfig cfg = SmallConfig(SyntheticKind::kDataHeavy, 0.0);
+  cfg.tuples_per_node = 10000;
+  cfg.num_keys = 100;
+  GeneratedWorkload w = MakeSyntheticWorkload(cfg, layout);
+  std::map<Key, int> counts;
+  for (const auto& in : w.inputs) {
+    for (const InputTuple& t : in) ++counts[t.keys[0]];
+  }
+  for (const auto& [k, c] : counts) EXPECT_NEAR(c, 200, 80);
+}
+
+TEST(SyntheticWorkloadTest, HighSkewConcentratesOnFewKeys) {
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  SyntheticConfig cfg = SmallConfig(SyntheticKind::kDataHeavy, 1.5);
+  cfg.tuples_per_node = 10000;
+  GeneratedWorkload w = MakeSyntheticWorkload(cfg, layout);
+  std::map<Key, int> counts;
+  for (const auto& in : w.inputs) {
+    for (const InputTuple& t : in) ++counts[t.keys[0]];
+  }
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 20000 / 4);  // dominant key takes a large share
+}
+
+TEST(SyntheticWorkloadTest, DeterministicForSameSeed) {
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  SyntheticConfig cfg = SmallConfig(SyntheticKind::kDataHeavy, 1.0);
+  GeneratedWorkload a = MakeSyntheticWorkload(cfg, layout);
+  GeneratedWorkload b = MakeSyntheticWorkload(cfg, layout);
+  for (size_t i = 0; i < a.inputs.size(); ++i) {
+    for (size_t t = 0; t < a.inputs[i].size(); ++t) {
+      ASSERT_EQ(a.inputs[i][t].keys[0], b.inputs[i][t].keys[0]);
+    }
+  }
+}
+
+TEST(SyntheticWorkloadTest, PopularityShiftsChangeHotKeys) {
+  NodeLayout layout = NodeLayout::Of(1, 2);
+  SyntheticConfig cfg = SmallConfig(SyntheticKind::kDataHeavy, 1.5);
+  cfg.tuples_per_node = 10000;
+  cfg.popularity_shifts = 5;
+  GeneratedWorkload w = MakeSyntheticWorkload(cfg, layout);
+  const auto& stream = w.inputs[0];
+  // Hot key of the first epoch vs the last epoch must differ.
+  auto hot_key_in = [&](size_t lo, size_t hi) {
+    std::map<Key, int> counts;
+    for (size_t i = lo; i < hi; ++i) ++counts[stream[i].keys[0]];
+    Key best = 0;
+    int best_count = -1;
+    for (const auto& [k, c] : counts) {
+      if (c > best_count) {
+        best = k;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  Key first = hot_key_in(0, 2000);
+  Key last = hot_key_in(8000, 10000);
+  EXPECT_NE(first, last);
+}
+
+TEST(SyntheticWorkloadTest, StaticDistributionKeepsHotKey) {
+  NodeLayout layout = NodeLayout::Of(1, 2);
+  SyntheticConfig cfg = SmallConfig(SyntheticKind::kDataHeavy, 1.5);
+  cfg.tuples_per_node = 10000;
+  cfg.popularity_shifts = 0;
+  GeneratedWorkload w = MakeSyntheticWorkload(cfg, layout);
+  // Rank 0 maps to key 0 throughout (identity permutation).
+  int zero_count = 0;
+  for (const InputTuple& t : w.inputs[0]) {
+    if (t.keys[0] == 0) ++zero_count;
+  }
+  EXPECT_GT(zero_count, 2000);
+}
+
+}  // namespace
+}  // namespace joinopt

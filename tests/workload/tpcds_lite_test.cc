@@ -1,0 +1,83 @@
+#include "joinopt/workload/tpcds_lite.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(TpcdsLiteTest, QuerySpecsHaveExpectedJoinCounts) {
+  EXPECT_EQ(GetTpcdsQuerySpec(TpcdsQuery::kQ3, 1.0).stages.size(), 2u);
+  EXPECT_EQ(GetTpcdsQuerySpec(TpcdsQuery::kQ7, 1.0).stages.size(), 4u);
+  EXPECT_EQ(GetTpcdsQuerySpec(TpcdsQuery::kQ27, 1.0).stages.size(), 4u);
+  EXPECT_EQ(GetTpcdsQuerySpec(TpcdsQuery::kQ42, 1.0).stages.size(), 2u);
+}
+
+TEST(TpcdsLiteTest, ScaleGrowsDimensions) {
+  auto s1 = GetTpcdsQuerySpec(TpcdsQuery::kQ3, 1.0);
+  auto s2 = GetTpcdsQuerySpec(TpcdsQuery::kQ3, 2.0);
+  EXPECT_EQ(s2.stages[0].dim_rows, 2 * s1.stages[0].dim_rows);
+}
+
+TEST(TpcdsLiteTest, SelectivitiesAreProbabilities) {
+  for (TpcdsQuery q : AllTpcdsQueries()) {
+    for (const auto& st : GetTpcdsQuerySpec(q, 1.0).stages) {
+      EXPECT_GT(st.selectivity, 0.0) << st.dim_name;
+      EXPECT_LE(st.selectivity, 1.0) << st.dim_name;
+    }
+  }
+}
+
+TEST(TpcdsLiteTest, WorkloadBuildsOneStorePerStage) {
+  TpcdsConfig cfg;
+  cfg.fact_rows_per_node = 100;
+  cfg.scale = 0.1;
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  GeneratedWorkload w = MakeTpcdsWorkload(TpcdsQuery::kQ7, cfg, layout);
+  auto spec = GetTpcdsQuerySpec(TpcdsQuery::kQ7, cfg.scale);
+  ASSERT_EQ(w.stores.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(w.stores[s]->total_items(),
+              static_cast<size_t>(spec.stages[s].dim_rows));
+  }
+  EXPECT_EQ(w.stage_selectivity.size(), 4u);
+}
+
+TEST(TpcdsLiteTest, FactKeysResolveInEveryDimension) {
+  TpcdsConfig cfg;
+  cfg.fact_rows_per_node = 200;
+  cfg.scale = 0.05;
+  NodeLayout layout = NodeLayout::Of(2, 2);
+  GeneratedWorkload w = MakeTpcdsWorkload(TpcdsQuery::kQ27, cfg, layout);
+  for (const auto& slice : w.inputs) {
+    for (const InputTuple& t : slice) {
+      ASSERT_EQ(t.keys.size(), 4u);
+      for (size_t s = 0; s < 4; ++s) {
+        EXPECT_NE(w.stores[s]->Find(t.keys[s]), nullptr);
+      }
+    }
+  }
+}
+
+TEST(TpcdsLiteTest, ItemForeignKeysAreSkewed) {
+  TpcdsConfig cfg;
+  cfg.fact_rows_per_node = 20000;
+  NodeLayout layout = NodeLayout::Of(1, 2);
+  GeneratedWorkload w = MakeTpcdsWorkload(TpcdsQuery::kQ3, cfg, layout);
+  // Stage 1 is item (fk_zipf 0.8): the top item should appear far more
+  // often than the average.
+  std::unordered_map<Key, int> counts;
+  for (const InputTuple& t : w.inputs[0]) ++counts[t.keys[1]];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  double avg = static_cast<double>(w.inputs[0].size()) /
+               static_cast<double>(counts.size());
+  EXPECT_GT(max_count, 20 * avg);
+}
+
+TEST(TpcdsLiteTest, QueryNamesRoundTrip) {
+  EXPECT_STREQ(TpcdsQueryToString(TpcdsQuery::kQ42), "Q42");
+  EXPECT_EQ(AllTpcdsQueries().size(), 4u);
+}
+
+}  // namespace
+}  // namespace joinopt
