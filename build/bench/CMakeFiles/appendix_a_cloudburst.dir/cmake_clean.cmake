@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_a_cloudburst.dir/appendix_a_cloudburst.cc.o"
+  "CMakeFiles/appendix_a_cloudburst.dir/appendix_a_cloudburst.cc.o.d"
+  "appendix_a_cloudburst"
+  "appendix_a_cloudburst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_a_cloudburst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

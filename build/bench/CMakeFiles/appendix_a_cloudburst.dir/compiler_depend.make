@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appendix_a_cloudburst.
+# This may be replaced when dependencies are built.

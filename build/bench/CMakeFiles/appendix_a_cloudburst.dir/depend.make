@@ -1,0 +1,2 @@
+# Empty dependencies file for appendix_a_cloudburst.
+# This may be replaced when dependencies are built.

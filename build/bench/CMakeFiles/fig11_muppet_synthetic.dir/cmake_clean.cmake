@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_muppet_synthetic.dir/fig11_muppet_synthetic.cc.o"
+  "CMakeFiles/fig11_muppet_synthetic.dir/fig11_muppet_synthetic.cc.o.d"
+  "fig11_muppet_synthetic"
+  "fig11_muppet_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_muppet_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_clueweb_hadoop.dir/fig5_clueweb_hadoop.cc.o"
+  "CMakeFiles/fig5_clueweb_hadoop.dir/fig5_clueweb_hadoop.cc.o.d"
+  "fig5_clueweb_hadoop"
+  "fig5_clueweb_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_clueweb_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_twitter_muppet.dir/fig6_twitter_muppet.cc.o"
+  "CMakeFiles/fig6_twitter_muppet.dir/fig6_twitter_muppet.cc.o.d"
+  "fig6_twitter_muppet"
+  "fig6_twitter_muppet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_twitter_muppet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

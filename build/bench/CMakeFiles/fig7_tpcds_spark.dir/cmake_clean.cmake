@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tpcds_spark.dir/fig7_tpcds_spark.cc.o"
+  "CMakeFiles/fig7_tpcds_spark.dir/fig7_tpcds_spark.cc.o.d"
+  "fig7_tpcds_spark"
+  "fig7_tpcds_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tpcds_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

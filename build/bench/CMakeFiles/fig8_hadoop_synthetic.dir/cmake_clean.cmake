@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hadoop_synthetic.dir/fig8_hadoop_synthetic.cc.o"
+  "CMakeFiles/fig8_hadoop_synthetic.dir/fig8_hadoop_synthetic.cc.o.d"
+  "fig8_hadoop_synthetic"
+  "fig8_hadoop_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hadoop_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_adaptive_vs_static.dir/fig9_adaptive_vs_static.cc.o"
+  "CMakeFiles/fig9_adaptive_vs_static.dir/fig9_adaptive_vs_static.cc.o.d"
+  "fig9_adaptive_vs_static"
+  "fig9_adaptive_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_adaptive_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_annotation.dir/entity_annotation.cpp.o"
+  "CMakeFiles/entity_annotation.dir/entity_annotation.cpp.o.d"
+  "entity_annotation"
+  "entity_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_join_tpcds.dir/multi_join_tpcds.cpp.o"
+  "CMakeFiles/multi_join_tpcds.dir/multi_join_tpcds.cpp.o.d"
+  "multi_join_tpcds"
+  "multi_join_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_join_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

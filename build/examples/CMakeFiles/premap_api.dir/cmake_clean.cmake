@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/premap_api.dir/premap_api.cpp.o"
+  "CMakeFiles/premap_api.dir/premap_api.cpp.o.d"
+  "premap_api"
+  "premap_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/premap_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

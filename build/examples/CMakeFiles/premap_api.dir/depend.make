@@ -1,0 +1,2 @@
+# Empty dependencies file for premap_api.
+# This may be replaced when dependencies are built.

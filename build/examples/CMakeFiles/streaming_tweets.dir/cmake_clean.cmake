@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_tweets.dir/streaming_tweets.cpp.o"
+  "CMakeFiles/streaming_tweets.dir/streaming_tweets.cpp.o.d"
+  "streaming_tweets"
+  "streaming_tweets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_tweets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

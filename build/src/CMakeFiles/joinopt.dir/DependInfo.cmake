@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/joinopt/baselines/annotation_baselines.cc" "src/CMakeFiles/joinopt.dir/joinopt/baselines/annotation_baselines.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/baselines/annotation_baselines.cc.o.d"
+  "/root/repo/src/joinopt/baselines/spark_shuffle_join.cc" "src/CMakeFiles/joinopt.dir/joinopt/baselines/spark_shuffle_join.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/baselines/spark_shuffle_join.cc.o.d"
+  "/root/repo/src/joinopt/cache/tiered_cache.cc" "src/CMakeFiles/joinopt.dir/joinopt/cache/tiered_cache.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/cache/tiered_cache.cc.o.d"
+  "/root/repo/src/joinopt/common/histogram.cc" "src/CMakeFiles/joinopt.dir/joinopt/common/histogram.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/common/histogram.cc.o.d"
+  "/root/repo/src/joinopt/common/logging.cc" "src/CMakeFiles/joinopt.dir/joinopt/common/logging.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/common/logging.cc.o.d"
+  "/root/repo/src/joinopt/common/random.cc" "src/CMakeFiles/joinopt.dir/joinopt/common/random.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/common/random.cc.o.d"
+  "/root/repo/src/joinopt/common/status.cc" "src/CMakeFiles/joinopt.dir/joinopt/common/status.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/common/status.cc.o.d"
+  "/root/repo/src/joinopt/common/units.cc" "src/CMakeFiles/joinopt.dir/joinopt/common/units.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/common/units.cc.o.d"
+  "/root/repo/src/joinopt/engine/async_api.cc" "src/CMakeFiles/joinopt.dir/joinopt/engine/async_api.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/engine/async_api.cc.o.d"
+  "/root/repo/src/joinopt/engine/join_job.cc" "src/CMakeFiles/joinopt.dir/joinopt/engine/join_job.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/engine/join_job.cc.o.d"
+  "/root/repo/src/joinopt/engine/types.cc" "src/CMakeFiles/joinopt.dir/joinopt/engine/types.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/engine/types.cc.o.d"
+  "/root/repo/src/joinopt/freq/lossy_counting.cc" "src/CMakeFiles/joinopt.dir/joinopt/freq/lossy_counting.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/freq/lossy_counting.cc.o.d"
+  "/root/repo/src/joinopt/freq/space_saving.cc" "src/CMakeFiles/joinopt.dir/joinopt/freq/space_saving.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/freq/space_saving.cc.o.d"
+  "/root/repo/src/joinopt/harness/report.cc" "src/CMakeFiles/joinopt.dir/joinopt/harness/report.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/harness/report.cc.o.d"
+  "/root/repo/src/joinopt/harness/runner.cc" "src/CMakeFiles/joinopt.dir/joinopt/harness/runner.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/harness/runner.cc.o.d"
+  "/root/repo/src/joinopt/harness/trace.cc" "src/CMakeFiles/joinopt.dir/joinopt/harness/trace.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/harness/trace.cc.o.d"
+  "/root/repo/src/joinopt/loadbalance/balancer.cc" "src/CMakeFiles/joinopt.dir/joinopt/loadbalance/balancer.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/loadbalance/balancer.cc.o.d"
+  "/root/repo/src/joinopt/loadbalance/gradient_descent.cc" "src/CMakeFiles/joinopt.dir/joinopt/loadbalance/gradient_descent.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/loadbalance/gradient_descent.cc.o.d"
+  "/root/repo/src/joinopt/loadbalance/load_model.cc" "src/CMakeFiles/joinopt.dir/joinopt/loadbalance/load_model.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/loadbalance/load_model.cc.o.d"
+  "/root/repo/src/joinopt/mapreduce/mapreduce.cc" "src/CMakeFiles/joinopt.dir/joinopt/mapreduce/mapreduce.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/mapreduce/mapreduce.cc.o.d"
+  "/root/repo/src/joinopt/sim/cluster.cc" "src/CMakeFiles/joinopt.dir/joinopt/sim/cluster.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/sim/cluster.cc.o.d"
+  "/root/repo/src/joinopt/sim/event_queue.cc" "src/CMakeFiles/joinopt.dir/joinopt/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/sim/event_queue.cc.o.d"
+  "/root/repo/src/joinopt/sim/network.cc" "src/CMakeFiles/joinopt.dir/joinopt/sim/network.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/sim/network.cc.o.d"
+  "/root/repo/src/joinopt/sim/resource.cc" "src/CMakeFiles/joinopt.dir/joinopt/sim/resource.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/sim/resource.cc.o.d"
+  "/root/repo/src/joinopt/skirental/cost_model.cc" "src/CMakeFiles/joinopt.dir/joinopt/skirental/cost_model.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/skirental/cost_model.cc.o.d"
+  "/root/repo/src/joinopt/skirental/decision_engine.cc" "src/CMakeFiles/joinopt.dir/joinopt/skirental/decision_engine.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/skirental/decision_engine.cc.o.d"
+  "/root/repo/src/joinopt/skirental/ski_rental.cc" "src/CMakeFiles/joinopt.dir/joinopt/skirental/ski_rental.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/skirental/ski_rental.cc.o.d"
+  "/root/repo/src/joinopt/store/log_store.cc" "src/CMakeFiles/joinopt.dir/joinopt/store/log_store.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/store/log_store.cc.o.d"
+  "/root/repo/src/joinopt/store/parallel_store.cc" "src/CMakeFiles/joinopt.dir/joinopt/store/parallel_store.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/store/parallel_store.cc.o.d"
+  "/root/repo/src/joinopt/store/region_balancer.cc" "src/CMakeFiles/joinopt.dir/joinopt/store/region_balancer.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/store/region_balancer.cc.o.d"
+  "/root/repo/src/joinopt/store/region_map.cc" "src/CMakeFiles/joinopt.dir/joinopt/store/region_map.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/store/region_map.cc.o.d"
+  "/root/repo/src/joinopt/store/storage_engine.cc" "src/CMakeFiles/joinopt.dir/joinopt/store/storage_engine.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/store/storage_engine.cc.o.d"
+  "/root/repo/src/joinopt/stream/muppet.cc" "src/CMakeFiles/joinopt.dir/joinopt/stream/muppet.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/stream/muppet.cc.o.d"
+  "/root/repo/src/joinopt/workload/cloudburst.cc" "src/CMakeFiles/joinopt.dir/joinopt/workload/cloudburst.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/workload/cloudburst.cc.o.d"
+  "/root/repo/src/joinopt/workload/entity_annotation.cc" "src/CMakeFiles/joinopt.dir/joinopt/workload/entity_annotation.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/workload/entity_annotation.cc.o.d"
+  "/root/repo/src/joinopt/workload/synthetic.cc" "src/CMakeFiles/joinopt.dir/joinopt/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/workload/synthetic.cc.o.d"
+  "/root/repo/src/joinopt/workload/tpcds_lite.cc" "src/CMakeFiles/joinopt.dir/joinopt/workload/tpcds_lite.cc.o" "gcc" "src/CMakeFiles/joinopt.dir/joinopt/workload/tpcds_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/annotation_baselines_test.cc" "tests/CMakeFiles/joinopt_tests.dir/baselines/annotation_baselines_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/baselines/annotation_baselines_test.cc.o.d"
+  "/root/repo/tests/baselines/spark_shuffle_join_test.cc" "tests/CMakeFiles/joinopt_tests.dir/baselines/spark_shuffle_join_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/baselines/spark_shuffle_join_test.cc.o.d"
+  "/root/repo/tests/cache/policy_test.cc" "tests/CMakeFiles/joinopt_tests.dir/cache/policy_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/cache/policy_test.cc.o.d"
+  "/root/repo/tests/cache/tiered_cache_test.cc" "tests/CMakeFiles/joinopt_tests.dir/cache/tiered_cache_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/cache/tiered_cache_test.cc.o.d"
+  "/root/repo/tests/common/ewma_test.cc" "tests/CMakeFiles/joinopt_tests.dir/common/ewma_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/common/ewma_test.cc.o.d"
+  "/root/repo/tests/common/hash_test.cc" "tests/CMakeFiles/joinopt_tests.dir/common/hash_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/common/hash_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/joinopt_tests.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/joinopt_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/joinopt_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/joinopt_tests.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/common/units_test.cc.o.d"
+  "/root/repo/tests/engine/async_api_test.cc" "tests/CMakeFiles/joinopt_tests.dir/engine/async_api_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/engine/async_api_test.cc.o.d"
+  "/root/repo/tests/engine/batcher_test.cc" "tests/CMakeFiles/joinopt_tests.dir/engine/batcher_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/engine/batcher_test.cc.o.d"
+  "/root/repo/tests/engine/extensions_test.cc" "tests/CMakeFiles/joinopt_tests.dir/engine/extensions_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/engine/extensions_test.cc.o.d"
+  "/root/repo/tests/engine/invariants_test.cc" "tests/CMakeFiles/joinopt_tests.dir/engine/invariants_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/engine/invariants_test.cc.o.d"
+  "/root/repo/tests/engine/join_job_test.cc" "tests/CMakeFiles/joinopt_tests.dir/engine/join_job_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/engine/join_job_test.cc.o.d"
+  "/root/repo/tests/freq/lossy_counting_test.cc" "tests/CMakeFiles/joinopt_tests.dir/freq/lossy_counting_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/freq/lossy_counting_test.cc.o.d"
+  "/root/repo/tests/freq/space_saving_test.cc" "tests/CMakeFiles/joinopt_tests.dir/freq/space_saving_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/freq/space_saving_test.cc.o.d"
+  "/root/repo/tests/harness/report_test.cc" "tests/CMakeFiles/joinopt_tests.dir/harness/report_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/harness/report_test.cc.o.d"
+  "/root/repo/tests/harness/runner_test.cc" "tests/CMakeFiles/joinopt_tests.dir/harness/runner_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/harness/runner_test.cc.o.d"
+  "/root/repo/tests/harness/trace_test.cc" "tests/CMakeFiles/joinopt_tests.dir/harness/trace_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/harness/trace_test.cc.o.d"
+  "/root/repo/tests/loadbalance/balancer_test.cc" "tests/CMakeFiles/joinopt_tests.dir/loadbalance/balancer_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/loadbalance/balancer_test.cc.o.d"
+  "/root/repo/tests/loadbalance/gradient_descent_test.cc" "tests/CMakeFiles/joinopt_tests.dir/loadbalance/gradient_descent_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/loadbalance/gradient_descent_test.cc.o.d"
+  "/root/repo/tests/loadbalance/load_model_test.cc" "tests/CMakeFiles/joinopt_tests.dir/loadbalance/load_model_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/loadbalance/load_model_test.cc.o.d"
+  "/root/repo/tests/mapreduce/mapreduce_test.cc" "tests/CMakeFiles/joinopt_tests.dir/mapreduce/mapreduce_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/mapreduce/mapreduce_test.cc.o.d"
+  "/root/repo/tests/sim/cluster_test.cc" "tests/CMakeFiles/joinopt_tests.dir/sim/cluster_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/sim/cluster_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/joinopt_tests.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/network_test.cc" "tests/CMakeFiles/joinopt_tests.dir/sim/network_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/sim/network_test.cc.o.d"
+  "/root/repo/tests/sim/resource_test.cc" "tests/CMakeFiles/joinopt_tests.dir/sim/resource_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/sim/resource_test.cc.o.d"
+  "/root/repo/tests/skirental/cost_model_test.cc" "tests/CMakeFiles/joinopt_tests.dir/skirental/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/skirental/cost_model_test.cc.o.d"
+  "/root/repo/tests/skirental/decision_engine_test.cc" "tests/CMakeFiles/joinopt_tests.dir/skirental/decision_engine_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/skirental/decision_engine_test.cc.o.d"
+  "/root/repo/tests/skirental/ski_rental_test.cc" "tests/CMakeFiles/joinopt_tests.dir/skirental/ski_rental_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/skirental/ski_rental_test.cc.o.d"
+  "/root/repo/tests/store/log_store_test.cc" "tests/CMakeFiles/joinopt_tests.dir/store/log_store_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/store/log_store_test.cc.o.d"
+  "/root/repo/tests/store/parallel_store_test.cc" "tests/CMakeFiles/joinopt_tests.dir/store/parallel_store_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/store/parallel_store_test.cc.o.d"
+  "/root/repo/tests/store/region_balancer_test.cc" "tests/CMakeFiles/joinopt_tests.dir/store/region_balancer_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/store/region_balancer_test.cc.o.d"
+  "/root/repo/tests/store/region_map_test.cc" "tests/CMakeFiles/joinopt_tests.dir/store/region_map_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/store/region_map_test.cc.o.d"
+  "/root/repo/tests/store/storage_engine_test.cc" "tests/CMakeFiles/joinopt_tests.dir/store/storage_engine_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/store/storage_engine_test.cc.o.d"
+  "/root/repo/tests/store/update_notifier_test.cc" "tests/CMakeFiles/joinopt_tests.dir/store/update_notifier_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/store/update_notifier_test.cc.o.d"
+  "/root/repo/tests/workload/cloudburst_test.cc" "tests/CMakeFiles/joinopt_tests.dir/workload/cloudburst_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/workload/cloudburst_test.cc.o.d"
+  "/root/repo/tests/workload/entity_annotation_test.cc" "tests/CMakeFiles/joinopt_tests.dir/workload/entity_annotation_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/workload/entity_annotation_test.cc.o.d"
+  "/root/repo/tests/workload/synthetic_test.cc" "tests/CMakeFiles/joinopt_tests.dir/workload/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/workload/synthetic_test.cc.o.d"
+  "/root/repo/tests/workload/tpcds_lite_test.cc" "tests/CMakeFiles/joinopt_tests.dir/workload/tpcds_lite_test.cc.o" "gcc" "tests/CMakeFiles/joinopt_tests.dir/workload/tpcds_lite_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/joinopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
