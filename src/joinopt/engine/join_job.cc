@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <iterator>
 
 #include "joinopt/common/logging.h"
@@ -155,6 +156,7 @@ void DataNodeRuntime::HandleBatch(RequestBatch batch) {
     resp.version = stored->version;
     resp.disposition = req.disposition;
     resp.was_data_request = !batch.compute_batch;
+    resp.send_id = req.send_id;
 
     if (batch.compute_batch && run_here[static_cast<size_t>(i)]) {
       double cpu_done = node.cpu().Reserve(disk_done, stored->udf_cost);
@@ -209,23 +211,32 @@ void DataNodeRuntime::HandleBatch(RequestBatch batch) {
     }
   });
 
+  // Deliveries run through a fault guard: a response whose sender died
+  // before the send time, or whose link is partitioned, is dropped (and the
+  // requester's timeout machinery replays the items against a replica).
   NodeId dest = batch.from;
+  NodeId from = id_;
   JoinJob* job = job_;
+  auto deliver = [&sim, job, dest, from](ResponseBatch&& rb,
+                                         double send_time, double arrival) {
+    sim.At(arrival, [job, dest, from, send_time, rb = std::move(rb)]() mutable {
+      if (!job->FaultDeliverable(from, dest, send_time)) {
+        job->fault()->CountDroppedResponses(
+            static_cast<int64_t>(rb.items.size()));
+        return;
+      }
+      job->compute_runtime(dest).HandleResponseBatch(std::move(rb));
+    });
+  };
   if (!early_response.items.empty()) {
     double arrival = job_->cluster().network().Transfer(
         id_, dest, early_bytes, early_done);
-    sim.At(arrival,
-           [job, dest, early_response = std::move(early_response)]() mutable {
-             job->compute_runtime(dest).HandleResponseBatch(
-                 std::move(early_response));
-           });
+    deliver(std::move(early_response), early_done, arrival);
   }
   if (!response.items.empty()) {
     double arrival = job_->cluster().network().Transfer(
         id_, dest, response_bytes, batch_done);
-    sim.At(arrival, [job, dest, response = std::move(response)]() mutable {
-      job->compute_runtime(dest).HandleResponseBatch(std::move(response));
-    });
+    deliver(std::move(response), batch_done, arrival);
   }
   for (auto& [cpu_done, item] : computed_items) {
     double arrival = job_->cluster().network().Transfer(
@@ -234,10 +245,14 @@ void DataNodeRuntime::HandleBatch(RequestBatch batch) {
     single.from = id_;
     single.report = report;
     single.items.push_back(item);
-    sim.At(arrival, [job, dest, single = std::move(single)]() mutable {
-      job->compute_runtime(dest).HandleResponseBatch(std::move(single));
-    });
+    deliver(std::move(single), cpu_done, arrival);
   }
+}
+
+void DataNodeRuntime::ClearBlockCache() {
+  block_cache_.clear();
+  block_lru_.clear();
+  block_cache_used_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -294,12 +309,22 @@ ComputeNodeRuntime::ComputeNodeRuntime(JoinJob* job, NodeId id,
           inflight_data_[dj] += static_cast<double>(items.size());
         }
         batch.items = std::move(items);
-        double arrival = job_->cluster().network().Transfer(
-            id_, dj, bytes, job_->sim().now());
+        double send_time = job_->sim().now();
+        double arrival =
+            job_->cluster().network().Transfer(id_, dj, bytes, send_time);
         JoinJob* job = job_;
-        job_->sim().At(arrival, [job, dj, batch = std::move(batch)]() mutable {
-          job->data_runtime_for(dj).HandleBatch(std::move(batch));
-        });
+        NodeId src = id_;
+        job_->sim().At(
+            arrival, [job, dj, src, send_time, batch = std::move(batch)]() mutable {
+              // Fault guard: a request aimed at a dead node or across a
+              // partition is lost; the sender's timeout replays it.
+              if (!job->FaultDeliverable(src, dj, send_time)) {
+                job->fault()->CountDroppedRequests(
+                    static_cast<int64_t>(batch.items.size()));
+                return;
+              }
+              job->data_runtime_for(dj).HandleBatch(std::move(batch));
+            });
       };
     };
     Batcher::DynamicSizing dynamic;
@@ -491,7 +516,148 @@ void ComputeNodeRuntime::EnqueueRequest(uint64_t tuple_id, int stage, Key key,
     ++data_requests_issued_;
   }
   NodeId owner = job_->store(stage).OwnerOf(key);
+  if (job_->config().recovery.enabled) {
+    RegisterSend(item, owner, compute, /*hedge=*/false);
+  }
   (compute ? compute_batchers_ : data_batchers_)[owner]->Add(std::move(item));
+}
+
+// ---------------------------------------------------------------------------
+// Failure recovery (timeouts, retries, failover, hedging)
+// ---------------------------------------------------------------------------
+
+NodeId ComputeNodeRuntime::ReplicaForAttempt(int stage, Key key,
+                                             int attempt) const {
+  const std::vector<NodeId>& replicas = job_->store(stage).ReplicasOf(key);
+  return replicas[static_cast<size_t>(attempt) % replicas.size()];
+}
+
+void ComputeNodeRuntime::RegisterSend(RequestItem& item, NodeId dest,
+                                      bool compute, bool hedge) {
+  const RecoveryConfig& rec = job_->config().recovery;
+  uint64_t sid = next_send_id_++;
+  item.send_id = sid;
+  InflightRequest& entry = inflight_requests_[item.tuple_id];
+  if (!hedge) {
+    // A fresh attempt: remember the item as the resend template.
+    entry.item = item;
+    entry.compute = compute;
+    ++entry.attempt;
+  }
+  ++entry.live_sends;
+  outstanding_sends_.emplace(sid, OutstandingSend{dest, compute, hedge});
+  if (dest != job_->store(entry.item.stage).OwnerOf(entry.item.key)) {
+    ++recovery_.failovers;
+  }
+  if (hedge) ++recovery_.hedges_sent;
+
+  uint64_t tuple_id = item.tuple_id;
+  job_->sim().Schedule(rec.request_timeout, [this, tuple_id, sid] {
+    OnSendTimeout(tuple_id, sid);
+  });
+  if (rec.hedging && !hedge) {
+    job_->sim().Schedule(rec.hedge_delay, [this, tuple_id, sid] {
+      MaybeHedge(tuple_id, sid);
+    });
+  }
+}
+
+void ComputeNodeRuntime::OnSendTimeout(uint64_t tuple_id, uint64_t send_id) {
+  auto sit = outstanding_sends_.find(send_id);
+  if (sit == outstanding_sends_.end()) return;  // answered in time
+  (sit->second.compute ? inflight_compute_
+                       : inflight_data_)[sit->second.dest] -= 1;
+  outstanding_sends_.erase(sit);
+  ++recovery_.timeouts;
+
+  auto it = inflight_requests_.find(tuple_id);
+  if (it == inflight_requests_.end()) return;  // a sibling send answered
+  InflightRequest& entry = it->second;
+  --entry.live_sends;
+  if (entry.live_sends > 0 || entry.resend_pending) return;
+
+  const RecoveryConfig& rec = job_->config().recovery;
+  if (entry.attempt >= rec.max_attempts) {
+    FailTuple(tuple_id);
+    return;
+  }
+  entry.resend_pending = true;
+  ++recovery_.retries;
+  double backoff =
+      std::min(rec.backoff_max,
+               rec.backoff_base *
+                   std::pow(2.0, static_cast<double>(entry.attempt - 1)));
+  backoff *= 1.0 + rec.jitter_fraction * rng_.NextDouble();
+  job_->sim().Schedule(backoff, [this, tuple_id] { ResendRequest(tuple_id); });
+}
+
+void ComputeNodeRuntime::ResendRequest(uint64_t tuple_id) {
+  auto it = inflight_requests_.find(tuple_id);
+  if (it == inflight_requests_.end()) return;  // a late response landed
+  InflightRequest& entry = it->second;
+  entry.resend_pending = false;
+  // Rotate through the replica set: attempt k (0-based) targets replica
+  // k mod R, so repeated failures walk away from a dead primary.
+  NodeId dest = ReplicaForAttempt(entry.item.stage, entry.item.key,
+                                  entry.attempt);
+  RequestItem item = entry.item;
+  bool compute = entry.compute;
+  RegisterSend(item, dest, compute, /*hedge=*/false);
+  (compute ? compute_batchers_ : data_batchers_)[dest]->Add(std::move(item));
+}
+
+void ComputeNodeRuntime::MaybeHedge(uint64_t tuple_id, uint64_t send_id) {
+  if (outstanding_sends_.find(send_id) == outstanding_sends_.end()) {
+    return;  // the primary send already resolved
+  }
+  auto it = inflight_requests_.find(tuple_id);
+  if (it == inflight_requests_.end()) return;
+  InflightRequest& entry = it->second;
+  NodeId dest = ReplicaForAttempt(entry.item.stage, entry.item.key,
+                                  entry.attempt);
+  RequestItem item = entry.item;
+  bool compute = entry.compute;
+  RegisterSend(item, dest, compute, /*hedge=*/true);
+  (compute ? compute_batchers_ : data_batchers_)[dest]->Add(std::move(item));
+}
+
+void ComputeNodeRuntime::FailTuple(uint64_t tuple_id) {
+  auto it = inflight_requests_.find(tuple_id);
+  if (it == inflight_requests_.end()) return;
+  int stage = it->second.item.stage;
+  Key key = it->second.item.key;
+  inflight_requests_.erase(it);
+  AbandonTuple(tuple_id);
+  // Tuples coalesced behind this request would otherwise wait forever.
+  size_t s = static_cast<size_t>(stage);
+  auto wit = fetch_waiters_[s].find(key);
+  if (wit != fetch_waiters_[s].end()) {
+    std::vector<uint64_t> held = std::move(wit->second);
+    fetch_waiters_[s].erase(wit);
+    for (uint64_t waiter : held) AbandonTuple(waiter);
+  }
+  auto mit = meta_waiters_[s].find(key);
+  if (mit != meta_waiters_[s].end()) {
+    std::vector<uint64_t> held = std::move(mit->second);
+    meta_waiters_[s].erase(mit);
+    for (uint64_t waiter : held) AbandonTuple(waiter);
+  }
+}
+
+void ComputeNodeRuntime::AbandonTuple(uint64_t tuple_id) {
+  auto it = pending_.find(tuple_id);
+  if (it == pending_.end()) return;
+  pending_.erase(it);
+  --outstanding_;
+  ++recovery_.tuples_failed;
+  job_->NotifyTupleFailed();
+  JO_LOG(Warn) << "compute node " << id_ << " abandons tuple " << tuple_id
+               << " after exhausting retries";
+  if (!finished_ && next_input_ >= input_.size() && outstanding_ == 0) {
+    finished_ = true;
+    finish_time_ = job_->sim().now();
+  }
+  MaybeResumeDriver();
 }
 
 void ComputeNodeRuntime::SubmitLocalUdf(uint64_t tuple_id, double udf_cost) {
@@ -543,7 +709,36 @@ void ComputeNodeRuntime::HandleResponseBatch(ResponseBatch batch) {
   if (batch.report.t_cpu_service > 0) {
     reported_udf_service_.Observe(batch.report.t_cpu_service);
   }
+  const bool recovery = job_->config().recovery.enabled;
   for (ResponseItem& item : batch.items) {
+    if (recovery) {
+      // Resolve the physical send (inflight accounting, hedge detection).
+      bool hedge = false;
+      auto sit = outstanding_sends_.find(item.send_id);
+      if (sit != outstanding_sends_.end()) {
+        (sit->second.compute ? inflight_compute_
+                             : inflight_data_)[sit->second.dest] -= 1;
+        hedge = sit->second.hedge;
+        outstanding_sends_.erase(sit);
+        auto rit = inflight_requests_.find(item.tuple_id);
+        if (rit != inflight_requests_.end()) {
+          --rit->second.live_sends;
+        }
+      }
+      // Freshness: the logical request must still be waiting for this
+      // (tuple, stage). Anything else — a hedge losing the race, a retry's
+      // original answer arriving after the retry already won, a response
+      // from a stage the tuple has moved past — is discarded here, which
+      // is what keeps retries and hedges exactly-once at the tuple level.
+      auto rit = inflight_requests_.find(item.tuple_id);
+      if (rit == inflight_requests_.end() ||
+          rit->second.item.stage != item.stage) {
+        ++recovery_.duplicates_ignored;
+        continue;
+      }
+      if (hedge) ++recovery_.hedges_won;
+      inflight_requests_.erase(rit);
+    }
     size_t stage = static_cast<size_t>(item.stage);
     key_info_[stage][item.key] =
         KeyInfo{item.stored_value_bytes, item.udf_cost};
@@ -553,7 +748,7 @@ void ComputeNodeRuntime::HandleResponseBatch(ResponseBatch batch) {
           item.stored_value_bytes);
     }
     if (item.was_data_request) {
-      inflight_data_[batch.from] -= 1;
+      if (!recovery) inflight_data_[batch.from] -= 1;
       if (!engines_.empty() &&
           item.disposition != FetchDisposition::kNoCache) {
         Route route = item.disposition == FetchDisposition::kCacheMemory
@@ -574,7 +769,7 @@ void ComputeNodeRuntime::HandleResponseBatch(ResponseBatch batch) {
       }
       SubmitLocalUdf(item.tuple_id, item.udf_cost);
     } else {
-      inflight_compute_[batch.from] -= 1;
+      if (!recovery) inflight_compute_[batch.from] -= 1;
       auto frac_it = computed_fraction_.find(batch.from);
       if (frac_it == computed_fraction_.end()) {
         frac_it = computed_fraction_.emplace(batch.from, Ewma(0.2)).first;
@@ -782,15 +977,51 @@ void JoinJob::NotifyTupleDone(double now) {
   last_done_time_ = std::max(last_done_time_, now);
 }
 
+void JoinJob::AttachFaultInjector(FaultInjector* injector) {
+  JO_CHECK(injector != nullptr);
+  JO_CHECK(fault_ == nullptr) << "fault injector already attached";
+  fault_ = injector;
+  // A data node restart loses its volatile state: the block cache must be
+  // re-warmed (stored values and versions survive — they are replicated
+  // durable state).
+  injector->AddListener([this](const FaultEvent& event) {
+    if (event.kind != FaultKind::kNodeRestart) return;
+    auto it = data_runtimes_.find(event.node);
+    if (it != data_runtimes_.end()) it->second->ClearBlockCache();
+  });
+}
+
+bool JoinJob::FaultDeliverable(NodeId src, NodeId dst,
+                               double send_time) const {
+  if (fault_ == nullptr) return true;
+  // The sender must have been alive at send time, the link un-partitioned
+  // when the message entered it, and the receiver alive at delivery.
+  return fault_->NodeUpAt(src, send_time) &&
+         fault_->LinkUpAt(src, dst, send_time) &&
+         fault_->NodeUpAt(dst, sim_->now());
+}
+
+RecoveryCounters JoinJob::recovery_counters() const {
+  RecoveryCounters total;
+  for (const auto& rt : compute_runtimes_) total.Add(rt->recovery_);
+  return total;
+}
+
 Status JoinJob::ApplyUpdate(int stage, Key key) {
   auto result = store(stage).Update(key, [](StoredItem&) {});
   if (!result.ok()) return result.status();
   NodeId owner = store(stage).OwnerOf(key);
+  double send_time = sim_->now();
   for (NodeId c : result->notify) {
-    double arrival =
-        cluster_->network().Transfer(owner, c, 64.0, sim_->now());
+    double arrival = cluster_->network().Transfer(owner, c, 64.0, send_time);
     uint64_t version = result->new_version;
-    sim_->At(arrival, [this, c, stage, key, version] {
+    sim_->At(arrival, [this, owner, c, stage, key, version, send_time] {
+      // A lost notification leaves the compute node's cached copy stale —
+      // the documented risk of notify-based invalidation under faults.
+      if (!FaultDeliverable(owner, c, send_time)) {
+        fault_->CountDroppedNotification();
+        return;
+      }
       compute_runtime(c).HandleUpdateNotification(stage, key, version);
     });
   }
@@ -836,10 +1067,17 @@ JobResult JoinJob::Run() {
       r.cache_memory_hits += engine->cache().stats().memory_hits;
       r.cache_disk_hits += engine->cache().stats().disk_hits;
     }
+    r.recovery.Add(rt->recovery_);
   }
-  if (tuples_done_ != total_tuples_) {
+  if (fault_ != nullptr) {
+    const FaultStats& fs = fault_->stats();
+    r.messages_dropped = fs.requests_dropped + fs.responses_dropped +
+                         fs.notifications_dropped;
+  }
+  if (tuples_done_ + tuples_failed_ != total_tuples_) {
     JO_LOG(Warn) << "job finished with " << tuples_done_ << "/"
-                 << total_tuples_ << " tuples processed";
+                 << total_tuples_ << " tuples processed ("
+                 << tuples_failed_ << " abandoned)";
   }
   return r;
 }

@@ -23,6 +23,7 @@
 #include "joinopt/engine/batcher.h"
 #include "joinopt/engine/messages.h"
 #include "joinopt/engine/types.h"
+#include "joinopt/fault/fault_injector.h"
 #include "joinopt/loadbalance/balancer.h"
 #include "joinopt/sim/cluster.h"
 #include "joinopt/sim/event_queue.h"
@@ -45,6 +46,9 @@ class DataNodeRuntime {
   int64_t items_served() const { return items_served_; }
   int64_t computed_here() const { return computed_here_; }
   int64_t bounced() const { return bounced_; }
+
+  /// Fault recovery: a restart wipes volatile state (the block cache).
+  void ClearBlockCache();
 
  private:
   JoinJob* job_;
@@ -91,6 +95,7 @@ class ComputeNodeRuntime {
 
   ComputeNodeStats SnapshotStats(NodeId target_data_node) const;
   int64_t tuples_done() const { return tuples_done_; }
+  const RecoveryCounters& recovery_counters() const { return recovery_; }
   bool finished() const { return finished_; }
   double finish_time() const { return finish_time_; }
   const DecisionEngine* engine(int stage) const {
@@ -113,6 +118,19 @@ class ComputeNodeRuntime {
   void RouteStageDecided(uint64_t tuple_id);
   void EnqueueRequest(uint64_t tuple_id, int stage, Key key, bool compute,
                       FetchDisposition disposition);
+  // --- failure recovery (active only when RecoveryConfig.enabled) --------
+  /// Registers one physical send for `item` towards `dest` and arms its
+  /// timeout (and, for an attempt's first send, its hedge timer).
+  void RegisterSend(RequestItem& item, NodeId dest, bool compute, bool hedge);
+  void OnSendTimeout(uint64_t tuple_id, uint64_t send_id);
+  void MaybeHedge(uint64_t tuple_id, uint64_t send_id);
+  /// Re-sends the current attempt's request after backoff (next replica).
+  void ResendRequest(uint64_t tuple_id);
+  /// Abandons a tuple (and any tuples coalesced behind its request) after
+  /// max_attempts exhausted.
+  void FailTuple(uint64_t tuple_id);
+  void AbandonTuple(uint64_t tuple_id);
+  NodeId ReplicaForAttempt(int stage, Key key, int attempt) const;
   void SubmitLocalUdf(uint64_t tuple_id, double udf_cost);
   void SubmitLocalDiskThenUdf(uint64_t tuple_id, double bytes,
                               double udf_cost);
@@ -159,6 +177,26 @@ class ComputeNodeRuntime {
   int64_t data_requests_issued_ = 0;
   int64_t compute_requests_issued_ = 0;
 
+  // --- failure-recovery state (empty when recovery is disabled) --------
+  /// One entry per logical request awaiting a response, keyed by tuple id
+  /// (a tuple has at most one outstanding request at a time).
+  struct InflightRequest {
+    RequestItem item;            ///< template for resends (send_id re-drawn)
+    bool compute = false;
+    int attempt = 0;             ///< attempts begun (1 after the first send)
+    int live_sends = 0;          ///< sends not yet expired or answered
+    bool resend_pending = false; ///< a backoff resend event is scheduled
+  };
+  struct OutstandingSend {
+    NodeId dest = kInvalidNode;
+    bool compute = false;
+    bool hedge = false;
+  };
+  std::unordered_map<uint64_t, InflightRequest> inflight_requests_;
+  std::unordered_map<uint64_t, OutstandingSend> outstanding_sends_;
+  uint64_t next_send_id_ = 1;
+  RecoveryCounters recovery_;
+
   // Load-statistics trackers.
   double local_queue_len_ = 0;  // lcc
   Ewma local_udf_wall_{0.2};
@@ -199,6 +237,25 @@ class JoinJob {
   /// the number of tuples moved.
   int64_t RebalanceInput(int from, int to, double fraction);
 
+  /// Wires a fault injector into the job: message deliveries consult it
+  /// (messages to/from dead nodes or across partitions are dropped and
+  /// counted) and data-node restarts wipe volatile state (block caches).
+  /// Call before Run(); the injector must outlive the job. Pair with
+  /// EngineConfig::recovery so dropped messages are retried.
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault() { return fault_; }
+
+  /// False if the fault injector says a message sent at `send_time` from
+  /// `src` towards `dst` dies en route (sender crashed before sending,
+  /// link partitioned at send, or receiver down now). Always true without
+  /// an injector.
+  bool FaultDeliverable(NodeId src, NodeId dst, double send_time) const;
+
+  /// Recovery activity summed over all compute runtimes (live; also
+  /// reported in JobResult). Useful as Tracer gauges.
+  RecoveryCounters recovery_counters() const;
+  int64_t tuples_done() const { return tuples_done_; }
+
   // --- accessors used by the runtimes -------------------------------
   Simulation& sim() { return *sim_; }
   Cluster& cluster() { return *cluster_; }
@@ -214,6 +271,7 @@ class JoinJob {
   double stage_selectivity(int stage) const;
 
   void NotifyTupleDone(double now);
+  void NotifyTupleFailed() { ++tuples_failed_; }
   void NotifyUdfInvocation() { ++udf_invocations_; }
 
  private:
@@ -223,10 +281,12 @@ class JoinJob {
   Strategy strategy_;
   StrategyTraits traits_;
   EngineConfig config_;
+  FaultInjector* fault_ = nullptr;
   std::vector<std::unique_ptr<ComputeNodeRuntime>> compute_runtimes_;
   std::unordered_map<NodeId, std::unique_ptr<DataNodeRuntime>> data_runtimes_;
   int64_t total_tuples_ = 0;
   int64_t tuples_done_ = 0;
+  int64_t tuples_failed_ = 0;
   int64_t udf_invocations_ = 0;
   double last_done_time_ = 0.0;
   double avg_sv_ = 0.0;

@@ -27,6 +27,10 @@ struct RequestItem {
   double param_bytes = 0.0;        ///< sp (compute requests ship p)
   bool is_compute_request = false;
   FetchDisposition disposition = FetchDisposition::kNoCache;
+  /// Unique id of this physical send (0 when recovery is disabled). Retries
+  /// and hedges of the same logical request carry distinct send ids so the
+  /// requester can discard late duplicates.
+  uint64_t send_id = 0;
 };
 
 /// One item inside a response batch.
@@ -42,6 +46,8 @@ struct ResponseItem {
   /// True when this answers a data request (fetch); false for a compute
   /// request's response (computed or bounced back by the balancer).
   bool was_data_request = false;
+  /// Echo of the request's send_id (duplicate suppression under retries).
+  uint64_t send_id = 0;
 };
 
 /// A batch of requests on the wire, with the piggybacked load statistics

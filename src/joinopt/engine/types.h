@@ -50,6 +50,51 @@ struct StrategyTraits {
   static StrategyTraits For(Strategy s);
 };
 
+/// Engine-side failure recovery (the fault subsystem's client half):
+/// per-request timeouts with exponential backoff + deterministic jitter,
+/// replica failover rotation, and optional hedged requests. Disabled by
+/// default — a job without recovery executes the exact event stream the
+/// engine always produced.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// A request send unanswered for this long is presumed lost.
+  double request_timeout = 100e-3;
+  /// Retry backoff: min(backoff_max, backoff_base * 2^(attempt-1)), then
+  /// stretched by up to `jitter_fraction` (deterministic per-node RNG).
+  double backoff_base = 20e-3;
+  double backoff_max = 500e-3;
+  double jitter_fraction = 0.2;
+  /// Total sends per request before the tuple is abandoned (counted in
+  /// RecoveryCounters::tuples_failed, never silently dropped).
+  int max_attempts = 8;
+  /// Hedging: if the first send of an attempt is unanswered after
+  /// `hedge_delay`, duplicate it to the next replica and take whichever
+  /// response arrives first (tail-latency insurance against stragglers).
+  bool hedging = false;
+  double hedge_delay = 50e-3;
+};
+
+/// What the recovery machinery actually did during a run.
+struct RecoveryCounters {
+  int64_t timeouts = 0;         ///< sends that expired unanswered
+  int64_t retries = 0;          ///< items replayed after a timeout
+  int64_t hedges_sent = 0;
+  int64_t hedges_won = 0;       ///< hedge responses that beat the primary
+  int64_t failovers = 0;        ///< sends routed to a non-primary replica
+  int64_t duplicates_ignored = 0;  ///< late/duplicate responses discarded
+  int64_t tuples_failed = 0;    ///< tuples abandoned after max_attempts
+
+  void Add(const RecoveryCounters& o) {
+    timeouts += o.timeouts;
+    retries += o.retries;
+    hedges_sent += o.hedges_sent;
+    hedges_won += o.hedges_won;
+    failovers += o.failovers;
+    duplicates_ignored += o.duplicates_ignored;
+    tuples_failed += o.tuples_failed;
+  }
+};
+
 /// Knobs for the engine that are not strategy-dependent.
 struct EngineConfig {
   /// Batch size for data/compute request batches (Section 7.2: static).
@@ -104,6 +149,8 @@ struct EngineConfig {
   std::vector<double> stage_selectivity;
   /// Seed for the engine's internal randomness (FR coin flips, selectivity).
   uint64_t seed = 12345;
+  /// Failure recovery: timeouts, retries, failover, hedging.
+  RecoveryConfig recovery;
 };
 
 /// Outcome of one job run (one workload under one strategy).
@@ -126,6 +173,10 @@ struct JobResult {
   double data_cpu_skew = 1.0;
   double total_cpu_busy = 0.0;
   uint64_t sim_events = 0;
+  /// Failure-recovery activity (all zero when RecoveryConfig is disabled).
+  RecoveryCounters recovery;
+  /// Messages lost to injected faults (requests + responses + updates).
+  int64_t messages_dropped = 0;
 };
 
 }  // namespace joinopt

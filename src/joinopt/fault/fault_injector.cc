@@ -1,0 +1,74 @@
+#include "joinopt/fault/fault_injector.h"
+
+#include "joinopt/common/logging.h"
+
+namespace joinopt {
+
+FaultInjector::FaultInjector(Simulation* sim, Cluster* cluster,
+                             FaultSchedule schedule)
+    : sim_(sim),
+      cluster_(cluster),
+      schedule_(std::move(schedule)),
+      up_(static_cast<size_t>(cluster->num_nodes()), 1) {}
+
+void FaultInjector::Arm() {
+  JO_CHECK(!armed_) << "FaultInjector armed twice";
+  armed_ = true;
+  for (const FaultEvent& event : schedule_.Sorted()) {
+    JO_CHECK(event.node >= 0 && event.node < cluster_->num_nodes())
+        << "fault event targets unknown node " << event.node;
+    sim_->At(event.time, [this, event] { Apply(event); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+      up_[static_cast<size_t>(event.node)] = 0;
+      ++stats_.crashes;
+      break;
+    case FaultKind::kNodeRestart:
+      up_[static_cast<size_t>(event.node)] = 1;
+      ++stats_.restarts;
+      break;
+    case FaultKind::kLinkDegrade:
+      cluster_->network().SetLinkFactor(event.node, event.peer, event.factor);
+      ++stats_.link_events;
+      break;
+    case FaultKind::kLinkRestore:
+      cluster_->network().SetLinkFactor(event.node, event.peer, 1.0);
+      ++stats_.link_events;
+      break;
+    case FaultKind::kLinkPartition:
+    case FaultKind::kLinkHeal:
+      // Partitions drop messages rather than slowing them; liveness is
+      // answered by the schedule-derived LinkUpAt.
+      ++stats_.link_events;
+      break;
+    case FaultKind::kDiskSlow:
+      cluster_->node(event.node).set_disk_slow_factor(event.factor);
+      ++stats_.disk_events;
+      break;
+    case FaultKind::kDiskRestore:
+      cluster_->node(event.node).set_disk_slow_factor(1.0);
+      ++stats_.disk_events;
+      break;
+  }
+  JO_LOG(Info) << "fault @" << sim_->now() << "s: "
+               << FaultKindToString(event.kind) << " node=" << event.node
+               << (event.peer != kInvalidNode
+                       ? " peer=" + std::to_string(event.peer)
+                       : "")
+               << (event.factor != 1.0
+                       ? " factor=" + std::to_string(event.factor)
+                       : "");
+  for (const Listener& listener : listeners_) listener(event);
+}
+
+int FaultInjector::nodes_down() const {
+  int n = 0;
+  for (char u : up_) n += u == 0 ? 1 : 0;
+  return n;
+}
+
+}  // namespace joinopt

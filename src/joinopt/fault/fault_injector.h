@@ -1,0 +1,87 @@
+// Replays a FaultSchedule through a Simulation against a Cluster: crash
+// flags per node, disk slowdown factors on SimNodes, bandwidth degradation
+// on Network links. Runtimes built on the simulator (the join engine, the
+// benches) consult the injector at message-delivery time to decide whether
+// a message survives, and register listeners to react to fault transitions
+// (e.g. a data node losing its block cache on restart).
+//
+// The injector changes nothing until Arm() is called, and an empty schedule
+// arms to nothing — a job with no faults executes the exact same event
+// stream as one with no injector attached at all.
+#ifndef JOINOPT_FAULT_FAULT_INJECTOR_H_
+#define JOINOPT_FAULT_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "joinopt/fault/fault_schedule.h"
+#include "joinopt/sim/cluster.h"
+#include "joinopt/sim/event_queue.h"
+
+namespace joinopt {
+
+/// Counters describing how much damage the schedule actually did.
+struct FaultStats {
+  int64_t crashes = 0;
+  int64_t restarts = 0;
+  int64_t link_events = 0;   ///< degrade/restore/partition/heal applied
+  int64_t disk_events = 0;   ///< slow/restore applied
+  int64_t requests_dropped = 0;   ///< request items lost to a fault
+  int64_t responses_dropped = 0;  ///< response items lost to a fault
+  int64_t notifications_dropped = 0;  ///< update notifications lost
+};
+
+class FaultInjector {
+ public:
+  using Listener = std::function<void(const FaultEvent&)>;
+
+  FaultInjector(Simulation* sim, Cluster* cluster, FaultSchedule schedule);
+
+  /// Schedules every fault event onto the simulation. Call once, before
+  /// Simulation::Run.
+  void Arm();
+
+  /// Dynamic liveness (reflects events applied so far).
+  bool NodeUp(NodeId node) const {
+    return up_[static_cast<size_t>(node)] != 0;
+  }
+  int nodes_down() const;
+
+  /// Schedule-derived liveness: usable from delivery events to ask about
+  /// *send* time without the injector keeping history.
+  bool NodeUpAt(NodeId node, double t) const {
+    return schedule_.NodeUpAt(node, t);
+  }
+  bool LinkUpAt(NodeId a, NodeId b, double t) const {
+    return schedule_.LinkUpAt(a, b, t);
+  }
+
+  /// Called by the injector when each fault event fires (after it has been
+  /// applied to the substrate). Register before Arm().
+  void AddListener(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  void CountDroppedRequests(int64_t n) { stats_.requests_dropped += n; }
+  void CountDroppedResponses(int64_t n) { stats_.responses_dropped += n; }
+  void CountDroppedNotification() { ++stats_.notifications_dropped; }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const FaultStats& stats() const { return stats_; }
+  bool armed() const { return armed_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+
+  Simulation* sim_;
+  Cluster* cluster_;
+  FaultSchedule schedule_;
+  std::vector<char> up_;
+  std::vector<Listener> listeners_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,113 @@
+#include "joinopt/fault/fault_schedule.h"
+
+#include <algorithm>
+
+namespace joinopt {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node_crash";
+    case FaultKind::kNodeRestart:
+      return "node_restart";
+    case FaultKind::kLinkDegrade:
+      return "link_degrade";
+    case FaultKind::kLinkRestore:
+      return "link_restore";
+    case FaultKind::kLinkPartition:
+      return "link_partition";
+    case FaultKind::kLinkHeal:
+      return "link_heal";
+    case FaultKind::kDiskSlow:
+      return "disk_slow";
+    case FaultKind::kDiskRestore:
+      return "disk_restore";
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::CrashNode(double time, NodeId node) {
+  return Add({time, FaultKind::kNodeCrash, node, kInvalidNode, 1.0});
+}
+
+FaultSchedule& FaultSchedule::RestartNode(double time, NodeId node) {
+  return Add({time, FaultKind::kNodeRestart, node, kInvalidNode, 1.0});
+}
+
+FaultSchedule& FaultSchedule::DegradeLink(double time, NodeId a, NodeId b,
+                                          double factor) {
+  return Add({time, FaultKind::kLinkDegrade, a, b, factor});
+}
+
+FaultSchedule& FaultSchedule::RestoreLink(double time, NodeId a, NodeId b) {
+  return Add({time, FaultKind::kLinkRestore, a, b, 1.0});
+}
+
+FaultSchedule& FaultSchedule::PartitionLink(double time, NodeId a, NodeId b) {
+  return Add({time, FaultKind::kLinkPartition, a, b, 1.0});
+}
+
+FaultSchedule& FaultSchedule::HealLink(double time, NodeId a, NodeId b) {
+  return Add({time, FaultKind::kLinkHeal, a, b, 1.0});
+}
+
+FaultSchedule& FaultSchedule::SlowDisk(double time, NodeId node,
+                                       double factor) {
+  return Add({time, FaultKind::kDiskSlow, node, kInvalidNode, factor});
+}
+
+FaultSchedule& FaultSchedule::RestoreDisk(double time, NodeId node) {
+  return Add({time, FaultKind::kDiskRestore, node, kInvalidNode, 1.0});
+}
+
+FaultSchedule& FaultSchedule::Add(FaultEvent event) {
+  events_.push_back(event);
+  return *this;
+}
+
+std::vector<FaultEvent> FaultSchedule::Sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+bool FaultSchedule::NodeUpAt(NodeId node, double t) const {
+  // Replay crash/restart events up to and including t, in time order.
+  bool up = true;
+  double best = -1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.time > t || e.node != node) continue;
+    if (e.kind != FaultKind::kNodeCrash && e.kind != FaultKind::kNodeRestart) {
+      continue;
+    }
+    // Later events win; ties keep list order (stable scan).
+    if (e.time >= best) {
+      best = e.time;
+      up = e.kind == FaultKind::kNodeRestart;
+    }
+  }
+  return up;
+}
+
+bool FaultSchedule::LinkUpAt(NodeId a, NodeId b, double t) const {
+  bool up = true;
+  double best = -1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.time > t) continue;
+    if (e.kind != FaultKind::kLinkPartition && e.kind != FaultKind::kLinkHeal) {
+      continue;
+    }
+    bool matches = (e.node == a && e.peer == b) || (e.node == b && e.peer == a);
+    if (!matches) continue;
+    if (e.time >= best) {
+      best = e.time;
+      up = e.kind == FaultKind::kLinkHeal;
+    }
+  }
+  return up;
+}
+
+}  // namespace joinopt

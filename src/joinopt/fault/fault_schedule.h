@@ -1,0 +1,77 @@
+// Deterministic fault schedules: a declarative list of (time, fault) events
+// — crash/restart a node, partition or degrade a link, slow a disk — that a
+// FaultInjector replays through the Simulation's event queue. Because the
+// schedule is data, the same seed + schedule reproduces the exact same
+// failure scenario run after run, which is what makes recovery behaviour
+// testable (the paper's runtime parameters tCompute/tFetch/netBw_ij are all
+// perturbed by these faults, and the EWMA smoothing has to ride them out).
+#ifndef JOINOPT_FAULT_FAULT_SCHEDULE_H_
+#define JOINOPT_FAULT_FAULT_SCHEDULE_H_
+
+#include <vector>
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+enum class FaultKind {
+  kNodeCrash,    ///< node stops serving; messages to/from it are lost
+  kNodeRestart,  ///< node rejoins (volatile state such as block caches lost)
+  kLinkDegrade,  ///< link between two nodes runs `factor`x slower
+  kLinkRestore,  ///< degraded link back to full speed
+  kLinkPartition,///< messages between two nodes are dropped
+  kLinkHeal,     ///< partition healed
+  kDiskSlow,     ///< node's disk serves `factor`x slower (straggler)
+  kDiskRestore,  ///< disk back to full speed
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// One scheduled fault. `node` is the subject (or one link endpoint); `peer`
+/// is the other link endpoint for link faults; `factor` is the slowdown
+/// multiplier for kLinkDegrade / kDiskSlow.
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId node = kInvalidNode;
+  NodeId peer = kInvalidNode;
+  double factor = 1.0;
+};
+
+/// A reproducible fault scenario: an ordered list of FaultEvents plus pure
+/// schedule-derived liveness queries. The queries let delivery events ask
+/// "was the sender alive when this message left?" without the injector
+/// having to keep historical state.
+class FaultSchedule {
+ public:
+  FaultSchedule& CrashNode(double time, NodeId node);
+  FaultSchedule& RestartNode(double time, NodeId node);
+  FaultSchedule& DegradeLink(double time, NodeId a, NodeId b, double factor);
+  FaultSchedule& RestoreLink(double time, NodeId a, NodeId b);
+  FaultSchedule& PartitionLink(double time, NodeId a, NodeId b);
+  FaultSchedule& HealLink(double time, NodeId a, NodeId b);
+  FaultSchedule& SlowDisk(double time, NodeId node, double factor);
+  FaultSchedule& RestoreDisk(double time, NodeId node);
+  FaultSchedule& Add(FaultEvent event);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// Events ordered by time (stable: ties keep insertion order).
+  std::vector<FaultEvent> Sorted() const;
+
+  /// True if `node` is up at time `t` per this schedule (a crash at exactly
+  /// `t` counts as already applied).
+  bool NodeUpAt(NodeId node, double t) const;
+
+  /// True if the link {a, b} is not partitioned at time `t`.
+  bool LinkUpAt(NodeId a, NodeId b, double t) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_FAULT_FAULT_SCHEDULE_H_

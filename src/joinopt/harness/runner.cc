@@ -12,12 +12,55 @@ JobResult RunFrameworkJob(const GeneratedWorkload& workload,
   if (!workload.stage_selectivity.empty()) {
     engine.stage_selectivity = workload.stage_selectivity;
   }
+  // Faults without recovery would strand every dropped request forever, so
+  // a non-empty schedule switches the timeout/retry machinery on.
+  if (!config.faults.empty()) engine.recovery.enabled = true;
   JoinJob job(&sim, &cluster, workload.store_ptrs(), strategy, engine);
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<FaultInjector>(&sim, &cluster, config.faults);
+    job.AttachFaultInjector(injector.get());
+    injector->Arm();
+  }
   for (size_t i = 0; i < workload.inputs.size(); ++i) {
     job.SetInput(static_cast<int>(i), workload.inputs[i],
                  config.arrival_rate_per_node);
   }
   return job.Run();
+}
+
+void AddFaultRecoveryGauges(Tracer* tracer, const JoinJob* job,
+                            const FaultInjector* injector) {
+  auto add = [tracer](const char* name, Tracer::Gauge g) {
+    tracer->AddGauge(name, std::move(g));
+  };
+  add("tuples_done",
+      [job] { return static_cast<double>(job->tuples_done()); });
+  add("timeouts", [job] {
+    return static_cast<double>(job->recovery_counters().timeouts);
+  });
+  add("retries", [job] {
+    return static_cast<double>(job->recovery_counters().retries);
+  });
+  add("failovers", [job] {
+    return static_cast<double>(job->recovery_counters().failovers);
+  });
+  add("hedges_won", [job] {
+    return static_cast<double>(job->recovery_counters().hedges_won);
+  });
+  add("tuples_failed", [job] {
+    return static_cast<double>(job->recovery_counters().tuples_failed);
+  });
+  add("messages_dropped", [injector] {
+    if (injector == nullptr) return 0.0;
+    const FaultStats& s = injector->stats();
+    return static_cast<double>(s.requests_dropped + s.responses_dropped +
+                               s.notifications_dropped);
+  });
+  add("nodes_down", [injector] {
+    return injector == nullptr ? 0.0
+                               : static_cast<double>(injector->nodes_down());
+  });
 }
 
 ClusterConfig BaselineClusterConfig(const ClusterConfig& framework_config) {

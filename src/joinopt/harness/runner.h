@@ -6,6 +6,9 @@
 #include "joinopt/baselines/annotation_baselines.h"
 #include "joinopt/baselines/spark_shuffle_join.h"
 #include "joinopt/engine/join_job.h"
+#include "joinopt/fault/fault_injector.h"
+#include "joinopt/fault/fault_schedule.h"
+#include "joinopt/harness/trace.h"
 #include "joinopt/workload/workload.h"
 
 namespace joinopt {
@@ -16,6 +19,10 @@ struct FrameworkRunConfig {
   EngineConfig engine;
   /// Tuples/second fed to each compute node; <= 0 = batch (all at t=0).
   double arrival_rate_per_node = 0.0;
+  /// Faults to inject during the run (empty = none). A non-empty schedule
+  /// auto-enables `engine.recovery` so dropped messages are retried rather
+  /// than hanging the job.
+  FaultSchedule faults;
 };
 
 /// Runs `workload` under `strategy` on a fresh simulator + cluster.
@@ -23,6 +30,14 @@ struct FrameworkRunConfig {
 JobResult RunFrameworkJob(const GeneratedWorkload& workload,
                           Strategy strategy,
                           const FrameworkRunConfig& config);
+
+/// Registers the standard fault/recovery gauge columns on a tracer:
+/// tuples_done, timeouts, retries, failovers, hedges_won, tuples_failed,
+/// messages_dropped and nodes_down. `injector` may be null (the last two
+/// columns then read 0). The job and injector must outlive the tracer's
+/// sampling.
+void AddFaultRecoveryGauges(Tracer* tracer, const JoinJob* job,
+                            const FaultInjector* injector);
 
 /// Cluster used by the all-20-nodes baselines (MapReduce, Spark).
 ClusterConfig BaselineClusterConfig(const ClusterConfig& framework_config);

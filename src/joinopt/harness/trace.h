@@ -28,7 +28,11 @@ class Tracer {
   }
 
   /// Begins sampling; continues until Stop() or the simulation drains.
+  /// Calling Start() while a sampling chain is already live is a no-op —
+  /// a second chain would double every sample from that point on.
   void Start() {
+    if (running_) return;
+    running_ = true;
     stopped_ = false;
     Sample();
   }
@@ -46,7 +50,10 @@ class Tracer {
 
  private:
   void Sample() {
-    if (stopped_) return;
+    if (stopped_) {
+      running_ = false;
+      return;
+    }
     std::vector<double> row;
     row.reserve(gauges_.size() + 1);
     row.push_back(sim_->now());
@@ -56,12 +63,15 @@ class Tracer {
     // an otherwise-drained simulation alive.
     if (!sim_->empty()) {
       sim_->Schedule(interval_, [this] { Sample(); });
+    } else {
+      running_ = false;
     }
   }
 
   Simulation* sim_;
   double interval_;
   bool stopped_ = false;
+  bool running_ = false;
   std::vector<std::string> names_;
   std::vector<Gauge> gauges_;
   std::vector<std::vector<double>> rows_;

@@ -56,6 +56,9 @@
 #include "joinopt/engine/async_api.h"
 #include "joinopt/engine/types.h"
 
+#include "joinopt/fault/fault_injector.h"
+#include "joinopt/fault/fault_schedule.h"
+
 #include "joinopt/mapreduce/mapreduce.h"
 #include "joinopt/stream/muppet.h"
 

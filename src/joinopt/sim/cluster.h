@@ -49,10 +49,18 @@ class SimNode {
   FifoServer& disk() { return disk_; }
   const FifoServer& disk() const { return disk_; }
 
-  /// Service time for fetching `bytes` from this node's disk.
+  /// Service time for fetching `bytes` from this node's disk. Scaled by the
+  /// current slowdown factor (fault injection: a straggling disk).
   double DiskServiceTime(double bytes) const {
-    return config_.disk.seek_time + bytes / config_.disk.bandwidth_bytes_per_sec;
+    return (config_.disk.seek_time +
+            bytes / config_.disk.bandwidth_bytes_per_sec) *
+           disk_slow_factor_;
   }
+
+  /// Fault injection: future disk operations take `factor`x as long
+  /// (1.0 = healthy). Already-reserved timeline entries are unaffected.
+  void set_disk_slow_factor(double factor) { disk_slow_factor_ = factor; }
+  double disk_slow_factor() const { return disk_slow_factor_; }
 
   const MachineConfig& config() const { return config_; }
 
@@ -61,6 +69,7 @@ class SimNode {
   MachineConfig config_;
   MultiServer cpu_;
   FifoServer disk_;
+  double disk_slow_factor_ = 1.0;
 };
 
 /// A full cluster: nodes 0..num_compute-1 are compute nodes, the rest are

@@ -24,16 +24,45 @@ double Network::Transfer(NodeId src, NodeId dst, double bytes, double now) {
     // Loopback: no NIC time, only a small fixed cost.
     return now + config_.latency * 0.1;
   }
-  double out_time = payload / bandwidth_[src];
+  double out_bw = bandwidth_[src];
+  double in_bw = bandwidth_[dst];
+  // Degraded-link lookup only when faults are active, so fault-free runs
+  // execute the exact same arithmetic as before.
+  if (!link_factor_.empty()) {
+    double factor = LinkFactor(src, dst);
+    if (factor != 1.0) {
+      out_bw /= factor;
+      in_bw /= factor;
+    }
+  }
+  double out_time = payload / out_bw;
   double departed = egress_[src].Reserve(now, out_time);
-  double in_time = payload / bandwidth_[dst];
+  double in_time = payload / in_bw;
   double arrived = ingress_[dst].Reserve(departed, in_time);
   return arrived + config_.latency;
 }
 
+void Network::SetLinkFactor(NodeId a, NodeId b, double factor) {
+  assert(a >= 0 && a < num_nodes());
+  assert(b >= 0 && b < num_nodes());
+  assert(factor > 0);
+  if (factor == 1.0) {
+    link_factor_.erase(LinkKey(a, b));
+  } else {
+    link_factor_[LinkKey(a, b)] = factor;
+  }
+}
+
+double Network::LinkFactor(NodeId a, NodeId b) const {
+  auto it = link_factor_.find(LinkKey(a, b));
+  return it == link_factor_.end() ? 1.0 : it->second;
+}
+
 double Network::EffectiveBandwidth(NodeId src, NodeId dst) const {
   if (src == dst) return 1e12;  // effectively infinite for loopback
-  return std::min(bandwidth_[src], bandwidth_[dst]);
+  double bw = std::min(bandwidth_[src], bandwidth_[dst]);
+  if (!link_factor_.empty()) bw /= LinkFactor(src, dst);
+  return bw;
 }
 
 void Network::SetNodeBandwidth(NodeId node, double bytes_per_sec) {

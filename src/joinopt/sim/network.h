@@ -7,6 +7,8 @@
 #ifndef JOINOPT_SIM_NETWORK_H_
 #define JOINOPT_SIM_NETWORK_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "joinopt/common/hash.h"
@@ -39,6 +41,13 @@ class Network {
   /// Sets an individual node's NIC bandwidth (heterogeneous clusters).
   void SetNodeBandwidth(NodeId node, double bytes_per_sec);
 
+  /// Fault injection: transfers between `a` and `b` (both directions) run
+  /// `factor`x slower until restored with factor 1.0. Factors apply to
+  /// future transfers only.
+  void SetLinkFactor(NodeId a, NodeId b, double factor);
+  /// Current slowdown factor for the {a, b} link (1.0 = healthy).
+  double LinkFactor(NodeId a, NodeId b) const;
+
   const NetworkConfig& config() const { return config_; }
   int num_nodes() const { return static_cast<int>(egress_.size()); }
 
@@ -49,10 +58,19 @@ class Network {
   long total_messages() const { return total_messages_; }
 
  private:
+  static uint64_t LinkKey(NodeId a, NodeId b) {
+    NodeId lo = a < b ? a : b;
+    NodeId hi = a < b ? b : a;
+    return (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+           static_cast<uint32_t>(hi);
+  }
+
   NetworkConfig config_;
   std::vector<FifoServer> egress_;
   std::vector<FifoServer> ingress_;
   std::vector<double> bandwidth_;
+  /// Degraded links only (absent = factor 1.0); keyed by unordered pair.
+  std::unordered_map<uint64_t, double> link_factor_;
   double total_bytes_ = 0.0;
   long total_messages_ = 0;
 };

@@ -11,7 +11,7 @@ ParallelStore::ParallelStore(const ParallelStoreConfig& config,
       data_node_ids_(data_node_ids),
       regions_(static_cast<int>(data_node_ids.size()) *
                    config.regions_per_node,
-               data_node_ids),
+               data_node_ids, config.replication_factor),
       notifier_(config.notify_mode, std::move(compute_node_ids)) {
   for (NodeId id : data_node_ids_) {
     engines_.emplace(id, std::make_unique<StorageEngine>());
@@ -19,7 +19,11 @@ ParallelStore::ParallelStore(const ParallelStoreConfig& config,
 }
 
 void ParallelStore::Put(Key key, StoredItem item) {
-  engine(OwnerOf(key)).Put(key, std::move(item));
+  const std::vector<NodeId>& replicas = ReplicasOf(key);
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    engine(replicas[i]).Put(key, item);
+  }
+  engine(replicas[0]).Put(key, std::move(item));
 }
 
 StatusOr<StoredItem> ParallelStore::Get(Key key) const {
@@ -32,8 +36,16 @@ const StoredItem* ParallelStore::Find(Key key) const {
 
 StatusOr<ParallelStore::UpdateResult> ParallelStore::Update(
     Key key, std::function<void(StoredItem&)> mutator) {
-  auto version = engine(OwnerOf(key)).Update(key, std::move(mutator));
+  // All replicas apply the same mutation; since they saw identical Put /
+  // Update sequences their versions stay in lockstep, so a failover read
+  // observes the same version the primary would have returned.
+  const std::vector<NodeId>& replicas = ReplicasOf(key);
+  auto version = engine(replicas[0]).Update(key, mutator);
   if (!version.ok()) return version.status();
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    auto follower = engine(replicas[i]).Update(key, mutator);
+    if (!follower.ok()) return follower.status();
+  }
   return UpdateResult{*version, notifier_.OnUpdate(key)};
 }
 

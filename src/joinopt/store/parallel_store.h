@@ -25,6 +25,11 @@ struct ParallelStoreConfig {
   /// Regions per data node (HBase-style: several regions per server).
   int regions_per_node = 4;
   NotifyMode notify_mode = NotifyMode::kTargeted;
+  /// Replica hosts per region (primary + followers). With a factor >= 2 a
+  /// request can fail over to a follower when the primary is down — the
+  /// store-side half of the fault-recovery subsystem. Writes (Put/Update)
+  /// apply to every replica so failover reads stay consistent.
+  int replication_factor = 1;
 };
 
 class ParallelStore {
@@ -33,8 +38,14 @@ class ParallelStore {
                 std::vector<NodeId> data_node_ids,
                 std::vector<NodeId> compute_node_ids);
 
-  /// Data node owning `key`.
+  /// Primary data node owning `key`.
   NodeId OwnerOf(Key key) const { return regions_.OwnerOf(key); }
+
+  /// All replica hosts of `key`, primary first (failover lookup order).
+  const std::vector<NodeId>& ReplicasOf(Key key) const {
+    return regions_.ReplicasOf(key);
+  }
+  int replication_factor() const { return regions_.replication_factor(); }
 
   /// Loads an item (bulk load path; lands on the owner's engine).
   void Put(Key key, StoredItem item);

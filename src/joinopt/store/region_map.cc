@@ -5,13 +5,25 @@
 
 namespace joinopt {
 
-RegionMap::RegionMap(int num_regions, std::vector<NodeId> data_node_ids)
+RegionMap::RegionMap(int num_regions, std::vector<NodeId> data_node_ids,
+                     int replication_factor)
     : num_regions_(num_regions), data_nodes_(std::move(data_node_ids)) {
   assert(num_regions > 0);
   assert(!data_nodes_.empty());
-  region_owner_.resize(static_cast<size_t>(num_regions));
+  assert(replication_factor >= 1);
+  replication_factor_ = std::min(replication_factor,
+                                 static_cast<int>(data_nodes_.size()));
+  replicas_.resize(static_cast<size_t>(num_regions));
   for (int r = 0; r < num_regions; ++r) {
-    region_owner_[r] = data_nodes_[static_cast<size_t>(r) % data_nodes_.size()];
+    auto& hosts = replicas_[static_cast<size_t>(r)];
+    hosts.reserve(static_cast<size_t>(replication_factor_));
+    // Chained placement: replica k of region r lives on the node after the
+    // primary, so neighbouring regions spread their replica load evenly.
+    for (int k = 0; k < replication_factor_; ++k) {
+      hosts.push_back(
+          data_nodes_[(static_cast<size_t>(r) + static_cast<size_t>(k)) %
+                      data_nodes_.size()]);
+    }
   }
 }
 
@@ -24,14 +36,20 @@ Status RegionMap::MoveRegion(int region, NodeId new_owner) {
     return Status::InvalidArgument("node " + std::to_string(new_owner) +
                                    " is not a data node");
   }
-  region_owner_[static_cast<size_t>(region)] = new_owner;
+  auto& hosts = replicas_[static_cast<size_t>(region)];
+  auto it = std::find(hosts.begin(), hosts.end(), new_owner);
+  if (it != hosts.end()) {
+    std::swap(hosts[0], *it);  // promote the existing follower
+  } else {
+    hosts[0] = new_owner;
+  }
   return Status::OK();
 }
 
 std::vector<int> RegionMap::RegionsOf(NodeId node) const {
   std::vector<int> out;
   for (int r = 0; r < num_regions_; ++r) {
-    if (region_owner_[static_cast<size_t>(r)] == node) out.push_back(r);
+    if (replicas_[static_cast<size_t>(r)][0] == node) out.push_back(r);
   }
   return out;
 }

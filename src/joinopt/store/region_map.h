@@ -17,8 +17,12 @@ class RegionMap {
  public:
   /// Creates `num_regions` regions round-robin assigned over
   /// `data_node_ids`. More regions than nodes (the HBase norm) smooths load
-  /// when regions move.
-  RegionMap(int num_regions, std::vector<NodeId> data_node_ids);
+  /// when regions move. With `replication_factor` > 1 every region gets
+  /// that many distinct replica hosts (primary first); requests fail over
+  /// to the followers when the primary is down. The factor is clamped to
+  /// the node count.
+  RegionMap(int num_regions, std::vector<NodeId> data_node_ids,
+            int replication_factor = 1);
 
   /// Region owning `key` (stable hash: same key always lands in the same
   /// region across runs).
@@ -26,25 +30,38 @@ class RegionMap {
     return static_cast<int>(Mix64(key) % static_cast<uint64_t>(num_regions_));
   }
 
-  /// Data node currently hosting `key`.
-  NodeId OwnerOf(Key key) const { return region_owner_[RegionOf(key)]; }
+  /// Primary data node currently hosting `key`.
+  NodeId OwnerOf(Key key) const { return replicas_[RegionOf(key)][0]; }
 
-  NodeId RegionOwner(int region) const { return region_owner_[region]; }
+  /// All replica hosts of `key`'s region, primary first.
+  const std::vector<NodeId>& ReplicasOf(Key key) const {
+    return replicas_[static_cast<size_t>(RegionOf(key))];
+  }
 
-  /// Moves a region to another data node (the data store's long-term
-  /// balancer, Section 5's "HBase has a balancer").
+  NodeId RegionOwner(int region) const { return replicas_[region][0]; }
+  const std::vector<NodeId>& RegionReplicas(int region) const {
+    return replicas_[static_cast<size_t>(region)];
+  }
+
+  /// Moves a region's primary to another data node (the data store's
+  /// long-term balancer, Section 5's "HBase has a balancer"). If the node
+  /// already hosts a follower replica, the two swap roles; otherwise the
+  /// new node replaces the old primary.
   Status MoveRegion(int region, NodeId new_owner);
 
-  /// Regions currently hosted by `node`.
+  /// Regions currently hosted by `node` (as primary).
   std::vector<int> RegionsOf(NodeId node) const;
 
   int num_regions() const { return num_regions_; }
+  int replication_factor() const { return replication_factor_; }
   const std::vector<NodeId>& data_nodes() const { return data_nodes_; }
 
  private:
   int num_regions_;
+  int replication_factor_;
   std::vector<NodeId> data_nodes_;
-  std::vector<NodeId> region_owner_;
+  /// replicas_[region] = replica hosts, primary first.
+  std::vector<std::vector<NodeId>> replicas_;
 };
 
 }  // namespace joinopt

@@ -41,8 +41,10 @@ GeneratedWorkload MakeSyntheticWorkload(const SyntheticConfig& config,
   SyntheticProfile profile = SyntheticProfile::For(config.kind);
   out.computed_value_bytes = profile.computed_value_bytes;
 
+  ParallelStoreConfig store_config;
+  store_config.replication_factor = config.replication_factor;
   auto store = std::make_unique<ParallelStore>(
-      ParallelStoreConfig{}, layout.data_nodes, layout.compute_nodes);
+      store_config, layout.data_nodes, layout.compute_nodes);
   for (Key k = 0; k < static_cast<Key>(config.num_keys); ++k) {
     StoredItem item;
     item.size_bytes = profile.stored_value_bytes;

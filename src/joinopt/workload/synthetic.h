@@ -36,6 +36,9 @@ struct SyntheticConfig {
   /// How many times the set of frequent keys changes during the stream
   /// (0 = static distribution; the paper's dynamic experiment uses 10).
   int popularity_shifts = 0;
+  /// Copies of each region in the store (1 = none). >= 2 lets fault runs
+  /// fail over reads when a data node crashes mid-join.
+  int replication_factor = 1;
   uint64_t seed = 42;
 };
 

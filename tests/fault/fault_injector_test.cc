@@ -1,0 +1,115 @@
+#include "joinopt/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace joinopt {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.num_compute_nodes = 2;
+  c.num_data_nodes = 2;
+  return c;
+}
+
+TEST(FaultInjectorTest, AppliesCrashAndRestartAtScheduledTimes) {
+  Simulation sim;
+  Cluster cluster(SmallCluster());
+  FaultSchedule schedule;
+  schedule.CrashNode(1.0, 2).RestartNode(2.0, 2);
+  FaultInjector injector(&sim, &cluster, schedule);
+  injector.Arm();
+
+  std::vector<int> down_at;  // nodes_down sampled at t=0.5, 1.5, 2.5
+  for (double t : {0.5, 1.5, 2.5}) {
+    sim.At(t, [&] { down_at.push_back(injector.nodes_down()); });
+  }
+  sim.Run();
+  EXPECT_EQ(down_at, (std::vector<int>{0, 1, 0}));
+  EXPECT_TRUE(injector.NodeUp(2));
+  EXPECT_EQ(injector.stats().crashes, 1);
+  EXPECT_EQ(injector.stats().restarts, 1);
+}
+
+TEST(FaultInjectorTest, DiskSlowdownHitsServiceTime) {
+  Simulation sim;
+  Cluster cluster(SmallCluster());
+  NodeId dn = cluster.data_node_id(0);
+  double healthy = cluster.node(dn).DiskServiceTime(1e6);
+  FaultSchedule schedule;
+  schedule.SlowDisk(1.0, dn, 8.0).RestoreDisk(2.0, dn);
+  FaultInjector injector(&sim, &cluster, schedule);
+  injector.Arm();
+
+  double slowed = 0.0, restored = 0.0;
+  sim.At(1.5, [&] { slowed = cluster.node(dn).DiskServiceTime(1e6); });
+  sim.At(2.5, [&] { restored = cluster.node(dn).DiskServiceTime(1e6); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(slowed, 8.0 * healthy);
+  EXPECT_DOUBLE_EQ(restored, healthy);
+  EXPECT_EQ(injector.stats().disk_events, 2);
+}
+
+TEST(FaultInjectorTest, LinkDegradeCutsEffectiveBandwidth) {
+  Simulation sim;
+  Cluster cluster(SmallCluster());
+  double full = cluster.network().EffectiveBandwidth(0, 2);
+  FaultSchedule schedule;
+  schedule.DegradeLink(1.0, 0, 2, 4.0).RestoreLink(2.0, 0, 2);
+  FaultInjector injector(&sim, &cluster, schedule);
+  injector.Arm();
+
+  double degraded = 0.0, healed = 0.0;
+  sim.At(1.5, [&] { degraded = cluster.network().EffectiveBandwidth(0, 2); });
+  sim.At(2.5, [&] { healed = cluster.network().EffectiveBandwidth(0, 2); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(degraded, full / 4.0);
+  EXPECT_DOUBLE_EQ(healed, full);
+}
+
+TEST(FaultInjectorTest, ListenersSeeEventsInOrder) {
+  Simulation sim;
+  Cluster cluster(SmallCluster());
+  FaultSchedule schedule;
+  schedule.CrashNode(2.0, 3).SlowDisk(1.0, 2, 2.0);
+  FaultInjector injector(&sim, &cluster, schedule);
+  std::vector<FaultKind> seen;
+  injector.AddListener(
+      [&seen](const FaultEvent& e) { seen.push_back(e.kind); });
+  injector.Arm();
+  sim.Run();
+  EXPECT_EQ(seen,
+            (std::vector<FaultKind>{FaultKind::kDiskSlow,
+                                    FaultKind::kNodeCrash}));
+}
+
+TEST(FaultInjectorTest, EmptyScheduleSchedulesNothing) {
+  Simulation sim;
+  Cluster cluster(SmallCluster());
+  FaultInjector injector(&sim, &cluster, FaultSchedule{});
+  injector.Arm();
+  EXPECT_EQ(sim.Run(), 0u);
+  EXPECT_EQ(injector.nodes_down(), 0);
+}
+
+TEST(FaultInjectorTest, ScheduleDerivedQueriesMatchDynamicState) {
+  Simulation sim;
+  Cluster cluster(SmallCluster());
+  FaultSchedule schedule;
+  schedule.CrashNode(1.0, 1).RestartNode(3.0, 1).PartitionLink(2.0, 0, 2);
+  FaultInjector injector(&sim, &cluster, schedule);
+  injector.Arm();
+  sim.At(1.5, [&] {
+    EXPECT_FALSE(injector.NodeUp(1));
+    EXPECT_FALSE(injector.NodeUpAt(1, sim.now()));
+    EXPECT_TRUE(injector.LinkUpAt(0, 2, sim.now()));
+  });
+  sim.At(2.5, [&] { EXPECT_FALSE(injector.LinkUpAt(2, 0, sim.now())); });
+  sim.Run();
+  EXPECT_TRUE(injector.NodeUpAt(1, 100.0));
+}
+
+}  // namespace
+}  // namespace joinopt

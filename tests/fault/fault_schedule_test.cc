@@ -1,0 +1,71 @@
+#include "joinopt/fault/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace joinopt {
+namespace {
+
+TEST(FaultScheduleTest, EmptyScheduleEverythingUp) {
+  FaultSchedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.NodeUpAt(0, 0.0));
+  EXPECT_TRUE(s.NodeUpAt(7, 1e9));
+  EXPECT_TRUE(s.LinkUpAt(0, 1, 50.0));
+}
+
+TEST(FaultScheduleTest, CrashAndRestartWindow) {
+  FaultSchedule s;
+  s.CrashNode(1.0, 3).RestartNode(2.0, 3);
+  EXPECT_TRUE(s.NodeUpAt(3, 0.5));
+  EXPECT_FALSE(s.NodeUpAt(3, 1.0));  // crash at exactly t applies
+  EXPECT_FALSE(s.NodeUpAt(3, 1.5));
+  EXPECT_TRUE(s.NodeUpAt(3, 2.0));
+  EXPECT_TRUE(s.NodeUpAt(3, 10.0));
+  // Other nodes are unaffected.
+  EXPECT_TRUE(s.NodeUpAt(2, 1.5));
+}
+
+TEST(FaultScheduleTest, RepeatedCrashesLatestWins) {
+  FaultSchedule s;
+  s.CrashNode(1.0, 0).RestartNode(2.0, 0).CrashNode(3.0, 0);
+  EXPECT_FALSE(s.NodeUpAt(0, 1.5));
+  EXPECT_TRUE(s.NodeUpAt(0, 2.5));
+  EXPECT_FALSE(s.NodeUpAt(0, 3.5));
+}
+
+TEST(FaultScheduleTest, PartitionIsUndirected) {
+  FaultSchedule s;
+  s.PartitionLink(1.0, 2, 5).HealLink(4.0, 5, 2);  // heal names ends swapped
+  EXPECT_TRUE(s.LinkUpAt(2, 5, 0.5));
+  EXPECT_FALSE(s.LinkUpAt(2, 5, 2.0));
+  EXPECT_FALSE(s.LinkUpAt(5, 2, 2.0));
+  EXPECT_TRUE(s.LinkUpAt(2, 5, 4.0));
+  // Unrelated links unaffected.
+  EXPECT_TRUE(s.LinkUpAt(2, 6, 2.0));
+}
+
+TEST(FaultScheduleTest, SortedIsStableByTime) {
+  FaultSchedule s;
+  s.CrashNode(5.0, 1);
+  s.SlowDisk(1.0, 2, 4.0);
+  s.CrashNode(1.0, 3);  // same time as SlowDisk: must stay after it
+  auto sorted = s.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].kind, FaultKind::kDiskSlow);
+  EXPECT_EQ(sorted[1].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(sorted[1].node, 3);
+  EXPECT_EQ(sorted[2].node, 1);
+}
+
+TEST(FaultScheduleTest, BuilderRecordsFactors) {
+  FaultSchedule s;
+  s.DegradeLink(1.0, 0, 1, 4.0).SlowDisk(2.0, 3, 10.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.events()[0].factor, 4.0);
+  EXPECT_DOUBLE_EQ(s.events()[1].factor, 10.0);
+  // Degrade (unlike partition) does not take the link down.
+  EXPECT_TRUE(s.LinkUpAt(0, 1, 1.5));
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -46,6 +46,40 @@ TEST(TracerTest, ExplicitStopHalts) {
   EXPECT_LE(tracer.num_samples(), 7u);
 }
 
+TEST(TracerTest, DoubleStartDoesNotForkSamplingChain) {
+  // A second Start() while sampling is live must be a no-op; it used to
+  // fork a second sampling chain and double every sample from then on.
+  Simulation sim;
+  for (int i = 1; i <= 8; ++i) sim.Schedule(i * 1.0, [] {});
+  Tracer tracer(&sim, 1.0);
+  tracer.AddGauge("g", [] { return 1.0; });
+  tracer.Start();
+  tracer.Start();  // immediate double start
+  sim.Schedule(3.0, [&tracer] { tracer.Start(); });  // mid-run double start
+  sim.Run();
+  // One sample per interval tick: strictly increasing times, no duplicates.
+  for (size_t s = 1; s < tracer.num_samples(); ++s) {
+    EXPECT_GT(tracer.time_at(s), tracer.time_at(s - 1));
+  }
+  EXPECT_LE(tracer.num_samples(), 10u);
+}
+
+TEST(TracerTest, RestartAfterDrainResumesSampling) {
+  Simulation sim;
+  sim.Schedule(1.0, [] {});
+  Tracer tracer(&sim, 0.5);
+  tracer.AddGauge("g", [] { return 1.0; });
+  tracer.Start();
+  sim.Run();
+  size_t first_batch = tracer.num_samples();
+  ASSERT_GE(first_batch, 1u);
+  // The chain ended when the sim drained; a fresh Start() must work.
+  sim.Schedule(1.0, [] {});
+  tracer.Start();
+  sim.Run();
+  EXPECT_GT(tracer.num_samples(), first_batch);
+}
+
 TEST(TracerTest, CsvHasHeaderAndRows) {
   Simulation sim;
   sim.Schedule(0.2, [] {});

@@ -82,6 +82,45 @@ TEST(ParallelStoreTest, TotalBytesAggregates) {
   EXPECT_DOUBLE_EQ(store.total_bytes(), 300.0);
 }
 
+TEST(ParallelStoreTest, ReplicatedPutReachesEveryReplica) {
+  ParallelStoreConfig cfg;
+  cfg.regions_per_node = 4;
+  cfg.replication_factor = 2;
+  ParallelStore store(cfg, {10, 11, 12}, {0});
+  for (Key k = 0; k < 200; ++k) store.Put(k, Item(10));
+  for (Key k = 0; k < 200; ++k) {
+    const std::vector<NodeId>& replicas = store.ReplicasOf(k);
+    ASSERT_EQ(replicas.size(), 2u);
+    for (NodeId n : replicas) {
+      EXPECT_TRUE(store.engine(n).Contains(k)) << "key " << k;
+    }
+  }
+  // Two full copies of every item.
+  EXPECT_EQ(store.total_items(), 400u);
+}
+
+TEST(ParallelStoreTest, ReplicatedUpdateKeepsVersionsInLockstep) {
+  ParallelStoreConfig cfg;
+  cfg.replication_factor = 2;
+  ParallelStore store(cfg, {10, 11}, {0});
+  store.Put(7, Item(10));
+  auto r1 = store.Update(7, [](StoredItem& it) { it.size_bytes = 20; });
+  ASSERT_TRUE(r1.ok());
+  auto r2 = store.Update(7, [](StoredItem& it) { it.size_bytes = 30; });
+  ASSERT_TRUE(r2.ok());
+  const std::vector<NodeId>& replicas = store.ReplicasOf(7);
+  ASSERT_EQ(replicas.size(), 2u);
+  // A failover read must observe the same version and bytes the primary
+  // would have served.
+  const StoredItem* primary = store.engine(replicas[0]).Find(7);
+  const StoredItem* follower = store.engine(replicas[1]).Find(7);
+  ASSERT_NE(primary, nullptr);
+  ASSERT_NE(follower, nullptr);
+  EXPECT_EQ(primary->version, r2->new_version);
+  EXPECT_EQ(follower->version, primary->version);
+  EXPECT_DOUBLE_EQ(follower->size_bytes, primary->size_bytes);
+}
+
 TEST(ParallelStoreTest, RegionMoveRehomesData) {
   // Region moves change ownership for *future* placement; the facade's
   // OwnerOf must agree with the region map at all times.

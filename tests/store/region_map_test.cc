@@ -49,6 +49,47 @@ TEST(RegionMapTest, MoveRegionValidatesInputs) {
   EXPECT_TRUE(rm.MoveRegion(0, 99).IsInvalidArgument());
 }
 
+TEST(RegionMapTest, ReplicationAssignsDistinctChainedHosts) {
+  RegionMap rm(6, {10, 11, 12}, /*replication_factor=*/2);
+  EXPECT_EQ(rm.replication_factor(), 2);
+  for (int r = 0; r < 6; ++r) {
+    const std::vector<NodeId>& replicas = rm.RegionReplicas(r);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_EQ(replicas[0], rm.RegionOwner(r));  // primary first
+  }
+  // Chained placement: region r's follower is the next node round-robin.
+  EXPECT_EQ(rm.RegionReplicas(0), (std::vector<NodeId>{10, 11}));
+  EXPECT_EQ(rm.RegionReplicas(2), (std::vector<NodeId>{12, 10}));
+}
+
+TEST(RegionMapTest, ReplicationFactorClampedToNodeCount) {
+  RegionMap rm(4, {1, 2}, /*replication_factor=*/5);
+  EXPECT_EQ(rm.replication_factor(), 2);
+  EXPECT_EQ(rm.RegionReplicas(0).size(), 2u);
+}
+
+TEST(RegionMapTest, DefaultReplicationMatchesUnreplicatedAssignment) {
+  // R=1 must be bit-for-bit the old single-copy layout.
+  RegionMap old_style(40, {0, 1, 2, 3});
+  RegionMap replicated(40, {0, 1, 2, 3}, 1);
+  for (Key k = 0; k < 4000; ++k) {
+    EXPECT_EQ(old_style.OwnerOf(k), replicated.OwnerOf(k));
+    EXPECT_EQ(replicated.ReplicasOf(k).size(), 1u);
+  }
+}
+
+TEST(RegionMapTest, MoveRegionPromotesExistingFollower) {
+  RegionMap rm(4, {1, 2, 3}, /*replication_factor=*/2);
+  // Region 0: replicas {1, 2}. Moving to the follower swaps roles.
+  ASSERT_EQ(rm.RegionReplicas(0), (std::vector<NodeId>{1, 2}));
+  ASSERT_TRUE(rm.MoveRegion(0, 2).ok());
+  EXPECT_EQ(rm.RegionReplicas(0), (std::vector<NodeId>{2, 1}));
+  // Moving to a node not in the replica set replaces the primary.
+  ASSERT_TRUE(rm.MoveRegion(0, 3).ok());
+  EXPECT_EQ(rm.RegionReplicas(0), (std::vector<NodeId>{3, 1}));
+}
+
 TEST(RegionMapTest, RegionsOfListsHostedRegions) {
   RegionMap rm(4, {1, 2});
   EXPECT_EQ(rm.RegionsOf(1), (std::vector<int>{0, 2}));

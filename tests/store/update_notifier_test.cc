@@ -44,6 +44,22 @@ TEST(UpdateNotifierTest, UnregisterStopsNotification) {
   EXPECT_EQ(n.OnUpdate(5), (std::vector<NodeId>{2}));
 }
 
+TEST(UpdateNotifierTest, RefetchAfterInvalidationRoundTrip) {
+  // The full invalidation protocol: fetch registers interest, the update
+  // notifies and consumes it (the cached copy is now invalid), the node
+  // re-fetches — which must re-register it — and the *next* update notifies
+  // it again. A node that does not re-fetch stays silent.
+  UpdateNotifier n(NotifyMode::kTargeted, {0, 1});
+  n.RegisterFetch(5, 0);
+  n.RegisterFetch(5, 1);
+  auto first = n.OnUpdate(5);
+  std::sort(first.begin(), first.end());
+  ASSERT_EQ(first, (std::vector<NodeId>{0, 1}));
+  n.RegisterFetch(5, 1);  // only node 1 re-fetches the new version
+  EXPECT_EQ(n.OnUpdate(5), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(n.OnUpdate(5).empty());
+}
+
 TEST(UpdateNotifierTest, BroadcastAlwaysNotifiesEveryone) {
   UpdateNotifier n(NotifyMode::kBroadcast, {0, 1, 2});
   EXPECT_EQ(n.OnUpdate(5).size(), 3u);
