@@ -227,4 +227,19 @@ double TieredCache::MemoryMinBenefit() const {
                                : memory_order_.begin()->first;
 }
 
+TieredCacheStats& operator+=(TieredCacheStats& lhs,
+                             const TieredCacheStats& rhs) {
+  lhs.memory_hits += rhs.memory_hits;
+  lhs.disk_hits += rhs.disk_hits;
+  lhs.misses += rhs.misses;
+  lhs.memory_insertions += rhs.memory_insertions;
+  lhs.disk_insertions += rhs.disk_insertions;
+  lhs.demotions += rhs.demotions;
+  lhs.promotions += rhs.promotions;
+  lhs.discards += rhs.discards;
+  lhs.invalidations += rhs.invalidations;
+  lhs.admission_rejections += rhs.admission_rejections;
+  return lhs;
+}
+
 }  // namespace joinopt

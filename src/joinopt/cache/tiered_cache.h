@@ -54,6 +54,11 @@ struct TieredCacheStats {
   int64_t admission_rejections = 0;
 };
 
+/// Accumulates shard-local eviction/hit accounting into a merged view
+/// (each ParallelInvoker shard owns one cache; totals are read-side).
+TieredCacheStats& operator+=(TieredCacheStats& lhs,
+                             const TieredCacheStats& rhs);
+
 class TieredCache {
  public:
   /// The cache consults (but does not own) `policy` for eviction aging.

@@ -1,20 +1,9 @@
 #include "joinopt/engine/async_api.h"
 
-#include <chrono>
-
 #include "joinopt/common/hash.h"
+#include "joinopt/engine/plan_exec.h"
 
 namespace joinopt {
-
-namespace {
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 StatusOr<DataService::Fetched> LocalDataService::Fetch(Key key) {
   ++fetches_;
@@ -35,6 +24,7 @@ StatusOr<std::string> LocalDataService::Execute(Key key,
 }
 
 StatusOr<DataService::ItemStat> LocalDataService::Stat(Key key) const {
+  ++stats_;
   const StoredItem* item = store_->Find(key);
   if (item == nullptr) {
     return Status::NotFound("key " + std::to_string(key));
@@ -47,33 +37,27 @@ AsyncInvoker::AsyncInvoker(DataService* service, UserFn fn,
     : service_(service),
       fn_(std::move(fn)),
       options_(options),
-      engine_(std::make_unique<DecisionEngine>(options.decision)) {}
+      engine_(std::make_unique<DecisionEngine>(options.decision)),
+      results_(options.max_unclaimed_results) {}
 
 AsyncInvoker::~AsyncInvoker() = default;
-
-uint64_t AsyncInvoker::RequestId(Key key, const std::string& params) {
-  return Mix64(key) ^ Fnv1a(params);
-}
 
 void AsyncInvoker::SubmitComp(Key key, std::string params) {
   ++stats_.submitted;
   auto result = Run(key, params);
   if (result.ok()) {
-    results_[RequestId(key, params)].push_back(std::move(result).value());
+    results_.Push(PlanRequestId(key, params), std::move(result).value());
+    stats_.dropped_results = results_.dropped();
   }
   // Errors are re-surfaced by FetchComp's on-demand retry.
 }
 
 StatusOr<std::string> AsyncInvoker::FetchComp(Key key,
                                               const std::string& params) {
-  auto it = results_.find(RequestId(key, params));
-  if (it != results_.end() && !it->second.empty()) {
-    std::string out = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) results_.erase(it);
-    return out;
+  if (auto claimed = results_.Claim(PlanRequestId(key, params))) {
+    return std::move(*claimed);
   }
-  // Not prefetched (or it failed): blocking path.
+  // Not prefetched (or it failed, or the bound dropped it): blocking path.
   return Run(key, params);
 }
 
@@ -96,10 +80,9 @@ StatusOr<std::string> AsyncInvoker::Run(Key key, const std::string& params) {
         break;
       }
       ++stats_.served_from_cache;
-      double t0 = NowSeconds();
-      std::string out = fn_(key, params, vit->second.value);
-      engine_->ObserveLocalCompute(NowSeconds() - t0);
-      return out;
+      TimedResult timed = TimedCompute(fn_, key, params, vit->second.value);
+      engine_->ObserveLocalCompute(timed.elapsed);
+      return std::move(timed.value);
     }
     case Route::kFetchCacheMemory:
     case Route::kFetchCacheDisk: {
@@ -109,11 +92,10 @@ StatusOr<std::string> AsyncInvoker::Run(Key key, const std::string& params) {
                               static_cast<double>(fetched->value.size()),
                               fetched->version);
       ++stats_.fetched_then_computed;
-      double t0 = NowSeconds();
-      std::string out = fn_(key, params, fetched->value);
-      engine_->ObserveLocalCompute(NowSeconds() - t0);
+      TimedResult timed = TimedCompute(fn_, key, params, fetched->value);
+      engine_->ObserveLocalCompute(timed.elapsed);
       values_[key] = CachedValue{std::move(fetched)->value, 0};
-      return out;
+      return std::move(timed.value);
     }
     case Route::kComputeAtData:
       break;
@@ -123,20 +105,15 @@ StatusOr<std::string> AsyncInvoker::Run(Key key, const std::string& params) {
   // parameters from the exchange (Section 4.3's piggybacking, here
   // measured directly).
   ++stats_.delegated;
-  double t0 = NowSeconds();
+  double t0 = PlanNowSeconds();
   auto result = service_->Execute(key, params, fn_);
-  double elapsed = NowSeconds() - t0;
+  double elapsed = PlanNowSeconds() - t0;
   if (!result.ok()) return result.status();
   // Learn sv/version for future ski-rental decisions (piggybacked stats).
   auto stat = service_->Stat(key);
   if (stat.ok()) {
-    DataNodeCostReport report;
-    report.t_cpu = elapsed;
-    report.t_cpu_service = elapsed;
-    report.t_disk = 1e-6;
-    report.t_disk_service = 1e-6;
-    engine_->OnComputeResponse(key, owner, stat->size_bytes, stat->version,
-                               report);
+    ApplyDelegationLearning(*engine_, key, owner, elapsed, stat->size_bytes,
+                            stat->version);
   }
   return result;
 }

@@ -17,24 +17,28 @@
 #ifndef JOINOPT_ENGINE_ASYNC_API_H_
 #define JOINOPT_ENGINE_ASYNC_API_H_
 
-#include <deque>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "joinopt/common/status.h"
+#include "joinopt/engine/async_api_fwd.h"
+#include "joinopt/engine/plan_exec.h"
 #include "joinopt/skirental/decision_engine.h"
 #include "joinopt/store/log_store.h"
 #include "joinopt/store/parallel_store.h"
 
 namespace joinopt {
 
-/// The user-defined function f'(k, p, v) (Section 3.1).
-using UserFn = std::function<std::string(Key key, const std::string& params,
-                                         const std::string& value)>;
-
 /// Remote side of the API: point fetches and server-side execution.
+/// Implementations must be safe to call from several threads at once (the
+/// ParallelInvoker's workers overlap service calls); the in-process
+/// services below satisfy this with atomic counters over an immutable (or
+/// externally synchronized) store.
 class DataService {
  public:
   virtual ~DataService() = default;
@@ -48,6 +52,20 @@ class DataService {
   /// Compute request: executes `fn` next to the data ("coprocessor").
   virtual StatusOr<std::string> Execute(Key key, const std::string& params,
                                         const UserFn& fn) = 0;
+  /// Batched compute request: one round trip carrying many (k, p) pairs to
+  /// the same data node (Section 7.2's batching applied to delegations).
+  /// The default loops over Execute; networked services override it to
+  /// amortize the round trip. Results are index-aligned with `items`.
+  virtual std::vector<StatusOr<std::string>> ExecuteBatch(
+      const std::vector<std::pair<Key, std::string>>& items,
+      const UserFn& fn) {
+    std::vector<StatusOr<std::string>> out;
+    out.reserve(items.size());
+    for (const auto& [key, params] : items) {
+      out.push_back(Execute(key, params, fn));
+    }
+    return out;
+  }
   /// Metadata only (size + version) — what a compute-request response
   /// piggybacks (Section 4.3) without shipping the payload.
   struct ItemStat {
@@ -72,11 +90,14 @@ class LocalDataService : public DataService {
 
   int64_t fetches() const { return fetches_; }
   int64_t executes() const { return executes_; }
+  /// Number of Stat probes served (cost-model observability).
+  int64_t stats() const { return stats_; }
 
  private:
   ParallelStore* store_;
-  int64_t fetches_ = 0;
-  int64_t executes_ = 0;
+  std::atomic<int64_t> fetches_{0};
+  std::atomic<int64_t> executes_{0};
+  mutable std::atomic<int64_t> stats_{0};
 };
 
 /// DataService over a LogStructuredStore — the fully real storage path:
@@ -104,6 +125,7 @@ class LogStoreDataService : public DataService {
   }
 
   StatusOr<ItemStat> Stat(Key key) const override {
+    ++stats_;
     auto value = store_->Get(key);
     if (!value.ok()) return value.status();
     return ItemStat{static_cast<double>(value->size()),
@@ -117,12 +139,16 @@ class LogStoreDataService : public DataService {
 
   int64_t fetches() const { return fetches_; }
   int64_t executes() const { return executes_; }
+  /// Number of Stat probes served: Stat performs a store Get too, so
+  /// cost-model probes are observable separately from data requests.
+  int64_t stats() const { return stats_; }
 
  private:
   LogStructuredStore* store_;
   int num_shards_;
-  int64_t fetches_ = 0;
-  int64_t executes_ = 0;
+  std::atomic<int64_t> fetches_{0};
+  std::atomic<int64_t> executes_{0};
+  mutable std::atomic<int64_t> stats_{0};
 };
 
 struct AsyncInvokerStats {
@@ -130,6 +156,8 @@ struct AsyncInvokerStats {
   int64_t served_from_cache = 0;
   int64_t fetched_then_computed = 0;
   int64_t delegated = 0;  // compute requests
+  /// Unclaimed prefetched results dropped by the result-map bound.
+  int64_t dropped_results = 0;
 };
 
 struct AsyncInvokerOptions {
@@ -137,6 +165,10 @@ struct AsyncInvokerOptions {
   /// Used for the cost model's network terms; a logical constant here
   /// since the local service has no real network.
   double bandwidth_bytes_per_sec = 125e6;
+  /// Bound on unclaimed prefetched results (SubmitComp entries never
+  /// claimed by FetchComp). When exceeded, the oldest half (by submission
+  /// order) is dropped. 0 = unbounded (the pre-bound behaviour).
+  size_t max_unclaimed_results = 1 << 16;
 };
 
 /// The preMap/map executor. Deterministic single-threaded implementation:
@@ -163,6 +195,8 @@ class AsyncInvoker {
 
   const AsyncInvokerStats& stats() const { return stats_; }
   const DecisionEngine& engine() const { return *engine_; }
+  /// Unclaimed prefetched results currently held.
+  size_t pending_results() const { return results_.size(); }
 
  private:
   struct CachedValue {
@@ -174,7 +208,6 @@ class AsyncInvoker {
   StatusOr<std::string> Run(Key key, const std::string& params);
   /// Drops payloads whose cache residency the engine has revoked.
   void TrimEvicted();
-  static uint64_t RequestId(Key key, const std::string& params);
 
   DataService* service_;
   UserFn fn_;
@@ -183,8 +216,9 @@ class AsyncInvoker {
   /// Real payloads for keys the engine's cache holds (the engine tracks
   /// sizes/benefits; the bytes live here).
   std::unordered_map<Key, CachedValue> values_;
-  /// Result hash-map: (key, params) -> FIFO of computed results.
-  std::unordered_map<uint64_t, std::deque<std::string>> results_;
+  /// Result hash-map: (key, params) -> FIFO of computed results, bounded
+  /// per options_.max_unclaimed_results.
+  BoundedResultMap results_;
   AsyncInvokerStats stats_;
   int64_t runs_since_trim_ = 0;
 };

@@ -1,0 +1,22 @@
+// Shared declarations for the Section 7 API executors, split out so the
+// plan-execution helpers (plan_exec.h) don't need the full service
+// definitions.
+#ifndef JOINOPT_ENGINE_ASYNC_API_FWD_H_
+#define JOINOPT_ENGINE_ASYNC_API_FWD_H_
+
+#include <functional>
+#include <string>
+
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+/// The user-defined function f'(k, p, v) (Section 3.1). Executors may call
+/// it from several threads at once; implementations must be thread-safe
+/// (pure functions trivially are).
+using UserFn = std::function<std::string(Key key, const std::string& params,
+                                         const std::string& value)>;
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_ASYNC_API_FWD_H_

@@ -27,6 +27,41 @@ struct BatcherDynamicSizing {
   int max_size = 1024;
 };
 
+/// The batch-size policy by itself, decoupled from the simulator clock so
+/// both the simulated Batcher and the real-time ParallelInvoker delegation
+/// batches share one sizing rule: a static size, or (when dynamic sizing
+/// is on) target_delay divided by the smoothed inter-arrival time.
+class BatchSizer {
+ public:
+  BatchSizer(int static_size, const BatcherDynamicSizing& dynamic)
+      : static_size_(static_size), dynamic_(dynamic) {}
+
+  /// Records an arrival at time `now` (any monotonic clock, in seconds).
+  void ObserveAdd(double now) {
+    if (!dynamic_.enabled) return;
+    if (last_add_ >= 0.0) inter_arrival_.Observe(now - last_add_);
+    last_add_ = now;
+  }
+
+  int EffectiveSize() const {
+    if (!dynamic_.enabled || !inter_arrival_.initialized()) {
+      return static_size_;
+    }
+    double rate_based =
+        dynamic_.target_delay / std::max(inter_arrival_.value(), 1e-9);
+    int size = static_cast<int>(rate_based);
+    if (size < dynamic_.min_size) size = dynamic_.min_size;
+    if (size > dynamic_.max_size) size = dynamic_.max_size;
+    return size;
+  }
+
+ private:
+  int static_size_;
+  BatcherDynamicSizing dynamic_;
+  double last_add_ = -1.0;
+  Ewma inter_arrival_{0.1};
+};
+
 class Batcher {
  public:
   using FlushFn = std::function<void(std::vector<RequestItem>)>;
@@ -36,18 +71,13 @@ class Batcher {
   Batcher(Simulation* sim, int batch_size, double max_wait, bool enabled,
           FlushFn flush, DynamicSizing dynamic = DynamicSizing())
       : sim_(sim),
-        batch_size_(batch_size),
         max_wait_(max_wait),
         enabled_(enabled),
-        dynamic_(dynamic),
+        sizer_(batch_size, dynamic),
         flush_(std::move(flush)) {}
 
   void Add(RequestItem item) {
-    if (dynamic_.enabled) {
-      double now = sim_->now();
-      if (last_add_ >= 0.0) inter_arrival_.Observe(now - last_add_);
-      last_add_ = now;
-    }
+    sizer_.ObserveAdd(sim_->now());
     buf_.push_back(std::move(item));
     if (!enabled_ || static_cast<int>(buf_.size()) >= EffectiveBatchSize()) {
       Flush();
@@ -63,17 +93,7 @@ class Batcher {
   }
 
   /// Current batch-size target (== the static size unless dynamic).
-  int EffectiveBatchSize() const {
-    if (!dynamic_.enabled || !inter_arrival_.initialized()) {
-      return batch_size_;
-    }
-    double rate_based =
-        dynamic_.target_delay / std::max(inter_arrival_.value(), 1e-9);
-    int size = static_cast<int>(rate_based);
-    if (size < dynamic_.min_size) size = dynamic_.min_size;
-    if (size > dynamic_.max_size) size = dynamic_.max_size;
-    return size;
-  }
+  int EffectiveBatchSize() const { return sizer_.EffectiveSize(); }
 
   /// Flushes whatever is buffered (end-of-input drain).
   void Flush() {
@@ -90,16 +110,13 @@ class Batcher {
 
  private:
   Simulation* sim_;
-  int batch_size_;
   double max_wait_;
   bool enabled_;
-  DynamicSizing dynamic_;
+  BatchSizer sizer_;
   FlushFn flush_;
   std::vector<RequestItem> buf_;
   uint64_t epoch_ = 0;  // invalidates stale timeout events
   int64_t flushes_ = 0;
-  double last_add_ = -1.0;
-  Ewma inter_arrival_{0.1};
 };
 
 }  // namespace joinopt

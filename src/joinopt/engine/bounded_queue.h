@@ -1,0 +1,78 @@
+// Bounded multi-producer/multi-consumer queue: the work conduit between
+// submitComp callers and the ParallelInvoker's worker pool. Producers block
+// when the queue is full (backpressure instead of unbounded growth);
+// consumers block when it is empty. Close() releases everyone: pending
+// items are still drained, then Pop returns nullopt.
+#ifndef JOINOPT_ENGINE_BOUNDED_QUEUE_H_
+#define JOINOPT_ENGINE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace joinopt {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while full. Returns false (drops the item) after Close().
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return PopLocked();
+  }
+
+  /// Blocks while empty. Returns nullopt once closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return PopLocked();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> PopLocked() {
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_BOUNDED_QUEUE_H_

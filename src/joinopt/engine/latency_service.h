@@ -1,0 +1,90 @@
+// A DataService decorator that injects real wall-clock latency in front of
+// an in-process service: the shape a networked deployment (HBase + 1 Gbps
+// Ethernet, Section 9's testbed) presents to a compute node. Each data
+// request pays a round trip plus payload transfer time; each compute
+// request pays a round trip plus per-UDF service time; a *batched* compute
+// request pays the round trip once — which is exactly the delegation
+// batching win the ParallelInvoker exploits.
+//
+// The decorator is what makes the multi-threaded executor measurable on
+// real clocks: workers overlap these waits the way a real deployment
+// overlaps network I/O with computation.
+#ifndef JOINOPT_ENGINE_LATENCY_SERVICE_H_
+#define JOINOPT_ENGINE_LATENCY_SERVICE_H_
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "joinopt/engine/async_api.h"
+
+namespace joinopt {
+
+struct ServiceLatencyModel {
+  /// Round-trip floor for a data request (network RTT + request handling).
+  double fetch_rtt = 400e-6;
+  /// Payload transfer rate for data requests (1 Gbps default).
+  double bandwidth_bytes_per_sec = 125e6;
+  /// Round-trip floor for a compute request; paid once per batch.
+  double execute_rtt = 400e-6;
+  /// Per-UDF service time at the data node (queuing/CPU), paid per item.
+  double execute_per_item = 20e-6;
+  /// Stat responses piggyback on compute responses (Section 4.3), so they
+  /// are free by default.
+  double stat_latency = 0.0;
+};
+
+class LatencyPaddedService : public DataService {
+ public:
+  LatencyPaddedService(DataService* inner, const ServiceLatencyModel& model)
+      : inner_(inner), model_(model) {}
+
+  StatusOr<Fetched> Fetch(Key key) override {
+    auto fetched = inner_->Fetch(key);
+    double transfer =
+        fetched.ok() ? static_cast<double>(fetched->value.size()) /
+                           model_.bandwidth_bytes_per_sec
+                     : 0.0;
+    Sleep(model_.fetch_rtt + transfer);
+    return fetched;
+  }
+
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override {
+    Sleep(model_.execute_rtt + model_.execute_per_item);
+    return inner_->Execute(key, params, fn);
+  }
+
+  std::vector<StatusOr<std::string>> ExecuteBatch(
+      const std::vector<std::pair<Key, std::string>>& items,
+      const UserFn& fn) override {
+    // One round trip for the whole batch; service time still per item.
+    Sleep(model_.execute_rtt +
+          model_.execute_per_item * static_cast<double>(items.size()));
+    return inner_->ExecuteBatch(items, fn);
+  }
+
+  StatusOr<ItemStat> Stat(Key key) const override {
+    if (model_.stat_latency > 0) Sleep(model_.stat_latency);
+    return inner_->Stat(key);
+  }
+
+  NodeId OwnerOf(Key key) const override { return inner_->OwnerOf(key); }
+
+  const ServiceLatencyModel& model() const { return model_; }
+
+ private:
+  static void Sleep(double seconds) {
+    if (seconds <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+
+  DataService* inner_;
+  ServiceLatencyModel model_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_LATENCY_SERVICE_H_

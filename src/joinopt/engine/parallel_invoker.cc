@@ -1,0 +1,461 @@
+#include "joinopt/engine/parallel_invoker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace joinopt {
+
+namespace {
+
+int NextPow2(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ParallelInvoker::ParallelInvoker(DataService* service, UserFn fn,
+                                 const Options& options)
+    : service_(service),
+      fn_(std::move(fn)),
+      options_(options),
+      queue_(options.queue_capacity) {
+  int threads = std::max(options_.num_threads, 1);
+  int shards = options_.num_shards > 0
+                   ? NextPow2(options_.num_shards)
+                   : std::clamp(NextPow2(4 * threads), 8, 64);
+  shard_mask_ = static_cast<uint64_t>(shards - 1);
+
+  // Each shard gets an even slice of the configured cache budget so the
+  // aggregate capacity matches the single-threaded executor's.
+  DecisionEngineConfig per_shard = options_.decision;
+  per_shard.cache.memory_capacity_bytes /= shards;
+  if (std::isfinite(per_shard.cache.disk_capacity_bytes)) {
+    per_shard.cache.disk_capacity_bytes /= shards;
+  }
+  size_t per_shard_results =
+      options_.max_unclaimed_results == 0
+          ? 0
+          : std::max<size_t>(options_.max_unclaimed_results /
+                                 static_cast<size_t>(shards),
+                             16);
+
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<DecisionEngine>(per_shard);
+    shard->results = BoundedResultMap(per_shard_results);
+    shards_.push_back(std::move(shard));
+  }
+
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelInvoker::~ParallelInvoker() {
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+  FlushDelegations(/*force=*/true);
+}
+
+void ParallelInvoker::SubmitComp(Key key, std::string params) {
+  ++stats_.submitted;
+  uint64_t request_id = PlanRequestId(key, params);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.pending[request_id];
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.Push(WorkItem{key, std::move(params)})) {
+    // Shutting down: withdraw the registration so fetchers don't wait.
+    FinishQueued(shard, request_id,
+                 Status::Aborted("invoker shutting down"));
+  }
+}
+
+StatusOr<std::string> ParallelInvoker::FetchComp(Key key,
+                                                 const std::string& params) {
+  Shard& shard = ShardFor(key);
+  uint64_t request_id = PlanRequestId(key, params);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      if (auto claimed = shard.results.Claim(request_id)) {
+        return std::move(*claimed);
+      }
+      auto it = shard.pending.find(request_id);
+      if (it == shard.pending.end() || it->second <= 0) break;
+      // A submission is in flight — possibly parked in a delegation
+      // batch. Poll with a short timeout, nudging stale batches out.
+      if (shard.cv.wait_for(lock, std::chrono::milliseconds(1)) ==
+          std::cv_status::timeout) {
+        lock.unlock();
+        FlushDelegations(/*force=*/false);
+        lock.lock();
+      }
+    }
+  }
+  // Never submitted (or its prefetch failed / was dropped): run the plan
+  // in the caller, like AsyncInvoker's blocking fallback.
+  ++stats_.on_demand_runs;
+  auto result = ExecutePlan(key, params, /*allow_defer=*/false);
+  return std::move(*result);
+}
+
+void ParallelInvoker::OnUpdate(Key key, uint64_t new_version) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.engine->OnUpdateNotification(key, new_version);
+  shard.values.erase(key);
+  uint64_t& floor = shard.min_version[key];
+  if (new_version > floor) floor = new_version;
+}
+
+void ParallelInvoker::Barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    lock.unlock();
+    FlushDelegations(/*force=*/true);
+    lock.lock();
+    barrier_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ParallelInvoker::WorkerLoop() {
+  for (;;) {
+    std::optional<WorkItem> item = queue_.TryPop();
+    if (!item) {
+      // Queue lull: nothing to overlap the buffered delegations with, so
+      // ship them now instead of adding idle latency.
+      FlushDelegations(/*force=*/true);
+      item = queue_.Pop();
+      if (!item) break;  // closed and drained
+    }
+    ProcessQueued(*item);
+  }
+  FlushDelegations(/*force=*/true);
+}
+
+void ParallelInvoker::ProcessQueued(const WorkItem& item) {
+  uint64_t request_id = PlanRequestId(item.key, item.params);
+  auto result = ExecutePlan(item.key, item.params, /*allow_defer=*/true);
+  if (!result) return;  // parked in a delegation batch; it will finish it
+  FinishQueued(ShardFor(item.key), request_id, std::move(*result));
+}
+
+std::optional<StatusOr<std::string>> ParallelInvoker::ExecutePlan(
+    Key key, const std::string& params, bool allow_defer) {
+  Shard& shard = ShardFor(key);
+  NodeId owner = service_->OwnerOf(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  MaybeTrim(shard);
+  shard.engine->cost_model().SetBandwidth(owner,
+                                          options_.bandwidth_bytes_per_sec);
+  // The access is counted exactly once, here. Every re-route below (after
+  // a coalesced wait, or when a plan leg falls through) goes through the
+  // const ReDecide or a manual route override so the frequency counter and
+  // benefit state see this request a single time — keeping ski-rental
+  // thresholds aligned with the single-threaded executor's.
+  Decision decision = shard.engine->Decide(key, owner);
+  bool held_first = false;
+  for (;;) {
+    switch (decision.route) {
+      case Route::kLocalMemoryHit:
+      case Route::kLocalDiskHit: {
+        auto it = shard.values.find(key);
+        if (it == shard.values.end()) {
+          // Engine says hit but the payload is gone (evicted between
+          // Peek and now, or invalidated): fall back to a compute request.
+          decision.route = Route::kComputeAtData;
+          decision.first_request = false;
+          continue;
+        }
+        std::shared_ptr<const std::string> payload = it->second.value;
+        lock.unlock();
+        ++stats_.served_from_cache;
+        TimedResult timed = TimedCompute(fn_, key, params, *payload);
+        lock.lock();
+        shard.engine->ObserveLocalCompute(timed.elapsed);
+        return StatusOr<std::string>(std::move(timed.value));
+      }
+      case Route::kFetchCacheMemory:
+      case Route::kFetchCacheDisk: {
+        if (shard.fetching.count(key) > 0) {
+          // Single flight: another request is already fetching this key.
+          ++stats_.coalesced_fetches;
+          shard.cv.wait(lock,
+                        [&] { return shard.fetching.count(key) == 0; });
+          decision = shard.engine->ReDecide(key, owner);
+          continue;  // usually a hit against the now-warm cache
+        }
+        shard.fetching.insert(key);
+        lock.unlock();
+        auto fetched = service_->Fetch(key);
+        lock.lock();
+        shard.fetching.erase(key);
+        shard.cv.notify_all();
+        if (!fetched.ok()) {
+          return StatusOr<std::string>(fetched.status());
+        }
+        uint64_t version = fetched->version;
+        auto floor = shard.min_version.find(key);
+        if (floor != shard.min_version.end() && version < floor->second) {
+          // The fetch raced an update notification and carried the old
+          // payload: never cache or serve it; compute next to the fresh
+          // data instead.
+          decision.route = Route::kComputeAtData;
+          decision.first_request = false;
+          continue;
+        }
+        double size = static_cast<double>(fetched->value.size());
+        shard.engine->OnValueFetched(key, decision.route, size, version);
+        auto payload = std::make_shared<const std::string>(
+            std::move(fetched)->value);
+        shard.values[key] = CachedValue{payload, version};
+        lock.unlock();
+        ++stats_.fetched_then_computed;
+        TimedResult timed = TimedCompute(fn_, key, params, *payload);
+        lock.lock();
+        shard.engine->ObserveLocalCompute(timed.elapsed);
+        return StatusOr<std::string>(std::move(timed.value));
+      }
+      case Route::kComputeAtData: {
+        if (decision.first_request && !held_first &&
+            shard.delegating.count(key) > 0) {
+          // The key's blind first delegation is already in flight: hold
+          // until its piggybacked cost parameters land rather than issuing
+          // another blind compute request. Timed waits nudge parked
+          // delegation batches out so the wait is bounded.
+          held_first = true;
+          ++stats_.held_first_requests;
+          while (shard.delegating.count(key) > 0) {
+            if (shard.cv.wait_for(lock, std::chrono::microseconds(200)) ==
+                std::cv_status::timeout) {
+              lock.unlock();
+              FlushDelegations(/*force=*/false);
+              lock.lock();
+            }
+          }
+          decision = shard.engine->ReDecide(key, owner);
+          continue;  // typically buys (fetch) now that costs are known
+        }
+        ++shard.delegating[key];
+        lock.unlock();
+        return Delegate(shard, key, params, owner, allow_defer);
+      }
+    }
+  }
+}
+
+std::optional<StatusOr<std::string>> ParallelInvoker::Delegate(
+    Shard& shard, Key key, const std::string& params, NodeId owner,
+    bool allow_defer) {
+  if (allow_defer) {
+    AddDelegation(owner, Delegation{key, params, PlanRequestId(key, params)});
+    return std::nullopt;
+  }
+  ++stats_.delegated;
+  double t0 = PlanNowSeconds();
+  auto result = service_->Execute(key, params, fn_);
+  double elapsed = PlanNowSeconds() - t0;
+  StatusOr<DataService::ItemStat> stat =
+      result.ok() ? service_->Stat(key)
+                  : StatusOr<DataService::ItemStat>(result.status());
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (stat.ok()) {
+      ApplyDelegationLearning(*shard.engine, key, owner, elapsed,
+                              stat->size_bytes, stat->version);
+    }
+    FinishDelegating(shard, key);
+  }
+  return result;
+}
+
+void ParallelInvoker::AddDelegation(NodeId dest, Delegation d) {
+  std::vector<Delegation> ready;
+  {
+    std::lock_guard<std::mutex> lock(deleg_mu_);
+    auto it = deleg_.find(dest);
+    if (it == deleg_.end()) {
+      it = deleg_
+               .emplace(dest, DestBatch(options_.delegation_batch_size,
+                                        options_.delegation_sizing))
+               .first;
+    }
+    DestBatch& batch = it->second;
+    double now = PlanNowSeconds();
+    batch.sizer.ObserveAdd(now);
+    if (batch.items.empty()) batch.oldest_add = now;
+    batch.items.push_back(std::move(d));
+    if (static_cast<int>(batch.items.size()) >=
+        batch.sizer.EffectiveSize()) {
+      ready.swap(batch.items);
+      batch.oldest_add = -1.0;
+    }
+  }
+  if (!ready.empty()) ExecuteDelegationBatch(dest, std::move(ready));
+}
+
+void ParallelInvoker::ExecuteDelegationBatch(NodeId dest,
+                                             std::vector<Delegation> items) {
+  ++stats_.delegation_batches;
+  std::vector<std::pair<Key, std::string>> batch;
+  batch.reserve(items.size());
+  for (const Delegation& d : items) batch.emplace_back(d.key, d.params);
+  double t0 = PlanNowSeconds();
+  std::vector<StatusOr<std::string>> results =
+      service_->ExecuteBatch(batch, fn_);
+  double per_item = (PlanNowSeconds() - t0) /
+                    static_cast<double>(std::max<size_t>(items.size(), 1));
+  for (size_t i = 0; i < items.size(); ++i) {
+    Delegation& d = items[i];
+    Shard& shard = ShardFor(d.key);
+    ++stats_.delegated;
+    StatusOr<std::string> result =
+        i < results.size()
+            ? std::move(results[i])
+            : StatusOr<std::string>(Status::Internal("missing batch result"));
+    StatusOr<DataService::ItemStat> stat =
+        result.ok() ? service_->Stat(d.key)
+                    : StatusOr<DataService::ItemStat>(result.status());
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (stat.ok()) {
+        ApplyDelegationLearning(*shard.engine, d.key, dest, per_item,
+                                stat->size_bytes, stat->version);
+      }
+      FinishDelegating(shard, d.key);
+    }
+    FinishQueued(shard, d.request_id, std::move(result));
+  }
+}
+
+void ParallelInvoker::FlushDelegations(bool force) {
+  std::vector<std::pair<NodeId, std::vector<Delegation>>> ready;
+  {
+    std::lock_guard<std::mutex> lock(deleg_mu_);
+    double now = PlanNowSeconds();
+    for (auto& [dest, batch] : deleg_) {
+      if (batch.items.empty()) continue;
+      if (force ||
+          now - batch.oldest_add >= options_.delegation_max_wait) {
+        ready.emplace_back(dest, std::move(batch.items));
+        batch.items.clear();
+        batch.oldest_add = -1.0;
+      }
+    }
+  }
+  for (auto& [dest, items] : ready) {
+    ExecuteDelegationBatch(dest, std::move(items));
+  }
+}
+
+void ParallelInvoker::FinishDelegating(Shard& shard, Key key) {
+  auto it = shard.delegating.find(key);
+  if (it != shard.delegating.end() && --it->second <= 0) {
+    shard.delegating.erase(it);
+  }
+  shard.cv.notify_all();
+}
+
+void ParallelInvoker::FinishQueued(Shard& shard, uint64_t request_id,
+                                   StatusOr<std::string> result) {
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (result.ok()) {
+      shard.results.Push(request_id, std::move(result).value());
+    }
+    // Failures leave no result: FetchComp's on-demand retry re-surfaces
+    // the error, like AsyncInvoker.
+    auto it = shard.pending.find(request_id);
+    if (it != shard.pending.end() && --it->second <= 0) {
+      shard.pending.erase(it);
+    }
+    shard.cv.notify_all();
+  }
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void ParallelInvoker::MaybeTrim(Shard& shard) {
+  if (++shard.runs_since_trim < 256) return;
+  shard.runs_since_trim = 0;
+  for (auto it = shard.values.begin(); it != shard.values.end();) {
+    if (shard.engine->cache().Peek(it->first) == CacheTier::kNone) {
+      it = shard.values.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The version floors are only a freshness hint for in-flight fetches;
+  // cap their footprint.
+  if (shard.min_version.size() > (1u << 16)) shard.min_version.clear();
+}
+
+ParallelInvokerStats ParallelInvoker::stats() const {
+  ParallelInvokerStats out;
+  out.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  out.served_from_cache =
+      stats_.served_from_cache.load(std::memory_order_relaxed);
+  out.fetched_then_computed =
+      stats_.fetched_then_computed.load(std::memory_order_relaxed);
+  out.delegated = stats_.delegated.load(std::memory_order_relaxed);
+  out.coalesced_fetches =
+      stats_.coalesced_fetches.load(std::memory_order_relaxed);
+  out.held_first_requests =
+      stats_.held_first_requests.load(std::memory_order_relaxed);
+  out.on_demand_runs = stats_.on_demand_runs.load(std::memory_order_relaxed);
+  out.delegation_batches =
+      stats_.delegation_batches.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.dropped_results += shard->results.dropped();
+  }
+  return out;
+}
+
+DecisionEngineStats ParallelInvoker::MergedEngineStats() const {
+  DecisionEngineStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out += shard->engine->stats();
+  }
+  return out;
+}
+
+TieredCacheStats ParallelInvoker::MergedCacheStats() const {
+  TieredCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out += shard->engine->cache().stats();
+  }
+  return out;
+}
+
+double ParallelInvoker::MergedLocalComputeSeconds() const {
+  double sum = 0.0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    sum += shard->engine->cost_model().local_compute_time();
+  }
+  return shards_.empty() ? 0.0 : sum / static_cast<double>(shards_.size());
+}
+
+size_t ParallelInvoker::pending_results() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->results.size();
+  }
+  return total;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,257 @@
+// Multi-threaded preMap/map executor: the Section 7 API running on a real
+// worker pool, overlapping prefetches with computation — the step from the
+// deterministic AsyncInvoker toward a live networked deployment.
+//
+// Design (lock-minimal):
+//  * The DecisionEngine + payload cache are *sharded* by key hash: one
+//    striped mutex per shard, each shard owning its own engine (frequency
+//    counter, tiered cache with 1/num_shards of the capacity, EWMA cost
+//    model). Per-shard measurements are merged on read by the Merged*()
+//    accessors. No lock is ever held across a service call or a UDF
+//    execution.
+//  * SubmitComp enqueues into a bounded MPMC queue drained by a fixed
+//    worker pool; a full queue blocks the producer (backpressure instead
+//    of unbounded growth).
+//  * Duplicate in-flight *fetches* of the same key coalesce (single
+//    flight): the second requester waits for the first fetch to land and
+//    then re-routes via the engine's const ReDecide (the access was
+//    already counted), now against a warm cache. First compute requests
+//    coalesce the same way: while a key's blind first delegation is in
+//    flight, same-key work holds until its piggybacked cost parameters
+//    arrive instead of flooding the data node (Decision::first_request).
+//  * Compute-request delegations batch per destination data node, sized by
+//    the same BatchSizer the simulator's Batcher uses, and go out through
+//    DataService::ExecuteBatch (one round trip per batch).
+//
+// Semantics vs AsyncInvoker: results are identical per request, but
+// completion *order* across keys is scheduling-dependent, so cross-key
+// decision sequences (and therefore exact cache contents) are not
+// deterministic. The simulator keeps the deterministic executor for
+// reproducible figures; this one exists to be fast.
+#ifndef JOINOPT_ENGINE_PARALLEL_INVOKER_H_
+#define JOINOPT_ENGINE_PARALLEL_INVOKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "joinopt/common/status.h"
+#include "joinopt/engine/async_api.h"
+#include "joinopt/engine/batcher.h"
+#include "joinopt/engine/bounded_queue.h"
+#include "joinopt/engine/plan_exec.h"
+#include "joinopt/skirental/decision_engine.h"
+
+namespace joinopt {
+
+struct ParallelInvokerOptions {
+  DecisionEngineConfig decision;
+  /// Modeled bandwidth for the cost model's network terms.
+  double bandwidth_bytes_per_sec = 125e6;
+  /// Worker threads draining the prefetch queue.
+  int num_threads = 4;
+  /// Lock stripes; 0 = derived from num_threads (next power of two of
+  /// 4 * num_threads, clamped to [8, 64]). The configured cache capacity
+  /// is split evenly across shards.
+  int num_shards = 0;
+  /// Bounded prefetch queue capacity (backpressure bound).
+  size_t queue_capacity = 1024;
+  /// Bound on unclaimed prefetched results, applied per shard after
+  /// dividing by the shard count (same policy as AsyncInvoker's).
+  size_t max_unclaimed_results = 1 << 16;
+  /// Delegation batching: static batch size per destination data node...
+  int delegation_batch_size = 8;
+  /// ...flushed early once the oldest buffered delegation has waited this
+  /// long (checked whenever a worker goes idle or a fetcher polls).
+  double delegation_max_wait = 500e-6;
+  /// Optional dynamic sizing, shared with the simulator's Batcher.
+  BatcherDynamicSizing delegation_sizing;
+};
+
+struct ParallelInvokerStats {
+  int64_t submitted = 0;
+  int64_t served_from_cache = 0;
+  int64_t fetched_then_computed = 0;
+  int64_t delegated = 0;
+  /// Fetches that coalesced onto another in-flight fetch of the same key.
+  int64_t coalesced_fetches = 0;
+  /// First-requests held while the key's blind first delegation was in
+  /// flight (Section 4.3's first-request rule under concurrency).
+  int64_t held_first_requests = 0;
+  /// FetchComp calls that ran the plan in the caller (never prefetched,
+  /// or the prefetch failed / was dropped).
+  int64_t on_demand_runs = 0;
+  /// Unclaimed prefetched results dropped by the per-shard result bound.
+  int64_t dropped_results = 0;
+  /// Delegation batches shipped via ExecuteBatch.
+  int64_t delegation_batches = 0;
+};
+
+class ParallelInvoker {
+ public:
+  using Options = ParallelInvokerOptions;
+
+  /// `fn` runs concurrently on several workers; it must be thread-safe.
+  ParallelInvoker(DataService* service, UserFn fn,
+                  const Options& options = Options());
+  /// Drains the queue, flushes delegation batches and joins the workers.
+  ~ParallelInvoker();
+
+  ParallelInvoker(const ParallelInvoker&) = delete;
+  ParallelInvoker& operator=(const ParallelInvoker&) = delete;
+
+  /// preMap (Figure 10's submitComp). Thread-safe; blocks only when the
+  /// prefetch queue is full.
+  void SubmitComp(Key key, std::string params);
+
+  /// map (Figure 10's fetchComp). Thread-safe. Waits for an in-flight
+  /// submission of the same request; computes on demand when there is
+  /// none.
+  StatusOr<std::string> FetchComp(Key key, const std::string& params);
+
+  /// Invalidate a cached value after a store update (Section 4.2.3).
+  /// Thread-safe; a fetch racing the update is detected by version and
+  /// never installs the stale payload.
+  void OnUpdate(Key key, uint64_t new_version);
+
+  /// Blocks until every submitted request has produced (or dropped) its
+  /// result and all delegation batches have flushed.
+  void Barrier();
+
+  ParallelInvokerStats stats() const;
+  /// Per-shard decision-engine stats summed on read.
+  DecisionEngineStats MergedEngineStats() const;
+  /// Per-shard cache stats summed on read.
+  TieredCacheStats MergedCacheStats() const;
+  /// Per-shard EWMA of local UDF wall time averaged across shards
+  /// (shards without observations contribute their prior, matching what
+  /// their next decision would use).
+  double MergedLocalComputeSeconds() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  size_t pending_results() const;
+
+ private:
+  struct CachedValue {
+    std::shared_ptr<const std::string> value;
+    uint64_t version = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Signals result arrivals, pending-count drops and fetch completions.
+    std::condition_variable cv;
+    std::unique_ptr<DecisionEngine> engine;
+    std::unordered_map<Key, CachedValue> values;
+    BoundedResultMap results{0};
+    /// (key, params) request ids with submissions still in flight.
+    std::unordered_map<uint64_t, int> pending;
+    /// Keys with a fetch in flight (single-flight coalescing).
+    std::unordered_set<Key> fetching;
+    /// Keys with delegations in flight (count: duplicates each delegate
+    /// once bought-in, but first-requests hold while this is non-zero).
+    std::unordered_map<Key, int> delegating;
+    /// Floor on acceptable fetched versions, set by OnUpdate: a fetch
+    /// that raced an update and returned an older version is not cached.
+    std::unordered_map<Key, uint64_t> min_version;
+    int64_t runs_since_trim = 0;
+  };
+
+  struct WorkItem {
+    Key key;
+    std::string params;
+  };
+
+  struct Delegation {
+    Key key;
+    std::string params;
+    uint64_t request_id;
+  };
+
+  struct DestBatch {
+    std::vector<Delegation> items;
+    BatchSizer sizer;
+    double oldest_add = -1.0;
+    DestBatch(int size, const BatcherDynamicSizing& dynamic)
+        : sizer(size, dynamic) {}
+  };
+
+  /// Key -> stripe. Salted so the stripe choice decorrelates from owner
+  /// placements that also hash the key (e.g. LogStoreDataService).
+  static size_t ShardIndex(Key key, uint64_t mask) {
+    return static_cast<size_t>(Mix64(key + 0x9E3779B97F4A7C15ULL) & mask);
+  }
+  Shard& ShardFor(Key key) { return *shards_[ShardIndex(key, shard_mask_)]; }
+
+  void WorkerLoop();
+  /// Runs one queued submission end to end (result recorded in the shard).
+  void ProcessQueued(const WorkItem& item);
+  /// Executes the optimizer's plan. When `allow_defer` and the plan is a
+  /// compute request, the delegation is buffered for batching and nullopt
+  /// is returned (the batch flush will record the result).
+  std::optional<StatusOr<std::string>> ExecutePlan(Key key,
+                                                   const std::string& params,
+                                                   bool allow_defer);
+  /// The compute-request leg of the plan: batched when deferral is
+  /// allowed, otherwise executed inline with cost learning.
+  std::optional<StatusOr<std::string>> Delegate(Shard& shard, Key key,
+                                                const std::string& params,
+                                                NodeId owner,
+                                                bool allow_defer);
+  /// Buffers a delegation; executes the destination's batch when full.
+  void AddDelegation(NodeId dest, Delegation d);
+  /// Ships one destination's batch through ExecuteBatch and records the
+  /// results.
+  void ExecuteDelegationBatch(NodeId dest, std::vector<Delegation> items);
+  /// Drops one in-flight-delegation mark for `key` and wakes held
+  /// first-requests. Caller must hold `shard.mu`.
+  static void FinishDelegating(Shard& shard, Key key);
+  /// Flushes destination batches: all of them when `force`, otherwise only
+  /// those whose oldest item exceeded delegation_max_wait.
+  void FlushDelegations(bool force);
+  /// Records a finished queued submission (result or failure) and wakes
+  /// fetchers / the barrier.
+  void FinishQueued(Shard& shard, uint64_t request_id,
+                    StatusOr<std::string> result);
+  void MaybeTrim(Shard& shard);
+
+  DataService* service_;
+  UserFn fn_;
+  Options options_;
+  uint64_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  BoundedQueue<WorkItem> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex deleg_mu_;
+  std::unordered_map<NodeId, DestBatch> deleg_;
+
+  /// Submissions not yet finished (for Barrier).
+  std::atomic<int64_t> outstanding_{0};
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+
+  struct AtomicStats {
+    std::atomic<int64_t> submitted{0};
+    std::atomic<int64_t> served_from_cache{0};
+    std::atomic<int64_t> fetched_then_computed{0};
+    std::atomic<int64_t> delegated{0};
+    std::atomic<int64_t> coalesced_fetches{0};
+    std::atomic<int64_t> held_first_requests{0};
+    std::atomic<int64_t> on_demand_runs{0};
+    std::atomic<int64_t> delegation_batches{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_PARALLEL_INVOKER_H_

@@ -1,0 +1,134 @@
+// Plan-execution building blocks shared by the Section 7 executors
+// (the deterministic AsyncInvoker and the multi-threaded ParallelInvoker).
+// Both run the same optimizer plan per request — local compute on a cached
+// payload, data request (fetch + cache + compute), or compute request
+// (delegate) — but interleave locking differently, so the shared pieces are
+// factored as small lock-free helpers: request identity, timed UDF
+// execution, delegation + piggybacked cost learning, and the bounded
+// result map that backs submitComp/fetchComp.
+#ifndef JOINOPT_ENGINE_PLAN_EXEC_H_
+#define JOINOPT_ENGINE_PLAN_EXEC_H_
+
+#include <chrono>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/engine/async_api_fwd.h"
+#include "joinopt/skirental/decision_engine.h"
+
+namespace joinopt {
+
+/// Real wall-clock seconds (monotonic) for cost measurements.
+inline double PlanNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Identity of one (key, params) request in the result hash-map.
+inline uint64_t PlanRequestId(Key key, const std::string& params) {
+  return Mix64(key) ^ Fnv1a(params);
+}
+
+/// A UDF execution together with its measured wall time (the tCompute
+/// sample fed back to the cost model).
+struct TimedResult {
+  std::string value;
+  double elapsed = 0.0;
+};
+
+inline TimedResult TimedCompute(const UserFn& fn, Key key,
+                                const std::string& params,
+                                const std::string& value) {
+  double t0 = PlanNowSeconds();
+  std::string out = fn(key, params, value);
+  return TimedResult{std::move(out), PlanNowSeconds() - t0};
+}
+
+/// The cost report a delegation "piggybacks" (Section 4.3): here the
+/// end-to-end wall time stands in for the data node's reported CPU time;
+/// disk time is negligible for the in-process services.
+inline DataNodeCostReport DelegationCostReport(double elapsed) {
+  DataNodeCostReport report;
+  report.t_cpu = elapsed;
+  report.t_cpu_service = elapsed;
+  report.t_disk = 1e-6;
+  report.t_disk_service = 1e-6;
+  return report;
+}
+
+/// Feeds one delegation's piggybacked statistics into the engine. Callers
+/// run the service call unlocked and apply the learning under whatever
+/// lock guards `engine`.
+inline void ApplyDelegationLearning(DecisionEngine& engine, Key key,
+                                    NodeId owner, double elapsed,
+                                    double stored_value_bytes,
+                                    uint64_t version) {
+  engine.OnComputeResponse(key, owner, stored_value_bytes, version,
+                           DelegationCostReport(elapsed));
+}
+
+/// Result hash-map of Figure 4 with an unclaimed-entry bound: a submitComp
+/// whose result is never claimed by fetchComp must not leak its FIFO slot
+/// forever. Entries carry the submit sequence number; when the map exceeds
+/// `max_unclaimed` entries, everything older than the most recent
+/// max_unclaimed/2 submissions is dropped (an age sweep, amortized O(1)
+/// per push). 0 = unbounded. Not thread-safe; callers lock.
+class BoundedResultMap {
+ public:
+  explicit BoundedResultMap(size_t max_unclaimed)
+      : max_(max_unclaimed) {}
+
+  void Push(uint64_t request_id, std::string value) {
+    entries_[request_id].push_back(Entry{std::move(value), seq_++});
+    ++size_;
+    if (max_ > 0 && size_ > max_) Sweep();
+  }
+
+  /// Claims the oldest unclaimed result for `request_id` (FIFO per id).
+  std::optional<std::string> Claim(uint64_t request_id) {
+    auto it = entries_.find(request_id);
+    if (it == entries_.end() || it->second.empty()) return std::nullopt;
+    std::string out = std::move(it->second.front().value);
+    it->second.pop_front();
+    if (it->second.empty()) entries_.erase(it);
+    --size_;
+    return out;
+  }
+
+  size_t size() const { return size_; }
+  int64_t dropped() const { return dropped_; }
+
+ private:
+  struct Entry {
+    std::string value;
+    int64_t seq;
+  };
+
+  void Sweep() {
+    int64_t cutoff = seq_ - static_cast<int64_t>(max_ / 2 + 1);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      std::deque<Entry>& fifo = it->second;
+      while (!fifo.empty() && fifo.front().seq < cutoff) {
+        fifo.pop_front();
+        --size_;
+        ++dropped_;
+      }
+      it = fifo.empty() ? entries_.erase(it) : std::next(it);
+    }
+  }
+
+  std::unordered_map<uint64_t, std::deque<Entry>> entries_;
+  size_t max_;
+  size_t size_ = 0;
+  int64_t seq_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_PLAN_EXEC_H_

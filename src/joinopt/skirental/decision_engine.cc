@@ -189,6 +189,46 @@ Decision DecisionEngine::Decide(Key key, NodeId data_node) {
   return Decision{Route::kFetchCacheDisk, count, threshold_disk};
 }
 
+Decision DecisionEngine::ReDecide(Key key, NodeId data_node) const {
+  const double inf = std::numeric_limits<double>::infinity();
+  CacheTier tier = cache_->Peek(key);
+  if (tier == CacheTier::kMemory) {
+    return Decision{Route::kLocalMemoryHit, counter_->EstimatedCount(key),
+                    inf};
+  }
+  if (tier == CacheTier::kDisk) {
+    return Decision{Route::kLocalDiskHit, counter_->EstimatedCount(key), inf};
+  }
+  if (frozen()) {
+    return Decision{Route::kComputeAtData, 0, inf};
+  }
+
+  int64_t count = counter_->EstimatedCount(key);
+  auto it = meta_.find(key);
+  double sv = it != meta_.end() ? it->second.stored_value_bytes : -1.0;
+  if (sv < 0) {
+    return Decision{Route::kComputeAtData, count, inf,
+                    /*first_request=*/true};
+  }
+  if (!config_.caching_enabled) {
+    return Decision{Route::kComputeAtData, count, inf};
+  }
+
+  ResolvedCosts costs = cost_model_.Resolve(data_node, sv);
+  double threshold_mem =
+      costs.t_fetch <= costs.t_compute
+          ? 0.0
+          : SkiRentalBuyThreshold(costs.t_compute, costs.t_fetch,
+                                  costs.t_rec_mem);
+  if (static_cast<double>(count) <= threshold_mem) {
+    return Decision{Route::kComputeAtData, count, threshold_mem};
+  }
+  // Tier admission is settled when the value lands (OnValueFetched re-runs
+  // the admission check and falls back to disk), so route to the memory
+  // tier here without mutating admission state.
+  return Decision{Route::kFetchCacheMemory, count, threshold_mem};
+}
+
 void DecisionEngine::OnValueFetched(Key key, Route route,
                                     double stored_value_bytes,
                                     uint64_t version) {
@@ -250,6 +290,19 @@ void DecisionEngine::OnUpdateNotification(Key key, uint64_t new_version) {
 double DecisionEngine::KnownValueSize(Key key) const {
   auto it = meta_.find(key);
   return it == meta_.end() ? -1.0 : it->second.stored_value_bytes;
+}
+
+DecisionEngineStats& operator+=(DecisionEngineStats& lhs,
+                                const DecisionEngineStats& rhs) {
+  lhs.local_memory_hits += rhs.local_memory_hits;
+  lhs.local_disk_hits += rhs.local_disk_hits;
+  lhs.fetch_memory += rhs.fetch_memory;
+  lhs.fetch_disk += rhs.fetch_disk;
+  lhs.compute_requests += rhs.compute_requests;
+  lhs.first_requests += rhs.first_requests;
+  lhs.update_resets += rhs.update_resets;
+  lhs.update_invalidations += rhs.update_invalidations;
+  return lhs;
 }
 
 }  // namespace joinopt

@@ -84,6 +84,11 @@ struct DecisionEngineStats {
   int64_t update_invalidations = 0;
 };
 
+/// Accumulates shard-local stats into a merged view (the ParallelInvoker
+/// shards the engine and merges measurements on read).
+DecisionEngineStats& operator+=(DecisionEngineStats& lhs,
+                                const DecisionEngineStats& rhs);
+
 class DecisionEngine {
  public:
   explicit DecisionEngine(const DecisionEngineConfig& config = {});
@@ -92,6 +97,14 @@ class DecisionEngine {
   /// `data_node`. Updates benefit and counter state (Algorithm 1 lines 1-2)
   /// and returns the routing decision.
   Decision Decide(Key key, NodeId data_node);
+
+  /// Re-evaluates the routing for a request whose access `Decide` already
+  /// counted — used by concurrent executors that held a request while
+  /// another in-flight fetch / first compute request for the same key
+  /// completed. Reads counter, cache and cost state without updating any
+  /// of it (no Observe, no benefit churn, no stats), so a retry does not
+  /// double-count the key's frequency.
+  Decision ReDecide(Key key, NodeId data_node) const;
 
   /// The value bought by a data request has arrived: insert it into the
   /// tier the decision chose (`route` must be one of the kFetch* routes).

@@ -60,7 +60,7 @@ uint64_t LogStructuredStore::Put(Key key, std::string value) {
 }
 
 StatusOr<std::string> LogStructuredStore::Get(Key key) const {
-  ++stats_.gets;
+  ++gets_;
   auto it = index_.find(key);
   if (it == index_.end()) {
     return Status::NotFound("key " + std::to_string(key));
@@ -172,6 +172,7 @@ void LogStructuredStore::RecoverIndex() {
 
 LogStoreStats LogStructuredStore::stats() const {
   LogStoreStats out = stats_;
+  out.gets = gets_.load(std::memory_order_relaxed);
   out.live_keys = index_.size();
   out.segments = segments_.size();
   for (const auto& [key, entry] : index_) {

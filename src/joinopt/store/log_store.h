@@ -9,6 +9,7 @@
 #ifndef JOINOPT_STORE_LOG_STORE_H_
 #define JOINOPT_STORE_LOG_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -104,7 +105,10 @@ class LogStructuredStore {
   LogStoreConfig config_;
   std::vector<std::unique_ptr<Segment>> segments_;
   std::unordered_map<Key, IndexEntry> index_;
-  mutable LogStoreStats stats_;
+  LogStoreStats stats_;  // gets tracked separately (concurrent readers)
+  /// Atomic so concurrent readers can count lookups without a data race;
+  /// the log itself is only safe for concurrent reads (single writer).
+  mutable std::atomic<int64_t> gets_{0};
 };
 
 }  // namespace joinopt

@@ -6,6 +6,7 @@
 #ifndef JOINOPT_STORE_STORAGE_ENGINE_H_
 #define JOINOPT_STORE_STORAGE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -45,7 +46,10 @@ class StorageEngine {
  private:
   std::unordered_map<Key, StoredItem> items_;
   double total_bytes_ = 0.0;
-  mutable int64_t gets_ = 0;
+  /// Atomic so concurrent readers (the ParallelInvoker's workers) can
+  /// count lookups without a data race; the item map itself is only safe
+  /// for concurrent *reads* (writers need external synchronization).
+  mutable std::atomic<int64_t> gets_{0};
   int64_t puts_ = 0;
 };
 

@@ -78,8 +78,11 @@ TEST(LocalDataServiceTest, FetchExecuteStat) {
   auto stat = svc.Stat(1);
   ASSERT_TRUE(stat.ok());
   EXPECT_DOUBLE_EQ(stat->size_bytes, 9.0);
+  EXPECT_EQ(svc.stats(), 1);
   EXPECT_TRUE(svc.Fetch(99).status().IsNotFound());
   EXPECT_TRUE(svc.Execute(99, "p", Concat()).status().IsNotFound());
+  EXPECT_EQ(svc.fetches(), 2);
+  EXPECT_EQ(svc.executes(), 2);
 }
 
 TEST(AsyncInvokerTest, FetchCompComputesCorrectValue) {
@@ -199,6 +202,62 @@ TEST(LogStoreDataServiceTest, ShardPlacementIsStable) {
     EXPECT_LT(owner, 8);
     EXPECT_EQ(owner, service.OwnerOf(k));
   }
+}
+
+TEST(LogStoreDataServiceTest, MissingKeysAndStatCounter) {
+  LogStructuredStore store;
+  LogStoreDataService service(&store, /*num_shards=*/4);
+  EXPECT_TRUE(service.Fetch(7).status().IsNotFound());
+  EXPECT_TRUE(service.Execute(7, "p", Concat()).status().IsNotFound());
+  EXPECT_TRUE(service.Stat(7).status().IsNotFound());
+  // Every probe is counted, hits and misses alike.
+  EXPECT_EQ(service.fetches(), 1);
+  EXPECT_EQ(service.executes(), 1);
+  EXPECT_EQ(service.stats(), 1);
+  store.Put(7, "value");
+  auto stat = service.Stat(7);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_DOUBLE_EQ(stat->size_bytes, 5.0);
+  EXPECT_EQ(stat->version, 1u);
+  EXPECT_EQ(service.stats(), 2);
+}
+
+TEST(LogStoreDataServiceTest, VersionsPropagateThroughUpdates) {
+  LogStructuredStore store;
+  LogStoreDataService service(&store, /*num_shards=*/4);
+  store.Put(3, "first");
+  auto f1 = service.Fetch(3);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->value, "first");
+  EXPECT_EQ(f1->version, 1u);
+  store.Put(3, "second");
+  auto f2 = service.Fetch(3);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f2->value, "second");
+  EXPECT_EQ(f2->version, 2u);
+  auto stat = service.Stat(3);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->version, 2u);
+  ASSERT_TRUE(store.Delete(3).ok());
+  EXPECT_TRUE(service.Fetch(3).status().IsNotFound());
+}
+
+TEST(AsyncInvokerTest, UnclaimedResultsAreBounded) {
+  ApiRig rig;
+  for (Key k = 0; k < 64; ++k) rig.Put(k, "v");
+  AsyncInvoker::Options opt;
+  opt.max_unclaimed_results = 32;
+  AsyncInvoker invoker(rig.service.get(), Concat(), opt);
+  for (int i = 0; i < 1000; ++i) {
+    invoker.SubmitComp(static_cast<Key>(i % 64), std::to_string(i));
+  }
+  // The result map held at most the bound; the oldest half was swept.
+  EXPECT_LE(invoker.pending_results(), 32u);
+  EXPECT_GE(invoker.stats().dropped_results, 900);
+  // A dropped submission recomputes on demand with the right value.
+  auto r = invoker.FetchComp(0, "0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "0:0:v");
 }
 
 TEST(AsyncInvokerTest, MissingKeySurfacesNotFound) {

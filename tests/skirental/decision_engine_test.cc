@@ -223,6 +223,41 @@ TEST(DecisionEngineTest, FreezeStopsAdaptation) {
   EXPECT_EQ(engine.cache().memory_items(), 1u);
 }
 
+TEST(DecisionEngineTest, ReDecideRoutesWithoutCountingOrStats) {
+  DecisionEngine engine(TestConfig());
+  // Unknown key: mirrors the first-request rule without recording one.
+  Decision blind = engine.ReDecide(1, kDataNode);
+  EXPECT_EQ(blind.route, Route::kComputeAtData);
+  EXPECT_TRUE(blind.first_request);
+  EXPECT_EQ(engine.counter().EstimatedCount(1), 0);
+  EXPECT_EQ(engine.stats().first_requests, 0);
+
+  // Below the buy threshold (~10 accesses): ReDecide rents, and no number
+  // of re-evaluations nudges the count toward the threshold.
+  Prime(engine, 1, /*sv=*/1e6, /*t_disk=*/1e-3, /*t_cpu_data=*/0.1,
+        /*t_cpu_local=*/1e-3, /*bw=*/1e6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(engine.ReDecide(1, kDataNode).route, Route::kComputeAtData);
+  }
+  EXPECT_EQ(engine.counter().EstimatedCount(1), 1);  // only Prime's Decide
+
+  // Past the threshold, ReDecide agrees with Decide's buy...
+  Decision d{Route::kComputeAtData, 0, 0};
+  for (int i = 0; i < 40; ++i) {
+    d = engine.Decide(1, kDataNode);
+    if (d.route == Route::kFetchCacheMemory) break;
+  }
+  ASSERT_EQ(d.route, Route::kFetchCacheMemory);
+  EXPECT_EQ(engine.ReDecide(1, kDataNode).route, Route::kFetchCacheMemory);
+
+  // ...and once the value lands it sees the hit without touching the
+  // cache's hit accounting.
+  engine.OnValueFetched(1, d.route, 1e6, 1);
+  int64_t hits_before = engine.cache().stats().memory_hits;
+  EXPECT_EQ(engine.ReDecide(1, kDataNode).route, Route::kLocalMemoryHit);
+  EXPECT_EQ(engine.cache().stats().memory_hits, hits_before);
+}
+
 TEST(DecisionEngineTest, DistinctKeysTrackedIndependently) {
   DecisionEngine engine(TestConfig());
   Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
