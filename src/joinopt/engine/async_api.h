@@ -35,10 +35,29 @@
 namespace joinopt {
 
 /// Remote side of the API: point fetches and server-side execution.
-/// Implementations must be safe to call from several threads at once (the
-/// ParallelInvoker's workers overlap service calls); the in-process
-/// services below satisfy this with atomic counters over an immutable (or
-/// externally synchronized) store.
+///
+/// Contract (load-bearing — two implementations cross threads: the
+/// in-process services below, and the socket-backed RpcClientService /
+/// RpcServer pair in net/, whose wire protocol is DESIGN.md §10):
+///
+///  * Thread safety: every verb must be safe to call from any number of
+///    threads concurrently, with no external locking. The ParallelInvoker's
+///    workers overlap calls freely, and the RpcServer dispatches each
+///    connection from its own thread into the wrapped service. In-process
+///    implementations satisfy this with atomic counters over an immutable
+///    (or externally synchronized) store; RpcClientService with
+///    per-endpoint connection pools.
+///  * Blocking: every verb is synchronous and may block the calling thread
+///    — for in-process services microseconds, for networked ones a full
+///    round trip (or several, under retry/failover). No verb may block
+///    forever: socket-backed implementations enforce connect/IO deadlines
+///    and surface expiry as Status kAborted (the retriable transport
+///    class; see net/socket.h's error-mapping notes). Callers must not
+///    hold locks across any DataService call.
+///  * Errors: application-level failures (missing key, bad params) use the
+///    specific codes (kNotFound, kInvalidArgument, ...); kAborted is
+///    reserved for transport failures, which callers may retry and the
+///    ParallelInvoker counts as ParallelInvokerStats::transport_errors.
 class DataService {
  public:
   virtual ~DataService() = default;
@@ -48,14 +67,25 @@ class DataService {
     uint64_t version = 0;
   };
   /// Data request: returns the stored value for caching + local execution.
+  /// Blocking (one round trip remote); thread-safe; the returned payload
+  /// is an independent copy the caller may cache without aliasing worries.
   virtual StatusOr<Fetched> Fetch(Key key) = 0;
   /// Compute request: executes `fn` next to the data ("coprocessor").
+  /// Blocking (round trip + UDF service time); thread-safe — `fn` itself
+  /// must be thread-safe, since data-side execution may run it on any
+  /// thread. Networked services do NOT ship `fn`: the UDF is registered at
+  /// the server (RpcServer's constructor) and the argument here is ignored
+  /// — callers must pass the same function they deployed, or results will
+  /// differ between local and delegated execution (DESIGN.md §10).
   virtual StatusOr<std::string> Execute(Key key, const std::string& params,
                                         const UserFn& fn) = 0;
   /// Batched compute request: one round trip carrying many (k, p) pairs to
   /// the same data node (Section 7.2's batching applied to delegations).
   /// The default loops over Execute; networked services override it to
-  /// amortize the round trip. Results are index-aligned with `items`.
+  /// amortize the round trip — the wire format (§10) carries the whole
+  /// batch in a single request/response frame pair. Results are
+  /// index-aligned with `items`; a transport failure fails every item with
+  /// the same kAborted status. Blocking for the whole batch; thread-safe.
   virtual std::vector<StatusOr<std::string>> ExecuteBatch(
       const std::vector<std::pair<Key, std::string>>& items,
       const UserFn& fn) {
@@ -72,8 +102,14 @@ class DataService {
     double size_bytes = 0;
     uint64_t version = 0;
   };
+  /// Blocking (round trip remote, but payload-free — cheap even over a
+  /// network); thread-safe; const so decision-engine probes can run
+  /// against a const service reference.
   virtual StatusOr<ItemStat> Stat(Key key) const = 0;
-  /// Placement: which (logical) data node owns the key.
+  /// Placement: which (logical) data node owns the key. Blocking (one
+  /// round trip for socket-backed services, which return kInvalidNode when
+  /// every replica is unreachable — callers treat that as "placement
+  /// unknown", not an error); thread-safe; const.
   virtual NodeId OwnerOf(Key key) const = 0;
 };
 

@@ -366,6 +366,9 @@ void ParallelInvoker::FinishDelegating(Shard& shard, Key key) {
 
 void ParallelInvoker::FinishQueued(Shard& shard, uint64_t request_id,
                                    StatusOr<std::string> result) {
+  if (!result.ok() && result.status().code() == StatusCode::kAborted) {
+    ++stats_.transport_errors;
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (result.ok()) {
@@ -415,6 +418,8 @@ ParallelInvokerStats ParallelInvoker::stats() const {
   out.on_demand_runs = stats_.on_demand_runs.load(std::memory_order_relaxed);
   out.delegation_batches =
       stats_.delegation_batches.load(std::memory_order_relaxed);
+  out.transport_errors =
+      stats_.transport_errors.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     out.dropped_results += shard->results.dropped();

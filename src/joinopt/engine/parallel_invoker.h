@@ -92,6 +92,11 @@ struct ParallelInvokerStats {
   int64_t dropped_results = 0;
   /// Delegation batches shipped via ExecuteBatch.
   int64_t delegation_batches = 0;
+  /// Submissions that failed with a transport-class error (kAborted — what
+  /// the RPC client surfaces once its own backoff + replica failover is
+  /// exhausted; see net/socket.h). FetchComp re-runs these on demand, so a
+  /// transient outage costs latency, not correctness.
+  int64_t transport_errors = 0;
 };
 
 class ParallelInvoker {
@@ -248,6 +253,7 @@ class ParallelInvoker {
     std::atomic<int64_t> held_first_requests{0};
     std::atomic<int64_t> on_demand_runs{0};
     std::atomic<int64_t> delegation_batches{0};
+    std::atomic<int64_t> transport_errors{0};
   };
   mutable AtomicStats stats_;
 };

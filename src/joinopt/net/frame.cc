@@ -1,0 +1,418 @@
+#include "joinopt/net/frame.h"
+
+#include <cstring>
+
+namespace joinopt {
+
+namespace {
+
+// A string length must fit in the frame it arrived in; anything larger is
+// a corrupt or hostile length field.
+Status BadFrame(const char* what) {
+  return Status::InvalidArgument(std::string("wire: ") + what);
+}
+
+}  // namespace
+
+const char* MsgTypeToString(MsgType t) {
+  switch (t) {
+    case MsgType::kFetchReq: return "FetchReq";
+    case MsgType::kFetchResp: return "FetchResp";
+    case MsgType::kExecuteReq: return "ExecuteReq";
+    case MsgType::kExecuteResp: return "ExecuteResp";
+    case MsgType::kBatchReq: return "BatchReq";
+    case MsgType::kBatchResp: return "BatchResp";
+    case MsgType::kStatReq: return "StatReq";
+    case MsgType::kStatResp: return "StatResp";
+    case MsgType::kOwnerReq: return "OwnerReq";
+    case MsgType::kOwnerResp: return "OwnerResp";
+  }
+  return "Unknown";
+}
+
+MsgType ResponseTypeFor(MsgType req) {
+  switch (req) {
+    case MsgType::kFetchReq:
+    case MsgType::kExecuteReq:
+    case MsgType::kBatchReq:
+    case MsgType::kStatReq:
+    case MsgType::kOwnerReq:
+      return static_cast<MsgType>(static_cast<uint8_t>(req) + 1);
+    default:
+      return static_cast<MsgType>(0);
+  }
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v & 0xff));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+StatusOr<uint8_t> WireReader::GetU8() {
+  if (remaining() < 1) return BadFrame("truncated u8");
+  return static_cast<uint8_t>(buf_[pos_++]);
+}
+
+StatusOr<uint16_t> WireReader::GetU16() {
+  if (remaining() < 2) return BadFrame("truncated u16");
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<uint16_t>(
+        v | static_cast<uint16_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+                << (8 * i));
+  }
+  pos_ += 2;
+  return v;
+}
+
+StatusOr<uint32_t> WireReader::GetU32() {
+  if (remaining() < 4) return BadFrame("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> WireReader::GetU64() {
+  if (remaining() < 8) return BadFrame("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<double> WireReader::GetF64() {
+  JOINOPT_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+StatusOr<std::string> WireReader::GetString() {
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (remaining() < len) return BadFrame("string length exceeds frame");
+  std::string s(buf_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+void AppendFrameHeader(std::string* out, MsgType type, uint32_t seq,
+                       uint32_t body_len) {
+  PutU32(out, kFrameMagic);
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU16(out, 0);  // flags
+  PutU32(out, seq);
+  PutU32(out, body_len);
+}
+
+StatusOr<FrameHeader> ParseFrameHeader(std::string_view buf,
+                                       size_t max_frame_bytes) {
+  if (buf.size() != kFrameHeaderBytes) {
+    return BadFrame("header must be exactly 16 bytes");
+  }
+  WireReader r(buf);
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kFrameMagic) return BadFrame("bad magic");
+  FrameHeader h;
+  JOINOPT_ASSIGN_OR_RETURN(h.version, r.GetU8());
+  JOINOPT_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  h.type = static_cast<MsgType>(type);
+  JOINOPT_ASSIGN_OR_RETURN(h.flags, r.GetU16());
+  if (h.flags != 0) return BadFrame("reserved flags set");
+  JOINOPT_ASSIGN_OR_RETURN(h.seq, r.GetU32());
+  JOINOPT_ASSIGN_OR_RETURN(h.body_len, r.GetU32());
+  if (h.body_len > max_frame_bytes) {
+    return Status::ResourceExhausted("wire: frame body exceeds limit");
+  }
+  return h;
+}
+
+StatusOr<std::string> BuildFrame(MsgType type, uint32_t seq,
+                                 std::string_view body,
+                                 size_t max_frame_bytes) {
+  if (body.size() > max_frame_bytes) {
+    return Status::ResourceExhausted("wire: frame body exceeds limit");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  AppendFrameHeader(&out, type, seq, static_cast<uint32_t>(body.size()));
+  out.append(body.data(), body.size());
+  return out;
+}
+
+std::string EncodeKeyRequest(Key key) {
+  std::string out;
+  PutU64(&out, key);
+  return out;
+}
+
+StatusOr<Key> DecodeKeyRequest(std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(Key key, r.GetU64());
+  if (!r.Done()) return BadFrame("trailing bytes in key request");
+  return key;
+}
+
+std::string EncodeExecuteRequest(Key key, std::string_view params) {
+  std::string out;
+  PutU64(&out, key);
+  PutString(&out, params);
+  return out;
+}
+
+StatusOr<ExecuteRequest> DecodeExecuteRequest(std::string_view body) {
+  WireReader r(body);
+  ExecuteRequest req;
+  JOINOPT_ASSIGN_OR_RETURN(req.key, r.GetU64());
+  JOINOPT_ASSIGN_OR_RETURN(req.params, r.GetString());
+  if (!r.Done()) return BadFrame("trailing bytes in execute request");
+  return req;
+}
+
+std::string EncodeBatchRequest(
+    const std::vector<std::pair<Key, std::string>>& items) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(items.size()));
+  for (const auto& [key, params] : items) {
+    PutU64(&out, key);
+    PutString(&out, params);
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::pair<Key, std::string>>> DecodeBatchRequest(
+    std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // Each item is at least 12 bytes (key + empty string); a count implying
+  // more items than bytes is a corrupt frame, not an allocation request.
+  if (static_cast<size_t>(count) * 12 > r.remaining()) {
+    return BadFrame("batch count exceeds frame");
+  }
+  std::vector<std::pair<Key, std::string>> items;
+  items.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JOINOPT_ASSIGN_OR_RETURN(Key key, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(std::string params, r.GetString());
+    items.emplace_back(key, std::move(params));
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in batch request");
+  return items;
+}
+
+void PutStatus(std::string* out, const Status& status) {
+  PutU8(out, static_cast<uint8_t>(status.code()));
+  PutString(out, status.message());
+}
+
+Status GetStatus(WireReader& r, Status* out) {
+  JOINOPT_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  JOINOPT_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kAborted)) {
+    // An OK code in an error slot, or a code from a newer peer: surface as
+    // internal rather than minting a bogus success.
+    *out = Status::Internal("wire: unrepresentable status code (" +
+                            std::move(message) + ")");
+  } else {
+    *out = Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr uint8_t kTagError = 0;
+constexpr uint8_t kTagOk = 1;
+
+StatusOr<bool> GetResultTag(WireReader& r) {
+  JOINOPT_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  if (tag != kTagOk && tag != kTagError) return BadFrame("bad result tag");
+  return tag == kTagOk;
+}
+
+}  // namespace
+
+std::string EncodeFetchResponse(const StatusOr<DataService::Fetched>& result) {
+  std::string out;
+  if (result.ok()) {
+    PutU8(&out, kTagOk);
+    PutU64(&out, result->version);
+    PutString(&out, result->value);
+  } else {
+    PutU8(&out, kTagError);
+    PutStatus(&out, result.status());
+  }
+  return out;
+}
+
+StatusOr<StatusOr<DataService::Fetched>> DecodeFetchResponse(
+    std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(bool ok, GetResultTag(r));
+  StatusOr<DataService::Fetched> result = Status::Internal("uninitialized");
+  if (ok) {
+    DataService::Fetched fetched;
+    JOINOPT_ASSIGN_OR_RETURN(fetched.version, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(fetched.value, r.GetString());
+    result = std::move(fetched);
+  } else {
+    Status status;
+    JOINOPT_RETURN_NOT_OK(GetStatus(r, &status));
+    result = std::move(status);
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in fetch response");
+  return result;
+}
+
+std::string EncodeExecuteResponse(const StatusOr<std::string>& result) {
+  std::string out;
+  if (result.ok()) {
+    PutU8(&out, kTagOk);
+    PutString(&out, *result);
+  } else {
+    PutU8(&out, kTagError);
+    PutStatus(&out, result.status());
+  }
+  return out;
+}
+
+namespace {
+
+/// Decodes one Execute-style result without the trailing-bytes check (the
+/// batch decoder reads many in sequence).
+StatusOr<StatusOr<std::string>> GetExecuteResult(WireReader& r) {
+  JOINOPT_ASSIGN_OR_RETURN(bool ok, GetResultTag(r));
+  if (ok) {
+    JOINOPT_ASSIGN_OR_RETURN(std::string value, r.GetString());
+    return StatusOr<std::string>(std::move(value));
+  }
+  Status status;
+  JOINOPT_RETURN_NOT_OK(GetStatus(r, &status));
+  return StatusOr<std::string>(std::move(status));
+}
+
+}  // namespace
+
+StatusOr<StatusOr<std::string>> DecodeExecuteResponse(std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(StatusOr<std::string> result, GetExecuteResult(r));
+  if (!r.Done()) return BadFrame("trailing bytes in execute response");
+  return result;
+}
+
+std::string EncodeBatchResponse(
+    const std::vector<StatusOr<std::string>>& results) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(results.size()));
+  for (const auto& result : results) {
+    if (result.ok()) {
+      PutU8(&out, kTagOk);
+      PutString(&out, *result);
+    } else {
+      PutU8(&out, kTagError);
+      PutStatus(&out, result.status());
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<StatusOr<std::string>>> DecodeBatchResponse(
+    std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // At least 5 bytes per result (tag + empty string length).
+  if (static_cast<size_t>(count) * 5 > r.remaining()) {
+    return BadFrame("batch result count exceeds frame");
+  }
+  std::vector<StatusOr<std::string>> results;
+  results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JOINOPT_ASSIGN_OR_RETURN(StatusOr<std::string> result,
+                             GetExecuteResult(r));
+    results.push_back(std::move(result));
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in batch response");
+  return results;
+}
+
+std::string EncodeStatResponse(const StatusOr<DataService::ItemStat>& result) {
+  std::string out;
+  if (result.ok()) {
+    PutU8(&out, kTagOk);
+    PutF64(&out, result->size_bytes);
+    PutU64(&out, result->version);
+  } else {
+    PutU8(&out, kTagError);
+    PutStatus(&out, result.status());
+  }
+  return out;
+}
+
+StatusOr<StatusOr<DataService::ItemStat>> DecodeStatResponse(
+    std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(bool ok, GetResultTag(r));
+  StatusOr<DataService::ItemStat> result = Status::Internal("uninitialized");
+  if (ok) {
+    DataService::ItemStat stat;
+    JOINOPT_ASSIGN_OR_RETURN(stat.size_bytes, r.GetF64());
+    JOINOPT_ASSIGN_OR_RETURN(stat.version, r.GetU64());
+    result = stat;
+  } else {
+    Status status;
+    JOINOPT_RETURN_NOT_OK(GetStatus(r, &status));
+    result = std::move(status);
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in stat response");
+  return result;
+}
+
+std::string EncodeOwnerResponse(NodeId node) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(node));
+  return out;
+}
+
+StatusOr<NodeId> DecodeOwnerResponse(std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t node, r.GetU32());
+  if (!r.Done()) return BadFrame("trailing bytes in owner response");
+  return static_cast<NodeId>(node);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,175 @@
+// Wire protocol for the remote DataService: a length-prefixed, versioned
+// binary framing layer plus request/response codecs for all five service
+// verbs (Fetch, Execute, ExecuteBatch, Stat, OwnerOf).
+//
+// Every message is one frame:
+//
+//     offset  size  field      notes
+//     0       4     magic      0x4A4F5054 ("JOPT", little-endian u32)
+//     4       1     version    kWireVersion; receivers reject others
+//     5       1     type       MsgType (request/response discriminator)
+//     6       2     flags      reserved, must be 0; non-zero is rejected
+//     8       4     seq        echoed verbatim in the response frame
+//     12      4     body_len   bytes following the 16-byte header
+//
+// All integers are little-endian fixed-width; strings are u32
+// length-prefixed byte sequences (arbitrary bytes, no terminator); doubles
+// travel as their IEEE-754 bit pattern in a u64. Fallible responses carry a
+// Result: a u8 tag (1 = ok, 0 = error), then either the payload or a
+// serialized Status (u8 code + string message). `ExecuteBatch` is one
+// request frame holding all items and one response frame holding all
+// results — the single round trip that makes delegation batching a real win
+// over TCP.
+//
+// Compatibility rule: the header layout (magic..body_len) is frozen; any
+// change to a body encoding bumps kWireVersion. A server receiving a
+// mismatched version answers with an in-band FailedPrecondition error (so
+// old clients get a readable error, not a hang) and closes the connection.
+//
+// The codec layer is pure (no I/O); sockets live in net/socket.h. See
+// DESIGN.md §10 for the protocol rationale and the errno → Status table.
+#ifndef JOINOPT_NET_FRAME_H_
+#define JOINOPT_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "joinopt/common/status.h"
+#include "joinopt/engine/async_api.h"
+
+namespace joinopt {
+
+inline constexpr uint32_t kFrameMagic = 0x4A4F5054;  // "JOPT"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Default bound on body_len; a peer announcing more is protocol-violating
+/// and the connection is dropped (never trust a length field with memory).
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Frame discriminator. Requests are odd, their responses follow at +1.
+enum class MsgType : uint8_t {
+  kFetchReq = 1,
+  kFetchResp = 2,
+  kExecuteReq = 3,
+  kExecuteResp = 4,
+  kBatchReq = 5,
+  kBatchResp = 6,
+  kStatReq = 7,
+  kStatResp = 8,
+  kOwnerReq = 9,
+  kOwnerResp = 10,
+};
+
+const char* MsgTypeToString(MsgType t);
+
+/// Response type for a request type; 0 (invalid) for non-request input.
+MsgType ResponseTypeFor(MsgType req);
+
+/// Decoded frame header (magic already validated and stripped).
+struct FrameHeader {
+  uint8_t version = 0;
+  MsgType type = static_cast<MsgType>(0);
+  uint16_t flags = 0;
+  uint32_t seq = 0;
+  uint32_t body_len = 0;
+};
+
+/// Appends the 16-byte header for a `body_len`-byte body.
+void AppendFrameHeader(std::string* out, MsgType type, uint32_t seq,
+                       uint32_t body_len);
+
+/// Parses and validates a 16-byte header (magic, version, flags, size
+/// bound). `buf` must hold exactly kFrameHeaderBytes.
+StatusOr<FrameHeader> ParseFrameHeader(std::string_view buf,
+                                       size_t max_frame_bytes);
+
+/// Builds header + body in one buffer, enforcing the frame size bound on
+/// the *sender* too (an oversized batch fails fast instead of being
+/// rejected by the peer).
+StatusOr<std::string> BuildFrame(MsgType type, uint32_t seq,
+                                 std::string_view body,
+                                 size_t max_frame_bytes);
+
+// ---- primitive append/read helpers (exposed for tests) -------------------
+
+void PutU8(std::string* out, uint8_t v);
+void PutU16(std::string* out, uint16_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutF64(std::string* out, double v);
+void PutString(std::string* out, std::string_view s);
+
+/// Bounds-checked sequential reader over one frame body. Every Get* fails
+/// with InvalidArgument on truncation; Done() must be checked by decoders
+/// so trailing garbage is rejected rather than ignored.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view buf) : buf_(buf) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint16_t> GetU16();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<double> GetF64();
+  StatusOr<std::string> GetString();
+
+  bool Done() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::string_view buf_;
+  size_t pos_ = 0;
+};
+
+// ---- request bodies ------------------------------------------------------
+
+/// Fetch/Stat/Owner requests are a bare key.
+std::string EncodeKeyRequest(Key key);
+StatusOr<Key> DecodeKeyRequest(std::string_view body);
+
+struct ExecuteRequest {
+  Key key = 0;
+  std::string params;
+};
+std::string EncodeExecuteRequest(Key key, std::string_view params);
+StatusOr<ExecuteRequest> DecodeExecuteRequest(std::string_view body);
+
+std::string EncodeBatchRequest(
+    const std::vector<std::pair<Key, std::string>>& items);
+StatusOr<std::vector<std::pair<Key, std::string>>> DecodeBatchRequest(
+    std::string_view body);
+
+// ---- response bodies -----------------------------------------------------
+
+/// Serialized Status: u8 code + message string. Codes outside the enum
+/// decode as kInternal (a newer peer's code must not crash an older one).
+/// GetStatus returns the *parse* outcome; the decoded error lands in
+/// `out` (StatusOr<Status> would be ill-formed).
+void PutStatus(std::string* out, const Status& status);
+Status GetStatus(WireReader& r, Status* out);
+
+std::string EncodeFetchResponse(const StatusOr<DataService::Fetched>& result);
+StatusOr<StatusOr<DataService::Fetched>> DecodeFetchResponse(
+    std::string_view body);
+
+std::string EncodeExecuteResponse(const StatusOr<std::string>& result);
+StatusOr<StatusOr<std::string>> DecodeExecuteResponse(std::string_view body);
+
+std::string EncodeBatchResponse(
+    const std::vector<StatusOr<std::string>>& results);
+StatusOr<std::vector<StatusOr<std::string>>> DecodeBatchResponse(
+    std::string_view body);
+
+std::string EncodeStatResponse(const StatusOr<DataService::ItemStat>& result);
+StatusOr<StatusOr<DataService::ItemStat>> DecodeStatResponse(
+    std::string_view body);
+
+std::string EncodeOwnerResponse(NodeId node);
+StatusOr<NodeId> DecodeOwnerResponse(std::string_view body);
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_NET_FRAME_H_

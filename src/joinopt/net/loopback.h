@@ -1,0 +1,59 @@
+// Loopback harness: N RpcServer replicas over one in-process DataService,
+// plus an RpcClientService whose endpoint chain spans them — the
+// deterministic fixture the socket tests and bench/rpc_transport use.
+// Everything binds 127.0.0.1 on ephemeral ports, so parallel test runs
+// never collide.
+//
+// Sharing one inner service across the replica servers mirrors the store's
+// write-to-every-replica discipline (ParallelStoreConfig::replication_factor):
+// whichever endpoint the client fails over to sees the same data.
+#ifndef JOINOPT_NET_LOOPBACK_H_
+#define JOINOPT_NET_LOOPBACK_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "joinopt/net/rpc_client.h"
+#include "joinopt/net/rpc_server.h"
+
+namespace joinopt {
+
+class LoopbackRpc {
+ public:
+  /// Starts `num_replicas` servers wrapping `inner` (with `fn` registered
+  /// server-side) and a client across all of them. Check status() before
+  /// use; a failed bind leaves no threads running.
+  LoopbackRpc(DataService* inner, UserFn fn, int num_replicas = 1,
+              RpcClientOptions client_options = {},
+              RpcServerOptions server_options = {}) {
+    for (int i = 0; i < num_replicas; ++i) {
+      auto server = std::make_unique<RpcServer>(inner, fn, server_options);
+      status_ = server->Start();
+      if (!status_.ok()) return;
+      client_options.endpoints.push_back(
+          RpcEndpoint{server->host(), server->port()});
+      servers_.push_back(std::move(server));
+    }
+    client_ = std::make_unique<RpcClientService>(std::move(client_options));
+  }
+
+  const Status& status() const { return status_; }
+
+  RpcClientService& client() { return *client_; }
+  RpcServer& server(int i = 0) { return *servers_[static_cast<size_t>(i)]; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+
+  /// Kills one replica (joins its threads); the client's next transport
+  /// error on it triggers backoff + failover to the survivors.
+  void StopServer(int i) { servers_[static_cast<size_t>(i)]->Stop(); }
+
+ private:
+  Status status_;
+  std::vector<std::unique_ptr<RpcServer>> servers_;
+  std::unique_ptr<RpcClientService> client_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_NET_LOOPBACK_H_

@@ -1,0 +1,192 @@
+#include "joinopt/net/rpc_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace joinopt {
+
+RpcClientService::RpcClientService(RpcClientOptions options)
+    : options_(std::move(options)), jitter_rng_(options_.seed) {
+  pools_.reserve(options_.endpoints.size());
+  for (size_t i = 0; i < options_.endpoints.size(); ++i) {
+    pools_.push_back(std::make_unique<Pool>());
+  }
+}
+
+RpcClientService::~RpcClientService() = default;
+
+StatusOr<UniqueFd> RpcClientService::Acquire(size_t endpoint_idx) const {
+  Pool& pool = *pools_[endpoint_idx];
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (!pool.idle.empty()) {
+      UniqueFd fd = std::move(pool.idle.back());
+      pool.idle.pop_back();
+      return fd;
+    }
+  }
+  const RpcEndpoint& ep = options_.endpoints[endpoint_idx];
+  auto fd = TcpConnect(ep.host, ep.port, options_.connect_deadline);
+  if (fd.ok()) ++stats_.connections_opened;
+  return fd;
+}
+
+void RpcClientService::Release(size_t endpoint_idx, UniqueFd fd) const {
+  Pool& pool = *pools_[endpoint_idx];
+  std::lock_guard<std::mutex> lock(pool.mu);
+  if (static_cast<int>(pool.idle.size()) < options_.max_pooled_per_endpoint) {
+    pool.idle.push_back(std::move(fd));
+  }
+  // else: fd closes on scope exit
+}
+
+void RpcClientService::NoteTransportError(const Status& status) const {
+  std::lock_guard<std::mutex> lock(rec_mu_);
+  if (IsDeadlineExceeded(status)) ++rec_.timeouts;
+}
+
+double RpcClientService::BackoffSeconds(int attempt) const {
+  const RecoveryConfig& rec = options_.recovery;
+  double backoff = std::min(
+      rec.backoff_max, rec.backoff_base * std::pow(2.0, attempt - 1));
+  std::lock_guard<std::mutex> lock(rec_mu_);
+  return backoff * (1.0 + rec.jitter_fraction * jitter_rng_.NextDouble());
+}
+
+StatusOr<std::string> RpcClientService::CallOnce(
+    size_t endpoint_idx, MsgType req_type, const std::string& body) const {
+  JOINOPT_ASSIGN_OR_RETURN(UniqueFd fd, Acquire(endpoint_idx));
+  double io_deadline = options_.recovery.request_timeout;
+  uint32_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+
+  JOINOPT_RETURN_NOT_OK(SendFrame(fd.get(), req_type, seq, body, io_deadline,
+                                  options_.max_frame_bytes));
+  stats_.bytes_out +=
+      static_cast<int64_t>(kFrameHeaderBytes + body.size());
+
+  JOINOPT_ASSIGN_OR_RETURN(
+      RecvdFrame resp,
+      RecvFrame(fd.get(), io_deadline, options_.max_frame_bytes));
+  stats_.bytes_in +=
+      static_cast<int64_t>(kFrameHeaderBytes + resp.body.size());
+
+  // A mismatched echo means the stream is desynced (e.g. a previous caller
+  // abandoned a response); drop the connection, let the retry loop redial.
+  if (resp.header.seq != seq ||
+      resp.header.type != ResponseTypeFor(req_type)) {
+    return Status::Aborted("rpc: response does not match request");
+  }
+  Release(endpoint_idx, std::move(fd));
+  return std::move(resp.body);
+}
+
+StatusOr<std::string> RpcClientService::Call(MsgType req_type,
+                                             const std::string& body) const {
+  ++stats_.calls;
+  if (options_.endpoints.empty()) {
+    return Status::FailedPrecondition("rpc client has no endpoints");
+  }
+  const RecoveryConfig& rec = options_.recovery;
+  const int attempts = rec.enabled ? std::max(rec.max_attempts, 1) : 1;
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    size_t ep = static_cast<size_t>(attempt) % options_.endpoints.size();
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(BackoffSeconds(attempt)));
+      std::lock_guard<std::mutex> lock(rec_mu_);
+      ++rec_.retries;
+      if (ep != 0) ++rec_.failovers;
+    }
+    auto result = CallOnce(ep, req_type, body);
+    if (result.ok()) return result;
+    if (!IsTransportError(result.status())) return result;  // not retriable
+    NoteTransportError(result.status());
+    last = result.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(rec_mu_);
+    ++rec_.tuples_failed;
+  }
+  return last;
+}
+
+StatusOr<DataService::Fetched> RpcClientService::Fetch(Key key) {
+  JOINOPT_ASSIGN_OR_RETURN(std::string body,
+                           Call(MsgType::kFetchReq, EncodeKeyRequest(key)));
+  JOINOPT_ASSIGN_OR_RETURN(StatusOr<Fetched> result,
+                           DecodeFetchResponse(body));
+  return result;
+}
+
+StatusOr<std::string> RpcClientService::Execute(Key key,
+                                                const std::string& params,
+                                                const UserFn& /*fn*/) {
+  JOINOPT_ASSIGN_OR_RETURN(
+      std::string body,
+      Call(MsgType::kExecuteReq, EncodeExecuteRequest(key, params)));
+  JOINOPT_ASSIGN_OR_RETURN(StatusOr<std::string> result,
+                           DecodeExecuteResponse(body));
+  return result;
+}
+
+std::vector<StatusOr<std::string>> RpcClientService::ExecuteBatch(
+    const std::vector<std::pair<Key, std::string>>& items,
+    const UserFn& /*fn*/) {
+  // One request frame, one response frame: the single round trip that
+  // makes delegation batching worth it over a real network.
+  auto fail_all = [&](const Status& status) {
+    return std::vector<StatusOr<std::string>>(items.size(), status);
+  };
+  if (items.empty()) return {};
+  auto body = Call(MsgType::kBatchReq, EncodeBatchRequest(items));
+  if (!body.ok()) return fail_all(body.status());
+  auto results = DecodeBatchResponse(*body);
+  if (!results.ok()) return fail_all(results.status());
+  if (results->size() != items.size()) {
+    // A server answering a version-mismatch (or a decode failure on its
+    // side) sends a single error result; fan it out index-aligned.
+    Status status = results->empty()
+                        ? Status::Internal("rpc: empty batch response")
+                        : (results->front().ok()
+                               ? Status::Internal(
+                                     "rpc: batch response size mismatch")
+                               : results->front().status());
+    return fail_all(status);
+  }
+  return std::move(*results);
+}
+
+StatusOr<DataService::ItemStat> RpcClientService::Stat(Key key) const {
+  JOINOPT_ASSIGN_OR_RETURN(std::string body,
+                           Call(MsgType::kStatReq, EncodeKeyRequest(key)));
+  JOINOPT_ASSIGN_OR_RETURN(StatusOr<ItemStat> result,
+                           DecodeStatResponse(body));
+  return result;
+}
+
+NodeId RpcClientService::OwnerOf(Key key) const {
+  auto body = Call(MsgType::kOwnerReq, EncodeKeyRequest(key));
+  if (!body.ok()) return kInvalidNode;
+  auto node = DecodeOwnerResponse(*body);
+  return node.ok() ? *node : kInvalidNode;
+}
+
+RecoveryCounters RpcClientService::recovery_counters() const {
+  std::lock_guard<std::mutex> lock(rec_mu_);
+  return rec_;
+}
+
+RpcClientStats RpcClientService::stats() const {
+  RpcClientStats out;
+  out.calls = stats_.calls.load(std::memory_order_relaxed);
+  out.connections_opened =
+      stats_.connections_opened.load(std::memory_order_relaxed);
+  out.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  out.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace joinopt

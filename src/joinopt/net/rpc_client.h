@@ -1,0 +1,146 @@
+// RpcClientService: a DataService whose five verbs travel over TCP to one
+// or more RpcServers. This is the client half of the transport — what a
+// compute node holds instead of an in-process service pointer.
+//
+// Recovery: the options embed the engine's RecoveryConfig (engine/types.h),
+// and failures drive the same timeout → backoff → replica-failover
+// discipline the PR 1 fault machinery uses in the simulator, with activity
+// reported through the same RecoveryCounters struct. Attempt k (0-based)
+// targets endpoint k mod |endpoints| — the replica rotation of
+// ComputeNodeRuntime::ReplicaForAttempt, applied to real sockets. Only
+// *transport* errors (kAborted: refused/reset/closed connections and
+// deadline expiries — see net/socket.h) are retried; in-band application
+// statuses (NotFound, ...) are returned verbatim on the first attempt.
+//
+// Threading model: every verb is safe to call from any number of threads.
+// Each endpoint has a bounded pool of idle connections; a call checks one
+// out (dialing if the pool is empty), runs one synchronous request/response
+// exchange, and returns the connection iff the exchange was clean. A
+// connection that saw a transport error is closed, never reused — after a
+// failed exchange the stream may hold a stale response that would desync
+// the next caller.
+#ifndef JOINOPT_NET_RPC_CLIENT_H_
+#define JOINOPT_NET_RPC_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "joinopt/common/random.h"
+#include "joinopt/common/status.h"
+#include "joinopt/engine/async_api.h"
+#include "joinopt/engine/types.h"
+#include "joinopt/net/socket.h"
+
+namespace joinopt {
+
+struct RpcEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RpcClientOptions {
+  /// Replica chain, primary first — the same ordering ParallelStore's
+  /// ReplicasOf() exposes. Attempt k targets endpoints[k % size].
+  std::vector<RpcEndpoint> endpoints;
+  /// Deadline for dialing a new connection (covers the TCP handshake).
+  double connect_deadline = 1.0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Idle connections kept per endpoint; excess connections are closed on
+  /// release rather than pooled.
+  int max_pooled_per_endpoint = 8;
+  /// The engine's recovery knobs, reused verbatim: request_timeout is the
+  /// per-attempt IO deadline, backoff_base/max + jitter_fraction pace the
+  /// retries, max_attempts bounds the failover rotation. enabled=false
+  /// degrades to exactly one attempt with io deadline = request_timeout.
+  RecoveryConfig recovery;
+  /// Seed for the deterministic backoff jitter.
+  uint64_t seed = 0x5ca1ab1e;
+
+  RpcClientOptions() {
+    // Unlike the simulator (recovery off by default so event streams stay
+    // byte-identical), a socket client always wants deadlines: a real
+    // network can silently eat a request, and blocking forever is never
+    // the right contract for DataService implementations.
+    recovery.enabled = true;
+    recovery.request_timeout = 2.0;
+    recovery.backoff_base = 10e-3;
+    recovery.backoff_max = 200e-3;
+    recovery.max_attempts = 4;
+  }
+};
+
+struct RpcClientStats {
+  int64_t calls = 0;             ///< verb invocations (a batch counts once)
+  int64_t connections_opened = 0;
+  int64_t bytes_out = 0;
+  int64_t bytes_in = 0;
+};
+
+class RpcClientService : public DataService {
+ public:
+  explicit RpcClientService(RpcClientOptions options);
+  ~RpcClientService() override;
+
+  RpcClientService(const RpcClientService&) = delete;
+  RpcClientService& operator=(const RpcClientService&) = delete;
+
+  // DataService verbs. `fn` is ignored by Execute/ExecuteBatch: the UDF is
+  // registered server-side (RpcServer's constructor), coprocessor-style.
+  StatusOr<Fetched> Fetch(Key key) override;
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override;
+  std::vector<StatusOr<std::string>> ExecuteBatch(
+      const std::vector<std::pair<Key, std::string>>& items,
+      const UserFn& fn) override;
+  StatusOr<ItemStat> Stat(Key key) const override;
+  /// One round trip; kInvalidNode when every replica is unreachable.
+  NodeId OwnerOf(Key key) const override;
+
+  /// What the recovery machinery did (same struct the simulator reports);
+  /// tuples_failed counts calls abandoned after max_attempts.
+  RecoveryCounters recovery_counters() const;
+  RpcClientStats stats() const;
+  size_t num_endpoints() const { return options_.endpoints.size(); }
+
+ private:
+  struct Pool {
+    std::mutex mu;
+    std::vector<UniqueFd> idle;
+  };
+
+  /// One request/response exchange with retry + failover. Returns the
+  /// response body after verifying type and seq echo.
+  StatusOr<std::string> Call(MsgType req_type, const std::string& body) const;
+  /// One attempt against one endpoint (no retries).
+  StatusOr<std::string> CallOnce(size_t endpoint_idx, MsgType req_type,
+                                 const std::string& body) const;
+  StatusOr<UniqueFd> Acquire(size_t endpoint_idx) const;
+  void Release(size_t endpoint_idx, UniqueFd fd) const;
+  void NoteTransportError(const Status& status) const;
+  double BackoffSeconds(int attempt) const;
+
+  RpcClientOptions options_;
+  mutable std::vector<std::unique_ptr<Pool>> pools_;
+  mutable std::atomic<uint32_t> seq_{1};
+
+  mutable std::mutex rec_mu_;
+  mutable RecoveryCounters rec_;
+  mutable Rng jitter_rng_;  // guarded by rec_mu_
+
+  struct AtomicStats {
+    std::atomic<int64_t> calls{0};
+    std::atomic<int64_t> connections_opened{0};
+    std::atomic<int64_t> bytes_out{0};
+    std::atomic<int64_t> bytes_in{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_NET_RPC_CLIENT_H_

@@ -1,0 +1,204 @@
+#include "joinopt/net/rpc_server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace joinopt {
+
+namespace {
+
+/// Acceptor/reader poll tick: how often blocked threads re-check stop_.
+/// Shutdown latency is bounded by this even if shutdown() is missed.
+constexpr double kPollTick = 0.05;
+
+}  // namespace
+
+RpcServer::RpcServer(DataService* inner, UserFn fn, RpcServerOptions options)
+    : inner_(inner), fn_(std::move(fn)), options_(std::move(options)) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  JOINOPT_ASSIGN_OR_RETURN(
+      listen_fd_,
+      TcpListen(options_.host, options_.port, options_.accept_backlog));
+  JOINOPT_ASSIGN_OR_RETURN(port_, BoundPort(listen_fd_.get()));
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  // Severing the sockets converts blocked reads/writes into immediate
+  // failures; the poll tick catches any thread not currently blocked on
+  // the fd.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  listen_fd_.Reset();
+}
+
+void RpcServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto readable = WaitReadable(listen_fd_.get(), kPollTick);
+    if (!readable.ok()) break;
+    if (!*readable) continue;
+    int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) continue;  // racing Stop() or a transient accept error
+    ++stats_.connections_accepted;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stop_.load(std::memory_order_acquire)) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void RpcServer::ServeConnection(int fd) {
+  UniqueFd owned(fd);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Idle poll keeps the thread responsive to Stop() while the client
+    // holds the pooled connection open between requests.
+    auto readable = WaitReadable(fd, kPollTick);
+    if (!readable.ok()) break;
+    if (!*readable) continue;
+
+    // Once bytes arrive, the whole message must land within the send
+    // deadline — a peer that stalls mid-frame is desynced anyway.
+    auto frame = RecvFrame(fd, options_.send_deadline,
+                           options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // Clean idle close (peer drained the pool) is not a protocol error.
+      if (frame.status().message() !=
+          "recv: connection closed by peer") {
+        ++stats_.protocol_errors;
+      }
+      break;
+    }
+    stats_.bytes_in += static_cast<int64_t>(kFrameHeaderBytes +
+                                            frame->body.size());
+
+    auto [resp_type, resp_body] = Dispatch(frame->header, frame->body);
+    if (resp_type == static_cast<MsgType>(0)) {
+      ++stats_.protocol_errors;
+      break;  // unknown request type: the stream cannot be trusted
+    }
+    Status sent = SendFrame(fd, resp_type, frame->header.seq, resp_body,
+                            options_.send_deadline,
+                            options_.max_frame_bytes);
+    if (!sent.ok()) break;
+    stats_.bytes_out += static_cast<int64_t>(kFrameHeaderBytes +
+                                             resp_body.size());
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (size_t i = 0; i < conn_fds_.size(); ++i) {
+    if (conn_fds_[i] == fd) {
+      conn_fds_[i] = conn_fds_.back();
+      conn_fds_.pop_back();
+      break;
+    }
+  }
+}
+
+std::pair<MsgType, std::string> RpcServer::Dispatch(
+    const FrameHeader& header, const std::string& body) {
+  MsgType resp_type = ResponseTypeFor(header.type);
+  if (resp_type == static_cast<MsgType>(0)) return {resp_type, ""};
+
+  // Version mismatch: answer in-band so an old/new client reads an error
+  // instead of hanging, then the connection is still usable (the *frame*
+  // layout is frozen across versions; only body encodings move).
+  if (header.version != kWireVersion) {
+    ++stats_.protocol_errors;
+    Status mismatch = Status::FailedPrecondition(
+        "wire version mismatch: server=" + std::to_string(kWireVersion) +
+        " client=" + std::to_string(header.version));
+    switch (header.type) {
+      case MsgType::kFetchReq:
+        return {resp_type, EncodeFetchResponse(mismatch)};
+      case MsgType::kExecuteReq:
+        return {resp_type, EncodeExecuteResponse(mismatch)};
+      case MsgType::kBatchReq:
+        return {resp_type, EncodeBatchResponse({mismatch})};
+      case MsgType::kStatReq:
+        return {resp_type, EncodeStatResponse(mismatch)};
+      case MsgType::kOwnerReq:
+      default:
+        return {resp_type, EncodeOwnerResponse(kInvalidNode)};
+    }
+  }
+
+  ++stats_.requests;
+  switch (header.type) {
+    case MsgType::kFetchReq: {
+      auto key = DecodeKeyRequest(body);
+      if (!key.ok()) return {resp_type, EncodeFetchResponse(key.status())};
+      return {resp_type, EncodeFetchResponse(inner_->Fetch(*key))};
+    }
+    case MsgType::kExecuteReq: {
+      auto req = DecodeExecuteRequest(body);
+      if (!req.ok()) {
+        return {resp_type, EncodeExecuteResponse(req.status())};
+      }
+      return {resp_type, EncodeExecuteResponse(
+                             inner_->Execute(req->key, req->params, fn_))};
+    }
+    case MsgType::kBatchReq: {
+      auto items = DecodeBatchRequest(body);
+      if (!items.ok()) {
+        return {resp_type, EncodeBatchResponse({items.status()})};
+      }
+      stats_.batch_items += static_cast<int64_t>(items->size());
+      return {resp_type,
+              EncodeBatchResponse(inner_->ExecuteBatch(*items, fn_))};
+    }
+    case MsgType::kStatReq: {
+      auto key = DecodeKeyRequest(body);
+      if (!key.ok()) return {resp_type, EncodeStatResponse(key.status())};
+      return {resp_type, EncodeStatResponse(inner_->Stat(*key))};
+    }
+    case MsgType::kOwnerReq: {
+      auto key = DecodeKeyRequest(body);
+      if (!key.ok()) return {resp_type, EncodeOwnerResponse(kInvalidNode)};
+      return {resp_type, EncodeOwnerResponse(inner_->OwnerOf(*key))};
+    }
+    default:
+      return {static_cast<MsgType>(0), ""};
+  }
+}
+
+RpcServerStats RpcServer::stats() const {
+  RpcServerStats out;
+  out.connections_accepted =
+      stats_.connections_accepted.load(std::memory_order_relaxed);
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.batch_items = stats_.batch_items.load(std::memory_order_relaxed);
+  out.protocol_errors =
+      stats_.protocol_errors.load(std::memory_order_relaxed);
+  out.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  out.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,117 @@
+// RpcServer: the data-node side of the RPC transport. Wraps any in-process
+// DataService (LocalDataService, LogStoreDataService, a LatencyPaddedService
+// stack, ...) behind a TCP listener speaking the net/frame.h protocol.
+//
+// Threading model (documented in DESIGN.md §10): one acceptor thread polls
+// the listen socket; each accepted connection gets a dedicated worker
+// thread running a synchronous read-dispatch-write loop (one request in
+// flight per connection — concurrency comes from the client opening pooled
+// connections, which keeps the protocol trivially ordered). Stop() closes
+// the listener, shuts down every open connection and joins all threads; it
+// is safe to call concurrently with in-flight requests and from the
+// destructor.
+//
+// The UDF cannot travel over the wire: like HBase coprocessors, the
+// function is *registered* server-side at construction, and Execute /
+// ExecuteBatch requests name only (key, params). The client's fn argument
+// is ignored (see DataService::Execute's contract in engine/async_api.h).
+#ifndef JOINOPT_NET_RPC_SERVER_H_
+#define JOINOPT_NET_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "joinopt/common/status.h"
+#include "joinopt/engine/async_api.h"
+#include "joinopt/net/socket.h"
+
+namespace joinopt {
+
+struct RpcServerOptions {
+  /// Bind address. Tests and benches stay on loopback; never expose the
+  /// protocol off-host without an authenticating proxy in front.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the chosen port back with port()).
+  uint16_t port = 0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Deadline for writing one response; a client that stops draining its
+  /// socket loses the connection instead of parking the worker forever.
+  double send_deadline = 5.0;
+  int accept_backlog = 64;
+};
+
+struct RpcServerStats {
+  int64_t connections_accepted = 0;
+  int64_t requests = 0;       ///< well-formed requests dispatched
+  int64_t batch_items = 0;    ///< items carried by ExecuteBatch requests
+  int64_t protocol_errors = 0;  ///< malformed frames / version mismatches
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+};
+
+class RpcServer {
+ public:
+  /// `inner` and `fn` must outlive the server and be thread-safe: each
+  /// connection thread calls them concurrently.
+  RpcServer(DataService* inner, UserFn fn, RpcServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds, listens and starts the acceptor. Fails (address in use, ...)
+  /// without leaving threads behind.
+  Status Start();
+
+  /// Stops accepting, severs open connections and joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  RpcServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one decoded request; returns the response (type, body).
+  std::pair<MsgType, std::string> Dispatch(const FrameHeader& header,
+                                           const std::string& body);
+
+  DataService* inner_;
+  UserFn fn_;
+  RpcServerOptions options_;
+  uint16_t port_ = 0;
+
+  UniqueFd listen_fd_;
+  std::thread acceptor_;
+  std::atomic<bool> stop_{true};
+  std::atomic<bool> running_{false};
+
+  std::mutex conns_mu_;
+  /// Open connection fds (owned by their threads; registered here so
+  /// Stop() can shutdown() them to unblock reads).
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  struct AtomicStats {
+    std::atomic<int64_t> connections_accepted{0};
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> batch_items{0};
+    std::atomic<int64_t> protocol_errors{0};
+    std::atomic<int64_t> bytes_in{0};
+    std::atomic<int64_t> bytes_out{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_NET_RPC_SERVER_H_
