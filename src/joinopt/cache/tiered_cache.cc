@@ -217,6 +217,21 @@ void TieredCache::Invalidate(Key key) {
   ++stats_.invalidations;
 }
 
+std::vector<Key> TieredCache::InvalidateMatching(
+    const std::function<bool(Key)>& pred) {
+  std::vector<Key> dropped;
+  for (const auto& [key, item] : items_) {
+    if (pred(key)) dropped.push_back(key);
+  }
+  for (Key key : dropped) {
+    Invalidate(key);
+    // Invalidate() counted it as an ordinary invalidation; reclassify.
+    --stats_.invalidations;
+    ++stats_.resync_invalidations;
+  }
+  return dropped;
+}
+
 double TieredCache::ItemSize(Key key) const {
   auto it = items_.find(key);
   return it == items_.end() ? 0.0 : it->second.size;
@@ -239,6 +254,7 @@ TieredCacheStats& operator+=(TieredCacheStats& lhs,
   lhs.discards += rhs.discards;
   lhs.invalidations += rhs.invalidations;
   lhs.admission_rejections += rhs.admission_rejections;
+  lhs.resync_invalidations += rhs.resync_invalidations;
   return lhs;
 }
 

@@ -16,6 +16,7 @@
 #ifndef JOINOPT_CACHE_TIERED_CACHE_H_
 #define JOINOPT_CACHE_TIERED_CACHE_H_
 
+#include <functional>
 #include <limits>
 #include <map>
 #include <unordered_map>
@@ -52,6 +53,11 @@ struct TieredCacheStats {
   int64_t discards = 0;    // evicted from disk entirely
   int64_t invalidations = 0;
   int64_t admission_rejections = 0;
+  /// Invalidations forced by an epoch-gap re-sync (a disconnect may have
+  /// swallowed update notifications for these keys). Tracked apart from
+  /// ordinary invalidations so tests can assert a re-sync touched only the
+  /// gapped regions.
+  int64_t resync_invalidations = 0;
 };
 
 /// Accumulates shard-local eviction/hit accounting into a merged view
@@ -88,6 +94,13 @@ class TieredCache {
   /// Drops `key` from whatever tier holds it (update notification,
   /// Section 4.2.3).
   void Invalidate(Key key);
+
+  /// Epoch-gap re-sync (Section 4.2.3 after a disconnect): drops every
+  /// resident key matching `pred` — typically "key hashes into a region
+  /// whose epoch/sequence advanced while we were offline" — and returns
+  /// the dropped keys so the caller can purge payloads and per-key
+  /// counters too. Counted as resync_invalidations, not invalidations.
+  std::vector<Key> InvalidateMatching(const std::function<bool(Key)>& pred);
 
   /// Size in bytes of a resident item; 0 if absent.
   double ItemSize(Key key) const;

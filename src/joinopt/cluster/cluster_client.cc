@@ -1,0 +1,264 @@
+#include "joinopt/cluster/cluster_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/net/socket.h"
+
+namespace joinopt {
+
+namespace {
+
+/// Per-process instance counter (same scheme as RpcClientService's): keeps
+/// dedup tags distinct across cluster clients even with identical seeds.
+std::atomic<uint64_t> g_cluster_client_instance{0};
+
+}  // namespace
+
+ClusterClientService::ClusterClientService(ClusterTopology* topology,
+                                           ClusterClientOptions options)
+    : topology_(topology),
+      options_(std::move(options)),
+      jitter_rng_(options_.seed) {
+  int n = topology_->num_nodes();
+  clients_.reserve(static_cast<size_t>(n));
+  outstanding_.reserve(static_cast<size_t>(n));
+  for (int node = 0; node < n; ++node) {
+    RpcClientOptions copts;
+    copts.endpoints = {topology_->endpoint(static_cast<NodeId>(node))};
+    copts.connect_deadline = options_.connect_deadline;
+    // One attempt per node call: this layer owns rotation and backoff.
+    copts.recovery.enabled = false;
+    copts.recovery.request_timeout = options_.recovery.request_timeout;
+    copts.balance_reads = false;
+    copts.seed = options_.seed ^ static_cast<uint64_t>(node);
+    clients_.push_back(std::make_unique<RpcClientService>(std::move(copts)));
+    outstanding_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  client_id_ =
+      Mix64(options_.seed ^
+            Mix64(g_cluster_client_instance.fetch_add(1) + 0x5eedULL)) |
+      1ULL;
+}
+
+std::vector<NodeId> ClusterClientService::Candidates(Key key,
+                                                     bool read) const {
+  std::vector<NodeId> live = topology_->LiveReplicasOf(key);
+  if (live.empty()) {
+    // Every replica is marked down: fall back to the raw chain — a node
+    // may be back without the controller having noticed yet, and failing
+    // over the wire gives the honest error.
+    live = topology_->ReplicasOf(key);
+  }
+  if (read && options_.balance_reads && live.size() > 1) {
+    NodeId pick = PickRead(live);
+    std::rotate(live.begin(), std::find(live.begin(), live.end(), pick),
+                live.end());
+  }
+  return live;
+}
+
+NodeId ClusterClientService::PickRead(
+    const std::vector<NodeId>& candidates) const {
+  int best = outstanding_[static_cast<size_t>(candidates[0])]->load(
+      std::memory_order_relaxed);
+  std::vector<NodeId> tied{candidates[0]};
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    int load = outstanding_[static_cast<size_t>(candidates[i])]->load(
+        std::memory_order_relaxed);
+    if (load < best) {
+      best = load;
+      tied.assign(1, candidates[i]);
+    } else if (load == best) {
+      tied.push_back(candidates[i]);
+    }
+  }
+  // Round-robin among ties so an idle cluster still spreads reads.
+  return tied[balance_rr_.fetch_add(1, std::memory_order_relaxed) %
+              tied.size()];
+}
+
+void ClusterClientService::NoteFailure(NodeId node,
+                                       const Status& status) const {
+  {
+    std::lock_guard<std::mutex> lock(rec_mu_);
+    if (IsDeadlineExceeded(status)) ++rec_.timeouts;
+  }
+  if (failure_listener_) failure_listener_(node);
+}
+
+double ClusterClientService::BackoffSeconds(int attempt) const {
+  const RecoveryConfig& rec = options_.recovery;
+  double backoff = std::min(rec.backoff_max,
+                            rec.backoff_base * std::pow(2.0, attempt - 1));
+  std::lock_guard<std::mutex> lock(rec_mu_);
+  return backoff * (1.0 + rec.jitter_fraction * jitter_rng_.NextDouble());
+}
+
+template <typename Op>
+Status ClusterClientService::RoutedCall(Key key, bool read,
+                                        const Op& op) const {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  const RecoveryConfig& rec = options_.recovery;
+  int max_attempts = rec.enabled ? std::max(1, rec.max_attempts) : 1;
+  Status last = Status::Aborted("no replicas");
+  NodeId first_choice = kInvalidNode;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Re-read the chain every attempt: a promotion between attempts must
+    // redirect the retry, not rediscover the dead primary.
+    std::vector<NodeId> candidates = Candidates(key, read);
+    if (candidates.empty()) return last;
+    NodeId node =
+        candidates[static_cast<size_t>(attempt) % candidates.size()];
+    if (attempt == 0) {
+      first_choice = node;
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(BackoffSeconds(attempt)));
+      std::lock_guard<std::mutex> lock(rec_mu_);
+      ++rec_.retries;
+      if (node != first_choice) ++rec_.failovers;
+    }
+    if (attempt > 0 && node != first_choice) {
+      stats_.node_failovers.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto& counter = *outstanding_[static_cast<size_t>(node)];
+    counter.fetch_add(1, std::memory_order_relaxed);
+    Status status = op(node);
+    counter.fetch_sub(1, std::memory_order_relaxed);
+    if (!IsTransportError(status)) return status;  // ok or in-band error
+    NoteFailure(node, status);
+    last = status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(rec_mu_);
+    ++rec_.tuples_failed;
+  }
+  return last;
+}
+
+StatusOr<DataService::Fetched> ClusterClientService::Fetch(Key key) {
+  StatusOr<Fetched> result = Status::Aborted("unrouted");
+  Status s = RoutedCall(key, /*read=*/true, [&](NodeId node) {
+    result = clients_[static_cast<size_t>(node)]->Fetch(key);
+    return result.ok() ? Status::OK() : result.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::string> ClusterClientService::Execute(Key key,
+                                                    const std::string& params,
+                                                    const UserFn& fn) {
+  StatusOr<std::string> result = Status::Aborted("unrouted");
+  Status s = RoutedCall(key, /*read=*/false, [&](NodeId node) {
+    result = clients_[static_cast<size_t>(node)]->Execute(key, params, fn);
+    return result.ok() ? Status::OK() : result.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+std::vector<StatusOr<std::string>> ClusterClientService::ExecuteBatch(
+    const std::vector<std::pair<Key, std::string>>& items, const UserFn& fn) {
+  (void)fn;  // registered server-side
+  std::vector<StatusOr<std::string>> results(
+      items.size(), StatusOr<std::string>(Status::Aborted("unrouted")));
+  if (items.empty()) return results;
+
+  // Group by current owner; indices remember where results scatter back.
+  std::unordered_map<NodeId, std::vector<size_t>> groups;
+  for (size_t i = 0; i < items.size(); ++i) {
+    groups[topology_->OwnerOf(items[i].first)].push_back(i);
+  }
+  if (groups.size() > 1) {
+    stats_.batches_split.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  for (auto& [owner, indices] : groups) {
+    std::vector<std::pair<Key, std::string>> group;
+    group.reserve(indices.size());
+    for (size_t i : indices) group.push_back(items[i]);
+    // The tag is fixed before the first send and reused on every retry —
+    // including retries that land on a different node after a promotion —
+    // so the server-side dedup cache can answer replays.
+    uint64_t tag = batch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::vector<StatusOr<std::string>> group_results;
+    Status s =
+        RoutedCall(group.front().first, /*read=*/false, [&](NodeId node) {
+          group_results = clients_[static_cast<size_t>(node)]
+                              ->ExecuteBatchTagged(group, client_id_, tag);
+          // A whole-batch transport failure surfaces on every item; probe
+          // the first for retriability.
+          for (const auto& r : group_results) {
+            if (!r.ok() && IsTransportError(r.status())) return r.status();
+          }
+          return Status::OK();
+        });
+    if (s.ok()) {
+      for (size_t j = 0; j < indices.size(); ++j) {
+        results[indices[j]] = std::move(group_results[j]);
+      }
+    } else {
+      for (size_t i : indices) results[i] = s;
+    }
+  }
+  return results;
+}
+
+StatusOr<DataService::ItemStat> ClusterClientService::Stat(Key key) const {
+  StatusOr<ItemStat> result = Status::Aborted("unrouted");
+  Status s = RoutedCall(key, /*read=*/true, [&](NodeId node) {
+    result = clients_[static_cast<size_t>(node)]->Stat(key);
+    return result.ok() ? Status::OK() : result.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+NodeId ClusterClientService::OwnerOf(Key key) const {
+  return topology_->OwnerOf(key);
+}
+
+StatusOr<uint64_t> ClusterClientService::Put(Key key,
+                                             const std::string& value) {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  std::vector<NodeId> chain = topology_->ReplicasOf(key);
+  StatusOr<uint64_t> primary_version = Status::Aborted("no replicas");
+  for (size_t i = 0; i < chain.size(); ++i) {
+    NodeId node = chain[i];
+    if (!topology_->NodeUp(node)) {
+      // A marked-down replica re-syncs its store on rejoin; skipping it is
+      // safe and counted, not silent.
+      stats_.skipped_replica_writes.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto version = clients_[static_cast<size_t>(node)]->Put(key, value);
+    if (!version.ok() && IsTransportError(version.status())) {
+      NoteFailure(node, version.status());
+    }
+    if (i == 0) primary_version = std::move(version);
+  }
+  return primary_version;
+}
+
+RecoveryCounters ClusterClientService::recovery_counters() const {
+  std::lock_guard<std::mutex> lock(rec_mu_);
+  return rec_;
+}
+
+ClusterClientStats ClusterClientService::stats() const {
+  ClusterClientStats s;
+  s.calls = stats_.calls.load(std::memory_order_relaxed);
+  s.node_failovers = stats_.node_failovers.load(std::memory_order_relaxed);
+  s.batches_split = stats_.batches_split.load(std::memory_order_relaxed);
+  s.skipped_replica_writes =
+      stats_.skipped_replica_writes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,152 @@
+// Owner-aware cluster client: a DataService that routes every verb to the
+// data node the ClusterTopology says owns the key, over one single-endpoint
+// RpcClientService per node. This is the compute-node view of the cluster —
+// what a ParallelInvoker holds instead of a single server's client.
+//
+// Routing and failover: the replica chain is re-read from the topology on
+// *every* attempt, so a controller promotion between attempts redirects the
+// retry to the new primary instead of hammering the corpse. Reads
+// (Fetch/Stat) pick the least-outstanding live replica (the same balancing
+// signal RpcClientService uses within one chain, applied across nodes);
+// writes and Execute/ExecuteBatch go primary-first — delegated compute must
+// run where the optimizer placed it. A transport error reports the node to
+// the failure listener (the controller's fast path), backs off with
+// deterministic jitter, and retries; attempts are bounded by
+// recovery.max_attempts and exhaustion counts tuples_failed.
+//
+// Exactly-once batches: ExecuteBatch splits items by current owner and
+// ships each group via ExecuteBatchTagged with a tag that stays stable
+// across retries — even when the retry lands on a different node after a
+// promotion — so a replayed batch whose original response was lost is
+// answered from the server's dedup cache instead of re-executing.
+//
+// OwnerOf never leaves the process: the topology *is* the ownership oracle
+// (zero RPCs — the test asserts this), which is the payoff of sharing the
+// RegionMap instead of asking a data node per key.
+#ifndef JOINOPT_CLUSTER_CLUSTER_CLIENT_H_
+#define JOINOPT_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "joinopt/cluster/topology.h"
+#include "joinopt/common/random.h"
+#include "joinopt/common/status.h"
+#include "joinopt/engine/async_api.h"
+#include "joinopt/engine/types.h"
+#include "joinopt/net/rpc_client.h"
+
+namespace joinopt {
+
+struct ClusterClientOptions {
+  /// Retry/backoff discipline across nodes (per-node RPCs run with exactly
+  /// one attempt and io deadline = request_timeout; this layer owns the
+  /// rotation).
+  RecoveryConfig recovery;
+  /// Spread reads across live replicas by least-outstanding requests.
+  bool balance_reads = true;
+  double connect_deadline = 1.0;
+  uint64_t seed = 0xc105731e;
+
+  ClusterClientOptions() {
+    recovery.enabled = true;
+    recovery.request_timeout = 2.0;
+    recovery.backoff_base = 10e-3;
+    recovery.backoff_max = 200e-3;
+    recovery.max_attempts = 4;
+  }
+};
+
+struct ClusterClientStats {
+  int64_t calls = 0;  ///< verb invocations (a batch counts once per group)
+  /// Attempts that landed on a different node than the first choice.
+  int64_t node_failovers = 0;
+  /// ExecuteBatch calls that split into >1 per-owner group.
+  int64_t batches_split = 0;
+  /// Replica writes skipped because the topology had the node marked down.
+  int64_t skipped_replica_writes = 0;
+};
+
+class ClusterClientService : public DataService {
+ public:
+  /// Every data node must already have its endpoint published in
+  /// `topology` (ClusterDeployment starts the nodes first).
+  ClusterClientService(ClusterTopology* topology,
+                       ClusterClientOptions options = {});
+
+  // DataService verbs, owner-routed.
+  StatusOr<Fetched> Fetch(Key key) override;
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override;
+  std::vector<StatusOr<std::string>> ExecuteBatch(
+      const std::vector<std::pair<Key, std::string>>& items,
+      const UserFn& fn) override;
+  StatusOr<ItemStat> Stat(Key key) const override;
+  /// Local topology lookup — zero RPCs.
+  NodeId OwnerOf(Key key) const override;
+
+  /// Writes to every live replica of the key's region (primary must
+  /// succeed; follower failures are reported and skipped). Returns the
+  /// primary's new version.
+  StatusOr<uint64_t> Put(Key key, const std::string& value);
+
+  /// Called with the NodeId on every transport error — the controller's
+  /// failure fast path. Must be thread-safe; set before first use.
+  void set_failure_listener(std::function<void(NodeId)> listener) {
+    failure_listener_ = std::move(listener);
+  }
+
+  RecoveryCounters recovery_counters() const;
+  ClusterClientStats stats() const;
+  uint64_t client_id() const { return client_id_; }
+  /// Direct access to one node's transport client (tests).
+  RpcClientService& node_client(NodeId node) {
+    return *clients_[static_cast<size_t>(node)];
+  }
+
+ private:
+  /// One owner-routed call with the retry/failover rotation. `read`
+  /// enables replica balancing; `op` runs one attempt against one node and
+  /// returns true on success (in-band errors count as success: they came
+  /// from a live node and are never retried). The Status out-param carries
+  /// the transport error on false.
+  template <typename Op>
+  Status RoutedCall(Key key, bool read, const Op& op) const;
+  /// Candidate nodes for this attempt, refreshed from the topology.
+  std::vector<NodeId> Candidates(Key key, bool read) const;
+  NodeId PickRead(const std::vector<NodeId>& candidates) const;
+  void NoteFailure(NodeId node, const Status& status) const;
+  double BackoffSeconds(int attempt) const;
+
+  ClusterTopology* topology_;
+  ClusterClientOptions options_;
+  std::vector<std::unique_ptr<RpcClientService>> clients_;  // per node
+  /// In-flight per node — the cross-node balancing signal.
+  mutable std::vector<std::unique_ptr<std::atomic<int>>> outstanding_;
+  mutable std::atomic<uint32_t> balance_rr_{0};
+  std::atomic<uint64_t> batch_seq_{0};
+  uint64_t client_id_ = 0;
+  std::function<void(NodeId)> failure_listener_;
+
+  mutable std::mutex rec_mu_;
+  mutable RecoveryCounters rec_;
+  mutable Rng jitter_rng_;  // guarded by rec_mu_
+
+  struct AtomicStats {
+    std::atomic<int64_t> calls{0};
+    std::atomic<int64_t> node_failovers{0};
+    std::atomic<int64_t> batches_split{0};
+    std::atomic<int64_t> skipped_replica_writes{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_CLUSTER_CLIENT_H_

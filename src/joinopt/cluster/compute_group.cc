@@ -1,0 +1,194 @@
+#include "joinopt/cluster/compute_group.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace joinopt {
+
+double ComputeWorkerGroup::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ComputeWorkerGroup::ComputeWorkerGroup(DataService* service, UserFn fn,
+                                       ComputeWorkerGroupOptions options)
+    : service_(service), fn_(std::move(fn)), options_(std::move(options)) {
+  workers_.resize(static_cast<size_t>(options_.num_workers));
+  for (auto& w : workers_) {
+    w.last_beat = std::make_unique<std::atomic<double>>(NowSeconds());
+    w.killed = std::make_unique<std::atomic<bool>>(false);
+  }
+  invokers_.reserve(workers_.size());
+  for (int i = 0; i < options_.num_workers; ++i) {
+    invokers_.push_back(
+        std::make_unique<ParallelInvoker>(service_, fn_, options_.invoker));
+  }
+}
+
+ComputeWorkerGroup::~ComputeWorkerGroup() = default;
+
+void ComputeWorkerGroup::KillWorker(int w) {
+  workers_[static_cast<size_t>(w)].killed->store(true,
+                                                 std::memory_order_release);
+  cv_.notify_all();
+}
+
+ComputeWorkerGroupStats ComputeWorkerGroup::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<StatusOr<std::string>> ComputeWorkerGroup::Run(
+    const std::vector<std::pair<Key, std::string>>& items) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outputs_.assign(items.size(),
+                    StatusOr<std::string>(Status::Aborted("never run")));
+    written_.assign(items.size(), 0);
+    remaining_ = items.size();
+    // Deal indices round-robin — the static partition assignment a join's
+    // input scan would produce.
+    for (size_t i = 0; i < items.size(); ++i) {
+      workers_[i % workers_.size()].queue.push_back(i);
+    }
+  }
+  done_.store(items.empty(), std::memory_order_release);
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (int w = 0; w < options_.num_workers; ++w) {
+    threads.emplace_back([this, w, &items] { WorkerLoop(w, items); });
+  }
+  std::thread monitor([this] { MonitorLoop(); });
+
+  for (auto& t : threads) t.join();
+  monitor.join();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  return outputs_;
+}
+
+void ComputeWorkerGroup::WriteOutput(int w, size_t idx,
+                                     StatusOr<std::string> result) {
+  std::unique_lock<std::mutex> lock(mu_);
+  WorkerState& ws = workers_[static_cast<size_t>(w)];
+  for (auto it = ws.claimed.begin(); it != ws.claimed.end(); ++it) {
+    if (*it == idx) {
+      ws.claimed.erase(it);
+      break;
+    }
+  }
+  if (written_[idx]) {
+    // A replay (or the original, racing its own replay) already landed.
+    ++stats_.duplicate_outputs_suppressed;
+    return;
+  }
+  written_[idx] = 1;
+  outputs_[idx] = std::move(result);
+  ++stats_.items_completed;
+  if (--remaining_ == 0) {
+    done_.store(true, std::memory_order_release);
+    lock.unlock();
+    cv_.notify_all();
+  }
+}
+
+void ComputeWorkerGroup::WorkerLoop(
+    int w, const std::vector<std::pair<Key, std::string>>& items) {
+  WorkerState& ws = workers_[static_cast<size_t>(w)];
+  ParallelInvoker& invoker = *invokers_[static_cast<size_t>(w)];
+  while (!ws.killed->load(std::memory_order_acquire)) {
+    std::vector<size_t> window;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return !ws.queue.empty() || done_.load(std::memory_order_acquire) ||
+               ws.killed->load(std::memory_order_acquire);
+      });
+      if (done_.load(std::memory_order_acquire) ||
+          ws.killed->load(std::memory_order_acquire)) {
+        return;
+      }
+      int take = std::max(1, options_.claim_window);
+      while (take-- > 0 && !ws.queue.empty()) {
+        window.push_back(ws.queue.front());
+        ws.queue.pop_front();
+      }
+      ws.claimed.insert(ws.claimed.end(), window.begin(), window.end());
+    }
+    ws.last_beat->store(NowSeconds(), std::memory_order_release);
+    for (size_t idx : window) {
+      invoker.SubmitComp(items[idx].first, items[idx].second);
+    }
+    for (size_t idx : window) {
+      auto result = invoker.FetchComp(items[idx].first, items[idx].second);
+      if (ws.killed->load(std::memory_order_acquire)) {
+        // Crash-before-ack: the computed result dies with the worker; the
+        // monitor will replay every claimed-but-unwritten index.
+        return;
+      }
+      ws.last_beat->store(NowSeconds(), std::memory_order_release);
+      WriteOutput(w, idx, std::move(result));
+    }
+  }
+}
+
+void ComputeWorkerGroup::ReplayLocked(int w) {
+  WorkerState& lost = workers_[static_cast<size_t>(w)];
+  lost.lost = true;
+  std::vector<size_t> orphans(lost.claimed.begin(), lost.claimed.end());
+  lost.claimed.clear();
+  for (size_t idx : lost.queue) orphans.push_back(idx);
+  lost.queue.clear();
+
+  std::vector<int> survivors;
+  for (int i = 0; i < options_.num_workers; ++i) {
+    const WorkerState& cand = workers_[static_cast<size_t>(i)];
+    if (!cand.lost && !cand.killed->load(std::memory_order_acquire)) {
+      survivors.push_back(i);
+    }
+  }
+  ++stats_.workers_lost;
+  if (orphans.empty()) return;
+  ++stats_.rebalances;
+  size_t rr = 0;
+  for (size_t idx : orphans) {
+    if (written_[idx]) continue;  // acknowledged before the crash landed
+    if (survivors.empty()) {
+      // Everyone is gone: fail the item rather than hang Run forever.
+      outputs_[idx] = Status::Aborted("all compute workers lost");
+      written_[idx] = 1;
+      if (--remaining_ == 0) done_.store(true, std::memory_order_release);
+      continue;
+    }
+    workers_[static_cast<size_t>(survivors[rr++ % survivors.size()])]
+        .queue.push_back(idx);
+    ++stats_.items_replayed;
+  }
+}
+
+void ComputeWorkerGroup::MonitorLoop() {
+  while (!done_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      double now = NowSeconds();
+      for (int w = 0; w < options_.num_workers; ++w) {
+        WorkerState& ws = workers_[static_cast<size_t>(w)];
+        if (ws.lost) continue;
+        bool busy = !ws.claimed.empty() || !ws.queue.empty();
+        double silence =
+            now - ws.last_beat->load(std::memory_order_acquire);
+        if (busy && silence > options_.recovery.request_timeout) {
+          ReplayLocked(w);
+        }
+      }
+    }
+    cv_.notify_all();  // wake survivors for replayed work
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.monitor_interval));
+  }
+  cv_.notify_all();
+}
+
+}  // namespace joinopt

@@ -1,0 +1,137 @@
+// ComputeWorkerGroup: a pool of compute "nodes" (each a worker thread with
+// its own ParallelInvoker — its own decision engine, caches and worker
+// pool) jointly draining one input partition list, with crash recovery for
+// the compute side: when a worker dies mid-join its unacknowledged items
+// are replayed on the survivors, exactly once.
+//
+// Work distribution is the simulator's RebalanceInput applied to live
+// threads: input indices are dealt round-robin into per-worker deques; a
+// worker claims a small window, prefetches it through SubmitComp, then
+// FetchComps and writes each output. A monitor thread watches heartbeats
+// (one beat per claim/completion); a worker silent for longer than
+// recovery.request_timeout is declared lost and its *unwritten* claimed
+// items — plus everything still queued on its deque — are re-dealt to the
+// survivors (stats: workers_lost, items_replayed, rebalances).
+//
+// Exactly-once outputs rest on three layers, each covering the others'
+// gap:
+//   1. only unwritten work is replayed (acknowledged outputs never re-run);
+//   2. the output table is first-write-wins — a "lost" worker that was
+//      merely slow and completes after replay is suppressed, not doubled
+//      (duplicate_outputs_suppressed counts these zombies); and
+//   3. delegated batches are tagged, so a replay that re-sends a batch the
+//      data node already ran is answered from its dedup cache (RpcServer)
+//      instead of re-executing.
+// The fault test diffs the output table of a kill-mid-join run against a
+// fault-free run: byte-identical, nothing lost, nothing doubled.
+#ifndef JOINOPT_CLUSTER_COMPUTE_GROUP_H_
+#define JOINOPT_CLUSTER_COMPUTE_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "joinopt/common/status.h"
+#include "joinopt/engine/parallel_invoker.h"
+#include "joinopt/engine/types.h"
+
+namespace joinopt {
+
+struct ComputeWorkerGroupOptions {
+  int num_workers = 4;
+  /// Indices a worker claims (and prefetches) per window.
+  int claim_window = 8;
+  /// Per-worker ParallelInvoker configuration.
+  ParallelInvokerOptions invoker;
+  /// request_timeout bounds heartbeat staleness before a worker is
+  /// declared lost (the same deadline vocabulary as the data side).
+  RecoveryConfig recovery;
+  /// Monitor sweep pause.
+  double monitor_interval = 10e-3;
+
+  ComputeWorkerGroupOptions() {
+    recovery.enabled = true;
+    recovery.request_timeout = 250e-3;
+  }
+};
+
+struct ComputeWorkerGroupStats {
+  int64_t items_completed = 0;
+  int64_t workers_lost = 0;
+  /// Unacknowledged items re-dealt after a worker loss.
+  int64_t items_replayed = 0;
+  /// Worker losses that triggered a re-deal (RebalanceInput events).
+  int64_t rebalances = 0;
+  /// Late writes by zombies (declared lost, then completed anyway).
+  int64_t duplicate_outputs_suppressed = 0;
+};
+
+class ComputeWorkerGroup {
+ public:
+  /// `service` is shared by every worker's invoker (typically a
+  /// ClusterClientService); `fn` must be thread-safe and deterministic —
+  /// replay assumes f(k, p, v) is reproducible.
+  ComputeWorkerGroup(DataService* service, UserFn fn,
+                     ComputeWorkerGroupOptions options = {});
+  ~ComputeWorkerGroup();
+
+  ComputeWorkerGroup(const ComputeWorkerGroup&) = delete;
+  ComputeWorkerGroup& operator=(const ComputeWorkerGroup&) = delete;
+
+  /// Runs every item to a written output (value or final error status).
+  /// Blocks until done; callable once per instance.
+  std::vector<StatusOr<std::string>> Run(
+      const std::vector<std::pair<Key, std::string>>& items);
+
+  /// Crash worker `w` (callable from another thread while Run is in
+  /// flight): it stops heartbeating and discards any result it has not
+  /// yet written — the monitor must *detect* the silence and replay.
+  void KillWorker(int w);
+
+  ComputeWorkerGroupStats stats() const;
+  int num_workers() const { return options_.num_workers; }
+  /// The invoker of worker `w` (valid during and after Run; tests read
+  /// merged stats off it).
+  ParallelInvoker& invoker(int w) { return *invokers_[static_cast<size_t>(w)]; }
+
+ private:
+  struct WorkerState {
+    std::deque<size_t> queue;          // guarded by mu_
+    std::vector<size_t> claimed;       // guarded by mu_ (current window)
+    bool lost = false;                 // guarded by mu_
+    std::unique_ptr<std::atomic<double>> last_beat;  // monotonic seconds
+    std::unique_ptr<std::atomic<bool>> killed;
+  };
+
+  void WorkerLoop(int w, const std::vector<std::pair<Key, std::string>>& items);
+  void MonitorLoop();
+  /// Declares `w` lost and re-deals its unwritten work. Caller holds mu_.
+  void ReplayLocked(int w);
+  void WriteOutput(int w, size_t idx, StatusOr<std::string> result);
+  static double NowSeconds();
+
+  DataService* service_;
+  UserFn fn_;
+  ComputeWorkerGroupOptions options_;
+  std::vector<std::unique_ptr<ParallelInvoker>> invokers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<WorkerState> workers_;
+  std::vector<StatusOr<std::string>> outputs_;  // guarded by mu_
+  std::vector<char> written_;                   // guarded by mu_
+  size_t remaining_ = 0;                        // guarded by mu_
+  ComputeWorkerGroupStats stats_;               // guarded by mu_
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_COMPUTE_GROUP_H_

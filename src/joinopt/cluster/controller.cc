@@ -1,0 +1,106 @@
+#include "joinopt/cluster/controller.h"
+
+#include <chrono>
+
+#include "joinopt/net/socket.h"
+
+namespace joinopt {
+
+ClusterController::ClusterController(ClusterTopology* topology,
+                                     ClusterControllerOptions options)
+    : topology_(topology),
+      options_(std::move(options)),
+      consecutive_(static_cast<size_t>(topology->num_nodes()), 0) {
+  probes_.reserve(consecutive_.size());
+  for (int node = 0; node < topology_->num_nodes(); ++node) {
+    RpcClientOptions copts;
+    copts.endpoints = {topology_->endpoint(static_cast<NodeId>(node))};
+    copts.connect_deadline = options_.recovery.request_timeout;
+    copts.recovery.enabled = false;
+    copts.recovery.request_timeout = options_.recovery.request_timeout;
+    copts.balance_reads = false;
+    probes_.push_back(std::make_unique<RpcClientService>(std::move(copts)));
+  }
+  prober_ = std::thread([this] { ProbeLoop(); });
+}
+
+ClusterController::~ClusterController() { Stop(); }
+
+void ClusterController::Stop() {
+  stop_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+bool ClusterController::Strike(NodeId node) {
+  bool declare = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int& strikes = consecutive_[static_cast<size_t>(node)];
+    ++strikes;
+    if (strikes >= options_.recovery.max_attempts) {
+      strikes = 0;
+      declare = true;
+    }
+  }
+  if (!declare || !topology_->NodeUp(node)) return false;
+  int reassigned = topology_->MarkNodeDown(node);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.nodes_declared_dead;
+    stats_.regions_reassigned += reassigned;
+  }
+  if (on_node_dead_) on_node_dead_(node);
+  return true;
+}
+
+void ClusterController::ClearStrikes(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_[static_cast<size_t>(node)] = 0;
+}
+
+void ClusterController::ReportFailure(NodeId node) {
+  if (node < 0 || node >= topology_->num_nodes()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reported_failures;
+  }
+  Strike(node);
+}
+
+void ClusterController::ProbeLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    for (int node = 0; node < topology_->num_nodes(); ++node) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      NodeId id = static_cast<NodeId>(node);
+      if (!topology_->NodeUp(id)) continue;  // dead stay dead until rejoin
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.probes;
+      }
+      auto stat = probes_[static_cast<size_t>(node)]->Stat(0);
+      if (stat.ok() || !IsTransportError(stat.status())) {
+        // Any in-band answer — NotFound for key 0 included — proves the
+        // node is serving.
+        ClearStrikes(id);
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.probe_failures;
+        }
+        Strike(id);
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(options_.probe_interval),
+                 [this] { return stop_.load(std::memory_order_acquire); });
+  }
+}
+
+ClusterControllerStats ClusterController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace joinopt

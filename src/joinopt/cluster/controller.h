@@ -1,0 +1,109 @@
+// ClusterController: the failure detector. A background thread health-checks
+// every data node the topology believes is up (a payload-free Stat probe —
+// any in-band answer, NotFound included, proves the node serves requests;
+// only transport errors count against it). After `recovery.max_attempts`
+// consecutive failures the node is declared dead: the topology marks it
+// down and promotes live followers for every region it owned, which is the
+// moment clients' per-attempt re-routing starts landing on the survivors.
+//
+// Two signal paths feed the same threshold:
+//   * the probe loop (detects silent deaths with no traffic), and
+//   * ReportFailure(node) — the fast path clients call on every transport
+//     error, so a node under live load is declared dead in ~max_attempts
+//     request timeouts instead of waiting out probe intervals.
+// Any in-band success (probe or not) resets the node's strike count, so a
+// one-off timeout under load cannot accumulate into a false positive.
+//
+// Reusing RecoveryConfig keeps one vocabulary for deadlines: request_timeout
+// bounds a probe exactly like it bounds a data request, and max_attempts is
+// "how many strikes" in both places.
+#ifndef JOINOPT_CLUSTER_CONTROLLER_H_
+#define JOINOPT_CLUSTER_CONTROLLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "joinopt/cluster/topology.h"
+#include "joinopt/engine/types.h"
+#include "joinopt/net/rpc_client.h"
+
+namespace joinopt {
+
+struct ClusterControllerOptions {
+  /// Pause between probe sweeps.
+  double probe_interval = 20e-3;
+  /// request_timeout bounds one probe; max_attempts is the consecutive
+  /// failure threshold for declaring a node dead.
+  RecoveryConfig recovery;
+
+  ClusterControllerOptions() {
+    recovery.enabled = true;
+    recovery.request_timeout = 100e-3;
+    recovery.max_attempts = 3;
+  }
+};
+
+struct ClusterControllerStats {
+  int64_t probes = 0;
+  int64_t probe_failures = 0;
+  int64_t reported_failures = 0;  ///< ReportFailure fast-path strikes
+  int64_t nodes_declared_dead = 0;
+  int64_t regions_reassigned = 0;
+};
+
+class ClusterController {
+ public:
+  /// Endpoints must already be published in `topology`. The probe thread
+  /// starts immediately.
+  ClusterController(ClusterTopology* topology,
+                    ClusterControllerOptions options = {});
+  ~ClusterController();
+
+  ClusterController(const ClusterController&) = delete;
+  ClusterController& operator=(const ClusterController&) = delete;
+
+  void Stop();
+
+  /// Client fast path: one transport-error strike against `node`.
+  /// Thread-safe; crossing the threshold declares the node dead inline.
+  void ReportFailure(NodeId node);
+
+  /// Optional hook invoked (on the declaring thread) after a node is
+  /// marked down and its regions reassigned. Set before traffic starts.
+  void set_on_node_dead(std::function<void(NodeId)> hook) {
+    on_node_dead_ = std::move(hook);
+  }
+
+  ClusterControllerStats stats() const;
+
+ private:
+  void ProbeLoop();
+  /// One strike; declares dead at the threshold. Returns true when this
+  /// call performed the declaration.
+  bool Strike(NodeId node);
+  void ClearStrikes(NodeId node);
+
+  ClusterTopology* topology_;
+  ClusterControllerOptions options_;
+  /// One single-endpoint probe client per node (recovery disabled: the
+  /// strike counting *is* the retry policy).
+  std::vector<std::unique_ptr<RpcClientService>> probes_;
+
+  mutable std::mutex mu_;          ///< guards consecutive_ and stats_
+  std::condition_variable cv_;     ///< wakes the probe loop for Stop
+  std::vector<int> consecutive_;   ///< strike count per node
+  ClusterControllerStats stats_;
+  std::atomic<bool> stop_{false};
+  std::thread prober_;
+  std::function<void(NodeId)> on_node_dead_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_CONTROLLER_H_

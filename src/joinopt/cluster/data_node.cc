@@ -1,0 +1,142 @@
+#include "joinopt/cluster/data_node.h"
+
+#include <utility>
+
+namespace joinopt {
+
+ClusterNodeService::ClusterNodeService(NodeId node, ClusterTopology* topology,
+                                       const LogStoreConfig& store_config)
+    : node_(node), topology_(topology), store_(store_config) {
+  epochs_.resize(static_cast<size_t>(topology->num_regions()));
+  for (int r = 0; r < topology->num_regions(); ++r) {
+    epochs_[static_cast<size_t>(r)].region = r;
+  }
+}
+
+StatusOr<DataService::Fetched> ClusterNodeService::Fetch(Key key) {
+  std::shared_lock lock(store_mu_);
+  auto value = store_.Get(key);
+  if (!value.ok()) return value.status();
+  return Fetched{std::move(value).value(), store_.VersionOf(key)};
+}
+
+StatusOr<std::string> ClusterNodeService::Execute(Key key,
+                                                  const std::string& params,
+                                                  const UserFn& fn) {
+  std::string value;
+  {
+    std::shared_lock lock(store_mu_);
+    auto got = store_.Get(key);
+    if (!got.ok()) return got.status();
+    value = std::move(got).value();
+  }
+  return fn(key, params, value);  // UDF runs outside the store lock
+}
+
+StatusOr<DataService::ItemStat> ClusterNodeService::Stat(Key key) const {
+  std::shared_lock lock(store_mu_);
+  auto value = store_.Get(key);
+  if (!value.ok()) return value.status();
+  return ItemStat{static_cast<double>(value->size()), store_.VersionOf(key)};
+}
+
+NodeId ClusterNodeService::OwnerOf(Key key) const {
+  return topology_->OwnerOf(key);
+}
+
+StatusOr<uint64_t> ClusterNodeService::Put(Key key, const std::string& value) {
+  uint64_t version;
+  {
+    std::unique_lock lock(store_mu_);
+    version = store_.Put(key, value);
+  }
+  UpdateEvent event;
+  event.region = topology_->RegionOf(key);
+  event.key = key;
+  event.version = version;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    RegionEpoch& re = epochs_[static_cast<size_t>(event.region)];
+    ++re.seq;
+    event.epoch = re.epoch;
+    event.seq = re.seq;
+    for (UpdateSink* sink : sinks_) sink->OnUpdateEvent(event);
+  }
+  return version;
+}
+
+std::vector<RegionEpoch> ClusterNodeService::EpochSnapshot() const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return epochs_;
+}
+
+void ClusterNodeService::AddUpdateSink(UpdateSink* sink) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  sinks_.push_back(sink);
+}
+
+void ClusterNodeService::RemoveUpdateSink(UpdateSink* sink) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (*it == sink) {
+      sinks_.erase(it);
+      break;
+    }
+  }
+}
+
+std::vector<std::pair<Key, std::string>> ClusterNodeService::SnapshotWhere(
+    const std::function<bool(Key)>& pred) const {
+  std::shared_lock lock(store_mu_);
+  std::vector<std::pair<Key, std::string>> out;
+  store_.ForEach([&](Key key, const std::string& value) {
+    if (pred(key)) out.emplace_back(key, value);
+  });
+  return out;
+}
+
+void ClusterNodeService::BumpEpochs() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  for (RegionEpoch& re : epochs_) {
+    ++re.epoch;
+    re.seq = 0;
+  }
+}
+
+ClusterDataNode::ClusterDataNode(NodeId node, ClusterTopology* topology,
+                                 UserFn fn, RpcServerOptions server_options,
+                                 const LogStoreConfig& store_config)
+    : node_(node),
+      topology_(topology),
+      fn_(std::move(fn)),
+      server_options_(std::move(server_options)),
+      service_(node, topology, store_config) {}
+
+ClusterDataNode::~ClusterDataNode() { Stop(); }
+
+Status ClusterDataNode::Start() {
+  if (server_ && server_->running()) return Status::OK();
+  RpcServerOptions opts = server_options_;
+  opts.port = port_;  // 0 on first start (ephemeral), pinned afterwards
+  server_ = std::make_unique<RpcServer>(&service_, fn_, opts);
+  Status s = server_->Start();
+  if (!s.ok()) {
+    server_.reset();
+    return s;
+  }
+  port_ = server_->port();
+  topology_->SetEndpoint(node_, RpcEndpoint{server_->host(), port_});
+  return Status::OK();
+}
+
+void ClusterDataNode::Stop() {
+  if (server_) server_->Stop();
+}
+
+Status ClusterDataNode::Restart() {
+  Stop();
+  service_.BumpEpochs();
+  return Start();
+}
+
+}  // namespace joinopt

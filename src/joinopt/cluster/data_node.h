@@ -1,0 +1,120 @@
+// One simulated data node of a multi-node deployment: a WritableDataService
+// over its own LogStructuredStore, served by its own RpcServer. The service
+// answers OwnerOf from the *shared* ClusterTopology (cluster-wide placement,
+// not the per-store shard hash LogStoreDataService uses), tracks per-region
+// (epoch, seq) pairs, and fans UpdateEvents out to registered sinks — the
+// server side of the §4.2.3 invalidation path over real sockets.
+//
+// Crash/restart semantics (what the fault tests drive): Stop() kills the
+// RpcServer — in-flight connections are severed and the port goes dark —
+// but the store survives, like a process whose durable log outlived it.
+// Restart() brings a fresh RpcServer up on the SAME port and bumps every
+// hosted region's epoch (seq resets to 0): subscriber registrations died
+// with the old server, so updates applied between crash and resubscribe
+// were never notified. The epoch bump is what forces reconnecting
+// subscribers into a targeted re-sync instead of trusting stale sequence
+// numbers.
+#ifndef JOINOPT_CLUSTER_DATA_NODE_H_
+#define JOINOPT_CLUSTER_DATA_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "joinopt/cluster/topology.h"
+#include "joinopt/common/status.h"
+#include "joinopt/engine/async_api.h"
+#include "joinopt/net/rpc_server.h"
+#include "joinopt/net/update_hub.h"
+#include "joinopt/store/log_store.h"
+
+namespace joinopt {
+
+/// The in-process service. Thread-safe: the store is guarded by a
+/// shared_mutex (LogStructuredStore allows concurrent readers but only a
+/// single writer), region epochs and the sink list by a plain mutex.
+class ClusterNodeService : public WritableDataService {
+ public:
+  ClusterNodeService(NodeId node, ClusterTopology* topology,
+                     const LogStoreConfig& store_config = {});
+
+  // DataService (read verbs hit the local store; a key this node does not
+  // host simply comes back NotFound — routing is the client's job).
+  StatusOr<Fetched> Fetch(Key key) override;
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override;
+  StatusOr<ItemStat> Stat(Key key) const override;
+  NodeId OwnerOf(Key key) const override;
+
+  // WritableDataService.
+  StatusOr<uint64_t> Put(Key key, const std::string& value) override;
+  std::vector<RegionEpoch> EpochSnapshot() const override;
+  void AddUpdateSink(UpdateSink* sink) override;
+  void RemoveUpdateSink(UpdateSink* sink) override;
+
+  /// Restart hook: bumps every region's epoch and zeroes its seq, modelling
+  /// the loss of the subscriber registrations (see file comment).
+  void BumpEpochs();
+
+  /// Live records whose key satisfies `pred`, read under the store lock —
+  /// the safe way to copy region contents between nodes (the restart
+  /// catch-up path in ClusterDeployment).
+  std::vector<std::pair<Key, std::string>> SnapshotWhere(
+      const std::function<bool(Key)>& pred) const;
+
+  NodeId node() const { return node_; }
+  LogStructuredStore& store() { return store_; }
+  const LogStructuredStore& store() const { return store_; }
+
+ private:
+  NodeId node_;
+  ClusterTopology* topology_;
+
+  mutable std::shared_mutex store_mu_;
+  LogStructuredStore store_;
+
+  /// Guards epochs_ and sinks_; held across the sink fan-out so a
+  /// subscriber snapshot cannot interleave mid-update.
+  mutable std::mutex update_mu_;
+  std::vector<RegionEpoch> epochs_;  // indexed by region
+  std::vector<UpdateSink*> sinks_;
+};
+
+/// Service + server, bundled with crash/restart controls.
+class ClusterDataNode {
+ public:
+  ClusterDataNode(NodeId node, ClusterTopology* topology, UserFn fn,
+                  RpcServerOptions server_options = {},
+                  const LogStoreConfig& store_config = {});
+  ~ClusterDataNode();
+
+  /// Starts the RpcServer and publishes host:port into the topology.
+  Status Start();
+  /// Crash: the server dies (port goes dark), the store survives.
+  void Stop();
+  /// Re-serves the surviving store on the same port; bumps region epochs.
+  Status Restart();
+
+  bool running() const { return server_ && server_->running(); }
+  uint16_t port() const { return port_; }
+  ClusterNodeService& service() { return service_; }
+  const RpcServer* server() const { return server_.get(); }
+
+ private:
+  NodeId node_;
+  ClusterTopology* topology_;
+  UserFn fn_;
+  RpcServerOptions server_options_;
+  ClusterNodeService service_;
+  std::unique_ptr<RpcServer> server_;
+  uint16_t port_ = 0;  ///< pinned after the first Start so Restart reuses it
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_DATA_NODE_H_

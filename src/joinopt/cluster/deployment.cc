@@ -1,0 +1,108 @@
+#include "joinopt/cluster/deployment.h"
+
+#include <unordered_set>
+
+namespace joinopt {
+
+ClusterDeployment::ClusterDeployment(UserFn fn,
+                                     ClusterDeploymentOptions options)
+    : fn_(std::move(fn)), options_(std::move(options)) {
+  topology_ = std::make_unique<ClusterTopology>(options_.topology);
+}
+
+ClusterDeployment::~ClusterDeployment() { Stop(); }
+
+Status ClusterDeployment::Start() {
+  nodes_.reserve(static_cast<size_t>(options_.topology.num_data_nodes));
+  for (int i = 0; i < options_.topology.num_data_nodes; ++i) {
+    nodes_.push_back(std::make_unique<ClusterDataNode>(
+        static_cast<NodeId>(i), topology_.get(), fn_, options_.server,
+        options_.store));
+    JOINOPT_RETURN_NOT_OK(nodes_.back()->Start());
+  }
+  client_ =
+      std::make_unique<ClusterClientService>(topology_.get(), options_.client);
+  if (options_.start_controller) {
+    controller_ = std::make_unique<ClusterController>(topology_.get(),
+                                                      options_.controller);
+    client_->set_failure_listener(
+        [this](NodeId node) { controller_->ReportFailure(node); });
+  }
+  return Status::OK();
+}
+
+void ClusterDeployment::Stop() {
+  if (controller_) controller_->Stop();
+  for (auto& node : nodes_) {
+    if (node) node->Stop();
+  }
+}
+
+StatusOr<uint64_t> ClusterDeployment::Seed(Key key, const std::string& value) {
+  std::vector<NodeId> chain = topology_->ReplicasOf(key);
+  StatusOr<uint64_t> primary = Status::Aborted("no replicas");
+  for (size_t i = 0; i < chain.size(); ++i) {
+    auto version =
+        nodes_[static_cast<size_t>(chain[i])]->service().Put(key, value);
+    if (i == 0) primary = std::move(version);
+  }
+  return primary;
+}
+
+void ClusterDeployment::KillDataNode(int i) {
+  nodes_[static_cast<size_t>(i)]->Stop();
+}
+
+Status ClusterDeployment::RestartDataNode(int i) {
+  NodeId node = static_cast<NodeId>(i);
+  ClusterNodeService& target = nodes_[static_cast<size_t>(i)]->service();
+  // Regions this node hosts in any replica role.
+  std::unordered_set<int> hosted;
+  for (int r = 0; r < topology_->num_regions(); ++r) {
+    for (NodeId rep : topology_->RegionReplicas(r)) {
+      if (rep == node) hosted.insert(r);
+    }
+  }
+  // Catch up from each region's *current* primary: copy every live record
+  // whose value diverged (writes that happened while this node was dark).
+  for (int j = 0; j < topology_->num_nodes(); ++j) {
+    NodeId source = static_cast<NodeId>(j);
+    if (source == node || !topology_->NodeUp(source)) continue;
+    if (!nodes_[static_cast<size_t>(j)]->running()) continue;
+    ClusterNodeService& src = nodes_[static_cast<size_t>(j)]->service();
+    auto records = src.SnapshotWhere([&](Key key) {
+      int region = topology_->RegionOf(key);
+      return hosted.count(region) > 0 &&
+             topology_->RegionOwner(region) == source;
+    });
+    for (auto& [key, value] : records) {
+      auto current = target.Fetch(key);
+      if (current.ok() && current->value == value) continue;  // in sync
+      JOINOPT_RETURN_NOT_OK(target.Put(key, value).status());
+    }
+  }
+  JOINOPT_RETURN_NOT_OK(nodes_[static_cast<size_t>(i)]->Restart());
+  topology_->MarkNodeUp(node);
+  return Status::OK();
+}
+
+std::unique_ptr<UpdateSubscriber> ClusterDeployment::MakeSubscriber(
+    ParallelInvoker* invoker, UpdateSubscriberOptions options) {
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < topology_->num_nodes(); ++i) {
+    nodes.push_back(static_cast<NodeId>(i));
+  }
+  ClusterTopology* topology = topology_.get();
+  return std::make_unique<UpdateSubscriber>(
+      topology, std::move(nodes),
+      [invoker](Key key, uint64_t version) { invoker->OnUpdate(key, version); },
+      [invoker, topology](NodeId /*node*/, int region) {
+        return invoker->ResyncWhere(
+            [topology, region](Key key) {
+              return topology->RegionOf(key) == region;
+            });
+      },
+      options);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,91 @@
+// ClusterDeployment: the all-in-one harness tests and benches use to stand
+// up a real multi-node deployment on loopback — N ClusterDataNodes (each
+// its own RpcServer + LogStructuredStore), the shared ClusterTopology, an
+// owner-aware ClusterClientService wired into a ClusterController (every
+// client transport error is a failure-detector strike), and factory help
+// for Subscribe/Notify streams feeding a ParallelInvoker's re-sync hooks.
+//
+// Fault API: KillDataNode(i) crashes node i's server and tells *nobody* —
+// detection through probes/strikes is the point. RestartDataNode(i)
+// re-syncs the node's hosted regions from the surviving primaries (values
+// copied under the store locks), restarts the server on the same port
+// (epoch bump included) and marks the node up again.
+#ifndef JOINOPT_CLUSTER_DEPLOYMENT_H_
+#define JOINOPT_CLUSTER_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "joinopt/cluster/cluster_client.h"
+#include "joinopt/cluster/controller.h"
+#include "joinopt/cluster/data_node.h"
+#include "joinopt/cluster/subscriber.h"
+#include "joinopt/cluster/topology.h"
+#include "joinopt/common/status.h"
+#include "joinopt/engine/parallel_invoker.h"
+
+namespace joinopt {
+
+struct ClusterDeploymentOptions {
+  ClusterTopologyConfig topology;
+  RpcServerOptions server;
+  ClusterClientOptions client;
+  ClusterControllerOptions controller;
+  LogStoreConfig store;
+  /// When false, no controller runs (tests that want manual liveness).
+  bool start_controller = true;
+};
+
+class ClusterDeployment {
+ public:
+  /// `fn` is the server-side registered UDF (coprocessor-style).
+  ClusterDeployment(UserFn fn, ClusterDeploymentOptions options = {});
+  ~ClusterDeployment();
+
+  ClusterDeployment(const ClusterDeployment&) = delete;
+  ClusterDeployment& operator=(const ClusterDeployment&) = delete;
+
+  /// Starts every data node, the client and (optionally) the controller.
+  Status Start();
+  void Stop();
+
+  /// Writes through the in-process services of every replica (same
+  /// seq-bump + notify path a wire Put takes). Returns the primary's
+  /// version.
+  StatusOr<uint64_t> Seed(Key key, const std::string& value);
+
+  /// Crash: the node's server goes dark; nothing is told (the controller
+  /// must detect it).
+  void KillDataNode(int i);
+  /// Catch-up from surviving primaries + restart on the same port + mark
+  /// up. The epoch bump forces subscribers into targeted re-syncs.
+  Status RestartDataNode(int i);
+
+  /// A subscriber on all data nodes whose events drive `invoker`:
+  /// in-order notifications call OnUpdate, gaps/epoch bumps trigger
+  /// ResyncWhere over exactly the affected region's keys.
+  std::unique_ptr<UpdateSubscriber> MakeSubscriber(
+      ParallelInvoker* invoker, UpdateSubscriberOptions options = {});
+
+  ClusterTopology& topology() { return *topology_; }
+  ClusterClientService& client() { return *client_; }
+  ClusterController* controller() { return controller_.get(); }
+  ClusterDataNode& data_node(int i) {
+    return *nodes_[static_cast<size_t>(i)];
+  }
+  int num_data_nodes() const { return options_.topology.num_data_nodes; }
+
+ private:
+  UserFn fn_;
+  ClusterDeploymentOptions options_;
+  std::unique_ptr<ClusterTopology> topology_;
+  std::vector<std::unique_ptr<ClusterDataNode>> nodes_;
+  std::unique_ptr<ClusterClientService> client_;
+  std::unique_ptr<ClusterController> controller_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_DEPLOYMENT_H_

@@ -1,0 +1,125 @@
+// Compute-side half of the wire-level invalidation path: one background
+// thread per data node holds a Subscribe stream (frame.h v2) and feeds the
+// events into callbacks — OnUpdate for in-order notifications, a targeted
+// re-sync for everything the stream cannot vouch for.
+//
+// Epoch/seq discipline (see net/update_hub.h for the server side): the
+// subscriber tracks the last seen (epoch, seq) per (node, region).
+//   * seq == last + 1       -> deliver the invalidation (the common case).
+//   * seq <= last           -> duplicate (snapshot/stream overlap); ignore.
+//   * seq gap               -> events were lost (queue overflow, missed
+//                              window during reconnect): re-sync the region.
+//   * epoch changed         -> the node restarted; every seq comparison is
+//                              void: re-sync the region.
+// "Re-sync a region" means dropping every cached payload whose key hashes
+// into that region (ParallelInvoker::ResyncWhere) — targeted, not a full
+// cache flush; the tests assert keys in untouched regions survive.
+//
+// Reconnect: any transport error tears the stream down; the thread redials
+// with bounded backoff, compares the new epoch snapshot against its state,
+// and re-syncs exactly the regions that advanced while it was deaf.
+#ifndef JOINOPT_CLUSTER_SUBSCRIBER_H_
+#define JOINOPT_CLUSTER_SUBSCRIBER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "joinopt/cluster/topology.h"
+#include "joinopt/common/status.h"
+#include "joinopt/net/frame.h"
+
+namespace joinopt {
+
+struct UpdateSubscriberOptions {
+  /// Poll tick while waiting for events (also the stop-latency bound).
+  double poll_tick = 50e-3;
+  /// Redial pacing after a torn stream.
+  double reconnect_backoff = 20e-3;
+  double connect_deadline = 1.0;
+  /// NodeId reported in the SubscribeRequest (diagnostic only).
+  NodeId subscriber_id = 0;
+};
+
+struct UpdateSubscriberStats {
+  int64_t notifications = 0;      ///< in-order events delivered
+  int64_t duplicates_ignored = 0;  ///< seq <= last seen (at-least-once overlap)
+  int64_t gaps_detected = 0;      ///< sequence gaps (lost events)
+  int64_t epoch_bumps = 0;        ///< node restarts observed
+  int64_t resyncs = 0;            ///< targeted region re-syncs triggered
+  int64_t keys_dropped = 0;       ///< payloads dropped by those re-syncs
+  int64_t reconnects = 0;         ///< stream teardowns that were redialed
+};
+
+class UpdateSubscriber {
+ public:
+  /// Called for every in-order invalidation event.
+  using UpdateFn = std::function<void(Key key, uint64_t version)>;
+  /// Called when a region of `node` needs a re-sync; returns the number of
+  /// payloads dropped (fed into stats().keys_dropped).
+  using ResyncFn = std::function<int64_t(NodeId node, int region)>;
+
+  /// Subscribes to every node in `nodes` (endpoints read from `topology`
+  /// at dial time, so a restart on the same port is re-reached). Threads
+  /// start immediately.
+  UpdateSubscriber(ClusterTopology* topology, std::vector<NodeId> nodes,
+                   UpdateFn on_update, ResyncFn on_resync,
+                   UpdateSubscriberOptions options = {});
+  ~UpdateSubscriber();
+
+  UpdateSubscriber(const UpdateSubscriber&) = delete;
+  UpdateSubscriber& operator=(const UpdateSubscriber&) = delete;
+
+  /// Tears all streams down and joins the threads. Idempotent.
+  void Stop();
+
+  /// Severs `node`'s stream at the socket (the fault hook: simulates a
+  /// half-dead link without touching the server).
+  void DropConnectionForTest(NodeId node);
+
+  /// True once every subscribed node has delivered at least one snapshot.
+  bool AllSnapshotsSeen() const;
+
+  UpdateSubscriberStats stats() const;
+
+ private:
+  void StreamLoop(size_t slot, NodeId node);
+  /// Reconciles a snapshot or event against the per-region state; triggers
+  /// re-syncs. Returns true when the event should be delivered.
+  bool Reconcile(NodeId node, int region, uint64_t epoch, uint64_t seq,
+                 bool is_event);
+  void RunResync(NodeId node, int region);
+
+  ClusterTopology* topology_;
+  std::vector<NodeId> nodes_;
+  UpdateFn on_update_;
+  ResyncFn on_resync_;
+  UpdateSubscriberOptions options_;
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+  /// Live stream fd per slot (-1 when disconnected); written by the stream
+  /// thread, shutdown() by Stop/DropConnectionForTest.
+  std::vector<std::unique_ptr<std::atomic<int>>> fds_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> snapshot_seen_;
+
+  struct RegionState {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+    bool seen = false;
+  };
+  mutable std::mutex mu_;  ///< guards state_ and stats_
+  std::map<std::pair<NodeId, int>, RegionState> state_;
+  UpdateSubscriberStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_SUBSCRIBER_H_

@@ -1,0 +1,97 @@
+#include "joinopt/cluster/topology.h"
+
+#include <mutex>
+
+namespace joinopt {
+
+namespace {
+
+std::vector<NodeId> AllNodes(int n) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ids.push_back(static_cast<NodeId>(i));
+  return ids;
+}
+
+}  // namespace
+
+ClusterTopology::ClusterTopology(const ClusterTopologyConfig& config)
+    : config_(config),
+      regions_(config.num_data_nodes * config.regions_per_node,
+               AllNodes(config.num_data_nodes), config.replication_factor),
+      endpoints_(static_cast<size_t>(config.num_data_nodes)),
+      up_(static_cast<size_t>(config.num_data_nodes), 1) {}
+
+NodeId ClusterTopology::OwnerOf(Key key) const {
+  std::shared_lock lock(mu_);
+  return regions_.OwnerOf(key);
+}
+
+NodeId ClusterTopology::RegionOwner(int region) const {
+  std::shared_lock lock(mu_);
+  return regions_.RegionOwner(region);
+}
+
+std::vector<NodeId> ClusterTopology::ReplicasOf(Key key) const {
+  std::shared_lock lock(mu_);
+  return regions_.ReplicasOf(key);
+}
+
+std::vector<NodeId> ClusterTopology::RegionReplicas(int region) const {
+  std::shared_lock lock(mu_);
+  return regions_.RegionReplicas(region);
+}
+
+std::vector<NodeId> ClusterTopology::LiveReplicasOf(Key key) const {
+  std::shared_lock lock(mu_);
+  std::vector<NodeId> live;
+  for (NodeId node : regions_.ReplicasOf(key)) {
+    if (up_[static_cast<size_t>(node)]) live.push_back(node);
+  }
+  return live;
+}
+
+std::vector<int> ClusterTopology::RegionsOwnedBy(NodeId node) const {
+  std::shared_lock lock(mu_);
+  return regions_.RegionsOf(node);
+}
+
+void ClusterTopology::SetEndpoint(NodeId node, const RpcEndpoint& endpoint) {
+  std::unique_lock lock(mu_);
+  endpoints_[static_cast<size_t>(node)] = endpoint;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+RpcEndpoint ClusterTopology::endpoint(NodeId node) const {
+  std::shared_lock lock(mu_);
+  return endpoints_[static_cast<size_t>(node)];
+}
+
+bool ClusterTopology::NodeUp(NodeId node) const {
+  std::shared_lock lock(mu_);
+  return up_[static_cast<size_t>(node)] != 0;
+}
+
+int ClusterTopology::MarkNodeDown(NodeId node) {
+  std::unique_lock lock(mu_);
+  if (!up_[static_cast<size_t>(node)]) return 0;  // already down
+  up_[static_cast<size_t>(node)] = 0;
+  int reassigned = 0;
+  for (int region : regions_.RegionsOf(node)) {
+    for (NodeId follower : regions_.RegionReplicas(region)) {
+      if (follower == node || !up_[static_cast<size_t>(follower)]) continue;
+      if (regions_.MoveRegion(region, follower).ok()) ++reassigned;
+      break;  // first live follower promoted (or move failed; keep as-is)
+    }
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return reassigned;
+}
+
+void ClusterTopology::MarkNodeUp(NodeId node) {
+  std::unique_lock lock(mu_);
+  up_[static_cast<size_t>(node)] = 1;
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace joinopt

@@ -1,0 +1,86 @@
+// Shared cluster view: the RegionMap (key -> region -> replica chain) plus
+// the live endpoint of every data node and its liveness flag. One instance
+// is shared by every component of a deployment — clients route through it,
+// the controller mutates it when a node is declared dead, data nodes read
+// it to answer OwnerOf with cluster-wide placement.
+//
+// Failover policy: MarkNodeDown promotes, for every region whose primary is
+// the dead node, the first *live* follower to primary (RegionMap::MoveRegion
+// swaps the roles, so the demoted node re-enters the chain as a follower and
+// resumes serving once it rejoins). Regions with no live follower keep the
+// dead primary — requests for them keep failing until the node is back,
+// which is the honest outcome when replication_factor copies are all gone.
+//
+// Thread safety: all methods are safe to call concurrently (shared_mutex;
+// reads take the shared side). `version()` increments on every mutation so
+// cached routing decisions can be revalidated cheaply.
+#ifndef JOINOPT_CLUSTER_TOPOLOGY_H_
+#define JOINOPT_CLUSTER_TOPOLOGY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "joinopt/common/hash.h"
+#include "joinopt/common/status.h"
+#include "joinopt/net/rpc_client.h"
+#include "joinopt/store/region_map.h"
+
+namespace joinopt {
+
+struct ClusterTopologyConfig {
+  int num_data_nodes = 3;
+  /// Regions per node (HBase-style over-partitioning: more regions than
+  /// nodes smooths the load when regions move on failover).
+  int regions_per_node = 4;
+  int replication_factor = 2;
+};
+
+class ClusterTopology {
+ public:
+  explicit ClusterTopology(const ClusterTopologyConfig& config);
+
+  /// Pure hash, never changes: safe without a lock.
+  int RegionOf(Key key) const { return regions_.RegionOf(key); }
+
+  NodeId OwnerOf(Key key) const;
+  NodeId RegionOwner(int region) const;
+  /// Replica chain of `key`'s region, primary first (copy: the map can
+  /// mutate under the caller).
+  std::vector<NodeId> ReplicasOf(Key key) const;
+  std::vector<NodeId> RegionReplicas(int region) const;
+  /// ReplicasOf filtered to nodes currently marked up; may be empty.
+  std::vector<NodeId> LiveReplicasOf(Key key) const;
+  /// Regions whose primary is `node`.
+  std::vector<int> RegionsOwnedBy(NodeId node) const;
+
+  void SetEndpoint(NodeId node, const RpcEndpoint& endpoint);
+  RpcEndpoint endpoint(NodeId node) const;
+
+  bool NodeUp(NodeId node) const;
+  /// Declares `node` dead and promotes live followers for every region it
+  /// was primary of. Returns the number of regions reassigned.
+  int MarkNodeDown(NodeId node);
+  void MarkNodeUp(NodeId node);
+
+  int num_regions() const { return regions_.num_regions(); }
+  int num_nodes() const { return config_.num_data_nodes; }
+  int replication_factor() const { return regions_.replication_factor(); }
+  /// Bumped on every mutation (endpoint change, liveness flip, promotion).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  ClusterTopologyConfig config_;
+  mutable std::shared_mutex mu_;
+  RegionMap regions_;                // guarded by mu_
+  std::vector<RpcEndpoint> endpoints_;  // guarded by mu_
+  std::vector<char> up_;             // guarded by mu_ (vector<bool> races)
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_TOPOLOGY_H_

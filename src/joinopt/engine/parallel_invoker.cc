@@ -116,6 +116,32 @@ void ParallelInvoker::OnUpdate(Key key, uint64_t new_version) {
   if (new_version > floor) floor = new_version;
 }
 
+int64_t ParallelInvoker::ResyncWhere(const std::function<bool(Key)>& pred) {
+  int64_t dropped_payloads = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // The engine drops its cache-tier entries and counters for matching
+    // keys; payloads are a superset (a payload can outlive its tier slot),
+    // so they get their own sweep.
+    shard.engine->ResyncInvalidate(pred);
+    for (auto it = shard.values.begin(); it != shard.values.end();) {
+      if (pred(it->first)) {
+        // Raise the version floor past the dropped copy so a fetch racing
+        // this re-sync cannot re-install the possibly-stale payload.
+        uint64_t& floor = shard.min_version[it->first];
+        if (it->second.version + 1 > floor) floor = it->second.version + 1;
+        it = shard.values.erase(it);
+        ++dropped_payloads;
+      } else {
+        ++it;
+      }
+    }
+  }
+  stats_.resync_dropped += dropped_payloads;
+  return dropped_payloads;
+}
+
 void ParallelInvoker::Barrier() {
   std::unique_lock<std::mutex> lock(barrier_mu_);
   while (outstanding_.load(std::memory_order_acquire) > 0) {
@@ -420,6 +446,7 @@ ParallelInvokerStats ParallelInvoker::stats() const {
       stats_.delegation_batches.load(std::memory_order_relaxed);
   out.transport_errors =
       stats_.transport_errors.load(std::memory_order_relaxed);
+  out.resync_dropped = stats_.resync_dropped.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     out.dropped_results += shard->results.dropped();

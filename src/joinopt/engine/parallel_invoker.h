@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -97,6 +98,8 @@ struct ParallelInvokerStats {
   /// exhausted; see net/socket.h). FetchComp re-runs these on demand, so a
   /// transient outage costs latency, not correctness.
   int64_t transport_errors = 0;
+  /// Cached payloads dropped by ResyncWhere (epoch-gap recovery).
+  int64_t resync_dropped = 0;
 };
 
 class ParallelInvoker {
@@ -125,6 +128,16 @@ class ParallelInvoker {
   /// Thread-safe; a fetch racing the update is detected by version and
   /// never installs the stale payload.
   void OnUpdate(Key key, uint64_t new_version);
+
+  /// Epoch-gap re-sync: drops every cached payload (and the matching
+  /// engine cache/counter state) whose key satisfies `pred`. Used when an
+  /// update-notification stream detects a gap — the dropped keys may or
+  /// may not have changed, but their invalidations can no longer be
+  /// trusted, so the stale-read window is closed by re-fetching on next
+  /// use. Thread-safe; returns the number of payloads dropped (the
+  /// "targeted re-sync" metric — it must stay proportional to the gapped
+  /// regions, not the whole cache).
+  int64_t ResyncWhere(const std::function<bool(Key)>& pred);
 
   /// Blocks until every submitted request has produced (or dropped) its
   /// result and all delegation batches have flushed.
@@ -254,6 +267,7 @@ class ParallelInvoker {
     std::atomic<int64_t> on_demand_runs{0};
     std::atomic<int64_t> delegation_batches{0};
     std::atomic<int64_t> transport_errors{0};
+    std::atomic<int64_t> resync_dropped{0};
   };
   mutable AtomicStats stats_;
 };

@@ -41,8 +41,11 @@ void FaultInjector::Apply(const FaultEvent& event) {
       break;
     case FaultKind::kLinkPartition:
     case FaultKind::kLinkHeal:
-      // Partitions drop messages rather than slowing them; liveness is
-      // answered by the schedule-derived LinkUpAt.
+    case FaultKind::kLinkPartitionOneWay:
+    case FaultKind::kLinkHealOneWay:
+      // Partitions (symmetric or half-open) drop messages rather than
+      // slowing them; liveness is answered by the schedule-derived,
+      // direction-aware LinkUpAt.
       ++stats_.link_events;
       break;
     case FaultKind::kDiskSlow:

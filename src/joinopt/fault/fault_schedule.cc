@@ -22,6 +22,10 @@ const char* FaultKindToString(FaultKind kind) {
       return "disk_slow";
     case FaultKind::kDiskRestore:
       return "disk_restore";
+    case FaultKind::kLinkPartitionOneWay:
+      return "link_partition_one_way";
+    case FaultKind::kLinkHealOneWay:
+      return "link_heal_one_way";
   }
   return "?";
 }
@@ -49,6 +53,16 @@ FaultSchedule& FaultSchedule::PartitionLink(double time, NodeId a, NodeId b) {
 
 FaultSchedule& FaultSchedule::HealLink(double time, NodeId a, NodeId b) {
   return Add({time, FaultKind::kLinkHeal, a, b, 1.0});
+}
+
+FaultSchedule& FaultSchedule::PartitionLinkOneWay(double time, NodeId from,
+                                                  NodeId to) {
+  return Add({time, FaultKind::kLinkPartitionOneWay, from, to, 1.0});
+}
+
+FaultSchedule& FaultSchedule::HealLinkOneWay(double time, NodeId from,
+                                             NodeId to) {
+  return Add({time, FaultKind::kLinkHealOneWay, from, to, 1.0});
 }
 
 FaultSchedule& FaultSchedule::SlowDisk(double time, NodeId node,
@@ -93,18 +107,36 @@ bool FaultSchedule::NodeUpAt(NodeId node, double t) const {
 }
 
 bool FaultSchedule::LinkUpAt(NodeId a, NodeId b, double t) const {
+  // Replays events affecting the a→b direction in time order. Symmetric
+  // partition/heal events match either orientation; one-way events match
+  // only when their stated direction is exactly a→b — so a one-way drop of
+  // b→a leaves a→b untouched, which is the whole point of modeling
+  // half-open links.
   bool up = true;
   double best = -1.0;
   for (const FaultEvent& e : events_) {
     if (e.time > t) continue;
-    if (e.kind != FaultKind::kLinkPartition && e.kind != FaultKind::kLinkHeal) {
-      continue;
+    bool matches;
+    bool heals;
+    switch (e.kind) {
+      case FaultKind::kLinkPartition:
+      case FaultKind::kLinkHeal:
+        matches =
+            (e.node == a && e.peer == b) || (e.node == b && e.peer == a);
+        heals = e.kind == FaultKind::kLinkHeal;
+        break;
+      case FaultKind::kLinkPartitionOneWay:
+      case FaultKind::kLinkHealOneWay:
+        matches = e.node == a && e.peer == b;
+        heals = e.kind == FaultKind::kLinkHealOneWay;
+        break;
+      default:
+        continue;
     }
-    bool matches = (e.node == a && e.peer == b) || (e.node == b && e.peer == a);
     if (!matches) continue;
     if (e.time >= best) {
       best = e.time;
-      up = e.kind == FaultKind::kLinkHeal;
+      up = heals;
     }
   }
   return up;

@@ -23,6 +23,12 @@ enum class FaultKind {
   kLinkHeal,     ///< partition healed
   kDiskSlow,     ///< node's disk serves `factor`x slower (straggler)
   kDiskRestore,  ///< disk back to full speed
+  /// Half-open partition: messages from `node` to `peer` are dropped while
+  /// the reverse direction keeps flowing — the asymmetric failure mode
+  /// (dying NIC TX queue, one-way firewall rule) that makes A think B is
+  /// dead while B still hears A's requests and burns work answering them.
+  kLinkPartitionOneWay,
+  kLinkHealOneWay,  ///< heals only the `node`→`peer` direction
 };
 
 const char* FaultKindToString(FaultKind kind);
@@ -50,6 +56,9 @@ class FaultSchedule {
   FaultSchedule& RestoreLink(double time, NodeId a, NodeId b);
   FaultSchedule& PartitionLink(double time, NodeId a, NodeId b);
   FaultSchedule& HealLink(double time, NodeId a, NodeId b);
+  /// Drops only the `from`→`to` direction (see kLinkPartitionOneWay).
+  FaultSchedule& PartitionLinkOneWay(double time, NodeId from, NodeId to);
+  FaultSchedule& HealLinkOneWay(double time, NodeId from, NodeId to);
   FaultSchedule& SlowDisk(double time, NodeId node, double factor);
   FaultSchedule& RestoreDisk(double time, NodeId node);
   FaultSchedule& Add(FaultEvent event);
@@ -65,7 +74,11 @@ class FaultSchedule {
   /// `t` counts as already applied).
   bool NodeUpAt(NodeId node, double t) const;
 
-  /// True if the link {a, b} is not partitioned at time `t`.
+  /// True if messages from `a` can reach `b` at time `t`. Symmetric
+  /// partition events block both directions; one-way events block only
+  /// their stated `node`→`peer` direction, so a half-open link answers
+  /// LinkUpAt(a, b, t) != LinkUpAt(b, a, t). The most recent event
+  /// affecting a given direction wins.
   bool LinkUpAt(NodeId a, NodeId b, double t) const;
 
  private:

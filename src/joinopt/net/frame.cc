@@ -26,6 +26,11 @@ const char* MsgTypeToString(MsgType t) {
     case MsgType::kStatResp: return "StatResp";
     case MsgType::kOwnerReq: return "OwnerReq";
     case MsgType::kOwnerResp: return "OwnerResp";
+    case MsgType::kPutReq: return "PutReq";
+    case MsgType::kPutResp: return "PutResp";
+    case MsgType::kSubscribeReq: return "SubscribeReq";
+    case MsgType::kSubscribeResp: return "SubscribeResp";
+    case MsgType::kNotifyEvt: return "NotifyEvt";
   }
   return "Unknown";
 }
@@ -37,8 +42,11 @@ MsgType ResponseTypeFor(MsgType req) {
     case MsgType::kBatchReq:
     case MsgType::kStatReq:
     case MsgType::kOwnerReq:
+    case MsgType::kPutReq:
+    case MsgType::kSubscribeReq:
       return static_cast<MsgType>(static_cast<uint8_t>(req) + 1);
     default:
+      // kNotifyEvt is one-way; everything else is not a request.
       return static_cast<MsgType>(0);
   }
 }
@@ -131,9 +139,9 @@ StatusOr<std::string> WireReader::GetString() {
 }
 
 void AppendFrameHeader(std::string* out, MsgType type, uint32_t seq,
-                       uint32_t body_len) {
+                       uint32_t body_len, uint8_t version) {
   PutU32(out, kFrameMagic);
-  PutU8(out, kWireVersion);
+  PutU8(out, version);
   PutU8(out, static_cast<uint8_t>(type));
   PutU16(out, 0);  // flags
   PutU32(out, seq);
@@ -164,13 +172,14 @@ StatusOr<FrameHeader> ParseFrameHeader(std::string_view buf,
 
 StatusOr<std::string> BuildFrame(MsgType type, uint32_t seq,
                                  std::string_view body,
-                                 size_t max_frame_bytes) {
+                                 size_t max_frame_bytes, uint8_t version) {
   if (body.size() > max_frame_bytes) {
     return Status::ResourceExhausted("wire: frame body exceeds limit");
   }
   std::string out;
   out.reserve(kFrameHeaderBytes + body.size());
-  AppendFrameHeader(&out, type, seq, static_cast<uint32_t>(body.size()));
+  AppendFrameHeader(&out, type, seq, static_cast<uint32_t>(body.size()),
+                    version);
   out.append(body.data(), body.size());
   return out;
 }
@@ -233,6 +242,110 @@ StatusOr<std::vector<std::pair<Key, std::string>>> DecodeBatchRequest(
   }
   if (!r.Done()) return BadFrame("trailing bytes in batch request");
   return items;
+}
+
+std::string EncodeTaggedBatchRequest(
+    uint64_t client_id, uint64_t batch_seq,
+    const std::vector<std::pair<Key, std::string>>& items) {
+  std::string out;
+  PutU64(&out, client_id);
+  PutU64(&out, batch_seq);
+  out += EncodeBatchRequest(items);
+  return out;
+}
+
+StatusOr<TaggedBatchRequest> DecodeTaggedBatchRequest(std::string_view body) {
+  WireReader r(body);
+  TaggedBatchRequest req;
+  JOINOPT_ASSIGN_OR_RETURN(req.client_id, r.GetU64());
+  JOINOPT_ASSIGN_OR_RETURN(req.batch_seq, r.GetU64());
+  JOINOPT_ASSIGN_OR_RETURN(req.items, DecodeBatchRequest(body.substr(16)));
+  return req;
+}
+
+std::string EncodePutRequest(Key key, std::string_view value) {
+  std::string out;
+  PutU64(&out, key);
+  PutString(&out, value);
+  return out;
+}
+
+StatusOr<PutRequest> DecodePutRequest(std::string_view body) {
+  WireReader r(body);
+  PutRequest req;
+  JOINOPT_ASSIGN_OR_RETURN(req.key, r.GetU64());
+  JOINOPT_ASSIGN_OR_RETURN(req.value, r.GetString());
+  if (!r.Done()) return BadFrame("trailing bytes in put request");
+  return req;
+}
+
+std::string EncodeSubscribeRequest(NodeId subscriber) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(subscriber));
+  return out;
+}
+
+StatusOr<NodeId> DecodeSubscribeRequest(std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t node, r.GetU32());
+  if (!r.Done()) return BadFrame("trailing bytes in subscribe request");
+  return static_cast<NodeId>(node);
+}
+
+std::string EncodeSubscribeResponse(const std::vector<RegionEpoch>& regions) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(regions.size()));
+  for (const RegionEpoch& re : regions) {
+    PutU32(&out, static_cast<uint32_t>(re.region));
+    PutU64(&out, re.epoch);
+    PutU64(&out, re.seq);
+  }
+  return out;
+}
+
+StatusOr<std::vector<RegionEpoch>> DecodeSubscribeResponse(
+    std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // Each entry is exactly 20 bytes; a lying count is a corrupt frame.
+  if (static_cast<size_t>(count) * 20 > r.remaining()) {
+    return BadFrame("region count exceeds frame");
+  }
+  std::vector<RegionEpoch> regions;
+  regions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RegionEpoch re;
+    JOINOPT_ASSIGN_OR_RETURN(uint32_t region, r.GetU32());
+    re.region = static_cast<int32_t>(region);
+    JOINOPT_ASSIGN_OR_RETURN(re.epoch, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(re.seq, r.GetU64());
+    regions.push_back(re);
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in subscribe response");
+  return regions;
+}
+
+std::string EncodeNotifyEvent(const UpdateEvent& event) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(event.region));
+  PutU64(&out, event.epoch);
+  PutU64(&out, event.seq);
+  PutU64(&out, event.key);
+  PutU64(&out, event.version);
+  return out;
+}
+
+StatusOr<UpdateEvent> DecodeNotifyEvent(std::string_view body) {
+  WireReader r(body);
+  UpdateEvent event;
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t region, r.GetU32());
+  event.region = static_cast<int32_t>(region);
+  JOINOPT_ASSIGN_OR_RETURN(event.epoch, r.GetU64());
+  JOINOPT_ASSIGN_OR_RETURN(event.seq, r.GetU64());
+  JOINOPT_ASSIGN_OR_RETURN(event.key, r.GetU64());
+  JOINOPT_ASSIGN_OR_RETURN(event.version, r.GetU64());
+  if (!r.Done()) return BadFrame("trailing bytes in notify event");
+  return event;
 }
 
 void PutStatus(std::string* out, const Status& status) {
@@ -413,6 +526,34 @@ StatusOr<NodeId> DecodeOwnerResponse(std::string_view body) {
   JOINOPT_ASSIGN_OR_RETURN(uint32_t node, r.GetU32());
   if (!r.Done()) return BadFrame("trailing bytes in owner response");
   return static_cast<NodeId>(node);
+}
+
+std::string EncodePutResponse(const StatusOr<uint64_t>& new_version) {
+  std::string out;
+  if (new_version.ok()) {
+    PutU8(&out, kTagOk);
+    PutU64(&out, *new_version);
+  } else {
+    PutU8(&out, kTagError);
+    PutStatus(&out, new_version.status());
+  }
+  return out;
+}
+
+StatusOr<StatusOr<uint64_t>> DecodePutResponse(std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(bool ok, GetResultTag(r));
+  StatusOr<uint64_t> result = Status::Internal("uninitialized");
+  if (ok) {
+    JOINOPT_ASSIGN_OR_RETURN(uint64_t version, r.GetU64());
+    result = version;
+  } else {
+    Status status;
+    JOINOPT_RETURN_NOT_OK(GetStatus(r, &status));
+    result = std::move(status);
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in put response");
+  return result;
 }
 
 }  // namespace joinopt

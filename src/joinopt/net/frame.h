@@ -23,8 +23,17 @@
 //
 // Compatibility rule: the header layout (magic..body_len) is frozen; any
 // change to a body encoding bumps kWireVersion. A server receiving a
-// mismatched version answers with an in-band FailedPrecondition error (so
-// old clients get a readable error, not a hang) and closes the connection.
+// version it cannot speak answers with an in-band FailedPrecondition error
+// (so old clients get a readable error, not a hang) and closes the
+// connection.
+//
+// Version 2 (this header) adds the write path — Put, a Subscribe/Notify
+// invalidation stream carrying per-region epoch/sequence numbers, and a
+// tagged ExecuteBatch body prefixed with (client_id, batch_seq) so servers
+// can deduplicate replayed batches for exactly-once delegation. The five
+// v1 verb bodies are byte-identical in v2: a v2 server still accepts v1
+// frames for them and answers with v1-stamped frames (see DESIGN.md §11
+// for the compat table), so v1 readers keep working.
 //
 // The codec layer is pure (no I/O); sockets live in net/socket.h. See
 // DESIGN.md §10 for the protocol rationale and the errno → Status table.
@@ -43,7 +52,9 @@
 namespace joinopt {
 
 inline constexpr uint32_t kFrameMagic = 0x4A4F5054;  // "JOPT"
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
+/// Oldest version a v2 server still serves (the five v1 verbs only).
+inline constexpr uint8_t kMinWireVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Default bound on body_len; a peer announcing more is protocol-violating
 /// and the connection is dropped (never trust a length field with memory).
@@ -61,6 +72,13 @@ enum class MsgType : uint8_t {
   kStatResp = 8,
   kOwnerReq = 9,
   kOwnerResp = 10,
+  // ---- v2 verbs (write path + invalidation stream) ----
+  kPutReq = 11,
+  kPutResp = 12,
+  kSubscribeReq = 13,
+  kSubscribeResp = 14,
+  /// One-way server→client push after a Subscribe; never answered.
+  kNotifyEvt = 15,
 };
 
 const char* MsgTypeToString(MsgType t);
@@ -77,9 +95,10 @@ struct FrameHeader {
   uint32_t body_len = 0;
 };
 
-/// Appends the 16-byte header for a `body_len`-byte body.
+/// Appends the 16-byte header for a `body_len`-byte body. `version` lets a
+/// v2 server stamp responses to v1 clients with the version they speak.
 void AppendFrameHeader(std::string* out, MsgType type, uint32_t seq,
-                       uint32_t body_len);
+                       uint32_t body_len, uint8_t version = kWireVersion);
 
 /// Parses and validates a 16-byte header (magic, version, flags, size
 /// bound). `buf` must hold exactly kFrameHeaderBytes.
@@ -91,7 +110,8 @@ StatusOr<FrameHeader> ParseFrameHeader(std::string_view buf,
 /// rejected by the peer).
 StatusOr<std::string> BuildFrame(MsgType type, uint32_t seq,
                                  std::string_view body,
-                                 size_t max_frame_bytes);
+                                 size_t max_frame_bytes,
+                                 uint8_t version = kWireVersion);
 
 // ---- primitive append/read helpers (exposed for tests) -------------------
 
@@ -142,6 +162,66 @@ std::string EncodeBatchRequest(
 StatusOr<std::vector<std::pair<Key, std::string>>> DecodeBatchRequest(
     std::string_view body);
 
+/// v2 ExecuteBatch body: (client_id, batch_seq) prefix + the v1 item list.
+/// A server remembers recently-served (client_id, batch_seq) pairs and
+/// answers a replay from its response cache instead of re-executing — the
+/// dedup half of exactly-once batch delegation (the client half is reusing
+/// the same tag across retry attempts).
+struct TaggedBatchRequest {
+  uint64_t client_id = 0;
+  uint64_t batch_seq = 0;
+  std::vector<std::pair<Key, std::string>> items;
+};
+std::string EncodeTaggedBatchRequest(
+    uint64_t client_id, uint64_t batch_seq,
+    const std::vector<std::pair<Key, std::string>>& items);
+StatusOr<TaggedBatchRequest> DecodeTaggedBatchRequest(std::string_view body);
+
+/// Put request: key + value bytes.
+struct PutRequest {
+  Key key = 0;
+  std::string value;
+};
+std::string EncodePutRequest(Key key, std::string_view value);
+StatusOr<PutRequest> DecodePutRequest(std::string_view body);
+
+/// Subscribe request: the subscriber's node id (u32, informational).
+std::string EncodeSubscribeRequest(NodeId subscriber);
+StatusOr<NodeId> DecodeSubscribeRequest(std::string_view body);
+
+// ---- invalidation stream -------------------------------------------------
+
+/// Per-region update-stream position. `epoch` bumps when the serving node
+/// restarts (its volatile subscriber registrations died, so any sequence
+/// comparison across the bump is meaningless); `seq` counts updates within
+/// an epoch, starting at 0. A subscriber that sees seq jump by more than
+/// one — or epoch change at all — knows invalidations were missed and must
+/// re-sync that region.
+struct RegionEpoch {
+  int32_t region = 0;
+  uint64_t epoch = 1;
+  uint64_t seq = 0;
+};
+
+/// One invalidation event: "key is now at `version`; this is update `seq`
+/// of `epoch` for `region`".
+struct UpdateEvent {
+  int32_t region = 0;
+  uint64_t epoch = 1;
+  uint64_t seq = 0;
+  Key key = 0;
+  uint64_t version = 0;
+};
+
+/// Subscribe response: the full per-region epoch/seq snapshot at the time
+/// the subscription was registered (events from then on are streamed).
+std::string EncodeSubscribeResponse(const std::vector<RegionEpoch>& regions);
+StatusOr<std::vector<RegionEpoch>> DecodeSubscribeResponse(
+    std::string_view body);
+
+std::string EncodeNotifyEvent(const UpdateEvent& event);
+StatusOr<UpdateEvent> DecodeNotifyEvent(std::string_view body);
+
 // ---- response bodies -----------------------------------------------------
 
 /// Serialized Status: u8 code + message string. Codes outside the enum
@@ -169,6 +249,10 @@ StatusOr<StatusOr<DataService::ItemStat>> DecodeStatResponse(
 
 std::string EncodeOwnerResponse(NodeId node);
 StatusOr<NodeId> DecodeOwnerResponse(std::string_view body);
+
+/// Put response: the new store version on success.
+std::string EncodePutResponse(const StatusOr<uint64_t>& new_version);
+StatusOr<StatusOr<uint64_t>> DecodePutResponse(std::string_view body);
 
 }  // namespace joinopt
 

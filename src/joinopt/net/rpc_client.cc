@@ -5,14 +5,31 @@
 #include <cmath>
 #include <thread>
 
+#include "joinopt/common/hash.h"
+
 namespace joinopt {
+
+namespace {
+
+/// Process-wide counter so every client instance gets a distinct dedup id
+/// even when all of them use the default seed.
+std::atomic<uint64_t> g_client_instance{0};
+
+}  // namespace
 
 RpcClientService::RpcClientService(RpcClientOptions options)
     : options_(std::move(options)), jitter_rng_(options_.seed) {
   pools_.reserve(options_.endpoints.size());
+  outstanding_.reserve(options_.endpoints.size());
   for (size_t i = 0; i < options_.endpoints.size(); ++i) {
     pools_.push_back(std::make_unique<Pool>());
+    outstanding_.push_back(std::make_unique<std::atomic<int>>(0));
   }
+  client_id_ =
+      Mix64(options_.seed ^
+            Mix64(g_client_instance.fetch_add(1, std::memory_order_relaxed) +
+                  1)) |
+      1;  // nonzero: 0 means "no dedup" on the wire
 }
 
 RpcClientService::~RpcClientService() = default;
@@ -82,25 +99,50 @@ StatusOr<std::string> RpcClientService::CallOnce(
   return std::move(resp.body);
 }
 
+size_t RpcClientService::StartEndpoint(bool read) const {
+  const size_t n = options_.endpoints.size();
+  if (!read || !options_.balance_reads || n < 2) return 0;
+  // Least outstanding wins; ties (the common idle case) rotate round-robin
+  // so a healthy cluster still sees reads spread across the chain.
+  int best = outstanding_[0]->load(std::memory_order_relaxed);
+  std::vector<size_t> tied{0};
+  for (size_t i = 1; i < n; ++i) {
+    int v = outstanding_[i]->load(std::memory_order_relaxed);
+    if (v < best) {
+      best = v;
+      tied.assign(1, i);
+    } else if (v == best) {
+      tied.push_back(i);
+    }
+  }
+  return tied[balance_rr_.fetch_add(1, std::memory_order_relaxed) %
+              tied.size()];
+}
+
 StatusOr<std::string> RpcClientService::Call(MsgType req_type,
-                                             const std::string& body) const {
+                                             const std::string& body,
+                                             bool read) const {
   ++stats_.calls;
   if (options_.endpoints.empty()) {
     return Status::FailedPrecondition("rpc client has no endpoints");
   }
   const RecoveryConfig& rec = options_.recovery;
   const int attempts = rec.enabled ? std::max(rec.max_attempts, 1) : 1;
+  const size_t start = StartEndpoint(read);
   Status last = Status::Internal("unreachable");
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    size_t ep = static_cast<size_t>(attempt) % options_.endpoints.size();
+    size_t ep =
+        (start + static_cast<size_t>(attempt)) % options_.endpoints.size();
     if (attempt > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(BackoffSeconds(attempt)));
       std::lock_guard<std::mutex> lock(rec_mu_);
       ++rec_.retries;
-      if (ep != 0) ++rec_.failovers;
+      if (ep != start) ++rec_.failovers;
     }
+    outstanding_[ep]->fetch_add(1, std::memory_order_relaxed);
     auto result = CallOnce(ep, req_type, body);
+    outstanding_[ep]->fetch_sub(1, std::memory_order_relaxed);
     if (result.ok()) return result;
     if (!IsTransportError(result.status())) return result;  // not retriable
     NoteTransportError(result.status());
@@ -115,7 +157,8 @@ StatusOr<std::string> RpcClientService::Call(MsgType req_type,
 
 StatusOr<DataService::Fetched> RpcClientService::Fetch(Key key) {
   JOINOPT_ASSIGN_OR_RETURN(std::string body,
-                           Call(MsgType::kFetchReq, EncodeKeyRequest(key)));
+                           Call(MsgType::kFetchReq, EncodeKeyRequest(key),
+                                /*read=*/true));
   JOINOPT_ASSIGN_OR_RETURN(StatusOr<Fetched> result,
                            DecodeFetchResponse(body));
   return result;
@@ -135,13 +178,24 @@ StatusOr<std::string> RpcClientService::Execute(Key key,
 std::vector<StatusOr<std::string>> RpcClientService::ExecuteBatch(
     const std::vector<std::pair<Key, std::string>>& items,
     const UserFn& /*fn*/) {
+  return ExecuteBatchTagged(
+      items, client_id_,
+      batch_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+std::vector<StatusOr<std::string>> RpcClientService::ExecuteBatchTagged(
+    const std::vector<std::pair<Key, std::string>>& items,
+    uint64_t client_id, uint64_t batch_seq) {
   // One request frame, one response frame: the single round trip that
-  // makes delegation batching worth it over a real network.
+  // makes delegation batching worth it over a real network. The tag rides
+  // in the (byte-identical across retries) body, so a retry whose original
+  // response was lost hits the server's dedup cache.
   auto fail_all = [&](const Status& status) {
     return std::vector<StatusOr<std::string>>(items.size(), status);
   };
   if (items.empty()) return {};
-  auto body = Call(MsgType::kBatchReq, EncodeBatchRequest(items));
+  auto body = Call(MsgType::kBatchReq,
+                   EncodeTaggedBatchRequest(client_id, batch_seq, items));
   if (!body.ok()) return fail_all(body.status());
   auto results = DecodeBatchResponse(*body);
   if (!results.ok()) return fail_all(results.status());
@@ -161,17 +215,28 @@ std::vector<StatusOr<std::string>> RpcClientService::ExecuteBatch(
 
 StatusOr<DataService::ItemStat> RpcClientService::Stat(Key key) const {
   JOINOPT_ASSIGN_OR_RETURN(std::string body,
-                           Call(MsgType::kStatReq, EncodeKeyRequest(key)));
+                           Call(MsgType::kStatReq, EncodeKeyRequest(key),
+                                /*read=*/true));
   JOINOPT_ASSIGN_OR_RETURN(StatusOr<ItemStat> result,
                            DecodeStatResponse(body));
   return result;
 }
 
 NodeId RpcClientService::OwnerOf(Key key) const {
-  auto body = Call(MsgType::kOwnerReq, EncodeKeyRequest(key));
+  auto body =
+      Call(MsgType::kOwnerReq, EncodeKeyRequest(key), /*read=*/true);
   if (!body.ok()) return kInvalidNode;
   auto node = DecodeOwnerResponse(*body);
   return node.ok() ? *node : kInvalidNode;
+}
+
+StatusOr<uint64_t> RpcClientService::Put(Key key, const std::string& value) {
+  JOINOPT_ASSIGN_OR_RETURN(std::string body,
+                           Call(MsgType::kPutReq,
+                                EncodePutRequest(key, value)));
+  JOINOPT_ASSIGN_OR_RETURN(StatusOr<uint64_t> result,
+                           DecodePutResponse(body));
+  return result;
 }
 
 RecoveryCounters RpcClientService::recovery_counters() const {

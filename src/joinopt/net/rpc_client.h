@@ -58,6 +58,13 @@ struct RpcClientOptions {
   /// retries, max_attempts bounds the failover rotation. enabled=false
   /// degrades to exactly one attempt with io deadline = request_timeout.
   RecoveryConfig recovery;
+  /// Spread read verbs (Fetch/Stat/OwnerOf) across the whole replica chain
+  /// by least-outstanding-requests (round-robin among ties) instead of
+  /// always dialing the primary. Writes and Execute/ExecuteBatch stay
+  /// primary-first: delegated compute must run where the engine's cost
+  /// model placed it. Failover rotation still applies on top, starting
+  /// from the balanced choice.
+  bool balance_reads = true;
   /// Seed for the deterministic backoff jitter.
   uint64_t seed = 0x5ca1ab1e;
 
@@ -101,11 +108,27 @@ class RpcClientService : public DataService {
   /// One round trip; kInvalidNode when every replica is unreachable.
   NodeId OwnerOf(Key key) const override;
 
+  /// Writes over the wire (frame v2); returns the new store version.
+  /// Unimplemented when the server's service is not writable.
+  StatusOr<uint64_t> Put(Key key, const std::string& value);
+
+  /// ExecuteBatch with a caller-chosen dedup tag. The encoded request —
+  /// tag included — is reused byte-identical across retry attempts, so a
+  /// replay whose original response was lost is answered from the server's
+  /// dedup cache instead of re-executing (exactly-once). The cluster layer
+  /// uses this to keep the tag stable even when the retry lands on a
+  /// different node's client. client_id 0 disables dedup.
+  std::vector<StatusOr<std::string>> ExecuteBatchTagged(
+      const std::vector<std::pair<Key, std::string>>& items,
+      uint64_t client_id, uint64_t batch_seq);
+
   /// What the recovery machinery did (same struct the simulator reports);
   /// tuples_failed counts calls abandoned after max_attempts.
   RecoveryCounters recovery_counters() const;
   RpcClientStats stats() const;
   size_t num_endpoints() const { return options_.endpoints.size(); }
+  /// This client's auto-assigned batch-dedup id (nonzero, per-instance).
+  uint64_t client_id() const { return client_id_; }
 
  private:
   struct Pool {
@@ -114,11 +137,17 @@ class RpcClientService : public DataService {
   };
 
   /// One request/response exchange with retry + failover. Returns the
-  /// response body after verifying type and seq echo.
-  StatusOr<std::string> Call(MsgType req_type, const std::string& body) const;
+  /// response body after verifying type and seq echo. `read` routes the
+  /// first attempt through the load balancer (see balance_reads).
+  StatusOr<std::string> Call(MsgType req_type, const std::string& body,
+                             bool read = false) const;
   /// One attempt against one endpoint (no retries).
   StatusOr<std::string> CallOnce(size_t endpoint_idx, MsgType req_type,
                                  const std::string& body) const;
+  /// First endpoint for a call: 0 (primary) for writes, the
+  /// least-outstanding endpoint (round-robin among ties) for balanced
+  /// reads.
+  size_t StartEndpoint(bool read) const;
   StatusOr<UniqueFd> Acquire(size_t endpoint_idx) const;
   void Release(size_t endpoint_idx, UniqueFd fd) const;
   void NoteTransportError(const Status& status) const;
@@ -126,7 +155,12 @@ class RpcClientService : public DataService {
 
   RpcClientOptions options_;
   mutable std::vector<std::unique_ptr<Pool>> pools_;
+  /// In-flight request count per endpoint (the load-balancing signal).
+  mutable std::vector<std::unique_ptr<std::atomic<int>>> outstanding_;
+  mutable std::atomic<uint32_t> balance_rr_{0};
   mutable std::atomic<uint32_t> seq_{1};
+  mutable std::atomic<uint64_t> batch_seq_{0};
+  uint64_t client_id_ = 0;
 
   mutable std::mutex rec_mu_;
   mutable RecoveryCounters rec_;

@@ -1,7 +1,9 @@
 #include "joinopt/net/rpc_server.h"
 
+#include <errno.h>
 #include <sys/socket.h>
 
+#include <chrono>
 #include <utility>
 
 namespace joinopt {
@@ -12,10 +14,65 @@ namespace {
 /// Shutdown latency is bounded by this even if shutdown() is missed.
 constexpr double kPollTick = 0.05;
 
+bool SupportedVersion(uint8_t v) {
+  return v >= kMinWireVersion && v <= kWireVersion;
+}
+
+/// The version responses to this request are stamped with: the client's
+/// own version when we speak it (so v1 readers parse v2-server answers),
+/// ours when the client's is alien (best effort on an error path).
+uint8_t EchoVersion(uint8_t v) {
+  return SupportedVersion(v) ? v : kWireVersion;
+}
+
 }  // namespace
 
+/// Bounded event queue bridging the writer's thread (OnUpdateEvent) to the
+/// subscription's connection thread (Drain). Overflow latches a flag that
+/// makes the connection thread drop the stream.
+class RpcServer::ConnSink : public UpdateSink {
+ public:
+  explicit ConnSink(size_t capacity) : capacity_(capacity) {}
+
+  void OnUpdateEvent(const UpdateEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_) {
+      overflow_ = true;
+      return;
+    }
+    queue_.push_back(event);
+    cv_.notify_one();
+  }
+
+  /// Waits up to `wait_sec` for events; returns what is queued (possibly
+  /// empty on timeout).
+  std::vector<UpdateEvent> Drain(double wait_sec) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::duration<double>(wait_sec),
+                 [this] { return !queue_.empty() || overflow_; });
+    std::vector<UpdateEvent> out(queue_.begin(), queue_.end());
+    queue_.clear();
+    return out;
+  }
+
+  bool overflowed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overflow_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<UpdateEvent> queue_;
+  bool overflow_ = false;
+};
+
 RpcServer::RpcServer(DataService* inner, UserFn fn, RpcServerOptions options)
-    : inner_(inner), fn_(std::move(fn)), options_(std::move(options)) {}
+    : inner_(inner),
+      writable_(dynamic_cast<WritableDataService*>(inner)),
+      fn_(std::move(fn)),
+      options_(std::move(options)) {}
 
 RpcServer::~RpcServer() { Stop(); }
 
@@ -99,6 +156,13 @@ void RpcServer::ServeConnection(int fd) {
     stats_.bytes_in += static_cast<int64_t>(kFrameHeaderBytes +
                                             frame->body.size());
 
+    if (frame->header.type == MsgType::kSubscribeReq) {
+      // A subscription consumes the connection: it flips from
+      // request/response to a one-way push stream.
+      ServeSubscription(fd, frame->header, frame->body);
+      break;
+    }
+
     auto [resp_type, resp_body] = Dispatch(frame->header, frame->body);
     if (resp_type == static_cast<MsgType>(0)) {
       ++stats_.protocol_errors;
@@ -106,7 +170,8 @@ void RpcServer::ServeConnection(int fd) {
     }
     Status sent = SendFrame(fd, resp_type, frame->header.seq, resp_body,
                             options_.send_deadline,
-                            options_.max_frame_bytes);
+                            options_.max_frame_bytes,
+                            EchoVersion(frame->header.version));
     if (!sent.ok()) break;
     stats_.bytes_out += static_cast<int64_t>(kFrameHeaderBytes +
                                              resp_body.size());
@@ -128,8 +193,11 @@ std::pair<MsgType, std::string> RpcServer::Dispatch(
 
   // Version mismatch: answer in-band so an old/new client reads an error
   // instead of hanging, then the connection is still usable (the *frame*
-  // layout is frozen across versions; only body encodings move).
-  if (header.version != kWireVersion) {
+  // layout is frozen across versions; only body encodings move). A v2-only
+  // verb arriving on a v1 frame is the same kind of mismatch.
+  bool verb_needs_v2 = header.type == MsgType::kPutReq;
+  if (!SupportedVersion(header.version) ||
+      (verb_needs_v2 && header.version < 2)) {
     ++stats_.protocol_errors;
     Status mismatch = Status::FailedPrecondition(
         "wire version mismatch: server=" + std::to_string(kWireVersion) +
@@ -143,6 +211,8 @@ std::pair<MsgType, std::string> RpcServer::Dispatch(
         return {resp_type, EncodeBatchResponse({mismatch})};
       case MsgType::kStatReq:
         return {resp_type, EncodeStatResponse(mismatch)};
+      case MsgType::kPutReq:
+        return {resp_type, EncodePutResponse(mismatch)};
       case MsgType::kOwnerReq:
       default:
         return {resp_type, EncodeOwnerResponse(kInvalidNode)};
@@ -165,6 +235,16 @@ std::pair<MsgType, std::string> RpcServer::Dispatch(
                              inner_->Execute(req->key, req->params, fn_))};
     }
     case MsgType::kBatchReq: {
+      // v1 frames carry the untagged body; v2 frames are tagged with
+      // (client_id, batch_seq) and go through the replay-dedup path.
+      if (header.version >= 2) {
+        auto req = DecodeTaggedBatchRequest(body);
+        if (!req.ok()) {
+          return {resp_type, EncodeBatchResponse({req.status()})};
+        }
+        stats_.batch_items += static_cast<int64_t>(req->items.size());
+        return {resp_type, DispatchTaggedBatch(*req)};
+      }
       auto items = DecodeBatchRequest(body);
       if (!items.ok()) {
         return {resp_type, EncodeBatchResponse({items.status()})};
@@ -183,9 +263,133 @@ std::pair<MsgType, std::string> RpcServer::Dispatch(
       if (!key.ok()) return {resp_type, EncodeOwnerResponse(kInvalidNode)};
       return {resp_type, EncodeOwnerResponse(inner_->OwnerOf(*key))};
     }
+    case MsgType::kPutReq: {
+      if (writable_ == nullptr) {
+        return {resp_type,
+                EncodePutResponse(Status::Unimplemented(
+                    "rpc: service does not accept writes"))};
+      }
+      auto req = DecodePutRequest(body);
+      if (!req.ok()) return {resp_type, EncodePutResponse(req.status())};
+      ++stats_.puts;
+      return {resp_type,
+              EncodePutResponse(writable_->Put(req->key, req->value))};
+    }
     default:
       return {static_cast<MsgType>(0), ""};
   }
+}
+
+std::string RpcServer::DispatchTaggedBatch(const TaggedBatchRequest& req) {
+  // client_id 0 opts out of dedup (one-shot clients that never retry).
+  if (req.client_id == 0 || options_.dedup_capacity == 0) {
+    return EncodeBatchResponse(inner_->ExecuteBatch(req.items, fn_));
+  }
+  const std::pair<uint64_t, uint64_t> tag{req.client_id, req.batch_seq};
+  std::shared_ptr<DedupEntry> entry;
+  {
+    std::unique_lock<std::mutex> lock(dedup_mu_);
+    auto it = dedup_entries_.find(tag);
+    if (it != dedup_entries_.end()) {
+      // Replay. If the original is still executing (a retry raced it on
+      // another connection), wait for its result rather than executing the
+      // side effects twice — that wait is what makes the batch
+      // exactly-once even under concurrent duplicates.
+      entry = it->second;
+      dedup_cv_.wait(lock, [&entry] { return entry->done; });
+      ++stats_.batch_dedup_hits;
+      return entry->response;
+    }
+    entry = std::make_shared<DedupEntry>();
+    dedup_entries_.emplace(tag, entry);
+    dedup_order_.push_back(tag);
+  }
+
+  std::string response = EncodeBatchResponse(inner_->ExecuteBatch(req.items,
+                                                                  fn_));
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    entry->done = true;
+    entry->response = response;
+    // Evict oldest *completed* entries beyond capacity; an in-flight entry
+    // must survive so its racing duplicate can still find it.
+    while (dedup_order_.size() > options_.dedup_capacity) {
+      auto oldest = dedup_entries_.find(dedup_order_.front());
+      if (oldest != dedup_entries_.end() && !oldest->second->done) break;
+      if (oldest != dedup_entries_.end()) dedup_entries_.erase(oldest);
+      dedup_order_.pop_front();
+    }
+  }
+  dedup_cv_.notify_all();
+  return response;
+}
+
+void RpcServer::ServeSubscription(int fd, const FrameHeader& header,
+                                  const std::string& body) {
+  // Subscriptions are v2-only and require a writable service; neither
+  // failure mode has an in-band error slot (the response body is a bare
+  // snapshot), so the stream is refused by closing the connection — the
+  // same signal a subscriber handles for crashes.
+  if (writable_ == nullptr || header.version < 2 ||
+      !SupportedVersion(header.version)) {
+    ++stats_.protocol_errors;
+    return;
+  }
+  auto subscriber = DecodeSubscribeRequest(body);
+  if (!subscriber.ok()) {
+    ++stats_.protocol_errors;
+    return;
+  }
+  ++stats_.requests;
+
+  ConnSink sink(options_.subscription_queue_capacity);
+  // Register the sink *before* taking the snapshot: events in the gap are
+  // delivered twice (snapshot position + queued event) and deduplicated by
+  // the subscriber's seq tracking, whereas the other order would lose them.
+  writable_->AddUpdateSink(&sink);
+  Status sent = SendFrame(fd, MsgType::kSubscribeResp, header.seq,
+                          EncodeSubscribeResponse(writable_->EpochSnapshot()),
+                          options_.send_deadline, options_.max_frame_bytes,
+                          header.version);
+  if (sent.ok()) {
+    ++stats_.subscriptions;
+    uint32_t push_seq = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::vector<UpdateEvent> events = sink.Drain(kPollTick);
+      if (sink.overflowed()) break;
+      bool failed = false;
+      for (const UpdateEvent& event : events) {
+        Status pushed = SendFrame(fd, MsgType::kNotifyEvt, push_seq++,
+                                  EncodeNotifyEvent(event),
+                                  options_.send_deadline,
+                                  options_.max_frame_bytes, header.version);
+        if (!pushed.ok()) {
+          failed = true;
+          break;
+        }
+        ++stats_.notify_events;
+        stats_.bytes_out += static_cast<int64_t>(
+            kFrameHeaderBytes + 36);  // fixed-size notify body
+      }
+      if (failed) break;
+      // The client never sends on a subscription stream: readability
+      // means close (or a protocol violation) — either way, stop pushing.
+      auto readable = WaitReadable(fd, 0);
+      if (readable.ok() && *readable) {
+        char probe[64];
+        ssize_t n = ::recv(fd, probe, sizeof(probe), MSG_DONTWAIT);
+        if (n > 0) ++stats_.protocol_errors;
+        if (n >= 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR)) {
+          break;
+        }
+      }
+    }
+  }
+  // After RemoveUpdateSink returns no OnUpdateEvent call can be in flight
+  // (the service holds its update lock across fanout), so the stack-
+  // allocated sink is safe to destroy.
+  writable_->RemoveUpdateSink(&sink);
 }
 
 RpcServerStats RpcServer::stats() const {
@@ -198,6 +402,11 @@ RpcServerStats RpcServer::stats() const {
       stats_.protocol_errors.load(std::memory_order_relaxed);
   out.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
   out.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  out.puts = stats_.puts.load(std::memory_order_relaxed);
+  out.subscriptions = stats_.subscriptions.load(std::memory_order_relaxed);
+  out.notify_events = stats_.notify_events.load(std::memory_order_relaxed);
+  out.batch_dedup_hits =
+      stats_.batch_dedup_hits.load(std::memory_order_relaxed);
   return out;
 }
 

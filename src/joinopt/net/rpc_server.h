@@ -15,19 +15,37 @@
 // function is *registered* server-side at construction, and Execute /
 // ExecuteBatch requests name only (key, params). The client's fn argument
 // is ignored (see DataService::Execute's contract in engine/async_api.h).
+//
+// Wire v2 (see frame.h): the server additionally speaks Put, the
+// Subscribe/Notify invalidation stream, and tagged ExecuteBatch with
+// server-side replay dedup — but only when the wrapped service implements
+// WritableDataService (discovered by dynamic_cast at construction). v1
+// clients are still served for the five original verbs, with responses
+// stamped v1 so old readers parse them; a subscription takes over its
+// connection, which switches from request/response to a one-way kNotifyEvt
+// push stream drained by the same connection thread. A subscriber that
+// stops draining (its event queue overflows) loses the connection — by
+// construction it has missed invalidations, and the reconnect-and-re-sync
+// path is the correct recovery, not unbounded buffering.
 #ifndef JOINOPT_NET_RPC_SERVER_H_
 #define JOINOPT_NET_RPC_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "joinopt/common/status.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/net/socket.h"
+#include "joinopt/net/update_hub.h"
 
 namespace joinopt {
 
@@ -42,6 +60,12 @@ struct RpcServerOptions {
   /// socket loses the connection instead of parking the worker forever.
   double send_deadline = 5.0;
   int accept_backlog = 64;
+  /// Tagged-batch responses remembered for replay dedup (exactly-once
+  /// ExecuteBatch). FIFO-evicted; 0 disables dedup.
+  size_t dedup_capacity = 1024;
+  /// Pending invalidation events per subscription before the connection is
+  /// dropped (the subscriber must reconnect and re-sync).
+  size_t subscription_queue_capacity = 4096;
 };
 
 struct RpcServerStats {
@@ -51,6 +75,10 @@ struct RpcServerStats {
   int64_t protocol_errors = 0;  ///< malformed frames / version mismatches
   int64_t bytes_in = 0;
   int64_t bytes_out = 0;
+  int64_t puts = 0;             ///< Put requests served
+  int64_t subscriptions = 0;    ///< Subscribe streams established
+  int64_t notify_events = 0;    ///< kNotifyEvt frames pushed
+  int64_t batch_dedup_hits = 0;  ///< tagged batches answered from cache
 };
 
 class RpcServer {
@@ -79,13 +107,30 @@ class RpcServer {
   RpcServerStats stats() const;
 
  private:
+  /// Bounded per-subscription event queue; OnUpdateEvent is called on the
+  /// writer's thread, Drain on the subscription's connection thread.
+  class ConnSink;
+  /// Remembered tagged-batch responses keyed by (client_id, batch_seq).
+  struct DedupEntry {
+    bool done = false;
+    std::string response;
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
   /// Handles one decoded request; returns the response (type, body).
   std::pair<MsgType, std::string> Dispatch(const FrameHeader& header,
                                            const std::string& body);
+  /// Takes over a connection after a kSubscribeReq: registers a sink,
+  /// answers with the epoch snapshot, then pushes kNotifyEvt frames until
+  /// stop/close/overflow.
+  void ServeSubscription(int fd, const FrameHeader& header,
+                         const std::string& body);
+  /// ExecuteBatch with replay dedup; returns the encoded response body.
+  std::string DispatchTaggedBatch(const TaggedBatchRequest& req);
 
   DataService* inner_;
+  WritableDataService* writable_ = nullptr;  ///< non-null iff inner is one
   UserFn fn_;
   RpcServerOptions options_;
   uint16_t port_ = 0;
@@ -101,6 +146,12 @@ class RpcServer {
   std::vector<int> conn_fds_;
   std::vector<std::thread> conn_threads_;
 
+  std::mutex dedup_mu_;
+  std::condition_variable dedup_cv_;
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<DedupEntry>>
+      dedup_entries_;
+  std::deque<std::pair<uint64_t, uint64_t>> dedup_order_;  // FIFO eviction
+
   struct AtomicStats {
     std::atomic<int64_t> connections_accepted{0};
     std::atomic<int64_t> requests{0};
@@ -108,6 +159,10 @@ class RpcServer {
     std::atomic<int64_t> protocol_errors{0};
     std::atomic<int64_t> bytes_in{0};
     std::atomic<int64_t> bytes_out{0};
+    std::atomic<int64_t> puts{0};
+    std::atomic<int64_t> subscriptions{0};
+    std::atomic<int64_t> notify_events{0};
+    std::atomic<int64_t> batch_dedup_hits{0};
   };
   mutable AtomicStats stats_;
 };

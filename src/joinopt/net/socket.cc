@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -12,6 +13,8 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 namespace joinopt {
 
@@ -75,22 +78,71 @@ bool IsTransportError(const Status& status) {
   return status.code() == StatusCode::kAborted;
 }
 
-StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
-                              double deadline_sec) {
+namespace {
+
+/// Resolves `host` to IPv4 addresses. Numeric addresses never touch the
+/// resolver; names go through getaddrinfo, retrying EAI_AGAIN (transient
+/// resolver overload / DNS timeout) with a short backoff while the
+/// deadline budget lasts. All failures are kAborted: an unresolvable name
+/// is a transport-class failure the replica-failover loop should rotate
+/// past, not a programming error.
+StatusOr<std::vector<in_addr>> ResolveIPv4(const std::string& host,
+                                           double deadline_abs) {
+  in_addr numeric{};
+  if (::inet_pton(AF_INET, host.c_str(), &numeric) == 1) {
+    return std::vector<in_addr>{numeric};
+  }
+
+  constexpr double kResolveRetryBackoff = 20e-3;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  int rc;
+  for (;;) {
+    addrinfo* res = nullptr;
+    rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    if (rc == 0) {
+      std::vector<in_addr> addrs;
+      for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        if (ai->ai_family != AF_INET) continue;
+        addrs.push_back(
+            reinterpret_cast<sockaddr_in*>(ai->ai_addr)->sin_addr);
+      }
+      ::freeaddrinfo(res);
+      if (addrs.empty()) {
+        return Status::Aborted("resolve: no IPv4 address for " + host);
+      }
+      return addrs;
+    }
+    if (res != nullptr) ::freeaddrinfo(res);
+    bool transient = rc == EAI_AGAIN;
+    if (!transient) break;
+    // Retry only while enough budget remains to also attempt the connect.
+    int left_ms = RemainingMs(deadline_abs);
+    if (left_ms >= 0 && left_ms < static_cast<int>(kResolveRetryBackoff * 2e3)) {
+      break;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kResolveRetryBackoff));
+  }
+  return Status::Aborted(std::string("resolve: ") + ::gai_strerror(rc) +
+                         " for " + host);
+}
+
+/// Deadline-bounded non-blocking connect to one resolved address.
+StatusOr<UniqueFd> ConnectOne(const in_addr& ip, uint16_t port,
+                              double deadline_abs) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return ErrnoToStatus(errno, "socket");
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
-  }
+  addr.sin_addr = ip;
 
   // Non-blocking connect so the deadline applies to the handshake too
   // (a SYN black hole otherwise blocks for the kernel's ~2 min default).
   JOINOPT_RETURN_NOT_OK(SetNonBlocking(fd.get(), true));
-  double deadline_abs = AbsDeadline(deadline_sec);
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
                 sizeof(addr)) < 0) {
     if (errno != EINPROGRESS) return ErrnoToStatus(errno, "connect");
@@ -110,6 +162,25 @@ StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
   int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+}  // namespace
+
+StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
+                              double deadline_sec) {
+  double deadline_abs = AbsDeadline(deadline_sec);
+  JOINOPT_ASSIGN_OR_RETURN(std::vector<in_addr> addrs,
+                           ResolveIPv4(host, deadline_abs));
+  Status last = Status::Aborted("connect: no addresses tried");
+  for (const in_addr& ip : addrs) {
+    auto fd = ConnectOne(ip, port, deadline_abs);
+    if (fd.ok()) return fd;
+    last = fd.status();
+    // Names can map to several addresses; fall through to the next one
+    // while budget remains, but a spent deadline ends the whole dial.
+    if (IsDeadlineExceeded(last)) break;
+  }
+  return last;
 }
 
 StatusOr<UniqueFd> TcpListen(const std::string& host, uint16_t port,
@@ -209,9 +280,11 @@ Status RecvAll(int fd, void* data, size_t len, double deadline_sec) {
 }
 
 Status SendFrame(int fd, MsgType type, uint32_t seq, std::string_view body,
-                 double deadline_sec, size_t max_frame_bytes) {
-  JOINOPT_ASSIGN_OR_RETURN(std::string frame,
-                           BuildFrame(type, seq, body, max_frame_bytes));
+                 double deadline_sec, size_t max_frame_bytes,
+                 uint8_t version) {
+  JOINOPT_ASSIGN_OR_RETURN(
+      std::string frame, BuildFrame(type, seq, body, max_frame_bytes,
+                                    version));
   return SendAll(fd, frame.data(), frame.size(), deadline_sec);
 }
 

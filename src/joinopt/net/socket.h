@@ -76,8 +76,16 @@ bool IsTransportError(const Status& status);
 /// Deadline arguments are relative seconds for the whole operation;
 /// <= 0 means no deadline (block until progress or peer close).
 
-/// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1") with
-/// TCP_NODELAY set — RPC frames are latency-bound, not throughput-bound.
+/// Connects to host:port with TCP_NODELAY set — RPC frames are
+/// latency-bound, not throughput-bound. `host` may be a numeric IPv4
+/// address ("127.0.0.1", fast path, no resolver) or a hostname
+/// ("localhost", "db-3.rack2"): names go through getaddrinfo with the
+/// connect deadline applied across resolution *and* the handshake, and
+/// transient resolver failures (EAI_AGAIN) are retried with a short
+/// backoff while budget remains. Resolution failures map to kAborted —
+/// the retriable transport class — because in a cluster a name that does
+/// not resolve right now (DNS blip, node rejoining) is indistinguishable
+/// from a node being down.
 StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
                               double deadline_sec);
 
@@ -96,8 +104,11 @@ Status SendAll(int fd, const void* data, size_t len, double deadline_sec);
 Status RecvAll(int fd, void* data, size_t len, double deadline_sec);
 
 /// Sends one framed message (header + body) within the deadline.
+/// `version` stamps the frame header (a v2 server answering a v1 client
+/// echoes the client's version so v1 readers parse the response).
 Status SendFrame(int fd, MsgType type, uint32_t seq, std::string_view body,
-                 double deadline_sec, size_t max_frame_bytes);
+                 double deadline_sec, size_t max_frame_bytes,
+                 uint8_t version = kWireVersion);
 
 /// Receives one framed message within the deadline; validates the header
 /// (magic, flags, size bound) but *not* the version — the caller decides

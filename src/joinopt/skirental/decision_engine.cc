@@ -287,6 +287,21 @@ void DecisionEngine::OnUpdateNotification(Key key, uint64_t new_version) {
   RecordMeta(key, -1.0, new_version);
 }
 
+std::vector<Key> DecisionEngine::ResyncInvalidate(
+    const std::function<bool(Key)>& pred) {
+  std::vector<Key> dropped = cache_->InvalidateMatching(pred);
+  for (Key key : dropped) {
+    // The counter reset mirrors OnUpdateNotification: a key whose update
+    // history is unknown must re-earn its cache slot. The meta version is
+    // left alone — we do not know the new version, only that ours may be
+    // stale; the next response's piggybacked version advances it.
+    counter_->ResetKey(key);
+    ++stats_.update_resets;
+    ++stats_.resync_invalidations;
+  }
+  return dropped;
+}
+
 double DecisionEngine::KnownValueSize(Key key) const {
   auto it = meta_.find(key);
   return it == meta_.end() ? -1.0 : it->second.stored_value_bytes;
@@ -302,6 +317,7 @@ DecisionEngineStats& operator+=(DecisionEngineStats& lhs,
   lhs.first_requests += rhs.first_requests;
   lhs.update_resets += rhs.update_resets;
   lhs.update_invalidations += rhs.update_invalidations;
+  lhs.resync_invalidations += rhs.resync_invalidations;
   return lhs;
 }
 

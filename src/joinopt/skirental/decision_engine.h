@@ -12,8 +12,10 @@
 #define JOINOPT_SKIRENTAL_DECISION_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "joinopt/cache/policy.h"
 #include "joinopt/cache/tiered_cache.h"
@@ -82,6 +84,8 @@ struct DecisionEngineStats {
   int64_t first_requests = 0;      // forced compute: costs unknown
   int64_t update_resets = 0;       // Section 4.2.3 counter resets
   int64_t update_invalidations = 0;
+  /// Keys dropped by an epoch-gap re-sync (missed-notification recovery).
+  int64_t resync_invalidations = 0;
 };
 
 /// Accumulates shard-local stats into a merged view (the ParallelInvoker
@@ -122,6 +126,14 @@ class DecisionEngine {
   /// Push-style update notification from the data store for `key`
   /// (Section 4.2.3's targeted notification path).
   void OnUpdateNotification(Key key, uint64_t new_version);
+
+  /// Epoch-gap re-sync: after a disconnect, notifications for some keys
+  /// may have been lost, so the version check OnUpdateNotification relies
+  /// on cannot be trusted for them. Drops every cached key matching `pred`
+  /// (typically "key belongs to a region whose epoch/seq advanced while
+  /// offline") and resets its frequency counter. Returns the dropped keys
+  /// so the caller can purge payload copies too.
+  std::vector<Key> ResyncInvalidate(const std::function<bool(Key)>& pred);
 
   /// After a local UDF execution finished, feed its wall time back.
   void ObserveLocalCompute(double seconds) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "joinopt/common/random.h"
 
 namespace joinopt {
@@ -165,6 +168,34 @@ TEST_F(TieredCacheTest, InvalidateRemovesFromEitherTier) {
   EXPECT_DOUBLE_EQ(cache.memory_used(), 0.0);
   EXPECT_DOUBLE_EQ(cache.disk_used(), 0.0);
   EXPECT_EQ(cache.stats().invalidations, 2);
+}
+
+TEST_F(TieredCacheTest, InvalidateMatchingDropsOnlyMatchingKeys) {
+  TieredCache cache(SmallConfig(200.0), &policy_);
+  cache.CondCacheInMemory(1, 40.0, 5.0, true);
+  cache.CondCacheInMemory(2, 40.0, 5.0, true);
+  cache.InsertDisk(3, 30.0, 2.0);
+  cache.InsertDisk(4, 30.0, 2.0);
+
+  // Epoch re-sync path: drop every odd key across both tiers at once.
+  std::vector<Key> dropped =
+      cache.InvalidateMatching([](Key k) { return k % 2 == 1; });
+  std::sort(dropped.begin(), dropped.end());
+  EXPECT_EQ(dropped, (std::vector<Key>{1, 3}));
+  EXPECT_EQ(cache.Peek(1), CacheTier::kNone);
+  EXPECT_EQ(cache.Peek(3), CacheTier::kNone);
+  EXPECT_EQ(cache.Peek(2), CacheTier::kMemory);
+  EXPECT_EQ(cache.Peek(4), CacheTier::kDisk);
+  EXPECT_DOUBLE_EQ(cache.memory_used(), 40.0);
+  EXPECT_DOUBLE_EQ(cache.disk_used(), 30.0);
+
+  // Counted on its own stat, not as ordinary invalidations.
+  EXPECT_EQ(cache.stats().resync_invalidations, 2);
+  EXPECT_EQ(cache.stats().invalidations, 0);
+
+  // Nothing left to match: empty result, counters unchanged.
+  EXPECT_TRUE(cache.InvalidateMatching([](Key k) { return k > 100; }).empty());
+  EXPECT_EQ(cache.stats().resync_invalidations, 2);
 }
 
 TEST_F(TieredCacheTest, UpdateBenefitReordersEviction) {

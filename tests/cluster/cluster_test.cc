@@ -1,0 +1,291 @@
+// Multi-node cluster tests over real loopback sockets: owner-aware routing
+// through the shared topology, controller-driven crash detection with
+// region promotion, and the two exactly-once acceptance scenarios — a data
+// node killed mid-join and a compute worker killed mid-join, both finishing
+// with zero lost and zero duplicated outputs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "joinopt/cluster/compute_group.h"
+#include "joinopt/cluster/deployment.h"
+#include "joinopt/engine/async_api.h"
+#include "joinopt/store/log_store.h"
+
+namespace joinopt {
+namespace {
+
+UserFn EchoFn() {
+  return [](Key key, const std::string& params, const std::string& value) {
+    return std::to_string(key) + "/" + params + "/" + value;
+  };
+}
+
+/// Deterministic UDF with a small busy delay, so kill-mid-join tests have
+/// a window to land the fault while work is in flight.
+UserFn SlowEchoFn(double seconds) {
+  return [seconds](Key key, const std::string& params,
+                   const std::string& value) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return std::to_string(key) + "/" + params + "/" + value;
+  };
+}
+
+bool WaitFor(const std::function<bool()>& pred, double timeout_sec) {
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_sec));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+ClusterDeploymentOptions FastOptions() {
+  ClusterDeploymentOptions opts;
+  opts.topology.num_data_nodes = 3;
+  opts.topology.regions_per_node = 4;
+  opts.topology.replication_factor = 2;
+  opts.client.recovery.request_timeout = 1.0;
+  opts.client.recovery.backoff_base = 2e-3;
+  opts.client.recovery.backoff_max = 20e-3;
+  opts.client.recovery.max_attempts = 6;
+  opts.controller.probe_interval = 10e-3;
+  opts.controller.recovery.request_timeout = 150e-3;
+  opts.controller.recovery.max_attempts = 3;
+  return opts;
+}
+
+int64_t TotalServerRequests(ClusterDeployment& deploy) {
+  int64_t total = 0;
+  for (int i = 0; i < deploy.num_data_nodes(); ++i) {
+    if (deploy.data_node(i).server() != nullptr) {
+      total += deploy.data_node(i).server()->stats().requests;
+    }
+  }
+  return total;
+}
+
+TEST(ClusterTest, OwnerAwareRoutingServesEveryKeyAndSpreadsTraffic) {
+  ClusterDeployment deploy(EchoFn(), FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(deploy.Seed(k, "v-" + std::to_string(k)).ok());
+  }
+
+  for (Key k = 0; k < 100; ++k) {
+    auto fetched = deploy.client().Fetch(k);
+    ASSERT_TRUE(fetched.ok()) << fetched.status();
+    EXPECT_EQ(fetched->value, "v-" + std::to_string(k));
+
+    auto executed = deploy.client().Execute(k, "p", EchoFn());
+    ASSERT_TRUE(executed.ok()) << executed.status();
+    EXPECT_EQ(*executed,
+              std::to_string(k) + "/p/v-" + std::to_string(k));
+  }
+
+  // Owner-aware routing means every node's *own* server saw traffic — a
+  // single-endpoint client would funnel everything to one.
+  for (int i = 0; i < deploy.num_data_nodes(); ++i) {
+    EXPECT_GT(deploy.data_node(i).server()->stats().requests, 0)
+        << "node " << i << " never served a request";
+  }
+  EXPECT_EQ(deploy.client().recovery_counters().tuples_failed, 0);
+}
+
+TEST(ClusterTest, OwnerOfIsServedLocallyWithZeroRpcs) {
+  ClusterDeployment deploy(EchoFn(), FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  int64_t before = TotalServerRequests(deploy);
+  for (Key k = 0; k < 64; ++k) {
+    EXPECT_EQ(deploy.client().OwnerOf(k), deploy.topology().OwnerOf(k));
+  }
+  EXPECT_EQ(TotalServerRequests(deploy), before)
+      << "OwnerOf must be answered from the shared topology, not over RPC";
+}
+
+TEST(ClusterTest, PutOverTheWireIsReadableAndVersioned) {
+  ClusterDeployment deploy(EchoFn(), FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  auto v1 = deploy.client().Put(7, "first");
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  auto v2 = deploy.client().Put(7, "second");
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_GT(*v2, *v1);
+  auto fetched = deploy.client().Fetch(7);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->value, "second");
+  EXPECT_EQ(fetched->version, *v2);
+}
+
+TEST(ClusterTest, ExecuteBatchSplitsByOwnerAndStaysIndexAligned) {
+  ClusterDeployment deploy(EchoFn(), FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  std::vector<std::pair<Key, std::string>> items;
+  for (Key k = 0; k < 30; ++k) {
+    ASSERT_TRUE(deploy.Seed(k, "b-" + std::to_string(k)).ok());
+    items.emplace_back(k, "q" + std::to_string(k));
+  }
+  auto results = deploy.client().ExecuteBatch(items, EchoFn());
+  ASSERT_EQ(results.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status();
+    EXPECT_EQ(*results[i], std::to_string(i) + "/q" + std::to_string(i) +
+                               "/b-" + std::to_string(i));
+  }
+  // 30 keys over 3 nodes: the batch must have split into per-owner groups.
+  EXPECT_GE(deploy.client().stats().batches_split, 1);
+}
+
+TEST(ClusterTest, ControllerDetectsCrashAndPromotesEveryRegion) {
+  ClusterDeployment deploy(EchoFn(), FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  for (Key k = 0; k < 60; ++k) {
+    ASSERT_TRUE(deploy.Seed(k, "c-" + std::to_string(k)).ok());
+  }
+  std::vector<int> owned = deploy.topology().RegionsOwnedBy(1);
+  ASSERT_FALSE(owned.empty());
+
+  deploy.KillDataNode(1);
+  ASSERT_TRUE(WaitFor([&] { return !deploy.topology().NodeUp(1); }, 10.0))
+      << "controller never declared the killed node dead";
+  ASSERT_NE(deploy.controller(), nullptr);
+  EXPECT_GE(deploy.controller()->stats().nodes_declared_dead, 1);
+  EXPECT_GE(deploy.controller()->stats().regions_reassigned,
+            static_cast<int64_t>(owned.size()));
+
+  // Replication factor 2 guarantees a live follower for every region the
+  // dead node owned: all of them must have been promoted away.
+  EXPECT_TRUE(deploy.topology().RegionsOwnedBy(1).empty());
+  for (int region : owned) {
+    NodeId owner = deploy.topology().RegionOwner(region);
+    EXPECT_NE(owner, 1);
+    EXPECT_TRUE(deploy.topology().NodeUp(owner));
+  }
+
+  // Every key is still readable through the survivors.
+  for (Key k = 0; k < 60; ++k) {
+    auto fetched = deploy.client().Fetch(k);
+    ASSERT_TRUE(fetched.ok()) << "key " << k << ": " << fetched.status();
+    EXPECT_EQ(fetched->value, "c-" + std::to_string(k));
+  }
+}
+
+/// The acceptance test: kill a data node mid-join; the run must produce
+/// exactly the outputs of a fault-free run — nothing lost, nothing
+/// doubled, values identical.
+TEST(ClusterTest, KillDataNodeMidJoinMatchesFaultFreeRunExactly) {
+  const int kItems = 600;
+  auto make_items = [] {
+    std::vector<std::pair<Key, std::string>> items;
+    for (int i = 0; i < kItems; ++i) {
+      items.emplace_back(static_cast<Key>(i % 120),
+                         "p" + std::to_string(i));
+    }
+    return items;
+  };
+  auto seed_all = [](ClusterDeployment& deploy) {
+    for (Key k = 0; k < 120; ++k) {
+      ASSERT_TRUE(deploy.Seed(k, "j-" + std::to_string(k)).ok());
+    }
+  };
+  ComputeWorkerGroupOptions gopts;
+  gopts.num_workers = 3;
+  gopts.claim_window = 4;
+  gopts.invoker.num_threads = 2;
+
+  // Fault-free reference run.
+  std::vector<StatusOr<std::string>> reference;
+  {
+    ClusterDeployment deploy(EchoFn(), FastOptions());
+    ASSERT_TRUE(deploy.Start().ok());
+    seed_all(deploy);
+    ComputeWorkerGroup group(&deploy.client(), EchoFn(), gopts);
+    reference = group.Run(make_items());
+  }
+  ASSERT_EQ(reference.size(), static_cast<size_t>(kItems));
+  for (const auto& r : reference) ASSERT_TRUE(r.ok()) << r.status();
+
+  // Faulted run: node 1 dies while the join is in flight.
+  std::vector<StatusOr<std::string>> faulted;
+  ComputeWorkerGroupStats gstats;
+  {
+    ClusterDeployment deploy(SlowEchoFn(200e-6), FastOptions());
+    ASSERT_TRUE(deploy.Start().ok());
+    seed_all(deploy);
+    ComputeWorkerGroup group(&deploy.client(), SlowEchoFn(200e-6), gopts);
+    std::thread killer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      deploy.KillDataNode(1);
+    });
+    faulted = group.Run(make_items());
+    killer.join();
+    gstats = group.stats();
+  }
+
+  // Zero lost, zero duplicated: the output tables are identical.
+  ASSERT_EQ(faulted.size(), reference.size());
+  for (size_t i = 0; i < faulted.size(); ++i) {
+    ASSERT_TRUE(faulted[i].ok())
+        << "item " << i << " lost to the fault: " << faulted[i].status();
+    EXPECT_EQ(*faulted[i], *reference[i]) << "item " << i << " diverged";
+  }
+  EXPECT_EQ(gstats.items_completed, kItems);
+}
+
+/// Compute-side crash recovery: a worker killed mid-join stops
+/// acknowledging; the monitor replays its unacknowledged items on the
+/// survivors and the output table is still exactly-once.
+TEST(ClusterTest, KilledComputeWorkerItemsReplayExactlyOnce) {
+  LogStructuredStore store;
+  const int kItems = 200;
+  for (Key k = 0; k < 100; ++k) {
+    store.Put(k, "w-" + std::to_string(k));
+  }
+  LogStoreDataService service(&store, /*num_shards=*/4);
+
+  ComputeWorkerGroupOptions gopts;
+  gopts.num_workers = 3;
+  gopts.claim_window = 4;
+  gopts.invoker.num_threads = 2;
+  gopts.recovery.request_timeout = 100e-3;
+  gopts.monitor_interval = 10e-3;
+  UserFn fn = SlowEchoFn(1e-3);
+  ComputeWorkerGroup group(&service, fn, gopts);
+
+  std::vector<std::pair<Key, std::string>> items;
+  for (int i = 0; i < kItems; ++i) {
+    items.emplace_back(static_cast<Key>(i % 100), "p" + std::to_string(i));
+  }
+
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    group.KillWorker(0);
+  });
+  auto outputs = group.Run(items);
+  killer.join();
+
+  ASSERT_EQ(outputs.size(), items.size());
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    ASSERT_TRUE(outputs[i].ok()) << "item " << i << " lost";
+    EXPECT_EQ(*outputs[i], std::to_string(items[i].first) + "/" +
+                               items[i].second + "/" + "w-" +
+                               std::to_string(items[i].first));
+  }
+  ComputeWorkerGroupStats stats = group.stats();
+  EXPECT_EQ(stats.items_completed, kItems);  // each item written exactly once
+  EXPECT_GE(stats.workers_lost, 1);
+  EXPECT_GE(stats.items_replayed, 1);
+  EXPECT_GE(stats.rebalances, 1);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -405,6 +405,50 @@ TEST(ParallelInvokerTest, UpdatesRaceSafelyWithServing) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(ParallelInvokerTest, ResyncWhereDropsStalePayloadsAndRefetches) {
+  ApiRig rig;
+  rig.Put(1, "old-1xxx");
+  rig.Put(2, "old-2xxx");
+  ParallelInvoker invoker(rig.service.get(), SpinningConcat(),
+                          FastBuyOptions(2));
+
+  // Repeat both keys until ski-rental buys them into the cache.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(invoker.FetchComp(1, "p").ok());
+    ASSERT_TRUE(invoker.FetchComp(2, "p").ok());
+  }
+
+  // Update the store *without* delivering OnUpdate — the missed-
+  // invalidation scenario an epoch gap creates. The cached copy is now
+  // provably stale.
+  for (Key k : {Key{1}, Key{2}}) {
+    auto update = rig.store->Update(k, [](StoredItem& item) {
+      item.payload = "new-" + std::to_string(item.payload[4] - '0') + "xxx";
+      item.size_bytes = static_cast<double>(item.payload.size());
+    });
+    ASSERT_TRUE(update.ok());
+  }
+  auto stale = invoker.FetchComp(1, "p");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(*stale, "1:p:old-1xxx") << "key 1 was not cached; test is vacuous";
+
+  // Targeted re-sync of key 1 only: key 1 refetches fresh, key 2 still
+  // serves its (stale) cached copy — exactly the blast radius asked for.
+  int64_t dropped = invoker.ResyncWhere([](Key k) { return k == 1; });
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(invoker.stats().resync_dropped, 1);
+  auto fresh = invoker.FetchComp(1, "p");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, "1:p:new-1xxx");
+  auto untouched = invoker.FetchComp(2, "p");
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(*untouched, "2:p:old-2xxx");
+
+  // Re-syncing an already-clean key drops nothing.
+  EXPECT_EQ(invoker.ResyncWhere([](Key k) { return k == 99; }), 0);
+  EXPECT_EQ(invoker.stats().resync_dropped, 1);
+}
+
 TEST(ParallelInvokerTest, UnclaimedResultsAreBounded) {
   ApiRig rig;
   for (Key k = 0; k < 128; ++k) rig.Put(k, "v");

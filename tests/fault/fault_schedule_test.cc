@@ -44,6 +44,37 @@ TEST(FaultScheduleTest, PartitionIsUndirected) {
   EXPECT_TRUE(s.LinkUpAt(2, 6, 2.0));
 }
 
+TEST(FaultScheduleTest, OneWayPartitionIsHalfOpen) {
+  FaultSchedule s;
+  s.PartitionLinkOneWay(1.0, 2, 5).HealLinkOneWay(4.0, 2, 5);
+  // Only the stated 2→5 direction drops; 5→2 keeps flowing throughout.
+  EXPECT_TRUE(s.LinkUpAt(2, 5, 0.5));
+  EXPECT_FALSE(s.LinkUpAt(2, 5, 2.0));
+  EXPECT_TRUE(s.LinkUpAt(5, 2, 2.0));
+  EXPECT_TRUE(s.LinkUpAt(2, 5, 4.0));
+  EXPECT_TRUE(s.LinkUpAt(5, 2, 4.0));
+}
+
+TEST(FaultScheduleTest, OneWayAndSymmetricEventsCompose) {
+  FaultSchedule s;
+  // Symmetric partition, then a one-way heal of just 3→4: the link comes
+  // back half-open (3 can reach 4, 4 still cannot reach 3) until the
+  // symmetric heal restores the remaining direction.
+  s.PartitionLink(1.0, 3, 4);
+  s.HealLinkOneWay(2.0, 3, 4);
+  s.HealLink(5.0, 3, 4);
+  EXPECT_FALSE(s.LinkUpAt(3, 4, 1.5));
+  EXPECT_FALSE(s.LinkUpAt(4, 3, 1.5));
+  EXPECT_TRUE(s.LinkUpAt(3, 4, 3.0));
+  EXPECT_FALSE(s.LinkUpAt(4, 3, 3.0));
+  EXPECT_TRUE(s.LinkUpAt(3, 4, 6.0));
+  EXPECT_TRUE(s.LinkUpAt(4, 3, 6.0));
+  // A later one-way drop overrides the symmetric heal for its direction.
+  s.PartitionLinkOneWay(7.0, 4, 3);
+  EXPECT_TRUE(s.LinkUpAt(3, 4, 8.0));
+  EXPECT_FALSE(s.LinkUpAt(4, 3, 8.0));
+}
+
 TEST(FaultScheduleTest, SortedIsStableByTime) {
   FaultSchedule s;
   s.CrashNode(5.0, 1);

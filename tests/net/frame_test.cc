@@ -244,6 +244,142 @@ TEST(FrameCodecTest, ResponseTypeMapping) {
   EXPECT_EQ(ResponseTypeFor(MsgType::kStatReq), MsgType::kStatResp);
   EXPECT_EQ(ResponseTypeFor(MsgType::kOwnerReq), MsgType::kOwnerResp);
   EXPECT_EQ(ResponseTypeFor(MsgType::kFetchResp), static_cast<MsgType>(0));
+  EXPECT_EQ(ResponseTypeFor(MsgType::kPutReq), MsgType::kPutResp);
+  EXPECT_EQ(ResponseTypeFor(MsgType::kSubscribeReq), MsgType::kSubscribeResp);
+  // One-way push: never answered.
+  EXPECT_EQ(ResponseTypeFor(MsgType::kNotifyEvt), static_cast<MsgType>(0));
+}
+
+// ---- wire v2 -------------------------------------------------------------
+
+TEST(FrameHeaderTest, BothSupportedVersionsParse) {
+  for (uint8_t version : {kMinWireVersion, kWireVersion}) {
+    std::string buf;
+    AppendFrameHeader(&buf, MsgType::kFetchReq, /*seq=*/7, /*body_len=*/8,
+                      version);
+    auto h = ParseFrameHeader(buf, kDefaultMaxFrameBytes);
+    ASSERT_TRUE(h.ok()) << h.status();
+    EXPECT_EQ(h->version, version);
+  }
+}
+
+/// The backward-compatibility property: the five v1 verb bodies are
+/// byte-identical under v2 (the codec functions are shared and
+/// version-free), and a tagged batch is exactly a 16-byte (client_id,
+/// batch_seq) prefix in front of the v1 batch body — so a v1 reader given
+/// a v2 response body for any of the five verbs parses it unchanged.
+TEST(FrameCodecTest, V1BodiesAreV2CompatibleProperty) {
+  Rng rng(0xC0117A7);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<std::pair<Key, std::string>> items;
+    for (int j = 0; j < static_cast<int>(rng.NextBounded(6)); ++j) {
+      items.emplace_back(rng.Next(), RandomBytes(rng, 64));
+    }
+    uint64_t client_id = rng.Next();
+    uint64_t batch_seq = rng.Next();
+    std::string tagged = EncodeTaggedBatchRequest(client_id, batch_seq, items);
+    std::string untagged = EncodeBatchRequest(items);
+    ASSERT_EQ(tagged.size(), untagged.size() + 16);
+    EXPECT_EQ(tagged.substr(16), untagged)
+        << "tagged batch must wrap the v1 body byte-identically";
+    auto decoded = DecodeTaggedBatchRequest(tagged);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->client_id, client_id);
+    EXPECT_EQ(decoded->batch_seq, batch_seq);
+    EXPECT_EQ(decoded->items, items);
+
+    // Any v1-verb body round-trips identically regardless of the header
+    // version framing it.
+    Key key = rng.Next();
+    std::string body = EncodeKeyRequest(key);
+    for (uint8_t version : {kMinWireVersion, kWireVersion}) {
+      auto frame = BuildFrame(MsgType::kFetchReq, 1, body,
+                              kDefaultMaxFrameBytes, version);
+      ASSERT_TRUE(frame.ok());
+      auto h = ParseFrameHeader(frame->substr(0, kFrameHeaderBytes),
+                                kDefaultMaxFrameBytes);
+      ASSERT_TRUE(h.ok());
+      EXPECT_EQ(h->version, version);
+      auto k = DecodeKeyRequest(frame->substr(kFrameHeaderBytes));
+      ASSERT_TRUE(k.ok());
+      EXPECT_EQ(*k, key);
+    }
+  }
+}
+
+TEST(FrameCodecTest, PutRequestAndResponseRoundTrip) {
+  Rng rng(77);
+  for (int i = 0; i < 32; ++i) {
+    Key key = rng.Next();
+    std::string value = RandomBytes(rng, 2048);
+    auto req = DecodePutRequest(EncodePutRequest(key, value));
+    ASSERT_TRUE(req.ok()) << req.status();
+    EXPECT_EQ(req->key, key);
+    EXPECT_EQ(req->value, value);
+
+    uint64_t version = rng.Next();
+    auto ok_resp = DecodePutResponse(EncodePutResponse(version));
+    ASSERT_TRUE(ok_resp.ok()) << ok_resp.status();
+    ASSERT_TRUE(ok_resp->ok());
+    EXPECT_EQ(ok_resp->value(), version);
+
+    Status err = RandomError(rng);
+    auto err_resp = DecodePutResponse(EncodePutResponse(err));
+    ASSERT_TRUE(err_resp.ok()) << err_resp.status();
+    ASSERT_FALSE(err_resp->ok());
+    EXPECT_EQ(err_resp->status().code(), err.code());
+  }
+}
+
+TEST(FrameCodecTest, SubscribeAndNotifyRoundTrip) {
+  Rng rng(78);
+  auto sub = DecodeSubscribeRequest(EncodeSubscribeRequest(42));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(*sub, 42);
+
+  std::vector<RegionEpoch> regions;
+  for (int r = 0; r < 12; ++r) {
+    regions.push_back(RegionEpoch{r, rng.Next(), rng.Next()});
+  }
+  auto snapshot = DecodeSubscribeResponse(EncodeSubscribeResponse(regions));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  ASSERT_EQ(snapshot->size(), regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    EXPECT_EQ((*snapshot)[i].region, regions[i].region);
+    EXPECT_EQ((*snapshot)[i].epoch, regions[i].epoch);
+    EXPECT_EQ((*snapshot)[i].seq, regions[i].seq);
+  }
+
+  UpdateEvent event{3, rng.Next(), rng.Next(), rng.Next(), rng.Next()};
+  auto decoded = DecodeNotifyEvent(EncodeNotifyEvent(event));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->region, event.region);
+  EXPECT_EQ(decoded->epoch, event.epoch);
+  EXPECT_EQ(decoded->seq, event.seq);
+  EXPECT_EQ(decoded->key, event.key);
+  EXPECT_EQ(decoded->version, event.version);
+}
+
+TEST(FrameCodecTest, V2TruncationNeverParses) {
+  std::string tagged = EncodeTaggedBatchRequest(1, 2, {{3, "params"}});
+  for (size_t cut = 0; cut < tagged.size(); ++cut) {
+    EXPECT_FALSE(DecodeTaggedBatchRequest(tagged.substr(0, cut)).ok());
+  }
+  std::string put = EncodePutRequest(9, "value");
+  for (size_t cut = 0; cut < put.size(); ++cut) {
+    EXPECT_FALSE(DecodePutRequest(put.substr(0, cut)).ok());
+  }
+  std::string snapshot =
+      EncodeSubscribeResponse({RegionEpoch{0, 1, 2}, RegionEpoch{1, 3, 4}});
+  for (size_t cut = 0; cut < snapshot.size(); ++cut) {
+    EXPECT_FALSE(DecodeSubscribeResponse(snapshot.substr(0, cut)).ok());
+  }
+  std::string evt = EncodeNotifyEvent(UpdateEvent{1, 2, 3, 4, 5});
+  for (size_t cut = 0; cut < evt.size(); ++cut) {
+    EXPECT_FALSE(DecodeNotifyEvent(evt.substr(0, cut)).ok());
+  }
+  // Trailing garbage is rejected too, not silently ignored.
+  EXPECT_FALSE(DecodeNotifyEvent(evt + "x").ok());
 }
 
 }  // namespace

@@ -283,6 +283,145 @@ TEST(RpcTransportTest, KillServerMidBatchFailsOverToReplica) {
   EXPECT_GT(rpc.client().recovery_counters().failovers, rec.failovers);
 }
 
+TEST(RpcTransportTest, V1ClientSpeaksAllFiveVerbsToV2Server) {
+  // A frozen v1 client (frames stamped version=1, pre-Put/Subscribe body
+  // formats) against today's server: every one of the five original verbs
+  // must round-trip, and the server must answer in the client's version.
+  StoreFixture fx;
+  LoopbackRpc rpc(&fx.service, EchoFn());
+  ASSERT_TRUE(rpc.status().ok()) << rpc.status();
+
+  auto conn = TcpConnect(rpc.server().host(), rpc.server().port(), 1.0);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  uint32_t seq = 0;
+  auto exchange = [&](MsgType type,
+                      const std::string& body) -> StatusOr<std::string> {
+    JOINOPT_RETURN_NOT_OK(SendFrame(conn->get(), type, ++seq, body, 1.0,
+                                    kDefaultMaxFrameBytes,
+                                    /*version=*/kMinWireVersion));
+    JOINOPT_ASSIGN_OR_RETURN(RecvdFrame frame,
+                             RecvFrame(conn->get(), 2.0,
+                                       kDefaultMaxFrameBytes));
+    EXPECT_EQ(frame.header.version, kMinWireVersion)
+        << "server must answer a v1 client in v1";
+    EXPECT_EQ(frame.header.type, ResponseTypeFor(type));
+    EXPECT_EQ(frame.header.seq, seq);
+    return std::move(frame.body);
+  };
+
+  Key key = 7;
+  auto fetch_body = exchange(MsgType::kFetchReq, EncodeKeyRequest(key));
+  ASSERT_TRUE(fetch_body.ok()) << fetch_body.status();
+  auto fetched = DecodeFetchResponse(*fetch_body);
+  ASSERT_TRUE(fetched.ok() && fetched->ok()) << fetched.status();
+  EXPECT_EQ(fetched->value().value, "payload-7");
+
+  auto exec_body =
+      exchange(MsgType::kExecuteReq, EncodeExecuteRequest(key, "p"));
+  ASSERT_TRUE(exec_body.ok()) << exec_body.status();
+  auto executed = DecodeExecuteResponse(*exec_body);
+  ASSERT_TRUE(executed.ok() && executed->ok()) << executed.status();
+  EXPECT_EQ(executed->value(), "7/p/payload-7");
+
+  auto batch_body = exchange(
+      MsgType::kBatchReq, EncodeBatchRequest({{1, "a"}, {2, "b"}}));
+  ASSERT_TRUE(batch_body.ok()) << batch_body.status();
+  auto batch = DecodeBatchResponse(*batch_body);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0].value(), "1/a/payload-1");
+  EXPECT_EQ((*batch)[1].value(), "2/b/payload-2");
+
+  auto stat_body = exchange(MsgType::kStatReq, EncodeKeyRequest(key));
+  ASSERT_TRUE(stat_body.ok()) << stat_body.status();
+  auto stat = DecodeStatResponse(*stat_body);
+  ASSERT_TRUE(stat.ok() && stat->ok()) << stat.status();
+  EXPECT_EQ(stat->value().version, fx.store.VersionOf(key));
+
+  auto owner_body = exchange(MsgType::kOwnerReq, EncodeKeyRequest(key));
+  ASSERT_TRUE(owner_body.ok()) << owner_body.status();
+  auto owner = DecodeOwnerResponse(*owner_body);
+  ASSERT_TRUE(owner.ok()) << owner.status();
+  EXPECT_EQ(*owner, fx.service.OwnerOf(key));
+}
+
+TEST(RpcTransportTest, ReadBalancingSpreadsFetchesButWritesStayPrimary) {
+  StoreFixture fx;
+  RpcClientOptions copts;
+  copts.balance_reads = true;
+  constexpr int kReplicas = 3;
+  LoopbackRpc rpc(&fx.service, EchoFn(), kReplicas, copts);
+  ASSERT_TRUE(rpc.status().ok()) << rpc.status();
+
+  constexpr int kReads = 120;
+  for (int i = 0; i < kReads; ++i) {
+    auto fetched = rpc.client().Fetch(static_cast<Key>(i % 64));
+    ASSERT_TRUE(fetched.ok()) << fetched.status();
+  }
+  // Sequential reads leave zero outstanding everywhere, so the round-robin
+  // tie-break must spread them evenly: each replica gets its fair share.
+  int64_t read_counts[kReplicas];
+  for (int r = 0; r < kReplicas; ++r) {
+    read_counts[r] = rpc.server(r).stats().requests;
+    EXPECT_GE(read_counts[r], kReads / kReplicas / 2)
+        << "replica " << r << " starved under read balancing";
+  }
+
+  // Executes (potential writes / UDF side effects) must keep hitting the
+  // primary only — balancing applies to reads alone.
+  constexpr int kWrites = 30;
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(rpc.client().Execute(static_cast<Key>(i), "w", EchoFn()).ok());
+  }
+  EXPECT_EQ(rpc.server(0).stats().requests, read_counts[0] + kWrites);
+  for (int r = 1; r < kReplicas; ++r) {
+    EXPECT_EQ(rpc.server(r).stats().requests, read_counts[r])
+        << "execute leaked to replica " << r;
+  }
+}
+
+TEST(RpcTransportTest, RecoveryCountersStayExactUnderConcurrentFailover) {
+  // Satellite: many ParallelInvoker workers fail over concurrently from a
+  // dead primary. Every call takes exactly two attempts (primary refused,
+  // replica answers), so the counters have exact expected values — any
+  // lost or double increment under concurrency shows up as an inequality.
+  StoreFixture fx;
+  RpcClientOptions copts;
+  copts.balance_reads = false;  // every call starts at the dead primary
+  copts.recovery.max_attempts = 2;
+  copts.recovery.backoff_base = 1e-3;
+  copts.recovery.backoff_max = 2e-3;
+  LoopbackRpc rpc(&fx.service, EchoFn(), /*num_replicas=*/2, copts);
+  ASSERT_TRUE(rpc.status().ok()) << rpc.status();
+  rpc.StopServer(0);
+
+  ParallelInvokerOptions opts;
+  opts.num_threads = 8;
+  ParallelInvoker invoker(&rpc.client(), EchoFn(), opts);
+  constexpr int kItems = 200;
+  for (int i = 0; i < kItems; ++i) {
+    invoker.SubmitComp(static_cast<Key>(i % 64), "f" + std::to_string(i));
+  }
+  for (int i = 0; i < kItems; ++i) {
+    Key k = static_cast<Key>(i % 64);
+    auto r = invoker.FetchComp(k, "f" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(*r, *fx.service.Execute(k, "f" + std::to_string(i), EchoFn()));
+  }
+  invoker.Barrier();
+
+  RecoveryCounters rec = rpc.client().recovery_counters();
+  int64_t calls = rpc.client().stats().calls;
+  EXPECT_GT(calls, 0);
+  // Exactness: one failover retry per call, nothing abandoned, and the
+  // refused connect is not misclassified as a timeout.
+  EXPECT_EQ(rec.retries, calls);
+  EXPECT_EQ(rec.failovers, calls);
+  EXPECT_EQ(rec.tuples_failed, 0);
+  EXPECT_EQ(rec.timeouts, 0);
+  EXPECT_EQ(invoker.stats().transport_errors, 0);
+}
+
 TEST(RpcTransportTest, ParallelInvokerRunsUnmodifiedOverSockets) {
   StoreFixture fx;
   LoopbackRpc rpc(&fx.service, EchoFn());

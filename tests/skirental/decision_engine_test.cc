@@ -152,6 +152,40 @@ TEST(DecisionEngineTest, UpdateResetsCounterAndInvalidates) {
   EXPECT_EQ(engine.Decide(1, kDataNode).route, Route::kComputeAtData);
 }
 
+TEST(DecisionEngineTest, ResyncInvalidateDropsMatchingCachedKeys) {
+  DecisionEngine engine(TestConfig());
+  // Cache two keys, then re-sync only one of them.
+  for (Key k : {Key{1}, Key{2}}) {
+    Prime(engine, k, 1e6, 1e-3, 0.5, 1e-3, 1e6);
+    Decision d{Route::kComputeAtData, 0, 0};
+    for (int i = 0; i < 100; ++i) {
+      d = engine.Decide(k, kDataNode);
+      if (d.route == Route::kFetchCacheMemory) break;
+    }
+    ASSERT_EQ(d.route, Route::kFetchCacheMemory);
+    engine.OnValueFetched(k, d.route, 1e6, 1);
+    ASSERT_EQ(engine.Decide(k, kDataNode).route, Route::kLocalMemoryHit);
+  }
+
+  std::vector<Key> dropped =
+      engine.ResyncInvalidate([](Key k) { return k == 1; });
+  EXPECT_EQ(dropped, std::vector<Key>{1});
+  EXPECT_EQ(engine.stats().resync_invalidations, 1);
+  EXPECT_EQ(engine.stats().update_invalidations, 0)
+      << "re-sync drops must not masquerade as ordinary invalidations";
+
+  // Key 1: cache emptied and its access history reset (renting again);
+  // key 2 untouched (still a memory hit).
+  EXPECT_EQ(engine.cache().Peek(1), CacheTier::kNone);
+  EXPECT_EQ(engine.counter().EstimatedCount(1), 0);
+  EXPECT_EQ(engine.Decide(1, kDataNode).route, Route::kComputeAtData);
+  EXPECT_EQ(engine.Decide(2, kDataNode).route, Route::kLocalMemoryHit);
+
+  // No matches → nothing dropped, counters unchanged.
+  EXPECT_TRUE(engine.ResyncInvalidate([](Key k) { return k > 50; }).empty());
+  EXPECT_EQ(engine.stats().resync_invalidations, 1);
+}
+
 TEST(DecisionEngineTest, VersionBumpViaComputeResponseResets) {
   DecisionEngine engine(TestConfig());
   Prime(engine, 1, 1e6, 1e-3, 0.5, 1e-3, 1e6);
