@@ -85,7 +85,7 @@ NodeId ClusterClientService::PickRead(
 void ClusterClientService::NoteFailure(NodeId node,
                                        const Status& status) const {
   {
-    std::lock_guard<std::mutex> lock(rec_mu_);
+    MutexLock lock(rec_mu_);
     if (IsDeadlineExceeded(status)) ++rec_.timeouts;
   }
   if (failure_listener_) failure_listener_(node);
@@ -95,7 +95,7 @@ double ClusterClientService::BackoffSeconds(int attempt) const {
   const RecoveryConfig& rec = options_.recovery;
   double backoff = std::min(rec.backoff_max,
                             rec.backoff_base * std::pow(2.0, attempt - 1));
-  std::lock_guard<std::mutex> lock(rec_mu_);
+  MutexLock lock(rec_mu_);
   return backoff * (1.0 + rec.jitter_fraction * jitter_rng_.NextDouble());
 }
 
@@ -119,7 +119,7 @@ Status ClusterClientService::RoutedCall(Key key, bool read,
     } else {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(BackoffSeconds(attempt)));
-      std::lock_guard<std::mutex> lock(rec_mu_);
+      MutexLock lock(rec_mu_);
       ++rec_.retries;
       if (node != first_choice) ++rec_.failovers;
     }
@@ -135,7 +135,7 @@ Status ClusterClientService::RoutedCall(Key key, bool read,
     last = status;
   }
   {
-    std::lock_guard<std::mutex> lock(rec_mu_);
+    MutexLock lock(rec_mu_);
     ++rec_.tuples_failed;
   }
   return last;
@@ -247,7 +247,7 @@ StatusOr<uint64_t> ClusterClientService::Put(Key key,
 }
 
 RecoveryCounters ClusterClientService::recovery_counters() const {
-  std::lock_guard<std::mutex> lock(rec_mu_);
+  MutexLock lock(rec_mu_);
   return rec_;
 }
 

@@ -30,14 +30,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "joinopt/cluster/topology.h"
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/random.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/engine/types.h"
 #include "joinopt/net/rpc_client.h"
@@ -132,11 +133,14 @@ class ClusterClientService : public DataService {
   mutable std::atomic<uint32_t> balance_rr_{0};
   std::atomic<uint64_t> batch_seq_{0};
   uint64_t client_id_ = 0;
+  /// Set once before the client is shared across threads (see the setter's
+  /// contract); read-only afterwards, hence not lock-guarded.
   std::function<void(NodeId)> failure_listener_;
 
-  mutable std::mutex rec_mu_;
-  mutable RecoveryCounters rec_;
-  mutable Rng jitter_rng_;  // guarded by rec_mu_
+  mutable Mutex rec_mu_{lock_rank::kClientRecovery,
+                        "ClusterClientService::rec_mu_"};
+  mutable RecoveryCounters rec_ JOINOPT_GUARDED_BY(rec_mu_);
+  mutable Rng jitter_rng_ JOINOPT_GUARDED_BY(rec_mu_);
 
   struct AtomicStats {
     std::atomic<int64_t> calls{0};

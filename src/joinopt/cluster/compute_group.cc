@@ -14,35 +14,36 @@ double ComputeWorkerGroup::NowSeconds() {
 ComputeWorkerGroup::ComputeWorkerGroup(DataService* service, UserFn fn,
                                        ComputeWorkerGroupOptions options)
     : service_(service), fn_(std::move(fn)), options_(std::move(options)) {
-  workers_.resize(static_cast<size_t>(options_.num_workers));
-  for (auto& w : workers_) {
-    w.last_beat = std::make_unique<std::atomic<double>>(NowSeconds());
-    w.killed = std::make_unique<std::atomic<bool>>(false);
-  }
-  invokers_.reserve(workers_.size());
+  size_t n = static_cast<size_t>(options_.num_workers);
+  beats_.reserve(n);
+  killed_.reserve(n);
+  invokers_.reserve(n);
   for (int i = 0; i < options_.num_workers; ++i) {
+    beats_.push_back(std::make_unique<std::atomic<double>>(NowSeconds()));
+    killed_.push_back(std::make_unique<std::atomic<bool>>(false));
     invokers_.push_back(
         std::make_unique<ParallelInvoker>(service_, fn_, options_.invoker));
   }
+  MutexLock lock(mu_);
+  workers_.resize(n);
 }
 
 ComputeWorkerGroup::~ComputeWorkerGroup() = default;
 
 void ComputeWorkerGroup::KillWorker(int w) {
-  workers_[static_cast<size_t>(w)].killed->store(true,
-                                                 std::memory_order_release);
-  cv_.notify_all();
+  killed_[static_cast<size_t>(w)]->store(true, std::memory_order_release);
+  cv_.NotifyAll();
 }
 
 ComputeWorkerGroupStats ComputeWorkerGroup::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::vector<StatusOr<std::string>> ComputeWorkerGroup::Run(
     const std::vector<std::pair<Key, std::string>>& items) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     outputs_.assign(items.size(),
                     StatusOr<std::string>(Status::Aborted("never run")));
     written_.assign(items.size(), 0);
@@ -65,13 +66,13 @@ std::vector<StatusOr<std::string>> ComputeWorkerGroup::Run(
   for (auto& t : threads) t.join();
   monitor.join();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return outputs_;
 }
 
 void ComputeWorkerGroup::WriteOutput(int w, size_t idx,
                                      StatusOr<std::string> result) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WorkerState& ws = workers_[static_cast<size_t>(w)];
   for (auto it = ws.claimed.begin(); it != ws.claimed.end(); ++it) {
     if (*it == idx) {
@@ -89,25 +90,27 @@ void ComputeWorkerGroup::WriteOutput(int w, size_t idx,
   ++stats_.items_completed;
   if (--remaining_ == 0) {
     done_.store(true, std::memory_order_release);
-    lock.unlock();
-    cv_.notify_all();
+    lock.Unlock();
+    cv_.NotifyAll();
   }
 }
 
 void ComputeWorkerGroup::WorkerLoop(
     int w, const std::vector<std::pair<Key, std::string>>& items) {
-  WorkerState& ws = workers_[static_cast<size_t>(w)];
+  std::atomic<bool>& killed = *killed_[static_cast<size_t>(w)];
+  std::atomic<double>& beat = *beats_[static_cast<size_t>(w)];
   ParallelInvoker& invoker = *invokers_[static_cast<size_t>(w)];
-  while (!ws.killed->load(std::memory_order_acquire)) {
+  while (!killed.load(std::memory_order_acquire)) {
     std::vector<size_t> window;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        return !ws.queue.empty() || done_.load(std::memory_order_acquire) ||
-               ws.killed->load(std::memory_order_acquire);
-      });
+      MutexLock lock(mu_);
+      WorkerState& ws = workers_[static_cast<size_t>(w)];
+      while (ws.queue.empty() && !done_.load(std::memory_order_acquire) &&
+             !killed.load(std::memory_order_acquire)) {
+        cv_.Wait(mu_);
+      }
       if (done_.load(std::memory_order_acquire) ||
-          ws.killed->load(std::memory_order_acquire)) {
+          killed.load(std::memory_order_acquire)) {
         return;
       }
       int take = std::max(1, options_.claim_window);
@@ -117,18 +120,18 @@ void ComputeWorkerGroup::WorkerLoop(
       }
       ws.claimed.insert(ws.claimed.end(), window.begin(), window.end());
     }
-    ws.last_beat->store(NowSeconds(), std::memory_order_release);
+    beat.store(NowSeconds(), std::memory_order_release);
     for (size_t idx : window) {
       invoker.SubmitComp(items[idx].first, items[idx].second);
     }
     for (size_t idx : window) {
       auto result = invoker.FetchComp(items[idx].first, items[idx].second);
-      if (ws.killed->load(std::memory_order_acquire)) {
+      if (killed.load(std::memory_order_acquire)) {
         // Crash-before-ack: the computed result dies with the worker; the
         // monitor will replay every claimed-but-unwritten index.
         return;
       }
-      ws.last_beat->store(NowSeconds(), std::memory_order_release);
+      beat.store(NowSeconds(), std::memory_order_release);
       WriteOutput(w, idx, std::move(result));
     }
   }
@@ -144,8 +147,8 @@ void ComputeWorkerGroup::ReplayLocked(int w) {
 
   std::vector<int> survivors;
   for (int i = 0; i < options_.num_workers; ++i) {
-    const WorkerState& cand = workers_[static_cast<size_t>(i)];
-    if (!cand.lost && !cand.killed->load(std::memory_order_acquire)) {
+    if (!workers_[static_cast<size_t>(i)].lost &&
+        !killed_[static_cast<size_t>(i)]->load(std::memory_order_acquire)) {
       survivors.push_back(i);
     }
   }
@@ -171,24 +174,25 @@ void ComputeWorkerGroup::ReplayLocked(int w) {
 void ComputeWorkerGroup::MonitorLoop() {
   while (!done_.load(std::memory_order_acquire)) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       double now = NowSeconds();
       for (int w = 0; w < options_.num_workers; ++w) {
         WorkerState& ws = workers_[static_cast<size_t>(w)];
         if (ws.lost) continue;
         bool busy = !ws.claimed.empty() || !ws.queue.empty();
         double silence =
-            now - ws.last_beat->load(std::memory_order_acquire);
+            now - beats_[static_cast<size_t>(w)]->load(
+                      std::memory_order_acquire);
         if (busy && silence > options_.recovery.request_timeout) {
           ReplayLocked(w);
         }
       }
     }
-    cv_.notify_all();  // wake survivors for replayed work
+    cv_.NotifyAll();  // wake survivors for replayed work
     std::this_thread::sleep_for(
         std::chrono::duration<double>(options_.monitor_interval));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace joinopt

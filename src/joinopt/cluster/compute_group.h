@@ -28,17 +28,17 @@
 #define JOINOPT_CLUSTER_COMPUTE_GROUP_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/engine/parallel_invoker.h"
 #include "joinopt/engine/types.h"
 
@@ -102,33 +102,44 @@ class ComputeWorkerGroup {
   ParallelInvoker& invoker(int w) { return *invokers_[static_cast<size_t>(w)]; }
 
  private:
+  /// All contents are guarded by mu_ (reached only through workers_, which
+  /// is GUARDED_BY(mu_); a nested struct cannot name the enclosing class's
+  /// member mutex in an attribute). The heartbeat/kill atomics live in the
+  /// parallel beats_/killed_ vectors instead: workers touch those lock-free
+  /// on the hot path, which a guarded member could not express.
   struct WorkerState {
-    std::deque<size_t> queue;          // guarded by mu_
-    std::vector<size_t> claimed;       // guarded by mu_ (current window)
-    bool lost = false;                 // guarded by mu_
-    std::unique_ptr<std::atomic<double>> last_beat;  // monotonic seconds
-    std::unique_ptr<std::atomic<bool>> killed;
+    std::deque<size_t> queue;
+    std::vector<size_t> claimed;  // current window, claimed but unwritten
+    bool lost = false;
   };
 
   void WorkerLoop(int w, const std::vector<std::pair<Key, std::string>>& items);
   void MonitorLoop();
-  /// Declares `w` lost and re-deals its unwritten work. Caller holds mu_.
-  void ReplayLocked(int w);
-  void WriteOutput(int w, size_t idx, StatusOr<std::string> result);
+  /// Declares `w` lost and re-deals its unwritten work.
+  void ReplayLocked(int w) JOINOPT_REQUIRES(mu_);
+  void WriteOutput(int w, size_t idx, StatusOr<std::string> result)
+      JOINOPT_EXCLUDES(mu_);
   static double NowSeconds();
 
   DataService* service_;
   UserFn fn_;
   ComputeWorkerGroupOptions options_;
   std::vector<std::unique_ptr<ParallelInvoker>> invokers_;
+  /// Last heartbeat (monotonic seconds) per worker; written lock-free on
+  /// every claim/completion, read by the monitor.
+  std::vector<std::unique_ptr<std::atomic<double>>> beats_;
+  /// KillWorker's crash switch per worker; checked lock-free mid-window.
+  std::vector<std::unique_ptr<std::atomic<bool>>> killed_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<WorkerState> workers_;
-  std::vector<StatusOr<std::string>> outputs_;  // guarded by mu_
-  std::vector<char> written_;                   // guarded by mu_
-  size_t remaining_ = 0;                        // guarded by mu_
-  ComputeWorkerGroupStats stats_;               // guarded by mu_
+  /// mu_ is never held across invoker calls (SubmitComp/FetchComp), so it
+  /// cannot participate in an inversion with the invoker's shard locks.
+  mutable Mutex mu_{lock_rank::kComputeGroup, "ComputeWorkerGroup::mu_"};
+  CondVar cv_;
+  std::vector<WorkerState> workers_ JOINOPT_GUARDED_BY(mu_);
+  std::vector<StatusOr<std::string>> outputs_ JOINOPT_GUARDED_BY(mu_);
+  std::vector<char> written_ JOINOPT_GUARDED_BY(mu_);
+  size_t remaining_ JOINOPT_GUARDED_BY(mu_) = 0;
+  ComputeWorkerGroupStats stats_ JOINOPT_GUARDED_BY(mu_);
   std::atomic<bool> done_{false};
 };
 

@@ -1,7 +1,5 @@
 #include "joinopt/cluster/controller.h"
 
-#include <chrono>
-
 #include "joinopt/net/socket.h"
 
 namespace joinopt {
@@ -28,14 +26,14 @@ ClusterController::~ClusterController() { Stop(); }
 
 void ClusterController::Stop() {
   stop_.store(true, std::memory_order_release);
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (prober_.joinable()) prober_.join();
 }
 
 bool ClusterController::Strike(NodeId node) {
   bool declare = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     int& strikes = consecutive_[static_cast<size_t>(node)];
     ++strikes;
     if (strikes >= options_.recovery.max_attempts) {
@@ -46,7 +44,7 @@ bool ClusterController::Strike(NodeId node) {
   if (!declare || !topology_->NodeUp(node)) return false;
   int reassigned = topology_->MarkNodeDown(node);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.nodes_declared_dead;
     stats_.regions_reassigned += reassigned;
   }
@@ -55,14 +53,14 @@ bool ClusterController::Strike(NodeId node) {
 }
 
 void ClusterController::ClearStrikes(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   consecutive_[static_cast<size_t>(node)] = 0;
 }
 
 void ClusterController::ReportFailure(NodeId node) {
   if (node < 0 || node >= topology_->num_nodes()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.reported_failures;
   }
   Strike(node);
@@ -75,7 +73,7 @@ void ClusterController::ProbeLoop() {
       NodeId id = static_cast<NodeId>(node);
       if (!topology_->NodeUp(id)) continue;  // dead stay dead until rejoin
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.probes;
       }
       auto stat = probes_[static_cast<size_t>(node)]->Stat(0);
@@ -85,21 +83,23 @@ void ClusterController::ProbeLoop() {
         ClearStrikes(id);
       } else {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           ++stats_.probe_failures;
         }
         Strike(id);
       }
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock,
-                 std::chrono::duration<double>(options_.probe_interval),
-                 [this] { return stop_.load(std::memory_order_acquire); });
+    // Single timed wait, no predicate: a spurious wake only costs one
+    // early trip around the outer loop, which re-checks stop_ anyway.
+    MutexLock lock(mu_);
+    if (!stop_.load(std::memory_order_acquire)) {
+      cv_.WaitFor(mu_, options_.probe_interval);
+    }
   }
 }
 
 ClusterControllerStats ClusterController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

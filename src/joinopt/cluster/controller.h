@@ -21,15 +21,15 @@
 #define JOINOPT_CLUSTER_CONTROLLER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "joinopt/cluster/topology.h"
+#include "joinopt/common/lock_ranks.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/engine/types.h"
 #include "joinopt/net/rpc_client.h"
 
@@ -95,10 +95,13 @@ class ClusterController {
   /// strike counting *is* the retry policy).
   std::vector<std::unique_ptr<RpcClientService>> probes_;
 
-  mutable std::mutex mu_;          ///< guards consecutive_ and stats_
-  std::condition_variable cv_;     ///< wakes the probe loop for Stop
-  std::vector<int> consecutive_;   ///< strike count per node
-  ClusterControllerStats stats_;
+  /// Released before MarkNodeDown / the dead-node hook: the declaration
+  /// path must not constrain what the hook may lock.
+  mutable Mutex mu_{lock_rank::kControllerState, "ClusterController::mu_"};
+  CondVar cv_;                     ///< wakes the probe loop for Stop
+  std::vector<int> consecutive_
+      JOINOPT_GUARDED_BY(mu_);     ///< strike count per node
+  ClusterControllerStats stats_ JOINOPT_GUARDED_BY(mu_);
   std::atomic<bool> stop_{false};
   std::thread prober_;
   std::function<void(NodeId)> on_node_dead_;

@@ -7,6 +7,7 @@ namespace joinopt {
 ClusterNodeService::ClusterNodeService(NodeId node, ClusterTopology* topology,
                                        const LogStoreConfig& store_config)
     : node_(node), topology_(topology), store_(store_config) {
+  MutexLock lock(update_mu_);
   epochs_.resize(static_cast<size_t>(topology->num_regions()));
   for (int r = 0; r < topology->num_regions(); ++r) {
     epochs_[static_cast<size_t>(r)].region = r;
@@ -14,7 +15,7 @@ ClusterNodeService::ClusterNodeService(NodeId node, ClusterTopology* topology,
 }
 
 StatusOr<DataService::Fetched> ClusterNodeService::Fetch(Key key) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   auto value = store_.Get(key);
   if (!value.ok()) return value.status();
   return Fetched{std::move(value).value(), store_.VersionOf(key)};
@@ -25,7 +26,7 @@ StatusOr<std::string> ClusterNodeService::Execute(Key key,
                                                   const UserFn& fn) {
   std::string value;
   {
-    std::shared_lock lock(store_mu_);
+    ReaderMutexLock lock(store_mu_);
     auto got = store_.Get(key);
     if (!got.ok()) return got.status();
     value = std::move(got).value();
@@ -34,7 +35,7 @@ StatusOr<std::string> ClusterNodeService::Execute(Key key,
 }
 
 StatusOr<DataService::ItemStat> ClusterNodeService::Stat(Key key) const {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   auto value = store_.Get(key);
   if (!value.ok()) return value.status();
   return ItemStat{static_cast<double>(value->size()), store_.VersionOf(key)};
@@ -47,7 +48,7 @@ NodeId ClusterNodeService::OwnerOf(Key key) const {
 StatusOr<uint64_t> ClusterNodeService::Put(Key key, const std::string& value) {
   uint64_t version;
   {
-    std::unique_lock lock(store_mu_);
+    WriterMutexLock lock(store_mu_);
     version = store_.Put(key, value);
   }
   UpdateEvent event;
@@ -55,7 +56,7 @@ StatusOr<uint64_t> ClusterNodeService::Put(Key key, const std::string& value) {
   event.key = key;
   event.version = version;
   {
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(update_mu_);
     RegionEpoch& re = epochs_[static_cast<size_t>(event.region)];
     ++re.seq;
     event.epoch = re.epoch;
@@ -66,17 +67,17 @@ StatusOr<uint64_t> ClusterNodeService::Put(Key key, const std::string& value) {
 }
 
 std::vector<RegionEpoch> ClusterNodeService::EpochSnapshot() const {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   return epochs_;
 }
 
 void ClusterNodeService::AddUpdateSink(UpdateSink* sink) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   sinks_.push_back(sink);
 }
 
 void ClusterNodeService::RemoveUpdateSink(UpdateSink* sink) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
     if (*it == sink) {
       sinks_.erase(it);
@@ -87,7 +88,7 @@ void ClusterNodeService::RemoveUpdateSink(UpdateSink* sink) {
 
 std::vector<std::pair<Key, std::string>> ClusterNodeService::SnapshotWhere(
     const std::function<bool(Key)>& pred) const {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   std::vector<std::pair<Key, std::string>> out;
   store_.ForEach([&](Key key, const std::string& value) {
     if (pred(key)) out.emplace_back(key, value);
@@ -96,7 +97,7 @@ std::vector<std::pair<Key, std::string>> ClusterNodeService::SnapshotWhere(
 }
 
 void ClusterNodeService::BumpEpochs() {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(update_mu_);
   for (RegionEpoch& re : epochs_) {
     ++re.epoch;
     re.seq = 0;
@@ -115,6 +116,26 @@ ClusterDataNode::ClusterDataNode(NodeId node, ClusterTopology* topology,
 ClusterDataNode::~ClusterDataNode() { Stop(); }
 
 Status ClusterDataNode::Start() {
+  MutexLock lock(lifecycle_mu_);
+  return StartLocked();
+}
+
+void ClusterDataNode::Stop() {
+  MutexLock lock(lifecycle_mu_);
+  StopLocked();
+}
+
+Status ClusterDataNode::Restart() {
+  // One lifecycle critical section end to end: a running() probe (or a
+  // second Restart) sees the old server or the new one, never the window
+  // where server_ points at a dead or half-constructed instance.
+  MutexLock lock(lifecycle_mu_);
+  StopLocked();
+  service_.BumpEpochs();
+  return StartLocked();
+}
+
+Status ClusterDataNode::StartLocked() {
   if (server_ && server_->running()) return Status::OK();
   RpcServerOptions opts = server_options_;
   opts.port = port_;  // 0 on first start (ephemeral), pinned afterwards
@@ -129,14 +150,8 @@ Status ClusterDataNode::Start() {
   return Status::OK();
 }
 
-void ClusterDataNode::Stop() {
+void ClusterDataNode::StopLocked() {
   if (server_) server_->Stop();
-}
-
-Status ClusterDataNode::Restart() {
-  Stop();
-  service_.BumpEpochs();
-  return Start();
 }
 
 }  // namespace joinopt

@@ -20,14 +20,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "joinopt/cluster/topology.h"
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/net/rpc_server.h"
 #include "joinopt/net/update_hub.h"
@@ -75,14 +75,20 @@ class ClusterNodeService : public WritableDataService {
   NodeId node_;
   ClusterTopology* topology_;
 
-  mutable std::shared_mutex store_mu_;
-  LogStructuredStore store_;
+  /// Snapshot predicates read the topology while this is held
+  /// (kNodeStore < kTopology makes that nesting legal).
+  mutable SharedMutex store_mu_{lock_rank::kNodeStore,
+                                "ClusterNodeService::store_mu_"};
+  LogStructuredStore store_ JOINOPT_GUARDED_BY(store_mu_);
 
-  /// Guards epochs_ and sinks_; held across the sink fan-out so a
-  /// subscriber snapshot cannot interleave mid-update.
-  mutable std::mutex update_mu_;
-  std::vector<RegionEpoch> epochs_;  // indexed by region
-  std::vector<UpdateSink*> sinks_;
+  /// Guards epochs_ and sinks_; held across the sink fan-out (which takes
+  /// each sink's kUpdateSink lock) so a subscriber snapshot cannot
+  /// interleave mid-update.
+  mutable Mutex update_mu_{lock_rank::kNodeUpdateFanout,
+                           "ClusterNodeService::update_mu_"};
+  std::vector<RegionEpoch> epochs_
+      JOINOPT_GUARDED_BY(update_mu_);  // indexed by region
+  std::vector<UpdateSink*> sinks_ JOINOPT_GUARDED_BY(update_mu_);
 };
 
 /// Service + server, bundled with crash/restart controls.
@@ -94,25 +100,45 @@ class ClusterDataNode {
   ~ClusterDataNode();
 
   /// Starts the RpcServer and publishes host:port into the topology.
-  Status Start();
+  Status Start() JOINOPT_EXCLUDES(lifecycle_mu_);
   /// Crash: the server dies (port goes dark), the store survives.
-  void Stop();
+  void Stop() JOINOPT_EXCLUDES(lifecycle_mu_);
   /// Re-serves the surviving store on the same port; bumps region epochs.
-  Status Restart();
+  Status Restart() JOINOPT_EXCLUDES(lifecycle_mu_);
 
-  bool running() const { return server_ && server_->running(); }
-  uint16_t port() const { return port_; }
+  /// Safe against a concurrent Restart(): the server pointer swap happens
+  /// under the lifecycle lock (a probe used to race the unique_ptr reset).
+  bool running() const {
+    MutexLock lock(lifecycle_mu_);
+    return server_ != nullptr && server_->running();
+  }
+  uint16_t port() const {
+    MutexLock lock(lifecycle_mu_);
+    return port_;
+  }
   ClusterNodeService& service() { return service_; }
-  const RpcServer* server() const { return server_.get(); }
+  const RpcServer* server() const {
+    MutexLock lock(lifecycle_mu_);
+    return server_.get();
+  }
 
  private:
+  Status StartLocked() JOINOPT_REQUIRES(lifecycle_mu_);
+  void StopLocked() JOINOPT_REQUIRES(lifecycle_mu_);
+
   NodeId node_;
   ClusterTopology* topology_;
   UserFn fn_;
   RpcServerOptions server_options_;
   ClusterNodeService service_;
-  std::unique_ptr<RpcServer> server_;
-  uint16_t port_ = 0;  ///< pinned after the first Start so Restart reuses it
+  /// Guards the server pointer and the pinned port across crash/restart;
+  /// held while calling into the server's own lifecycle (480 < 700).
+  mutable Mutex lifecycle_mu_{lock_rank::kNodeLifecycle,
+                              "ClusterDataNode::lifecycle_mu_"};
+  std::unique_ptr<RpcServer> server_ JOINOPT_GUARDED_BY(lifecycle_mu_)
+      JOINOPT_PT_GUARDED_BY(lifecycle_mu_);
+  uint16_t port_ JOINOPT_GUARDED_BY(lifecycle_mu_) =
+      0;  ///< pinned after the first Start so Restart reuses it
 };
 
 }  // namespace joinopt

@@ -59,14 +59,14 @@ bool UpdateSubscriber::AllSnapshotsSeen() const {
 }
 
 UpdateSubscriberStats UpdateSubscriber::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void UpdateSubscriber::RunResync(NodeId node, int region) {
   // Called with mu_ NOT held: the resync callback walks invoker shards.
   int64_t dropped = on_resync_ ? on_resync_(node, region) : 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.resyncs;
   stats_.keys_dropped += dropped;
 }
@@ -76,7 +76,7 @@ bool UpdateSubscriber::Reconcile(NodeId node, int region, uint64_t epoch,
   bool resync = false;
   bool deliver = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RegionState& st = state_[{node, region}];
     if (!st.seen) {
       // First contact: adopt the position. Nothing was cached from this
@@ -122,7 +122,7 @@ void UpdateSubscriber::StreamLoop(size_t slot, NodeId node) {
     auto conn = TcpConnect(ep.host, ep.port, options_.connect_deadline);
     if (!conn.ok()) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.reconnects;
       }
       std::this_thread::sleep_for(
@@ -174,7 +174,7 @@ void UpdateSubscriber::StreamLoop(size_t slot, NodeId node) {
     fds_[slot]->store(-1, std::memory_order_release);
     if (stop_.load(std::memory_order_acquire)) break;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (streamed) ++stats_.reconnects;
     }
     std::this_thread::sleep_for(

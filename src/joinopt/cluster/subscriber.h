@@ -26,14 +26,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "joinopt/cluster/topology.h"
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/net/frame.h"
 
 namespace joinopt {
@@ -94,8 +95,11 @@ class UpdateSubscriber {
   /// Reconciles a snapshot or event against the per-region state; triggers
   /// re-syncs. Returns true when the event should be delivered.
   bool Reconcile(NodeId node, int region, uint64_t epoch, uint64_t seq,
-                 bool is_event);
-  void RunResync(NodeId node, int region);
+                 bool is_event) JOINOPT_EXCLUDES(mu_);
+  /// Runs the re-sync callback with mu_ released: the callback walks
+  /// invoker shard locks, which rank *below* kSubscriberState — holding
+  /// mu_ across it is the inversion the checker exists to catch.
+  void RunResync(NodeId node, int region) JOINOPT_EXCLUDES(mu_);
 
   ClusterTopology* topology_;
   std::vector<NodeId> nodes_;
@@ -115,9 +119,9 @@ class UpdateSubscriber {
     uint64_t seq = 0;
     bool seen = false;
   };
-  mutable std::mutex mu_;  ///< guards state_ and stats_
-  std::map<std::pair<NodeId, int>, RegionState> state_;
-  UpdateSubscriberStats stats_;
+  mutable Mutex mu_{lock_rank::kSubscriberState, "UpdateSubscriber::mu_"};
+  std::map<std::pair<NodeId, int>, RegionState> state_ JOINOPT_GUARDED_BY(mu_);
+  UpdateSubscriberStats stats_ JOINOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace joinopt

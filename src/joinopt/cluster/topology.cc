@@ -1,6 +1,5 @@
 #include "joinopt/cluster/topology.h"
 
-#include <mutex>
 
 namespace joinopt {
 
@@ -23,27 +22,27 @@ ClusterTopology::ClusterTopology(const ClusterTopologyConfig& config)
       up_(static_cast<size_t>(config.num_data_nodes), 1) {}
 
 NodeId ClusterTopology::OwnerOf(Key key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return regions_.OwnerOf(key);
 }
 
 NodeId ClusterTopology::RegionOwner(int region) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return regions_.RegionOwner(region);
 }
 
 std::vector<NodeId> ClusterTopology::ReplicasOf(Key key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return regions_.ReplicasOf(key);
 }
 
 std::vector<NodeId> ClusterTopology::RegionReplicas(int region) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return regions_.RegionReplicas(region);
 }
 
 std::vector<NodeId> ClusterTopology::LiveReplicasOf(Key key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<NodeId> live;
   for (NodeId node : regions_.ReplicasOf(key)) {
     if (up_[static_cast<size_t>(node)]) live.push_back(node);
@@ -52,28 +51,28 @@ std::vector<NodeId> ClusterTopology::LiveReplicasOf(Key key) const {
 }
 
 std::vector<int> ClusterTopology::RegionsOwnedBy(NodeId node) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return regions_.RegionsOf(node);
 }
 
 void ClusterTopology::SetEndpoint(NodeId node, const RpcEndpoint& endpoint) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   endpoints_[static_cast<size_t>(node)] = endpoint;
   version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 RpcEndpoint ClusterTopology::endpoint(NodeId node) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return endpoints_[static_cast<size_t>(node)];
 }
 
 bool ClusterTopology::NodeUp(NodeId node) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return up_[static_cast<size_t>(node)] != 0;
 }
 
 int ClusterTopology::MarkNodeDown(NodeId node) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   if (!up_[static_cast<size_t>(node)]) return 0;  // already down
   up_[static_cast<size_t>(node)] = 0;
   int reassigned = 0;
@@ -89,7 +88,7 @@ int ClusterTopology::MarkNodeDown(NodeId node) {
 }
 
 void ClusterTopology::MarkNodeUp(NodeId node) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   up_[static_cast<size_t>(node)] = 1;
   version_.fetch_add(1, std::memory_order_acq_rel);
 }

@@ -19,11 +19,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <vector>
 
 #include "joinopt/common/hash.h"
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/net/rpc_client.h"
 #include "joinopt/store/region_map.h"
 
@@ -41,8 +42,12 @@ class ClusterTopology {
  public:
   explicit ClusterTopology(const ClusterTopologyConfig& config);
 
-  /// Pure hash, never changes: safe without a lock.
-  int RegionOf(Key key) const { return regions_.RegionOf(key); }
+  /// Pure hash of an immutable partition count; the reader lock is only
+  /// there so the access stays provable under -Wthread-safety.
+  int RegionOf(Key key) const {
+    ReaderMutexLock lock(mu_);
+    return regions_.RegionOf(key);
+  }
 
   NodeId OwnerOf(Key key) const;
   NodeId RegionOwner(int region) const;
@@ -74,10 +79,12 @@ class ClusterTopology {
 
  private:
   ClusterTopologyConfig config_;
-  mutable std::shared_mutex mu_;
-  RegionMap regions_;                // guarded by mu_
-  std::vector<RpcEndpoint> endpoints_;  // guarded by mu_
-  std::vector<char> up_;             // guarded by mu_ (vector<bool> races)
+  /// A leaf lock: no method calls out of the class while holding it.
+  mutable SharedMutex mu_{lock_rank::kTopology, "ClusterTopology::mu_"};
+  RegionMap regions_ JOINOPT_GUARDED_BY(mu_);
+  std::vector<RpcEndpoint> endpoints_ JOINOPT_GUARDED_BY(mu_);
+  /// vector<bool> races on proxy writes; char is a real lvalue per node.
+  std::vector<char> up_ JOINOPT_GUARDED_BY(mu_);
   std::atomic<uint64_t> version_{0};
 };
 

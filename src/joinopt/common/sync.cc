@@ -1,0 +1,96 @@
+#include "joinopt/common/sync.h"
+
+#if JOINOPT_SYNC_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace joinopt {
+namespace sync_internal {
+namespace {
+
+// One lock the current thread holds, with where it was acquired. The
+// stack is strictly LIFO-ish in practice but releases are matched by
+// identity (scoped locks can release out of order after an early
+// Unlock()).
+struct Held {
+  const void* mu;
+  int rank;
+  const char* name;
+  const char* file;
+  int line;
+};
+
+// Function-local to dodge the thread_local-with-dynamic-init ordering
+// trap: worker threads may first touch this inside a detached lambda.
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+[[noreturn]] void Die(const char* what, const Held& incoming,
+                      const Held* prior) {
+  if (prior != nullptr) {
+    std::fprintf(
+        stderr,
+        "joinopt sync: %s: acquiring \"%s\" (rank %d) at %s:%d while "
+        "holding \"%s\" (rank %d) acquired at %s:%d\n",
+        what, incoming.name, incoming.rank, incoming.file, incoming.line,
+        prior->name, prior->rank, prior->file, prior->line);
+  } else {
+    std::fprintf(stderr, "joinopt sync: %s: \"%s\" at %s:%d\n", what,
+                 incoming.name, incoming.file, incoming.line);
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mu, int rank, const char* name,
+                 const char* file, int line) {
+  std::vector<Held>& held = HeldStack();
+  const Held incoming{mu, rank, name, file, line};
+  for (const Held& h : held) {
+    if (h.mu == mu) {
+      // std::mutex/shared_mutex relock is UB; report it before it hangs.
+      Die("recursive lock", incoming, &h);
+    }
+    if (rank != kNoRank && h.rank != kNoRank && h.rank >= rank) {
+      // Equal ranks abort too: same-rank mutexes (invoker shards, node
+      // stores) are declared never-nested in lock_ranks.h.
+      Die("lock-order inversion", incoming, &h);
+    }
+  }
+  held.push_back(incoming);
+}
+
+void NoteRelease(const void* mu, const char* name) {
+  std::vector<Held>& held = HeldStack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mu == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  const Held incoming{mu, kNoRank, name, "(release)", 0};
+  Die("releasing a mutex this thread does not hold", incoming, nullptr);
+}
+
+void AssertHeldOrDie(const void* mu, const char* name) {
+  for (const Held& h : HeldStack()) {
+    if (h.mu == mu) return;
+  }
+  const Held incoming{mu, kNoRank, name, "(assert)", 0};
+  Die("AssertHeld failed: mutex not held by this thread", incoming,
+      nullptr);
+}
+
+int HeldLockCountForTest() {
+  return static_cast<int>(HeldStack().size());
+}
+
+}  // namespace sync_internal
+}  // namespace joinopt
+
+#endif  // JOINOPT_SYNC_CHECKS

@@ -1,0 +1,304 @@
+// Annotated synchronization primitives (DESIGN.md §12).
+//
+// joinopt::Mutex / SharedMutex / MutexLock / CondVar wrap the std
+// primitives with two orthogonal layers of lock discipline:
+//
+//   1. Clang Thread Safety attributes (thread_annotations.h). Under
+//      clang -Wthread-safety every GUARDED_BY field access and every
+//      REQUIRES contract is proved statically on all paths; under gcc
+//      the attributes vanish and these classes are thin std wrappers.
+//
+//   2. A runtime lock-order checker, compiled in when
+//      JOINOPT_LOCK_ORDER_CHECK is defined (the default CMake build
+//      defines it; -DJOINOPT_LOCK_ORDER_CHECK=OFF strips it) or in any
+//      !NDEBUG build. Each Mutex may carry a rank from lock_ranks.h; a
+//      per-thread stack of held locks aborts — printing BOTH
+//      acquisition sites — when a thread acquires a ranked mutex while
+//      holding one of equal or greater rank, re-locks a mutex it
+//      already holds, or fails an AssertHeld().
+//
+// Conventions for migrated code:
+//   * every mutex-guarded member is declared with JOINOPT_GUARDED_BY;
+//   * private helpers called under a lock take JOINOPT_REQUIRES;
+//   * condition waits are written as explicit `while (!cond) cv.Wait(mu);`
+//     loops — never lambda predicates, which clang analyzes as separate
+//     unannotated functions and would flag the guarded reads inside;
+//   * JOINOPT_NO_THREAD_SAFETY_ANALYSIS is forbidden in
+//     src/joinopt/{engine,net,cluster,cache}/.
+#ifndef JOINOPT_COMMON_SYNC_H_
+#define JOINOPT_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "joinopt/common/thread_annotations.h"
+
+#if defined(JOINOPT_LOCK_ORDER_CHECK) || !defined(NDEBUG)
+#define JOINOPT_SYNC_CHECKS 1
+#else
+#define JOINOPT_SYNC_CHECKS 0
+#endif
+
+namespace joinopt {
+
+/// Rank given to mutexes that opt out of ordering (still tracked for
+/// AssertHeld). Production locks in engine/net/cluster take a rank from
+/// lock_ranks.h instead.
+inline constexpr int kNoRank = -1;
+
+/// True when the runtime lock-order checker is compiled in (tests use
+/// this to gate death tests).
+constexpr bool SyncChecksEnabled() { return JOINOPT_SYNC_CHECKS != 0; }
+
+namespace sync_internal {
+
+#if JOINOPT_SYNC_CHECKS
+// All four take the mutex identity (its address), its rank and name, and
+// the acquisition site captured at the call site via __builtin_FILE/LINE.
+// NoteAcquire runs BEFORE blocking on the underlying lock, so a rank
+// inversion aborts with a diagnostic instead of deadlocking.
+void NoteAcquire(const void* mu, int rank, const char* name,
+                 const char* file, int line);
+void NoteRelease(const void* mu, const char* name);
+void AssertHeldOrDie(const void* mu, const char* name);
+// Number of locks the calling thread currently holds (test hook).
+int HeldLockCountForTest();
+#endif
+
+}  // namespace sync_internal
+
+/// A std::mutex carrying thread-safety annotations and (optionally) a
+/// lock-order rank. Copying is disabled; the address is the identity.
+class JOINOPT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  /// A ranked mutex participates in the lock-order hierarchy; `name`
+  /// appears in checker diagnostics and must outlive the mutex (string
+  /// literals only).
+  explicit Mutex(int rank, const char* name = "mutex")
+      : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) JOINOPT_ACQUIRE() {
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::NoteAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() JOINOPT_RELEASE() {
+    mu_.unlock();
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::NoteRelease(this, name_);
+#endif
+  }
+
+  bool TryLock(const char* file = __builtin_FILE(),
+               int line = __builtin_LINE()) JOINOPT_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::NoteAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    return true;
+  }
+
+  /// Aborts in checking builds if the calling thread does not hold this
+  /// mutex; under clang it also injects the "held" fact into the static
+  /// analysis.
+  void AssertHeld() const JOINOPT_ASSERT_CAPABILITY(this) {
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::AssertHeldOrDie(this, name_);
+#endif
+  }
+
+  // BasicLockable surface so CondVar (condition_variable_any) can release
+  // and reacquire through the same bookkeeping. Annotated identically to
+  // Lock/Unlock; prefer the capitalized spellings in joinopt code.
+  void lock() JOINOPT_ACQUIRE() { Lock("(condvar wait)", 0); }
+  void unlock() JOINOPT_RELEASE() { Unlock(); }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const int rank_ = kNoRank;
+  const char* const name_ = "mutex";
+};
+
+/// A std::shared_mutex with the same annotation + rank treatment. Reader
+/// acquisitions obey the same rank ordering as writers (shared holds can
+/// deadlock against writers just as well).
+class JOINOPT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(int rank, const char* name = "shared_mutex")
+      : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) JOINOPT_ACQUIRE() {
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::NoteAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() JOINOPT_RELEASE() {
+    mu_.unlock();
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::NoteRelease(this, name_);
+#endif
+  }
+
+  void ReaderLock(const char* file = __builtin_FILE(),
+                  int line = __builtin_LINE()) JOINOPT_ACQUIRE_SHARED() {
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::NoteAcquire(this, rank_, name_, file, line);
+#else
+    (void)file;
+    (void)line;
+#endif
+    mu_.lock_shared();
+  }
+
+  void ReaderUnlock() JOINOPT_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::NoteRelease(this, name_);
+#endif
+  }
+
+  /// Held either exclusively or shared by the calling thread.
+  void AssertHeld() const JOINOPT_ASSERT_CAPABILITY(this) {
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::AssertHeldOrDie(this, name_);
+#endif
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const int rank_ = kNoRank;
+  const char* const name_ = "shared_mutex";
+};
+
+/// Scoped exclusive lock, relockable (the MutexLocker pattern from the
+/// Clang TSA docs): Unlock() releases early, Relock() reacquires, the
+/// destructor releases only if currently held.
+class JOINOPT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) JOINOPT_ACQUIRE(mu)
+      : mu_(mu), held_(true) {
+    mu_.Lock(file, line);
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() JOINOPT_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  /// Release before scope end (e.g. to call out without the lock).
+  void Unlock() JOINOPT_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  /// Reacquire after an early Unlock().
+  void Relock(const char* file = __builtin_FILE(),
+              int line = __builtin_LINE()) JOINOPT_ACQUIRE() {
+    mu_.Lock(file, line);
+    held_ = true;
+  }
+
+  /// The underlying mutex (for CondVar waits inside the scope).
+  Mutex& mutex() JOINOPT_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Scoped exclusive lock on a SharedMutex.
+class JOINOPT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu,
+                           const char* file = __builtin_FILE(),
+                           int line = __builtin_LINE()) JOINOPT_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(file, line);
+  }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() JOINOPT_RELEASE() { mu_.Unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class JOINOPT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu,
+                           const char* file = __builtin_FILE(),
+                           int line = __builtin_LINE())
+      JOINOPT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock(file, line);
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() JOINOPT_RELEASE_GENERIC() { mu_.ReaderUnlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to joinopt::Mutex. Deliberately has no
+/// predicate overloads: call sites spell the wait as an explicit
+/// `while (!cond) cv.Wait(mu);` loop so the guarded reads in the
+/// condition stay inside the function the static analysis sees.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, reacquires. `mu` must be held.
+  void Wait(Mutex& mu) JOINOPT_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait; returns std::cv_status::timeout if `seconds` elapsed
+  /// without a notification (spurious wakes report no_timeout — callers
+  /// loop on their condition anyway).
+  std::cv_status WaitFor(Mutex& mu, double seconds) JOINOPT_REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::duration<double>(seconds));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_SYNC_H_

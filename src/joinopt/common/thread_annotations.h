@@ -1,0 +1,94 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §12).
+//
+// Wrapping the attributes behind JOINOPT_* macros lets the same sources
+// compile three ways:
+//   * clang with -Wthread-safety: every GUARDED_BY / REQUIRES / ACQUIRE
+//     contract is checked statically on every path, including the fault
+//     re-sync paths no test schedule reaches (-Werror=thread-safety in CI
+//     makes violations build breaks);
+//   * gcc (the default toolchain): the attributes vanish and the wrappers
+//     in sync.h compile down to plain std::mutex / std::shared_mutex;
+//   * any compiler with the runtime lock-order checker on (sync.h), which
+//     enforces the rank hierarchy dynamically where the static analysis
+//     cannot see (cross-callback orderings).
+//
+// Naming follows the capability vocabulary of the Clang docs; only the
+// subset this codebase uses is defined. Keep this header dependency-free.
+#ifndef JOINOPT_COMMON_THREAD_ANNOTATIONS_H_
+#define JOINOPT_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define JOINOPT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define JOINOPT_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Marks a class as a capability (a lock). The string names the capability
+/// kind in diagnostics ("mutex").
+#define JOINOPT_CAPABILITY(x) JOINOPT_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define JOINOPT_SCOPED_CAPABILITY \
+  JOINOPT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define JOINOPT_GUARDED_BY(x) JOINOPT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* requires the capability.
+#define JOINOPT_PT_GUARDED_BY(x) JOINOPT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability held (exclusively) on entry; it is
+/// still held on exit.
+#define JOINOPT_REQUIRES(...) \
+  JOINOPT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function requires at least shared (reader) access on entry.
+#define JOINOPT_REQUIRES_SHARED(...) \
+  JOINOPT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define JOINOPT_ACQUIRE(...) \
+  JOINOPT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define JOINOPT_ACQUIRE_SHARED(...) \
+  JOINOPT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define JOINOPT_RELEASE(...) \
+  JOINOPT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define JOINOPT_RELEASE_SHARED(...) \
+  JOINOPT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Releases either an exclusive or a shared hold (shared_mutex unlock).
+#define JOINOPT_RELEASE_GENERIC(...) \
+  JOINOPT_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define JOINOPT_TRY_ACQUIRE(b, ...) \
+  JOINOPT_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (anti-deadlock: the function takes
+/// it itself, or hands off to code that does).
+#define JOINOPT_EXCLUDES(...) \
+  JOINOPT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion injecting the "held" fact into the static
+/// analysis (for facts the analysis cannot derive, e.g. lambdas).
+#define JOINOPT_ASSERT_CAPABILITY(x) \
+  JOINOPT_THREAD_ANNOTATION_(assert_capability(x))
+
+#define JOINOPT_ASSERT_SHARED_CAPABILITY(x) \
+  JOINOPT_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define JOINOPT_RETURN_CAPABILITY(x) \
+  JOINOPT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch — forbidden in src/joinopt/{engine,net,cluster,cache}/
+/// (the CI clang job builds those with zero suppressions); exists for
+/// tests that deliberately violate the discipline to probe the checker.
+#define JOINOPT_NO_THREAD_SAFETY_ANALYSIS \
+  JOINOPT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // JOINOPT_COMMON_THREAD_ANNOTATIONS_H_

@@ -6,71 +6,77 @@
 #ifndef JOINOPT_ENGINE_BOUNDED_QUEUE_H_
 #define JOINOPT_ENGINE_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "joinopt/common/sync.h"
 
 namespace joinopt {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+  explicit BoundedQueue(size_t capacity) : BoundedQueue(capacity, kNoRank) {}
+
+  /// Ranked form: the owner places the queue's internal mutex in the
+  /// lock-order hierarchy (the ParallelInvoker passes kInvokerQueue).
+  BoundedQueue(size_t capacity, int lock_rank)
+      : capacity_(capacity ? capacity : 1),
+        mu_(lock_rank, "BoundedQueue::mu_") {}
 
   /// Blocks while full. Returns false (drops the item) after Close().
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    MutexLock lock(mu_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking pop; nullopt when currently empty.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return PopLocked();
   }
 
   /// Blocks while empty. Returns nullopt once closed *and* drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) not_empty_.Wait(mu_);
     return PopLocked();
   }
 
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  std::optional<T> PopLocked() {
+  std::optional<T> PopLocked() JOINOPT_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return out;
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ JOINOPT_GUARDED_BY(mu_);
+  bool closed_ JOINOPT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace joinopt

@@ -21,7 +21,7 @@ ParallelInvoker::ParallelInvoker(DataService* service, UserFn fn,
     : service_(service),
       fn_(std::move(fn)),
       options_(options),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity, lock_rank::kInvokerQueue) {
   int threads = std::max(options_.num_threads, 1);
   int shards = options_.num_shards > 0
                    ? NextPow2(options_.num_shards)
@@ -45,8 +45,13 @@ ParallelInvoker::ParallelInvoker(DataService* service, UserFn fn,
   shards_.reserve(static_cast<size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->engine = std::make_unique<DecisionEngine>(per_shard);
-    shard->results = BoundedResultMap(per_shard_results);
+    {
+      // Workers don't exist yet, but the members are lock-guarded and the
+      // analysis (rightly) has no "still single-threaded" concept.
+      MutexLock lock(shard->mu);
+      shard->engine = std::make_unique<DecisionEngine>(per_shard);
+      shard->results = BoundedResultMap(per_shard_results);
+    }
     shards_.push_back(std::move(shard));
   }
 
@@ -67,7 +72,7 @@ void ParallelInvoker::SubmitComp(Key key, std::string params) {
   uint64_t request_id = PlanRequestId(key, params);
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     ++shard.pending[request_id];
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
@@ -83,7 +88,7 @@ StatusOr<std::string> ParallelInvoker::FetchComp(Key key,
   Shard& shard = ShardFor(key);
   uint64_t request_id = PlanRequestId(key, params);
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (;;) {
       if (auto claimed = shard.results.Claim(request_id)) {
         return std::move(*claimed);
@@ -92,11 +97,10 @@ StatusOr<std::string> ParallelInvoker::FetchComp(Key key,
       if (it == shard.pending.end() || it->second <= 0) break;
       // A submission is in flight — possibly parked in a delegation
       // batch. Poll with a short timeout, nudging stale batches out.
-      if (shard.cv.wait_for(lock, std::chrono::milliseconds(1)) ==
-          std::cv_status::timeout) {
-        lock.unlock();
+      if (shard.cv.WaitFor(shard.mu, 1e-3) == std::cv_status::timeout) {
+        lock.Unlock();
         FlushDelegations(/*force=*/false);
-        lock.lock();
+        lock.Relock();
       }
     }
   }
@@ -109,7 +113,7 @@ StatusOr<std::string> ParallelInvoker::FetchComp(Key key,
 
 void ParallelInvoker::OnUpdate(Key key, uint64_t new_version) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.engine->OnUpdateNotification(key, new_version);
   shard.values.erase(key);
   uint64_t& floor = shard.min_version[key];
@@ -120,7 +124,7 @@ int64_t ParallelInvoker::ResyncWhere(const std::function<bool(Key)>& pred) {
   int64_t dropped_payloads = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     // The engine drops its cache-tier entries and counters for matching
     // keys; payloads are a superset (a payload can outlive its tier slot),
     // so they get their own sweep.
@@ -143,12 +147,12 @@ int64_t ParallelInvoker::ResyncWhere(const std::function<bool(Key)>& pred) {
 }
 
 void ParallelInvoker::Barrier() {
-  std::unique_lock<std::mutex> lock(barrier_mu_);
+  MutexLock lock(barrier_mu_);
   while (outstanding_.load(std::memory_order_acquire) > 0) {
-    lock.unlock();
+    lock.Unlock();
     FlushDelegations(/*force=*/true);
-    lock.lock();
-    barrier_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    lock.Relock();
+    barrier_cv_.WaitFor(barrier_mu_, 1e-3);
   }
 }
 
@@ -178,7 +182,7 @@ std::optional<StatusOr<std::string>> ParallelInvoker::ExecutePlan(
     Key key, const std::string& params, bool allow_defer) {
   Shard& shard = ShardFor(key);
   NodeId owner = service_->OwnerOf(key);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   MaybeTrim(shard);
   shard.engine->cost_model().SetBandwidth(owner,
                                           options_.bandwidth_bytes_per_sec);
@@ -202,10 +206,10 @@ std::optional<StatusOr<std::string>> ParallelInvoker::ExecutePlan(
           continue;
         }
         std::shared_ptr<const std::string> payload = it->second.value;
-        lock.unlock();
+        lock.Unlock();
         ++stats_.served_from_cache;
         TimedResult timed = TimedCompute(fn_, key, params, *payload);
-        lock.lock();
+        lock.Relock();
         shard.engine->ObserveLocalCompute(timed.elapsed);
         return StatusOr<std::string>(std::move(timed.value));
       }
@@ -214,17 +218,16 @@ std::optional<StatusOr<std::string>> ParallelInvoker::ExecutePlan(
         if (shard.fetching.count(key) > 0) {
           // Single flight: another request is already fetching this key.
           ++stats_.coalesced_fetches;
-          shard.cv.wait(lock,
-                        [&] { return shard.fetching.count(key) == 0; });
+          while (shard.fetching.count(key) > 0) shard.cv.Wait(shard.mu);
           decision = shard.engine->ReDecide(key, owner);
           continue;  // usually a hit against the now-warm cache
         }
         shard.fetching.insert(key);
-        lock.unlock();
+        lock.Unlock();
         auto fetched = service_->Fetch(key);
-        lock.lock();
+        lock.Relock();
         shard.fetching.erase(key);
-        shard.cv.notify_all();
+        shard.cv.NotifyAll();
         if (!fetched.ok()) {
           return StatusOr<std::string>(fetched.status());
         }
@@ -243,10 +246,10 @@ std::optional<StatusOr<std::string>> ParallelInvoker::ExecutePlan(
         auto payload = std::make_shared<const std::string>(
             std::move(fetched)->value);
         shard.values[key] = CachedValue{payload, version};
-        lock.unlock();
+        lock.Unlock();
         ++stats_.fetched_then_computed;
         TimedResult timed = TimedCompute(fn_, key, params, *payload);
-        lock.lock();
+        lock.Relock();
         shard.engine->ObserveLocalCompute(timed.elapsed);
         return StatusOr<std::string>(std::move(timed.value));
       }
@@ -260,18 +263,18 @@ std::optional<StatusOr<std::string>> ParallelInvoker::ExecutePlan(
           held_first = true;
           ++stats_.held_first_requests;
           while (shard.delegating.count(key) > 0) {
-            if (shard.cv.wait_for(lock, std::chrono::microseconds(200)) ==
+            if (shard.cv.WaitFor(shard.mu, 200e-6) ==
                 std::cv_status::timeout) {
-              lock.unlock();
+              lock.Unlock();
               FlushDelegations(/*force=*/false);
-              lock.lock();
+              lock.Relock();
             }
           }
           decision = shard.engine->ReDecide(key, owner);
           continue;  // typically buys (fetch) now that costs are known
         }
         ++shard.delegating[key];
-        lock.unlock();
+        lock.Unlock();
         return Delegate(shard, key, params, owner, allow_defer);
       }
     }
@@ -293,7 +296,7 @@ std::optional<StatusOr<std::string>> ParallelInvoker::Delegate(
       result.ok() ? service_->Stat(key)
                   : StatusOr<DataService::ItemStat>(result.status());
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (stat.ok()) {
       ApplyDelegationLearning(*shard.engine, key, owner, elapsed,
                               stat->size_bytes, stat->version);
@@ -306,7 +309,7 @@ std::optional<StatusOr<std::string>> ParallelInvoker::Delegate(
 void ParallelInvoker::AddDelegation(NodeId dest, Delegation d) {
   std::vector<Delegation> ready;
   {
-    std::lock_guard<std::mutex> lock(deleg_mu_);
+    MutexLock lock(deleg_mu_);
     auto it = deleg_.find(dest);
     if (it == deleg_.end()) {
       it = deleg_
@@ -351,7 +354,7 @@ void ParallelInvoker::ExecuteDelegationBatch(NodeId dest,
         result.ok() ? service_->Stat(d.key)
                     : StatusOr<DataService::ItemStat>(result.status());
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       if (stat.ok()) {
         ApplyDelegationLearning(*shard.engine, d.key, dest, per_item,
                                 stat->size_bytes, stat->version);
@@ -365,7 +368,7 @@ void ParallelInvoker::ExecuteDelegationBatch(NodeId dest,
 void ParallelInvoker::FlushDelegations(bool force) {
   std::vector<std::pair<NodeId, std::vector<Delegation>>> ready;
   {
-    std::lock_guard<std::mutex> lock(deleg_mu_);
+    MutexLock lock(deleg_mu_);
     double now = PlanNowSeconds();
     for (auto& [dest, batch] : deleg_) {
       if (batch.items.empty()) continue;
@@ -387,7 +390,7 @@ void ParallelInvoker::FinishDelegating(Shard& shard, Key key) {
   if (it != shard.delegating.end() && --it->second <= 0) {
     shard.delegating.erase(it);
   }
-  shard.cv.notify_all();
+  shard.cv.NotifyAll();
 }
 
 void ParallelInvoker::FinishQueued(Shard& shard, uint64_t request_id,
@@ -396,7 +399,7 @@ void ParallelInvoker::FinishQueued(Shard& shard, uint64_t request_id,
     ++stats_.transport_errors;
   }
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (result.ok()) {
       shard.results.Push(request_id, std::move(result).value());
     }
@@ -406,11 +409,11 @@ void ParallelInvoker::FinishQueued(Shard& shard, uint64_t request_id,
     if (it != shard.pending.end() && --it->second <= 0) {
       shard.pending.erase(it);
     }
-    shard.cv.notify_all();
+    shard.cv.NotifyAll();
   }
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(barrier_mu_);
-    barrier_cv_.notify_all();
+    MutexLock lock(barrier_mu_);
+    barrier_cv_.NotifyAll();
   }
 }
 
@@ -448,7 +451,7 @@ ParallelInvokerStats ParallelInvoker::stats() const {
       stats_.transport_errors.load(std::memory_order_relaxed);
   out.resync_dropped = stats_.resync_dropped.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     out.dropped_results += shard->results.dropped();
   }
   return out;
@@ -457,7 +460,7 @@ ParallelInvokerStats ParallelInvoker::stats() const {
 DecisionEngineStats ParallelInvoker::MergedEngineStats() const {
   DecisionEngineStats out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     out += shard->engine->stats();
   }
   return out;
@@ -466,7 +469,7 @@ DecisionEngineStats ParallelInvoker::MergedEngineStats() const {
 TieredCacheStats ParallelInvoker::MergedCacheStats() const {
   TieredCacheStats out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     out += shard->engine->cache().stats();
   }
   return out;
@@ -475,7 +478,7 @@ TieredCacheStats ParallelInvoker::MergedCacheStats() const {
 double ParallelInvoker::MergedLocalComputeSeconds() const {
   double sum = 0.0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     sum += shard->engine->cost_model().local_compute_time();
   }
   return shards_.empty() ? 0.0 : sum / static_cast<double>(shards_.size());
@@ -484,7 +487,7 @@ double ParallelInvoker::MergedLocalComputeSeconds() const {
 size_t ParallelInvoker::pending_results() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->results.size();
   }
   return total;

@@ -32,10 +32,8 @@
 #define JOINOPT_ENGINE_PARALLEL_INVOKER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -43,7 +41,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/engine/batcher.h"
 #include "joinopt/engine/bounded_queue.h"
@@ -164,23 +164,27 @@ class ParallelInvoker {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    /// All shards share rank kInvokerShard: two shard locks never nest
+    /// (Merged*() and ResyncWhere lock one stripe at a time) and the
+    /// checker enforces exactly that.
+    mutable Mutex mu{lock_rank::kInvokerShard, "ParallelInvoker::Shard::mu"};
     /// Signals result arrivals, pending-count drops and fetch completions.
-    std::condition_variable cv;
-    std::unique_ptr<DecisionEngine> engine;
-    std::unordered_map<Key, CachedValue> values;
-    BoundedResultMap results{0};
+    CondVar cv;
+    std::unique_ptr<DecisionEngine> engine JOINOPT_GUARDED_BY(mu)
+        JOINOPT_PT_GUARDED_BY(mu);
+    std::unordered_map<Key, CachedValue> values JOINOPT_GUARDED_BY(mu);
+    BoundedResultMap results JOINOPT_GUARDED_BY(mu){0};
     /// (key, params) request ids with submissions still in flight.
-    std::unordered_map<uint64_t, int> pending;
+    std::unordered_map<uint64_t, int> pending JOINOPT_GUARDED_BY(mu);
     /// Keys with a fetch in flight (single-flight coalescing).
-    std::unordered_set<Key> fetching;
+    std::unordered_set<Key> fetching JOINOPT_GUARDED_BY(mu);
     /// Keys with delegations in flight (count: duplicates each delegate
     /// once bought-in, but first-requests hold while this is non-zero).
-    std::unordered_map<Key, int> delegating;
+    std::unordered_map<Key, int> delegating JOINOPT_GUARDED_BY(mu);
     /// Floor on acceptable fetched versions, set by OnUpdate: a fetch
     /// that raced an update and returned an older version is not cached.
-    std::unordered_map<Key, uint64_t> min_version;
-    int64_t runs_since_trim = 0;
+    std::unordered_map<Key, uint64_t> min_version JOINOPT_GUARDED_BY(mu);
+    int64_t runs_since_trim JOINOPT_GUARDED_BY(mu) = 0;
   };
 
   struct WorkItem {
@@ -225,21 +229,24 @@ class ParallelInvoker {
                                                 NodeId owner,
                                                 bool allow_defer);
   /// Buffers a delegation; executes the destination's batch when full.
-  void AddDelegation(NodeId dest, Delegation d);
+  void AddDelegation(NodeId dest, Delegation d) JOINOPT_EXCLUDES(deleg_mu_);
   /// Ships one destination's batch through ExecuteBatch and records the
   /// results.
   void ExecuteDelegationBatch(NodeId dest, std::vector<Delegation> items);
   /// Drops one in-flight-delegation mark for `key` and wakes held
-  /// first-requests. Caller must hold `shard.mu`.
-  static void FinishDelegating(Shard& shard, Key key);
+  /// first-requests.
+  static void FinishDelegating(Shard& shard, Key key)
+      JOINOPT_REQUIRES(shard.mu);
   /// Flushes destination batches: all of them when `force`, otherwise only
-  /// those whose oldest item exceeded delegation_max_wait.
-  void FlushDelegations(bool force);
+  /// those whose oldest item exceeded delegation_max_wait. Takes shard
+  /// locks while shipping, so callers waiting on a shard drop its lock
+  /// first.
+  void FlushDelegations(bool force) JOINOPT_EXCLUDES(deleg_mu_);
   /// Records a finished queued submission (result or failure) and wakes
   /// fetchers / the barrier.
   void FinishQueued(Shard& shard, uint64_t request_id,
-                    StatusOr<std::string> result);
-  void MaybeTrim(Shard& shard);
+                    StatusOr<std::string> result) JOINOPT_EXCLUDES(shard.mu);
+  void MaybeTrim(Shard& shard) JOINOPT_REQUIRES(shard.mu);
 
   DataService* service_;
   UserFn fn_;
@@ -249,13 +256,15 @@ class ParallelInvoker {
   BoundedQueue<WorkItem> queue_;
   std::vector<std::thread> workers_;
 
-  std::mutex deleg_mu_;
-  std::unordered_map<NodeId, DestBatch> deleg_;
+  Mutex deleg_mu_{lock_rank::kInvokerDelegation,
+                  "ParallelInvoker::deleg_mu_"};
+  std::unordered_map<NodeId, DestBatch> deleg_ JOINOPT_GUARDED_BY(deleg_mu_);
 
   /// Submissions not yet finished (for Barrier).
   std::atomic<int64_t> outstanding_{0};
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
+  Mutex barrier_mu_{lock_rank::kInvokerBarrier,
+                    "ParallelInvoker::barrier_mu_"};
+  CondVar barrier_cv_;
 
   struct AtomicStats {
     std::atomic<int64_t> submitted{0};

@@ -37,7 +37,7 @@ RpcClientService::~RpcClientService() = default;
 StatusOr<UniqueFd> RpcClientService::Acquire(size_t endpoint_idx) const {
   Pool& pool = *pools_[endpoint_idx];
   {
-    std::lock_guard<std::mutex> lock(pool.mu);
+    MutexLock lock(pool.mu);
     if (!pool.idle.empty()) {
       UniqueFd fd = std::move(pool.idle.back());
       pool.idle.pop_back();
@@ -52,7 +52,7 @@ StatusOr<UniqueFd> RpcClientService::Acquire(size_t endpoint_idx) const {
 
 void RpcClientService::Release(size_t endpoint_idx, UniqueFd fd) const {
   Pool& pool = *pools_[endpoint_idx];
-  std::lock_guard<std::mutex> lock(pool.mu);
+  MutexLock lock(pool.mu);
   if (static_cast<int>(pool.idle.size()) < options_.max_pooled_per_endpoint) {
     pool.idle.push_back(std::move(fd));
   }
@@ -60,7 +60,7 @@ void RpcClientService::Release(size_t endpoint_idx, UniqueFd fd) const {
 }
 
 void RpcClientService::NoteTransportError(const Status& status) const {
-  std::lock_guard<std::mutex> lock(rec_mu_);
+  MutexLock lock(rec_mu_);
   if (IsDeadlineExceeded(status)) ++rec_.timeouts;
 }
 
@@ -68,7 +68,7 @@ double RpcClientService::BackoffSeconds(int attempt) const {
   const RecoveryConfig& rec = options_.recovery;
   double backoff = std::min(
       rec.backoff_max, rec.backoff_base * std::pow(2.0, attempt - 1));
-  std::lock_guard<std::mutex> lock(rec_mu_);
+  MutexLock lock(rec_mu_);
   return backoff * (1.0 + rec.jitter_fraction * jitter_rng_.NextDouble());
 }
 
@@ -136,7 +136,7 @@ StatusOr<std::string> RpcClientService::Call(MsgType req_type,
     if (attempt > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(BackoffSeconds(attempt)));
-      std::lock_guard<std::mutex> lock(rec_mu_);
+      MutexLock lock(rec_mu_);
       ++rec_.retries;
       if (ep != start) ++rec_.failovers;
     }
@@ -149,7 +149,7 @@ StatusOr<std::string> RpcClientService::Call(MsgType req_type,
     last = result.status();
   }
   {
-    std::lock_guard<std::mutex> lock(rec_mu_);
+    MutexLock lock(rec_mu_);
     ++rec_.tuples_failed;
   }
   return last;
@@ -240,7 +240,7 @@ StatusOr<uint64_t> RpcClientService::Put(Key key, const std::string& value) {
 }
 
 RecoveryCounters RpcClientService::recovery_counters() const {
-  std::lock_guard<std::mutex> lock(rec_mu_);
+  MutexLock lock(rec_mu_);
   return rec_;
 }
 

@@ -25,13 +25,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/random.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/engine/types.h"
 #include "joinopt/net/socket.h"
@@ -132,8 +133,9 @@ class RpcClientService : public DataService {
 
  private:
   struct Pool {
-    std::mutex mu;
-    std::vector<UniqueFd> idle;
+    /// Innermost lock (all pools share the rank; never nested).
+    Mutex mu{lock_rank::kClientPool, "RpcClientService::Pool::mu"};
+    std::vector<UniqueFd> idle JOINOPT_GUARDED_BY(mu);
   };
 
   /// One request/response exchange with retry + failover. Returns the
@@ -162,9 +164,10 @@ class RpcClientService : public DataService {
   mutable std::atomic<uint64_t> batch_seq_{0};
   uint64_t client_id_ = 0;
 
-  mutable std::mutex rec_mu_;
-  mutable RecoveryCounters rec_;
-  mutable Rng jitter_rng_;  // guarded by rec_mu_
+  mutable Mutex rec_mu_{lock_rank::kClientRecovery,
+                        "RpcClientService::rec_mu_"};
+  mutable RecoveryCounters rec_ JOINOPT_GUARDED_BY(rec_mu_);
+  mutable Rng jitter_rng_ JOINOPT_GUARDED_BY(rec_mu_);
 
   struct AtomicStats {
     std::atomic<int64_t> calls{0};

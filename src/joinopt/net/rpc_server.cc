@@ -35,37 +35,39 @@ class RpcServer::ConnSink : public UpdateSink {
   explicit ConnSink(size_t capacity) : capacity_(capacity) {}
 
   void OnUpdateEvent(const UpdateEvent& event) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.size() >= capacity_) {
       overflow_ = true;
       return;
     }
     queue_.push_back(event);
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Waits up to `wait_sec` for events; returns what is queued (possibly
-  /// empty on timeout).
+  /// empty on timeout — or on a spurious wake, which the polling caller
+  /// absorbs like a timeout).
   std::vector<UpdateEvent> Drain(double wait_sec) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::duration<double>(wait_sec),
-                 [this] { return !queue_.empty() || overflow_; });
+    MutexLock lock(mu_);
+    if (queue_.empty() && !overflow_) cv_.WaitFor(mu_, wait_sec);
     std::vector<UpdateEvent> out(queue_.begin(), queue_.end());
     queue_.clear();
     return out;
   }
 
   bool overflowed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return overflow_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<UpdateEvent> queue_;
-  bool overflow_ = false;
+  /// Innermost lock of the update fan-out: the writer calls OnUpdateEvent
+  /// while holding the service's update lock (kNodeUpdateFanout).
+  mutable Mutex mu_{lock_rank::kUpdateSink, "RpcServer::ConnSink::mu_"};
+  CondVar cv_;
+  std::deque<UpdateEvent> queue_ JOINOPT_GUARDED_BY(mu_);
+  bool overflow_ JOINOPT_GUARDED_BY(mu_) = false;
 };
 
 RpcServer::RpcServer(DataService* inner, UserFn fn, RpcServerOptions options)
@@ -77,6 +79,9 @@ RpcServer::RpcServer(DataService* inner, UserFn fn, RpcServerOptions options)
 RpcServer::~RpcServer() { Stop(); }
 
 Status RpcServer::Start() {
+  // The lifecycle lock makes check-and-transition atomic: two concurrent
+  // Start() calls used to both pass the running_ check and race the bind.
+  MutexLock lock(lifecycle_mu_);
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already running");
   }
@@ -91,20 +96,21 @@ Status RpcServer::Start() {
 }
 
 void RpcServer::Stop() {
+  MutexLock lock(lifecycle_mu_);
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stop_.store(true, std::memory_order_release);
   // Severing the sockets converts blocked reads/writes into immediate
   // failures; the poll tick catches any thread not currently blocked on
   // the fd.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock conns(conns_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock conns(conns_mu_);
     threads.swap(conn_threads_);
   }
   for (std::thread& t : threads) {
@@ -121,7 +127,7 @@ void RpcServer::AcceptLoop() {
     int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
     if (fd < 0) continue;  // racing Stop() or a transient accept error
     ++stats_.connections_accepted;
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     if (stop_.load(std::memory_order_acquire)) {
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
@@ -176,7 +182,7 @@ void RpcServer::ServeConnection(int fd) {
     stats_.bytes_out += static_cast<int64_t>(kFrameHeaderBytes +
                                              resp_body.size());
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   for (size_t i = 0; i < conn_fds_.size(); ++i) {
     if (conn_fds_[i] == fd) {
       conn_fds_[i] = conn_fds_.back();
@@ -288,7 +294,7 @@ std::string RpcServer::DispatchTaggedBatch(const TaggedBatchRequest& req) {
   const std::pair<uint64_t, uint64_t> tag{req.client_id, req.batch_seq};
   std::shared_ptr<DedupEntry> entry;
   {
-    std::unique_lock<std::mutex> lock(dedup_mu_);
+    MutexLock lock(dedup_mu_);
     auto it = dedup_entries_.find(tag);
     if (it != dedup_entries_.end()) {
       // Replay. If the original is still executing (a retry raced it on
@@ -296,7 +302,7 @@ std::string RpcServer::DispatchTaggedBatch(const TaggedBatchRequest& req) {
       // side effects twice — that wait is what makes the batch
       // exactly-once even under concurrent duplicates.
       entry = it->second;
-      dedup_cv_.wait(lock, [&entry] { return entry->done; });
+      while (!entry->done) dedup_cv_.Wait(dedup_mu_);
       ++stats_.batch_dedup_hits;
       return entry->response;
     }
@@ -308,7 +314,7 @@ std::string RpcServer::DispatchTaggedBatch(const TaggedBatchRequest& req) {
   std::string response = EncodeBatchResponse(inner_->ExecuteBatch(req.items,
                                                                   fn_));
   {
-    std::lock_guard<std::mutex> lock(dedup_mu_);
+    MutexLock lock(dedup_mu_);
     entry->done = true;
     entry->response = response;
     // Evict oldest *completed* entries beyond capacity; an in-flight entry
@@ -320,7 +326,7 @@ std::string RpcServer::DispatchTaggedBatch(const TaggedBatchRequest& req) {
       dedup_order_.pop_front();
     }
   }
-  dedup_cv_.notify_all();
+  dedup_cv_.NotifyAll();
   return response;
 }
 

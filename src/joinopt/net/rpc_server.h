@@ -31,18 +31,18 @@
 #define JOINOPT_NET_RPC_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/status.h"
+#include "joinopt/common/sync.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/net/socket.h"
 #include "joinopt/net/update_hub.h"
@@ -92,16 +92,21 @@ class RpcServer {
   RpcServer& operator=(const RpcServer&) = delete;
 
   /// Binds, listens and starts the acceptor. Fails (address in use, ...)
-  /// without leaving threads behind.
-  Status Start();
+  /// without leaving threads behind. Serialized against Stop() and other
+  /// Start() calls: concurrent double-Start is a FailedPrecondition for
+  /// exactly one caller, never two listeners.
+  Status Start() JOINOPT_EXCLUDES(lifecycle_mu_);
 
   /// Stops accepting, severs open connections and joins all threads.
   /// Idempotent.
-  void Stop();
+  void Stop() JOINOPT_EXCLUDES(lifecycle_mu_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port (valid after a successful Start()).
-  uint16_t port() const { return port_; }
+  uint16_t port() const {
+    MutexLock lock(lifecycle_mu_);
+    return port_;
+  }
   const std::string& host() const { return options_.host; }
 
   RpcServerStats stats() const;
@@ -133,24 +138,34 @@ class RpcServer {
   WritableDataService* writable_ = nullptr;  ///< non-null iff inner is one
   UserFn fn_;
   RpcServerOptions options_;
-  uint16_t port_ = 0;
 
+  /// Serializes Start/Stop (held across the whole transition, including
+  /// the thread joins in Stop — worker threads never take it).
+  mutable Mutex lifecycle_mu_{lock_rank::kServerLifecycle,
+                              "RpcServer::lifecycle_mu_"};
+  uint16_t port_ JOINOPT_GUARDED_BY(lifecycle_mu_) = 0;
+  /// Written by Start before the acceptor exists and Reset by Stop after
+  /// joining it (thread-confined by that protocol, not lock-guarded: the
+  /// acceptor reads it without — and must not take — lifecycle_mu_).
   UniqueFd listen_fd_;
   std::thread acceptor_;
   std::atomic<bool> stop_{true};
   std::atomic<bool> running_{false};
 
-  std::mutex conns_mu_;
+  mutable Mutex conns_mu_{lock_rank::kServerConns, "RpcServer::conns_mu_"};
   /// Open connection fds (owned by their threads; registered here so
   /// Stop() can shutdown() them to unblock reads).
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_ JOINOPT_GUARDED_BY(conns_mu_);
+  std::vector<std::thread> conn_threads_ JOINOPT_GUARDED_BY(conns_mu_);
 
-  std::mutex dedup_mu_;
-  std::condition_variable dedup_cv_;
+  Mutex dedup_mu_{lock_rank::kServerDedup, "RpcServer::dedup_mu_"};
+  CondVar dedup_cv_;
+  /// DedupEntry contents (done, response) are guarded by dedup_mu_ too;
+  /// the nested struct cannot name the enclosing member in an annotation.
   std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<DedupEntry>>
-      dedup_entries_;
-  std::deque<std::pair<uint64_t, uint64_t>> dedup_order_;  // FIFO eviction
+      dedup_entries_ JOINOPT_GUARDED_BY(dedup_mu_);
+  std::deque<std::pair<uint64_t, uint64_t>> dedup_order_
+      JOINOPT_GUARDED_BY(dedup_mu_);  // FIFO eviction
 
   struct AtomicStats {
     std::atomic<int64_t> connections_accepted{0};

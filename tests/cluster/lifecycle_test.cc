@@ -1,0 +1,117 @@
+// Regression tests for the two lifecycle races the lock-discipline audit
+// (DESIGN.md §12) surfaced and fixed:
+//
+//   1. RpcServer::Start was check-then-act on running_: two concurrent
+//      Start() calls could both pass the check and race the bind. Start
+//      and Stop now serialize on lifecycle_mu_, so exactly one concurrent
+//      Start wins and the rest get FailedPrecondition.
+//   2. ClusterDataNode::running()/port()/server() read the server_
+//      unique_ptr with no lock while Restart() swapped it — a probe
+//      landing mid-swap dereferenced a half-dead pointer. All lifecycle
+//      state now sits under lifecycle_mu_, with Restart one critical
+//      section end to end.
+//
+// Both tests hammer the old windows from many threads; under TSan (the CI
+// tsan job runs this binary) the pre-fix code reports a race here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "joinopt/cluster/data_node.h"
+#include "joinopt/cluster/topology.h"
+#include "joinopt/net/rpc_server.h"
+#include "joinopt/store/log_store.h"
+
+namespace joinopt {
+namespace {
+
+UserFn EchoFn() {
+  return [](Key key, const std::string& params, const std::string& value) {
+    return std::to_string(key) + "/" + params + "/" + value;
+  };
+}
+
+TEST(LifecycleTest, ConcurrentServerStartsAdmitExactlyOne) {
+  ClusterTopologyConfig config;
+  config.num_data_nodes = 1;
+  ClusterTopology topology(config);
+  ClusterNodeService service(0, &topology);
+
+  constexpr int kRounds = 8;
+  constexpr int kStarters = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    RpcServer server(&service, EchoFn());
+    std::atomic<int> ok{0};
+    std::atomic<int> precondition{0};
+    std::vector<std::thread> starters;
+    starters.reserve(kStarters);
+    for (int i = 0; i < kStarters; ++i) {
+      starters.emplace_back([&] {
+        Status s = server.Start();
+        if (s.ok()) {
+          ok.fetch_add(1);
+        } else if (s.code() == StatusCode::kFailedPrecondition) {
+          precondition.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : starters) t.join();
+    // Exactly one bind; every loser sees the documented in-band error,
+    // never a second acceptor or an EADDRINUSE from a raced bind.
+    EXPECT_EQ(ok.load(), 1) << "round " << round;
+    EXPECT_EQ(precondition.load(), kStarters - 1) << "round " << round;
+    EXPECT_TRUE(server.running());
+    EXPECT_NE(server.port(), 0);
+    server.Stop();
+    EXPECT_FALSE(server.running());
+  }
+}
+
+TEST(LifecycleTest, ProbesDuringRestartNeverSeeHalfSwappedServer) {
+  ClusterTopologyConfig config;
+  config.num_data_nodes = 1;
+  config.regions_per_node = 2;
+  config.replication_factor = 1;
+  ClusterTopology topology(config);
+  ClusterDataNode node(0, &topology, EchoFn());
+  ASSERT_TRUE(node.Start().ok());
+  const uint16_t port = node.port();
+  ASSERT_NE(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> probes{0};
+  std::vector<std::thread> probers;
+  for (int i = 0; i < 4; ++i) {
+    probers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        // The old code dereferenced server_ unlocked here, racing the
+        // unique_ptr reset in Restart; any torn read crashes the test.
+        bool running = node.running();
+        uint16_t p = node.port();
+        const RpcServer* server = node.server();
+        if (running) {
+          EXPECT_EQ(p, port);  // restart pins the port
+          EXPECT_NE(server, nullptr);
+        }
+        probes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(node.Restart().ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : probers) t.join();
+  EXPECT_GT(probes.load(), 0);
+  EXPECT_TRUE(node.running());
+  EXPECT_EQ(node.port(), port);
+  node.Stop();
+  EXPECT_FALSE(node.running());
+}
+
+}  // namespace
+}  // namespace joinopt
