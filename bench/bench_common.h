@@ -4,10 +4,13 @@
 #ifndef JOINOPT_BENCH_BENCH_COMMON_H_
 #define JOINOPT_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "joinopt/common/histogram.h"
 #include "joinopt/common/units.h"
 #include "joinopt/harness/runner.h"
 #include "joinopt/harness/report.h"
@@ -43,6 +46,46 @@ inline EngineConfig PaperEngine() {
   e.decision.cache.memory_capacity_bytes = 100.0 * 1024 * 1024;
   return e;
 }
+
+/// Latency distribution for bench reporting: p50/p99/p999 over log-spaced
+/// buckets (1 us .. 10 s, ~12% wide), reusing common/histogram.h's
+/// interpolating Quantile. Tail percentiles are what the serving-backend
+/// comparisons care about — means hide a stalled connection entirely.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() : hist_(LogBounds()) {}
+
+  void Observe(double seconds) { hist_.Observe(seconds); }
+
+  double p50() const { return hist_.Quantile(0.50); }
+  double p99() const { return hist_.Quantile(0.99); }
+  double p999() const { return hist_.Quantile(0.999); }
+  int64_t count() const { return hist_.stats().count(); }
+  double mean() const { return hist_.stats().mean(); }
+
+  /// One human-readable line: "<label>  p50=... p99=... p999=..." in us.
+  void PrintLine(const char* label) const {
+    std::printf("%-34s p50=%9.1f us  p99=%9.1f us  p999=%9.1f us\n", label,
+                p50() * 1e6, p99() * 1e6, p999() * 1e6);
+  }
+
+  /// JSON fields (no surrounding braces): "<prefix>_p50_seconds": ... —
+  /// callers splice this into their own objects.
+  void JsonFields(FILE* f, const char* prefix) const {
+    std::fprintf(f,
+                 "\"%s_p50_seconds\": %.6e, \"%s_p99_seconds\": %.6e, "
+                 "\"%s_p999_seconds\": %.6e",
+                 prefix, p50(), prefix, p99(), prefix, p999());
+  }
+
+ private:
+  static std::vector<double> LogBounds() {
+    std::vector<double> bounds;
+    for (double v = 1e-6; v < 10.0; v *= 1.12) bounds.push_back(v);
+    return bounds;
+  }
+  Histogram hist_;
+};
 
 inline void PrintHeader(const std::string& figure,
                         const std::string& paper_expectation) {

@@ -65,6 +65,7 @@ struct RunResult {
   int64_t delegated = 0;
   int64_t delegation_batches = 0;
   int64_t coalesced_fetches = 0;
+  LatencyRecorder fetch_latency;  ///< per-FetchComp wall time (drain side)
 };
 
 ParallelInvokerOptions InvokerOptions(int threads) {
@@ -82,6 +83,7 @@ RunResult RunParallel(ParallelStore* store, const WorkloadConfig& cfg,
   LatencyPaddedService service(&raw, latency);
   ParallelInvoker invoker(&service, MixUdf(), InvokerOptions(threads));
 
+  RunResult out;
   double t0 = PlanNowSeconds();
   size_t i = 0;
   const size_t n = trace.size();
@@ -91,12 +93,14 @@ RunResult RunParallel(ParallelStore* store, const WorkloadConfig& cfg,
       invoker.SubmitComp(trace[j], "p");
     }
     for (size_t j = i; j < end; ++j) {
+      double f0 = PlanNowSeconds();
       auto r = invoker.FetchComp(trace[j], "p");
       if (!r.ok()) {
         std::fprintf(stderr, "fetch failed: %s\n",
                      r.status().ToString().c_str());
         std::exit(1);
       }
+      out.fetch_latency.Observe(PlanNowSeconds() - f0);
     }
     i = end;
   }
@@ -104,7 +108,6 @@ RunResult RunParallel(ParallelStore* store, const WorkloadConfig& cfg,
   double elapsed = PlanNowSeconds() - t0;
 
   ParallelInvokerStats s = invoker.stats();
-  RunResult out;
   out.threads = threads;
   out.seconds = elapsed;
   out.ops_per_sec = static_cast<double>(n) / elapsed;
@@ -174,6 +177,10 @@ int Main() {
                 "\n",
                 r.threads, r.seconds, r.ops_per_sec, speedup,
                 100.0 * r.hit_rate, r.delegated, r.delegation_batches);
+    char label[64];
+    std::snprintf(label, sizeof(label), "  fetch latency @%d threads",
+                  r.threads);
+    r.fetch_latency.PrintLine(label);
     std::fflush(stdout);
     results.push_back(r);
   }
@@ -205,10 +212,11 @@ int Main() {
                  "    {\"threads\": %d, \"seconds\": %.4f, \"ops_per_sec\": "
                  "%.1f, \"hit_rate\": %.4f, \"delegated\": %" PRId64
                  ", \"delegation_batches\": %" PRId64
-                 ", \"coalesced_fetches\": %" PRId64 "}%s\n",
+                 ", \"coalesced_fetches\": %" PRId64 ", ",
                  r.threads, r.seconds, r.ops_per_sec, r.hit_rate, r.delegated,
-                 r.delegation_batches, r.coalesced_fetches,
-                 i + 1 < results.size() ? "," : "");
+                 r.delegation_batches, r.coalesced_fetches);
+    r.fetch_latency.JsonFields(json, "fetch");
+    std::fprintf(json, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

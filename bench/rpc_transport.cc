@@ -30,6 +30,7 @@
 #include "bench_common.h"
 #include "joinopt/common/hash.h"
 #include "joinopt/common/random.h"
+#include "joinopt/net/socket.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/engine/latency_service.h"
 #include "joinopt/engine/parallel_invoker.h"
@@ -94,6 +95,7 @@ double Percentile(std::vector<double>& v, double p) {
 
 struct Measured {
   double rtt_p50 = 0, rtt_p95 = 0;
+  LatencyRecorder rtt;  ///< p50/p99/p999 over the same samples
   double fetch_bandwidth = 0;  // bytes/sec, 1 MiB payloads
   double exec_singleton_per_item = 0;
   double exec_batch_per_item = 0;
@@ -113,7 +115,10 @@ Measured MeasureTransport(RpcClientService& remote, const Config& cfg) {
     double t0 = PlanNowSeconds();
     auto stat = remote.Stat(k);
     double dt = PlanNowSeconds() - t0;
-    if (stat.ok()) rtts.push_back(dt);
+    if (stat.ok()) {
+      rtts.push_back(dt);
+      m.rtt.Observe(dt);
+    }
   }
   m.rtt_p50 = Percentile(rtts, 0.50);
   m.rtt_p95 = Percentile(rtts, 0.95);
@@ -222,6 +227,121 @@ ZipfResult RunZipf(RpcClientService& remote, const Config& cfg,
   return out;
 }
 
+// ---- connection-count scaling: threaded vs reactor backend -------------
+
+struct ConnScaleResult {
+  const char* backend = "";
+  int connections = 0;
+  double ops_per_sec = 0;
+  LatencyRecorder latency;
+  int64_t server_threads = 0;
+  int64_t rss_bytes = 0;
+};
+
+/// VmRSS of this process (server + clients share it in loopback mode — the
+/// delta across rows is what matters, dominated by per-connection state).
+int64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %" PRId64 " kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// One row: `num_conns` idle connections held open against a fresh server
+/// on `backend`, RTT probes measured through the idle swarm. The axis the
+/// two backends diverge on: threads and memory per idle connection.
+ConnScaleResult RunConnScale(const Config& cfg, RpcBackend backend,
+                             const char* backend_name, int num_conns) {
+  LogStructuredStore store;
+  SeedStore(&store, cfg);
+  LogStoreDataService service(&store);
+  RpcServerOptions sopts;
+  sopts.backend = backend;
+  sopts.accept_backlog = 512;
+  RpcServer server(&service, MixUdf(), sopts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "conn-scale server failed: %s\n",
+                 started.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<UniqueFd> idle;
+  idle.reserve(static_cast<size_t>(num_conns));
+  for (int i = 0; i < num_conns; ++i) {
+    auto conn = TcpConnect(server.host(), server.port(), 10.0);
+    if (!conn.ok()) {
+      std::fprintf(stderr, "idle connect %d failed: %s\n", i,
+                   conn.status().ToString().c_str());
+      std::exit(1);
+    }
+    idle.push_back(std::move(conn).value());
+  }
+  // Let the acceptor catch up before sampling gauges.
+  while (server.stats().live_connections < num_conns) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  RpcClientOptions copts;
+  copts.endpoints.push_back(RpcEndpoint{server.host(), server.port()});
+  RpcClientService remote(copts);
+  for (int i = 0; i < 32; ++i) (void)remote.Stat(static_cast<Key>(i));
+
+  ConnScaleResult r;
+  int probes = std::max(200, cfg.rtt_samples / 4);
+  double t0 = PlanNowSeconds();
+  for (int i = 0; i < probes; ++i) {
+    Key k = static_cast<Key>(i) % cfg.num_keys;
+    double s0 = PlanNowSeconds();
+    auto stat = remote.Stat(k);
+    if (stat.ok()) r.latency.Observe(PlanNowSeconds() - s0);
+  }
+  double elapsed = PlanNowSeconds() - t0;
+  r.backend = backend_name;
+  r.connections = num_conns;
+  r.ops_per_sec = elapsed > 0 ? probes / elapsed : 0;
+  r.server_threads = server.stats().server_threads;
+  r.rss_bytes = CurrentRssBytes();
+  return r;
+}
+
+std::vector<ConnScaleResult> RunConnScaling(const Config& cfg,
+                                            double scale) {
+  // 10k connections (and threaded-backend thread counts to match) only at
+  // scale >= 4: this axis is expensive on small CI boxes.
+  std::vector<int> counts = {100, 1000};
+  if (scale >= 4.0) counts.push_back(10000);
+
+  std::printf("\nconnection scaling (idle connections held open):\n");
+  std::printf("%10s %12s %12s %12s %12s %10s %10s\n", "backend", "conns",
+              "ops/sec", "p50 us", "p999 us", "threads", "rss MB");
+  std::vector<ConnScaleResult> rows;
+  for (RpcBackend backend :
+       {RpcBackend::kThreadPerConnection, RpcBackend::kReactor}) {
+    const char* name =
+        backend == RpcBackend::kReactor ? "reactor" : "threaded";
+    for (int n : counts) {
+      // A thread per connection at 10k threads is exactly the failure
+      // mode the reactor exists to avoid; don't make CI live it.
+      if (backend == RpcBackend::kThreadPerConnection && n > 1000) continue;
+      ConnScaleResult r = RunConnScale(cfg, backend, name, n);
+      std::printf("%10s %12d %12.0f %12.1f %12.1f %10" PRId64 " %9.1f\n",
+                  r.backend, r.connections, r.ops_per_sec,
+                  r.latency.p50() * 1e6, r.latency.p999() * 1e6,
+                  r.server_threads,
+                  static_cast<double>(r.rss_bytes) / 1e6);
+      std::fflush(stdout);
+      rows.push_back(std::move(r));
+    }
+  }
+  return rows;
+}
+
 int Serve(const Config& cfg, uint16_t port) {
   LogStructuredStore store;
   SeedStore(&store, cfg);
@@ -304,6 +424,7 @@ int Main(int argc, char** argv) {
               m.rtt_p50 * 1e6, model.execute_rtt * 1e6);
   std::printf("%-34s %11.1f us %14s\n", "request RTT p95", m.rtt_p95 * 1e6,
               "-");
+  m.rtt.PrintLine("request RTT tail");
   std::printf("%-34s %11.1f MB/s %9.1f MB/s\n", "fetch bandwidth (1 MiB)",
               m.fetch_bandwidth / 1e6, model.bandwidth_bytes_per_sec / 1e6);
   std::printf("%-34s %11.2f us %11.1f us\n", "Execute per item (singleton)",
@@ -338,6 +459,11 @@ int Main(int argc, char** argv) {
     zipf_results.push_back(r);
   }
 
+  // Connection scaling needs its own servers, so it only runs in loopback
+  // mode (an external server's thread/RSS gauges aren't visible anyway).
+  std::vector<ConnScaleResult> conn_rows;
+  if (connect == nullptr) conn_rows = RunConnScaling(cfg, scale);
+
   RecoveryCounters rec = remote.recovery_counters();
   RpcClientStats cs = remote.stats();
   std::printf("\nwire traffic: %.1f MB out, %.1f MB in, %" PRId64
@@ -361,6 +487,9 @@ int Main(int argc, char** argv) {
   std::fprintf(json, "  \"measured\": {\n");
   std::fprintf(json, "    \"rtt_seconds_p50\": %.6e,\n", m.rtt_p50);
   std::fprintf(json, "    \"rtt_seconds_p95\": %.6e,\n", m.rtt_p95);
+  std::fprintf(json, "    ");
+  m.rtt.JsonFields(json, "rtt");
+  std::fprintf(json, ",\n");
   std::fprintf(json, "    \"fetch_bandwidth_bytes_per_sec\": %.6e,\n",
                m.fetch_bandwidth);
   std::fprintf(json, "    \"execute_per_item_singleton_seconds\": %.6e,\n",
@@ -388,6 +517,19 @@ int Main(int argc, char** argv) {
                  r.threads, r.seconds, r.ops_per_sec, r.hit_rate,
                  r.delegated, r.delegation_batches,
                  i + 1 < zipf_results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"connection_scaling\": [\n");
+  for (size_t i = 0; i < conn_rows.size(); ++i) {
+    const ConnScaleResult& r = conn_rows[i];
+    std::fprintf(json,
+                 "    {\"backend\": \"%s\", \"connections\": %d, "
+                 "\"ops_per_sec\": %.1f, \"server_threads\": %" PRId64
+                 ", \"rss_bytes\": %" PRId64 ", ",
+                 r.backend, r.connections, r.ops_per_sec, r.server_threads,
+                 r.rss_bytes);
+    r.latency.JsonFields(json, "rtt");
+    std::fprintf(json, "}%s\n", i + 1 < conn_rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

@@ -13,7 +13,8 @@ TieredCache::TieredCache(const TieredCacheConfig& config,
 }
 
 CacheTier TieredCache::Lookup(Key key) {
-  CacheTier tier = Peek(key);
+  MutexLock lock(mu_);
+  CacheTier tier = PeekLocked(key);
   switch (tier) {
     case CacheTier::kMemory:
       ++stats_.memory_hits;
@@ -29,11 +30,21 @@ CacheTier TieredCache::Lookup(Key key) {
 }
 
 CacheTier TieredCache::Peek(Key key) const {
+  MutexLock lock(mu_);
+  return PeekLocked(key);
+}
+
+CacheTier TieredCache::PeekLocked(Key key) const {
   auto it = items_.find(key);
   return it == items_.end() ? CacheTier::kNone : it->second.tier;
 }
 
 void TieredCache::UpdateBenefit(Key key, double benefit) {
+  MutexLock lock(mu_);
+  UpdateBenefitLocked(key, benefit);
+}
+
+void TieredCache::UpdateBenefitLocked(Key key, double benefit) {
   auto it = items_.find(key);
   if (it == items_.end()) return;
   Item& item = it->second;
@@ -46,9 +57,10 @@ void TieredCache::UpdateBenefit(Key key, double benefit) {
 
 bool TieredCache::CondCacheInMemory(Key key, double size, double benefit,
                                     bool insert) {
+  MutexLock lock(mu_);
   auto it = items_.find(key);
   if (it != items_.end() && it->second.tier == CacheTier::kMemory) {
-    if (insert) UpdateBenefit(key, benefit);
+    if (insert) UpdateBenefitLocked(key, benefit);
     return true;  // already resident in memory
   }
   bool decision = config_.uniform_item_size
@@ -156,9 +168,10 @@ void TieredCache::Demote(Key key) {
 }
 
 void TieredCache::InsertDisk(Key key, double size, double benefit) {
+  MutexLock lock(mu_);
   auto it = items_.find(key);
   if (it != items_.end()) {
-    UpdateBenefit(key, benefit);
+    UpdateBenefitLocked(key, benefit);
     return;
   }
   if (size > config_.disk_capacity_bytes) return;
@@ -203,6 +216,11 @@ void TieredCache::DiscardFromDisk(Key key) {
 }
 
 void TieredCache::Invalidate(Key key) {
+  MutexLock lock(mu_);
+  InvalidateLocked(key);
+}
+
+void TieredCache::InvalidateLocked(Key key) {
   auto it = items_.find(key);
   if (it == items_.end()) return;
   Item& item = it->second;
@@ -219,13 +237,14 @@ void TieredCache::Invalidate(Key key) {
 
 std::vector<Key> TieredCache::InvalidateMatching(
     const std::function<bool(Key)>& pred) {
+  MutexLock lock(mu_);
   std::vector<Key> dropped;
   for (const auto& [key, item] : items_) {
     if (pred(key)) dropped.push_back(key);
   }
   for (Key key : dropped) {
-    Invalidate(key);
-    // Invalidate() counted it as an ordinary invalidation; reclassify.
+    InvalidateLocked(key);
+    // InvalidateLocked counted it as an ordinary invalidation; reclassify.
     --stats_.invalidations;
     ++stats_.resync_invalidations;
   }
@@ -233,11 +252,13 @@ std::vector<Key> TieredCache::InvalidateMatching(
 }
 
 double TieredCache::ItemSize(Key key) const {
+  MutexLock lock(mu_);
   auto it = items_.find(key);
   return it == items_.end() ? 0.0 : it->second.size;
 }
 
 double TieredCache::MemoryMinBenefit() const {
+  MutexLock lock(mu_);
   return memory_order_.empty() ? std::numeric_limits<double>::infinity()
                                : memory_order_.begin()->first;
 }

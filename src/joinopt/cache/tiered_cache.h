@@ -13,6 +13,13 @@
 //    that still fit.
 // Memory evictions demote to the disk tier; disk evictions (when the disk
 // tier has finite capacity) discard by benefit-to-size ratio, per Appendix B.
+//
+// Thread safety: every public method locks the cache's internal mutex
+// (rank kTieredCache, a leaf under the owning invoker shard's lock), so
+// the cache is safe against the cross-thread callers it now has — the
+// subscriber re-sync path and the reactor backend's Notify flow control
+// both reach InvalidateMatching/Invalidate from non-shard threads. The
+// BenefitPolicy is consulted under the lock and must not call back in.
 #ifndef JOINOPT_CACHE_TIERED_CACHE_H_
 #define JOINOPT_CACHE_TIERED_CACHE_H_
 
@@ -24,6 +31,8 @@
 
 #include "joinopt/cache/policy.h"
 #include "joinopt/common/hash.h"
+#include "joinopt/common/lock_ranks.h"
+#include "joinopt/common/sync.h"
 
 namespace joinopt {
 
@@ -105,14 +114,30 @@ class TieredCache {
   /// Size in bytes of a resident item; 0 if absent.
   double ItemSize(Key key) const;
 
-  double memory_used() const { return memory_used_; }
-  double disk_used() const { return disk_used_; }
-  size_t memory_items() const { return memory_order_.size(); }
-  size_t disk_items() const { return disk_order_.size(); }
+  double memory_used() const {
+    MutexLock lock(mu_);
+    return memory_used_;
+  }
+  double disk_used() const {
+    MutexLock lock(mu_);
+    return disk_used_;
+  }
+  size_t memory_items() const {
+    MutexLock lock(mu_);
+    return memory_order_.size();
+  }
+  size_t disk_items() const {
+    MutexLock lock(mu_);
+    return disk_order_.size();
+  }
   /// Minimum benefit currently held in the memory tier (+inf when empty).
   double MemoryMinBenefit() const;
 
-  const TieredCacheStats& stats() const { return stats_; }
+  /// A consistent snapshot (by value: the counters move under the lock).
+  TieredCacheStats stats() const {
+    MutexLock lock(mu_);
+    return stats_;
+  }
   const TieredCacheConfig& config() const { return config_; }
 
  private:
@@ -124,27 +149,35 @@ class TieredCache {
   };
   using OrderMap = std::multimap<double, Key>;  // ascending benefit
 
-  bool CondCacheUniform(Key key, double size, double benefit, bool insert);
-  bool CondCacheVariable(Key key, double size, double benefit, bool insert);
+  CacheTier PeekLocked(Key key) const JOINOPT_REQUIRES(mu_);
+  void UpdateBenefitLocked(Key key, double benefit) JOINOPT_REQUIRES(mu_);
+  void InvalidateLocked(Key key) JOINOPT_REQUIRES(mu_);
+
+  bool CondCacheUniform(Key key, double size, double benefit, bool insert)
+      JOINOPT_REQUIRES(mu_);
+  bool CondCacheVariable(Key key, double size, double benefit, bool insert)
+      JOINOPT_REQUIRES(mu_);
 
   /// Moves an existing memory item to the disk tier.
-  void Demote(Key key);
+  void Demote(Key key) JOINOPT_REQUIRES(mu_);
   /// Removes an item from the disk tier entirely.
-  void DiscardFromDisk(Key key);
+  void DiscardFromDisk(Key key) JOINOPT_REQUIRES(mu_);
   /// Frees disk space for `size` bytes by discarding lowest benefit/size
   /// ratio items.
-  void EnsureDiskSpace(double size);
+  void EnsureDiskSpace(double size) JOINOPT_REQUIRES(mu_);
   /// Inserts a brand-new or promoted item into memory (space must exist).
-  void PlaceInMemory(Key key, double size, double benefit);
+  void PlaceInMemory(Key key, double size, double benefit)
+      JOINOPT_REQUIRES(mu_);
 
   TieredCacheConfig config_;
-  BenefitPolicy* policy_;
-  std::unordered_map<Key, Item> items_;
-  OrderMap memory_order_;
-  OrderMap disk_order_;
-  double memory_used_ = 0.0;
-  double disk_used_ = 0.0;
-  TieredCacheStats stats_;
+  BenefitPolicy* policy_;  ///< consulted under mu_; must not reenter
+  mutable Mutex mu_{lock_rank::kTieredCache, "TieredCache::mu_"};
+  std::unordered_map<Key, Item> items_ JOINOPT_GUARDED_BY(mu_);
+  OrderMap memory_order_ JOINOPT_GUARDED_BY(mu_);
+  OrderMap disk_order_ JOINOPT_GUARDED_BY(mu_);
+  double memory_used_ JOINOPT_GUARDED_BY(mu_) = 0.0;
+  double disk_used_ JOINOPT_GUARDED_BY(mu_) = 0.0;
+  TieredCacheStats stats_ JOINOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace joinopt

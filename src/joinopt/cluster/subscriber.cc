@@ -102,10 +102,17 @@ bool UpdateSubscriber::Reconcile(NodeId node, int region, uint64_t epoch,
       deliver = true;
       ++stats_.notifications;
     } else {
-      // Event stream jumped: intermediate events were lost (overflow).
-      ++stats_.gaps_detected;
-      resync = true;
-      deliver = true;  // this event itself is still a valid invalidation
+      // Live-stream jump. The reactor backend coalesces same-key events
+      // in its bounded pending queue, so a gap on a *live* stream means
+      // the skipped seqs were superseded same-key updates whose final
+      // versions ride in later events — each delivered event still
+      // carries its key's latest version, and nothing needs a re-sync.
+      // (The thread-per-connection backend never gaps a live stream: it
+      // drops the connection on overflow, and the reconnect snapshot path
+      // above re-syncs.) Seqs missed while *disconnected* surface as a
+      // snapshot-ahead gap or an epoch bump, which still re-sync.
+      stats_.coalesced_gaps += static_cast<int64_t>(seq - st.seq - 1);
+      deliver = true;
       st.seq = seq;
     }
     // Note `notifications` counts only clean in-order deliveries; gap and

@@ -7,8 +7,13 @@
 // subscriber tracks the last seen (epoch, seq) per (node, region).
 //   * seq == last + 1       -> deliver the invalidation (the common case).
 //   * seq <= last           -> duplicate (snapshot/stream overlap); ignore.
-//   * seq gap               -> events were lost (queue overflow, missed
-//                              window during reconnect): re-sync the region.
+//   * live-stream seq gap   -> benign: the reactor backend coalesces
+//                              same-key events under backpressure, so the
+//                              skipped seqs were superseded updates whose
+//                              final versions arrive in later events.
+//                              Deliver, count as coalesced_gaps, no re-sync.
+//   * snapshot-ahead gap    -> updates happened while we were deaf
+//                              (reconnect window): re-sync the region.
 //   * epoch changed         -> the node restarted; every seq comparison is
 //                              void: re-sync the region.
 // "Re-sync a region" means dropping every cached payload whose key hashes
@@ -52,7 +57,11 @@ struct UpdateSubscriberOptions {
 struct UpdateSubscriberStats {
   int64_t notifications = 0;      ///< in-order events delivered
   int64_t duplicates_ignored = 0;  ///< seq <= last seen (at-least-once overlap)
-  int64_t gaps_detected = 0;      ///< sequence gaps (lost events)
+  int64_t gaps_detected = 0;      ///< snapshot-ahead gaps (missed while deaf)
+  /// Seqs skipped on a *live* stream: same-key events the reactor backend
+  /// coalesced away. Benign — the delivered event carries the key's final
+  /// version — so these do NOT trigger re-syncs.
+  int64_t coalesced_gaps = 0;
   int64_t epoch_bumps = 0;        ///< node restarts observed
   int64_t resyncs = 0;            ///< targeted region re-syncs triggered
   int64_t keys_dropped = 0;       ///< payloads dropped by those re-syncs

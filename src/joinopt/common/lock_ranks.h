@@ -32,6 +32,13 @@ inline constexpr int kInvokerBarrier = 150;
 /// no locks of their own: they are data guarded by this rank.
 inline constexpr int kInvokerShard = 200;
 
+/// TieredCache::mu_ — one cache's residency maps and stats. A leaf taken
+/// under the owning invoker shard's kInvokerShard lock (the cache calls
+/// nothing that locks: BenefitPolicy is plain data); also reachable
+/// cross-thread by the subscriber re-sync path and the reactor's Notify
+/// flow control, which is why it carries its own lock at all.
+inline constexpr int kTieredCache = 220;
+
 /// ParallelInvoker::deleg_mu_ — per-destination delegation batches.
 inline constexpr int kInvokerDelegation = 250;
 
@@ -81,6 +88,22 @@ inline constexpr int kServerConns = 720;
 
 /// RpcServer::dedup_mu_ — tagged-batch replay cache.
 inline constexpr int kServerDedup = 740;
+
+/// ReactorCore per-loop state — the pending-connection handoff list and
+/// dirty-connection wake list of one IO thread's event loop. Taken by
+/// Stop() under kServerLifecycle and by workers/sinks requesting a flush.
+inline constexpr int kReactorLoop = 750;
+
+/// Reactor worker pool's bounded task queue (IO threads push, workers
+/// pop; never held across a dispatch).
+inline constexpr int kReactorQueue = 760;
+
+/// ReactorConn::mu_ — one connection's bounded write queue and pending
+/// Notify coalescing state. Innermost of the reactor: appended to by
+/// worker threads (holding nothing) and by update fan-out (holding
+/// kNodeUpdateFanout), flushed by the IO thread (holding kReactorLoop at
+/// most).
+inline constexpr int kReactorConn = 780;
 
 /// RpcClientService / ClusterClientService rec_mu_ — recovery counters and
 /// the jitter RNG.

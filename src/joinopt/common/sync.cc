@@ -48,7 +48,7 @@ std::vector<Held>& HeldStack() {
 }  // namespace
 
 void NoteAcquire(const void* mu, int rank, const char* name,
-                 const char* file, int line) {
+                 const char* file, int line, bool try_acquire) {
   std::vector<Held>& held = HeldStack();
   const Held incoming{mu, rank, name, file, line};
   for (const Held& h : held) {
@@ -56,13 +56,29 @@ void NoteAcquire(const void* mu, int rank, const char* name,
       // std::mutex/shared_mutex relock is UB; report it before it hangs.
       Die("recursive lock", incoming, &h);
     }
-    if (rank != kNoRank && h.rank != kNoRank && h.rank >= rank) {
+    // A try-acquisition already succeeded without blocking: it cannot be
+    // the waiting edge of a deadlock cycle, so out-of-rank try-locks are
+    // legal (the opportunistic-probe idiom). Blocking acquisitions out of
+    // rank still abort regardless of how the held locks were taken — a
+    // cycle deadlocks as soon as one edge can block.
+    if (!try_acquire && rank != kNoRank && h.rank != kNoRank &&
+        h.rank >= rank) {
       // Equal ranks abort too: same-rank mutexes (invoker shards, node
       // stores) are declared never-nested in lock_ranks.h.
       Die("lock-order inversion", incoming, &h);
     }
   }
   held.push_back(incoming);
+}
+
+void CheckNotRecursive(const void* mu, const char* name, const char* file,
+                       int line) {
+  for (const Held& h : HeldStack()) {
+    if (h.mu == mu) {
+      const Held incoming{mu, kNoRank, name, file, line};
+      Die("recursive lock", incoming, &h);
+    }
+  }
 }
 
 void NoteRelease(const void* mu, const char* name) {

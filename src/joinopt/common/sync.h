@@ -58,9 +58,19 @@ namespace sync_internal {
 // All four take the mutex identity (its address), its rank and name, and
 // the acquisition site captured at the call site via __builtin_FILE/LINE.
 // NoteAcquire runs BEFORE blocking on the underlying lock, so a rank
-// inversion aborts with a diagnostic instead of deadlocking.
+// inversion aborts with a diagnostic instead of deadlocking. An
+// acquisition that already *succeeded* through try_lock passes
+// try_acquire=true: it can never have blocked, so it cannot be the
+// waiting edge of a deadlock cycle and is exempt from the rank check
+// (recursive-lock detection still applies — try_lock on a mutex the
+// thread already holds is UB for the std primitives).
 void NoteAcquire(const void* mu, int rank, const char* name,
-                 const char* file, int line);
+                 const char* file, int line, bool try_acquire = false);
+// Aborts if the calling thread already holds `mu`. Runs BEFORE a
+// try_lock attempt: std::mutex::try_lock on a mutex the thread holds is
+// UB, so the recursion diagnostic must not depend on its return value.
+void CheckNotRecursive(const void* mu, const char* name, const char* file,
+                       int line);
 void NoteRelease(const void* mu, const char* name);
 void AssertHeldOrDie(const void* mu, const char* name);
 // Number of locks the calling thread currently holds (test hook).
@@ -100,11 +110,18 @@ class JOINOPT_CAPABILITY("mutex") Mutex {
 #endif
   }
 
+  /// Never blocks, so a successful TryLock is exempt from the rank-order
+  /// check: a pure try-lock cycle cannot deadlock (some thread always
+  /// fails fast and releases). Recursive TryLock still aborts.
   bool TryLock(const char* file = __builtin_FILE(),
                int line = __builtin_LINE()) JOINOPT_TRY_ACQUIRE(true) {
+#if JOINOPT_SYNC_CHECKS
+    sync_internal::CheckNotRecursive(this, name_, file, line);
+#endif
     if (!mu_.try_lock()) return false;
 #if JOINOPT_SYNC_CHECKS
-    sync_internal::NoteAcquire(this, rank_, name_, file, line);
+    sync_internal::NoteAcquire(this, rank_, name_, file, line,
+                               /*try_acquire=*/true);
 #else
     (void)file;
     (void)line;

@@ -35,6 +35,17 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push; false when full or closed (the item is dropped —
+  /// callers that must not lose work keep it and retry; the reactor's IO
+  /// threads leave the bytes in the connection's read buffer instead).
+  bool TryPush(T item) {
+    MutexLock lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.NotifyOne();
+    return true;
+  }
+
   /// Non-blocking pop; nullopt when currently empty.
   std::optional<T> TryPop() {
     MutexLock lock(mu_);

@@ -1,0 +1,74 @@
+// EpollLoop: a thin RAII wrapper over one epoll instance plus an eventfd
+// wake channel — the per-IO-thread readiness core of the reactor backend
+// (DESIGN.md §13).
+//
+// Level-triggered on purpose: edge-triggered epoll demands drain-to-EAGAIN
+// discipline on every path or events are lost forever; level-triggered
+// re-arms for free, and the reactor bounds per-wakeup work explicitly (read
+// chunk caps, the pipeline limit) instead of relying on ET to batch. The
+// throughput difference is noise at this system's frame sizes; the
+// correctness difference is not.
+//
+// Thread model: Add/Mod/Del and Wait belong to the loop's IO thread (epoll
+// itself allows cross-thread ctl, but the reactor routes all interest
+// changes through the owning thread so interest state needs no lock).
+// Wake() is the one cross-thread entry point: any thread may call it to
+// pop the IO thread out of Wait early (worker finished a response, Stop
+// requested, a connection was handed to this loop).
+#ifndef JOINOPT_NET_REACTOR_EPOLL_LOOP_H_
+#define JOINOPT_NET_REACTOR_EPOLL_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+#include "joinopt/common/status.h"
+
+namespace joinopt {
+
+/// epoll_event.data.u64 value reserved for the wake eventfd; Wait drains
+/// and filters these, so callers never see the tag.
+inline constexpr uint64_t kEpollWakeTag = ~0ull;
+
+class EpollLoop {
+ public:
+  EpollLoop() = default;
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Creates the epoll instance and wake eventfd. Must be called (once)
+  /// before anything else; separate from the constructor so fd exhaustion
+  /// is a Status, not a half-built object.
+  Status Init();
+
+  /// Registers `fd` with the given EPOLL* interest mask; `tag` comes back
+  /// in epoll_event.data.u64 (the reactor uses connection ids, never
+  /// pointers, so a stale event after a close resolves to nothing).
+  Status Add(int fd, uint32_t events, uint64_t tag);
+  Status Mod(int fd, uint32_t events, uint64_t tag);
+  /// Best-effort deregistration (the fd may already be closed).
+  void Del(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) for readiness; fills `out`
+  /// with up to `max_events` events, wake-tag entries already filtered and
+  /// the eventfd drained. Returns the event count (0 on timeout or when
+  /// the only event was a wake). EINTR retries internally.
+  StatusOr<int> Wait(struct epoll_event* out, int max_events,
+                     int timeout_ms);
+
+  /// Makes the current or next Wait return promptly. Callable from any
+  /// thread; async-signal-safe-free path (one 8-byte write).
+  void Wake();
+
+  bool valid() const { return epoll_fd_ >= 0; }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_NET_REACTOR_EPOLL_LOOP_H_

@@ -1,0 +1,66 @@
+// ReactorWorkerPool: the bounded execution stage between the reactor's IO
+// threads and the VerbDispatcher. IO threads TryPost decoded requests
+// (never blocking — a full queue is backpressure, reported to the caller
+// so it can stop parsing that connection and leave the bytes in its read
+// buffer); a fixed set of worker threads pop and run them. Verbs can be
+// arbitrarily slow (a UDF sleeping in Execute), so keeping them off the
+// IO threads is what keeps thousands of idle connections serviceable by
+// one poller.
+#ifndef JOINOPT_NET_REACTOR_WORKER_POOL_H_
+#define JOINOPT_NET_REACTOR_WORKER_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "joinopt/common/lock_ranks.h"
+#include "joinopt/engine/bounded_queue.h"
+
+namespace joinopt {
+
+class ReactorWorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  ReactorWorkerPool(int num_threads, size_t queue_capacity)
+      : num_threads_(num_threads > 0 ? num_threads : 1),
+        queue_(queue_capacity, lock_rank::kReactorQueue) {}
+  ~ReactorWorkerPool() { Stop(); }
+
+  ReactorWorkerPool(const ReactorWorkerPool&) = delete;
+  ReactorWorkerPool& operator=(const ReactorWorkerPool&) = delete;
+
+  void Start() {
+    threads_.reserve(num_threads_);
+    for (int i = 0; i < num_threads_; ++i) {
+      threads_.emplace_back([this] {
+        while (auto task = queue_.Pop()) (*task)();
+      });
+    }
+  }
+
+  /// Drains pending tasks, then joins. Idempotent.
+  void Stop() {
+    queue_.Close();
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  /// Non-blocking submit; false when the queue is full (or the pool is
+  /// stopped) — the caller retries later, it must never block an IO
+  /// thread here.
+  bool TryPost(Task task) { return queue_.TryPush(std::move(task)); }
+
+  int thread_count() const { return num_threads_; }
+
+ private:
+  const int num_threads_;
+  BoundedQueue<Task> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_NET_REACTOR_WORKER_POOL_H_

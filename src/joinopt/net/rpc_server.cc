@@ -1,10 +1,15 @@
 #include "joinopt/net/rpc_server.h"
 
 #include <errno.h>
+#include <stdlib.h>
 #include <sys/socket.h>
 
 #include <chrono>
+#include <deque>
+#include <string_view>
 #include <utility>
+
+#include "joinopt/net/reactor/reactor_core.h"
 
 namespace joinopt {
 
@@ -14,15 +19,30 @@ namespace {
 /// Shutdown latency is bounded by this even if shutdown() is missed.
 constexpr double kPollTick = 0.05;
 
-bool SupportedVersion(uint8_t v) {
-  return v >= kMinWireVersion && v <= kWireVersion;
+RpcBackend ResolveBackend(RpcBackend requested) {
+  if (requested != RpcBackend::kDefault) return requested;
+  const char* env = ::getenv("JOINOPT_RPC_BACKEND");
+  if (env != nullptr && std::string_view(env) == "reactor") {
+    return RpcBackend::kReactor;
+  }
+  return RpcBackend::kThreadPerConnection;
 }
 
-/// The version responses to this request are stamped with: the client's
-/// own version when we speak it (so v1 readers parse v2-server answers),
-/// ours when the client's is alien (best effort on an error path).
-uint8_t EchoVersion(uint8_t v) {
-  return SupportedVersion(v) ? v : kWireVersion;
+ReactorOptions ReactorOptionsFrom(const RpcServerOptions& o) {
+  ReactorOptions r;
+  r.host = o.host;
+  r.port = o.port;
+  r.accept_backlog = o.accept_backlog;
+  r.max_frame_bytes = o.max_frame_bytes;
+  r.io_threads = o.reactor_io_threads;
+  r.worker_threads = o.reactor_worker_threads;
+  r.worker_queue_capacity = o.reactor_worker_queue;
+  r.write_high_watermark = o.reactor_write_high_watermark;
+  r.write_low_watermark = o.reactor_write_low_watermark;
+  r.max_pipelined_requests = o.reactor_max_pipelined_requests;
+  r.notify_queue_capacity = o.subscription_queue_capacity;
+  r.poll_tick = kPollTick;
+  return r;
 }
 
 }  // namespace
@@ -72,9 +92,9 @@ class RpcServer::ConnSink : public UpdateSink {
 
 RpcServer::RpcServer(DataService* inner, UserFn fn, RpcServerOptions options)
     : inner_(inner),
-      writable_(dynamic_cast<WritableDataService*>(inner)),
       fn_(std::move(fn)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      dispatcher_(inner_, fn_, options_.dedup_capacity, &stats_) {}
 
 RpcServer::~RpcServer() { Stop(); }
 
@@ -85,12 +105,25 @@ Status RpcServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already running");
   }
+  RpcBackend backend = ResolveBackend(options_.backend);
+  if (backend == RpcBackend::kReactor) {
+    auto core = std::make_unique<ReactorCore>(&dispatcher_, &stats_,
+                                              ReactorOptionsFrom(options_));
+    JOINOPT_RETURN_NOT_OK(core->Start());
+    reactor_ = std::move(core);
+    port_ = reactor_->port();
+    active_backend_ = backend;
+    running_.store(true, std::memory_order_release);
+    return Status::OK();
+  }
   JOINOPT_ASSIGN_OR_RETURN(
       listen_fd_,
       TcpListen(options_.host, options_.port, options_.accept_backlog));
   JOINOPT_ASSIGN_OR_RETURN(port_, BoundPort(listen_fd_.get()));
   stop_.store(false, std::memory_order_release);
+  active_backend_ = backend;
   running_.store(true, std::memory_order_release);
+  ++stats_.server_threads;  // the acceptor
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -98,6 +131,11 @@ Status RpcServer::Start() {
 void RpcServer::Stop() {
   MutexLock lock(lifecycle_mu_);
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (reactor_ != nullptr) {
+    reactor_->Stop();
+    reactor_.reset();
+    return;
+  }
   stop_.store(true, std::memory_order_release);
   // Severing the sockets converts blocked reads/writes into immediate
   // failures; the poll tick catches any thread not currently blocked on
@@ -108,6 +146,7 @@ void RpcServer::Stop() {
   }
   if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
+  --stats_.server_threads;
   std::vector<std::thread> threads;
   {
     MutexLock conns(conns_mu_);
@@ -134,6 +173,8 @@ void RpcServer::AcceptLoop() {
       break;
     }
     conn_fds_.push_back(fd);
+    ++stats_.live_connections;
+    ++stats_.server_threads;
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
 }
@@ -169,7 +210,8 @@ void RpcServer::ServeConnection(int fd) {
       break;
     }
 
-    auto [resp_type, resp_body] = Dispatch(frame->header, frame->body);
+    auto [resp_type, resp_body] = dispatcher_.Dispatch(frame->header,
+                                                       frame->body);
     if (resp_type == static_cast<MsgType>(0)) {
       ++stats_.protocol_errors;
       break;  // unknown request type: the stream cannot be trusted
@@ -177,12 +219,14 @@ void RpcServer::ServeConnection(int fd) {
     Status sent = SendFrame(fd, resp_type, frame->header.seq, resp_body,
                             options_.send_deadline,
                             options_.max_frame_bytes,
-                            EchoVersion(frame->header.version));
+                            EchoWireVersion(frame->header.version));
     if (!sent.ok()) break;
     stats_.bytes_out += static_cast<int64_t>(kFrameHeaderBytes +
                                              resp_body.size());
   }
   MutexLock lock(conns_mu_);
+  --stats_.live_connections;
+  --stats_.server_threads;
   for (size_t i = 0; i < conn_fds_.size(); ++i) {
     if (conn_fds_[i] == fd) {
       conn_fds_[i] = conn_fds_.back();
@@ -192,152 +236,15 @@ void RpcServer::ServeConnection(int fd) {
   }
 }
 
-std::pair<MsgType, std::string> RpcServer::Dispatch(
-    const FrameHeader& header, const std::string& body) {
-  MsgType resp_type = ResponseTypeFor(header.type);
-  if (resp_type == static_cast<MsgType>(0)) return {resp_type, ""};
-
-  // Version mismatch: answer in-band so an old/new client reads an error
-  // instead of hanging, then the connection is still usable (the *frame*
-  // layout is frozen across versions; only body encodings move). A v2-only
-  // verb arriving on a v1 frame is the same kind of mismatch.
-  bool verb_needs_v2 = header.type == MsgType::kPutReq;
-  if (!SupportedVersion(header.version) ||
-      (verb_needs_v2 && header.version < 2)) {
-    ++stats_.protocol_errors;
-    Status mismatch = Status::FailedPrecondition(
-        "wire version mismatch: server=" + std::to_string(kWireVersion) +
-        " client=" + std::to_string(header.version));
-    switch (header.type) {
-      case MsgType::kFetchReq:
-        return {resp_type, EncodeFetchResponse(mismatch)};
-      case MsgType::kExecuteReq:
-        return {resp_type, EncodeExecuteResponse(mismatch)};
-      case MsgType::kBatchReq:
-        return {resp_type, EncodeBatchResponse({mismatch})};
-      case MsgType::kStatReq:
-        return {resp_type, EncodeStatResponse(mismatch)};
-      case MsgType::kPutReq:
-        return {resp_type, EncodePutResponse(mismatch)};
-      case MsgType::kOwnerReq:
-      default:
-        return {resp_type, EncodeOwnerResponse(kInvalidNode)};
-    }
-  }
-
-  ++stats_.requests;
-  switch (header.type) {
-    case MsgType::kFetchReq: {
-      auto key = DecodeKeyRequest(body);
-      if (!key.ok()) return {resp_type, EncodeFetchResponse(key.status())};
-      return {resp_type, EncodeFetchResponse(inner_->Fetch(*key))};
-    }
-    case MsgType::kExecuteReq: {
-      auto req = DecodeExecuteRequest(body);
-      if (!req.ok()) {
-        return {resp_type, EncodeExecuteResponse(req.status())};
-      }
-      return {resp_type, EncodeExecuteResponse(
-                             inner_->Execute(req->key, req->params, fn_))};
-    }
-    case MsgType::kBatchReq: {
-      // v1 frames carry the untagged body; v2 frames are tagged with
-      // (client_id, batch_seq) and go through the replay-dedup path.
-      if (header.version >= 2) {
-        auto req = DecodeTaggedBatchRequest(body);
-        if (!req.ok()) {
-          return {resp_type, EncodeBatchResponse({req.status()})};
-        }
-        stats_.batch_items += static_cast<int64_t>(req->items.size());
-        return {resp_type, DispatchTaggedBatch(*req)};
-      }
-      auto items = DecodeBatchRequest(body);
-      if (!items.ok()) {
-        return {resp_type, EncodeBatchResponse({items.status()})};
-      }
-      stats_.batch_items += static_cast<int64_t>(items->size());
-      return {resp_type,
-              EncodeBatchResponse(inner_->ExecuteBatch(*items, fn_))};
-    }
-    case MsgType::kStatReq: {
-      auto key = DecodeKeyRequest(body);
-      if (!key.ok()) return {resp_type, EncodeStatResponse(key.status())};
-      return {resp_type, EncodeStatResponse(inner_->Stat(*key))};
-    }
-    case MsgType::kOwnerReq: {
-      auto key = DecodeKeyRequest(body);
-      if (!key.ok()) return {resp_type, EncodeOwnerResponse(kInvalidNode)};
-      return {resp_type, EncodeOwnerResponse(inner_->OwnerOf(*key))};
-    }
-    case MsgType::kPutReq: {
-      if (writable_ == nullptr) {
-        return {resp_type,
-                EncodePutResponse(Status::Unimplemented(
-                    "rpc: service does not accept writes"))};
-      }
-      auto req = DecodePutRequest(body);
-      if (!req.ok()) return {resp_type, EncodePutResponse(req.status())};
-      ++stats_.puts;
-      return {resp_type,
-              EncodePutResponse(writable_->Put(req->key, req->value))};
-    }
-    default:
-      return {static_cast<MsgType>(0), ""};
-  }
-}
-
-std::string RpcServer::DispatchTaggedBatch(const TaggedBatchRequest& req) {
-  // client_id 0 opts out of dedup (one-shot clients that never retry).
-  if (req.client_id == 0 || options_.dedup_capacity == 0) {
-    return EncodeBatchResponse(inner_->ExecuteBatch(req.items, fn_));
-  }
-  const std::pair<uint64_t, uint64_t> tag{req.client_id, req.batch_seq};
-  std::shared_ptr<DedupEntry> entry;
-  {
-    MutexLock lock(dedup_mu_);
-    auto it = dedup_entries_.find(tag);
-    if (it != dedup_entries_.end()) {
-      // Replay. If the original is still executing (a retry raced it on
-      // another connection), wait for its result rather than executing the
-      // side effects twice — that wait is what makes the batch
-      // exactly-once even under concurrent duplicates.
-      entry = it->second;
-      while (!entry->done) dedup_cv_.Wait(dedup_mu_);
-      ++stats_.batch_dedup_hits;
-      return entry->response;
-    }
-    entry = std::make_shared<DedupEntry>();
-    dedup_entries_.emplace(tag, entry);
-    dedup_order_.push_back(tag);
-  }
-
-  std::string response = EncodeBatchResponse(inner_->ExecuteBatch(req.items,
-                                                                  fn_));
-  {
-    MutexLock lock(dedup_mu_);
-    entry->done = true;
-    entry->response = response;
-    // Evict oldest *completed* entries beyond capacity; an in-flight entry
-    // must survive so its racing duplicate can still find it.
-    while (dedup_order_.size() > options_.dedup_capacity) {
-      auto oldest = dedup_entries_.find(dedup_order_.front());
-      if (oldest != dedup_entries_.end() && !oldest->second->done) break;
-      if (oldest != dedup_entries_.end()) dedup_entries_.erase(oldest);
-      dedup_order_.pop_front();
-    }
-  }
-  dedup_cv_.NotifyAll();
-  return response;
-}
-
 void RpcServer::ServeSubscription(int fd, const FrameHeader& header,
                                   const std::string& body) {
   // Subscriptions are v2-only and require a writable service; neither
   // failure mode has an in-band error slot (the response body is a bare
   // snapshot), so the stream is refused by closing the connection — the
   // same signal a subscriber handles for crashes.
-  if (writable_ == nullptr || header.version < 2 ||
-      !SupportedVersion(header.version)) {
+  WritableDataService* writable = dispatcher_.writable();
+  if (writable == nullptr || header.version < 2 ||
+      !SupportedWireVersion(header.version)) {
     ++stats_.protocol_errors;
     return;
   }
@@ -352,9 +259,9 @@ void RpcServer::ServeSubscription(int fd, const FrameHeader& header,
   // Register the sink *before* taking the snapshot: events in the gap are
   // delivered twice (snapshot position + queued event) and deduplicated by
   // the subscriber's seq tracking, whereas the other order would lose them.
-  writable_->AddUpdateSink(&sink);
+  writable->AddUpdateSink(&sink);
   Status sent = SendFrame(fd, MsgType::kSubscribeResp, header.seq,
-                          EncodeSubscribeResponse(writable_->EpochSnapshot()),
+                          EncodeSubscribeResponse(writable->EpochSnapshot()),
                           options_.send_deadline, options_.max_frame_bytes,
                           header.version);
   if (sent.ok()) {
@@ -395,7 +302,7 @@ void RpcServer::ServeSubscription(int fd, const FrameHeader& header,
   // After RemoveUpdateSink returns no OnUpdateEvent call can be in flight
   // (the service holds its update lock across fanout), so the stack-
   // allocated sink is safe to destroy.
-  writable_->RemoveUpdateSink(&sink);
+  writable->RemoveUpdateSink(&sink);
 }
 
 RpcServerStats RpcServer::stats() const {
@@ -413,6 +320,14 @@ RpcServerStats RpcServer::stats() const {
   out.notify_events = stats_.notify_events.load(std::memory_order_relaxed);
   out.batch_dedup_hits =
       stats_.batch_dedup_hits.load(std::memory_order_relaxed);
+  out.server_threads =
+      stats_.server_threads.load(std::memory_order_relaxed);
+  out.live_connections =
+      stats_.live_connections.load(std::memory_order_relaxed);
+  out.notify_coalesced =
+      stats_.notify_coalesced.load(std::memory_order_relaxed);
+  out.backpressure_pauses =
+      stats_.backpressure_pauses.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -2,14 +2,32 @@
 // DataService (LocalDataService, LogStoreDataService, a LatencyPaddedService
 // stack, ...) behind a TCP listener speaking the net/frame.h protocol.
 //
-// Threading model (documented in DESIGN.md §10): one acceptor thread polls
-// the listen socket; each accepted connection gets a dedicated worker
-// thread running a synchronous read-dispatch-write loop (one request in
-// flight per connection — concurrency comes from the client opening pooled
-// connections, which keeps the protocol trivially ordered). Stop() closes
-// the listener, shuts down every open connection and joins all threads; it
-// is safe to call concurrently with in-flight requests and from the
-// destructor.
+// Two serving backends share one frontend (and one VerbDispatcher, so verb
+// semantics cannot drift):
+//
+//  * kThreadPerConnection (the original, still the default): one acceptor
+//    thread polls the listen socket; each accepted connection gets a
+//    dedicated thread running a synchronous read-dispatch-write loop (one
+//    request in flight per connection — concurrency comes from the client
+//    opening pooled connections). Simple, but threads scale with
+//    connections, and a slow Notify subscriber is dropped on queue
+//    overflow for a full reconnect-and-re-sync.
+//
+//  * kReactor (net/reactor/, DESIGN.md §13): a fixed set of epoll IO
+//    threads with non-blocking sockets, incremental frame parsing, a
+//    bounded worker pool for verb execution, and per-connection bounded
+//    write queues. Thread count is flat in connection count; clients may
+//    pipeline requests (responses correlate by frame seq); slow Notify
+//    subscribers are throttled with per-key event coalescing instead of
+//    dropped.
+//
+// The wire protocol is identical on both: callers (ClusterDataNode,
+// ClusterDeployment, the loopback harness, every test) run unmodified on
+// either backend. Select per-server with RpcServerOptions::backend or
+// process-wide with JOINOPT_RPC_BACKEND=reactor|threaded (options win).
+//
+// Stop() tears everything down and joins all threads; it is safe to call
+// concurrently with in-flight requests and from the destructor.
 //
 // The UDF cannot travel over the wire: like HBase coprocessors, the
 // function is *registered* server-side at construction, and Execute /
@@ -21,19 +39,12 @@
 // server-side replay dedup — but only when the wrapped service implements
 // WritableDataService (discovered by dynamic_cast at construction). v1
 // clients are still served for the five original verbs, with responses
-// stamped v1 so old readers parse them; a subscription takes over its
-// connection, which switches from request/response to a one-way kNotifyEvt
-// push stream drained by the same connection thread. A subscriber that
-// stops draining (its event queue overflows) loses the connection — by
-// construction it has missed invalidations, and the reconnect-and-re-sync
-// path is the correct recovery, not unbounded buffering.
+// stamped v1 so old readers parse them.
 #ifndef JOINOPT_NET_RPC_SERVER_H_
 #define JOINOPT_NET_RPC_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,8 +57,19 @@
 #include "joinopt/engine/async_api.h"
 #include "joinopt/net/socket.h"
 #include "joinopt/net/update_hub.h"
+#include "joinopt/net/verb_dispatcher.h"
 
 namespace joinopt {
+
+class ReactorCore;
+
+enum class RpcBackend {
+  /// Resolve from the JOINOPT_RPC_BACKEND environment variable
+  /// ("reactor" or "threaded"); falls back to thread-per-connection.
+  kDefault,
+  kThreadPerConnection,
+  kReactor,
+};
 
 struct RpcServerOptions {
   /// Bind address. Tests and benches stay on loopback; never expose the
@@ -56,16 +78,33 @@ struct RpcServerOptions {
   /// 0 = ephemeral (read the chosen port back with port()).
   uint16_t port = 0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Deadline for writing one response; a client that stops draining its
-  /// socket loses the connection instead of parking the worker forever.
+  /// Deadline for writing one response (thread-per-connection backend);
+  /// a client that stops draining its socket loses the connection instead
+  /// of parking the worker forever. The reactor never blocks on writes —
+  /// its equivalent is the write-queue watermark below.
   double send_deadline = 5.0;
   int accept_backlog = 64;
   /// Tagged-batch responses remembered for replay dedup (exactly-once
   /// ExecuteBatch). FIFO-evicted; 0 disables dedup.
   size_t dedup_capacity = 1024;
-  /// Pending invalidation events per subscription before the connection is
-  /// dropped (the subscriber must reconnect and re-sync).
+  /// Pending invalidation events per subscription. Thread-per-connection:
+  /// overflow drops the connection (the subscriber must reconnect and
+  /// re-sync). Reactor: bound on the per-key-coalesced pending queue; only
+  /// a distinct-key flood beyond it drops the stream.
   size_t subscription_queue_capacity = 4096;
+
+  /// Which serving backend runs this server.
+  RpcBackend backend = RpcBackend::kDefault;
+  // ---- reactor tuning (ignored by the legacy backend) ----
+  int reactor_io_threads = 1;
+  int reactor_worker_threads = 2;
+  size_t reactor_worker_queue = 256;
+  /// Per-connection write-queue byte watermarks: reads pause above high,
+  /// resume below low (the pipelining / slow-reader backpressure bound).
+  size_t reactor_write_high_watermark = 1u << 20;
+  size_t reactor_write_low_watermark = 256u << 10;
+  /// Outstanding pipelined requests per connection.
+  int reactor_max_pipelined_requests = 64;
 };
 
 struct RpcServerStats {
@@ -79,22 +118,29 @@ struct RpcServerStats {
   int64_t subscriptions = 0;    ///< Subscribe streams established
   int64_t notify_events = 0;    ///< kNotifyEvt frames pushed
   int64_t batch_dedup_hits = 0;  ///< tagged batches answered from cache
+  /// Gauge: threads currently dedicated to serving (acceptor + connection
+  /// threads, or IO + worker threads). The reactor's headline property is
+  /// that this stays flat as connections scale.
+  int64_t server_threads = 0;
+  int64_t live_connections = 0;  ///< gauge: open connections
+  int64_t notify_coalesced = 0;  ///< events superseded in pending queues
+  int64_t backpressure_pauses = 0;  ///< reads paused by flow control
 };
 
 class RpcServer {
  public:
   /// `inner` and `fn` must outlive the server and be thread-safe: each
-  /// connection thread calls them concurrently.
+  /// connection/worker thread calls them concurrently.
   RpcServer(DataService* inner, UserFn fn, RpcServerOptions options = {});
   ~RpcServer();
 
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
-  /// Binds, listens and starts the acceptor. Fails (address in use, ...)
-  /// without leaving threads behind. Serialized against Stop() and other
-  /// Start() calls: concurrent double-Start is a FailedPrecondition for
-  /// exactly one caller, never two listeners.
+  /// Binds, listens and starts the chosen backend. Fails (address in use,
+  /// ...) without leaving threads behind. Serialized against Stop() and
+  /// other Start() calls: concurrent double-Start is a FailedPrecondition
+  /// for exactly one caller, never two listeners.
   Status Start() JOINOPT_EXCLUDES(lifecycle_mu_);
 
   /// Stops accepting, severs open connections and joins all threads.
@@ -109,41 +155,46 @@ class RpcServer {
   }
   const std::string& host() const { return options_.host; }
 
+  /// The backend actually serving (env var resolved); kDefault before the
+  /// first successful Start().
+  RpcBackend active_backend() const {
+    MutexLock lock(lifecycle_mu_);
+    return active_backend_;
+  }
+
   RpcServerStats stats() const;
 
  private:
-  /// Bounded per-subscription event queue; OnUpdateEvent is called on the
-  /// writer's thread, Drain on the subscription's connection thread.
+  /// Bounded per-subscription event queue (legacy backend); OnUpdateEvent
+  /// is called on the writer's thread, Drain on the connection thread.
   class ConnSink;
-  /// Remembered tagged-batch responses keyed by (client_id, batch_seq).
-  struct DedupEntry {
-    bool done = false;
-    std::string response;
-  };
 
   void AcceptLoop();
   void ServeConnection(int fd);
-  /// Handles one decoded request; returns the response (type, body).
-  std::pair<MsgType, std::string> Dispatch(const FrameHeader& header,
-                                           const std::string& body);
   /// Takes over a connection after a kSubscribeReq: registers a sink,
   /// answers with the epoch snapshot, then pushes kNotifyEvt frames until
   /// stop/close/overflow.
   void ServeSubscription(int fd, const FrameHeader& header,
                          const std::string& body);
-  /// ExecuteBatch with replay dedup; returns the encoded response body.
-  std::string DispatchTaggedBatch(const TaggedBatchRequest& req);
 
   DataService* inner_;
-  WritableDataService* writable_ = nullptr;  ///< non-null iff inner is one
   UserFn fn_;
   RpcServerOptions options_;
+  mutable RpcAtomicStats stats_;
+  VerbDispatcher dispatcher_;
 
   /// Serializes Start/Stop (held across the whole transition, including
   /// the thread joins in Stop — worker threads never take it).
   mutable Mutex lifecycle_mu_{lock_rank::kServerLifecycle,
                               "RpcServer::lifecycle_mu_"};
   uint16_t port_ JOINOPT_GUARDED_BY(lifecycle_mu_) = 0;
+  RpcBackend active_backend_ JOINOPT_GUARDED_BY(lifecycle_mu_) =
+      RpcBackend::kDefault;
+  /// Fresh instance per reactor Start (a stopped core is not restartable;
+  /// ClusterDataNode::Restart reuses this RpcServer object).
+  std::unique_ptr<ReactorCore> reactor_;
+
+  // ---- thread-per-connection backend state ----
   /// Written by Start before the acceptor exists and Reset by Stop after
   /// joining it (thread-confined by that protocol, not lock-guarded: the
   /// acceptor reads it without — and must not take — lifecycle_mu_).
@@ -157,29 +208,6 @@ class RpcServer {
   /// Stop() can shutdown() them to unblock reads).
   std::vector<int> conn_fds_ JOINOPT_GUARDED_BY(conns_mu_);
   std::vector<std::thread> conn_threads_ JOINOPT_GUARDED_BY(conns_mu_);
-
-  Mutex dedup_mu_{lock_rank::kServerDedup, "RpcServer::dedup_mu_"};
-  CondVar dedup_cv_;
-  /// DedupEntry contents (done, response) are guarded by dedup_mu_ too;
-  /// the nested struct cannot name the enclosing member in an annotation.
-  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<DedupEntry>>
-      dedup_entries_ JOINOPT_GUARDED_BY(dedup_mu_);
-  std::deque<std::pair<uint64_t, uint64_t>> dedup_order_
-      JOINOPT_GUARDED_BY(dedup_mu_);  // FIFO eviction
-
-  struct AtomicStats {
-    std::atomic<int64_t> connections_accepted{0};
-    std::atomic<int64_t> requests{0};
-    std::atomic<int64_t> batch_items{0};
-    std::atomic<int64_t> protocol_errors{0};
-    std::atomic<int64_t> bytes_in{0};
-    std::atomic<int64_t> bytes_out{0};
-    std::atomic<int64_t> puts{0};
-    std::atomic<int64_t> subscriptions{0};
-    std::atomic<int64_t> notify_events{0};
-    std::atomic<int64_t> batch_dedup_hits{0};
-  };
-  mutable AtomicStats stats_;
 };
 
 }  // namespace joinopt

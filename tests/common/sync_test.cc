@@ -97,6 +97,38 @@ TEST(SyncTest, TryLockContendedAndFree) {
   mu.Unlock();
 }
 
+TEST(SyncTest, TryLockIsExemptFromRankOrdering) {
+  // A successful TryLock never blocked, so it cannot close a deadlock
+  // cycle: taking a *lower*-ranked mutex via TryLock while holding a
+  // higher-ranked one is legal (the opportunistic-probe idiom).
+  Mutex low(100, "low");
+  Mutex high(200, "high");
+  high.Lock();
+  ASSERT_TRUE(low.TryLock());
+  EXPECT_EQ(HeldCount(), 2);
+  low.Unlock();
+  high.Unlock();
+}
+
+TEST(SyncTest, PureTryLockCycleNeverAborts) {
+  // Both nesting orders, both inner acquisitions via TryLock: a pure
+  // try-lock cycle passes — some thread always fails fast and releases,
+  // so the "cycle" cannot deadlock.
+  Mutex a(100, "cycle-a");
+  Mutex b(200, "cycle-b");
+  {
+    MutexLock la(a);
+    ASSERT_TRUE(b.TryLock());  // ascending, trivially fine
+    b.Unlock();
+  }
+  {
+    MutexLock lb(b);
+    ASSERT_TRUE(a.TryLock());  // descending: only legal because TryLock
+    a.Unlock();
+  }
+  EXPECT_EQ(HeldCount(), 0);
+}
+
 TEST(SyncTest, AssertHeldPassesUnderLock) {
   Mutex mu(100, "asserted");
   MutexLock lock(mu);
@@ -192,6 +224,38 @@ TEST(SyncLockOrderDeathTest, EqualRanksNeverNest) {
       },
       "lock-order inversion.*\"shard-b\" \\(rank 300\\).*holding "
       "\"shard-a\" \\(rank 300\\)");
+}
+
+TEST(SyncLockOrderDeathTest, BlockingInversionAbortsEvenAfterTryLocks) {
+  if (!SyncChecksEnabled()) GTEST_SKIP() << "checker compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The try-lock exemption is per-acquisition, not per-mutex: the same
+  // pair of mutexes that legally nested via TryLock still aborts the
+  // moment the out-of-rank acquisition is a *blocking* Lock.
+  Mutex low(100, "try-then-block-low");
+  Mutex high(200, "try-then-block-high");
+  EXPECT_DEATH(
+      {
+        high.Lock();
+        if (low.TryLock()) low.Unlock();  // exempt probe, must not abort
+        low.Lock();                       // blocking inversion: abort
+      },
+      "lock-order inversion: acquiring \"try-then-block-low\" "
+      "\\(rank 100\\)");
+}
+
+TEST(SyncLockOrderDeathTest, RecursiveTryLockAborts) {
+  if (!SyncChecksEnabled()) GTEST_SKIP() << "checker compiled out";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // try_lock on a mutex this thread already holds is UB for std::mutex;
+  // the exemption must not swallow the recursion diagnostic.
+  Mutex mu(100, "try-recursed");
+  EXPECT_DEATH(
+      {
+        mu.Lock();
+        (void)mu.TryLock();
+      },
+      "recursive lock: acquiring \"try-recursed\"");
 }
 
 TEST(SyncLockOrderDeathTest, RecursiveLockAborts) {
