@@ -7,9 +7,18 @@ namespace joinopt {
 
 TieredCache::TieredCache(const TieredCacheConfig& config,
                          BenefitPolicy* policy)
-    : config_(config), policy_(policy) {
+    : config_(config),
+      policy_(policy),
+      items_(&arena_, /*seed=*/0x51ab3e7du),
+      memory_order_(OrderAdapter{&items_, 0}),
+      disk_order_(OrderAdapter{&items_, kDiskBit}) {
   assert(policy != nullptr);
   assert(config.memory_capacity_bytes >= 0.0);
+  if (config.expected_items > 0) {
+    items_.Reserve(config.expected_items);
+    memory_order_.Reserve(config.expected_items);
+    disk_order_.Reserve(config.expected_items);
+  }
 }
 
 CacheTier TieredCache::Lookup(Key key) {
@@ -35,32 +44,38 @@ CacheTier TieredCache::Peek(Key key) const {
 }
 
 CacheTier TieredCache::PeekLocked(Key key) const {
-  auto it = items_.find(key);
-  return it == items_.end() ? CacheTier::kNone : it->second.tier;
+  const Item* item = items_.Find(key);
+  return item == nullptr ? CacheTier::kNone : TierOf(*item);
 }
 
 void TieredCache::UpdateBenefit(Key key, double benefit) {
   MutexLock lock(mu_);
-  UpdateBenefitLocked(key, benefit);
+  Handle h = items_.FindHandle(key);
+  if (h != Table::kNoHandle) UpdateBenefitLocked(h, benefit);
 }
 
-void TieredCache::UpdateBenefitLocked(Key key, double benefit) {
-  auto it = items_.find(key);
-  if (it == items_.end()) return;
-  Item& item = it->second;
-  OrderMap& order =
-      item.tier == CacheTier::kMemory ? memory_order_ : disk_order_;
-  order.erase(item.order_it);
-  item.benefit = benefit;
-  item.order_it = order.emplace(benefit, key);
+void TieredCache::UpdateBenefitLocked(Handle h, double benefit) {
+  Item& item = items_.EntryAt(h).value;
+  item.benefit = static_cast<float>(benefit);
+  // Fresh seq = the old multimap's erase + emplace-at-upper-bound: the
+  // re-scored item moves behind its equal-benefit peers.
+  item.seq = next_seq_++;
+  HeapOf(item).Update(PosOf(item));
 }
 
 bool TieredCache::CondCacheInMemory(Key key, double size, double benefit,
                                     bool insert) {
   MutexLock lock(mu_);
-  auto it = items_.find(key);
-  if (it != items_.end() && it->second.tier == CacheTier::kMemory) {
-    if (insert) UpdateBenefitLocked(key, benefit);
+  // Round through the stored precision up front so admission arithmetic
+  // and the stored entries agree: capacity checks must see the same size
+  // later subtracted on eviction, and equal-benefit ties (which admission
+  // rejects) must stay ties against float-stored residents.
+  size = static_cast<double>(static_cast<float>(size));
+  benefit = static_cast<double>(static_cast<float>(benefit));
+  Handle h = items_.FindHandle(key);
+  if (h != Table::kNoHandle &&
+      TierOf(items_.EntryAt(h).value) == CacheTier::kMemory) {
+    if (insert) UpdateBenefitLocked(h, benefit);
     return true;  // already resident in memory
   }
   bool decision = config_.uniform_item_size
@@ -78,12 +93,13 @@ bool TieredCache::CondCacheUniform(Key key, double size, double benefit,
     return true;
   }
   if (memory_order_.empty()) return false;  // item larger than the tier
-  double min_benefit = memory_order_.begin()->first;
+  Handle min_h = memory_order_.MinHandle();
+  double min_benefit =
+      static_cast<double>(items_.EntryAt(min_h).value.benefit);
   if (benefit <= min_benefit) return false;
   if (insert) {
-    Key victim = memory_order_.begin()->second;
     policy_->OnEvict(min_benefit);
-    Demote(victim);
+    Demote(min_h);
     PlaceInMemory(key, size, benefit);
   }
   return true;
@@ -97,16 +113,35 @@ bool TieredCache::CondCacheVariable(Key key, double size, double benefit,
     return true;
   }
   // Algorithm 3: gather least-benefit items until eviction would free
-  // enough space.
+  // enough space. Enumerate the heap in ascending (benefit, seq) order
+  // without mutating it: a local candidate heap over node positions (a
+  // node is only a candidate once its parent was consumed).
   double free_mem = config_.memory_capacity_bytes - memory_used_;
   double gathered = 0.0;
   double benefit_sum = 0.0;
-  std::vector<Key> prelim;
-  for (const auto& [b, k] : memory_order_) {
-    if (free_mem + gathered >= size) break;
-    prelim.push_back(k);
-    gathered += items_.at(k).size;
-    benefit_sum += b;
+  std::vector<Handle> prelim;
+  const std::vector<uint32_t>& slots = memory_order_.data();
+  OrderAdapter order{&items_, 0};
+  auto pos_after = [&](uint32_t pa, uint32_t pb) {
+    return order.Less(slots[pb], slots[pa]);  // reversed: min at heap front
+  };
+  std::vector<uint32_t> cand;
+  if (!slots.empty()) cand.push_back(0);
+  while (!cand.empty() && free_mem + gathered < size) {
+    std::pop_heap(cand.begin(), cand.end(), pos_after);
+    uint32_t p = cand.back();
+    cand.pop_back();
+    Handle h = slots[p];
+    const Item& item = items_.EntryAt(h).value;
+    prelim.push_back(h);
+    gathered += static_cast<double>(item.size);
+    benefit_sum += static_cast<double>(item.benefit);
+    for (uint32_t c = 2 * p + 1; c <= 2 * p + 2; ++c) {
+      if (c < slots.size()) {
+        cand.push_back(c);
+        std::push_heap(cand.begin(), cand.end(), pos_after);
+      }
+    }
   }
   if (free_mem + gathered < size) return false;  // cannot make space
   // Strictly-greater admission (Algorithm 3 writes >=; we reject ties like
@@ -117,17 +152,17 @@ bool TieredCache::CondCacheVariable(Key key, double size, double benefit,
   // prelim list from most to least valuable, retaining whatever fits into
   // the slack left after the newcomer is placed.
   double slack = free_mem + gathered - size;
-  std::vector<Key> evict;
+  std::vector<Handle> evict;
   for (auto rit = prelim.rbegin(); rit != prelim.rend(); ++rit) {
-    double isz = items_.at(*rit).size;
+    double isz = static_cast<double>(items_.EntryAt(*rit).value.size);
     if (isz <= slack) {
       slack -= isz;  // retained
     } else {
       evict.push_back(*rit);
     }
   }
-  for (Key victim : evict) {
-    policy_->OnEvict(items_.at(victim).benefit);
+  for (Handle victim : evict) {
+    policy_->OnEvict(static_cast<double>(items_.EntryAt(victim).value.benefit));
     Demote(victim);
   }
   PlaceInMemory(key, size, benefit);
@@ -135,83 +170,105 @@ bool TieredCache::CondCacheVariable(Key key, double size, double benefit,
 }
 
 void TieredCache::PlaceInMemory(Key key, double size, double benefit) {
-  auto it = items_.find(key);
-  if (it != items_.end()) {
+  Handle h = items_.FindHandle(key);
+  if (h != Table::kNoHandle) {
     // Promotion from disk: remove the disk-tier residency first. (Appendix B:
     // items moved to mCache are removed from dCache to save space.)
-    assert(it->second.tier == CacheTier::kDisk);
-    disk_order_.erase(it->second.order_it);
-    disk_used_ -= it->second.size;
-    items_.erase(it);
+    Item& item = items_.EntryAt(h).value;
+    assert(TierOf(item) == CacheTier::kDisk);
+    disk_order_.Remove(PosOf(item));
+    disk_used_ -= static_cast<double>(item.size);
+    items_.Erase(key);
     ++stats_.promotions;
   }
-  Item item{size, benefit, CacheTier::kMemory, {}};
-  auto [ins, ok] = items_.emplace(key, item);
-  assert(ok);
-  ins->second.order_it = memory_order_.emplace(benefit, key);
-  memory_used_ += size;
+  auto [nh, inserted] = items_.TryEmplaceHandle(key);
+  assert(inserted);
+  Item& item = items_.EntryAt(nh).value;
+  item.size = static_cast<float>(size);
+  item.benefit = static_cast<float>(benefit);
+  item.heap_pos = kNoPos;
+  item.seq = next_seq_++;
+  memory_order_.Push(nh);
+  memory_used_ += static_cast<double>(item.size);
   ++stats_.memory_insertions;
   assert(memory_used_ <= config_.memory_capacity_bytes + 1e-6);
 }
 
-void TieredCache::Demote(Key key) {
-  auto it = items_.find(key);
-  assert(it != items_.end() && it->second.tier == CacheTier::kMemory);
-  Item& item = it->second;
-  memory_order_.erase(item.order_it);
-  memory_used_ -= item.size;
-  EnsureDiskSpace(item.size);
-  item.tier = CacheTier::kDisk;
-  item.order_it = disk_order_.emplace(item.benefit, key);
-  disk_used_ += item.size;
+void TieredCache::Demote(Handle h) {
+  Item& item = items_.EntryAt(h).value;
+  assert(TierOf(item) == CacheTier::kMemory);
+  memory_order_.Remove(PosOf(item));
+  memory_used_ -= static_cast<double>(item.size);
+  // EnsureDiskSpace only discards disk-resident items; `item`'s slab entry
+  // stays put while other keys are erased.
+  EnsureDiskSpace(static_cast<double>(item.size));
+  item.seq = next_seq_++;
+  disk_order_.Push(h);
+  disk_used_ += static_cast<double>(item.size);
   ++stats_.demotions;
 }
 
 void TieredCache::InsertDisk(Key key, double size, double benefit) {
   MutexLock lock(mu_);
-  auto it = items_.find(key);
-  if (it != items_.end()) {
-    UpdateBenefitLocked(key, benefit);
+  size = static_cast<double>(static_cast<float>(size));
+  benefit = static_cast<double>(static_cast<float>(benefit));
+  Handle h = items_.FindHandle(key);
+  if (h != Table::kNoHandle) {
+    UpdateBenefitLocked(h, benefit);
     return;
   }
   if (size > config_.disk_capacity_bytes) return;
   EnsureDiskSpace(size);
-  Item item{size, benefit, CacheTier::kDisk, {}};
-  auto [ins, ok] = items_.emplace(key, item);
-  assert(ok);
-  ins->second.order_it = disk_order_.emplace(benefit, key);
-  disk_used_ += size;
+  auto [nh, inserted] = items_.TryEmplaceHandle(key);
+  assert(inserted);
+  Item& item = items_.EntryAt(nh).value;
+  item.size = static_cast<float>(size);
+  item.benefit = static_cast<float>(benefit);
+  item.heap_pos = kNoPos;
+  item.seq = next_seq_++;
+  disk_order_.Push(nh);
+  disk_used_ += static_cast<double>(item.size);
   ++stats_.disk_insertions;
 }
 
 void TieredCache::EnsureDiskSpace(double size) {
   if (disk_used_ + size <= config_.disk_capacity_bytes) return;
-  // Discard by lowest benefit-to-size ratio (Appendix B). The order map is
-  // keyed by benefit, so scan it for the best ratio victims; the map is
-  // bounded by the disk tier's item count, and finite disk tiers are an
-  // ablation configuration, so the linear scan is acceptable.
+  // Discard by lowest benefit-to-size ratio (Appendix B). The heap is
+  // ordered by benefit, so scan it for the best ratio victim; finite disk
+  // tiers are an ablation configuration, so the linear scan is acceptable.
+  // Ties replicate the old multimap scan exactly: the winner is the
+  // lexicographic minimum of (ratio, benefit, seq).
   while (disk_used_ + size > config_.disk_capacity_bytes &&
          !disk_order_.empty()) {
-    auto best = disk_order_.begin();
-    double best_ratio = best->first / items_.at(best->second).size;
-    for (auto it2 = disk_order_.begin(); it2 != disk_order_.end(); ++it2) {
-      double ratio = it2->first / items_.at(it2->second).size;
-      if (ratio < best_ratio) {
-        best = it2;
+    const std::vector<uint32_t>& slots = disk_order_.data();
+    Handle best = slots[0];
+    const Item* bi = &items_.EntryAt(best).value;
+    double best_ratio = static_cast<double>(bi->benefit) /
+                        static_cast<double>(bi->size);
+    for (size_t i = 1; i < slots.size(); ++i) {
+      const Item& it = items_.EntryAt(slots[i]).value;
+      double ratio =
+          static_cast<double>(it.benefit) / static_cast<double>(it.size);
+      if (ratio < best_ratio ||
+          (ratio == best_ratio &&
+           (it.benefit < bi->benefit ||
+            (it.benefit == bi->benefit && it.seq < bi->seq)))) {
+        best = slots[i];
+        bi = &it;
         best_ratio = ratio;
       }
     }
-    policy_->OnEvict(best->first);
-    DiscardFromDisk(best->second);
+    policy_->OnEvict(static_cast<double>(bi->benefit));
+    DiscardFromDisk(best);
   }
 }
 
-void TieredCache::DiscardFromDisk(Key key) {
-  auto it = items_.find(key);
-  assert(it != items_.end() && it->second.tier == CacheTier::kDisk);
-  disk_order_.erase(it->second.order_it);
-  disk_used_ -= it->second.size;
-  items_.erase(it);
+void TieredCache::DiscardFromDisk(Handle h) {
+  Item& item = items_.EntryAt(h).value;
+  assert(TierOf(item) == CacheTier::kDisk);
+  disk_order_.Remove(PosOf(item));
+  disk_used_ -= static_cast<double>(item.size);
+  items_.Erase(items_.EntryAt(h).key);
   ++stats_.discards;
 }
 
@@ -221,17 +278,17 @@ void TieredCache::Invalidate(Key key) {
 }
 
 void TieredCache::InvalidateLocked(Key key) {
-  auto it = items_.find(key);
-  if (it == items_.end()) return;
-  Item& item = it->second;
-  if (item.tier == CacheTier::kMemory) {
-    memory_order_.erase(item.order_it);
-    memory_used_ -= item.size;
+  Handle h = items_.FindHandle(key);
+  if (h == Table::kNoHandle) return;
+  Item& item = items_.EntryAt(h).value;
+  if (TierOf(item) == CacheTier::kMemory) {
+    memory_order_.Remove(PosOf(item));
+    memory_used_ -= static_cast<double>(item.size);
   } else {
-    disk_order_.erase(item.order_it);
-    disk_used_ -= item.size;
+    disk_order_.Remove(PosOf(item));
+    disk_used_ -= static_cast<double>(item.size);
   }
-  items_.erase(it);
+  items_.Erase(key);
   ++stats_.invalidations;
 }
 
@@ -239,9 +296,9 @@ std::vector<Key> TieredCache::InvalidateMatching(
     const std::function<bool(Key)>& pred) {
   MutexLock lock(mu_);
   std::vector<Key> dropped;
-  for (const auto& [key, item] : items_) {
+  items_.ForEach([&](Key key, const Item&) {
     if (pred(key)) dropped.push_back(key);
-  }
+  });
   for (Key key : dropped) {
     InvalidateLocked(key);
     // InvalidateLocked counted it as an ordinary invalidation; reclassify.
@@ -253,14 +310,21 @@ std::vector<Key> TieredCache::InvalidateMatching(
 
 double TieredCache::ItemSize(Key key) const {
   MutexLock lock(mu_);
-  auto it = items_.find(key);
-  return it == items_.end() ? 0.0 : it->second.size;
+  const Item* item = items_.Find(key);
+  return item == nullptr ? 0.0 : static_cast<double>(item->size);
 }
 
 double TieredCache::MemoryMinBenefit() const {
   MutexLock lock(mu_);
-  return memory_order_.empty() ? std::numeric_limits<double>::infinity()
-                               : memory_order_.begin()->first;
+  if (memory_order_.empty()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(
+      items_.EntryAt(memory_order_.MinHandle()).value.benefit);
+}
+
+size_t TieredCache::AccountedBytes() const {
+  MutexLock lock(mu_);
+  return items_.MemoryBytes() + memory_order_.MemoryBytes() +
+         disk_order_.MemoryBytes();
 }
 
 TieredCacheStats& operator+=(TieredCacheStats& lhs,

@@ -14,23 +14,37 @@
 // Memory evictions demote to the disk tier; disk evictions (when the disk
 // tier has finite capacity) discard by benefit-to-size ratio, per Appendix B.
 //
+// Storage (DESIGN.md §14): item metadata lives in an arena-backed FlatMap
+// (6-byte probe slots + 24-byte entries), and the two benefit orders are
+// IntrusiveMinHeaps embedded in those entries — each item carries its heap
+// position inline (top bit encodes the tier), so benefit updates are one
+// O(log n) sift and eviction picks are O(1), with zero allocations. This
+// replaces one unordered_map node (~56 B overhead) plus one multimap
+// rb-tree node (~64 B) per item. Heap order is (benefit, seq) where seq is
+// refreshed on every (re)ordering, reproducing the old multimap's
+// FIFO-among-equal-benefits semantics exactly (seq wraps after 2^32
+// reorderings; the tie-break is momentarily scrambled, nothing else).
+//
 // Thread safety: every public method locks the cache's internal mutex
 // (rank kTieredCache, a leaf under the owning invoker shard's lock), so
 // the cache is safe against the cross-thread callers it now has — the
 // subscriber re-sync path and the reactor backend's Notify flow control
 // both reach InvalidateMatching/Invalidate from non-shard threads. The
 // BenefitPolicy is consulted under the lock and must not call back in.
+// The arena and both heaps are guarded by the same mutex.
 #ifndef JOINOPT_CACHE_TIERED_CACHE_H_
 #define JOINOPT_CACHE_TIERED_CACHE_H_
 
+#include <cstdint>
 #include <functional>
 #include <limits>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "joinopt/cache/policy.h"
+#include "joinopt/common/arena.h"
+#include "joinopt/common/flat_map.h"
 #include "joinopt/common/hash.h"
+#include "joinopt/common/intrusive_heap.h"
 #include "joinopt/common/lock_ranks.h"
 #include "joinopt/common/sync.h"
 
@@ -49,6 +63,10 @@ struct TieredCacheConfig {
   /// Use Algorithm 2 (uniform sizes) instead of Algorithm 3. Only valid if
   /// every inserted item has the same size.
   bool uniform_item_size = false;
+  /// Expected resident item count: pre-reserves the metadata table and
+  /// both eviction heaps so warmup sees no rehash storm. 0 = grow on
+  /// demand.
+  size_t expected_items = 0;
 };
 
 struct TieredCacheStats {
@@ -140,17 +158,53 @@ class TieredCache {
   }
   const TieredCacheConfig& config() const { return config_; }
 
+  /// Accounted bytes of per-item storage (probe table + entry slabs +
+  /// the two heap arrays).
+  size_t AccountedBytes() const;
+
  private:
+  /// Top bit of heap_pos: set while the item sits in the disk heap.
+  static constexpr uint32_t kDiskBit = 0x80000000u;
+  static constexpr uint32_t kNoPos = 0xFFFFFFFFu;
+
   struct Item {
-    double size;
-    double benefit;
-    CacheTier tier;
-    std::multimap<double, Key>::iterator order_it;
+    float size;
+    float benefit;
+    uint32_t heap_pos;  // position | (kDiskBit if disk tier)
+    uint32_t seq;       // FIFO tie-break among equal benefits
   };
-  using OrderMap = std::multimap<double, Key>;  // ascending benefit
+  using Table = FlatMap<Item>;
+  using Handle = Table::Handle;
+
+  /// Binds one eviction heap to the item table: order by (benefit, seq),
+  /// store positions inline tagged with the heap's tier bit.
+  struct OrderAdapter {
+    const Table* table;
+    uint32_t tier_bit;
+    bool Less(uint32_t a, uint32_t b) const {
+      const Item& x = table->EntryAt(a).value;
+      const Item& y = table->EntryAt(b).value;
+      if (x.benefit != y.benefit) return x.benefit < y.benefit;
+      return x.seq < y.seq;
+    }
+    void SetPos(uint32_t handle, uint32_t pos) const {
+      const_cast<Table*>(table)->EntryAt(handle).value.heap_pos =
+          pos == kNoPos ? kNoPos : (pos | tier_bit);
+    }
+  };
+  using OrderHeap = IntrusiveMinHeap<OrderAdapter>;
+
+  CacheTier TierOf(const Item& item) const {
+    return (item.heap_pos & kDiskBit) != 0 ? CacheTier::kDisk
+                                           : CacheTier::kMemory;
+  }
+  OrderHeap& HeapOf(const Item& item) JOINOPT_REQUIRES(mu_) {
+    return TierOf(item) == CacheTier::kMemory ? memory_order_ : disk_order_;
+  }
+  uint32_t PosOf(const Item& item) const { return item.heap_pos & ~kDiskBit; }
 
   CacheTier PeekLocked(Key key) const JOINOPT_REQUIRES(mu_);
-  void UpdateBenefitLocked(Key key, double benefit) JOINOPT_REQUIRES(mu_);
+  void UpdateBenefitLocked(Handle h, double benefit) JOINOPT_REQUIRES(mu_);
   void InvalidateLocked(Key key) JOINOPT_REQUIRES(mu_);
 
   bool CondCacheUniform(Key key, double size, double benefit, bool insert)
@@ -159,9 +213,9 @@ class TieredCache {
       JOINOPT_REQUIRES(mu_);
 
   /// Moves an existing memory item to the disk tier.
-  void Demote(Key key) JOINOPT_REQUIRES(mu_);
+  void Demote(Handle h) JOINOPT_REQUIRES(mu_);
   /// Removes an item from the disk tier entirely.
-  void DiscardFromDisk(Key key) JOINOPT_REQUIRES(mu_);
+  void DiscardFromDisk(Handle h) JOINOPT_REQUIRES(mu_);
   /// Frees disk space for `size` bytes by discarding lowest benefit/size
   /// ratio items.
   void EnsureDiskSpace(double size) JOINOPT_REQUIRES(mu_);
@@ -172,9 +226,12 @@ class TieredCache {
   TieredCacheConfig config_;
   BenefitPolicy* policy_;  ///< consulted under mu_; must not reenter
   mutable Mutex mu_{lock_rank::kTieredCache, "TieredCache::mu_"};
-  std::unordered_map<Key, Item> items_ JOINOPT_GUARDED_BY(mu_);
-  OrderMap memory_order_ JOINOPT_GUARDED_BY(mu_);
-  OrderMap disk_order_ JOINOPT_GUARDED_BY(mu_);
+  // arena_ is declared before the table so it is destroyed after it.
+  Arena arena_ JOINOPT_GUARDED_BY(mu_);
+  Table items_ JOINOPT_GUARDED_BY(mu_);
+  OrderHeap memory_order_ JOINOPT_GUARDED_BY(mu_);
+  OrderHeap disk_order_ JOINOPT_GUARDED_BY(mu_);
+  uint32_t next_seq_ JOINOPT_GUARDED_BY(mu_) = 0;
   double memory_used_ JOINOPT_GUARDED_BY(mu_) = 0.0;
   double disk_used_ JOINOPT_GUARDED_BY(mu_) = 0.0;
   TieredCacheStats stats_ JOINOPT_GUARDED_BY(mu_);

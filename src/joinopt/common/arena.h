@@ -1,0 +1,129 @@
+// Slab arena for per-key container storage (DESIGN.md §14). The compact
+// per-key structures (FlatMap probe arrays, dense entry slabs, see
+// flat_map.h) draw their memory from one of these instead of malloc:
+//
+//  * allocations bump out of large chunks (1 MB by default), so a table's
+//    entries land contiguously instead of interleaving with unrelated heap
+//    traffic — bytes/key is what we account, cache lines are what we win;
+//  * freed blocks go into exact-size bins and are handed back verbatim on
+//    the next same-size request. The only blocks the per-key containers
+//    ever free are probe arrays replaced on growth, whose sizes repeat
+//    across tables sharing the arena (all are pow2 slot counts times a
+//    fixed slot width), so exact-size recycling wastes nothing and the
+//    arena never needs a general-purpose free list;
+//  * chunks are released to the OS only on destruction. An arena's
+//    footprint is monotone, which keeps RSS-derived bytes/key honest.
+//
+// Thread safety: none. An Arena and every container drawing from it must
+// be externally synchronized under one lock (the invoker shard lock for a
+// DecisionEngine's arena, TieredCache::mu_ for the cache's). The arena
+// must outlive the containers using it.
+#ifndef JOINOPT_COMMON_ARENA_H_
+#define JOINOPT_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace joinopt {
+
+class Arena {
+ public:
+  struct Stats {
+    size_t reserved_bytes = 0;   ///< sum of chunk sizes obtained from ::new
+    size_t allocated_bytes = 0;  ///< live bytes handed out (net of frees)
+    size_t chunks = 0;
+  };
+
+  explicit Arena(size_t chunk_bytes = 1 << 20) : chunk_bytes_(chunk_bytes) {
+    assert(chunk_bytes >= 4096);
+  }
+  ~Arena() {
+    for (const Chunk& c : chunks_) {
+      ::operator delete(c.base, std::align_val_t(kChunkAlign));
+    }
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two, <= 64).
+  /// `bytes` == 0 returns a non-null unique-ish pointer like operator new.
+  void* Allocate(size_t bytes, size_t align = 8) {
+    assert(align > 0 && (align & (align - 1)) == 0 && align <= kChunkAlign);
+    if (bytes == 0) bytes = 1;
+    // Exact-size recycling first: growth sequences re-request old sizes.
+    for (Bin& bin : bins_) {
+      if (bin.size == bytes && bin.head != nullptr) {
+        void* p = bin.head;
+        bin.head = *static_cast<void**>(bin.head);
+        stats_.allocated_bytes += bytes;
+        return p;
+      }
+    }
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      NewChunk(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    stats_.allocated_bytes += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Recycles a block previously returned by Allocate with the same size.
+  /// The block is kept for reuse; the OS sees nothing until destruction.
+  void Free(void* ptr, size_t bytes) {
+    if (ptr == nullptr) return;
+    if (bytes == 0) bytes = 1;
+    assert(stats_.allocated_bytes >= bytes);
+    stats_.allocated_bytes -= bytes;
+    if (bytes < sizeof(void*)) return;  // too small to chain; leak into slab
+    for (Bin& bin : bins_) {
+      if (bin.size == bytes) {
+        *static_cast<void**>(ptr) = bin.head;
+        bin.head = ptr;
+        return;
+      }
+    }
+    bins_.push_back(Bin{bytes, nullptr});
+    *static_cast<void**>(ptr) = nullptr;
+    bins_.back().head = ptr;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kChunkAlign = 64;  // cache-line aligned chunks
+
+  struct Chunk {
+    void* base;
+    size_t bytes;
+  };
+  struct Bin {
+    size_t size;
+    void* head;  // singly linked through the blocks themselves
+  };
+
+  void NewChunk(size_t min_bytes) {
+    size_t bytes = min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+    void* base = ::operator new(bytes, std::align_val_t(kChunkAlign));
+    chunks_.push_back(Chunk{base, bytes});
+    cursor_ = reinterpret_cast<uintptr_t>(base);
+    limit_ = cursor_ + bytes;
+    stats_.reserved_bytes += bytes;
+    ++stats_.chunks;
+  }
+
+  size_t chunk_bytes_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  std::vector<Chunk> chunks_;
+  std::vector<Bin> bins_;  // few distinct sizes in practice; linear scan
+  Stats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_ARENA_H_

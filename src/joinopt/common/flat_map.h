@@ -1,0 +1,424 @@
+// Compact open-addressing hash table for per-key runtime state
+// (DESIGN.md §14). Every hot-path map in the decision engine — ski-rental
+// metadata, frequency-sketch entries, cached-item metadata — keys on the
+// same 64-bit Key and used to be a std::unordered_map: one heap node and
+// one pointer hop per key, ~56 bytes of overhead each. FlatMap replaces
+// that with:
+//
+//  * a robin-hood probe table of power-of-two capacity. Each slot costs
+//    6 bytes across two parallel arrays: a 2-byte meta word (probe
+//    distance << 8 | 8-bit key fingerprint; distance 0 = empty) scanned
+//    32 slots per cache line, and a 4-byte entry handle touched only on a
+//    fingerprint match. Deletion is backward-shift (tombstone-free: the
+//    following displaced run moves one slot back), so deletion-heavy
+//    workloads never degrade probe lengths;
+//  * dense entries ({Key, V} pairs) in fixed-size slabs drawn from an
+//    Arena. Entries never move — growth rehashes only the 6-byte probe
+//    slots — so the uint32 handle of an entry is stable for its lifetime
+//    and intrusive indexes (see intrusive_heap.h) can point at entries
+//    across rehashes. Freed handles are recycled LIFO.
+//
+// The probe hash is Mix64 from common/hash.h over (key ^ seed); pass
+// distinct seeds to tables that would otherwise see correlated probe
+// orders.
+//
+// Guarantees callers rely on:
+//  * V* / Entry& / handles stay valid until that key is erased (or Clear).
+//  * EraseIf sweeps in place: survivors are never re-bucketed, no
+//    allocation happens, and the predicate (which must be pure) sees every
+//    entry at least once.
+//  * Reserve(n) guarantees no rehash before size() exceeds n.
+//
+// Not thread-safe; externally synchronized like the structures it backs.
+#ifndef JOINOPT_COMMON_FLAT_MAP_H_
+#define JOINOPT_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "joinopt/common/arena.h"
+#include "joinopt/common/hash.h"
+
+namespace joinopt {
+
+template <typename V>
+class FlatMap {
+ public:
+  using Handle = uint32_t;
+  static constexpr Handle kNoHandle = 0xFFFFFFFFu;
+
+  struct Entry {
+    Key key;
+    V value;
+  };
+
+  /// `arena` (optional, must outlive the map) supplies probe arrays and
+  /// entry slabs; nullptr falls back to operator new. `seed` perturbs the
+  /// probe hash.
+  explicit FlatMap(Arena* arena = nullptr, uint64_t seed = 0)
+      : arena_(arena), seed_(seed) {}
+
+  ~FlatMap() { ReleaseAll(); }
+
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+
+  /// Max load factor, clamped to [0.25, 0.95]. Must be set before the
+  /// first insert or Reserve.
+  void set_max_load_factor(double f) {
+    assert(capacity_ == 0);
+    if (f < 0.25) f = 0.25;
+    if (f > 0.95) f = 0.95;
+    max_load_ = f;
+  }
+  double max_load_factor() const { return max_load_; }
+
+  /// Pre-sizes the probe table for `n` keys: no rehash happens until
+  /// size() exceeds n.
+  void Reserve(size_t n) {
+    if (n == 0) return;
+    size_t want = NormalizeCapacity(n);
+    if (want > capacity_) Rehash(want);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Probe-slot count (power of two; 0 before the first insert/Reserve).
+  size_t capacity() const { return capacity_; }
+
+  V* Find(Key key) {
+    Handle h = FindHandle(key);
+    return h == kNoHandle ? nullptr : &EntryAt(h).value;
+  }
+  const V* Find(Key key) const {
+    Handle h = FindHandle(key);
+    return h == kNoHandle ? nullptr : &EntryAt(h).value;
+  }
+
+  Handle FindHandle(Key key) const {
+    if (size_ == 0) return kNoHandle;
+    uint64_t hash = Mix64(key ^ seed_);
+    size_t i = hash & mask_;
+    uint16_t fp = Fingerprint(hash);
+    for (uint16_t dist = 1;; ++dist, i = (i + 1) & mask_) {
+      uint16_t m = meta_[i];
+      if ((m >> 8) < dist) return kNoHandle;  // empty or richer slot: absent
+      if ((m >> 8) == dist && (m & 0xFF) == fp) {
+        Handle h = handles_[i];
+        if (EntryAt(h).key == key) return h;
+      }
+    }
+  }
+
+  Entry& EntryAt(Handle h) { return slabs_[h >> kSlabShift][h & kSlabMask]; }
+  const Entry& EntryAt(Handle h) const {
+    return slabs_[h >> kSlabShift][h & kSlabMask];
+  }
+
+  /// Inserts `key` with a default-constructed value if absent. Returns
+  /// the value slot and whether it was inserted.
+  std::pair<V*, bool> TryEmplace(Key key) {
+    auto [h, inserted] = TryEmplaceHandle(key);
+    return {&EntryAt(h).value, inserted};
+  }
+
+  std::pair<Handle, bool> TryEmplaceHandle(Key key) {
+    if (capacity_ == 0 || size_ + 1 > grow_at_) {
+      Rehash(NormalizeCapacity(size_ + 1));
+    }
+    for (;;) {
+      uint64_t hash = Mix64(key ^ seed_);
+      size_t i = hash & mask_;
+      uint16_t fp = Fingerprint(hash);
+      uint16_t dist = 1;
+      // Probe until the key is found, or until its placement slot (the
+      // first slot whose resident sits at least as close to home).
+      for (; dist <= kMaxDist; ++dist, i = (i + 1) & mask_) {
+        uint16_t m = meta_[i];
+        if ((m >> 8) < dist) break;
+        if ((m >> 8) == dist && (m & 0xFF) == fp) {
+          Handle h = handles_[i];
+          if (EntryAt(h).key == key) return {h, false};
+        }
+      }
+      if (dist > kMaxDist) {  // pathological clustering: grow and retry
+        Rehash(capacity_ * 2);
+        continue;
+      }
+      Handle h = NewEntry(key);
+      if (!InsertDisplacing(i, static_cast<uint16_t>((dist << 8) | fp), h)) {
+        // The displacement chain overflowed; the leftover entry sits in
+        // overflow_ and Rehash folds it back in. `h` stays valid.
+        Rehash(capacity_ * 2);
+      }
+      ++size_;
+      return {h, true};
+    }
+  }
+
+  bool Erase(Key key) {
+    if (size_ == 0) return false;
+    uint64_t hash = Mix64(key ^ seed_);
+    size_t i = hash & mask_;
+    uint16_t fp = Fingerprint(hash);
+    for (uint16_t dist = 1;; ++dist, i = (i + 1) & mask_) {
+      uint16_t m = meta_[i];
+      if ((m >> 8) < dist) return false;
+      if ((m >> 8) == dist && (m & 0xFF) == fp &&
+          EntryAt(handles_[i]).key == key) {
+        EraseSlot(i);
+        return true;
+      }
+    }
+  }
+
+  /// Visits every entry as fn(Key, V&) (const overload: fn(Key, const
+  /// V&)). Iteration order is probe-table order. Must not insert or erase.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (meta_[i] != 0) {
+        Entry& e = EntryAt(handles_[i]);
+        fn(e.key, e.value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (meta_[i] != 0) {
+        const Entry& e = EntryAt(handles_[i]);
+        fn(e.key, e.value);
+      }
+    }
+  }
+
+  /// Erases every entry for which pred(Key, V&) returns true, in one
+  /// in-place backward-shift sweep: no allocation, survivors are never
+  /// re-bucketed (their handles and V* remain valid). `pred` must be pure
+  /// — a shifted survivor can be re-tested. Returns the erase count.
+  template <typename Pred>
+  size_t EraseIf(Pred&& pred) {
+    size_t erased = 0;
+    for (size_t i = 0; i < capacity_; ++i) {
+      while (meta_[i] != 0) {
+        Entry& e = EntryAt(handles_[i]);
+        if (!pred(e.key, e.value)) break;
+        EraseSlot(i);  // backward shift may pull the next entry into i
+        ++erased;
+      }
+    }
+    return erased;
+  }
+
+  void Clear() {
+    ReleaseAll();
+    meta_ = nullptr;
+    handles_ = nullptr;
+    capacity_ = 0;
+    mask_ = 0;
+    grow_at_ = 0;
+    size_ = 0;
+    next_handle_ = 0;
+    slabs_.clear();
+    free_handles_.clear();
+  }
+
+  /// Accounted footprint: probe arrays + entry slabs + handle freelist.
+  size_t MemoryBytes() const {
+    return capacity_ * (sizeof(uint16_t) + sizeof(Handle)) +
+           slabs_.size() * kSlabEntries * sizeof(Entry) +
+           slabs_.capacity() * sizeof(Entry*) +
+           free_handles_.capacity() * sizeof(Handle);
+  }
+
+ private:
+  static constexpr uint16_t kMaxDist = 255;
+  static constexpr size_t kSlabShift = 12;  // 4096 entries per slab
+  static constexpr size_t kSlabEntries = size_t{1} << kSlabShift;
+  static constexpr size_t kSlabMask = kSlabEntries - 1;
+
+  static uint16_t Fingerprint(uint64_t hash) {
+    return static_cast<uint16_t>((hash >> 56) & 0xFF);
+  }
+
+  size_t NormalizeCapacity(size_t n) const {
+    size_t want = 16;
+    while (static_cast<double>(want) * max_load_ < static_cast<double>(n)) {
+      want <<= 1;
+    }
+    return want;
+  }
+
+  void* Alloc(size_t bytes, size_t align) {
+    if (arena_ != nullptr) return arena_->Allocate(bytes, align);
+    return ::operator new(bytes, std::align_val_t(align));
+  }
+  void Dealloc(void* p, size_t bytes, size_t align) {
+    if (p == nullptr) return;
+    if (arena_ != nullptr) {
+      arena_->Free(p, bytes);
+    } else {
+      ::operator delete(p, std::align_val_t(align));
+    }
+  }
+
+  Handle NewEntry(Key key) {
+    Handle h;
+    if (!free_handles_.empty()) {
+      h = free_handles_.back();
+      free_handles_.pop_back();
+    } else {
+      h = next_handle_++;
+      if ((h >> kSlabShift) >= slabs_.size()) {
+        void* slab = Alloc(kSlabEntries * sizeof(Entry), alignof(Entry));
+        slabs_.push_back(static_cast<Entry*>(slab));
+      }
+    }
+    Entry& e = EntryAt(h);
+    e.key = key;
+    ::new (static_cast<void*>(&e.value)) V();
+    return h;
+  }
+
+  /// Robin-hood insertion of (meta, handle) starting at slot i (the
+  /// placement slot the caller probed to), displacing poorer residents.
+  /// Returns false if the displacement chain exceeded kMaxDist: the
+  /// carried leftover entry is pushed to overflow_ and the caller must
+  /// Rehash (which drains overflow_). Never allocates.
+  bool InsertDisplacing(size_t i, uint16_t meta, Handle handle) {
+    for (;;) {
+      uint16_t m = meta_[i];
+      if (m == 0) {
+        meta_[i] = meta;
+        handles_[i] = handle;
+        return true;
+      }
+      if ((m >> 8) < (meta >> 8)) {  // displace the richer-placed resident
+        std::swap(meta_[i], meta);
+        std::swap(handles_[i], handle);
+      }
+      meta += 0x100;  // one slot further from home
+      if ((meta >> 8) > kMaxDist) {
+        overflow_.push_back(handle);
+        return false;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void EraseSlot(size_t i) {
+    free_handles_.push_back(handles_[i]);
+    EntryAt(handles_[i]).value.~V();
+    // Backward shift: move the following displaced run one slot closer to
+    // home, stopping at an empty or already-home (dist 1) slot. At least
+    // one empty slot always exists (max load < 1), so this terminates.
+    for (;;) {
+      size_t next = (i + 1) & mask_;
+      uint16_t m = meta_[next];
+      if ((m >> 8) <= 1) {
+        meta_[i] = 0;
+        break;
+      }
+      meta_[i] = m - 0x100;
+      handles_[i] = handles_[next];
+      i = next;
+    }
+    --size_;
+  }
+
+  /// Rebuilds the probe table at `new_capacity` slots (doubling further if
+  /// placement overflows, which Mix64 makes effectively impossible but
+  /// termination must not depend on hash quality). Entries never move;
+  /// only the 6-byte probe slots are rebuilt. Any handles parked in
+  /// overflow_ (mid-insert overflow) are folded back in.
+  void Rehash(size_t new_capacity) {
+    uint16_t* old_meta = meta_;
+    Handle* old_handles = handles_;
+    size_t old_capacity = capacity_;
+    // The immutable source set for (re)placement: the old probe table plus
+    // entries carried out of an overflowed insert. A failed attempt leaves
+    // both untouched, so retries replay the full set.
+    std::vector<Handle> extra = std::move(overflow_);
+    overflow_.clear();
+
+    for (;;) {
+      meta_ = static_cast<uint16_t*>(
+          Alloc(new_capacity * sizeof(uint16_t), alignof(uint64_t)));
+      std::memset(meta_, 0, new_capacity * sizeof(uint16_t));
+      handles_ = static_cast<Handle*>(
+          Alloc(new_capacity * sizeof(Handle), alignof(uint64_t)));
+      capacity_ = new_capacity;
+      mask_ = new_capacity - 1;
+      grow_at_ =
+          static_cast<size_t>(static_cast<double>(new_capacity) * max_load_);
+
+      bool ok = true;
+      for (size_t i = 0; i < old_capacity && ok; ++i) {
+        if (old_meta[i] != 0) ok = ReinsertForRehash(old_handles[i]);
+      }
+      for (size_t j = 0; j < extra.size() && ok; ++j) {
+        ok = ReinsertForRehash(extra[j]);
+      }
+      if (ok) break;
+      // Some entry could not be placed: discard this attempt entirely and
+      // retry larger from the same immutable source set.
+      overflow_.clear();
+      Dealloc(meta_, new_capacity * sizeof(uint16_t), alignof(uint64_t));
+      Dealloc(handles_, new_capacity * sizeof(Handle), alignof(uint64_t));
+      new_capacity *= 2;
+    }
+    Dealloc(old_meta, old_capacity * sizeof(uint16_t), alignof(uint64_t));
+    Dealloc(old_handles, old_capacity * sizeof(Handle), alignof(uint64_t));
+  }
+
+  /// Places an existing entry's handle during rehash (keys are unique, so
+  /// no equality probing). Returns false on placement overflow.
+  bool ReinsertForRehash(Handle h) {
+    uint64_t hash = Mix64(EntryAt(h).key ^ seed_);
+    size_t i = hash & mask_;
+    uint16_t dist = 1;
+    for (; dist <= kMaxDist; ++dist, i = (i + 1) & mask_) {
+      if ((meta_[i] >> 8) < dist) break;
+    }
+    if (dist > kMaxDist) return false;
+    return InsertDisplacing(
+        i, static_cast<uint16_t>((dist << 8) | Fingerprint(hash)), h);
+  }
+
+  void ReleaseAll() {
+    if constexpr (!std::is_trivially_destructible_v<V>) {
+      for (size_t i = 0; i < capacity_; ++i) {
+        if (meta_[i] != 0) EntryAt(handles_[i]).value.~V();
+      }
+    }
+    Dealloc(meta_, capacity_ * sizeof(uint16_t), alignof(uint64_t));
+    Dealloc(handles_, capacity_ * sizeof(Handle), alignof(uint64_t));
+    for (Entry* slab : slabs_) {
+      Dealloc(slab, kSlabEntries * sizeof(Entry), alignof(Entry));
+    }
+  }
+
+  Arena* arena_;
+  uint64_t seed_;
+  double max_load_ = 0.875;
+  uint16_t* meta_ = nullptr;   ///< dist<<8 | fp; 0 = empty
+  Handle* handles_ = nullptr;  ///< parallel to meta_
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t grow_at_ = 0;
+  size_t size_ = 0;
+  Handle next_handle_ = 0;
+  std::vector<Entry*> slabs_;
+  std::vector<Handle> free_handles_;
+  std::vector<Handle> overflow_;  ///< carried entries during forced growth
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_FLAT_MAP_H_

@@ -1,0 +1,128 @@
+// Index-tracking binary min-heap over FlatMap entry handles
+// (DESIGN.md §14). Replaces the std::multimap ordering indexes
+// (TieredCache's benefit order, SpaceSaving's count order): instead of a
+// 64-byte red-black node per key, the heap is one flat uint32 array and
+// each entry carries its own heap position inline, so reorder-on-update
+// is O(log n) with zero allocations and erase-by-entry is O(log n)
+// without a lookup.
+//
+// The Adapter binds the heap to its owning table:
+//
+//   struct Adapter {
+//     bool Less(uint32_t a, uint32_t b) const;   // strict weak order
+//     void SetPos(uint32_t handle, uint32_t pos) const;  // store backref
+//   };
+//
+// SetPos is called for every placement, including during sift; an
+// entry's stored position is always current once the mutating call
+// returns. To reproduce multimap FIFO-among-equal-keys iteration order,
+// make Less tie-break on a monotonically assigned per-entry sequence
+// number (see TieredCache::Item::seq).
+//
+// Not thread-safe; externally synchronized with the table it indexes.
+#ifndef JOINOPT_COMMON_INTRUSIVE_HEAP_H_
+#define JOINOPT_COMMON_INTRUSIVE_HEAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace joinopt {
+
+template <typename Adapter>
+class IntrusiveMinHeap {
+ public:
+  using Handle = uint32_t;
+  static constexpr uint32_t kNoPos = 0xFFFFFFFFu;
+
+  explicit IntrusiveMinHeap(Adapter adapter = Adapter{})
+      : adapter_(adapter) {}
+
+  size_t size() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
+  void Reserve(size_t n) { slots_.reserve(n); }
+
+  /// Heap array in heap order (slot 0 = min). Read-only: for scans and
+  /// non-mutating k-smallest traversals.
+  const std::vector<Handle>& data() const { return slots_; }
+
+  Handle MinHandle() const {
+    assert(!slots_.empty());
+    return slots_[0];
+  }
+
+  void Push(Handle h) {
+    slots_.push_back(h);
+    SiftUp(static_cast<uint32_t>(slots_.size() - 1));
+  }
+
+  /// Removes the min entry. The caller still holds its handle.
+  void Pop() { Remove(0); }
+
+  /// Removes the entry at `pos` (its stored heap position).
+  void Remove(uint32_t pos) {
+    assert(pos < slots_.size());
+    uint32_t last = static_cast<uint32_t>(slots_.size() - 1);
+    adapter_.SetPos(slots_[pos], kNoPos);
+    if (pos != last) {
+      slots_[pos] = slots_[last];
+      slots_.pop_back();
+      Update(pos);
+    } else {
+      slots_.pop_back();
+    }
+  }
+
+  /// Restores heap order after the entry at `pos` changed its key.
+  void Update(uint32_t pos) {
+    assert(pos < slots_.size());
+    if (pos > 0 && adapter_.Less(slots_[pos], slots_[(pos - 1) / 2])) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
+
+  void Clear() { slots_.clear(); }
+
+  size_t MemoryBytes() const { return slots_.capacity() * sizeof(Handle); }
+
+ private:
+  void SiftUp(uint32_t pos) {
+    Handle h = slots_[pos];
+    while (pos > 0) {
+      uint32_t parent = (pos - 1) / 2;
+      if (!adapter_.Less(h, slots_[parent])) break;
+      slots_[pos] = slots_[parent];
+      adapter_.SetPos(slots_[pos], pos);
+      pos = parent;
+    }
+    slots_[pos] = h;
+    adapter_.SetPos(h, pos);
+  }
+
+  void SiftDown(uint32_t pos) {
+    Handle h = slots_[pos];
+    uint32_t n = static_cast<uint32_t>(slots_.size());
+    for (;;) {
+      uint32_t child = 2 * pos + 1;
+      if (child >= n) break;
+      if (child + 1 < n && adapter_.Less(slots_[child + 1], slots_[child])) {
+        ++child;
+      }
+      if (!adapter_.Less(slots_[child], h)) break;
+      slots_[pos] = slots_[child];
+      adapter_.SetPos(slots_[pos], pos);
+      pos = child;
+    }
+    slots_[pos] = h;
+    adapter_.SetPos(h, pos);
+  }
+
+  Adapter adapter_;
+  std::vector<Handle> slots_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_COMMON_INTRUSIVE_HEAP_H_

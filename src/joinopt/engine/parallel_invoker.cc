@@ -35,6 +35,19 @@ ParallelInvoker::ParallelInvoker(DataService* service, UserFn fn,
   if (std::isfinite(per_shard.cache.disk_capacity_bytes)) {
     per_shard.cache.disk_capacity_bytes /= shards;
   }
+  // Keys hash-distribute evenly across shards, so each shard's per-key
+  // tables pre-reserve an even slice of the expected key universe (rounded
+  // up so the slices still cover it).
+  auto shard_slice = [shards](size_t n) {
+    return (n + static_cast<size_t>(shards) - 1) / static_cast<size_t>(shards);
+  };
+  if (per_shard.expected_keys > 0) {
+    per_shard.expected_keys = shard_slice(per_shard.expected_keys);
+  }
+  if (per_shard.cache.expected_items > 0) {
+    per_shard.cache.expected_items =
+        shard_slice(per_shard.cache.expected_items);
+  }
   size_t per_shard_results =
       options_.max_unclaimed_results == 0
           ? 0

@@ -35,6 +35,10 @@ class FrequencyCounter {
 
   /// Total observations so far.
   virtual int64_t TotalObservations() const = 0;
+
+  /// Accounted bytes of per-key storage (0 when the implementation does
+  /// not track it). Used by the keyspace-scale bench's bytes/key report.
+  virtual size_t MemoryBytes() const { return 0; }
 };
 
 }  // namespace joinopt

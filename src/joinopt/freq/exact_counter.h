@@ -1,31 +1,45 @@
 // Exact per-key counter: the oracle against which the approximate counters
-// are tested, and an ablation option for small key domains.
+// are tested, and an ablation option for small key domains. Stored in a
+// FlatMap (DESIGN.md §14): 6-byte probe slots + 16-byte {key, count}
+// entries instead of one unordered_map node per key.
 #ifndef JOINOPT_FREQ_EXACT_COUNTER_H_
 #define JOINOPT_FREQ_EXACT_COUNTER_H_
 
-#include <unordered_map>
+#include <cstdint>
 
+#include "joinopt/common/arena.h"
+#include "joinopt/common/flat_map.h"
 #include "joinopt/freq/counter.h"
 
 namespace joinopt {
 
 class ExactCounter : public FrequencyCounter {
  public:
+  /// `expected_keys` pre-reserves the table (0 = grow on demand); `arena`
+  /// (optional, must outlive the counter) backs the table's storage.
+  explicit ExactCounter(size_t expected_keys = 0, Arena* arena = nullptr)
+      : counts_(arena, /*seed=*/0x3ad9c06fu) {
+    if (expected_keys > 0) counts_.Reserve(expected_keys);
+  }
+
   int64_t Observe(Key key) override {
     ++n_;
-    return ++counts_[key];
+    return ++*counts_.TryEmplace(key).first;
   }
   int64_t EstimatedCount(Key key) const override {
-    auto it = counts_.find(key);
-    return it == counts_.end() ? 0 : it->second;
+    const int64_t* c = counts_.Find(key);
+    return c == nullptr ? 0 : *c;
   }
-  void ResetKey(Key key) override { counts_[key] = 0; }
+  void ResetKey(Key key) override { *counts_.TryEmplace(key).first = 0; }
   size_t TrackedKeys() const override { return counts_.size(); }
   int64_t TotalObservations() const override { return n_; }
 
+  /// Accounted bytes of per-key storage (probe table + entry slabs).
+  size_t MemoryBytes() const override { return counts_.MemoryBytes(); }
+
  private:
   int64_t n_ = 0;
-  std::unordered_map<Key, int64_t> counts_;
+  FlatMap<int64_t> counts_;
 };
 
 }  // namespace joinopt

@@ -2,61 +2,68 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace joinopt {
 
-LossyCounting::LossyCounting(double epsilon) : epsilon_(epsilon) {
+namespace {
+constexpr uint32_t kSaturated = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+LossyCounting::LossyCounting(double epsilon, size_t expected_keys,
+                             Arena* arena)
+    : epsilon_(epsilon), entries_(arena, /*seed=*/0x1c5f4a9bu) {
   assert(epsilon > 0.0 && epsilon < 1.0);
   width_ = static_cast<int64_t>(std::ceil(1.0 / epsilon));
+  if (expected_keys > 0) entries_.Reserve(expected_keys);
 }
 
 int64_t LossyCounting::Observe(Key key) {
   ++n_;
-  int64_t count;
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    count = ++it->second.count;
-  } else {
-    entries_.emplace(key, Entry{1, bucket_ - 1});
-    count = 1;
+  auto [e, inserted] = entries_.TryEmplace(key);
+  if (inserted) {
+    e->count = 1;
+    e->delta = static_cast<uint32_t>(bucket_ - 1);
+  } else if (e->count != kSaturated) {
+    ++e->count;
   }
+  int64_t count = e->count;
   MaybePrune();
   return count;
 }
 
 void LossyCounting::MaybePrune() {
   if (n_ % width_ != 0) return;
-  // Bucket boundary: advance and prune low-count entries.
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.count + it->second.delta <= bucket_) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Bucket boundary: advance and prune low-count entries in one in-place
+  // backward-shift sweep — survivors keep their slots (no re-bucketing).
+  uint64_t bucket = static_cast<uint64_t>(bucket_);
+  entries_.EraseIf([bucket](Key, const Entry& e) {
+    return uint64_t{e.count} + uint64_t{e.delta} <= bucket;
+  });
   ++bucket_;
 }
 
 int64_t LossyCounting::EstimatedCount(Key key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? 0 : it->second.count;
+  const Entry* e = entries_.Find(key);
+  return e == nullptr ? 0 : e->count;
 }
 
 void LossyCounting::ResetKey(Key key) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  Entry* e = entries_.Find(key);
+  if (e != nullptr) {
     // Re-inserting as a fresh item of the current bucket: the next prune can
     // evict it unless it becomes frequent again.
-    it->second.count = 0;
-    it->second.delta = bucket_ - 1;
+    e->count = 0;
+    e->delta = static_cast<uint32_t>(bucket_ - 1);
   }
 }
 
 std::vector<Key> LossyCounting::FrequentKeys(int64_t threshold) const {
   std::vector<Key> out;
-  for (const auto& [key, e] : entries_) {
-    if (e.count >= threshold) out.push_back(key);
-  }
+  out.reserve(entries_.size());
+  entries_.ForEach([&](Key key, const Entry& e) {
+    if (int64_t{e.count} >= threshold) out.push_back(key);
+  });
   return out;
 }
 

@@ -4,12 +4,22 @@
 // id are pruned. Guarantees: estimated count underestimates the true count by
 // at most epsilon * N, and at most O((1/epsilon) log(epsilon N)) keys are
 // tracked.
+//
+// Storage (DESIGN.md §14): entries live in a FlatMap — 6-byte probe slots
+// plus an 8-byte packed {count, delta} payload per tracked key — and
+// MaybePrune is an in-place backward-shift sweep (FlatMap::EraseIf), so a
+// bucket boundary never re-buckets survivors or allocates. Counts and
+// deltas are uint32 and saturate at ~4.29e9; at that magnitude the epsilon
+// bound on a single key is long since moot (delta only ever holds bucket
+// ids, which reach 2^32 only after width * 2^32 observations).
 #ifndef JOINOPT_FREQ_LOSSY_COUNTING_H_
 #define JOINOPT_FREQ_LOSSY_COUNTING_H_
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
+#include "joinopt/common/arena.h"
+#include "joinopt/common/flat_map.h"
 #include "joinopt/freq/counter.h"
 
 namespace joinopt {
@@ -21,7 +31,11 @@ class LossyCounting : public FrequencyCounter {
   /// frequency crosses the ski-rental threshold, so epsilon should be below
   /// threshold / expected stream length; 1e-4 is a safe default for the
   /// workloads here.
-  explicit LossyCounting(double epsilon = 1e-4);
+  ///
+  /// `expected_keys` pre-reserves the table (0 = grow on demand); `arena`
+  /// (optional, must outlive the counter) backs the table's storage.
+  explicit LossyCounting(double epsilon = 1e-4, size_t expected_keys = 0,
+                         Arena* arena = nullptr);
 
   int64_t Observe(Key key) override;
   int64_t EstimatedCount(Key key) const override;
@@ -36,10 +50,13 @@ class LossyCounting : public FrequencyCounter {
   int64_t bucket_width() const { return width_; }
   int64_t current_bucket() const { return bucket_; }
 
+  /// Accounted bytes of per-key storage (probe table + entry slabs).
+  size_t MemoryBytes() const override { return entries_.MemoryBytes(); }
+
  private:
   struct Entry {
-    int64_t count;
-    int64_t delta;  // max undercount at insertion time
+    uint32_t count;
+    uint32_t delta;  // max undercount at insertion time (a bucket id)
   };
 
   void MaybePrune();
@@ -48,7 +65,7 @@ class LossyCounting : public FrequencyCounter {
   int64_t width_;
   int64_t n_ = 0;
   int64_t bucket_ = 1;
-  std::unordered_map<Key, Entry> entries_;
+  FlatMap<Entry> entries_;
 };
 
 }  // namespace joinopt

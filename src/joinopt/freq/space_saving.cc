@@ -1,63 +1,82 @@
 #include "joinopt/freq/space_saving.h"
 
 #include <cassert>
+#include <limits>
 
 namespace joinopt {
 
-SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+namespace {
+constexpr uint32_t kSaturated = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+SpaceSaving::SpaceSaving(size_t capacity, Arena* arena)
+    : capacity_(capacity),
+      counts_(arena, /*seed=*/0x7b2d8e31u),
+      by_count_(OrderAdapter{&counts_}) {
   assert(capacity > 0);
+  counts_.Reserve(capacity);
+  by_count_.Reserve(capacity);
 }
 
-void SpaceSaving::Bump(std::unordered_map<Key, Entry>::iterator it,
-                       int64_t new_count) {
-  by_count_.erase(it->second.order_it);
-  it->second.count = new_count;
-  it->second.order_it = by_count_.emplace(new_count, it->first);
+void SpaceSaving::Bump(uint32_t handle, uint32_t new_count) {
+  Entry& e = counts_.EntryAt(handle).value;
+  e.count = new_count;
+  // Fresh seq mirrors the old multimap erase + emplace-at-upper-bound:
+  // among equal counts the earliest re-inserted entry is the victim.
+  e.seq = next_seq_++;
+  by_count_.Update(e.heap_pos);
 }
 
 int64_t SpaceSaving::Observe(Key key) {
   ++n_;
-  auto it = counts_.find(key);
-  if (it != counts_.end()) {
-    Bump(it, it->second.count + 1);
-    return it->second.count;
+  uint32_t h = counts_.FindHandle(key);
+  if (h != FlatMap<Entry>::kNoHandle) {
+    Entry& e = counts_.EntryAt(h).value;
+    Bump(h, e.count == kSaturated ? kSaturated : e.count + 1);
+    return e.count;
   }
   if (counts_.size() < capacity_) {
-    Entry e{1, 0, {}};
-    auto [ins, ok] = counts_.emplace(key, e);
-    assert(ok);
-    ins->second.order_it = by_count_.emplace(1, key);
+    auto [nh, inserted] = counts_.TryEmplaceHandle(key);
+    assert(inserted);
+    Entry& e = counts_.EntryAt(nh).value;
+    e.count = 1;
+    e.error = 0;
+    e.seq = next_seq_++;
+    by_count_.Push(nh);
     return 1;
   }
   // Replace the minimum-count entry; inherit its count as error.
-  auto min_it = by_count_.begin();
-  Key victim = min_it->second;
-  int64_t min_count = min_it->first;
-  by_count_.erase(min_it);
-  counts_.erase(victim);
-  Entry e{min_count + 1, min_count, {}};
-  auto [ins, ok] = counts_.emplace(key, e);
-  assert(ok);
-  ins->second.order_it = by_count_.emplace(min_count + 1, key);
-  return min_count + 1;
+  uint32_t victim = by_count_.MinHandle();
+  Key victim_key = counts_.EntryAt(victim).key;
+  uint32_t min_count = counts_.EntryAt(victim).value.count;
+  by_count_.Pop();
+  counts_.Erase(victim_key);
+  auto [nh, inserted] = counts_.TryEmplaceHandle(key);
+  assert(inserted);
+  Entry& e = counts_.EntryAt(nh).value;
+  e.count = min_count + 1;
+  e.error = min_count;
+  e.seq = next_seq_++;
+  by_count_.Push(nh);
+  return e.count;
 }
 
 int64_t SpaceSaving::EstimatedCount(Key key) const {
-  auto it = counts_.find(key);
-  return it == counts_.end() ? 0 : it->second.count;
+  const Entry* e = counts_.Find(key);
+  return e == nullptr ? 0 : e->count;
 }
 
 void SpaceSaving::ResetKey(Key key) {
-  auto it = counts_.find(key);
-  if (it != counts_.end()) {
-    it->second.error = 0;
-    Bump(it, 0);
+  uint32_t h = counts_.FindHandle(key);
+  if (h != FlatMap<Entry>::kNoHandle) {
+    counts_.EntryAt(h).value.error = 0;
+    Bump(h, 0);
   }
 }
 
 int64_t SpaceSaving::ErrorBound(Key key) const {
-  auto it = counts_.find(key);
-  return it == counts_.end() ? 0 : it->second.error;
+  const Entry* e = counts_.Find(key);
+  return e == nullptr ? 0 : e->error;
 }
 
 }  // namespace joinopt

@@ -3,21 +3,32 @@
 // replaced and its count inherited (so estimates overestimate by at most the
 // evicted minimum). Provided as an ablation alternative to Lossy Counting;
 // see bench/ablation_design_choices.
+//
+// Storage (DESIGN.md §14): entries live in a FlatMap, and the min-count
+// order is an IntrusiveMinHeap over entry handles instead of a
+// std::multimap — each count bump is one O(log n) sift with zero
+// allocations rather than an rb-tree erase + insert. Ordering is
+// (count, seq) where seq is refreshed on every count change, reproducing
+// the multimap's FIFO-among-equal-counts victim choice exactly. Counts
+// are uint32 and saturate at ~4.29e9 observations of one key.
 #ifndef JOINOPT_FREQ_SPACE_SAVING_H_
 #define JOINOPT_FREQ_SPACE_SAVING_H_
 
 #include <cstddef>
-#include <map>
-#include <unordered_map>
+#include <cstdint>
 
+#include "joinopt/common/arena.h"
+#include "joinopt/common/flat_map.h"
+#include "joinopt/common/intrusive_heap.h"
 #include "joinopt/freq/counter.h"
 
 namespace joinopt {
 
 class SpaceSaving : public FrequencyCounter {
  public:
-  /// capacity: maximum number of keys tracked simultaneously.
-  explicit SpaceSaving(size_t capacity);
+  /// capacity: maximum number of keys tracked simultaneously. `arena`
+  /// (optional, must outlive the counter) backs the entry table.
+  explicit SpaceSaving(size_t capacity, Arena* arena = nullptr);
 
   int64_t Observe(Key key) override;
   int64_t EstimatedCount(Key key) const override;
@@ -30,20 +41,42 @@ class SpaceSaving : public FrequencyCounter {
   /// error term; 0 for keys tracked since count zero).
   int64_t ErrorBound(Key key) const;
 
+  /// Accounted bytes of per-key storage (probe table + entries + heap).
+  size_t MemoryBytes() const override {
+    return counts_.MemoryBytes() + by_count_.MemoryBytes();
+  }
+
  private:
   struct Entry {
-    int64_t count;
-    int64_t error;
-    // Iterator into the ordered multimap used to find the min-count victim.
-    std::multimap<int64_t, Key>::iterator order_it;
+    uint32_t count;
+    uint32_t error;
+    uint32_t heap_pos;  // maintained by OrderAdapter::SetPos
+    uint32_t seq;       // FIFO tie-break among equal counts
   };
 
-  void Bump(std::unordered_map<Key, Entry>::iterator it, int64_t new_count);
+  /// Binds the min-count heap to the entry table: order by (count, seq),
+  /// store heap positions inline in entries.
+  struct OrderAdapter {
+    const FlatMap<Entry>* table;
+    bool Less(uint32_t a, uint32_t b) const {
+      const Entry& x = table->EntryAt(a).value;
+      const Entry& y = table->EntryAt(b).value;
+      if (x.count != y.count) return x.count < y.count;
+      return x.seq < y.seq;
+    }
+    void SetPos(uint32_t handle, uint32_t pos) const {
+      const_cast<FlatMap<Entry>*>(table)->EntryAt(handle).value.heap_pos =
+          pos;
+    }
+  };
+
+  void Bump(uint32_t handle, uint32_t new_count);
 
   size_t capacity_;
   int64_t n_ = 0;
-  std::unordered_map<Key, Entry> counts_;
-  std::multimap<int64_t, Key> by_count_;  // ascending count order
+  uint32_t next_seq_ = 0;
+  FlatMap<Entry> counts_;
+  IntrusiveMinHeap<OrderAdapter> by_count_;  // min = eviction victim
 };
 
 }  // namespace joinopt

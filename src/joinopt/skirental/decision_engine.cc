@@ -40,16 +40,29 @@ std::unique_ptr<BenefitPolicy> MakePolicy(EvictionKind kind) {
 }
 
 std::unique_ptr<FrequencyCounter> MakeCounter(
-    const DecisionEngineConfig& config) {
+    const DecisionEngineConfig& config, Arena* arena) {
+  // Lossy Counting tracks at most O((1/eps) log(eps N)) keys, far fewer
+  // than the key universe under the skewed streams it is built for, so its
+  // reserve hint is capped at a small multiple of the bucket width instead
+  // of the full expected_keys.
+  size_t lossy_hint = config.expected_keys;
+  if (config.counter_epsilon > 0) {
+    size_t width_cap =
+        static_cast<size_t>(16.0 / config.counter_epsilon) + 16;
+    lossy_hint = std::min(lossy_hint, width_cap);
+  }
   switch (config.counter) {
     case CounterKind::kLossyCounting:
-      return std::make_unique<LossyCounting>(config.counter_epsilon);
+      return std::make_unique<LossyCounting>(config.counter_epsilon,
+                                             lossy_hint, arena);
     case CounterKind::kSpaceSaving:
-      return std::make_unique<SpaceSaving>(config.space_saving_capacity);
+      return std::make_unique<SpaceSaving>(config.space_saving_capacity,
+                                           arena);
     case CounterKind::kExact:
-      return std::make_unique<ExactCounter>();
+      return std::make_unique<ExactCounter>(config.expected_keys, arena);
   }
-  return std::make_unique<LossyCounting>(config.counter_epsilon);
+  return std::make_unique<LossyCounting>(config.counter_epsilon, lossy_hint,
+                                         arena);
 }
 
 }  // namespace
@@ -59,7 +72,12 @@ DecisionEngine::DecisionEngine(const DecisionEngineConfig& config)
       cost_model_(config.cost),
       policy_(MakePolicy(config.eviction)),
       cache_(std::make_unique<TieredCache>(config.cache, policy_.get())),
-      counter_(MakeCounter(config)) {}
+      counter_(MakeCounter(config, &arena_)),
+      meta_(&arena_, /*seed=*/0xd6e8feb8u) {
+  if (config.expected_keys > 0) {
+    meta_.Reserve(std::min(config.expected_keys, config.max_key_meta));
+  }
+}
 
 double DecisionEngine::BenefitWeight(Key /*key*/, NodeId data_node,
                                      double sv) const {
@@ -70,26 +88,27 @@ double DecisionEngine::BenefitWeight(Key /*key*/, NodeId data_node,
 }
 
 DecisionEngine::KeyMeta* DecisionEngine::FindMeta(Key key) {
-  auto it = meta_.find(key);
-  return it == meta_.end() ? nullptr : &it->second;
+  return meta_.Find(key);
 }
 
 DecisionEngine::KeyMeta* DecisionEngine::TouchMeta(Key key) {
-  auto it = meta_.find(key);
-  if (it != meta_.end()) return &it->second;
+  KeyMeta* meta = meta_.Find(key);
+  if (meta != nullptr) return meta;
   if (meta_.size() >= config_.max_key_meta) return nullptr;
-  return &meta_.emplace(key, KeyMeta{}).first->second;
+  return meta_.TryEmplace(key).first;
 }
 
 void DecisionEngine::RecordMeta(Key key, double sv, uint64_t version) {
-  auto it = meta_.find(key);
-  if (it != meta_.end()) {
-    if (sv >= 0) it->second.stored_value_bytes = sv;
-    if (version > it->second.version) it->second.version = version;
+  KeyMeta* meta = meta_.Find(key);
+  if (meta != nullptr) {
+    if (sv >= 0) meta->stored_value_bytes = static_cast<float>(sv);
+    if (version > meta->version) meta->version = version;
     return;
   }
   if (meta_.size() >= config_.max_key_meta) return;  // fall back to averages
-  meta_.emplace(key, KeyMeta{sv, version});
+  meta = meta_.TryEmplace(key).first;
+  meta->stored_value_bytes = static_cast<float>(sv);
+  meta->version = version;
 }
 
 Decision DecisionEngine::Decide(Key key, NodeId data_node) {
@@ -118,7 +137,7 @@ Decision DecisionEngine::Decide(Key key, NodeId data_node) {
   KeyMeta* meta = TouchMeta(key);
   double sv = meta != nullptr ? meta->stored_value_bytes : -1.0;
   double benefit = policy_->Benefit(count, BenefitWeight(key, data_node, sv));
-  if (meta != nullptr) meta->last_benefit = benefit;
+  if (meta != nullptr) meta->last_benefit = static_cast<float>(benefit);
   cache_->UpdateBenefit(key, benefit);
 
   // Lines 3-9: cache hits compute locally; a disk hit may be promoted.
@@ -204,8 +223,10 @@ Decision DecisionEngine::ReDecide(Key key, NodeId data_node) const {
   }
 
   int64_t count = counter_->EstimatedCount(key);
-  auto it = meta_.find(key);
-  double sv = it != meta_.end() ? it->second.stored_value_bytes : -1.0;
+  const KeyMeta* meta = meta_.Find(key);
+  double sv = meta != nullptr
+                  ? static_cast<double>(meta->stored_value_bytes)
+                  : -1.0;
   if (sv < 0) {
     return Decision{Route::kComputeAtData, count, inf,
                     /*first_request=*/true};
@@ -303,8 +324,13 @@ std::vector<Key> DecisionEngine::ResyncInvalidate(
 }
 
 double DecisionEngine::KnownValueSize(Key key) const {
-  auto it = meta_.find(key);
-  return it == meta_.end() ? -1.0 : it->second.stored_value_bytes;
+  const KeyMeta* meta = meta_.Find(key);
+  return meta == nullptr ? -1.0
+                         : static_cast<double>(meta->stored_value_bytes);
+}
+
+size_t DecisionEngine::AccountedBytes() const {
+  return meta_.MemoryBytes() + counter_->MemoryBytes();
 }
 
 DecisionEngineStats& operator+=(DecisionEngineStats& lhs,

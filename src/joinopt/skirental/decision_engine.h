@@ -14,11 +14,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "joinopt/cache/policy.h"
 #include "joinopt/cache/tiered_cache.h"
+#include "joinopt/common/arena.h"
+#include "joinopt/common/flat_map.h"
 #include "joinopt/freq/counter.h"
 #include "joinopt/skirental/cost_model.h"
 #include "joinopt/skirental/ski_rental.h"
@@ -65,6 +66,11 @@ struct DecisionEngineConfig {
   /// Upper bound on the per-key metadata map (sv, version). Beyond this the
   /// engine falls back to global size averages for new keys.
   size_t max_key_meta = 1 << 20;
+  /// Expected distinct-key count this engine will see. Pre-reserves the
+  /// metadata table, the frequency counter and the cache index so warmup
+  /// sees no rehash storm; 0 = grow on demand. ParallelInvoker divides its
+  /// configured hint across shards before constructing engines.
+  size_t expected_keys = 0;
   /// When false, the engine never buys: every miss becomes a compute
   /// request. (The LO strategy and the FD baseline run with caching off.)
   bool caching_enabled = true;
@@ -160,13 +166,21 @@ class DecisionEngine {
            decide_calls_ >= config_.freeze_after_decisions;
   }
 
+  /// Accounted bytes of per-key state (metadata table arena + counter).
+  size_t AccountedBytes() const;
+
  private:
+  /// Per-key metadata, packed to 16 bytes (24 with the key): sizes and
+  /// benefit scores carry float precision — sizes are byte counts and
+  /// benefit is a heuristic score, so 24 bits of mantissa is plenty —
+  /// while the version, compared for exact equality against piggybacked
+  /// versions, stays a full uint64 (DESIGN.md §14).
   struct KeyMeta {
-    double stored_value_bytes = -1.0;
-    uint64_t version = 0;
+    float stored_value_bytes = -1.0f;
     /// Benefit computed at the most recent Decide (reused when the fetched
     /// value lands, so admission sees the score current at decision time).
-    double last_benefit = 0.0;
+    float last_benefit = 0.0f;
+    uint64_t version = 0;
   };
 
   /// Benefit weight: cost saved per access divided by item size, which is
@@ -181,8 +195,11 @@ class DecisionEngine {
   CostModel cost_model_;
   std::unique_ptr<BenefitPolicy> policy_;
   std::unique_ptr<TieredCache> cache_;
+  // arena_ backs meta_ and the counter's tables; declared before them so
+  // it is destroyed after them.
+  Arena arena_;
   std::unique_ptr<FrequencyCounter> counter_;
-  std::unordered_map<Key, KeyMeta> meta_;
+  FlatMap<KeyMeta> meta_;
   DecisionEngineStats stats_;
   int64_t decide_calls_ = 0;
 };

@@ -1,0 +1,404 @@
+// Property tests for the compact per-key storage layer (DESIGN.md §14):
+// FlatMap driven against std::unordered_map with randomized
+// insert/erase/find/iterate sequences — including deletion-heavy phases
+// that would expose tombstone accumulation or backward-shift bugs —
+// IntrusiveMinHeap driven against std::multimap (including FIFO ordering
+// among equal keys), and Arena alignment/recycling invariants.
+#include "joinopt/common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "joinopt/common/arena.h"
+#include "joinopt/common/intrusive_heap.h"
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arena
+
+TEST(ArenaTest, AlignmentIsRespected) {
+  Arena arena(4096);
+  for (size_t align : {size_t{1}, size_t{2}, size_t{8}, size_t{16},
+                       size_t{64}}) {
+    for (int i = 0; i < 10; ++i) {
+      void* p = arena.Allocate(24 + i, align);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+          << "align=" << align;
+    }
+  }
+}
+
+TEST(ArenaTest, ExactSizeBlocksAreRecycled) {
+  Arena arena;
+  void* a = arena.Allocate(256, 8);
+  arena.Free(a, 256);
+  void* b = arena.Allocate(256, 8);
+  EXPECT_EQ(a, b);  // same-size request reuses the freed block
+  // A different size must not reuse it.
+  void* c = arena.Allocate(128, 8);
+  EXPECT_NE(c, a);
+}
+
+TEST(ArenaTest, StatsTrackAllocationAndChunks) {
+  Arena arena(4096);
+  EXPECT_EQ(arena.stats().chunks, 0u);
+  arena.Allocate(100);
+  EXPECT_EQ(arena.stats().chunks, 1u);
+  EXPECT_EQ(arena.stats().allocated_bytes, 100u);
+  void* p = arena.Allocate(50);
+  arena.Free(p, 50);
+  EXPECT_EQ(arena.stats().allocated_bytes, 100u);
+  // An allocation larger than the chunk size gets its own chunk.
+  arena.Allocate(1 << 16);
+  EXPECT_EQ(arena.stats().chunks, 2u);
+  EXPECT_GE(arena.stats().reserved_bytes, (1u << 16) + 4096u);
+}
+
+TEST(ArenaTest, LargeAllocationsLandInDedicatedChunks) {
+  Arena arena(4096);
+  void* p = arena.Allocate(1 << 20, 64);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FlatMap
+
+struct Payload {
+  uint64_t a = 0;
+  uint32_t b = 0;
+  bool operator==(const Payload& o) const { return a == o.a && b == o.b; }
+};
+
+std::vector<std::pair<Key, Payload>> Sorted(
+    const std::unordered_map<Key, Payload>& m) {
+  std::vector<std::pair<Key, Payload>> v(m.begin(), m.end());
+  std::sort(v.begin(), v.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return v;
+}
+
+std::vector<std::pair<Key, Payload>> Sorted(const FlatMap<Payload>& m) {
+  std::vector<std::pair<Key, Payload>> v;
+  v.reserve(m.size());
+  m.ForEach([&](Key k, const Payload& p) { v.emplace_back(k, p); });
+  std::sort(v.begin(), v.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return v;
+}
+
+void RunParityWorkload(FlatMap<Payload>& map, uint64_t seed, int rounds,
+                       Key key_space, double erase_bias) {
+  Rng rng(seed);
+  std::unordered_map<Key, Payload> ref;
+  for (int round = 0; round < rounds; ++round) {
+    Key k = rng.Next() % key_space;
+    double op = rng.NextDouble();
+    if (op < erase_bias) {
+      bool erased_ref = ref.erase(k) > 0;
+      bool erased = map.Erase(k);
+      ASSERT_EQ(erased, erased_ref) << "round " << round << " key " << k;
+    } else if (op < erase_bias + 0.5) {
+      auto [v, inserted] = map.TryEmplace(k);
+      auto [it, inserted_ref] = ref.try_emplace(k);
+      ASSERT_EQ(inserted, inserted_ref) << "round " << round;
+      v->a = k * 3;
+      v->b = static_cast<uint32_t>(round);
+      it->second = *v;
+    } else {
+      Payload* v = map.Find(k);
+      auto it = ref.find(k);
+      ASSERT_EQ(v != nullptr, it != ref.end()) << "round " << round;
+      if (v != nullptr) {
+        ASSERT_EQ(*v, it->second) << "round " << round;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  EXPECT_EQ(Sorted(map), Sorted(ref));
+}
+
+TEST(FlatMapTest, RandomizedParityMixedOps) {
+  FlatMap<Payload> map;
+  RunParityWorkload(map, /*seed=*/1, /*rounds=*/60000, /*key_space=*/5000,
+                    /*erase_bias=*/0.25);
+}
+
+TEST(FlatMapTest, RandomizedParityDeletionHeavy) {
+  // Erase-dominant mix: backward-shift deletion must not accumulate
+  // tombstones or lose reachable keys under sustained churn.
+  FlatMap<Payload> map;
+  RunParityWorkload(map, /*seed=*/2, /*rounds=*/80000, /*key_space=*/800,
+                    /*erase_bias=*/0.45);
+}
+
+TEST(FlatMapTest, RandomizedParityWithArena) {
+  Arena arena;
+  FlatMap<Payload> map(&arena, /*seed=*/0x9E3779B97F4A7C15ull);
+  RunParityWorkload(map, /*seed=*/3, /*rounds=*/60000, /*key_space=*/5000,
+                    /*erase_bias=*/0.25);
+  EXPECT_GT(arena.stats().allocated_bytes, 0u);
+}
+
+TEST(FlatMapTest, RandomizedParityHighLoadFactor) {
+  FlatMap<Payload> map;
+  map.set_max_load_factor(0.95);
+  RunParityWorkload(map, /*seed=*/4, /*rounds=*/60000, /*key_space=*/3000,
+                    /*erase_bias=*/0.3);
+}
+
+TEST(FlatMapTest, AdversarialKeysShareLowBits) {
+  // Keys differing only above the table mask stress the probe chain.
+  FlatMap<Payload> map;
+  std::unordered_map<Key, Payload> ref;
+  for (Key i = 0; i < 2000; ++i) {
+    Key k = i << 40;
+    map.TryEmplace(k).first->a = i;
+    ref[k].a = i;
+  }
+  for (Key i = 0; i < 2000; i += 2) {
+    ASSERT_TRUE(map.Erase(i << 40));
+    ref.erase(i << 40);
+  }
+  EXPECT_EQ(Sorted(map), Sorted(ref));
+}
+
+TEST(FlatMapTest, ValuePointersAndHandlesStableAcrossRehash) {
+  FlatMap<Payload> map;
+  std::vector<std::pair<Key, FlatMap<Payload>::Handle>> handles;
+  std::vector<std::pair<Key, Payload*>> ptrs;
+  for (Key k = 0; k < 10000; ++k) {
+    auto [h, inserted] = map.TryEmplaceHandle(k);
+    ASSERT_TRUE(inserted);
+    map.EntryAt(h).value.a = k + 7;
+    handles.emplace_back(k, h);
+    ptrs.emplace_back(k, &map.EntryAt(h).value);
+  }
+  // Many rehashes have happened since the first inserts; entries must not
+  // have moved.
+  for (const auto& [k, h] : handles) {
+    ASSERT_EQ(map.EntryAt(h).key, k);
+    ASSERT_EQ(map.EntryAt(h).value.a, k + 7);
+    ASSERT_EQ(map.FindHandle(k), h);
+  }
+  for (const auto& [k, p] : ptrs) {
+    ASSERT_EQ(map.Find(k), p);
+  }
+}
+
+TEST(FlatMapTest, HandlesAreRecycledAfterErase) {
+  FlatMap<Payload> map;
+  auto [h1, i1] = map.TryEmplaceHandle(42);
+  ASSERT_TRUE(i1);
+  map.Erase(42);
+  auto [h2, i2] = map.TryEmplaceHandle(99);
+  ASSERT_TRUE(i2);
+  EXPECT_EQ(h2, h1);  // LIFO freelist reuse keeps entries dense
+}
+
+TEST(FlatMapTest, ReservePreventsRehash) {
+  FlatMap<Payload> map;
+  map.Reserve(10000);
+  size_t cap = map.capacity();
+  EXPECT_GE(static_cast<double>(cap) * map.max_load_factor(), 10000.0);
+  for (Key k = 0; k < 10000; ++k) map.TryEmplace(k);
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatMapTest, EraseIfMatchesReference) {
+  Rng rng(7);
+  FlatMap<Payload> map;
+  std::unordered_map<Key, Payload> ref;
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.Next() % 30000;
+    map.TryEmplace(k).first->a = k;
+    ref[k].a = k;
+  }
+  auto pred = [](Key k, const Payload&) { return k % 3 == 0; };
+  size_t expect_erased = 0;
+  for (auto it = ref.begin(); it != ref.end();) {
+    if (pred(it->first, it->second)) {
+      it = ref.erase(it);
+      ++expect_erased;
+    } else {
+      ++it;
+    }
+  }
+  size_t erased = map.EraseIf(pred);
+  EXPECT_EQ(erased, expect_erased);
+  EXPECT_EQ(Sorted(map), Sorted(ref));
+  // Survivor pointers stay valid and the table still behaves.
+  for (const auto& [k, p] : ref) {
+    Payload* v = map.Find(k);
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->a, p.a);
+  }
+}
+
+TEST(FlatMapTest, EraseIfEverything) {
+  FlatMap<Payload> map;
+  for (Key k = 0; k < 5000; ++k) map.TryEmplace(k);
+  EXPECT_EQ(map.EraseIf([](Key, const Payload&) { return true; }), 5000u);
+  EXPECT_TRUE(map.empty());
+  // Table remains usable after a full sweep.
+  map.TryEmplace(1);
+  EXPECT_NE(map.Find(1), nullptr);
+}
+
+TEST(FlatMapTest, ClearResetsAndRemainsUsable) {
+  Arena arena;
+  FlatMap<Payload> map(&arena);
+  for (Key k = 0; k < 1000; ++k) map.TryEmplace(k);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(5), nullptr);
+  for (Key k = 0; k < 1000; ++k) map.TryEmplace(k).first->a = k;
+  EXPECT_EQ(map.size(), 1000u);
+  EXPECT_EQ(map.Find(999)->a, 999u);
+}
+
+TEST(FlatMapTest, MemoryBytesIsCompact) {
+  FlatMap<Payload> map;
+  const size_t n = 100000;
+  for (Key k = 0; k < n; ++k) map.TryEmplace(k);
+  // 6 bytes/slot at >=50% load plus 24-byte entries: well under the
+  // ~72 bytes/key an unordered_map node pays for this payload.
+  EXPECT_LT(map.MemoryBytes() / n, 48u);
+}
+
+// ---------------------------------------------------------------------------
+// IntrusiveMinHeap
+
+// Test entries ordered by (value, seq): seq reproduces multimap FIFO
+// ordering among equal values, mirroring how TieredCache uses the heap.
+struct HeapEntry {
+  double value = 0;
+  uint32_t seq = 0;
+  uint32_t pos = IntrusiveMinHeap<int>::kNoPos;
+};
+
+struct HeapAdapter {
+  std::vector<HeapEntry>* entries;
+  bool Less(uint32_t a, uint32_t b) const {
+    const HeapEntry& x = (*entries)[a];
+    const HeapEntry& y = (*entries)[b];
+    if (x.value != y.value) return x.value < y.value;
+    return x.seq < y.seq;
+  }
+  void SetPos(uint32_t handle, uint32_t pos) const {
+    (*entries)[handle].pos = pos;
+  }
+};
+
+using TestHeap = IntrusiveMinHeap<HeapAdapter>;
+
+TEST(IntrusiveHeapTest, FifoAmongEqualKeysMatchesMultimap) {
+  // multimap::emplace inserts at upper_bound: equal keys pop in insertion
+  // order. The heap must reproduce that via the seq tie-break.
+  std::vector<HeapEntry> entries;
+  TestHeap heap(HeapAdapter{&entries});
+  std::multimap<double, uint32_t> ref;
+  uint32_t seq = 0;
+  for (double v : {5.0, 1.0, 5.0, 3.0, 5.0, 1.0, 3.0}) {
+    uint32_t h = static_cast<uint32_t>(entries.size());
+    entries.push_back(HeapEntry{v, seq++, TestHeap::kNoPos});
+    heap.Push(h);
+    ref.emplace(v, h);
+  }
+  while (!ref.empty()) {
+    uint32_t h = heap.MinHandle();
+    ASSERT_EQ(h, ref.begin()->second);
+    heap.Pop();
+    ref.erase(ref.begin());
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IntrusiveHeapTest, RandomizedParityWithUpdatesAndRemovals) {
+  Rng rng(11);
+  std::vector<HeapEntry> entries;
+  TestHeap heap(HeapAdapter{&entries});
+  // Reference: multimap keyed by (value, seq) -> handle. Erase/update use
+  // the stored (value, seq) to find the exact node, as TieredCache did
+  // with stored iterators.
+  std::map<std::pair<double, uint32_t>, uint32_t> ref;
+  std::vector<uint32_t> live;
+  uint32_t seq = 0;
+  for (int round = 0; round < 40000; ++round) {
+    double op = rng.NextDouble();
+    if (op < 0.4 || live.empty()) {
+      uint32_t h = static_cast<uint32_t>(entries.size());
+      double v = static_cast<double>(rng.Next() % 64);  // force ties
+      entries.push_back(HeapEntry{v, seq++, TestHeap::kNoPos});
+      heap.Push(h);
+      ref.emplace(std::make_pair(v, entries[h].seq), h);
+      live.push_back(h);
+    } else if (op < 0.7) {
+      // Reorder a random live entry to a new value (benefit update).
+      uint32_t idx = static_cast<uint32_t>(rng.Next() % live.size());
+      uint32_t h = live[idx];
+      ref.erase(std::make_pair(entries[h].value, entries[h].seq));
+      entries[h].value = static_cast<double>(rng.Next() % 64);
+      entries[h].seq = seq++;  // re-emplace semantics: new FIFO position
+      heap.Update(entries[h].pos);
+      ref.emplace(std::make_pair(entries[h].value, entries[h].seq), h);
+    } else if (op < 0.85) {
+      // Remove a random live entry by its stored position.
+      uint32_t idx = static_cast<uint32_t>(rng.Next() % live.size());
+      uint32_t h = live[idx];
+      ref.erase(std::make_pair(entries[h].value, entries[h].seq));
+      heap.Remove(entries[h].pos);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      // Pop the min.
+      uint32_t h = heap.MinHandle();
+      ASSERT_EQ(h, ref.begin()->second) << "round " << round;
+      heap.Pop();
+      ref.erase(ref.begin());
+      live.erase(std::find(live.begin(), live.end(), h));
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(heap.MinHandle(), ref.begin()->second) << "round " << round;
+    }
+    // Every live entry's stored position must point back at itself.
+    if (round % 1000 == 0) {
+      for (uint32_t h : live) {
+        ASSERT_LT(entries[h].pos, heap.size());
+        ASSERT_EQ(heap.data()[entries[h].pos], h);
+      }
+    }
+  }
+}
+
+TEST(IntrusiveHeapTest, DrainYieldsSortedOrder) {
+  Rng rng(13);
+  std::vector<HeapEntry> entries;
+  TestHeap heap(HeapAdapter{&entries});
+  for (uint32_t i = 0; i < 5000; ++i) {
+    entries.push_back(
+        HeapEntry{rng.NextDouble(), i, TestHeap::kNoPos});
+    heap.Push(i);
+  }
+  double prev = -1.0;
+  while (!heap.empty()) {
+    double v = entries[heap.MinHandle()].value;
+    ASSERT_GE(v, prev);
+    prev = v;
+    heap.Pop();
+  }
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -195,6 +195,24 @@ TEST(ParallelInvokerTest, HotKeyGetsCachedAndServedLocally) {
   EXPECT_GT(cache.memory_hits, 30);
 }
 
+TEST(ParallelInvokerTest, ExpectedKeysHintPreservesBehavior) {
+  // The expected_keys hint only pre-reserves per-shard tables; routing and
+  // caching behaviour must be identical to the unhinted run.
+  ApiRig rig;
+  rig.Put(5, std::string(1 << 16, 'm'));
+  ParallelInvokerOptions opt = FastBuyOptions(1);
+  opt.decision.expected_keys = 100000;  // divided across shards internally
+  opt.decision.cache.expected_items = 100000;
+  ParallelInvoker invoker(rig.service.get(), SpinningConcat(), opt);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(invoker.FetchComp(5, "p").ok());
+  }
+  ParallelInvokerStats s = invoker.stats();
+  EXPECT_GT(s.served_from_cache, 30);
+  DecisionEngineStats engine = invoker.MergedEngineStats();
+  EXPECT_GT(engine.local_memory_hits, 30);
+}
+
 TEST(ParallelInvokerTest, MissingKeySurfacesNotFound) {
   ApiRig rig;
   ParallelInvoker invoker(rig.service.get(), Concat(), FastBuyOptions(2));

@@ -70,6 +70,43 @@ TEST(DecisionEngineTest, CacheHitAfterFetch) {
   EXPECT_GT(engine.stats().local_memory_hits, 0);
 }
 
+TEST(DecisionEngineTest, ExpectedKeysHintDoesNotChangeDecisions) {
+  // The expected_keys sizing hint only pre-reserves storage; the decision
+  // stream must be bit-identical with and without it.
+  DecisionEngineConfig plain = TestConfig();
+  DecisionEngineConfig hinted = TestConfig();
+  hinted.expected_keys = 50000;
+  hinted.cache.expected_items = 50000;
+  DecisionEngine a(plain);
+  DecisionEngine b(hinted);
+  for (DecisionEngine* e : {&a, &b}) {
+    e->cost_model().SetBandwidth(kDataNode, 1e6);
+    e->ObserveLocalCompute(1e-3);
+  }
+  for (Key k = 1; k <= 8; ++k) {
+    for (int i = 0; i < 40; ++i) {
+      Decision da = a.Decide(k, kDataNode);
+      Decision db = b.Decide(k, kDataNode);
+      ASSERT_EQ(da.route, db.route) << "key " << k << " iter " << i;
+      if (da.route == Route::kComputeAtData) {
+        a.OnComputeResponse(k, kDataNode, 1e5 * static_cast<double>(k), 1,
+                            {1e-3, 0.1});
+        b.OnComputeResponse(k, kDataNode, 1e5 * static_cast<double>(k), 1,
+                            {1e-3, 0.1});
+      } else if (da.route == Route::kFetchCacheMemory ||
+                 da.route == Route::kFetchCacheDisk) {
+        a.OnValueFetched(k, da.route, 1e5 * static_cast<double>(k), 1);
+        b.OnValueFetched(k, db.route, 1e5 * static_cast<double>(k), 1);
+      }
+    }
+  }
+  EXPECT_EQ(a.stats().local_memory_hits, b.stats().local_memory_hits);
+  EXPECT_EQ(a.stats().first_requests, b.stats().first_requests);
+  EXPECT_EQ(a.cache().memory_items(), b.cache().memory_items());
+  EXPECT_EQ(a.cache().disk_items(), b.cache().disk_items());
+  EXPECT_DOUBLE_EQ(a.cache().memory_used(), b.cache().memory_used());
+}
+
 TEST(DecisionEngineTest, NeverBuysWhenRecurringExceedsRent) {
   DecisionEngine engine(TestConfig());
   // Fetching is expensive (1 MB over 1 MB/s) and the local UDF costs as
