@@ -1,0 +1,359 @@
+// Tail-latency engineering bench (DESIGN.md §15): percentile-driven hedged
+// reads + load-aware replica selection under an injected straggler.
+//
+// Section 1 — hedging. A zipf Fetch workload runs over loopback TCP against
+// two replicas of one store. The primary replica stalls a small fraction of
+// requests (tail spikes: every Nth fetch sleeps `spike_seconds`), the shape
+// per-endpoint percentile hedging is built for: the endpoint's p95 stays in
+// the fast mode, so a spiked request outlives it almost immediately and the
+// duplicate to the healthy sibling wins. The bench sweeps hedge percentile
+// x hedge budget and reports p50/p99/p999 plus the realized hedge rate per
+// cell, against an unhedged baseline.
+//
+// Section 2 — replica selection. A synthetic (clock-free, deterministic)
+// loop draws per-request latencies for three replicas, one degraded 20x,
+// and compares uniform-random selection against power-of-two-choices over
+// a NodeLoadView. The p2c policy should route almost nothing at the
+// degraded node once its EWMA reflects reality.
+//
+// Emits BENCH_tail_latency.json. Exit status enforces the CI gate:
+//   * hedged p99 (default p95/5% cell) <= unhedged p99 under the straggler,
+//   * realized hedge rate <= configured budget in every swept cell,
+//   * p2c mean latency < random-selection mean latency.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "joinopt/common/random.h"
+#include "joinopt/engine/hedging_manager.h"
+#include "joinopt/loadbalance/node_load_view.h"
+#include "joinopt/net/rpc_client.h"
+#include "joinopt/net/rpc_server.h"
+#include "joinopt/store/log_store.h"
+
+namespace joinopt {
+namespace bench {
+namespace {
+
+struct Config {
+  uint64_t num_keys = 512;
+  size_t payload_bytes = 512;
+  int64_t ops_per_cell = 2500;
+  double zipf_z = 0.99;
+  /// Straggler injection at the primary: every `spike_every`-th fetch
+  /// stalls `spike_seconds` (2% tail mass, well above p95's watermark).
+  int spike_every = 50;
+  double spike_seconds = 40e-3;
+  /// Synthetic replica-selection loop length.
+  int64_t selection_picks = 20000;
+};
+
+UserFn EchoFn() {
+  return [](Key key, const std::string& params, const std::string& value) {
+    return std::to_string(key) + params + std::to_string(value.size());
+  };
+}
+
+/// Pads every `every`-th Fetch by `spike_seconds` — the injected straggler.
+class SpikyService : public DataService {
+ public:
+  SpikyService(DataService* inner, int every, double spike_seconds)
+      : inner_(inner), every_(every), spike_seconds_(spike_seconds) {}
+
+  StatusOr<Fetched> Fetch(Key key) override {
+    if (calls_.fetch_add(1, std::memory_order_relaxed) % every_ ==
+        every_ - 1) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spike_seconds_));
+    }
+    return inner_->Fetch(key);
+  }
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override {
+    return inner_->Execute(key, params, fn);
+  }
+  std::vector<StatusOr<std::string>> ExecuteBatch(
+      const std::vector<std::pair<Key, std::string>>& items,
+      const UserFn& fn) override {
+    return inner_->ExecuteBatch(items, fn);
+  }
+  StatusOr<ItemStat> Stat(Key key) const override { return inner_->Stat(key); }
+  NodeId OwnerOf(Key key) const override { return inner_->OwnerOf(key); }
+
+ private:
+  DataService* inner_;
+  const int every_;
+  const double spike_seconds_;
+  std::atomic<int64_t> calls_{0};
+};
+
+struct CellResult {
+  double percentile = 0;    ///< 0 = unhedged baseline
+  double budget = 0;
+  LatencyRecorder latency;
+  int64_t hedges_sent = 0;
+  int64_t hedges_won = 0;
+  double realized_rate = 0;  ///< hedges_granted / primaries (manager view)
+};
+
+/// One sweep cell: a fresh client (fresh pools, counters, hedging manager)
+/// over the shared replica pair; `percentile` <= 0 disables hedging.
+CellResult RunCell(const Config& cfg, const std::vector<RpcEndpoint>& eps,
+                   double percentile, double budget) {
+  CellResult out;
+  out.percentile = percentile;
+  out.budget = budget;
+
+  RpcClientOptions copts;
+  copts.endpoints = eps;
+  copts.balance_reads = false;  // pin the primary onto the straggler
+  std::shared_ptr<HedgingManager> manager;
+  if (percentile > 0) {
+    HedgingConfig hc;
+    hc.percentile = percentile;
+    hc.budget = budget;
+    hc.fallback_delay = cfg.spike_seconds;  // pre-warmup: no early hedges
+    hc.warmup = 64;
+    hc.window = 2048;
+    manager = std::make_shared<HedgingManager>(hc);
+    copts.hedging = manager;
+  }
+  RpcClientService client(std::move(copts));
+
+  Rng rng(0x7a11 ^ static_cast<uint64_t>(percentile * 1e4) ^
+          static_cast<uint64_t>(budget * 1e4));
+  ZipfDistribution zipf(cfg.num_keys, cfg.zipf_z);
+  for (int64_t i = 0; i < cfg.ops_per_cell; ++i) {
+    Key k = static_cast<Key>(zipf.Sample(rng));
+    auto t0 = std::chrono::steady_clock::now();
+    auto fetched = client.Fetch(k);
+    double dt = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n",
+                   fetched.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.latency.Observe(dt);
+  }
+
+  RecoveryCounters rec = client.recovery_counters();
+  out.hedges_sent = rec.hedges_sent;
+  out.hedges_won = rec.hedges_won;
+  if (manager) out.realized_rate = manager->stats().realized_rate();
+  return out;
+}
+
+struct SelectionResult {
+  double random_mean = 0, random_p99 = 0;
+  double p2c_mean = 0, p2c_p99 = 0;
+  int64_t p2c_degraded_picks = 0;
+  int64_t random_degraded_picks = 0;
+};
+
+/// Clock-free replica-selection comparison: three replicas at 1 ms / 1 ms /
+/// 20 ms service time (one degraded node), latency per request drawn as
+/// base * (0.5 + U[0,1)). Uniform-random vs p2c over a NodeLoadView fed
+/// the observed latencies.
+SelectionResult RunSelection(const Config& cfg) {
+  const std::vector<double> base{1e-3, 1e-3, 20e-3};
+  const std::vector<NodeId> candidates{0, 1, 2};
+  SelectionResult out;
+
+  for (int policy = 0; policy < 2; ++policy) {
+    NodeLoadView view(3, /*seed=*/0xbeef);
+    Rng rng(0x5e1ec7 + static_cast<uint64_t>(policy));
+    LatencyRecorder rec;
+    int64_t degraded = 0;
+    for (int64_t i = 0; i < cfg.selection_picks; ++i) {
+      NodeId n;
+      if (policy == 0) {
+        n = candidates[static_cast<size_t>(rng.NextDouble() * 3.0) % 3];
+      } else {
+        n = view.PickTwoChoices(candidates);
+      }
+      if (n == 2) ++degraded;
+      double latency =
+          base[static_cast<size_t>(n)] * (0.5 + rng.NextDouble());
+      view.StartRequest(n);
+      view.FinishRequest(n, latency);
+      rec.Observe(latency);
+    }
+    if (policy == 0) {
+      out.random_mean = rec.mean();
+      out.random_p99 = rec.p99();
+      out.random_degraded_picks = degraded;
+    } else {
+      out.p2c_mean = rec.mean();
+      out.p2c_p99 = rec.p99();
+      out.p2c_degraded_picks = degraded;
+    }
+  }
+  return out;
+}
+
+int Main() {
+  double scale = BenchScale();
+  Config cfg;
+  cfg.ops_per_cell = std::max<int64_t>(
+      500, static_cast<int64_t>(static_cast<double>(cfg.ops_per_cell) * scale));
+  cfg.selection_picks = std::max<int64_t>(
+      2000,
+      static_cast<int64_t>(static_cast<double>(cfg.selection_picks) * scale));
+
+  PrintHeader("tail_latency: hedged reads + load-aware replica selection",
+              "hedged p99 well under the injected 40 ms straggler spikes; "
+              "realized hedge rate <= budget; p2c avoids the degraded node");
+
+  LogStructuredStore store{LogStoreConfig{}};
+  for (Key k = 0; k < cfg.num_keys; ++k) {
+    store.Put(k, std::string(cfg.payload_bytes,
+                             static_cast<char>('a' + (k % 26))));
+  }
+  LogStoreDataService fast(&store, /*num_shards=*/4);
+  SpikyService spiky(&fast, cfg.spike_every, cfg.spike_seconds);
+
+  RpcServer primary(&spiky, EchoFn());
+  RpcServer sibling(&fast, EchoFn());
+  if (!primary.Start().ok() || !sibling.Start().ok()) {
+    std::fprintf(stderr, "cannot start loopback servers\n");
+    return 1;
+  }
+  std::vector<RpcEndpoint> eps{{primary.host(), primary.port()},
+                               {sibling.host(), sibling.port()}};
+
+  std::printf("\nhedging sweep (%" PRId64 " fetches/cell, %.0f%% spikes of "
+              "%.0f ms at the primary):\n",
+              cfg.ops_per_cell, 100.0 / cfg.spike_every,
+              cfg.spike_seconds * 1e3);
+  std::printf("%12s %8s %10s %10s %10s %8s %8s %9s\n", "percentile",
+              "budget", "p50_us", "p99_us", "p999_us", "sent", "won",
+              "rate");
+
+  auto print_cell = [](const CellResult& c) {
+    char label[32];
+    if (c.percentile <= 0) {
+      std::snprintf(label, sizeof label, "%s", "unhedged");
+    } else {
+      std::snprintf(label, sizeof label, "p%.0f", c.percentile * 100.0);
+    }
+    std::printf("%12s %8.2f %10.1f %10.1f %10.1f %8" PRId64 " %8" PRId64
+                " %8.1f%%\n",
+                label, c.budget, c.latency.p50() * 1e6,
+                c.latency.p99() * 1e6, c.latency.p999() * 1e6,
+                c.hedges_sent, c.hedges_won, 100.0 * c.realized_rate);
+    std::fflush(stdout);
+  };
+
+  CellResult baseline = RunCell(cfg, eps, /*percentile=*/0, /*budget=*/0);
+  print_cell(baseline);
+
+  std::vector<CellResult> cells;
+  for (double percentile : {0.90, 0.95, 0.99}) {
+    for (double budget : {0.01, 0.05, 0.10}) {
+      cells.push_back(RunCell(cfg, eps, percentile, budget));
+      print_cell(cells.back());
+    }
+  }
+
+  SelectionResult sel = RunSelection(cfg);
+  std::printf("\nreplica selection (%" PRId64
+              " picks, replica 2 degraded 20x):\n",
+              cfg.selection_picks);
+  std::printf("%10s mean=%8.1f us  p99=%8.1f us  degraded_picks=%" PRId64
+              "\n",
+              "random", sel.random_mean * 1e6, sel.random_p99 * 1e6,
+              sel.random_degraded_picks);
+  std::printf("%10s mean=%8.1f us  p99=%8.1f us  degraded_picks=%" PRId64
+              "\n",
+              "p2c", sel.p2c_mean * 1e6, sel.p2c_p99 * 1e6,
+              sel.p2c_degraded_picks);
+
+  FILE* json = std::fopen("BENCH_tail_latency.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_tail_latency.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"tail_latency\",\n");
+  std::fprintf(json, "  \"scale\": %.3f,\n", scale);
+  std::fprintf(json, "  \"straggler\": {\"spike_every\": %d, "
+               "\"spike_seconds\": %.3e},\n",
+               cfg.spike_every, cfg.spike_seconds);
+  std::fprintf(json, "  \"unhedged\": {");
+  baseline.latency.JsonFields(json, "latency");
+  std::fprintf(json, "},\n");
+  std::fprintf(json, "  \"hedging_sweep\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(json,
+                 "    {\"percentile\": %.2f, \"budget\": %.2f, "
+                 "\"hedges_sent\": %" PRId64 ", \"hedges_won\": %" PRId64
+                 ", \"realized_rate\": %.4f, ",
+                 c.percentile, c.budget, c.hedges_sent, c.hedges_won,
+                 c.realized_rate);
+    c.latency.JsonFields(json, "latency");
+    std::fprintf(json, "}%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"replica_selection\": {\"picks\": %" PRId64
+               ", \"random_mean_seconds\": %.6e, \"random_p99_seconds\": "
+               "%.6e, \"random_degraded_picks\": %" PRId64
+               ", \"p2c_mean_seconds\": %.6e, \"p2c_p99_seconds\": %.6e, "
+               "\"p2c_degraded_picks\": %" PRId64 "}\n",
+               cfg.selection_picks, sel.random_mean, sel.random_p99,
+               sel.random_degraded_picks, sel.p2c_mean, sel.p2c_p99,
+               sel.p2c_degraded_picks);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_tail_latency.json\n");
+
+  // --- CI gates -------------------------------------------------------
+  int failures = 0;
+  const CellResult* default_cell = nullptr;
+  for (const CellResult& c : cells) {
+    if (c.percentile == 0.95 && c.budget == 0.05) default_cell = &c;
+    if (c.realized_rate > c.budget + 1e-9) {
+      std::fprintf(stderr,
+                   "FAIL: realized hedge rate %.4f exceeds budget %.2f "
+                   "(percentile %.2f)\n",
+                   c.realized_rate, c.budget, c.percentile);
+      ++failures;
+    }
+  }
+  if (default_cell == nullptr) {
+    std::fprintf(stderr, "FAIL: default p95/5%% cell missing from sweep\n");
+    ++failures;
+  } else if (default_cell->latency.p99() > baseline.latency.p99()) {
+    std::fprintf(stderr,
+                 "FAIL: hedged p99 %.1f us worse than unhedged %.1f us\n",
+                 default_cell->latency.p99() * 1e6,
+                 baseline.latency.p99() * 1e6);
+    ++failures;
+  }
+  if (sel.p2c_mean >= sel.random_mean) {
+    std::fprintf(stderr,
+                 "FAIL: p2c mean %.1f us not better than random %.1f us\n",
+                 sel.p2c_mean * 1e6, sel.random_mean * 1e6);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace joinopt
+
+int main() { return joinopt::bench::Main(); }

@@ -26,7 +26,6 @@ ClusterClientService::ClusterClientService(ClusterTopology* topology,
       jitter_rng_(options_.seed) {
   int n = topology_->num_nodes();
   clients_.reserve(static_cast<size_t>(n));
-  outstanding_.reserve(static_cast<size_t>(n));
   for (int node = 0; node < n; ++node) {
     RpcClientOptions copts;
     copts.endpoints = {topology_->endpoint(static_cast<NodeId>(node))};
@@ -37,7 +36,12 @@ ClusterClientService::ClusterClientService(ClusterTopology* topology,
     copts.balance_reads = false;
     copts.seed = options_.seed ^ static_cast<uint64_t>(node);
     clients_.push_back(std::make_unique<RpcClientService>(std::move(copts)));
-    outstanding_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  if (options_.load_view != nullptr) {
+    load_view_ = options_.load_view;
+  } else {
+    owned_load_view_ = std::make_unique<NodeLoadView>(n, options_.seed);
+    load_view_ = owned_load_view_.get();
   }
   client_id_ =
       Mix64(options_.seed ^
@@ -55,31 +59,14 @@ std::vector<NodeId> ClusterClientService::Candidates(Key key,
     live = topology_->ReplicasOf(key);
   }
   if (read && options_.balance_reads && live.size() > 1) {
-    NodeId pick = PickRead(live);
+    // Power-of-two-choices over the load view: sample two candidates, take
+    // the lower (outstanding+1) * expected-latency score — latency-aware
+    // where least-outstanding is blind to a slow-but-idle node.
+    NodeId pick = load_view_->PickTwoChoices(live);
     std::rotate(live.begin(), std::find(live.begin(), live.end(), pick),
                 live.end());
   }
   return live;
-}
-
-NodeId ClusterClientService::PickRead(
-    const std::vector<NodeId>& candidates) const {
-  int best = outstanding_[static_cast<size_t>(candidates[0])]->load(
-      std::memory_order_relaxed);
-  std::vector<NodeId> tied{candidates[0]};
-  for (size_t i = 1; i < candidates.size(); ++i) {
-    int load = outstanding_[static_cast<size_t>(candidates[i])]->load(
-        std::memory_order_relaxed);
-    if (load < best) {
-      best = load;
-      tied.assign(1, candidates[i]);
-    } else if (load == best) {
-      tied.push_back(candidates[i]);
-    }
-  }
-  // Round-robin among ties so an idle cluster still spreads reads.
-  return tied[balance_rr_.fetch_add(1, std::memory_order_relaxed) %
-              tied.size()];
 }
 
 void ClusterClientService::NoteFailure(NodeId node,
@@ -88,6 +75,8 @@ void ClusterClientService::NoteFailure(NodeId node,
     MutexLock lock(rec_mu_);
     if (IsDeadlineExceeded(status)) ++rec_.timeouts;
   }
+  // A timeout-sized penalty repels further traffic until successes decay it.
+  load_view_->NoteFailure(node, options_.recovery.request_timeout);
   if (failure_listener_) failure_listener_(node);
 }
 
@@ -126,10 +115,18 @@ Status ClusterClientService::RoutedCall(Key key, bool read,
     if (attempt > 0 && node != first_choice) {
       stats_.node_failovers.fetch_add(1, std::memory_order_relaxed);
     }
-    auto& counter = *outstanding_[static_cast<size_t>(node)];
-    counter.fetch_add(1, std::memory_order_relaxed);
+    load_view_->StartRequest(node);
+    auto t0 = std::chrono::steady_clock::now();
     Status status = op(node);
-    counter.fetch_sub(1, std::memory_order_relaxed);
+    // An in-band error is still a timed answer from a live node — observe
+    // it; only transport failures go through the penalty path instead.
+    double seconds =
+        IsTransportError(status)
+            ? -1.0
+            : std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+    load_view_->FinishRequest(node, seconds);
     if (!IsTransportError(status)) return status;  // ok or in-band error
     NoteFailure(node, status);
     last = status;

@@ -6,11 +6,14 @@
 // Routing and failover: the replica chain is re-read from the topology on
 // *every* attempt, so a controller promotion between attempts redirects the
 // retry to the new primary instead of hammering the corpse. Reads
-// (Fetch/Stat) pick the least-outstanding live replica (the same balancing
-// signal RpcClientService uses within one chain, applied across nodes);
-// writes and Execute/ExecuteBatch go primary-first — delegated compute must
-// run where the optimizer placed it. A transport error reports the node to
-// the failure listener (the controller's fast path), backs off with
+// (Fetch/Stat) pick a live replica by power-of-two-choices over the shared
+// NodeLoadView (DESIGN.md §15): sample two candidates, send to the one with
+// the lower (outstanding+1) * expected-latency score, so a slow-but-idle
+// node repels traffic that a pure least-outstanding policy would dump on
+// it. Writes and Execute/ExecuteBatch go primary-first — delegated compute
+// must run where the optimizer placed it. A transport error reports the
+// node to the failure listener (the controller's fast path), feeds a
+// request_timeout-sized latency penalty to the load view, backs off with
 // deterministic jitter, and retries; attempts are bounded by
 // recovery.max_attempts and exhaustion counts tuples_failed.
 //
@@ -23,6 +26,14 @@
 // OwnerOf never leaves the process: the topology *is* the ownership oracle
 // (zero RPCs — the test asserts this), which is the payoff of sharing the
 // RegionMap instead of asking a data node per key.
+//
+// Threading contract: every DataService method is safe to call from any
+// number of threads concurrently (the ParallelInvoker's workers all share
+// one instance). Internal locks: rec_mu_ (rank kClientRecovery=800,
+// counters + jitter RNG) and the NodeLoadView's per-node locks (rank
+// kNodeLoadView=270); neither is held across an RPC, so a stalled remote
+// never wedges routing. The failure listener and the topology's own lock
+// run outside both. Rank table: DESIGN.md §12.
 #ifndef JOINOPT_CLUSTER_CLUSTER_CLIENT_H_
 #define JOINOPT_CLUSTER_CLUSTER_CLIENT_H_
 
@@ -41,6 +52,7 @@
 #include "joinopt/common/sync.h"
 #include "joinopt/engine/async_api.h"
 #include "joinopt/engine/types.h"
+#include "joinopt/loadbalance/node_load_view.h"
 #include "joinopt/net/rpc_client.h"
 
 namespace joinopt {
@@ -50,8 +62,14 @@ struct ClusterClientOptions {
   /// one attempt and io deadline = request_timeout; this layer owns the
   /// rotation).
   RecoveryConfig recovery;
-  /// Spread reads across live replicas by least-outstanding requests.
+  /// Spread reads across live replicas by power-of-two-choices over the
+  /// node load view (outstanding counts x expected latency).
   bool balance_reads = true;
+  /// Shared load view sized to the topology's node count. Null (the
+  /// default) makes the client own a private one; the engine layer passes
+  /// the view it also feeds cost-model estimates into, so read balancing
+  /// sees tCompute/tFetch before any direct latency sample exists.
+  NodeLoadView* load_view = nullptr;
   double connect_deadline = 1.0;
   uint64_t seed = 0xc105731e;
 
@@ -110,6 +128,9 @@ class ClusterClientService : public DataService {
   RpcClientService& node_client(NodeId node) {
     return *clients_[static_cast<size_t>(node)];
   }
+  /// The load view reads balance over (the shared one from the options, or
+  /// the private one this client owns).
+  NodeLoadView& load_view() const { return *load_view_; }
 
  private:
   /// One owner-routed call with the retry/failover rotation. `read`
@@ -121,16 +142,16 @@ class ClusterClientService : public DataService {
   Status RoutedCall(Key key, bool read, const Op& op) const;
   /// Candidate nodes for this attempt, refreshed from the topology.
   std::vector<NodeId> Candidates(Key key, bool read) const;
-  NodeId PickRead(const std::vector<NodeId>& candidates) const;
   void NoteFailure(NodeId node, const Status& status) const;
   double BackoffSeconds(int attempt) const;
 
   ClusterTopology* topology_;
   ClusterClientOptions options_;
   std::vector<std::unique_ptr<RpcClientService>> clients_;  // per node
-  /// In-flight per node — the cross-node balancing signal.
-  mutable std::vector<std::unique_ptr<std::atomic<int>>> outstanding_;
-  mutable std::atomic<uint32_t> balance_rr_{0};
+  /// Cross-node balancing signal: outstanding counts + latency EWMAs +
+  /// cost-model estimates, possibly shared with the engine layer.
+  std::unique_ptr<NodeLoadView> owned_load_view_;
+  NodeLoadView* load_view_ = nullptr;
   std::atomic<uint64_t> batch_seq_{0};
   uint64_t client_id_ = 0;
   /// Set once before the client is shared across threads (see the setter's

@@ -24,6 +24,13 @@
 //      instead of re-executing.
 // The fault test diffs the output table of a kill-mid-join run against a
 // fault-free run: byte-identical, nothing lost, nothing doubled.
+//
+// Threading contract: Run() is single-caller; workers + the monitor are
+// internal threads. mu_ (rank kComputeGroup=100, the lowest rank in the
+// tree: deques, claims, outputs) is released before any invoker call, so
+// worker threads never hold it while the engine takes its shard locks.
+// Heartbeats are atomics outside the lock — the monitor reads them
+// without contending with claim traffic. Rank table: DESIGN.md §12.
 #ifndef JOINOPT_CLUSTER_COMPUTE_GROUP_H_
 #define JOINOPT_CLUSTER_COMPUTE_GROUP_H_
 

@@ -17,6 +17,13 @@
 // Reusing RecoveryConfig keeps one vocabulary for deadlines: request_timeout
 // bounds a probe exactly like it bounds a data request, and max_attempts is
 // "how many strikes" in both places.
+//
+// Threading contract: ReportFailure/ReportSuccess may be called from any
+// client thread; the probe loop runs on the controller's own background
+// thread. One lock, mu_ (rank kControllerState=450), guards strike
+// counts and stats, and is always released before MarkNodeDown or the
+// on-node-down hook fire — callbacks run lock-free and may re-enter the
+// controller. Rank table: DESIGN.md §12.
 #ifndef JOINOPT_CLUSTER_CONTROLLER_H_
 #define JOINOPT_CLUSTER_CONTROLLER_H_
 

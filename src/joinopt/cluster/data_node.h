@@ -14,6 +14,15 @@
 // were never notified. The epoch bump is what forces reconnecting
 // subscribers into a targeted re-sync instead of trusting stale sequence
 // numbers.
+//
+// Threading contract: service methods run on RpcServer worker threads;
+// Stop/Restart/running() may race them from test or controller threads.
+// Three locks, in ascending rank (one thread may hold them only in this
+// order): lifecycle_mu_ (kNodeLifecycle=480, server ptr + pinned port,
+// held across RpcServer::Start), store_mu_ (kNodeStore=500, the log
+// store), update_mu_ (kNodeUpdateFanout=600, region epochs + sink list,
+// held across the per-sink fan-out at kUpdateSink=650). Rank table:
+// DESIGN.md §12.
 #ifndef JOINOPT_CLUSTER_DATA_NODE_H_
 #define JOINOPT_CLUSTER_DATA_NODE_H_
 

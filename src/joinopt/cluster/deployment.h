@@ -10,6 +10,13 @@
 // re-syncs the node's hosted regions from the surviving primaries (values
 // copied under the store locks), restarts the server on the same port
 // (epoch bump included) and marks the node up again.
+//
+// Threading contract: the deployment owns no lock of its own — it composes
+// components that each carry theirs (ranks in DESIGN.md §12). Client calls,
+// controller probes and fault injections (KillDataNode/RestartDataNode) may
+// all race; Restart's re-sync copies values under the source nodes' store
+// locks (kNodeStore=500) one node at a time, never two at once, so
+// equal-rank store locks are never nested.
 #ifndef JOINOPT_CLUSTER_DEPLOYMENT_H_
 #define JOINOPT_CLUSTER_DEPLOYMENT_H_
 

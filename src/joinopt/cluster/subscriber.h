@@ -23,6 +23,13 @@
 // Reconnect: any transport error tears the stream down; the thread redials
 // with bounded backoff, compares the new epoch snapshot against its state,
 // and re-syncs exactly the regions that advanced while it was deaf.
+//
+// Threading contract: callbacks (OnUpdate, the re-sync hook) fire on the
+// per-node stream threads — one thread per data node, so callbacks for
+// different nodes may run concurrently and must be thread-safe. mu_ (rank
+// kSubscriberState=400, per-region epoch/seq + stats) is released before
+// every callback: a slow re-sync stalls its own stream only, and callbacks
+// may call back into the subscriber. Rank table: DESIGN.md §12.
 #ifndef JOINOPT_CLUSTER_SUBSCRIBER_H_
 #define JOINOPT_CLUSTER_SUBSCRIBER_H_
 

@@ -23,6 +23,17 @@ double Histogram::Quantile(double q) const {
   return stats_.max();
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size()) return;  // incompatible bounds
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  stats_.Merge(other.stats_);
+}
+
+void Histogram::Clear() {
+  counts_.assign(counts_.size(), 0);
+  stats_ = SummaryStats();
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream os;
   os << "count=" << stats_.count() << " mean=" << stats_.mean()

@@ -89,6 +89,13 @@ class Histogram {
   /// Approximate quantile by linear interpolation within buckets.
   double Quantile(double q) const;
 
+  /// Adds `other`'s counts into this histogram. Both must have been built
+  /// over identical bucket boundaries (checked by size only).
+  void Merge(const Histogram& other);
+
+  /// Forgets all observations (bounds are kept).
+  void Clear();
+
   std::string ToString() const;
 
  private:

@@ -45,6 +45,12 @@ inline constexpr int kInvokerDelegation = 250;
 /// BoundedQueue::mu_ (the invoker's prefetch conduit).
 inline constexpr int kInvokerQueue = 300;
 
+/// NodeLoadView::mu_ — the shared per-node load estimates (latency EWMAs
+/// + cost-model tCompute/tFetch). A leaf consulted by pickers and fed by
+/// completion paths; ranked above the invoker shards because cost-model
+/// observations are pushed while a shard lock (kInvokerShard) is held.
+inline constexpr int kNodeLoadView = 270;
+
 /// UpdateSubscriber::mu_ — per-(node, region) stream positions. Ranked
 /// *above* the invoker shards on purpose: the re-sync callback walks shard
 /// locks, so holding subscriber state across it would invert; the checker
@@ -108,6 +114,17 @@ inline constexpr int kReactorConn = 780;
 /// RpcClientService / ClusterClientService rec_mu_ — recovery counters and
 /// the jitter RNG.
 inline constexpr int kClientRecovery = 800;
+
+/// RpcClientService hedged-call completion latch (one per hedged
+/// exchange): the winner-takes-first state both attempt threads and the
+/// caller synchronize on. Sits above kClientRecovery (counters are
+/// updated outside the latch) and below kHedging, though today the
+/// budget is consulted between the latch's two wait scopes, not under it.
+inline constexpr int kHedgeState = 805;
+
+/// HedgingManager::mu_ — per-endpoint latency quantiles + the hedge-rate
+/// token bucket. A leaf: the manager calls nothing while holding it.
+inline constexpr int kHedging = 820;
 
 /// RpcClientService::Pool::mu — per-endpoint idle-connection pool; the
 /// innermost lock before the raw socket.

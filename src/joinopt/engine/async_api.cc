@@ -2,6 +2,7 @@
 
 #include "joinopt/common/hash.h"
 #include "joinopt/engine/plan_exec.h"
+#include "joinopt/loadbalance/node_load_view.h"
 
 namespace joinopt {
 
@@ -69,6 +70,12 @@ StatusOr<std::string> AsyncInvoker::Run(Key key, const std::string& params) {
   NodeId owner = service_->OwnerOf(key);
   engine_->cost_model().SetBandwidth(owner, options_.bandwidth_bytes_per_sec);
   Decision decision = engine_->Decide(key, owner);
+  if (options_.load_view != nullptr && ++runs_since_load_push_ >= 64) {
+    runs_since_load_push_ = 0;
+    options_.load_view->ObserveCostEstimates(
+        owner, engine_->cost_model().TCompute(owner),
+        engine_->cost_model().TFetch(owner));
+  }
 
   switch (decision.route) {
     case Route::kLocalMemoryHit:

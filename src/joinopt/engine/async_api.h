@@ -34,6 +34,8 @@
 
 namespace joinopt {
 
+class NodeLoadView;
+
 /// Remote side of the API: point fetches and server-side execution.
 ///
 /// Contract (load-bearing — two implementations cross threads: the
@@ -205,6 +207,11 @@ struct AsyncInvokerOptions {
   /// claimed by FetchComp). When exceeded, the oldest half (by submission
   /// order) is dropped. 0 = unbounded (the pre-bound behaviour).
   size_t max_unclaimed_results = 1 << 16;
+  /// Optional shared load view (DESIGN.md §15): the invoker periodically
+  /// pushes the cost model's smoothed per-node tCompute/tFetch estimates
+  /// into it, giving replica selection a latency prior before any direct
+  /// observation exists. Null disables the feed.
+  NodeLoadView* load_view = nullptr;
 };
 
 /// The preMap/map executor. Deterministic single-threaded implementation:
@@ -257,6 +264,7 @@ class AsyncInvoker {
   BoundedResultMap results_;
   AsyncInvokerStats stats_;
   int64_t runs_since_trim_ = 0;
+  int64_t runs_since_load_push_ = 0;
 };
 
 }  // namespace joinopt

@@ -1,0 +1,126 @@
+#include "joinopt/engine/hedging_manager.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace joinopt {
+
+namespace {
+
+/// Same log-spaced boundaries as bench_common.h's LatencyRecorder: 1 us to
+/// 10 s, ~12% wide — fine enough that an interpolated p95 lands within a
+/// bucket of the true value, coarse enough to stay ~140 buckets.
+const std::vector<double>& LogBounds() {
+  static const std::vector<double>* bounds = [] {
+    auto* b = new std::vector<double>();
+    for (double v = 1e-6; v < 10.0; v *= 1.12) b->push_back(v);
+    return b;
+  }();
+  return *bounds;
+}
+
+double EnvDouble(const char* name, double fallback, double lo, double hi) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env) return fallback;
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+HedgingConfig HedgingConfig::FromEnv(HedgingConfig base) {
+  base.percentile =
+      EnvDouble("JOINOPT_HEDGE_PERCENTILE", base.percentile, 0.5, 0.9999);
+  base.budget = EnvDouble("JOINOPT_HEDGE_BUDGET", base.budget, 0.0, 1.0);
+  return base;
+}
+
+HedgingManager::Endpoint::Endpoint()
+    : current(LogBounds()), previous(LogBounds()) {}
+
+HedgingManager::HedgingManager(HedgingConfig config)
+    : config_(config) {}
+
+HedgingManager::Endpoint& HedgingManager::FindOrCreate(uint64_t endpoint) {
+  return endpoints_[endpoint];
+}
+
+double HedgingManager::WindowQuantile(const Endpoint& ep, double q) {
+  if (ep.previous.stats().count() == 0) return ep.current.Quantile(q);
+  Histogram merged = ep.current;
+  merged.Merge(ep.previous);
+  return merged.Quantile(q);
+}
+
+void HedgingManager::ObserveLatency(uint64_t endpoint, double seconds) {
+  if (seconds < 0) return;
+  MutexLock lock(mu_);
+  ++stats_.observations;
+  Endpoint& ep = FindOrCreate(endpoint);
+  ep.current.Observe(seconds);
+  ++ep.count;
+  ++ep.in_window;
+  ++ep.since_refresh;
+  if (ep.in_window >= config_.window) {
+    // Rotate: the just-filled window becomes history, quantiles keep
+    // covering [window, 2*window) observations.
+    std::swap(ep.current, ep.previous);
+    ep.current.Clear();
+    ep.in_window = 0;
+    ep.since_refresh = config_.refresh_every;  // force recompute
+  }
+  if (ep.since_refresh >= config_.refresh_every ||
+      ep.count == config_.warmup) {
+    ep.cached_delay = WindowQuantile(ep, config_.percentile);
+    ep.since_refresh = 0;
+  }
+}
+
+void HedgingManager::OnRequestIssued() {
+  MutexLock lock(mu_);
+  ++stats_.primaries;
+  tokens_ = std::min(config_.burst, tokens_ + config_.budget);
+}
+
+double HedgingManager::HedgeDelay(uint64_t endpoint) const {
+  MutexLock lock(mu_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end() || it->second.count < config_.warmup) {
+    return config_.fallback_delay;
+  }
+  const Endpoint& ep = it->second;
+  double delay = ep.since_refresh < config_.refresh_every
+                     ? ep.cached_delay
+                     : WindowQuantile(ep, config_.percentile);
+  return std::clamp(delay, config_.min_delay, config_.max_delay);
+}
+
+bool HedgingManager::TryAcquireHedge() {
+  MutexLock lock(mu_);
+  // Epsilon absorbs accrual rounding (10 primaries x budget 0.1 sums to
+  // 0.999...); the budget invariant still holds to within 1e-9 tokens.
+  if (tokens_ < 1.0 - 1e-9) {
+    ++stats_.hedges_denied;
+    return false;
+  }
+  tokens_ -= 1.0;
+  ++stats_.hedges_granted;
+  return true;
+}
+
+HedgingStats HedgingManager::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+double HedgingManager::EndpointQuantile(uint64_t endpoint, double q) const {
+  MutexLock lock(mu_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) return 0.0;
+  return WindowQuantile(it->second, q);
+}
+
+}  // namespace joinopt

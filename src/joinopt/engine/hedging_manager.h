@@ -1,0 +1,156 @@
+// Adaptive hedging manager (DESIGN.md §15): decides *when* a straggling
+// request deserves a duplicate ("hedge") and *whether* the system can
+// afford one right now.
+//
+// The two halves:
+//
+//  * Quantile tracking. Every completed request's latency is observed into
+//    a per-endpoint pair of log-bucketed histograms (common/histogram.h,
+//    the same 1 us..10 s ~12%-wide buckets LatencyRecorder uses) rotated
+//    every `window` observations, so the tracked distribution follows the
+//    live one with at most two windows of memory. HedgeDelay(endpoint)
+//    returns the configured percentile (default p95) of that endpoint's
+//    observed latency, clamped to [min_delay, max_delay] — the moment a
+//    request has outlived 95% of its peers, it is statistically a
+//    straggler and duplicating it is cheap insurance. Before `warmup`
+//    observations the static `fallback_delay` (the old RecoveryConfig
+//    hedge_delay) is returned unchanged.
+//
+//  * Budget accounting. Hedges are extra load; under stress, unbounded
+//    hedging is an outage amplifier. A token bucket accrues `budget`
+//    tokens per primary request issued (OnRequestIssued), capped at
+//    `burst`; a hedge costs one token (TryAcquireHedge). Starting from an
+//    empty bucket this enforces the hard invariant
+//        hedges_granted <= budget * primaries
+//    at every instant (the property test pins it), so the realized hedge
+//    rate can never exceed the configured budget.
+//
+// The manager is clock-free: it never reads a wall clock, only observes
+// the latencies callers hand it and counts requests. That is what lets
+// the discrete-event simulator (engine/join_job) and the socket client
+// (net/rpc_client) share one implementation — and what makes the unit
+// tests deterministic.
+//
+// Threading: all methods are thread-safe; one Mutex (rank
+// lock_rank::kHedging, a leaf) guards the histograms and the bucket.
+// HedgeDelay memoizes its percentile and recomputes it lazily every
+// `refresh_every` observations, so steady-state calls are O(1).
+#ifndef JOINOPT_ENGINE_HEDGING_MANAGER_H_
+#define JOINOPT_ENGINE_HEDGING_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "joinopt/common/histogram.h"
+#include "joinopt/common/lock_ranks.h"
+#include "joinopt/common/sync.h"
+
+namespace joinopt {
+
+struct HedgingConfig {
+  /// Hedge a primary request once it has outlived this fraction of the
+  /// endpoint's observed latency distribution.
+  double percentile = 0.95;
+  /// Token-bucket accrual: hedges permitted per primary request issued.
+  /// The realized hedge rate never exceeds this.
+  double budget = 0.05;
+  /// Token-bucket cap: bounds how many hedges can fire back-to-back after
+  /// a long hedge-free stretch.
+  double burst = 8.0;
+  /// Clamp on the computed hedge delay (seconds). The floor keeps a very
+  /// fast endpoint from hedging inside scheduling noise; the ceiling keeps
+  /// a distribution poisoned by timeouts from disabling hedging entirely.
+  double min_delay = 200e-6;
+  double max_delay = 5.0;
+  /// Returned by HedgeDelay before `warmup` observations have arrived for
+  /// the endpoint — the static delay the adaptive path replaces.
+  double fallback_delay = 50e-3;
+  /// Observations per endpoint before the adaptive delay switches on.
+  int warmup = 64;
+  /// Histogram rotation period (per endpoint): quantiles are computed over
+  /// the current + previous window, so memory spans [window, 2*window)
+  /// observations.
+  int window = 4096;
+  /// Memoized percentile refresh period (observations per endpoint).
+  int refresh_every = 32;
+
+  /// Applies JOINOPT_HEDGE_PERCENTILE / JOINOPT_HEDGE_BUDGET environment
+  /// overrides (README "Operations guide") on top of `base`. Unset or
+  /// unparsable variables leave the base value.
+  static HedgingConfig FromEnv(HedgingConfig base);
+  static HedgingConfig FromEnv() { return FromEnv(HedgingConfig()); }
+};
+
+struct HedgingStats {
+  int64_t primaries = 0;       ///< primary requests registered
+  int64_t hedges_granted = 0;  ///< TryAcquireHedge calls that passed
+  int64_t hedges_denied = 0;   ///< ...that failed (budget exhausted)
+  int64_t observations = 0;    ///< latencies observed (all endpoints)
+
+  /// hedges_granted / primaries (0 before any primary). By construction
+  /// this never exceeds HedgingConfig::budget.
+  double realized_rate() const {
+    return primaries > 0
+               ? static_cast<double>(hedges_granted) /
+                     static_cast<double>(primaries)
+               : 0.0;
+  }
+};
+
+class HedgingManager {
+ public:
+  explicit HedgingManager(HedgingConfig config = {});
+
+  HedgingManager(const HedgingManager&) = delete;
+  HedgingManager& operator=(const HedgingManager&) = delete;
+
+  /// Records a completed request's latency against `endpoint` (an opaque
+  /// id: a NodeId, a replica-chain index — whatever the caller routes by).
+  void ObserveLatency(uint64_t endpoint, double seconds);
+
+  /// Registers one primary (non-hedge) request: accrues hedge budget.
+  void OnRequestIssued();
+
+  /// How long a primary towards `endpoint` may remain unanswered before it
+  /// deserves a hedge: the configured percentile of the endpoint's
+  /// observed latency, clamped; `fallback_delay` before warmup.
+  double HedgeDelay(uint64_t endpoint) const;
+
+  /// Spends one hedge token if available. Callers send the duplicate only
+  /// on true; false means the budget is exhausted and the primary must be
+  /// waited out (the timeout/retry path still applies).
+  bool TryAcquireHedge();
+
+  HedgingStats stats() const;
+  const HedgingConfig& config() const { return config_; }
+
+  /// The current quantile estimate for `endpoint` (no clamp, no fallback;
+  /// 0 before any observation). Test/introspection hook.
+  double EndpointQuantile(uint64_t endpoint, double q) const;
+
+ private:
+  struct Endpoint {
+    Histogram current;
+    Histogram previous;
+    int64_t count = 0;          ///< total observations ever
+    int in_window = 0;          ///< observations in `current`
+    double cached_delay = 0.0;  ///< memoized HedgeDelay percentile
+    int since_refresh = 0;
+    Endpoint();
+  };
+
+  Endpoint& FindOrCreate(uint64_t endpoint) JOINOPT_REQUIRES(mu_);
+  /// Percentile over current+previous windows.
+  static double WindowQuantile(const Endpoint& ep, double q);
+
+  HedgingConfig config_;
+  mutable Mutex mu_{lock_rank::kHedging, "HedgingManager::mu_"};
+  std::unordered_map<uint64_t, Endpoint> endpoints_ JOINOPT_GUARDED_BY(mu_);
+  double tokens_ JOINOPT_GUARDED_BY(mu_) = 0.0;
+  HedgingStats stats_ JOINOPT_GUARDED_BY(mu_);
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_ENGINE_HEDGING_MANAGER_H_

@@ -272,6 +272,16 @@ ComputeNodeRuntime::ComputeNodeRuntime(JoinJob* job, NodeId id,
   const StrategyTraits& traits = job_->traits();
   int stages = job_->num_stages();
 
+  if (cfg.recovery.enabled && cfg.recovery.hedging &&
+      cfg.recovery.adaptive_hedging) {
+    HedgingConfig hc;
+    hc.percentile = cfg.recovery.hedge_percentile;
+    hc.budget = cfg.recovery.hedge_budget;
+    hc.burst = cfg.recovery.hedge_burst;
+    hc.fallback_delay = cfg.recovery.hedge_delay;
+    hedging_ = std::make_unique<HedgingManager>(hc);
+  }
+
   key_info_.resize(static_cast<size_t>(stages));
   fetch_waiters_.resize(static_cast<size_t>(stages));
   meta_waiters_.resize(static_cast<size_t>(stages));
@@ -545,18 +555,24 @@ void ComputeNodeRuntime::RegisterSend(RequestItem& item, NodeId dest,
     ++entry.attempt;
   }
   ++entry.live_sends;
-  outstanding_sends_.emplace(sid, OutstandingSend{dest, compute, hedge});
+  outstanding_sends_.emplace(
+      sid, OutstandingSend{dest, compute, hedge, job_->sim().now()});
   if (dest != job_->store(entry.item.stage).OwnerOf(entry.item.key)) {
     ++recovery_.failovers;
   }
   if (hedge) ++recovery_.hedges_sent;
+  if (hedging_ && !hedge) hedging_->OnRequestIssued();
 
   uint64_t tuple_id = item.tuple_id;
   job_->sim().Schedule(rec.request_timeout, [this, tuple_id, sid] {
     OnSendTimeout(tuple_id, sid);
   });
   if (rec.hedging && !hedge) {
-    job_->sim().Schedule(rec.hedge_delay, [this, tuple_id, sid] {
+    // Adaptive: hedge once the send outlives the destination's observed
+    // latency percentile; static: the configured fixed delay.
+    double delay = hedging_ ? hedging_->HedgeDelay(static_cast<uint64_t>(dest))
+                            : rec.hedge_delay;
+    job_->sim().Schedule(delay, [this, tuple_id, sid] {
       MaybeHedge(tuple_id, sid);
     });
   }
@@ -612,6 +628,9 @@ void ComputeNodeRuntime::MaybeHedge(uint64_t tuple_id, uint64_t send_id) {
   }
   auto it = inflight_requests_.find(tuple_id);
   if (it == inflight_requests_.end()) return;
+  // Budget gate: without a token the primary is simply waited out (the
+  // timeout/retry machinery still applies).
+  if (hedging_ && !hedging_->TryAcquireHedge()) return;
   InflightRequest& entry = it->second;
   NodeId dest = ReplicaForAttempt(entry.item.stage, entry.item.key,
                                   entry.attempt);
@@ -719,6 +738,10 @@ void ComputeNodeRuntime::HandleResponseBatch(ResponseBatch batch) {
         (sit->second.compute ? inflight_compute_
                              : inflight_data_)[sit->second.dest] -= 1;
         hedge = sit->second.hedge;
+        if (hedging_) {
+          hedging_->ObserveLatency(static_cast<uint64_t>(sit->second.dest),
+                                   job_->sim().now() - sit->second.sent_at);
+        }
         outstanding_sends_.erase(sit);
         auto rit = inflight_requests_.find(item.tuple_id);
         if (rit != inflight_requests_.end()) {

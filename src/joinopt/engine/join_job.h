@@ -21,6 +21,7 @@
 #include "joinopt/common/ewma.h"
 #include "joinopt/common/random.h"
 #include "joinopt/engine/batcher.h"
+#include "joinopt/engine/hedging_manager.h"
 #include "joinopt/engine/messages.h"
 #include "joinopt/engine/types.h"
 #include "joinopt/fault/fault_injector.h"
@@ -191,11 +192,17 @@ class ComputeNodeRuntime {
     NodeId dest = kInvalidNode;
     bool compute = false;
     bool hedge = false;
+    double sent_at = 0.0;  ///< sim time of the send (hedging latency feed)
   };
   std::unordered_map<uint64_t, InflightRequest> inflight_requests_;
   std::unordered_map<uint64_t, OutstandingSend> outstanding_sends_;
   uint64_t next_send_id_ = 1;
   RecoveryCounters recovery_;
+  /// Adaptive hedging (RecoveryConfig::adaptive_hedging): per-destination
+  /// latency quantiles drive the hedge timer instead of the static delay,
+  /// and the token bucket caps the realized hedge rate. Null when the
+  /// static path is in use.
+  std::unique_ptr<HedgingManager> hedging_;
 
   // Load-statistics trackers.
   double local_queue_len_ = 0;  // lcc

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "joinopt/loadbalance/node_load_view.h"
+
 namespace joinopt {
 
 namespace {
@@ -205,6 +207,14 @@ std::optional<StatusOr<std::string>> ParallelInvoker::ExecutePlan(
   // benefit state see this request a single time — keeping ski-rental
   // thresholds aligned with the single-threaded executor's.
   Decision decision = shard.engine->Decide(key, owner);
+  if (options_.load_view != nullptr &&
+      (load_view_push_.fetch_add(1, std::memory_order_relaxed) & 63) == 0) {
+    // Shared load view feed (throttled): shard lock (kInvokerShard) ranks
+    // below kNodeLoadView, so observing under it is legal.
+    options_.load_view->ObserveCostEstimates(
+        owner, shard.engine->cost_model().TCompute(owner),
+        shard.engine->cost_model().TFetch(owner));
+  }
   bool held_first = false;
   for (;;) {
     switch (decision.route) {

@@ -74,6 +74,12 @@ struct ParallelInvokerOptions {
   double delegation_max_wait = 500e-6;
   /// Optional dynamic sizing, shared with the simulator's Batcher.
   BatcherDynamicSizing delegation_sizing;
+  /// Optional shared load view (DESIGN.md §15): workers periodically push
+  /// the cost model's smoothed per-node tCompute/tFetch estimates into it
+  /// (throttled; shard lock rank kInvokerShard < kNodeLoadView, so the
+  /// nesting is legal), giving replica selection a latency prior before
+  /// any direct observation exists. Null disables the feed.
+  NodeLoadView* load_view = nullptr;
 };
 
 struct ParallelInvokerStats {
@@ -279,6 +285,8 @@ class ParallelInvoker {
     std::atomic<int64_t> resync_dropped{0};
   };
   mutable AtomicStats stats_;
+  /// Throttle for the load-view cost-estimate feed (1 push per 64 plans).
+  std::atomic<uint64_t> load_view_push_{0};
 };
 
 }  // namespace joinopt

@@ -72,6 +72,16 @@ struct RecoveryConfig {
   /// response arrives first (tail-latency insurance against stragglers).
   bool hedging = false;
   double hedge_delay = 50e-3;
+  /// Adaptive hedging (DESIGN.md §15): replace the static `hedge_delay`
+  /// with a HedgingManager — hedge once a request exceeds the
+  /// `hedge_percentile` of its destination's *observed* latency
+  /// distribution, under a token-bucket budget of `hedge_budget` hedges
+  /// per primary request (burst-capped at `hedge_burst`). `hedge_delay`
+  /// remains the pre-warmup fallback. Only meaningful with hedging=true.
+  bool adaptive_hedging = false;
+  double hedge_percentile = 0.95;
+  double hedge_budget = 0.05;
+  double hedge_burst = 8.0;
 };
 
 /// What the recovery machinery actually did during a run.

@@ -1,0 +1,101 @@
+#include "joinopt/loadbalance/node_load_view.h"
+
+#include <algorithm>
+
+namespace joinopt {
+
+NodeLoadView::NodeLoadView(int num_nodes, uint64_t seed) : seed_(seed) {
+  nodes_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>());
+  }
+}
+
+void NodeLoadView::StartRequest(NodeId id) {
+  node(id).outstanding.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NodeLoadView::FinishRequest(NodeId id, double latency_seconds) {
+  Node& n = node(id);
+  n.outstanding.fetch_sub(1, std::memory_order_relaxed);
+  if (latency_seconds >= 0) {
+    stats_.latency_observations.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(n.mu);
+    n.latency.Observe(latency_seconds);
+  }
+}
+
+void NodeLoadView::NoteFailure(NodeId id, double penalty_seconds) {
+  if (penalty_seconds <= 0) return;
+  stats_.failure_penalties.fetch_add(1, std::memory_order_relaxed);
+  Node& n = node(id);
+  MutexLock lock(n.mu);
+  n.latency.Observe(penalty_seconds);
+}
+
+void NodeLoadView::ObserveCostEstimates(NodeId id, double t_compute,
+                                        double t_fetch) {
+  Node& n = node(id);
+  MutexLock lock(n.mu);
+  if (t_compute >= 0) n.t_compute.Observe(t_compute);
+  if (t_fetch >= 0) n.t_fetch.Observe(t_fetch);
+}
+
+int NodeLoadView::Outstanding(NodeId id) const {
+  return node(id).outstanding.load(std::memory_order_relaxed);
+}
+
+double NodeLoadView::ExpectedSeconds(NodeId id) const {
+  const Node& n = node(id);
+  MutexLock lock(n.mu);
+  if (n.latency.initialized()) return n.latency.value();
+  // Cost-model fallback: the mean of the rent/buy request costs is a fair
+  // proxy for "one request against this node" before any direct sample.
+  if (n.t_compute.initialized() || n.t_fetch.initialized()) {
+    double tc = n.t_compute.ValueOr(n.t_fetch.ValueOr(kPriorSeconds));
+    double tf = n.t_fetch.ValueOr(tc);
+    return 0.5 * (tc + tf);
+  }
+  return kPriorSeconds;
+}
+
+double NodeLoadView::LoadScore(NodeId id) const {
+  return static_cast<double>(Outstanding(id) + 1) * ExpectedSeconds(id);
+}
+
+NodeId NodeLoadView::PickTwoChoices(const std::vector<NodeId>& candidates) {
+  stats_.picks.fetch_add(1, std::memory_order_relaxed);
+  if (candidates.size() == 1) return candidates[0];
+  // Lock-free deterministic draw: each pick consumes one counter value,
+  // mixed with the seed. Two distinct indices i != j.
+  uint64_t r =
+      Mix64(seed_ ^ Mix64(draw_.fetch_add(1, std::memory_order_relaxed)));
+  size_t n = candidates.size();
+  size_t i = static_cast<size_t>(r % n);
+  size_t j = (i + 1 + static_cast<size_t>((r >> 32) % (n - 1))) % n;
+  stats_.two_choice_picks.fetch_add(1, std::memory_order_relaxed);
+  NodeId a = candidates[i];
+  NodeId b = candidates[j];
+  double sa = LoadScore(a);
+  double sb = LoadScore(b);
+  if (sa < sb) return a;
+  if (sb < sa) return b;
+  int oa = Outstanding(a);
+  int ob = Outstanding(b);
+  if (ob < oa) return b;
+  return a;
+}
+
+NodeLoadViewStats NodeLoadView::stats() const {
+  NodeLoadViewStats out;
+  out.picks = stats_.picks.load(std::memory_order_relaxed);
+  out.two_choice_picks =
+      stats_.two_choice_picks.load(std::memory_order_relaxed);
+  out.latency_observations =
+      stats_.latency_observations.load(std::memory_order_relaxed);
+  out.failure_penalties =
+      stats_.failure_penalties.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace joinopt

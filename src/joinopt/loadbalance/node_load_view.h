@@ -1,0 +1,131 @@
+// NodeLoadView: one live, shared view of per-node load (DESIGN.md §15).
+//
+// Before this existed the system had two disjoint load signals: the
+// cluster client's read balancing counted outstanding requests per node
+// (instantaneous, but blind to *how slow* a node is), while the engine's
+// cost model tracked smoothed per-node tCompute/tFetch estimates
+// (latency-aware, but invisible to the recovery/balancing path). This
+// class merges both — plus directly observed request latencies — into one
+// scalar per node:
+//
+//     LoadScore(j) = (outstanding_j + 1) * expected_seconds_j
+//
+// where expected_seconds_j is the EWMA of observed request latencies
+// against j, falling back to the cost model's (tCompute + tFetch)/2
+// estimate before any latency has been observed, and to a uniform prior
+// before either exists. The score is the expected time for a new request
+// to drain node j's queue — the quantity power-of-two-choices should
+// minimize.
+//
+// PickTwoChoices implements exactly that: sample two distinct candidates
+// (deterministically seeded, lock-free draw), send the request to the one
+// with the lower score. Two choices is the classical sweet spot — it turns
+// the max-load gap from Θ(log n / log log n) to Θ(log log n) while probing
+// only two nodes, and unlike "least loaded of all" it does not herd every
+// client onto the same momentarily-idle node between updates.
+//
+// Failure feedback: a transport error against a node should repel traffic
+// immediately; callers report it via NoteFailure(node, penalty_seconds),
+// which observes the penalty (typically the request timeout) as if it were
+// a latency — the EWMA then decays it away as real successes return.
+//
+// Threading: all methods are thread-safe. Outstanding counts are plain
+// atomics; the EWMAs sit behind one Mutex (rank lock_rank::kNodeLoadView)
+// which ranks above the invoker shards because the engine pushes
+// cost-model estimates while holding a shard lock.
+#ifndef JOINOPT_LOADBALANCE_NODE_LOAD_VIEW_H_
+#define JOINOPT_LOADBALANCE_NODE_LOAD_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "joinopt/common/ewma.h"
+#include "joinopt/common/hash.h"
+#include "joinopt/common/lock_ranks.h"
+#include "joinopt/common/sync.h"
+
+namespace joinopt {
+
+struct NodeLoadViewStats {
+  int64_t picks = 0;             ///< PickTwoChoices calls
+  int64_t two_choice_picks = 0;  ///< ...that actually compared two nodes
+  int64_t latency_observations = 0;
+  int64_t failure_penalties = 0;
+};
+
+class NodeLoadView {
+ public:
+  /// `num_nodes` fixes the id space [0, num_nodes); `seed` makes the
+  /// two-choice sampling deterministic for tests.
+  explicit NodeLoadView(int num_nodes, uint64_t seed = 0x10adb10e);
+
+  NodeLoadView(const NodeLoadView&) = delete;
+  NodeLoadView& operator=(const NodeLoadView&) = delete;
+
+  /// Bracket every request: StartRequest before the send, FinishRequest
+  /// after the response. `latency_seconds` < 0 means "no observation"
+  /// (failed exchange — report that through NoteFailure instead).
+  void StartRequest(NodeId node);
+  void FinishRequest(NodeId node, double latency_seconds);
+
+  /// Repels traffic from a node that just failed: the penalty (typically
+  /// the request timeout) is fed to the latency EWMA.
+  void NoteFailure(NodeId node, double penalty_seconds);
+
+  /// Cost-model feed: the engine's smoothed per-node estimates (Table 1's
+  /// tCompute/tFetch), used as the latency prior until real observations
+  /// arrive and as a second opinion afterwards.
+  void ObserveCostEstimates(NodeId node, double t_compute, double t_fetch);
+
+  int Outstanding(NodeId node) const;
+  /// Smoothed expected seconds for one request against `node` (latency
+  /// EWMA, else cost-model fallback, else `prior_seconds`).
+  double ExpectedSeconds(NodeId node) const;
+  /// (outstanding + 1) * ExpectedSeconds — expected drain time.
+  double LoadScore(NodeId node) const;
+
+  /// Power-of-two-choices over `candidates` (node ids, non-empty): samples
+  /// two distinct entries, returns the lower LoadScore (ties: fewer
+  /// outstanding, then the first sampled). One candidate returns it
+  /// directly.
+  NodeId PickTwoChoices(const std::vector<NodeId>& candidates);
+
+  NodeLoadViewStats stats() const;
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    std::atomic<int> outstanding{0};
+    mutable Mutex mu{lock_rank::kNodeLoadView, "NodeLoadView::Node::mu"};
+    Ewma latency JOINOPT_GUARDED_BY(mu){0.2};
+    Ewma t_compute JOINOPT_GUARDED_BY(mu){0.2};
+    Ewma t_fetch JOINOPT_GUARDED_BY(mu){0.2};
+  };
+
+  /// Uniform prior before any signal exists (1 ms — a LAN round trip plus
+  /// service time; only the ordering matters and unknown nodes tie).
+  static constexpr double kPriorSeconds = 1e-3;
+
+  Node& node(NodeId id) { return *nodes_[static_cast<size_t>(id)]; }
+  const Node& node(NodeId id) const {
+    return *nodes_[static_cast<size_t>(id)];
+  }
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  const uint64_t seed_;
+  std::atomic<uint64_t> draw_{0};
+
+  struct AtomicStats {
+    std::atomic<int64_t> picks{0};
+    std::atomic<int64_t> two_choice_picks{0};
+    std::atomic<int64_t> latency_observations{0};
+    std::atomic<int64_t> failure_penalties{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_LOADBALANCE_NODE_LOAD_VIEW_H_

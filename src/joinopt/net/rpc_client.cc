@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "joinopt/common/hash.h"
@@ -30,9 +31,30 @@ RpcClientService::RpcClientService(RpcClientOptions options)
             Mix64(g_client_instance.fetch_add(1, std::memory_order_relaxed) +
                   1)) |
       1;  // nonzero: 0 means "no dedup" on the wire
+  if (options_.hedging) {
+    hedging_ = options_.hedging;
+  } else if (options_.recovery.enabled && options_.recovery.hedging) {
+    HedgingConfig hc;
+    hc.percentile = options_.recovery.hedge_percentile;
+    hc.budget = options_.recovery.hedge_budget;
+    hc.burst = options_.recovery.hedge_burst;
+    hc.fallback_delay = options_.recovery.hedge_delay;
+    if (!options_.recovery.adaptive_hedging) {
+      // Static mode: never leave warmup, so HedgeDelay always returns the
+      // configured hedge_delay — but the budget still applies.
+      hc.warmup = std::numeric_limits<int>::max();
+    }
+    hedging_ = std::make_shared<HedgingManager>(HedgingConfig::FromEnv(hc));
+  }
 }
 
-RpcClientService::~RpcClientService() = default;
+RpcClientService::~RpcClientService() {
+  // Hedged-exchange losers may still be mid-CallOnce when their waiter
+  // returned; every attempt is deadline-bounded, so this drains quickly.
+  while (inflight_attempts_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
 
 StatusOr<UniqueFd> RpcClientService::Acquire(size_t endpoint_idx) const {
   Pool& pool = *pools_[endpoint_idx];
@@ -99,6 +121,114 @@ StatusOr<std::string> RpcClientService::CallOnce(
   return std::move(resp.body);
 }
 
+StatusOr<std::string> RpcClientService::TimedCallOnce(
+    size_t endpoint_idx, MsgType req_type, const std::string& body,
+    bool is_hedge) const {
+  if (hedging_ && !is_hedge) hedging_->OnRequestIssued();
+  outstanding_[endpoint_idx]->fetch_add(1, std::memory_order_relaxed);
+  auto t0 = std::chrono::steady_clock::now();
+  auto result = CallOnce(endpoint_idx, req_type, body);
+  outstanding_[endpoint_idx]->fetch_sub(1, std::memory_order_relaxed);
+  if (hedging_ && result.ok()) {
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    hedging_->ObserveLatency(static_cast<uint64_t>(endpoint_idx), seconds);
+  }
+  return result;
+}
+
+void RpcClientService::LaunchAttempt(std::shared_ptr<HedgeState> state,
+                                     size_t endpoint_idx, MsgType req_type,
+                                     std::string body, bool is_hedge) const {
+  {
+    MutexLock lock(state->mu);
+    ++state->pending;
+  }
+  inflight_attempts_.fetch_add(1, std::memory_order_acq_rel);
+  std::thread([this, state = std::move(state), endpoint_idx, req_type,
+               body = std::move(body), is_hedge] {
+    auto result = TimedCallOnce(endpoint_idx, req_type, body, is_hedge);
+    bool duplicate = false;
+    {
+      MutexLock lock(state->mu);
+      --state->pending;
+      if (result.ok()) {
+        if (state->has_winner) {
+          duplicate = true;  // both attempts succeeded; first one won
+        } else {
+          state->has_winner = true;
+          state->winner_is_hedge = is_hedge;
+          state->winner_body = std::move(*result);
+        }
+      } else if (!state->has_error) {
+        state->has_error = true;
+        state->first_error = result.status();
+      }
+      state->cv.NotifyAll();
+    }
+    if (!result.ok()) NoteTransportError(result.status());
+    if (duplicate) {
+      MutexLock lock(rec_mu_);
+      ++rec_.duplicates_ignored;
+    }
+    inflight_attempts_.fetch_sub(1, std::memory_order_acq_rel);
+  }).detach();
+}
+
+StatusOr<std::string> RpcClientService::HedgedCall(
+    size_t primary, size_t secondary, MsgType req_type,
+    const std::string& body) const {
+  auto state = std::make_shared<HedgeState>();
+  LaunchAttempt(state, primary, req_type, body, /*is_hedge=*/false);
+  const double delay = hedging_->HedgeDelay(static_cast<uint64_t>(primary));
+  const auto hedge_at =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(delay);
+
+  bool hedge_sent = false;
+  bool winner_is_hedge = false;
+  bool primary_still_out = false;
+  StatusOr<std::string> out = Status::Internal("hedge: no result");
+  {
+    MutexLock lock(state->mu);
+    // Phase 1: give the primary `delay` seconds to answer on its own.
+    while (!state->has_winner && state->pending > 0) {
+      double remain = std::chrono::duration<double>(
+                          hedge_at - std::chrono::steady_clock::now())
+                          .count();
+      if (remain <= 0) break;
+      state->cv.WaitFor(state->mu, remain);
+    }
+    primary_still_out = !state->has_winner && state->pending > 0;
+  }
+  // Phase 2: the primary is officially a straggler. Duplicate it if the
+  // token bucket agrees. (The primary may answer between the unlock and
+  // the launch — the hedge is then redundant but still raced correctly.)
+  if (primary_still_out && hedging_->TryAcquireHedge()) {
+    hedge_sent = true;
+    LaunchAttempt(state, secondary, req_type, body, /*is_hedge=*/true);
+  }
+  {
+    MutexLock lock(state->mu);
+    while (!state->has_winner && state->pending > 0) {
+      state->cv.Wait(state->mu);
+    }
+    if (state->has_winner) {
+      winner_is_hedge = state->winner_is_hedge;
+      out = std::move(state->winner_body);
+    } else {
+      out = state->has_error ? state->first_error
+                             : Status::Internal("hedge: no result");
+    }
+  }
+  if (hedge_sent || winner_is_hedge) {
+    MutexLock lock(rec_mu_);
+    if (hedge_sent) ++rec_.hedges_sent;
+    if (winner_is_hedge) ++rec_.hedges_won;
+  }
+  return out;
+}
+
 size_t RpcClientService::StartEndpoint(bool read) const {
   const size_t n = options_.endpoints.size();
   if (!read || !options_.balance_reads || n < 2) return 0;
@@ -128,11 +258,14 @@ StatusOr<std::string> RpcClientService::Call(MsgType req_type,
   }
   const RecoveryConfig& rec = options_.recovery;
   const int attempts = rec.enabled ? std::max(rec.max_attempts, 1) : 1;
+  const size_t n = options_.endpoints.size();
   const size_t start = StartEndpoint(read);
+  // Hedge read verbs only: writes and delegated compute stay primary-first
+  // (the engine's cost model placed them), and hedging needs a sibling.
+  const bool hedge_reads = read && hedging_ != nullptr && n >= 2;
   Status last = Status::Internal("unreachable");
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    size_t ep =
-        (start + static_cast<size_t>(attempt)) % options_.endpoints.size();
+    size_t ep = (start + static_cast<size_t>(attempt)) % n;
     if (attempt > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(BackoffSeconds(attempt)));
@@ -140,12 +273,17 @@ StatusOr<std::string> RpcClientService::Call(MsgType req_type,
       ++rec_.retries;
       if (ep != start) ++rec_.failovers;
     }
-    outstanding_[ep]->fetch_add(1, std::memory_order_relaxed);
-    auto result = CallOnce(ep, req_type, body);
-    outstanding_[ep]->fetch_sub(1, std::memory_order_relaxed);
+    // The hedged exchange covers the first attempt only; backoff retries
+    // are already failure handling, doubling them would amplify an outage.
+    const bool hedged = hedge_reads && attempt == 0;
+    auto result = hedged ? HedgedCall(ep, (ep + 1) % n, req_type, body)
+                         : TimedCallOnce(ep, req_type, body,
+                                         /*is_hedge=*/false);
     if (result.ok()) return result;
     if (!IsTransportError(result.status())) return result;  // not retriable
-    NoteTransportError(result.status());
+    // Hedged attempts count their transport errors in LaunchAttempt (both
+    // racers, not just the returned one).
+    if (!hedged) NoteTransportError(result.status());
     last = result.status();
   }
   {

@@ -34,6 +34,7 @@
 #include "joinopt/common/status.h"
 #include "joinopt/common/sync.h"
 #include "joinopt/engine/async_api.h"
+#include "joinopt/engine/hedging_manager.h"
 #include "joinopt/engine/types.h"
 #include "joinopt/net/socket.h"
 
@@ -66,6 +67,14 @@ struct RpcClientOptions {
   /// model placed it. Failover rotation still applies on top, starting
   /// from the balanced choice.
   bool balance_reads = true;
+  /// Shared hedging manager (DESIGN.md §15). When null and
+  /// recovery.hedging is set, the client builds a private one from the
+  /// recovery knobs (hedge_percentile/budget/burst, with hedge_delay as
+  /// the pre-warmup fallback; recovery.adaptive_hedging=false pins the
+  /// delay to hedge_delay forever while keeping the budget). Supplying one
+  /// here pools the quantiles and the hedge budget across clients — the
+  /// cluster layer does this so the whole process shares one budget.
+  std::shared_ptr<HedgingManager> hedging;
   /// Seed for the deterministic backoff jitter.
   uint64_t seed = 0x5ca1ab1e;
 
@@ -138,14 +147,45 @@ class RpcClientService : public DataService {
     std::vector<UniqueFd> idle JOINOPT_GUARDED_BY(mu);
   };
 
+  /// Completion latch for one hedged read: the waiter blocks on `cv`
+  /// while up to two attempt threads race; the first success wins.
+  /// Heap-allocated and shared with the attempt threads, so a late loser
+  /// finishing after the waiter returned still has somewhere to land.
+  struct HedgeState {
+    Mutex mu{lock_rank::kHedgeState, "RpcClientService::HedgeState::mu"};
+    CondVar cv;
+    int pending JOINOPT_GUARDED_BY(mu) = 0;  ///< attempts still running
+    bool has_winner JOINOPT_GUARDED_BY(mu) = false;
+    bool winner_is_hedge JOINOPT_GUARDED_BY(mu) = false;
+    std::string winner_body JOINOPT_GUARDED_BY(mu);
+    bool has_error JOINOPT_GUARDED_BY(mu) = false;
+    Status first_error JOINOPT_GUARDED_BY(mu) = Status::OK();
+  };
+
   /// One request/response exchange with retry + failover. Returns the
   /// response body after verifying type and seq echo. `read` routes the
-  /// first attempt through the load balancer (see balance_reads).
+  /// first attempt through the load balancer (see balance_reads) and, when
+  /// hedging is on, through the hedged exchange.
   StatusOr<std::string> Call(MsgType req_type, const std::string& body,
                              bool read = false) const;
   /// One attempt against one endpoint (no retries).
   StatusOr<std::string> CallOnce(size_t endpoint_idx, MsgType req_type,
                                  const std::string& body) const;
+  /// CallOnce plus the bookkeeping an attempt needs: outstanding counts,
+  /// latency measurement, and (when hedging) quantile/budget feeds.
+  StatusOr<std::string> TimedCallOnce(size_t endpoint_idx, MsgType req_type,
+                                      const std::string& body,
+                                      bool is_hedge) const;
+  /// The hedged read exchange (DESIGN.md §15): fire the primary, wait
+  /// HedgeDelay(primary); if still unanswered and the budget grants a
+  /// token, duplicate to `secondary`; first success wins, both-fail
+  /// returns the first error into Call's retry loop.
+  StatusOr<std::string> HedgedCall(size_t primary, size_t secondary,
+                                   MsgType req_type,
+                                   const std::string& body) const;
+  /// Spawns one detached attempt thread reporting into `state`.
+  void LaunchAttempt(std::shared_ptr<HedgeState> state, size_t endpoint_idx,
+                     MsgType req_type, std::string body, bool is_hedge) const;
   /// First endpoint for a call: 0 (primary) for writes, the
   /// least-outstanding endpoint (round-robin among ties) for balanced
   /// reads.
@@ -156,6 +196,12 @@ class RpcClientService : public DataService {
   double BackoffSeconds(int attempt) const;
 
   RpcClientOptions options_;
+  /// Null unless hedging is configured (options_.hedging or built from the
+  /// recovery knobs). Shared with attempt threads and possibly siblings.
+  std::shared_ptr<HedgingManager> hedging_;
+  /// Attempt threads in flight (hedged exchanges outlive their waiter);
+  /// the destructor spins until this drains — bounded by the IO deadline.
+  mutable std::atomic<int> inflight_attempts_{0};
   mutable std::vector<std::unique_ptr<Pool>> pools_;
   /// In-flight request count per endpoint (the load-balancing signal).
   mutable std::vector<std::unique_ptr<std::atomic<int>>> outstanding_;

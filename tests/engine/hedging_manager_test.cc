@@ -1,0 +1,167 @@
+#include "joinopt/engine/hedging_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+HedgingConfig SmallConfig() {
+  HedgingConfig c;
+  c.warmup = 16;
+  c.window = 256;
+  c.refresh_every = 8;
+  return c;
+}
+
+TEST(HedgingManagerTest, FallbackDelayBeforeWarmup) {
+  HedgingConfig c = SmallConfig();
+  c.fallback_delay = 42e-3;
+  HedgingManager m(c);
+  EXPECT_DOUBLE_EQ(m.HedgeDelay(0), 42e-3);
+  for (int i = 0; i < c.warmup - 1; ++i) m.ObserveLatency(0, 1e-3);
+  EXPECT_DOUBLE_EQ(m.HedgeDelay(0), 42e-3);
+  m.ObserveLatency(0, 1e-3);
+  // Warmup reached: the delay is now the observed percentile, not 42 ms.
+  EXPECT_LT(m.HedgeDelay(0), 10e-3);
+}
+
+TEST(HedgingManagerTest, DelayTracksObservedPercentile) {
+  HedgingConfig c = SmallConfig();
+  c.percentile = 0.95;
+  HedgingManager m(c);
+  // 95% of requests at ~1 ms, 5% at ~100 ms: p95 sits at the fast mode's
+  // upper edge, far below the straggler mode.
+  for (int i = 0; i < 2000; ++i) {
+    m.ObserveLatency(7, i % 20 == 0 ? 100e-3 : 1e-3);
+  }
+  double delay = m.HedgeDelay(7);
+  EXPECT_GE(delay, 0.8e-3);
+  EXPECT_LE(delay, 10e-3);
+  // A tighter percentile on the same distribution lands inside the tail.
+  EXPECT_GT(m.EndpointQuantile(7, 0.999), 50e-3);
+}
+
+TEST(HedgingManagerTest, PerEndpointIsolation) {
+  HedgingManager m(SmallConfig());
+  for (int i = 0; i < 500; ++i) {
+    m.ObserveLatency(1, 1e-3);    // fast endpoint
+    m.ObserveLatency(2, 200e-3);  // degraded endpoint
+  }
+  EXPECT_LT(m.HedgeDelay(1), 5e-3);
+  EXPECT_GT(m.HedgeDelay(2), 100e-3);
+}
+
+TEST(HedgingManagerTest, WindowRotationForgetsOldDistribution) {
+  HedgingConfig c = SmallConfig();
+  c.window = 128;
+  HedgingManager m(c);
+  // A slow era followed by > 2 windows of fast observations: the rotation
+  // must drop the slow history entirely.
+  for (int i = 0; i < 200; ++i) m.ObserveLatency(0, 500e-3);
+  EXPECT_GT(m.HedgeDelay(0), 100e-3);
+  for (int i = 0; i < 3 * c.window; ++i) m.ObserveLatency(0, 1e-3);
+  EXPECT_LT(m.HedgeDelay(0), 5e-3);
+}
+
+TEST(HedgingManagerTest, DelayClampedToConfiguredRange) {
+  HedgingConfig c = SmallConfig();
+  c.min_delay = 1e-3;
+  c.max_delay = 50e-3;
+  HedgingManager m(c);
+  for (int i = 0; i < 100; ++i) m.ObserveLatency(0, 5e-6);  // ultra fast
+  EXPECT_DOUBLE_EQ(m.HedgeDelay(0), 1e-3);
+  for (int i = 0; i < 2000; ++i) m.ObserveLatency(1, 2.0);  // timeout-land
+  EXPECT_DOUBLE_EQ(m.HedgeDelay(1), 50e-3);
+}
+
+TEST(HedgingManagerTest, BudgetDeniesWithoutTokens) {
+  HedgingConfig c = SmallConfig();
+  c.budget = 0.1;
+  HedgingManager m(c);
+  // No primaries registered yet: the bucket starts empty.
+  EXPECT_FALSE(m.TryAcquireHedge());
+  EXPECT_EQ(m.stats().hedges_denied, 1);
+  // 10 primaries at budget 0.1 accrue exactly one token.
+  for (int i = 0; i < 10; ++i) m.OnRequestIssued();
+  EXPECT_TRUE(m.TryAcquireHedge());
+  EXPECT_FALSE(m.TryAcquireHedge());
+}
+
+TEST(HedgingManagerTest, BurstCapsAccruedTokens) {
+  HedgingConfig c = SmallConfig();
+  c.budget = 0.5;
+  c.burst = 2.0;
+  HedgingManager m(c);
+  for (int i = 0; i < 1000; ++i) m.OnRequestIssued();
+  // A long hedge-free stretch banks at most `burst` tokens.
+  EXPECT_TRUE(m.TryAcquireHedge());
+  EXPECT_TRUE(m.TryAcquireHedge());
+  EXPECT_FALSE(m.TryAcquireHedge());
+}
+
+// The hard invariant DESIGN.md §15 promises: at every instant, under any
+// interleaving of primaries and hedge attempts, granted hedges never exceed
+// budget * primaries.
+TEST(HedgingManagerTest, RealizedRateNeverExceedsBudgetProperty) {
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL, 12345ULL}) {
+    for (double budget : {0.01, 0.05, 0.2}) {
+      HedgingConfig c = SmallConfig();
+      c.budget = budget;
+      c.burst = 4.0;
+      HedgingManager m(c);
+      Rng rng(seed);
+      for (int step = 0; step < 20000; ++step) {
+        if (rng.NextDouble() < 0.6) {
+          m.OnRequestIssued();
+        } else {
+          m.TryAcquireHedge();  // outcome checked via the invariant below
+        }
+        HedgingStats s = m.stats();
+        ASSERT_LE(static_cast<double>(s.hedges_granted),
+                  budget * static_cast<double>(s.primaries) + 1e-9)
+            << "seed=" << seed << " budget=" << budget << " step=" << step;
+      }
+      HedgingStats s = m.stats();
+      EXPECT_LE(s.realized_rate(), budget + 1e-12);
+      EXPECT_GT(s.hedges_granted, 0);  // the budget is usable, not just safe
+    }
+  }
+}
+
+TEST(HedgingManagerTest, NegativeLatencyIgnored) {
+  HedgingManager m(SmallConfig());
+  m.ObserveLatency(0, -1.0);
+  EXPECT_EQ(m.stats().observations, 0);
+}
+
+TEST(HedgingManagerTest, FromEnvOverridesAndClamps) {
+  HedgingConfig base;
+  base.percentile = 0.95;
+  base.budget = 0.05;
+
+  ::setenv("JOINOPT_HEDGE_PERCENTILE", "0.99", 1);
+  ::setenv("JOINOPT_HEDGE_BUDGET", "0.10", 1);
+  HedgingConfig c = HedgingConfig::FromEnv(base);
+  EXPECT_DOUBLE_EQ(c.percentile, 0.99);
+  EXPECT_DOUBLE_EQ(c.budget, 0.10);
+
+  ::setenv("JOINOPT_HEDGE_PERCENTILE", "7.5", 1);  // clamped to 0.9999
+  ::setenv("JOINOPT_HEDGE_BUDGET", "not-a-number", 1);  // falls back
+  c = HedgingConfig::FromEnv(base);
+  EXPECT_DOUBLE_EQ(c.percentile, 0.9999);
+  EXPECT_DOUBLE_EQ(c.budget, 0.05);
+
+  ::unsetenv("JOINOPT_HEDGE_PERCENTILE");
+  ::unsetenv("JOINOPT_HEDGE_BUDGET");
+  c = HedgingConfig::FromEnv(base);
+  EXPECT_DOUBLE_EQ(c.percentile, 0.95);
+  EXPECT_DOUBLE_EQ(c.budget, 0.05);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -1,0 +1,145 @@
+#include "joinopt/loadbalance/node_load_view.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace joinopt {
+namespace {
+
+TEST(NodeLoadViewTest, OutstandingAccounting) {
+  NodeLoadView view(3);
+  view.StartRequest(1);
+  view.StartRequest(1);
+  view.StartRequest(2);
+  EXPECT_EQ(view.Outstanding(0), 0);
+  EXPECT_EQ(view.Outstanding(1), 2);
+  EXPECT_EQ(view.Outstanding(2), 1);
+  view.FinishRequest(1, 1e-3);
+  EXPECT_EQ(view.Outstanding(1), 1);
+  EXPECT_EQ(view.stats().latency_observations, 1);
+  // latency < 0 means "no observation" (the failed-exchange contract).
+  view.FinishRequest(2, -1.0);
+  EXPECT_EQ(view.stats().latency_observations, 1);
+}
+
+TEST(NodeLoadViewTest, ExpectedSecondsFallsBackToCostModel) {
+  NodeLoadView view(2);
+  // No signal at all: the uniform prior, equal across nodes.
+  EXPECT_DOUBLE_EQ(view.ExpectedSeconds(0), view.ExpectedSeconds(1));
+  // Cost estimates only: the (tCompute + tFetch)/2 proxy.
+  view.ObserveCostEstimates(0, 4e-3, 2e-3);
+  EXPECT_NEAR(view.ExpectedSeconds(0), 3e-3, 1e-9);
+  // A direct latency observation takes over from the proxy.
+  view.StartRequest(0);
+  view.FinishRequest(0, 10e-3);
+  EXPECT_NEAR(view.ExpectedSeconds(0), 10e-3, 1e-9);
+}
+
+TEST(NodeLoadViewTest, LoadScoreScalesWithQueueDepth) {
+  NodeLoadView view(1);
+  view.StartRequest(0);
+  view.FinishRequest(0, 2e-3);
+  double idle = view.LoadScore(0);
+  view.StartRequest(0);
+  view.StartRequest(0);
+  EXPECT_NEAR(view.LoadScore(0), 3 * idle, 1e-9);
+}
+
+TEST(NodeLoadViewTest, TwoChoicesAvoidsDegradedNode) {
+  NodeLoadView view(3, /*seed=*/99);
+  // Node 1 is 100x slower than its peers (a constant-slow straggler —
+  // exactly the case outstanding-only balancing is blind to when idle).
+  for (int i = 0; i < 50; ++i) {
+    for (NodeId n : {0, 1, 2}) {
+      view.StartRequest(n);
+      view.FinishRequest(n, n == 1 ? 100e-3 : 1e-3);
+    }
+  }
+  std::vector<NodeId> candidates{0, 1, 2};
+  int picked_degraded = 0;
+  const int kPicks = 1000;
+  for (int i = 0; i < kPicks; ++i) {
+    if (view.PickTwoChoices(candidates) == 1) ++picked_degraded;
+  }
+  // Node 1 wins only when the sampler draws {1} against itself — which
+  // PickTwoChoices never does (two distinct indices) — so it is shut out.
+  EXPECT_EQ(picked_degraded, 0);
+  EXPECT_EQ(view.stats().picks, kPicks);
+  EXPECT_EQ(view.stats().two_choice_picks, kPicks);
+}
+
+TEST(NodeLoadViewTest, TwoChoicesSpreadsAcrossEqualNodes) {
+  NodeLoadView view(4, /*seed=*/7);
+  std::vector<NodeId> candidates{0, 1, 2, 3};
+  std::vector<int> hits(4, 0);
+  const int kPicks = 8000;
+  for (int i = 0; i < kPicks; ++i) {
+    NodeId n = view.PickTwoChoices(candidates);
+    // Simulate an instantaneous request so outstanding stays zero and only
+    // the sampler's uniformity is on trial.
+    view.StartRequest(n);
+    view.FinishRequest(n, 1e-3);
+    ++hits[static_cast<size_t>(n)];
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(hits[static_cast<size_t>(n)], kPicks / 8)
+        << "node " << n << " starved";
+  }
+}
+
+TEST(NodeLoadViewTest, SingleCandidateShortCircuits) {
+  NodeLoadView view(2, /*seed=*/3);
+  std::vector<NodeId> only{1};
+  EXPECT_EQ(view.PickTwoChoices(only), 1);
+  EXPECT_EQ(view.stats().picks, 1);
+  EXPECT_EQ(view.stats().two_choice_picks, 0);
+}
+
+TEST(NodeLoadViewTest, FailurePenaltyRepelsThenDecays) {
+  NodeLoadView view(2, /*seed=*/11);
+  for (int i = 0; i < 20; ++i) {
+    for (NodeId n : {0, 1}) {
+      view.StartRequest(n);
+      view.FinishRequest(n, 1e-3);
+    }
+  }
+  view.NoteFailure(0, /*penalty_seconds=*/2.0);
+  EXPECT_GT(view.ExpectedSeconds(0), 100e-3);
+  EXPECT_EQ(view.stats().failure_penalties, 1);
+  std::vector<NodeId> candidates{0, 1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(view.PickTwoChoices(candidates), 1);
+  }
+  // Successes decay the penalty back down (EWMA alpha 0.2).
+  for (int i = 0; i < 100; ++i) {
+    view.StartRequest(0);
+    view.FinishRequest(0, 1e-3);
+  }
+  EXPECT_LT(view.ExpectedSeconds(0), 5e-3);
+}
+
+TEST(NodeLoadViewTest, ConcurrentUseIsClean) {
+  NodeLoadView view(4, /*seed=*/1);
+  std::vector<NodeId> candidates{0, 1, 2, 3};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&view, &candidates] {
+      for (int i = 0; i < 2000; ++i) {
+        NodeId n = view.PickTwoChoices(candidates);
+        view.StartRequest(n);
+        view.ObserveCostEstimates(n, 1e-3, 2e-3);
+        view.FinishRequest(n, 1e-3);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  NodeLoadViewStats s = view.stats();
+  EXPECT_EQ(s.picks, 8 * 2000);
+  EXPECT_EQ(s.latency_observations, 8 * 2000);
+  for (NodeId n : candidates) EXPECT_EQ(view.Outstanding(n), 0);
+}
+
+}  // namespace
+}  // namespace joinopt
