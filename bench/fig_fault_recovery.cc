@@ -43,13 +43,38 @@ struct NetworkedResult {
   std::vector<StatusOr<std::string>> outputs;
 };
 
+/// Maps a paper Strategy onto the live invoker: the simulator's
+/// StrategyTraits become a forced decision route (NO/FC/FD/FR), a caching
+/// toggle (LO/FD run with zero cache), and prefetch/batching depths — so
+/// the same seven-way comparison the figures model runs over real sockets.
+ParallelInvokerOptions InvokerFor(Strategy strategy) {
+  StrategyTraits traits = StrategyTraits::For(strategy);
+  ParallelInvokerOptions o;
+  o.num_threads = 2;
+  if (traits.always_fetch) o.decision.forced_route = ForcedRoute::kFetch;
+  if (traits.always_compute) o.decision.forced_route = ForcedRoute::kCompute;
+  if (traits.random_choice) o.decision.forced_route = ForcedRoute::kRandom;
+  if (!traits.caching) {
+    o.decision.caching_enabled = false;
+    o.decision.cache.memory_capacity_bytes = 0;
+    o.decision.cache.disk_capacity_bytes = 0;
+  }
+  if (!traits.batching) o.delegation_batch_size = 1;
+  if (!traits.prefetch) {
+    o.num_threads = 1;
+    o.queue_capacity = 1;
+  }
+  return o;
+}
+
 /// One ClusterDeployment run over loopback TCP: `items` pushed through a
 /// ComputeWorkerGroup; when `kill_node >= 0` that data node's RpcServer is
 /// stopped (a real listener going dark, not a simulator flag) once
 /// `kill_after` seconds of the join have elapsed.
 NetworkedResult RunNetworked(
     const std::vector<std::pair<Key, std::string>>& items, int num_keys,
-    int kill_node, double kill_after) {
+    int kill_node, double kill_after, Strategy strategy) {
+  StrategyTraits traits = StrategyTraits::For(strategy);
   ClusterDeploymentOptions opts;
   opts.topology.num_data_nodes = 3;
   opts.topology.regions_per_node = 4;
@@ -57,6 +82,8 @@ NetworkedResult RunNetworked(
   opts.client.recovery.backoff_base = 2e-3;
   opts.client.recovery.backoff_max = 20e-3;
   opts.client.recovery.max_attempts = 6;
+  // p2c read balancing is the networked analog of the LB trait.
+  opts.client.balance_reads = traits.load_balancing;
   opts.controller.probe_interval = 10e-3;
   opts.controller.recovery.request_timeout = 100e-3;
   opts.controller.recovery.max_attempts = 3;
@@ -79,8 +106,8 @@ NetworkedResult RunNetworked(
 
   ComputeWorkerGroupOptions gopts;
   gopts.num_workers = 3;
-  gopts.claim_window = 8;
-  gopts.invoker.num_threads = 2;
+  gopts.claim_window = traits.prefetch ? 8 : 1;
+  gopts.invoker = InvokerFor(strategy);
   ComputeWorkerGroup group(&deploy.client(), fn, gopts);
 
   std::thread killer;
@@ -290,10 +317,11 @@ int main() {
                        "q" + std::to_string(i));
   }
 
-  NetworkedResult net_clean = RunNetworked(items, net_keys, -1, 0.0);
+  NetworkedResult net_clean =
+      RunNetworked(items, net_keys, -1, 0.0, Strategy::kFO);
   const double kill_after = 0.3 * net_clean.wall_seconds;
   NetworkedResult net_faulted = RunNetworked(items, net_keys, /*kill_node=*/1,
-                                             kill_after);
+                                             kill_after, Strategy::kFO);
 
   // Zero lost / zero duplicated: the faulted run's output table must be
   // byte-identical to the fault-free one.
@@ -333,6 +361,42 @@ int main() {
       "%" PRId64 " regions promoted; outputs vs fault-free: %s\n",
       net_faulted.detection_seconds, net_faulted.controller.regions_reassigned,
       outputs_identical ? "IDENTICAL" : "DIVERGED (bug!)");
+
+  // ---- full Strategy sweep over real sockets (Fig 5/6/9's comparison) ---
+  // Each strategy runs both modeled (simulator, fault-free) and measured
+  // (the same forced routing on the live deployment). Both columns are
+  // normalized to their own NO baseline — the diff column is how far the
+  // model's *relative* ordering drifts from reality, which is the claim
+  // the figures actually make.
+  const Strategy sweep_order[] = {Strategy::kNO, Strategy::kFC, Strategy::kFD,
+                                  Strategy::kFR, Strategy::kCO, Strategy::kLO,
+                                  Strategy::kFO};
+  std::printf("\nnetworked strategy sweep (measured vs modeled, "
+              "normalized to NO)\n");
+  std::vector<double> sim_secs;
+  std::vector<double> net_secs;
+  for (Strategy s : sweep_order) {
+    JobResult sim = RunFrameworkJob(workload, s, run);
+    NetworkedResult net = RunNetworked(items, net_keys, -1, 0.0, s);
+    sim_secs.push_back(sim.makespan);
+    net_secs.push_back(net.wall_seconds);
+  }
+  const double sim_no = sim_secs[0] > 0 ? sim_secs[0] : 1.0;
+  const double net_no = net_secs[0] > 0 ? net_secs[0] : 1.0;
+  ReportTable sweep_table(
+      {"strategy", "sim(s)", "sim norm", "net(s)", "net norm", "diff"});
+  for (size_t i = 0; i < sim_secs.size(); ++i) {
+    double sim_norm = sim_secs[i] / sim_no;
+    double net_norm = net_secs[i] / net_no;
+    sweep_table.AddRow({StrategyToString(sweep_order[i]),
+                        FormatDouble(sim_secs[i], 3),
+                        FormatDouble(sim_norm, 3),
+                        FormatDouble(net_secs[i], 3),
+                        FormatDouble(net_norm, 3),
+                        FormatDouble(net_norm - sim_norm, 3)});
+  }
+  sweep_table.Print(
+      "Strategy sweep: modeled makespan vs measured wall over loopback TCP");
 
   FILE* json = std::fopen("BENCH_fault_recovery.json", "w");
   if (json == nullptr) {
@@ -375,7 +439,17 @@ int main() {
                net_faulted.items_failed);
   std::fprintf(json, "    \"outputs_identical_to_fault_free\": %s\n",
                outputs_identical ? "true" : "false");
-  std::fprintf(json, "  }\n");
+  std::fprintf(json, "  },\n");
+  std::fprintf(json, "  \"strategy_sweep\": [\n");
+  for (size_t i = 0; i < sim_secs.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"strategy\": \"%s\", \"sim_norm\": %.4f, "
+                 "\"net_norm\": %.4f}%s\n",
+                 StrategyToString(sweep_order[i]), sim_secs[i] / sim_no,
+                 net_secs[i] / net_no,
+                 i + 1 < sim_secs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n");
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("wrote BENCH_fault_recovery.json\n");

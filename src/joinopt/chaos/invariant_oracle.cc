@@ -1,0 +1,112 @@
+#include "joinopt/chaos/invariant_oracle.h"
+
+namespace joinopt {
+
+InvariantOracle::InvariantOracle(ReadConsistency mode,
+                                 size_t max_violation_samples)
+    : mode_(mode), max_samples_(max_violation_samples) {}
+
+void InvariantOracle::RecordPut(Key key, uint64_t version, uint64_t value_hash,
+                                bool durable) {
+  MutexLock lock(mu_);
+  ++stats_.puts_recorded;
+  KeyState& state = keys_[key];
+  if (version > state.acked_version) {
+    state.acked_version = version;
+    state.acked_hash = value_hash;
+  }
+  if (durable) {
+    ++stats_.durable_puts;
+    if (version > state.durable_version) {
+      state.durable_version = version;
+      state.durable_hash = value_hash;
+    }
+  }
+}
+
+uint64_t InvariantOracle::ReadFloor(Key key) const {
+  MutexLock lock(mu_);
+  auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.durable_version;
+}
+
+void InvariantOracle::CheckRead(Key key, uint64_t floor, bool found,
+                                uint64_t version, uint64_t value_hash,
+                                bool value_matches_key) {
+  const bool strict = mode_ != ReadConsistency::kAny;
+  MutexLock lock(mu_);
+  ++stats_.reads_checked;
+  if (!found) {
+    // kAny may land on a follower that missed the key entirely (repair
+    // owed); the stricter modes promised every durable write is visible.
+    if (strict && floor > 0) {
+      AddViolationLocked("durable write invisible: key " +
+                         std::to_string(key) + " floor v" +
+                         std::to_string(floor) + " read NotFound");
+    }
+    return;
+  }
+  if (!value_matches_key) {
+    AddViolationLocked("cross-key corruption: key " + std::to_string(key) +
+                       " v" + std::to_string(version) +
+                       " returned bytes written for another key");
+    return;
+  }
+  if (strict && version < floor) {
+    AddViolationLocked("stale read: key " + std::to_string(key) + " v" +
+                       std::to_string(version) + " below durable floor v" +
+                       std::to_string(floor));
+    return;
+  }
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return;
+  const KeyState& state = it->second;
+  // Hash checks only where the oracle knows the version's bytes exactly;
+  // versions it never acked (in-flight writers, repair bumps) pass.
+  if (version == state.acked_version && value_hash != state.acked_hash) {
+    AddViolationLocked("torn value: key " + std::to_string(key) + " v" +
+                       std::to_string(version) +
+                       " bytes differ from the acked write");
+  } else if (version == state.durable_version &&
+             version != state.acked_version &&
+             value_hash != state.durable_hash) {
+    AddViolationLocked("torn value: key " + std::to_string(key) + " v" +
+                       std::to_string(version) +
+                       " bytes differ from the durable write");
+  }
+}
+
+void InvariantOracle::AddViolation(const std::string& what) {
+  MutexLock lock(mu_);
+  AddViolationLocked(what);
+}
+
+void InvariantOracle::AddViolationLocked(const std::string& what) {
+  ++stats_.violations;
+  if (samples_.size() < max_samples_) samples_.push_back(what);
+}
+
+std::vector<std::pair<Key, KeyExpectation>> InvariantOracle::DurableSnapshot()
+    const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<Key, KeyExpectation>> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, state] : keys_) {
+    if (state.durable_version == 0) continue;
+    out.emplace_back(key,
+                     KeyExpectation{state.durable_version, state.durable_hash});
+  }
+  return out;
+}
+
+OracleStats InvariantOracle::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+std::vector<std::string> InvariantOracle::violations() const {
+  MutexLock lock(mu_);
+  return samples_;
+}
+
+}  // namespace joinopt

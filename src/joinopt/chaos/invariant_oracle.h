@@ -1,0 +1,107 @@
+// InvariantOracle: the chaos soak's ground truth. Workload threads report
+// every acknowledged Put and every completed read; the oracle keeps a
+// bounded per-key expectation (latest acked write + latest *durable* write,
+// i.e. one the cluster acked from every replica in the chain) and flags
+// violations of the contracts the deployment claims to hold under faults:
+//
+//   * no lost acknowledged write — a fully-replicated Put's version is a
+//     floor no later read (per the mode's contract) and no end-state
+//     snapshot may dip below;
+//   * no stale read beyond the configured ReadConsistency — kOwnerOnly and
+//     kQuorumVersion reads must return version >= the key's durable floor
+//     captured when the read started; kAny promises validity only;
+//   * no corruption — a read returning a version the oracle has a hash for
+//     must return the matching bytes, and every value must belong to the
+//     key it was read from (the workload embeds the key in the value).
+//
+// Transport errors are availability, not correctness: callers count them
+// as op errors and never report them here. The oracle deliberately stores
+// O(keys) state, not O(writes) — the soak's RSS gate covers the harness
+// itself, so the oracle must not grow with run length.
+//
+// Threading: all methods thread-safe behind one mutex at rank
+// kChaosOracle=60 — below every subsystem lock, because workload threads
+// call in while holding nothing and the oracle calls out to nothing.
+#ifndef JOINOPT_CHAOS_INVARIANT_ORACLE_H_
+#define JOINOPT_CHAOS_INVARIANT_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "joinopt/cluster/cluster_client.h"
+#include "joinopt/common/hash.h"
+#include "joinopt/common/lock_ranks.h"
+#include "joinopt/common/sync.h"
+
+namespace joinopt {
+
+struct OracleStats {
+  int64_t puts_recorded = 0;
+  int64_t durable_puts = 0;   ///< fully-replicated acks (the hard floor)
+  int64_t reads_checked = 0;
+  int64_t violations = 0;
+};
+
+/// What the oracle expects of one key at end state.
+struct KeyExpectation {
+  uint64_t durable_version = 0;  ///< floor: no snapshot may be older
+  uint64_t durable_hash = 0;     ///< Fnv1a of the durable write's value
+};
+
+class InvariantOracle {
+ public:
+  explicit InvariantOracle(ReadConsistency mode,
+                           size_t max_violation_samples = 16);
+
+  /// Reports one acknowledged Put. `version` is the primary's version from
+  /// the PutOutcome; `durable` is outcome.fully_replicated().
+  void RecordPut(Key key, uint64_t version, uint64_t value_hash,
+                 bool durable);
+
+  /// Durable version floor to capture *before* issuing a read: the floor
+  /// only grows, so it is a valid lower bound however the read interleaves
+  /// with concurrent writes.
+  uint64_t ReadFloor(Key key) const;
+
+  /// Reports one completed read. `found` is false for an in-band NotFound;
+  /// `value_matches_key` is the workload's key-prefix check on the bytes.
+  void CheckRead(Key key, uint64_t floor, bool found, uint64_t version,
+                 uint64_t value_hash, bool value_matches_key);
+
+  /// Out-of-band violation from the runner (epoch regression, checksum
+  /// divergence after settle, RSS breach...).
+  void AddViolation(const std::string& what);
+
+  /// Per-key durable expectations for the end-state sweep.
+  std::vector<std::pair<Key, KeyExpectation>> DurableSnapshot() const;
+
+  OracleStats stats() const;
+  /// First max_violation_samples violation descriptions (total count in
+  /// stats().violations).
+  std::vector<std::string> violations() const;
+
+ private:
+  struct KeyState {
+    uint64_t acked_version = 0;
+    uint64_t acked_hash = 0;
+    uint64_t durable_version = 0;
+    uint64_t durable_hash = 0;
+  };
+
+  void AddViolationLocked(const std::string& what) JOINOPT_REQUIRES(mu_);
+
+  const ReadConsistency mode_;
+  const size_t max_samples_;
+
+  mutable Mutex mu_{lock_rank::kChaosOracle, "InvariantOracle::mu_"};
+  std::unordered_map<Key, KeyState> keys_ JOINOPT_GUARDED_BY(mu_);
+  OracleStats stats_ JOINOPT_GUARDED_BY(mu_);
+  std::vector<std::string> samples_ JOINOPT_GUARDED_BY(mu_);
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CHAOS_INVARIANT_ORACLE_H_

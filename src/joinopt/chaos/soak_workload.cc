@@ -1,0 +1,133 @@
+#include "joinopt/chaos/soak_workload.h"
+
+#include <utility>
+
+namespace joinopt {
+
+SoakWorkload::SoakWorkload(ClusterClientService* client,
+                           InvariantOracle* oracle, UserFn fn,
+                           SoakWorkloadOptions options)
+    : client_(client),
+      oracle_(oracle),
+      fn_(std::move(fn)),
+      options_(options),
+      zipf_(options_.num_keys, options_.zipf_z) {
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+SoakWorkload::~SoakWorkload() { Stop(); }
+
+void SoakWorkload::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::string SoakWorkload::MakeValue(Key key, uint64_t nonce, size_t bytes) {
+  std::string value =
+      "k" + std::to_string(key) + ":" + std::to_string(nonce) + ":";
+  if (value.size() < bytes) value.resize(bytes, 'x');
+  return value;
+}
+
+bool SoakWorkload::ValueMatchesKey(Key key, const std::string& value) {
+  std::string prefix = "k" + std::to_string(key) + ":";
+  return value.compare(0, prefix.size(), prefix) == 0;
+}
+
+void SoakWorkload::DoPut(Key key, Rng& rng) {
+  std::string value = MakeValue(key, rng.Next(), options_.value_bytes);
+  PutOutcome outcome;
+  auto version = client_->Put(key, value, &outcome);
+  if (!version.ok()) {
+    stats_.op_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.fully_replicated()) {
+    stats_.puts_durable.fetch_add(1, std::memory_order_relaxed);
+  }
+  oracle_->RecordPut(key, *version, Fnv1a(value),
+                     outcome.fully_replicated());
+}
+
+void SoakWorkload::DoFetch(Key key) {
+  uint64_t floor = oracle_->ReadFloor(key);  // before the read, not after
+  auto fetched = client_->Fetch(key);
+  if (fetched.ok()) {
+    stats_.fetches.fetch_add(1, std::memory_order_relaxed);
+    oracle_->CheckRead(key, floor, /*found=*/true, fetched->version,
+                       Fnv1a(fetched->value),
+                       ValueMatchesKey(key, fetched->value));
+  } else if (fetched.status().IsNotFound()) {
+    stats_.fetches.fetch_add(1, std::memory_order_relaxed);
+    oracle_->CheckRead(key, floor, /*found=*/false, 0, 0, true);
+  } else {
+    stats_.op_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SoakWorkload::DoBatch(Rng& rng) {
+  std::vector<std::pair<Key, std::string>> items;
+  items.reserve(static_cast<size_t>(options_.batch_size));
+  for (int b = 0; b < options_.batch_size; ++b) {
+    items.emplace_back(static_cast<Key>(zipf_.Sample(rng)), "soak");
+  }
+  auto results = client_->ExecuteBatch(items, fn_);
+  int64_t failed = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok()) {
+      // The echo UDF returns the stored value: corruption checkable, but
+      // no version travels with it, so staleness is the Fetch path's job.
+      if (!ValueMatchesKey(items[i].first, *results[i])) {
+        oracle_->AddViolation("cross-key corruption in batch: key " +
+                              std::to_string(items[i].first));
+      }
+    } else if (!results[i].status().IsNotFound()) {
+      ++failed;
+    }
+  }
+  if (failed == 0) {
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.op_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SoakWorkload::WorkerLoop(int index) {
+  Rng rng(options_.seed + 0x9e37 * static_cast<uint64_t>(index + 1));
+  const uint64_t threads = static_cast<uint64_t>(options_.threads);
+  // Write keys are sharded per thread (see file comment); the shard is
+  // sampled zipf over its own rank space so skew survives the sharding.
+  const uint64_t shard_keys = options_.num_keys / threads;
+  while (!stop_.load(std::memory_order_acquire)) {
+    double roll = rng.NextDouble();
+    if (roll < options_.put_fraction && shard_keys > 0) {
+      uint64_t rank = zipf_.Sample(rng) % shard_keys;
+      Key key = rank * threads + static_cast<uint64_t>(index);
+      DoPut(key, rng);
+    } else if (roll < options_.put_fraction + options_.batch_fraction) {
+      DoBatch(rng);
+    } else {
+      DoFetch(static_cast<Key>(zipf_.Sample(rng)));
+    }
+    stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SoakWorkloadStats SoakWorkload::stats() const {
+  SoakWorkloadStats out;
+  out.ops = stats_.ops.load(std::memory_order_relaxed);
+  out.puts = stats_.puts.load(std::memory_order_relaxed);
+  out.puts_durable = stats_.puts_durable.load(std::memory_order_relaxed);
+  out.fetches = stats_.fetches.load(std::memory_order_relaxed);
+  out.batches = stats_.batches.load(std::memory_order_relaxed);
+  out.op_errors = stats_.op_errors.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace joinopt

@@ -1,0 +1,110 @@
+// SoakWorkload: sustained zipf-skewed traffic against a live
+// ClusterDeployment's client — the load the chaos schedule fires faults
+// into. N closed-loop threads mix replicated Puts, consistency-checked
+// Fetches and owner-split ExecuteBatches; every acked Put and every
+// completed read is reported to the InvariantOracle.
+//
+// Write sharding: thread t writes only keys congruent to t (mod threads),
+// so each key has exactly one in-flight writer. That keeps the oracle's
+// byte-hash checks sound — with concurrent writers, two replicas can
+// legitimately assign the same version to different values, and a read
+// could not be labeled "torn" — while reads still sample the full domain,
+// so read/write contention across threads is untouched.
+//
+// Values embed the key ("k<key>:..."), which is what lets any read — even
+// of a version the oracle never acked — be checked for cross-key
+// corruption.
+//
+// Threading: Start on construction, Stop() joins. Stats are atomics;
+// ops_completed() is cheap enough for the runner's phase-rate sampling.
+#ifndef JOINOPT_CHAOS_SOAK_WORKLOAD_H_
+#define JOINOPT_CHAOS_SOAK_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "joinopt/chaos/invariant_oracle.h"
+#include "joinopt/cluster/cluster_client.h"
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+
+struct SoakWorkloadOptions {
+  int threads = 4;
+  uint64_t seed = 1;
+  uint64_t num_keys = 512;
+  double zipf_z = 0.9;
+  /// Op mix: put_fraction Puts, batch_fraction ExecuteBatches, the rest
+  /// Fetches.
+  double put_fraction = 0.30;
+  double batch_fraction = 0.10;
+  int batch_size = 4;
+  size_t value_bytes = 48;
+};
+
+struct SoakWorkloadStats {
+  int64_t ops = 0;          ///< completed op loop iterations
+  int64_t puts = 0;         ///< acked Puts
+  int64_t puts_durable = 0; ///< acked with every chain replica applied
+  int64_t fetches = 0;      ///< in-band-answered Fetches (NotFound included)
+  int64_t batches = 0;      ///< ExecuteBatch calls with all items answered
+  int64_t op_errors = 0;    ///< transport-failed ops (availability, checked
+                            ///< by the throughput gate, not the oracle)
+};
+
+class SoakWorkload {
+ public:
+  /// Threads start immediately. `fn` is the batch UDF, which must match
+  /// the deployment's server-side registered one.
+  SoakWorkload(ClusterClientService* client, InvariantOracle* oracle,
+               UserFn fn, SoakWorkloadOptions options = {});
+  ~SoakWorkload();
+
+  SoakWorkload(const SoakWorkload&) = delete;
+  SoakWorkload& operator=(const SoakWorkload&) = delete;
+
+  void Stop();
+
+  int64_t ops_completed() const {
+    return stats_.ops.load(std::memory_order_relaxed);
+  }
+  SoakWorkloadStats stats() const;
+
+  /// Deterministic value for (key, nonce): "k<key>:<nonce>:" padded to
+  /// `bytes`. The key prefix is what CheckRead's corruption test keys on.
+  static std::string MakeValue(Key key, uint64_t nonce, size_t bytes);
+  /// True iff `value` carries `key`'s prefix.
+  static bool ValueMatchesKey(Key key, const std::string& value);
+
+ private:
+  void WorkerLoop(int index);
+  void DoPut(Key key, Rng& rng);
+  void DoFetch(Key key);
+  void DoBatch(Rng& rng);
+
+  ClusterClientService* client_;
+  InvariantOracle* oracle_;
+  UserFn fn_;
+  SoakWorkloadOptions options_;
+  ZipfDistribution zipf_;
+
+  struct AtomicStats {
+    std::atomic<int64_t> ops{0};
+    std::atomic<int64_t> puts{0};
+    std::atomic<int64_t> puts_durable{0};
+    std::atomic<int64_t> fetches{0};
+    std::atomic<int64_t> batches{0};
+    std::atomic<int64_t> op_errors{0};
+  };
+  AtomicStats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CHAOS_SOAK_WORKLOAD_H_

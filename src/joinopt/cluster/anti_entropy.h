@@ -1,0 +1,105 @@
+// AntiEntropyAgent: live background replica repair (DESIGN.md §16). A sweep
+// thread walks every region on a timer and, for each pair of live replicas,
+// exchanges cheap RegionSummary digests (count + order-independent checksum
+// over key/value contents) over the wire. Digests that agree cost one small
+// RPC per replica per sweep; digests that disagree trigger a full
+// bidirectional RegionSync — pull the primary's records, merge them into the
+// lagging peer (version-aware, ApplyIfNewer on the server: a repair can
+// never clobber a newer local write), and merge the peer's post-merge
+// snapshot back — so divergence introduced by crashes, partitions or lost
+// fan-outs is healed *without restarting anything*.
+//
+// Partition realism: every repair RPC is made through a per-(from, to)
+// client tagged with the `from` replica's logical net identity, so a
+// half-open NetFaultInjector partition between two replicas blocks their
+// repair traffic exactly like it blocks data traffic. Repair of a pair
+// simply stalls until the link heals; other pairs keep converging.
+//
+// Threading contract: one background thread plus any test thread calling
+// SweepOnce(). One lock, mu_ (rank kAntiEntropy=460), guards stats and the
+// lazily-built client cache, and is never held across an RPC (clients are
+// internally thread-safe; kAntiEntropy ranks below every net-layer lock).
+#ifndef JOINOPT_CLUSTER_ANTI_ENTROPY_H_
+#define JOINOPT_CLUSTER_ANTI_ENTROPY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "joinopt/cluster/topology.h"
+#include "joinopt/common/lock_ranks.h"
+#include "joinopt/common/sync.h"
+#include "joinopt/net/rpc_client.h"
+
+namespace joinopt {
+
+struct AntiEntropyOptions {
+  /// Pause between sweeps. One "repair period" for convergence guarantees
+  /// is period + the sweep's own RPC time.
+  double period = 100e-3;
+  /// Deadline for each repair RPC (single attempt — a failed pair just
+  /// waits for the next sweep; retrying inside the sweep would stall every
+  /// other region behind a partitioned link).
+  double request_timeout = 250e-3;
+  /// Deadline for dialing a repair connection.
+  double connect_deadline = 250e-3;
+};
+
+struct AntiEntropyStats {
+  int64_t sweeps = 0;
+  int64_t summaries = 0;        ///< RegionSummary RPCs issued
+  int64_t mismatches = 0;       ///< replica pairs whose digests disagreed
+  int64_t syncs = 0;            ///< full bidirectional syncs completed
+  int64_t records_shipped = 0;  ///< records moved over the wire by syncs
+  int64_t rpc_errors = 0;       ///< repair RPCs that failed (partition/crash)
+};
+
+class AntiEntropyAgent {
+ public:
+  /// Endpoints must already be published in `topology`. The sweep thread
+  /// starts immediately.
+  AntiEntropyAgent(ClusterTopology* topology, AntiEntropyOptions options = {});
+  ~AntiEntropyAgent();
+
+  AntiEntropyAgent(const AntiEntropyAgent&) = delete;
+  AntiEntropyAgent& operator=(const AntiEntropyAgent&) = delete;
+
+  void Stop();
+
+  /// One synchronous sweep over every region — the background thread's body,
+  /// public so tests can force convergence deterministically.
+  void SweepOnce();
+
+  AntiEntropyStats stats() const;
+
+ private:
+  void SweepLoop();
+  /// Repairs one (primary, peer) pair for one region; returns whether the
+  /// pair's digests disagreed.
+  bool RepairPair(int region, NodeId base, NodeId peer);
+  /// Lazily-built client dialing `to`, tagged with `from`'s net identity.
+  RpcClientService* GetClient(NodeId from, NodeId to)
+      JOINOPT_EXCLUDES(mu_);
+
+  ClusterTopology* topology_;
+  AntiEntropyOptions options_;
+
+  /// Guards stats_ and clients_; released before every RPC.
+  mutable Mutex mu_{lock_rank::kAntiEntropy, "AntiEntropyAgent::mu_"};
+  CondVar cv_;  ///< wakes the sweep loop for Stop
+  AntiEntropyStats stats_ JOINOPT_GUARDED_BY(mu_);
+  /// Keyed (from, to): same pair, same connection pool across sweeps. Never
+  /// erased, so returned pointers stay valid lock-free.
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<RpcClientService>>
+      clients_ JOINOPT_GUARDED_BY(mu_);
+
+  std::atomic<bool> stop_{false};
+  std::thread sweeper_;
+};
+
+}  // namespace joinopt
+
+#endif  // JOINOPT_CLUSTER_ANTI_ENTROPY_H_

@@ -35,6 +35,9 @@ ClusterClientService::ClusterClientService(ClusterTopology* topology,
     copts.recovery.request_timeout = options_.recovery.request_timeout;
     copts.balance_reads = false;
     copts.seed = options_.seed ^ static_cast<uint64_t>(node);
+    copts.hedging = options_.hedging;
+    copts.hedge_idempotent_batches = options_.hedge_idempotent_batches;
+    copts.net_identity = options_.net_identity;
     clients_.push_back(std::make_unique<RpcClientService>(std::move(copts)));
   }
   if (options_.load_view != nullptr) {
@@ -57,6 +60,11 @@ std::vector<NodeId> ClusterClientService::Candidates(Key key,
     // may be back without the controller having noticed yet, and failing
     // over the wire gives the honest error.
     live = topology_->ReplicasOf(key);
+  }
+  if (read && options_.read_consistency == ReadConsistency::kOwnerOnly) {
+    // Owner-only never balances: the chain head is the freshest live
+    // replica by the write path's construction.
+    return live;
   }
   if (read && options_.balance_reads && live.size() > 1) {
     // Power-of-two-choices over the load view: sample two candidates, take
@@ -101,8 +109,14 @@ Status ClusterClientService::RoutedCall(Key key, bool read,
     // redirect the retry, not rediscover the dead primary.
     std::vector<NodeId> candidates = Candidates(key, read);
     if (candidates.empty()) return last;
+    // Owner-only reads retry against the *current* chain head (promotions
+    // redirect them) instead of rotating onto followers.
+    const bool owner_only =
+        read && options_.read_consistency == ReadConsistency::kOwnerOnly;
     NodeId node =
-        candidates[static_cast<size_t>(attempt) % candidates.size()];
+        owner_only
+            ? candidates.front()
+            : candidates[static_cast<size_t>(attempt) % candidates.size()];
     if (attempt == 0) {
       first_choice = node;
     } else {
@@ -138,7 +152,98 @@ Status ClusterClientService::RoutedCall(Key key, bool read,
   return last;
 }
 
+StatusOr<DataService::Fetched> ClusterClientService::QuorumFetch(
+    Key key) const {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.quorum_reads.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<NodeId> chain = topology_->ReplicasOf(key);
+  if (chain.empty()) return Status::Aborted("no replicas");
+  // Majority of the *full* chain, so any write acked by all live replicas
+  // intersects every quorum even while a minority is down or partitioned.
+  const size_t quorum = chain.size() / 2 + 1;
+  size_t answered = 0;
+  bool found = false;
+  uint64_t min_vote = UINT64_MAX, max_vote = 0;
+  Fetched best{};
+  Status last = Status::Aborted("quorum: no live replica answered");
+  for (NodeId node : chain) {
+    if (!topology_->NodeUp(node)) continue;
+    auto r = clients_[static_cast<size_t>(node)]->Fetch(key);
+    uint64_t vote = 0;  // in-band NotFound votes "version 0"
+    if (!r.ok()) {
+      if (IsTransportError(r.status())) {
+        NoteFailure(node, r.status());
+        last = r.status();
+        continue;
+      }
+    } else {
+      vote = r->version;
+      if (!found || vote > best.version) {
+        best = std::move(*r);
+        found = true;
+      }
+    }
+    ++answered;
+    min_vote = std::min(min_vote, vote);
+    max_vote = std::max(max_vote, vote);
+  }
+  if (answered < quorum) {
+    return Status::Aborted("quorum not reached: " + last.message());
+  }
+  if (min_vote != max_vote) {
+    stats_.quorum_divergence.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!found) return Status::NotFound("key not found");
+  return best;
+}
+
+StatusOr<DataService::ItemStat> ClusterClientService::QuorumStat(
+    Key key) const {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.quorum_reads.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<NodeId> chain = topology_->ReplicasOf(key);
+  if (chain.empty()) return Status::Aborted("no replicas");
+  const size_t quorum = chain.size() / 2 + 1;
+  size_t answered = 0;
+  bool found = false;
+  uint64_t min_vote = UINT64_MAX, max_vote = 0;
+  ItemStat best{};
+  Status last = Status::Aborted("quorum: no live replica answered");
+  for (NodeId node : chain) {
+    if (!topology_->NodeUp(node)) continue;
+    auto r = clients_[static_cast<size_t>(node)]->Stat(key);
+    uint64_t vote = 0;
+    if (!r.ok()) {
+      if (IsTransportError(r.status())) {
+        NoteFailure(node, r.status());
+        last = r.status();
+        continue;
+      }
+    } else {
+      vote = r->version;
+      if (!found || vote > best.version) {
+        best = *r;
+        found = true;
+      }
+    }
+    ++answered;
+    min_vote = std::min(min_vote, vote);
+    max_vote = std::max(max_vote, vote);
+  }
+  if (answered < quorum) {
+    return Status::Aborted("quorum not reached: " + last.message());
+  }
+  if (min_vote != max_vote) {
+    stats_.quorum_divergence.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!found) return Status::NotFound("key not found");
+  return best;
+}
+
 StatusOr<DataService::Fetched> ClusterClientService::Fetch(Key key) {
+  if (options_.read_consistency == ReadConsistency::kQuorumVersion) {
+    return QuorumFetch(key);
+  }
   StatusOr<Fetched> result = Status::Aborted("unrouted");
   Status s = RoutedCall(key, /*read=*/true, [&](NodeId node) {
     result = clients_[static_cast<size_t>(node)]->Fetch(key);
@@ -208,6 +313,9 @@ std::vector<StatusOr<std::string>> ClusterClientService::ExecuteBatch(
 }
 
 StatusOr<DataService::ItemStat> ClusterClientService::Stat(Key key) const {
+  if (options_.read_consistency == ReadConsistency::kQuorumVersion) {
+    return QuorumStat(key);
+  }
   StatusOr<ItemStat> result = Status::Aborted("unrouted");
   Status s = RoutedCall(key, /*read=*/true, [&](NodeId node) {
     result = clients_[static_cast<size_t>(node)]->Stat(key);
@@ -222,24 +330,43 @@ NodeId ClusterClientService::OwnerOf(Key key) const {
 }
 
 StatusOr<uint64_t> ClusterClientService::Put(Key key,
-                                             const std::string& value) {
+                                             const std::string& value,
+                                             PutOutcome* outcome) {
   stats_.calls.fetch_add(1, std::memory_order_relaxed);
   std::vector<NodeId> chain = topology_->ReplicasOf(key);
   StatusOr<uint64_t> primary_version = Status::Aborted("no replicas");
+  PutOutcome out;
+  // One logical write must carry ONE version to every replica: the first
+  // successful write (normally the primary's) assigns it, and everyone
+  // after gets it as a floor applied with ApplyIfNewer semantics. Letting
+  // each replica's store count independently drifts the numbering after
+  // any skip or failure — then version-aware merges compare mismatched
+  // counters and reads can legitimately return "older" numbers for newer
+  // data, which an oracle rightly flags as stale/torn.
+  uint64_t floor = 0;
   for (size_t i = 0; i < chain.size(); ++i) {
     NodeId node = chain[i];
     if (!topology_->NodeUp(node)) {
       // A marked-down replica re-syncs its store on rejoin; skipping it is
       // safe and counted, not silent.
       stats_.skipped_replica_writes.fetch_add(1, std::memory_order_relaxed);
+      ++out.replicas_skipped;
       continue;
     }
-    auto version = clients_[static_cast<size_t>(node)]->Put(key, value);
-    if (!version.ok() && IsTransportError(version.status())) {
-      NoteFailure(node, version.status());
+    auto version = clients_[static_cast<size_t>(node)]->Put(key, value, floor);
+    if (version.ok()) {
+      ++out.replicas_acked;
+      if (floor == 0) floor = *version;
+    } else {
+      ++out.replicas_failed;
+      if (IsTransportError(version.status())) {
+        NoteFailure(node, version.status());
+      }
     }
     if (i == 0) primary_version = std::move(version);
   }
+  if (primary_version.ok()) out.primary_version = *primary_version;
+  if (outcome != nullptr) *outcome = out;
   return primary_version;
 }
 
@@ -255,6 +382,9 @@ ClusterClientStats ClusterClientService::stats() const {
   s.batches_split = stats_.batches_split.load(std::memory_order_relaxed);
   s.skipped_replica_writes =
       stats_.skipped_replica_writes.load(std::memory_order_relaxed);
+  s.quorum_reads = stats_.quorum_reads.load(std::memory_order_relaxed);
+  s.quorum_divergence =
+      stats_.quorum_divergence.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -57,6 +57,39 @@
 
 namespace joinopt {
 
+/// What a read (Fetch/Stat) is allowed to return (DESIGN.md §16). The
+/// write path acks a Put after the primary (and every *live* follower)
+/// applied it, so the modes trade latency against which replica's history
+/// the caller may observe.
+enum class ReadConsistency {
+  /// Any live replica, picked by power-of-two-choices. Fastest; may miss
+  /// writes a partitioned or catching-up follower has not applied yet.
+  kAny,
+  /// Always the current primary (chain head after promotions). Sees every
+  /// write the cluster acked while that primary was in charge; after a
+  /// promotion the new primary is the most conservative live choice.
+  kOwnerOnly,
+  /// Read a majority of the replica chain and return the highest version.
+  /// Survives any minority of stale replicas: a write acked by all live
+  /// replicas is always visible. Costs quorum-many RPCs per read.
+  kQuorumVersion,
+};
+
+/// What one replicated Put actually did — the receipt the chaos oracle
+/// uses to decide whether a write is guaranteed durable under faults.
+struct PutOutcome {
+  uint64_t primary_version = 0;
+  int replicas_acked = 0;    ///< replicas whose Put returned OK
+  int replicas_skipped = 0;  ///< marked-down replicas skipped (re-sync owed)
+  int replicas_failed = 0;   ///< live replicas whose Put failed
+  /// Every replica in the chain applied the write: no single crash — and
+  /// no minority of crashes — can lose it.
+  bool fully_replicated() const {
+    return replicas_acked > 0 && replicas_skipped == 0 &&
+           replicas_failed == 0;
+  }
+};
+
 struct ClusterClientOptions {
   /// Retry/backoff discipline across nodes (per-node RPCs run with exactly
   /// one attempt and io deadline = request_timeout; this layer owns the
@@ -72,6 +105,20 @@ struct ClusterClientOptions {
   NodeLoadView* load_view = nullptr;
   double connect_deadline = 1.0;
   uint64_t seed = 0xc105731e;
+  /// Staleness contract for Fetch/Stat (see ReadConsistency).
+  ReadConsistency read_consistency = ReadConsistency::kAny;
+  /// Shared hedging manager handed to every per-node transport client —
+  /// one latency-quantile pool and one hedge budget for the whole cluster
+  /// view. Null disables hedging at this layer.
+  std::shared_ptr<HedgingManager> hedging;
+  /// With `hedging` set: duplicate straggling tagged batches against the
+  /// owner after the hedge delay; the server's replay-dedup cache absorbs
+  /// the duplicate (see RpcClientOptions::hedge_idempotent_batches).
+  bool hedge_idempotent_batches = false;
+  /// Logical endpoint id for NetFaultInjector partitions; -1 opts out.
+  /// ClusterDeployment tags its client with num_nodes (nodes use their own
+  /// ids), so injected half-open links cut compute↔node paths.
+  int32_t net_identity = -1;
 
   ClusterClientOptions() {
     recovery.enabled = true;
@@ -90,6 +137,11 @@ struct ClusterClientStats {
   int64_t batches_split = 0;
   /// Replica writes skipped because the topology had the node marked down.
   int64_t skipped_replica_writes = 0;
+  /// Fetch/Stat calls served by a kQuorumVersion majority read.
+  int64_t quorum_reads = 0;
+  /// Quorum reads whose replicas disagreed on the version — each one is a
+  /// staleness window kAny would have been exposed to.
+  int64_t quorum_divergence = 0;
 };
 
 class ClusterClientService : public DataService {
@@ -112,8 +164,10 @@ class ClusterClientService : public DataService {
 
   /// Writes to every live replica of the key's region (primary must
   /// succeed; follower failures are reported and skipped). Returns the
-  /// primary's new version.
-  StatusOr<uint64_t> Put(Key key, const std::string& value);
+  /// primary's new version. `outcome` (optional) reports how many replicas
+  /// actually acked — the durability receipt the chaos oracle consumes.
+  StatusOr<uint64_t> Put(Key key, const std::string& value,
+                         PutOutcome* outcome = nullptr);
 
   /// Called with the NodeId on every transport error — the controller's
   /// failure fast path. Must be thread-safe; set before first use.
@@ -142,6 +196,10 @@ class ClusterClientService : public DataService {
   Status RoutedCall(Key key, bool read, const Op& op) const;
   /// Candidate nodes for this attempt, refreshed from the topology.
   std::vector<NodeId> Candidates(Key key, bool read) const;
+  /// kQuorumVersion read path: majority of the replica chain, highest
+  /// version wins (NotFound counts as a version-0 vote).
+  StatusOr<Fetched> QuorumFetch(Key key) const;
+  StatusOr<ItemStat> QuorumStat(Key key) const;
   void NoteFailure(NodeId node, const Status& status) const;
   double BackoffSeconds(int attempt) const;
 
@@ -168,6 +226,8 @@ class ClusterClientService : public DataService {
     std::atomic<int64_t> node_failovers{0};
     std::atomic<int64_t> batches_split{0};
     std::atomic<int64_t> skipped_replica_writes{0};
+    std::atomic<int64_t> quorum_reads{0};
+    std::atomic<int64_t> quorum_divergence{0};
   };
   mutable AtomicStats stats_;
 };

@@ -8,7 +8,8 @@ ClusterController::ClusterController(ClusterTopology* topology,
                                      ClusterControllerOptions options)
     : topology_(topology),
       options_(std::move(options)),
-      consecutive_(static_cast<size_t>(topology->num_nodes()), 0) {
+      consecutive_(static_cast<size_t>(topology->num_nodes()), 0),
+      rejoin_streak_(static_cast<size_t>(topology->num_nodes()), 0) {
   probes_.reserve(consecutive_.size());
   for (int node = 0; node < topology_->num_nodes(); ++node) {
     RpcClientOptions copts;
@@ -17,6 +18,7 @@ ClusterController::ClusterController(ClusterTopology* topology,
     copts.recovery.enabled = false;
     copts.recovery.request_timeout = options_.recovery.request_timeout;
     copts.balance_reads = false;
+    copts.net_identity = options_.net_identity;
     probes_.push_back(std::make_unique<RpcClientService>(std::move(copts)));
   }
   prober_ = std::thread([this] { ProbeLoop(); });
@@ -57,8 +59,29 @@ void ClusterController::ClearStrikes(NodeId node) {
   consecutive_[static_cast<size_t>(node)] = 0;
 }
 
+void ClusterController::Crash() {
+  crashed_.store(true, std::memory_order_release);
+  MutexLock lock(mu_);
+  ++stats_.crashes;
+}
+
+void ClusterController::Restart() {
+  {
+    MutexLock lock(mu_);
+    for (int& strikes : consecutive_) strikes = 0;
+    for (int& streak : rejoin_streak_) streak = 0;
+  }
+  crashed_.store(false, std::memory_order_release);
+  cv_.NotifyAll();  // wake the prober so detection resumes immediately
+}
+
 void ClusterController::ReportFailure(NodeId node) {
   if (node < 0 || node >= topology_->num_nodes()) return;
+  if (crashed_.load(std::memory_order_acquire)) {
+    MutexLock lock(mu_);
+    ++stats_.dropped_while_crashed;
+    return;
+  }
   {
     MutexLock lock(mu_);
     ++stats_.reported_failures;
@@ -68,25 +91,61 @@ void ClusterController::ReportFailure(NodeId node) {
 
 void ClusterController::ProbeLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
+    if (crashed_.load(std::memory_order_acquire)) {
+      // Dead detectors don't probe; sleep out the crash window.
+      MutexLock lock(mu_);
+      ++stats_.dropped_while_crashed;
+      if (!stop_.load(std::memory_order_acquire)) {
+        cv_.WaitFor(mu_, options_.probe_interval);
+      }
+      continue;
+    }
     for (int node = 0; node < topology_->num_nodes(); ++node) {
       if (stop_.load(std::memory_order_acquire)) return;
+      if (crashed_.load(std::memory_order_acquire)) break;
       NodeId id = static_cast<NodeId>(node);
-      if (!topology_->NodeUp(id)) continue;  // dead stay dead until rejoin
+      bool was_up = topology_->NodeUp(id);
+      if (!was_up && options_.rejoin_threshold <= 0) continue;
       {
         MutexLock lock(mu_);
         ++stats_.probes;
       }
       auto stat = probes_[static_cast<size_t>(node)]->Stat(0);
-      if (stat.ok() || !IsTransportError(stat.status())) {
-        // Any in-band answer — NotFound for key 0 included — proves the
-        // node is serving.
-        ClearStrikes(id);
-      } else {
+      // Any in-band answer — NotFound for key 0 included — proves the
+      // node is serving.
+      bool serving = stat.ok() || !IsTransportError(stat.status());
+      if (was_up) {
+        if (serving) {
+          ClearStrikes(id);
+        } else {
+          {
+            MutexLock lock(mu_);
+            ++stats_.probe_failures;
+          }
+          Strike(id);
+        }
+      } else if (serving) {
+        // A down node answering probes was falsely suspected (or quietly
+        // restarted); after a streak of successes, retract the verdict.
+        // It re-enters its regions as a follower and anti-entropy repairs
+        // what it missed — no process restart required.
+        bool rejoin = false;
         {
           MutexLock lock(mu_);
-          ++stats_.probe_failures;
+          int& streak = rejoin_streak_[static_cast<size_t>(node)];
+          if (++streak >= options_.rejoin_threshold) {
+            streak = 0;
+            consecutive_[static_cast<size_t>(node)] = 0;
+            ++stats_.nodes_rejoined;
+            rejoin = true;
+          }
         }
-        Strike(id);
+        // Lock released first: MarkNodeUp takes the topology lock, and
+        // declaration-path callers may hold it above ours.
+        if (rejoin) topology_->MarkNodeUp(id);
+      } else {
+        MutexLock lock(mu_);
+        rejoin_streak_[static_cast<size_t>(node)] = 0;
       }
     }
     // Single timed wait, no predicate: a spurious wake only costs one

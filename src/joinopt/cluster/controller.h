@@ -1,10 +1,18 @@
 // ClusterController: the failure detector. A background thread health-checks
-// every data node the topology believes is up (a payload-free Stat probe —
-// any in-band answer, NotFound included, proves the node serves requests;
-// only transport errors count against it). After `recovery.max_attempts`
-// consecutive failures the node is declared dead: the topology marks it
-// down and promotes live followers for every region it owned, which is the
-// moment clients' per-attempt re-routing starts landing on the survivors.
+// every data node (a payload-free Stat probe — any in-band answer, NotFound
+// included, proves the node serves requests; only transport errors count
+// against it). After `recovery.max_attempts` consecutive failures the node
+// is declared dead: the topology marks it down and promotes live followers
+// for every region it owned, which is the moment clients' per-attempt
+// re-routing starts landing on the survivors.
+//
+// Down nodes keep being probed: `rejoin_threshold` consecutive in-band
+// answers mark the node back up (re-entering its regions as a follower;
+// anti-entropy repairs whatever it missed). Without this, a node declared
+// dead through a transient partition — still serving the whole time, so
+// nothing ever restarts it — would stay out of every replica chain
+// forever: declared-dead must be a suspicion the detector can retract,
+// not a verdict only a process restart can appeal.
 //
 // Two signal paths feed the same threshold:
 //   * the probe loop (detects silent deaths with no traffic), and
@@ -45,9 +53,18 @@ namespace joinopt {
 struct ClusterControllerOptions {
   /// Pause between probe sweeps.
   double probe_interval = 20e-3;
+  /// Logical endpoint id for the probe clients (net/net_fault.h). The
+  /// deployment tags the controller with the compute-side identity so a
+  /// half-open partition severs probes along with client traffic. -1 opts
+  /// out.
+  int32_t net_identity = -1;
   /// request_timeout bounds one probe; max_attempts is the consecutive
   /// failure threshold for declaring a node dead.
   RecoveryConfig recovery;
+  /// Consecutive successful probes of a DOWN node before it is marked up
+  /// again (a falsely-suspected node rejoins once the partition heals).
+  /// 0 disables rejoin — down nodes then wait for an explicit restart.
+  int rejoin_threshold = 2;
 
   ClusterControllerOptions() {
     recovery.enabled = true;
@@ -61,7 +78,10 @@ struct ClusterControllerStats {
   int64_t probe_failures = 0;
   int64_t reported_failures = 0;  ///< ReportFailure fast-path strikes
   int64_t nodes_declared_dead = 0;
+  int64_t nodes_rejoined = 0;  ///< down nodes marked up by probe recovery
   int64_t regions_reassigned = 0;
+  int64_t crashes = 0;            ///< Crash() calls (chaos injection)
+  int64_t dropped_while_crashed = 0;  ///< strikes/probes skipped while down
 };
 
 class ClusterController {
@@ -77,8 +97,20 @@ class ClusterController {
 
   void Stop();
 
+  /// Chaos injection: the failure detector dies. Probing pauses and
+  /// ReportFailure strikes are dropped until Restart(). Data traffic is
+  /// untouched — the cluster just can't *declare* anything dead, which is
+  /// exactly the window the soak harness wants to shake out (a node killed
+  /// while the controller is down must still be detected after Restart).
+  void Crash();
+  /// Controller comes back with strike counts cleared (a real restarted
+  /// detector has no memory of pre-crash suspicions).
+  void Restart();
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
   /// Client fast path: one transport-error strike against `node`.
   /// Thread-safe; crossing the threshold declares the node dead inline.
+  /// No-op while crashed.
   void ReportFailure(NodeId node);
 
   /// Optional hook invoked (on the declaring thread) after a node is
@@ -108,8 +140,11 @@ class ClusterController {
   CondVar cv_;                     ///< wakes the probe loop for Stop
   std::vector<int> consecutive_
       JOINOPT_GUARDED_BY(mu_);     ///< strike count per node
+  std::vector<int> rejoin_streak_
+      JOINOPT_GUARDED_BY(mu_);     ///< consecutive OK probes while down
   ClusterControllerStats stats_ JOINOPT_GUARDED_BY(mu_);
   std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
   std::thread prober_;
   std::function<void(NodeId)> on_node_dead_;
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "joinopt/common/hash.h"
+
 namespace joinopt {
 
 ClusterNodeService::ClusterNodeService(NodeId node, ClusterTopology* topology,
@@ -45,25 +47,130 @@ NodeId ClusterNodeService::OwnerOf(Key key) const {
   return topology_->OwnerOf(key);
 }
 
+void ClusterNodeService::FanOutUpdate(Key key, uint64_t version) {
+  UpdateEvent event;
+  event.region = topology_->RegionOf(key);
+  event.key = key;
+  event.version = version;
+  MutexLock lock(update_mu_);
+  RegionEpoch& re = epochs_[static_cast<size_t>(event.region)];
+  ++re.seq;
+  event.epoch = re.epoch;
+  event.seq = re.seq;
+  for (UpdateSink* sink : sinks_) sink->OnUpdateEvent(event);
+}
+
 StatusOr<uint64_t> ClusterNodeService::Put(Key key, const std::string& value) {
   uint64_t version;
   {
     WriterMutexLock lock(store_mu_);
     version = store_.Put(key, value);
   }
-  UpdateEvent event;
-  event.region = topology_->RegionOf(key);
-  event.key = key;
-  event.version = version;
+  FanOutUpdate(key, version);
+  return version;
+}
+
+StatusOr<uint64_t> ClusterNodeService::PutReplica(Key key,
+                                                  const std::string& value,
+                                                  uint64_t version) {
+  // A zero floor means the caller had no primary version to propagate;
+  // degrade to an ordinary local write rather than inventing version 0.
+  if (version == 0) return Put(key, value);
+  ApplyIfNewer(key, value, version);
+  // Applied or not, the replica now holds the key at >= version — report
+  // what it actually has (ApplyIfNewer refusing means a newer local copy).
+  ReaderMutexLock lock(store_mu_);
+  return store_.VersionOf(key);
+}
+
+bool ClusterNodeService::ApplyIfNewer(Key key, const std::string& value,
+                                      uint64_t version) {
+  if (version == 0) return false;  // "absent" is never newer
+  uint64_t applied_version;
+  {
+    // Check and apply under one writer critical section: deciding outside
+    // it could overwrite a racing client Put with older repair data.
+    WriterMutexLock lock(store_mu_);
+    uint64_t current = store_.VersionOf(key);
+    if (current > version) return false;
+    if (current == version) {
+      // Same counter, possibly different contents: concurrent writers can
+      // assign the same version number to different values on different
+      // replicas (each store counts independently). Tie-break
+      // deterministically — lexicographically larger value wins — so every
+      // replica picks the same winner; applying bumps the winner to
+      // version+1, making it strictly newer for the loser's next exchange.
+      auto existing = store_.Get(key);
+      if (existing.ok() && *existing >= value) return false;
+    }
+    applied_version = store_.PutWithFloor(key, value, version);
+  }
+  FanOutUpdate(key, applied_version);
+  return true;
+}
+
+namespace {
+
+/// Order-independent per-record digest: FNV-1a over the value bytes mixed
+/// with the key. Summed (wrapping) across a region, so two replicas that
+/// hold the same records get the same checksum whatever order the writes
+/// arrived in.
+uint64_t RecordDigest(Key key, const std::string& value) {
+  return Mix64(Fnv1a(value) ^ Mix64(key));
+}
+
+}  // namespace
+
+StatusOr<RegionSummary> ClusterNodeService::SummarizeRegion(
+    int32_t region) const {
+  if (region < 0 || region >= topology_->num_regions()) {
+    return Status::InvalidArgument("no such region: " +
+                                   std::to_string(region));
+  }
+  RegionSummary s;
+  s.region = region;
+  {
+    ReaderMutexLock lock(store_mu_);
+    store_.ForEach([&](Key key, const std::string& value) {
+      if (topology_->RegionOf(key) != region) return;
+      ++s.count;
+      s.checksum += RecordDigest(key, value);  // wrapping: order-free
+    });
+  }
   {
     MutexLock lock(update_mu_);
-    RegionEpoch& re = epochs_[static_cast<size_t>(event.region)];
-    ++re.seq;
-    event.epoch = re.epoch;
-    event.seq = re.seq;
-    for (UpdateSink* sink : sinks_) sink->OnUpdateEvent(event);
+    s.epoch = epochs_[static_cast<size_t>(region)].epoch;
+    s.seq = epochs_[static_cast<size_t>(region)].seq;
   }
-  return version;
+  return s;
+}
+
+std::vector<RegionRecord> ClusterNodeService::RegionRecords(
+    int32_t region) const {
+  std::vector<RegionRecord> out;
+  ReaderMutexLock lock(store_mu_);
+  store_.ForEach([&](Key key, const std::string& value) {
+    if (topology_->RegionOf(key) != region) return;
+    RegionRecord rec;
+    rec.key = key;
+    rec.version = store_.VersionOf(key);
+    rec.value = value;
+    out.push_back(std::move(rec));
+  });
+  return out;
+}
+
+StatusOr<std::vector<RegionRecord>> ClusterNodeService::SyncRegion(
+    int32_t region, const std::vector<RegionRecord>& records) {
+  if (region < 0 || region >= topology_->num_regions()) {
+    return Status::InvalidArgument("no such region: " +
+                                   std::to_string(region));
+  }
+  for (const RegionRecord& rec : records) {
+    if (topology_->RegionOf(rec.key) != region) continue;  // misrouted
+    ApplyIfNewer(rec.key, rec.value, rec.version);
+  }
+  return RegionRecords(region);
 }
 
 std::vector<RegionEpoch> ClusterNodeService::EpochSnapshot() const {

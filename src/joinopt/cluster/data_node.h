@@ -62,9 +62,42 @@ class ClusterNodeService : public WritableDataService {
 
   // WritableDataService.
   StatusOr<uint64_t> Put(Key key, const std::string& value) override;
+  /// ApplyIfNewer with the primary's version as floor; answers with the
+  /// key's resulting local version (== `version` when applied, the newer
+  /// local version when this replica already superseded the write).
+  StatusOr<uint64_t> PutReplica(Key key, const std::string& value,
+                                uint64_t version) override;
   std::vector<RegionEpoch> EpochSnapshot() const override;
   void AddUpdateSink(UpdateSink* sink) override;
   void RemoveUpdateSink(UpdateSink* sink) override;
+
+  // Anti-entropy (DESIGN.md §16): the server side of live replica repair.
+  /// Order-independent content digest of one region: count + a wrapping
+  /// sum of per-record hashes over (key, value). Equal digests mean equal
+  /// contents regardless of write order; versions are excluded because
+  /// per-key counters may legitimately differ by history.
+  StatusOr<RegionSummary> SummarizeRegion(int32_t region) const override;
+  /// Merges a peer's records (newest version per key wins, applied with a
+  /// version floor so counters align), then returns this node's post-merge
+  /// snapshot of the region. Applied records fan out update events like
+  /// ordinary Puts, so subscribers invalidate repaired keys.
+  StatusOr<std::vector<RegionRecord>> SyncRegion(
+      int32_t region, const std::vector<RegionRecord>& records) override;
+
+  /// Atomic "apply unless I already have something newer": stores `value`
+  /// at version max(current + 1, `version`) iff current < `version`, or iff
+  /// current == `version` with a different, lexicographically smaller local
+  /// value (a deterministic tie-break: concurrent writers can hand the same
+  /// version number to different values on different replicas, and without
+  /// a common winner those replicas would never converge). Returns true
+  /// when applied (with the update event fanned out). The version-aware
+  /// merge primitive shared by anti-entropy and the restart catch-up path —
+  /// never overwrites a newer local write.
+  bool ApplyIfNewer(Key key, const std::string& value, uint64_t version);
+
+  /// Live (key, version, value) records of one region, read consistently
+  /// under the store lock.
+  std::vector<RegionRecord> RegionRecords(int32_t region) const;
 
   /// Restart hook: bumps every region's epoch and zeroes its seq, modelling
   /// the loss of the subscriber registrations (see file comment).
@@ -80,7 +113,17 @@ class ClusterNodeService : public WritableDataService {
   LogStructuredStore& store() { return store_; }
   const LogStructuredStore& store() const { return store_; }
 
+  /// Store counters read under the store lock (safe against concurrent
+  /// writers — the bare store() accessor is not).
+  LogStoreStats StoreStats() const {
+    ReaderMutexLock lock(store_mu_);
+    return store_.stats();
+  }
+
  private:
+  /// Bumps the key's region seq and pushes the event to every sink.
+  void FanOutUpdate(Key key, uint64_t version) JOINOPT_EXCLUDES(update_mu_);
+
   NodeId node_;
   ClusterTopology* topology_;
 

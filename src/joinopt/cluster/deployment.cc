@@ -1,7 +1,5 @@
 #include "joinopt/cluster/deployment.h"
 
-#include <unordered_set>
-
 namespace joinopt {
 
 ClusterDeployment::ClusterDeployment(UserFn fn,
@@ -15,23 +13,36 @@ ClusterDeployment::~ClusterDeployment() { Stop(); }
 Status ClusterDeployment::Start() {
   nodes_.reserve(static_cast<size_t>(options_.topology.num_data_nodes));
   for (int i = 0; i < options_.topology.num_data_nodes; ++i) {
+    // Each node's server answers as its own logical net-fault endpoint so
+    // half-open partitions can sever individual node↔node paths.
+    RpcServerOptions sopts = options_.server;
+    if (sopts.net_identity < 0) sopts.net_identity = i;
     nodes_.push_back(std::make_unique<ClusterDataNode>(
-        static_cast<NodeId>(i), topology_.get(), fn_, options_.server,
+        static_cast<NodeId>(i), topology_.get(), fn_, std::move(sopts),
         options_.store));
     JOINOPT_RETURN_NOT_OK(nodes_.back()->Start());
   }
+  ClusterClientOptions copts = options_.client;
+  if (copts.net_identity < 0) copts.net_identity = compute_identity();
   client_ =
-      std::make_unique<ClusterClientService>(topology_.get(), options_.client);
+      std::make_unique<ClusterClientService>(topology_.get(), std::move(copts));
   if (options_.start_controller) {
-    controller_ = std::make_unique<ClusterController>(topology_.get(),
-                                                      options_.controller);
+    ClusterControllerOptions ctl = options_.controller;
+    if (ctl.net_identity < 0) ctl.net_identity = compute_identity();
+    controller_ =
+        std::make_unique<ClusterController>(topology_.get(), std::move(ctl));
     client_->set_failure_listener(
         [this](NodeId node) { controller_->ReportFailure(node); });
+  }
+  if (options_.start_anti_entropy) {
+    anti_entropy_ = std::make_unique<AntiEntropyAgent>(topology_.get(),
+                                                       options_.anti_entropy);
   }
   return Status::OK();
 }
 
 void ClusterDeployment::Stop() {
+  if (anti_entropy_) anti_entropy_->Stop();  // before its peers go dark
   if (controller_) controller_->Stop();
   for (auto& node : nodes_) {
     if (node) node->Stop();
@@ -41,9 +52,13 @@ void ClusterDeployment::Stop() {
 StatusOr<uint64_t> ClusterDeployment::Seed(Key key, const std::string& value) {
   std::vector<NodeId> chain = topology_->ReplicasOf(key);
   StatusOr<uint64_t> primary = Status::Aborted("no replicas");
+  // Same discipline as the client write path: the primary assigns the
+  // version, followers apply it as a floor, so seeded replicas agree on
+  // version numbers from the very first write.
   for (size_t i = 0; i < chain.size(); ++i) {
-    auto version =
-        nodes_[static_cast<size_t>(chain[i])]->service().Put(key, value);
+    ClusterNodeService& svc = nodes_[static_cast<size_t>(chain[i])]->service();
+    auto version = primary.ok() ? svc.PutReplica(key, value, *primary)
+                                : svc.Put(key, value);
     if (i == 0) primary = std::move(version);
   }
   return primary;
@@ -56,29 +71,30 @@ void ClusterDeployment::KillDataNode(int i) {
 Status ClusterDeployment::RestartDataNode(int i) {
   NodeId node = static_cast<NodeId>(i);
   ClusterNodeService& target = nodes_[static_cast<size_t>(i)]->service();
-  // Regions this node hosts in any replica role.
-  std::unordered_set<int> hosted;
+  // Two-way version-aware catch-up, one hosted region at a time, against
+  // the first surviving replica in chain order. Pull: records written while
+  // this node was dark land via ApplyIfNewer (the version floor keeps the
+  // counters comparable). Push: records only this node had — e.g. a write
+  // it acked just before dying — flow back the other way. Neither direction
+  // can overwrite a newer copy; the old blind Put() here used to clobber a
+  // restarted node's newer values with the primary's stale ones.
   for (int r = 0; r < topology_->num_regions(); ++r) {
+    bool hosted = false;
     for (NodeId rep : topology_->RegionReplicas(r)) {
-      if (rep == node) hosted.insert(r);
+      if (rep == node) hosted = true;
     }
-  }
-  // Catch up from each region's *current* primary: copy every live record
-  // whose value diverged (writes that happened while this node was dark).
-  for (int j = 0; j < topology_->num_nodes(); ++j) {
-    NodeId source = static_cast<NodeId>(j);
-    if (source == node || !topology_->NodeUp(source)) continue;
-    if (!nodes_[static_cast<size_t>(j)]->running()) continue;
-    ClusterNodeService& src = nodes_[static_cast<size_t>(j)]->service();
-    auto records = src.SnapshotWhere([&](Key key) {
-      int region = topology_->RegionOf(key);
-      return hosted.count(region) > 0 &&
-             topology_->RegionOwner(region) == source;
-    });
-    for (auto& [key, value] : records) {
-      auto current = target.Fetch(key);
-      if (current.ok() && current->value == value) continue;  // in sync
-      JOINOPT_RETURN_NOT_OK(target.Put(key, value).status());
+    if (!hosted) continue;
+    for (NodeId source : topology_->RegionReplicas(r)) {
+      if (source == node || !topology_->NodeUp(source)) continue;
+      if (!nodes_[static_cast<size_t>(source)]->running()) continue;
+      ClusterNodeService& src = nodes_[static_cast<size_t>(source)]->service();
+      for (const RegionRecord& rec : src.RegionRecords(r)) {
+        target.ApplyIfNewer(rec.key, rec.value, rec.version);
+      }
+      for (const RegionRecord& rec : target.RegionRecords(r)) {
+        src.ApplyIfNewer(rec.key, rec.value, rec.version);
+      }
+      break;  // one live replica per region suffices
     }
   }
   JOINOPT_RETURN_NOT_OK(nodes_[static_cast<size_t>(i)]->Restart());
@@ -86,8 +102,17 @@ Status ClusterDeployment::RestartDataNode(int i) {
   return Status::OK();
 }
 
+void ClusterDeployment::KillController() {
+  if (controller_) controller_->Crash();
+}
+
+void ClusterDeployment::RestartController() {
+  if (controller_) controller_->Restart();
+}
+
 std::unique_ptr<UpdateSubscriber> ClusterDeployment::MakeSubscriber(
     ParallelInvoker* invoker, UpdateSubscriberOptions options) {
+  if (options.net_identity < 0) options.net_identity = compute_identity();
   std::vector<NodeId> nodes;
   for (int i = 0; i < topology_->num_nodes(); ++i) {
     nodes.push_back(static_cast<NodeId>(i));

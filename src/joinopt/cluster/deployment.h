@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "joinopt/cluster/anti_entropy.h"
 #include "joinopt/cluster/cluster_client.h"
 #include "joinopt/cluster/controller.h"
 #include "joinopt/cluster/data_node.h"
@@ -43,6 +44,10 @@ struct ClusterDeploymentOptions {
   LogStoreConfig store;
   /// When false, no controller runs (tests that want manual liveness).
   bool start_controller = true;
+  /// When true, an AntiEntropyAgent sweeps live replicas on a timer and
+  /// repairs divergent regions over the wire (DESIGN.md §16).
+  bool start_anti_entropy = false;
+  AntiEntropyOptions anti_entropy;
 };
 
 class ClusterDeployment {
@@ -66,9 +71,17 @@ class ClusterDeployment {
   /// Crash: the node's server goes dark; nothing is told (the controller
   /// must detect it).
   void KillDataNode(int i);
-  /// Catch-up from surviving primaries + restart on the same port + mark
-  /// up. The epoch bump forces subscribers into targeted re-syncs.
+  /// Two-way version-aware catch-up with a surviving replica of each hosted
+  /// region (ApplyIfNewer both directions: pulls writes that landed while
+  /// dark, pushes writes only this node had — and never overwrites a newer
+  /// copy on either side), then restart on the same port + mark up. The
+  /// epoch bump forces subscribers into targeted re-syncs.
   Status RestartDataNode(int i);
+
+  /// Chaos: kill/revive the failure detector (see ClusterController::Crash).
+  /// No-ops when the deployment runs without a controller.
+  void KillController();
+  void RestartController();
 
   /// A subscriber on all data nodes whose events drive `invoker`:
   /// in-order notifications call OnUpdate, gaps/epoch bumps trigger
@@ -79,6 +92,12 @@ class ClusterDeployment {
   ClusterTopology& topology() { return *topology_; }
   ClusterClientService& client() { return *client_; }
   ClusterController* controller() { return controller_.get(); }
+  AntiEntropyAgent* anti_entropy() { return anti_entropy_.get(); }
+  /// Logical net-fault identity of the compute side (client, subscriber,
+  /// controller probes): one past the last data node id.
+  int32_t compute_identity() const {
+    return options_.topology.num_data_nodes;
+  }
   ClusterDataNode& data_node(int i) {
     return *nodes_[static_cast<size_t>(i)];
   }
@@ -91,6 +110,7 @@ class ClusterDeployment {
   std::vector<std::unique_ptr<ClusterDataNode>> nodes_;
   std::unique_ptr<ClusterClientService> client_;
   std::unique_ptr<ClusterController> controller_;
+  std::unique_ptr<AntiEntropyAgent> anti_entropy_;
 };
 
 }  // namespace joinopt

@@ -4,6 +4,7 @@
 
 #include <chrono>
 
+#include "joinopt/net/net_fault.h"
 #include "joinopt/net/socket.h"
 
 namespace joinopt {
@@ -126,6 +127,7 @@ void UpdateSubscriber::StreamLoop(size_t slot, NodeId node) {
   uint32_t seq = 1;
   while (!stop_.load(std::memory_order_acquire)) {
     RpcEndpoint ep = topology_->endpoint(node);
+    NetFaultInjector::ScopedIdentity fault_id(options_.net_identity);
     auto conn = TcpConnect(ep.host, ep.port, options_.connect_deadline);
     if (!conn.ok()) {
       {

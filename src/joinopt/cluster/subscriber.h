@@ -59,6 +59,8 @@ struct UpdateSubscriberOptions {
   double connect_deadline = 1.0;
   /// NodeId reported in the SubscribeRequest (diagnostic only).
   NodeId subscriber_id = 0;
+  /// Logical endpoint id for NetFaultInjector partitions; -1 opts out.
+  int32_t net_identity = -1;
 };
 
 struct UpdateSubscriberStats {

@@ -20,6 +20,11 @@
 namespace joinopt {
 namespace lock_rank {
 
+/// Chaos soak oracle state (per-key expected sequences + violation log).
+/// Outermost by construction: workload threads consult it holding nothing,
+/// and it calls nothing while held.
+inline constexpr int kChaosOracle = 60;
+
 /// ComputeWorkerGroup::mu_ — outermost: the compute pool's dispatch state
 /// is released before any invoker/engine/client call.
 inline constexpr int kComputeGroup = 100;
@@ -61,6 +66,11 @@ inline constexpr int kSubscriberState = 400;
 /// promotion it triggers (which would be legal nesting, but staying out of
 /// the topology lock keeps the dead-node hook callback unconstrained).
 inline constexpr int kControllerState = 450;
+
+/// AntiEntropyAgent::mu_ — repair stats + the sweep timer's condvar. The
+/// sweep thread releases it before every RPC or node-service call, so it
+/// nests with nothing below.
+inline constexpr int kAntiEntropy = 460;
 
 /// ClusterDataNode lifecycle — the server pointer and pinned port. Held
 /// across Start/Restart, which publish endpoints into the topology and
@@ -129,6 +139,11 @@ inline constexpr int kHedging = 820;
 /// RpcClientService::Pool::mu — per-endpoint idle-connection pool; the
 /// innermost lock before the raw socket.
 inline constexpr int kClientPool = 850;
+
+/// NetFaultInjector::mu_ — the socket-level partition registry. The very
+/// innermost lock in the process: its hooks run inside TcpConnect /
+/// SendAll / accept paths, which may be reached under any other lock.
+inline constexpr int kNetFault = 900;
 
 }  // namespace lock_rank
 }  // namespace joinopt

@@ -93,6 +93,10 @@ struct RecoveryCounters {
   int64_t failovers = 0;        ///< sends routed to a non-primary replica
   int64_t duplicates_ignored = 0;  ///< late/duplicate responses discarded
   int64_t tuples_failed = 0;    ///< tuples abandoned after max_attempts
+  int64_t batch_hedges_sent = 0;  ///< idempotent tagged batches duplicated
+  /// Duplicated batches whose loser also completed — answered from the
+  /// server's replay-dedup cache rather than re-executed.
+  int64_t batch_hedges_absorbed = 0;
 
   void Add(const RecoveryCounters& o) {
     timeouts += o.timeouts;
@@ -102,6 +106,8 @@ struct RecoveryCounters {
     failovers += o.failovers;
     duplicates_ignored += o.duplicates_ignored;
     tuples_failed += o.tuples_failed;
+    batch_hedges_sent += o.batch_hedges_sent;
+    batch_hedges_absorbed += o.batch_hedges_absorbed;
   }
 };
 

@@ -15,8 +15,11 @@ void FaultInjector::Arm() {
   JO_CHECK(!armed_) << "FaultInjector armed twice";
   armed_ = true;
   for (const FaultEvent& event : schedule_.Sorted()) {
-    JO_CHECK(event.node >= 0 && event.node < cluster_->num_nodes())
-        << "fault event targets unknown node " << event.node;
+    if (event.kind != FaultKind::kControllerCrash &&
+        event.kind != FaultKind::kControllerRestart) {
+      JO_CHECK(event.node >= 0 && event.node < cluster_->num_nodes())
+          << "fault event targets unknown node " << event.node;
+    }
     sim_->At(event.time, [this, event] { Apply(event); });
   }
 }
@@ -55,6 +58,11 @@ void FaultInjector::Apply(const FaultEvent& event) {
     case FaultKind::kDiskRestore:
       cluster_->node(event.node).set_disk_slow_factor(1.0);
       ++stats_.disk_events;
+      break;
+    case FaultKind::kControllerCrash:
+    case FaultKind::kControllerRestart:
+      // The simulator has no failure-detector process to kill; these kinds
+      // exist for the networked chaos harness (ClusterController).
       break;
   }
   JO_LOG(Info) << "fault @" << sim_->now() << "s: "

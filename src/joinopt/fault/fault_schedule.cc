@@ -26,6 +26,10 @@ const char* FaultKindToString(FaultKind kind) {
       return "link_partition_one_way";
     case FaultKind::kLinkHealOneWay:
       return "link_heal_one_way";
+    case FaultKind::kControllerCrash:
+      return "controller_crash";
+    case FaultKind::kControllerRestart:
+      return "controller_restart";
   }
   return "?";
 }
@@ -72,6 +76,16 @@ FaultSchedule& FaultSchedule::SlowDisk(double time, NodeId node,
 
 FaultSchedule& FaultSchedule::RestoreDisk(double time, NodeId node) {
   return Add({time, FaultKind::kDiskRestore, node, kInvalidNode, 1.0});
+}
+
+FaultSchedule& FaultSchedule::CrashController(double time) {
+  return Add({time, FaultKind::kControllerCrash, kInvalidNode, kInvalidNode,
+              1.0});
+}
+
+FaultSchedule& FaultSchedule::RestartController(double time) {
+  return Add({time, FaultKind::kControllerRestart, kInvalidNode, kInvalidNode,
+              1.0});
 }
 
 FaultSchedule& FaultSchedule::Add(FaultEvent event) {

@@ -29,6 +29,12 @@ enum class FaultKind {
   /// dead while B still hears A's requests and burns work answering them.
   kLinkPartitionOneWay,
   kLinkHealOneWay,  ///< heals only the `node`→`peer` direction
+  /// The failure detector itself dies: probes stop, ReportFailure strikes
+  /// are dropped on the floor. Data nodes keep serving — the cluster just
+  /// loses its ability to *declare* anything dead until the controller
+  /// comes back. `node`/`peer` are unused.
+  kControllerCrash,
+  kControllerRestart,  ///< controller resumes probing with strikes cleared
 };
 
 const char* FaultKindToString(FaultKind kind);
@@ -61,6 +67,8 @@ class FaultSchedule {
   FaultSchedule& HealLinkOneWay(double time, NodeId from, NodeId to);
   FaultSchedule& SlowDisk(double time, NodeId node, double factor);
   FaultSchedule& RestoreDisk(double time, NodeId node);
+  FaultSchedule& CrashController(double time);
+  FaultSchedule& RestartController(double time);
   FaultSchedule& Add(FaultEvent event);
 
   const std::vector<FaultEvent>& events() const { return events_; }

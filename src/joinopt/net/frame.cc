@@ -31,6 +31,10 @@ const char* MsgTypeToString(MsgType t) {
     case MsgType::kSubscribeReq: return "SubscribeReq";
     case MsgType::kSubscribeResp: return "SubscribeResp";
     case MsgType::kNotifyEvt: return "NotifyEvt";
+    case MsgType::kRegionSummaryReq: return "RegionSummaryReq";
+    case MsgType::kRegionSummaryResp: return "RegionSummaryResp";
+    case MsgType::kRegionSyncReq: return "RegionSyncReq";
+    case MsgType::kRegionSyncResp: return "RegionSyncResp";
   }
   return "Unknown";
 }
@@ -44,6 +48,8 @@ MsgType ResponseTypeFor(MsgType req) {
     case MsgType::kOwnerReq:
     case MsgType::kPutReq:
     case MsgType::kSubscribeReq:
+    case MsgType::kRegionSummaryReq:
+    case MsgType::kRegionSyncReq:
       return static_cast<MsgType>(static_cast<uint8_t>(req) + 1);
     default:
       // kNotifyEvt is one-way; everything else is not a request.
@@ -263,10 +269,12 @@ StatusOr<TaggedBatchRequest> DecodeTaggedBatchRequest(std::string_view body) {
   return req;
 }
 
-std::string EncodePutRequest(Key key, std::string_view value) {
+std::string EncodePutRequest(Key key, std::string_view value,
+                             uint64_t version_floor) {
   std::string out;
   PutU64(&out, key);
   PutString(&out, value);
+  PutU64(&out, version_floor);
   return out;
 }
 
@@ -275,6 +283,7 @@ StatusOr<PutRequest> DecodePutRequest(std::string_view body) {
   PutRequest req;
   JOINOPT_ASSIGN_OR_RETURN(req.key, r.GetU64());
   JOINOPT_ASSIGN_OR_RETURN(req.value, r.GetString());
+  JOINOPT_ASSIGN_OR_RETURN(req.version_floor, r.GetU64());
   if (!r.Done()) return BadFrame("trailing bytes in put request");
   return req;
 }
@@ -553,6 +562,139 @@ StatusOr<StatusOr<uint64_t>> DecodePutResponse(std::string_view body) {
     result = std::move(status);
   }
   if (!r.Done()) return BadFrame("trailing bytes in put response");
+  return result;
+}
+
+namespace {
+
+void PutRegionRecords(std::string* out,
+                      const std::vector<RegionRecord>& records) {
+  PutU32(out, static_cast<uint32_t>(records.size()));
+  for (const RegionRecord& rec : records) {
+    PutU64(out, rec.key);
+    PutU64(out, rec.version);
+    PutString(out, rec.value);
+  }
+}
+
+StatusOr<std::vector<RegionRecord>> GetRegionRecords(WireReader& r) {
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // Each record is at least 20 bytes (key + version + empty string).
+  if (static_cast<size_t>(count) * 20 > r.remaining()) {
+    return BadFrame("record count exceeds frame");
+  }
+  std::vector<RegionRecord> records;
+  records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RegionRecord rec;
+    JOINOPT_ASSIGN_OR_RETURN(rec.key, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(rec.version, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(rec.value, r.GetString());
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace
+
+std::string EncodeRegionSummaryRequest(int32_t region) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(region));
+  return out;
+}
+
+StatusOr<int32_t> DecodeRegionSummaryRequest(std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t region, r.GetU32());
+  if (!r.Done()) return BadFrame("trailing bytes in summary request");
+  return static_cast<int32_t>(region);
+}
+
+std::string EncodeRegionSummaryResponse(
+    const StatusOr<RegionSummary>& result) {
+  std::string out;
+  if (result.ok()) {
+    PutU8(&out, kTagOk);
+    PutU32(&out, static_cast<uint32_t>(result->region));
+    PutU64(&out, result->epoch);
+    PutU64(&out, result->seq);
+    PutU64(&out, result->count);
+    PutU64(&out, result->checksum);
+  } else {
+    PutU8(&out, kTagError);
+    PutStatus(&out, result.status());
+  }
+  return out;
+}
+
+StatusOr<StatusOr<RegionSummary>> DecodeRegionSummaryResponse(
+    std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(bool ok, GetResultTag(r));
+  StatusOr<RegionSummary> result = Status::Internal("uninitialized");
+  if (ok) {
+    RegionSummary s;
+    JOINOPT_ASSIGN_OR_RETURN(uint32_t region, r.GetU32());
+    s.region = static_cast<int32_t>(region);
+    JOINOPT_ASSIGN_OR_RETURN(s.epoch, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(s.seq, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(s.count, r.GetU64());
+    JOINOPT_ASSIGN_OR_RETURN(s.checksum, r.GetU64());
+    result = s;
+  } else {
+    Status status;
+    JOINOPT_RETURN_NOT_OK(GetStatus(r, &status));
+    result = std::move(status);
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in summary response");
+  return result;
+}
+
+std::string EncodeRegionSyncRequest(
+    int32_t region, const std::vector<RegionRecord>& records) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(region));
+  PutRegionRecords(&out, records);
+  return out;
+}
+
+StatusOr<RegionSyncRequest> DecodeRegionSyncRequest(std::string_view body) {
+  WireReader r(body);
+  RegionSyncRequest req;
+  JOINOPT_ASSIGN_OR_RETURN(uint32_t region, r.GetU32());
+  req.region = static_cast<int32_t>(region);
+  JOINOPT_ASSIGN_OR_RETURN(req.records, GetRegionRecords(r));
+  if (!r.Done()) return BadFrame("trailing bytes in sync request");
+  return req;
+}
+
+std::string EncodeRegionSyncResponse(
+    const StatusOr<std::vector<RegionRecord>>& result) {
+  std::string out;
+  if (result.ok()) {
+    PutU8(&out, kTagOk);
+    PutRegionRecords(&out, *result);
+  } else {
+    PutU8(&out, kTagError);
+    PutStatus(&out, result.status());
+  }
+  return out;
+}
+
+StatusOr<StatusOr<std::vector<RegionRecord>>> DecodeRegionSyncResponse(
+    std::string_view body) {
+  WireReader r(body);
+  JOINOPT_ASSIGN_OR_RETURN(bool ok, GetResultTag(r));
+  StatusOr<std::vector<RegionRecord>> result =
+      Status::Internal("uninitialized");
+  if (ok) {
+    JOINOPT_ASSIGN_OR_RETURN(result, GetRegionRecords(r));
+  } else {
+    Status status;
+    JOINOPT_RETURN_NOT_OK(GetStatus(r, &status));
+    result = std::move(status);
+  }
+  if (!r.Done()) return BadFrame("trailing bytes in sync response");
   return result;
 }
 

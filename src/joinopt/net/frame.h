@@ -79,6 +79,17 @@ enum class MsgType : uint8_t {
   kSubscribeResp = 14,
   /// One-way server→client push after a Subscribe; never answered.
   kNotifyEvt = 15,
+  // ---- v2 anti-entropy verbs (live replica repair, DESIGN.md §16) ----
+  /// "What does your copy of region R look like?" — answered with an
+  /// (epoch, seq, count, checksum) summary cheap enough to poll on a timer.
+  kRegionSummaryReq = 17,
+  kRegionSummaryResp = 18,
+  /// Bidirectional region repair in one round trip: the requester pushes
+  /// its live (key, version, value) records for the region, the responder
+  /// merges them version-aware and answers with its own post-merge
+  /// snapshot for the requester to merge back.
+  kRegionSyncReq = 19,
+  kRegionSyncResp = 20,
 };
 
 const char* MsgTypeToString(MsgType t);
@@ -177,12 +188,21 @@ std::string EncodeTaggedBatchRequest(
     const std::vector<std::pair<Key, std::string>>& items);
 StatusOr<TaggedBatchRequest> DecodeTaggedBatchRequest(std::string_view body);
 
-/// Put request: key + value bytes.
+/// Put request: key + value bytes + version floor. A floor of 0 is a
+/// primary write (the store assigns the next version); a non-zero floor is
+/// a replica write carrying the primary's assigned version, applied with
+/// ApplyIfNewer semantics so every replica of one logical write converges
+/// on the SAME version number. Without the floor each replica's store
+/// counts independently and the numbering drifts after any skipped or
+/// failed fan-out — after which version-aware merges compare apples to
+/// oranges and "read at least the acked version" is unenforceable.
 struct PutRequest {
   Key key = 0;
   std::string value;
+  uint64_t version_floor = 0;
 };
-std::string EncodePutRequest(Key key, std::string_view value);
+std::string EncodePutRequest(Key key, std::string_view value,
+                             uint64_t version_floor = 0);
 StatusOr<PutRequest> DecodePutRequest(std::string_view body);
 
 /// Subscribe request: the subscriber's node id (u32, informational).
@@ -253,6 +273,49 @@ StatusOr<NodeId> DecodeOwnerResponse(std::string_view body);
 /// Put response: the new store version on success.
 std::string EncodePutResponse(const StatusOr<uint64_t>& new_version);
 StatusOr<StatusOr<uint64_t>> DecodePutResponse(std::string_view body);
+
+// ---- anti-entropy (live replica repair) ----------------------------------
+
+/// Content summary of one node's copy of one region. `checksum` is an
+/// order-independent digest over the live (key, value) pairs — equal
+/// checksums mean equal contents (up to hash collision), regardless of
+/// write order, so two replicas can compare copies in O(1) wire bytes.
+/// Versions are deliberately excluded: replicas converge on *contents*;
+/// per-key version counters may differ by history even when data agrees.
+struct RegionSummary {
+  int32_t region = 0;
+  uint64_t epoch = 0;  ///< the region's current update-stream epoch
+  uint64_t seq = 0;    ///< updates within that epoch
+  uint64_t count = 0;  ///< live keys
+  uint64_t checksum = 0;
+};
+
+/// One live record in a region sync exchange.
+struct RegionRecord {
+  Key key = 0;
+  uint64_t version = 0;
+  std::string value;
+};
+
+std::string EncodeRegionSummaryRequest(int32_t region);
+StatusOr<int32_t> DecodeRegionSummaryRequest(std::string_view body);
+
+std::string EncodeRegionSummaryResponse(const StatusOr<RegionSummary>& result);
+StatusOr<StatusOr<RegionSummary>> DecodeRegionSummaryResponse(
+    std::string_view body);
+
+struct RegionSyncRequest {
+  int32_t region = 0;
+  std::vector<RegionRecord> records;
+};
+std::string EncodeRegionSyncRequest(int32_t region,
+                                    const std::vector<RegionRecord>& records);
+StatusOr<RegionSyncRequest> DecodeRegionSyncRequest(std::string_view body);
+
+std::string EncodeRegionSyncResponse(
+    const StatusOr<std::vector<RegionRecord>>& result);
+StatusOr<StatusOr<std::vector<RegionRecord>>> DecodeRegionSyncResponse(
+    std::string_view body);
 
 }  // namespace joinopt
 

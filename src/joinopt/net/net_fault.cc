@@ -1,0 +1,191 @@
+#include "joinopt/net/net_fault.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+namespace joinopt {
+
+namespace {
+
+thread_local int32_t g_net_identity = kNetIdentityNone;
+
+/// Local or peer port of a connected IPv4 socket; 0 on any failure (the
+/// hooks treat 0 / unknown as "not participating").
+uint16_t SocketPort(int fd, bool peer) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  int rc = peer
+               ? ::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len)
+               : ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (rc < 0 || addr.sin_family != AF_INET) return 0;
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+NetFaultInjector& NetFaultInjector::Instance() {
+  static NetFaultInjector* instance = new NetFaultInjector();
+  return *instance;
+}
+
+NetFaultInjector::ScopedIdentity::ScopedIdentity(int32_t id)
+    : saved_(g_net_identity) {
+  g_net_identity = id;
+}
+
+NetFaultInjector::ScopedIdentity::~ScopedIdentity() {
+  g_net_identity = saved_;
+}
+
+int32_t NetFaultInjector::CurrentIdentity() { return g_net_identity; }
+
+void NetFaultInjector::RegisterServerPort(uint16_t port, int32_t id) {
+  if (port == 0 || id == kNetIdentityNone) return;
+  MutexLock lock(mu_);
+  server_ports_[port] = id;
+  tracking_.store(true, std::memory_order_release);
+}
+
+void NetFaultInjector::UnregisterServerPort(uint16_t port) {
+  MutexLock lock(mu_);
+  server_ports_.erase(port);
+}
+
+void NetFaultInjector::BlockOneWay(int32_t from, int32_t to) {
+  MutexLock lock(mu_);
+  blocked_.insert({from, to});
+  faults_active_.store(true, std::memory_order_release);
+}
+
+void NetFaultInjector::HealOneWay(int32_t from, int32_t to) {
+  MutexLock lock(mu_);
+  blocked_.erase({from, to});
+  if (blocked_.empty()) {
+    faults_active_.store(false, std::memory_order_release);
+  }
+}
+
+void NetFaultInjector::Block(int32_t a, int32_t b) {
+  MutexLock lock(mu_);
+  blocked_.insert({a, b});
+  blocked_.insert({b, a});
+  faults_active_.store(true, std::memory_order_release);
+}
+
+void NetFaultInjector::Heal(int32_t a, int32_t b) {
+  MutexLock lock(mu_);
+  blocked_.erase({a, b});
+  blocked_.erase({b, a});
+  if (blocked_.empty()) {
+    faults_active_.store(false, std::memory_order_release);
+  }
+}
+
+void NetFaultInjector::HealAll() {
+  MutexLock lock(mu_);
+  blocked_.clear();
+  faults_active_.store(false, std::memory_order_release);
+}
+
+bool NetFaultInjector::Blocked(int32_t from, int32_t to) const {
+  MutexLock lock(mu_);
+  return BlockedLocked(from, to);
+}
+
+int NetFaultInjector::active_rules() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(blocked_.size());
+}
+
+bool NetFaultInjector::BlockedLocked(int32_t from, int32_t to) const {
+  if (from == kNetIdentityNone || to == kNetIdentityNone) return false;
+  return blocked_.count({from, to}) > 0;
+}
+
+Status NetFaultInjector::CheckConnect(uint16_t server_port) const {
+  int32_t from = g_net_identity;
+  if (from == kNetIdentityNone) return Status::OK();
+  MutexLock lock(mu_);
+  auto it = server_ports_.find(server_port);
+  if (it == server_ports_.end()) return Status::OK();
+  // A handshake needs both directions: the SYN travels from→to, the
+  // SYN-ACK back. Either direction blocked means the dial times out.
+  if (BlockedLocked(from, it->second) || BlockedLocked(it->second, from)) {
+    return Status::Aborted("deadline exceeded in connect: injected partition");
+  }
+  return Status::OK();
+}
+
+void NetFaultInjector::OnConnected(int fd, uint16_t server_port) {
+  int32_t from = g_net_identity;
+  if (from == kNetIdentityNone) return;
+  MutexLock lock(mu_);
+  auto it = server_ports_.find(server_port);
+  if (it == server_ports_.end()) return;
+  uint16_t local_port = SocketPort(fd, /*peer=*/false);
+  if (local_port != 0) client_ports_[local_port] = from;
+  fds_[fd] = FdDirection{from, it->second, local_port};
+}
+
+bool NetFaultInjector::OnAccept(uint16_t listen_port, int conn_fd) {
+  if (!tracking_.load(std::memory_order_acquire)) return true;
+  MutexLock lock(mu_);
+  auto self = server_ports_.find(listen_port);
+  if (self == server_ports_.end()) return true;
+  uint16_t peer_port = SocketPort(conn_fd, /*peer=*/true);
+  auto peer = client_ports_.find(peer_port);
+  if (peer == client_ports_.end()) {
+    // The dialer's OnConnected may not have registered its ephemeral port
+    // yet (accept and connect-return race on loopback). Remember the port
+    // so CheckSend can resolve the peer lazily — otherwise a connection
+    // that loses this race is untracked for its whole lifetime and
+    // server→client half-open blocks silently miss it.
+    if (peer_port != 0) {
+      fds_[conn_fd] = FdDirection{self->second, kNetIdentityNone, 0,
+                                  peer_port};
+    }
+    return true;
+  }
+  if (BlockedLocked(peer->second, self->second) ||
+      BlockedLocked(self->second, peer->second)) {
+    return false;
+  }
+  // Remember this fd's transmit direction (server → client) so responses
+  // can be black-holed independently of the request direction.
+  fds_[conn_fd] = FdDirection{self->second, peer->second, 0, 0};
+  return true;
+}
+
+Status NetFaultInjector::CheckSend(int fd) const {
+  MutexLock lock(mu_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Status::OK();
+  if (it->second.to == kNetIdentityNone && it->second.peer_port != 0) {
+    // Late resolution of a raced accept: by the first guarded send the
+    // dialer has long since registered. Cache the hit — ephemeral ports
+    // can be reused after the peer closes, so re-resolving every send
+    // could bind this fd to a different, newer client.
+    auto peer = client_ports_.find(it->second.peer_port);
+    if (peer != client_ports_.end()) {
+      it->second.to = peer->second;
+      it->second.peer_port = 0;
+    }
+  }
+  if (BlockedLocked(it->second.from, it->second.to)) {
+    // The bytes would vanish on the wire; the sender's next observable
+    // event is its own deadline, so fail with the timeout flavour now
+    // instead of burning the real budget.
+    return Status::Aborted("deadline exceeded in send: injected partition");
+  }
+  return Status::OK();
+}
+
+void NetFaultInjector::OnClose(int fd) {
+  MutexLock lock(mu_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  if (it->second.local_port != 0) client_ports_.erase(it->second.local_port);
+  fds_.erase(it);
+}
+
+}  // namespace joinopt

@@ -1,5 +1,7 @@
 #include "joinopt/net/reactor/reactor_core.h"
 
+#include "joinopt/net/net_fault.h"
+
 #include <errno.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -210,6 +212,12 @@ void ReactorCore::HandleAccept(Loop& loop0) {
     int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN, racing Stop(), or transient error
+    if (!NetFaultInjector::Instance().OnAccept(port_, fd)) {
+      // Injected partition: drop the handshake the kernel already
+      // completed — the peer sees a connect that never answers.
+      ::close(fd);
+      continue;
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     ++stats_->connections_accepted;
@@ -404,10 +412,19 @@ void ReactorCore::TryFlush(Loop& loop,
     MutexLock lock(conn->mu_);
     if (conn->closed_) return;
 
+    // Injected half-open partition: this fd's transmit direction is
+    // black-holed, so frames must not reach the kernel. Tear the
+    // connection down instead — parity with the threaded backend, whose
+    // SendAll performs the same check before every write.
+    NetFaultInjector& nf = NetFaultInjector::Instance();
+    if (nf.faults_active() && !nf.CheckSend(conn->fd_.get()).ok()) {
+      close_now = true;
+    }
+
     // Stage-then-write until no more progress: if one writev drains the
     // whole queue, pending notifies must be staged NOW — with the queue
     // empty there is no EPOLLOUT edge left to bring us back here.
-    bool again = true;
+    bool again = !close_now;
     while (again) {
     again = false;
     // Stage pending notifies into the write queue while it has headroom —

@@ -66,6 +66,8 @@ struct ReactorOptions {
   /// Idle epoll timeout — bounds Stop() latency, like the legacy
   /// backend's poll tick.
   double poll_tick = 0.05;
+  /// Logical endpoint id for NetFaultInjector partitions; -1 opts out.
+  int32_t net_identity = -1;
 };
 
 class ReactorCore {

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "joinopt/common/hash.h"
+#include "joinopt/net/net_fault.h"
 
 namespace joinopt {
 
@@ -67,6 +68,9 @@ StatusOr<UniqueFd> RpcClientService::Acquire(size_t endpoint_idx) const {
     }
   }
   const RpcEndpoint& ep = options_.endpoints[endpoint_idx];
+  // The injector identifies dialers by thread-local identity; attempt
+  // threads (hedges) inherit it here rather than from their spawner.
+  NetFaultInjector::ScopedIdentity fault_id(options_.net_identity);
   auto fd = TcpConnect(ep.host, ep.port, options_.connect_deadline);
   if (fd.ok()) ++stats_.connections_opened;
   return fd;
@@ -171,6 +175,7 @@ void RpcClientService::LaunchAttempt(std::shared_ptr<HedgeState> state,
     if (duplicate) {
       MutexLock lock(rec_mu_);
       ++rec_.duplicates_ignored;
+      if (state->is_batch) ++rec_.batch_hedges_absorbed;
     }
     inflight_attempts_.fetch_sub(1, std::memory_order_acq_rel);
   }).detach();
@@ -180,6 +185,7 @@ StatusOr<std::string> RpcClientService::HedgedCall(
     size_t primary, size_t secondary, MsgType req_type,
     const std::string& body) const {
   auto state = std::make_shared<HedgeState>();
+  state->is_batch = req_type == MsgType::kBatchReq;
   LaunchAttempt(state, primary, req_type, body, /*is_hedge=*/false);
   const double delay = hedging_->HedgeDelay(static_cast<uint64_t>(primary));
   const auto hedge_at =
@@ -223,7 +229,10 @@ StatusOr<std::string> RpcClientService::HedgedCall(
   }
   if (hedge_sent || winner_is_hedge) {
     MutexLock lock(rec_mu_);
-    if (hedge_sent) ++rec_.hedges_sent;
+    if (hedge_sent) {
+      ++rec_.hedges_sent;
+      if (req_type == MsgType::kBatchReq) ++rec_.batch_hedges_sent;
+    }
     if (winner_is_hedge) ++rec_.hedges_won;
   }
   return out;
@@ -251,7 +260,8 @@ size_t RpcClientService::StartEndpoint(bool read) const {
 
 StatusOr<std::string> RpcClientService::Call(MsgType req_type,
                                              const std::string& body,
-                                             bool read) const {
+                                             bool read,
+                                             bool idempotent) const {
   ++stats_.calls;
   if (options_.endpoints.empty()) {
     return Status::FailedPrecondition("rpc client has no endpoints");
@@ -260,9 +270,13 @@ StatusOr<std::string> RpcClientService::Call(MsgType req_type,
   const int attempts = rec.enabled ? std::max(rec.max_attempts, 1) : 1;
   const size_t n = options_.endpoints.size();
   const size_t start = StartEndpoint(read);
-  // Hedge read verbs only: writes and delegated compute stay primary-first
-  // (the engine's cost model placed them), and hedging needs a sibling.
+  // Hedge read verbs (needs a sibling replica) and idempotent tagged
+  // batches (safe even against a single endpoint: the server's dedup cache
+  // absorbs the duplicate). Writes and untagged compute stay primary-first
+  // and unhedged — the engine's cost model placed them.
   const bool hedge_reads = read && hedging_ != nullptr && n >= 2;
+  const bool hedge_idem = idempotent && hedging_ != nullptr && n >= 1 &&
+                          options_.hedge_idempotent_batches;
   Status last = Status::Internal("unreachable");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     size_t ep = (start + static_cast<size_t>(attempt)) % n;
@@ -275,8 +289,11 @@ StatusOr<std::string> RpcClientService::Call(MsgType req_type,
     }
     // The hedged exchange covers the first attempt only; backoff retries
     // are already failure handling, doubling them would amplify an outage.
-    const bool hedged = hedge_reads && attempt == 0;
-    auto result = hedged ? HedgedCall(ep, (ep + 1) % n, req_type, body)
+    const bool hedged = (hedge_reads || hedge_idem) && attempt == 0;
+    // With a single-endpoint chain the hedge targets the same endpoint
+    // over a fresh connection: it races a stuck exchange, not a slow node.
+    const size_t secondary = n >= 2 ? (ep + 1) % n : ep;
+    auto result = hedged ? HedgedCall(ep, secondary, req_type, body)
                          : TimedCallOnce(ep, req_type, body,
                                          /*is_hedge=*/false);
     if (result.ok()) return result;
@@ -332,8 +349,11 @@ std::vector<StatusOr<std::string>> RpcClientService::ExecuteBatchTagged(
     return std::vector<StatusOr<std::string>>(items.size(), status);
   };
   if (items.empty()) return {};
+  // A nonzero client id means the server dedups replays of this exact
+  // request, which is what makes duplicating it (hedging) safe.
   auto body = Call(MsgType::kBatchReq,
-                   EncodeTaggedBatchRequest(client_id, batch_seq, items));
+                   EncodeTaggedBatchRequest(client_id, batch_seq, items),
+                   /*read=*/false, /*idempotent=*/client_id != 0);
   if (!body.ok()) return fail_all(body.status());
   auto results = DecodeBatchResponse(*body);
   if (!results.ok()) return fail_all(results.status());
@@ -368,10 +388,31 @@ NodeId RpcClientService::OwnerOf(Key key) const {
   return node.ok() ? *node : kInvalidNode;
 }
 
-StatusOr<uint64_t> RpcClientService::Put(Key key, const std::string& value) {
+StatusOr<RegionSummary> RpcClientService::SummarizeRegion(int32_t region) {
   JOINOPT_ASSIGN_OR_RETURN(std::string body,
-                           Call(MsgType::kPutReq,
-                                EncodePutRequest(key, value)));
+                           Call(MsgType::kRegionSummaryReq,
+                                EncodeRegionSummaryRequest(region),
+                                /*read=*/true));
+  JOINOPT_ASSIGN_OR_RETURN(StatusOr<RegionSummary> result,
+                           DecodeRegionSummaryResponse(body));
+  return result;
+}
+
+StatusOr<std::vector<RegionRecord>> RpcClientService::SyncRegion(
+    int32_t region, const std::vector<RegionRecord>& records) {
+  JOINOPT_ASSIGN_OR_RETURN(std::string body,
+                           Call(MsgType::kRegionSyncReq,
+                                EncodeRegionSyncRequest(region, records)));
+  JOINOPT_ASSIGN_OR_RETURN(StatusOr<std::vector<RegionRecord>> result,
+                           DecodeRegionSyncResponse(body));
+  return result;
+}
+
+StatusOr<uint64_t> RpcClientService::Put(Key key, const std::string& value,
+                                         uint64_t version_floor) {
+  JOINOPT_ASSIGN_OR_RETURN(
+      std::string body,
+      Call(MsgType::kPutReq, EncodePutRequest(key, value, version_floor)));
   JOINOPT_ASSIGN_OR_RETURN(StatusOr<uint64_t> result,
                            DecodePutResponse(body));
   return result;

@@ -77,6 +77,19 @@ struct RpcClientOptions {
   std::shared_ptr<HedgingManager> hedging;
   /// Seed for the deterministic backoff jitter.
   uint64_t seed = 0x5ca1ab1e;
+  /// Logical endpoint id for NetFaultInjector partitions (net/net_fault.h).
+  /// -1 (the default) opts out. The chaos harness tags cluster-internal
+  /// clients with their owning node's id so half-open partitions hit the
+  /// node-to-node paths, not just the external workload.
+  int32_t net_identity = -1;
+  /// Hedge idempotent tagged batches (ExecuteBatchTagged with a nonzero
+  /// client id) like reads: a straggling batch is duplicated after the
+  /// hedge delay, and — unlike reads — the duplicate may target the *same*
+  /// endpoint, where the server's replay-dedup cache absorbs it (the
+  /// in-flight-wait path makes racing duplicates exactly-once). This is
+  /// what makes hedging useful to the cluster layer, whose per-node
+  /// clients have single-endpoint chains.
+  bool hedge_idempotent_batches = false;
 
   RpcClientOptions() {
     // Unlike the simulator (recovery off by default so event streams stay
@@ -119,8 +132,12 @@ class RpcClientService : public DataService {
   NodeId OwnerOf(Key key) const override;
 
   /// Writes over the wire (frame v2); returns the new store version.
-  /// Unimplemented when the server's service is not writable.
-  StatusOr<uint64_t> Put(Key key, const std::string& value);
+  /// Unimplemented when the server's service is not writable. A non-zero
+  /// `version_floor` marks a replica write: the server applies with
+  /// ApplyIfNewer semantics at the primary's version instead of assigning
+  /// its own, so all replicas of one logical write share one number.
+  StatusOr<uint64_t> Put(Key key, const std::string& value,
+                         uint64_t version_floor = 0);
 
   /// ExecuteBatch with a caller-chosen dedup tag. The encoded request —
   /// tag included — is reused byte-identical across retry attempts, so a
@@ -131,6 +148,12 @@ class RpcClientService : public DataService {
   std::vector<StatusOr<std::string>> ExecuteBatchTagged(
       const std::vector<std::pair<Key, std::string>>& items,
       uint64_t client_id, uint64_t batch_seq);
+
+  /// Anti-entropy verbs (frame v2, DESIGN.md §16). Unimplemented when the
+  /// server's service carries no region state.
+  StatusOr<RegionSummary> SummarizeRegion(int32_t region);
+  StatusOr<std::vector<RegionRecord>> SyncRegion(
+      int32_t region, const std::vector<RegionRecord>& records);
 
   /// What the recovery machinery did (same struct the simulator reports);
   /// tuples_failed counts calls abandoned after max_attempts.
@@ -154,6 +177,10 @@ class RpcClientService : public DataService {
   struct HedgeState {
     Mutex mu{lock_rank::kHedgeState, "RpcClientService::HedgeState::mu"};
     CondVar cv;
+    /// Set once before any attempt launches: a duplicated tagged batch
+    /// whose loser also succeeded was absorbed by the server's dedup
+    /// cache, and is counted separately from ordinary read duplicates.
+    bool is_batch = false;
     int pending JOINOPT_GUARDED_BY(mu) = 0;  ///< attempts still running
     bool has_winner JOINOPT_GUARDED_BY(mu) = false;
     bool winner_is_hedge JOINOPT_GUARDED_BY(mu) = false;
@@ -165,9 +192,12 @@ class RpcClientService : public DataService {
   /// One request/response exchange with retry + failover. Returns the
   /// response body after verifying type and seq echo. `read` routes the
   /// first attempt through the load balancer (see balance_reads) and, when
-  /// hedging is on, through the hedged exchange.
+  /// hedging is on, through the hedged exchange. `idempotent` marks a
+  /// request safe to duplicate even against a single endpoint (tagged
+  /// batches, whose dedup tag makes the replay exactly-once).
   StatusOr<std::string> Call(MsgType req_type, const std::string& body,
-                             bool read = false) const;
+                             bool read = false,
+                             bool idempotent = false) const;
   /// One attempt against one endpoint (no retries).
   StatusOr<std::string> CallOnce(size_t endpoint_idx, MsgType req_type,
                                  const std::string& body) const;

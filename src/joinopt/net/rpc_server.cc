@@ -9,6 +9,7 @@
 #include <string_view>
 #include <utility>
 
+#include "joinopt/net/net_fault.h"
 #include "joinopt/net/reactor/reactor_core.h"
 
 namespace joinopt {
@@ -107,11 +108,17 @@ Status RpcServer::Start() {
   }
   RpcBackend backend = ResolveBackend(options_.backend);
   if (backend == RpcBackend::kReactor) {
-    auto core = std::make_unique<ReactorCore>(&dispatcher_, &stats_,
-                                              ReactorOptionsFrom(options_));
+    ReactorOptions ropts = ReactorOptionsFrom(options_);
+    ropts.net_identity = options_.net_identity;
+    auto core =
+        std::make_unique<ReactorCore>(&dispatcher_, &stats_, ropts);
     JOINOPT_RETURN_NOT_OK(core->Start());
     reactor_ = std::move(core);
     port_ = reactor_->port();
+    if (options_.net_identity >= 0) {
+      NetFaultInjector::Instance().RegisterServerPort(port_,
+                                                      options_.net_identity);
+    }
     active_backend_ = backend;
     running_.store(true, std::memory_order_release);
     return Status::OK();
@@ -120,6 +127,10 @@ Status RpcServer::Start() {
       listen_fd_,
       TcpListen(options_.host, options_.port, options_.accept_backlog));
   JOINOPT_ASSIGN_OR_RETURN(port_, BoundPort(listen_fd_.get()));
+  if (options_.net_identity >= 0) {
+    NetFaultInjector::Instance().RegisterServerPort(port_,
+                                                    options_.net_identity);
+  }
   stop_.store(false, std::memory_order_release);
   active_backend_ = backend;
   running_.store(true, std::memory_order_release);
@@ -131,6 +142,9 @@ Status RpcServer::Start() {
 void RpcServer::Stop() {
   MutexLock lock(lifecycle_mu_);
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (options_.net_identity >= 0) {
+    NetFaultInjector::Instance().UnregisterServerPort(port_);
+  }
   if (reactor_ != nullptr) {
     reactor_->Stop();
     reactor_.reset();
@@ -159,12 +173,23 @@ void RpcServer::Stop() {
 }
 
 void RpcServer::AcceptLoop() {
+  // Read the bound port off the socket: the acceptor must not take
+  // lifecycle_mu_ (Stop holds it while joining this thread).
+  auto listen_port = BoundPort(listen_fd_.get());
   while (!stop_.load(std::memory_order_acquire)) {
     auto readable = WaitReadable(listen_fd_.get(), kPollTick);
     if (!readable.ok()) break;
     if (!*readable) continue;
     int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
     if (fd < 0) continue;  // racing Stop() or a transient accept error
+    if (listen_port.ok() &&
+        !NetFaultInjector::Instance().OnAccept(*listen_port, fd)) {
+      // Injected partition: the kernel completed the handshake, but the
+      // application drops the peer — the closest a userspace harness gets
+      // to a SYN black hole.
+      ::close(fd);
+      continue;
+    }
     ++stats_.connections_accepted;
     MutexLock lock(conns_mu_);
     if (stop_.load(std::memory_order_acquire)) {

@@ -105,6 +105,11 @@ struct RpcServerOptions {
   size_t reactor_write_low_watermark = 256u << 10;
   /// Outstanding pipelined requests per connection.
   int reactor_max_pipelined_requests = 64;
+
+  /// Logical endpoint id for NetFaultInjector partitions (net/net_fault.h).
+  /// -1 (the default) opts out: the server is invisible to injected
+  /// faults. The cluster layer sets this to the data node's id.
+  int32_t net_identity = -1;
 };
 
 struct RpcServerStats {

@@ -1,5 +1,7 @@
 #include "joinopt/net/socket.h"
 
+#include "joinopt/net/net_fault.h"
+
 #include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
@@ -57,7 +59,11 @@ Status SetNonBlocking(int fd, bool enable) {
 }  // namespace
 
 void UniqueFd::Reset() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    NetFaultInjector& nf = NetFaultInjector::Instance();
+    if (nf.tracking()) nf.OnClose(fd_);
+    ::close(fd_);
+  }
   fd_ = -1;
 }
 
@@ -168,13 +174,23 @@ StatusOr<UniqueFd> ConnectOne(const in_addr& ip, uint16_t port,
 
 StatusOr<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
                               double deadline_sec) {
+  // Injected-partition seam: a dial between two declared endpoints with a
+  // blocked direction fails before touching the kernel (a dropped SYN
+  // would otherwise burn the whole deadline for real).
+  NetFaultInjector& nf = NetFaultInjector::Instance();
+  if (nf.faults_active()) {
+    JOINOPT_RETURN_NOT_OK(nf.CheckConnect(port));
+  }
   double deadline_abs = AbsDeadline(deadline_sec);
   JOINOPT_ASSIGN_OR_RETURN(std::vector<in_addr> addrs,
                            ResolveIPv4(host, deadline_abs));
   Status last = Status::Aborted("connect: no addresses tried");
   for (const in_addr& ip : addrs) {
     auto fd = ConnectOne(ip, port, deadline_abs);
-    if (fd.ok()) return fd;
+    if (fd.ok()) {
+      if (nf.tracking()) nf.OnConnected(fd->get(), port);
+      return fd;
+    }
     last = fd.status();
     // Names can map to several addresses; fall through to the next one
     // while budget remains, but a spent deadline ends the whole dial.
@@ -230,6 +246,12 @@ StatusOr<bool> WaitReadable(int fd, double deadline_sec) {
 }
 
 Status SendAll(int fd, const void* data, size_t len, double deadline_sec) {
+  {
+    // Established-connection half of the injected partition: bytes leaving
+    // on a blocked direction would vanish, so surface the timeout now.
+    NetFaultInjector& nf = NetFaultInjector::Instance();
+    if (nf.faults_active()) JOINOPT_RETURN_NOT_OK(nf.CheckSend(fd));
+  }
   const char* p = static_cast<const char*>(data);
   double deadline_abs = AbsDeadline(deadline_sec);
   size_t sent = 0;

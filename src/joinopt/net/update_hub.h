@@ -46,6 +46,23 @@ class WritableDataService : public DataService {
   /// resulting UpdateEvent out to every registered sink before returning.
   virtual StatusOr<uint64_t> Put(Key key, const std::string& value) = 0;
 
+  /// Replica write: applies `value` under ApplyIfNewer semantics with the
+  /// primary's assigned `version` as floor, so every replica of one
+  /// logical write converges on the same version number (the invariant
+  /// version-aware merges and "never read below the acked version" both
+  /// depend on). Returns the key's resulting local version — `version`
+  /// when applied, the existing newer version when the local copy already
+  /// superseded it (still an ack: the replica holds data at least as new).
+  /// Default Unimplemented: only replicated node services take part in
+  /// write fan-out.
+  virtual StatusOr<uint64_t> PutReplica(Key key, const std::string& value,
+                                        uint64_t version) {
+    (void)key;
+    (void)value;
+    (void)version;
+    return Status::Unimplemented("replica writes not supported");
+  }
+
   /// Current (epoch, seq) for every region this node can serve. Taken
   /// *after* AddUpdateSink to hand a new subscriber a position no event
   /// can slip behind (at-least-once: the subscriber dedups overlap).
@@ -53,6 +70,29 @@ class WritableDataService : public DataService {
 
   virtual void AddUpdateSink(UpdateSink* sink) = 0;
   virtual void RemoveUpdateSink(UpdateSink* sink) = 0;
+
+  // ---- anti-entropy hooks (live replica repair, DESIGN.md §16) ----
+  // Defaults answer Unimplemented so existing writable services (the
+  // loopback test hub, wrappers) need no changes; ClusterNodeService
+  // overrides both.
+
+  /// Cheap content summary of one region (see RegionSummary in frame.h).
+  virtual StatusOr<RegionSummary> SummarizeRegion(int32_t region) const {
+    (void)region;
+    return Status::Unimplemented("region summaries not supported");
+  }
+
+  /// Bidirectional repair: merge `records` (a peer's live copy of
+  /// `region`) into local state, newest version per key winning, then
+  /// return the local post-merge snapshot of the region for the peer to
+  /// merge back. Neither side deletes: anti-entropy restores lost writes,
+  /// it never propagates loss.
+  virtual StatusOr<std::vector<RegionRecord>> SyncRegion(
+      int32_t region, const std::vector<RegionRecord>& records) {
+    (void)region;
+    (void)records;
+    return Status::Unimplemented("region sync not supported");
+  }
 };
 
 }  // namespace joinopt

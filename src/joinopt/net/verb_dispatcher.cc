@@ -21,7 +21,9 @@ std::pair<MsgType, std::string> VerbDispatcher::Dispatch(
   // instead of hanging, then the connection is still usable (the *frame*
   // layout is frozen across versions; only body encodings move). A v2-only
   // verb arriving on a v1 frame is the same kind of mismatch.
-  bool verb_needs_v2 = header.type == MsgType::kPutReq;
+  bool verb_needs_v2 = header.type == MsgType::kPutReq ||
+                       header.type == MsgType::kRegionSummaryReq ||
+                       header.type == MsgType::kRegionSyncReq;
   if (!SupportedWireVersion(header.version) ||
       (verb_needs_v2 && header.version < 2)) {
     ++stats_->protocol_errors;
@@ -39,6 +41,10 @@ std::pair<MsgType, std::string> VerbDispatcher::Dispatch(
         return {resp_type, EncodeStatResponse(mismatch)};
       case MsgType::kPutReq:
         return {resp_type, EncodePutResponse(mismatch)};
+      case MsgType::kRegionSummaryReq:
+        return {resp_type, EncodeRegionSummaryResponse(mismatch)};
+      case MsgType::kRegionSyncReq:
+        return {resp_type, EncodeRegionSyncResponse(mismatch)};
       case MsgType::kOwnerReq:
       default:
         return {resp_type, EncodeOwnerResponse(kInvalidNode)};
@@ -98,8 +104,40 @@ std::pair<MsgType, std::string> VerbDispatcher::Dispatch(
       auto req = DecodePutRequest(body);
       if (!req.ok()) return {resp_type, EncodePutResponse(req.status())};
       ++stats_->puts;
+      // A non-zero floor marks a replica write: apply at the primary's
+      // version instead of assigning a fresh one, so all replicas of one
+      // logical write agree on its number.
+      if (req->version_floor != 0) {
+        return {resp_type, EncodePutResponse(writable_->PutReplica(
+                               req->key, req->value, req->version_floor))};
+      }
       return {resp_type,
               EncodePutResponse(writable_->Put(req->key, req->value))};
+    }
+    case MsgType::kRegionSummaryReq: {
+      if (writable_ == nullptr) {
+        return {resp_type, EncodeRegionSummaryResponse(Status::Unimplemented(
+                               "rpc: service has no region state"))};
+      }
+      auto region = DecodeRegionSummaryRequest(body);
+      if (!region.ok()) {
+        return {resp_type, EncodeRegionSummaryResponse(region.status())};
+      }
+      return {resp_type, EncodeRegionSummaryResponse(
+                             writable_->SummarizeRegion(*region))};
+    }
+    case MsgType::kRegionSyncReq: {
+      if (writable_ == nullptr) {
+        return {resp_type, EncodeRegionSyncResponse(Status::Unimplemented(
+                               "rpc: service has no region state"))};
+      }
+      auto req = DecodeRegionSyncRequest(body);
+      if (!req.ok()) {
+        return {resp_type, EncodeRegionSyncResponse(req.status())};
+      }
+      return {resp_type, EncodeRegionSyncResponse(
+                             writable_->SyncRegion(req->region,
+                                                   req->records))};
     }
     default:
       return {static_cast<MsgType>(0), ""};

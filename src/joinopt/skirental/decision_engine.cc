@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "joinopt/common/hash.h"
 #include "joinopt/freq/exact_counter.h"
 #include "joinopt/freq/lossy_counting.h"
 #include "joinopt/freq/space_saving.h"
@@ -155,6 +156,23 @@ Decision DecisionEngine::Decide(Key key, NodeId data_node) {
                     std::numeric_limits<double>::infinity()};
   }
 
+  // Baseline override: the miss routes by decree, not by ski-rental. The
+  // counter/benefit bookkeeping above still ran, so stats stay comparable.
+  if (config_.forced_route != ForcedRoute::kNone) {
+    bool fetch =
+        config_.forced_route == ForcedRoute::kFetch ||
+        (config_.forced_route == ForcedRoute::kRandom &&
+         (Mix64(key ^ (static_cast<uint64_t>(decide_calls_) *
+                       0x9E3779B97F4A7C15ULL)) &
+          1) != 0);
+    if (fetch) {
+      ++stats_.fetch_memory;
+      return Decision{Route::kFetchCacheMemory, count, 0.0};
+    }
+    ++stats_.compute_requests;
+    return Decision{Route::kComputeAtData, count, 0.0};
+  }
+
   // Cache miss. The very first request for a key is always a compute
   // request: the compute node has no cost parameters for it yet
   // (Section 4.3).
@@ -223,6 +241,15 @@ Decision DecisionEngine::ReDecide(Key key, NodeId data_node) const {
   }
 
   int64_t count = counter_->EstimatedCount(key);
+  if (config_.forced_route != ForcedRoute::kNone) {
+    // Retries of a forced-random key re-flip on the key hash alone
+    // (ReDecide mutates nothing, so no call counter to mix in).
+    bool fetch = config_.forced_route == ForcedRoute::kFetch ||
+                 (config_.forced_route == ForcedRoute::kRandom &&
+                  (Mix64(key) & 1) != 0);
+    return Decision{fetch ? Route::kFetchCacheMemory : Route::kComputeAtData,
+                    count, 0.0};
+  }
   const KeyMeta* meta = meta_.Find(key);
   double sv = meta != nullptr
                   ? static_cast<double>(meta->stored_value_bytes)

@@ -56,6 +56,13 @@ enum class CounterKind { kLossyCounting, kSpaceSaving, kExact };
 /// Which eviction/benefit policy the caches use (ablation knob).
 enum class EvictionKind { kLfuDa, kLru, kLfu };
 
+/// Static routing override for the baseline strategies (StrategyTraits'
+/// always_fetch / always_compute / random_choice, networked): the engine
+/// still counts accesses and serves cache hits, but misses route by the
+/// override instead of the ski-rental threshold. kRandom is the FR
+/// baseline's deterministic coin flip (hashed from the key + call count).
+enum class ForcedRoute { kNone, kFetch, kCompute, kRandom };
+
 struct DecisionEngineConfig {
   CostModelConfig cost;
   TieredCacheConfig cache;
@@ -79,6 +86,10 @@ struct DecisionEngineConfig {
   /// still served but no new values are bought and cache contents stop
   /// changing. 0 = always adaptive.
   int64_t freeze_after_decisions = 0;
+  /// Baseline-strategy override (see ForcedRoute). With kFetch the fetched
+  /// value is still offered to the cache, so an FC-style run pairs this
+  /// with zero cache capacity.
+  ForcedRoute forced_route = ForcedRoute::kNone;
 };
 
 struct DecisionEngineStats {

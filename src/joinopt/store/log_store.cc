@@ -8,15 +8,29 @@ namespace joinopt {
 LogStructuredStore::LogStructuredStore(const LogStoreConfig& config)
     : config_(config) {
   segments_.push_back(std::make_unique<Segment>());
+  segments_.back()->seq = ++next_seq_;
 }
 
 LogStructuredStore::Segment& LogStructuredStore::ActiveSegment() {
-  Segment& active = *segments_.back();
+  Segment& active = *segments_[active_];
   if (active.bytes >= config_.segment_bytes) {
-    segments_.back()->sealed = true;
-    segments_.push_back(std::make_unique<Segment>());
+    active.sealed = true;
+    active_ = AllocateSegment();
   }
-  return *segments_.back();
+  return *segments_[active_];
+}
+
+size_t LogStructuredStore::AllocateSegment() {
+  if (!free_slots_.empty()) {
+    size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    segments_[slot]->sealed = false;
+    segments_[slot]->seq = ++next_seq_;
+    return slot;
+  }
+  segments_.push_back(std::make_unique<Segment>());
+  segments_.back()->seq = ++next_seq_;
+  return segments_.size() - 1;
 }
 
 void LogStructuredStore::Append(Record record) {
@@ -26,7 +40,7 @@ void LogStructuredStore::Append(Record record) {
   Segment& seg = ActiveSegment();
   seg.bytes += record.bytes();
   seg.records.push_back(std::move(record));
-  size_t seg_index = segments_.size() - 1;
+  size_t seg_index = active_;
   size_t offset = seg.records.size() - 1;
 
   auto it = index_.find(key);
@@ -51,9 +65,15 @@ void LogStructuredStore::MarkGarbage(const IndexEntry& entry) {
 }
 
 uint64_t LogStructuredStore::Put(Key key, std::string value) {
+  return PutWithFloor(key, std::move(value), 1);
+}
+
+uint64_t LogStructuredStore::PutWithFloor(Key key, std::string value,
+                                          uint64_t min_version) {
   ++stats_.puts;
   auto it = index_.find(key);
   uint64_t version = it != index_.end() ? it->second.version + 1 : 1;
+  if (version < min_version) version = min_version;
   Append(Record{key, version, false, std::move(value)});
   if (config_.auto_compact) MaybeCompact();
   return version;
@@ -91,7 +111,8 @@ Status LogStructuredStore::Delete(Key key) {
 }
 
 void LogStructuredStore::MaybeCompact() {
-  for (size_t s = 0; s + 1 < segments_.size(); ++s) {  // sealed only
+  for (size_t s = 0; s < segments_.size(); ++s) {  // sealed only
+    if (s == active_) continue;
     const Segment& seg = *segments_[s];
     if (seg.bytes > 0 &&
         static_cast<double>(seg.garbage_bytes) /
@@ -104,7 +125,8 @@ void LogStructuredStore::MaybeCompact() {
 
 int LogStructuredStore::CompactNow() {
   int compacted = 0;
-  for (size_t s = 0; s + 1 < segments_.size(); ++s) {
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    if (s == active_) continue;
     const Segment& seg = *segments_[s];
     if (seg.bytes > 0 && seg.garbage_bytes > 0 &&
         static_cast<double>(seg.garbage_bytes) /
@@ -141,16 +163,24 @@ void LogStructuredStore::CompactSegment(size_t seg_index) {
     Segment& dst = ActiveSegment();
     dst.bytes += record.bytes();
     dst.records.push_back(std::move(record));
-    index_[key] =
-        IndexEntry{segments_.size() - 1, dst.records.size() - 1, version};
+    index_[key] = IndexEntry{active_, dst.records.size() - 1, version};
   }
+  // The drained segment goes back in the pool (capacity kept warm) for the
+  // next roll-over instead of lingering as a dead husk.
+  free_slots_.push_back(seg_index);
 }
 
 void LogStructuredStore::RecoverIndex() {
-  // Replay the log in order: the highest version per key wins.
+  // Replay the log in WRITE order — segments sorted by allocation seq, not
+  // physical slot (slot reuse recycles early positions for late data).
+  std::vector<size_t> order(segments_.size());
+  for (size_t s = 0; s < order.size(); ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return segments_[a]->seq < segments_[b]->seq;
+  });
   std::unordered_map<Key, IndexEntry> rebuilt;
   std::unordered_map<Key, bool> dead;
-  for (size_t s = 0; s < segments_.size(); ++s) {
+  for (size_t s : order) {
     const Segment& seg = *segments_[s];
     for (size_t off = 0; off < seg.records.size(); ++off) {
       const Record& record = seg.records[off];

@@ -53,6 +53,13 @@ class LogStructuredStore {
   /// key).
   uint64_t Put(Key key, std::string value);
 
+  /// Put whose version is at least `min_version`: the new version is
+  /// max(current + 1, min_version). Replication and anti-entropy use this
+  /// to align a replica's per-key counter with the copy it is applying, so
+  /// "highest version" stays equivalent to "observed the most writes"
+  /// across replicas — the invariant version-aware merges depend on.
+  uint64_t PutWithFloor(Key key, std::string value, uint64_t min_version);
+
   /// Point lookup via the hash index.
   StatusOr<std::string> Get(Key key) const;
   /// Latest version of a key (0 if absent).
@@ -89,6 +96,11 @@ class LogStructuredStore {
     size_t bytes = 0;
     size_t garbage_bytes = 0;
     bool sealed = false;
+    /// Allocation order, re-stamped on every reuse. Physical position in
+    /// `segments_` stops being chronological once slots are recycled, and
+    /// RecoverIndex must replay the log in WRITE order (per-key versions
+    /// restart after a delete, so replay cannot lean on versions alone).
+    uint64_t seq = 0;
   };
   struct IndexEntry {
     size_t segment;
@@ -97,6 +109,9 @@ class LogStructuredStore {
   };
 
   Segment& ActiveSegment();
+  /// Slot for a fresh active segment: reuses an emptied one (keeping its
+  /// vector capacity warm) before growing `segments_`.
+  size_t AllocateSegment();
   void Append(Record record);
   void MarkGarbage(const IndexEntry& entry);
   void MaybeCompact();
@@ -104,6 +119,15 @@ class LogStructuredStore {
 
   LogStoreConfig config_;
   std::vector<std::unique_ptr<Segment>> segments_;
+  /// Index of the segment currently taking appends. NOT always the last:
+  /// compaction returns emptied segments to `free_slots_` and the next
+  /// roll-over reuses one. Without reuse every ~segment_bytes of write
+  /// traffic left a drained husk in `segments_` whose record vector kept
+  /// its capacity — memory growing with bytes EVER written instead of
+  /// bytes live, which is a leak under sustained overwrite load.
+  size_t active_ = 0;
+  std::vector<size_t> free_slots_;
+  uint64_t next_seq_ = 0;
   std::unordered_map<Key, IndexEntry> index_;
   LogStoreStats stats_;  // gets tracked separately (concurrent readers)
   /// Atomic so concurrent readers can count lookups without a data race;

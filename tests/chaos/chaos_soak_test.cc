@@ -1,0 +1,197 @@
+// Chaos soak harness tests (DESIGN.md §16): the seeded schedule generator
+// is deterministic and railed (paired kill/restart, one node dark at a
+// time, a kill-free controller-crash segment), the invariant oracle flags
+// exactly the contract breaches it claims to, and a short end-to-end soak
+// over a real networked deployment passes every gate with zero invariant
+// violations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "joinopt/chaos/chaos_runner.h"
+#include "joinopt/chaos/invariant_oracle.h"
+#include "joinopt/common/hash.h"
+#include "joinopt/common/random.h"
+
+namespace joinopt {
+namespace {
+
+TEST(ChaosScheduleTest, SameSeedSameSchedule) {
+  ChaosSoakOptions opts;
+  Rng a(42), b(42);
+  FaultSchedule sa = BuildSoakSchedule(opts, /*fault_window=*/40.0, a);
+  FaultSchedule sb = BuildSoakSchedule(opts, /*fault_window=*/40.0, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  std::vector<FaultEvent> ea = sa.Sorted(), eb = sb.Sorted();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+    EXPECT_EQ(ea[i].node, eb[i].node) << "event " << i;
+    EXPECT_EQ(ea[i].peer, eb[i].peer) << "event " << i;
+    EXPECT_DOUBLE_EQ(ea[i].time, eb[i].time) << "event " << i;
+  }
+  Rng c(43);
+  FaultSchedule sc = BuildSoakSchedule(opts, /*fault_window=*/40.0, c);
+  bool differs = sc.size() != sa.size();
+  if (!differs) {
+    std::vector<FaultEvent> ec = sc.Sorted();
+    for (size_t i = 0; i < ec.size(); ++i) {
+      if (ec[i].kind != ea[i].kind || ec[i].node != ea[i].node ||
+          ec[i].time != ea[i].time) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs) << "different seeds produced the identical scenario";
+}
+
+TEST(ChaosScheduleTest, RailsHoldAcrossSeedsAndWindows) {
+  ChaosSoakOptions opts;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (double window : {10.0, 25.0, 60.0}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " window=" + std::to_string(window));
+      Rng rng(seed);
+      std::vector<FaultEvent> events =
+          BuildSoakSchedule(opts, window, rng).Sorted();
+
+      int kills = 0, restarts = 0, partitions = 0, controller_crashes = 0;
+      std::set<NodeId> dark;
+      bool controller_dark = false;
+      for (const FaultEvent& e : events) {
+        EXPECT_GE(e.time, 0.0);
+        EXPECT_LE(e.time, window + 1e-9);
+        switch (e.kind) {
+          case FaultKind::kNodeCrash:
+            ++kills;
+            EXPECT_TRUE(dark.empty())
+                << "two nodes dark at once at t=" << e.time;
+            EXPECT_FALSE(controller_dark)
+                << "node killed inside the controller-crash segment";
+            dark.insert(e.node);
+            break;
+          case FaultKind::kNodeRestart:
+            ++restarts;
+            EXPECT_EQ(dark.count(e.node), 1u)
+                << "restart of a node that was never killed";
+            dark.erase(e.node);
+            break;
+          case FaultKind::kControllerCrash:
+            ++controller_crashes;
+            EXPECT_TRUE(dark.empty())
+                << "controller crashed while a data node was dark";
+            controller_dark = true;
+            break;
+          case FaultKind::kControllerRestart:
+            controller_dark = false;
+            break;
+          case FaultKind::kLinkPartitionOneWay:
+          case FaultKind::kLinkHealOneWay:
+            if (e.kind == FaultKind::kLinkPartitionOneWay) ++partitions;
+            EXPECT_NE(e.node, e.peer);
+            // Identities span the data nodes plus the compute side.
+            EXPECT_GE(e.node, 0);
+            EXPECT_LE(e.node, opts.num_nodes);
+            EXPECT_GE(e.peer, 0);
+            EXPECT_LE(e.peer, opts.num_nodes);
+            break;
+          default:
+            ADD_FAILURE() << "unexpected fault kind in a soak schedule: "
+                          << FaultKindToString(e.kind);
+        }
+      }
+      EXPECT_TRUE(dark.empty()) << "a killed node was never restarted";
+      EXPECT_GE(kills, 2);
+      EXPECT_EQ(restarts, kills);
+      EXPECT_GE(partitions, 1);
+      EXPECT_EQ(controller_crashes, 1);
+    }
+  }
+}
+
+TEST(ChaosOracleTest, FlagsLostDurableWriteAndCorruption) {
+  InvariantOracle oracle(ReadConsistency::kOwnerOnly);
+  const Key key = 1;
+  const uint64_t hash = Fnv1a("value-b");
+  oracle.RecordPut(key, /*version=*/5, hash, /*durable=*/true);
+  EXPECT_EQ(oracle.ReadFloor(key), 5u);
+
+  // A read below the durable floor in a strict mode is a lost write.
+  uint64_t floor = oracle.ReadFloor(key);
+  oracle.CheckRead(key, floor, /*found=*/true, /*version=*/3, Fnv1a("old"),
+                   /*value_matches_key=*/true);
+  EXPECT_EQ(oracle.stats().violations, 1);
+
+  // At-floor with matching bytes: clean.
+  oracle.CheckRead(key, floor, true, 5, hash, true);
+  EXPECT_EQ(oracle.stats().violations, 1);
+
+  // Same version, different bytes: corruption.
+  oracle.CheckRead(key, floor, true, 5, Fnv1a("tampered"), true);
+  EXPECT_EQ(oracle.stats().violations, 2);
+
+  // A durable write must not be NotFound.
+  oracle.CheckRead(key, floor, /*found=*/false, 0, 0, true);
+  EXPECT_EQ(oracle.stats().violations, 3);
+  EXPECT_EQ(oracle.stats().reads_checked, 4);
+  EXPECT_FALSE(oracle.violations().empty());
+}
+
+TEST(ChaosOracleTest, AnyModePromisesValidityNotFreshness) {
+  InvariantOracle oracle(ReadConsistency::kAny);
+  const Key key = 2;
+  oracle.RecordPut(key, 9, Fnv1a("fresh"), /*durable=*/true);
+  uint64_t floor = oracle.ReadFloor(key);
+  // Stale is allowed under kAny...
+  oracle.CheckRead(key, floor, true, /*version=*/4, Fnv1a("stale-bytes"),
+                   /*value_matches_key=*/true);
+  EXPECT_EQ(oracle.stats().violations, 0);
+  // ...but cross-key bytes never are.
+  oracle.CheckRead(key, floor, true, 4, Fnv1a("stale-bytes"),
+                   /*value_matches_key=*/false);
+  EXPECT_EQ(oracle.stats().violations, 1);
+}
+
+TEST(ChaosRunnerTest, ReadVmRssKbReportsTheProcess) {
+  int64_t rss = ReadVmRssKb();
+  // Linux CI always has /proc; tolerate -1 only elsewhere.
+  EXPECT_GT(rss, 0) << "VmRSS unavailable";
+}
+
+// End-to-end: a short but complete soak — real sockets, live anti-entropy,
+// >=2 kills/restarts, a half-open partition and a controller crash — must
+// pass every gate. This is the same path CI's 60 s job gates on, kept
+// short enough for the tier-1 suite.
+TEST(ChaosRunnerTest, ShortSoakPassesAllGates) {
+  ChaosSoakOptions opts;
+  opts.seconds = 8.0;
+  opts.seed = 1;
+  opts.num_nodes = 3;
+  opts.replication_factor = 3;
+  opts.workload_threads = 3;
+  opts.num_keys = 128;
+  opts.value_bytes = 32;
+
+  ChaosSoakReport report = RunChaosSoak(opts);
+
+  for (const std::string& f : report.failures) {
+    ADD_FAILURE() << "gate failed: " << f;
+  }
+  for (const std::string& v : report.violation_samples) {
+    ADD_FAILURE() << "invariant violation: " << v;
+  }
+  EXPECT_TRUE(report.passed);
+  EXPECT_EQ(report.oracle.violations, 0);
+  EXPECT_GE(report.kills, 2);
+  EXPECT_GE(report.restarts, 2);
+  EXPECT_GE(report.partitions, 1);
+  EXPECT_EQ(report.controller_crashes, 1);
+  EXPECT_GT(report.workload.ops, 0);
+  EXPECT_GT(report.oracle.reads_checked, 0);
+  EXPECT_GT(report.oracle.durable_puts, 0);
+}
+
+}  // namespace
+}  // namespace joinopt

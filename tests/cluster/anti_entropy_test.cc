@@ -1,0 +1,227 @@
+// Live anti-entropy (DESIGN.md §16): two replicas of the same region are
+// forced to diverge while BOTH stay up, and the repair path — checksum
+// summaries over the wire, full RegionSync on mismatch — re-converges them
+// without restarting anything. Covers the deterministic SweepOnce path,
+// the background timer path (convergence within repair periods), and the
+// same-version tie-break that makes concurrent-writer divergence converge
+// to one deterministic winner.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "joinopt/cluster/deployment.h"
+#include "joinopt/net/frame.h"
+
+namespace joinopt {
+namespace {
+
+UserFn EchoFn() {
+  return [](Key key, const std::string& params, const std::string& value) {
+    return std::to_string(key) + "/" + params + "/" + value;
+  };
+}
+
+bool WaitFor(const std::function<bool()>& pred, double timeout_sec) {
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_sec));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Deployment with manual liveness (no controller) and the repair agent
+/// started; `period` picks between timer-driven and SweepOnce-driven tests.
+ClusterDeploymentOptions RepairOptions(double period) {
+  ClusterDeploymentOptions opts;
+  opts.topology.num_data_nodes = 3;
+  opts.topology.regions_per_node = 2;
+  opts.topology.replication_factor = 3;
+  opts.start_controller = false;
+  opts.start_anti_entropy = true;
+  opts.anti_entropy.period = period;
+  return opts;
+}
+
+/// True when every replica of `key`'s region reports an identical content
+/// digest (count + checksum; versions are excluded by design).
+bool RegionConverged(ClusterDeployment& dep, Key key) {
+  int region = dep.topology().RegionOf(key);
+  std::vector<NodeId> chain = dep.topology().RegionReplicas(region);
+  StatusOr<RegionSummary> base =
+      dep.data_node(chain[0]).service().SummarizeRegion(region);
+  if (!base.ok()) return false;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    StatusOr<RegionSummary> other =
+        dep.data_node(chain[i]).service().SummarizeRegion(region);
+    if (!other.ok()) return false;
+    if (other->count != base->count || other->checksum != base->checksum) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(AntiEntropyTest, SweepRepairsDivergedLiveReplicasWithoutRestart) {
+  // Huge period: the background thread never interferes, SweepOnce drives.
+  ClusterDeployment dep(EchoFn(), RepairOptions(/*period=*/3600.0));
+  ASSERT_TRUE(dep.Start().ok());
+  ASSERT_NE(dep.anti_entropy(), nullptr);
+  for (Key k = 0; k < 32; ++k) {
+    ASSERT_TRUE(dep.Seed(k, "seed-" + std::to_string(k)).ok());
+  }
+
+  // Diverge: a newer write lands on ONE replica only — the shape a lost
+  // fan-out or a healed partition leaves behind. Both replicas stay up.
+  const Key key = 5;
+  std::vector<NodeId> chain = dep.topology().ReplicasOf(key);
+  ASSERT_GE(chain.size(), 2u);
+  ASSERT_TRUE(dep.data_node(chain[1])
+                  .service()
+                  .ApplyIfNewer(key, "repaired-value", /*version=*/100));
+  ASSERT_FALSE(RegionConverged(dep, key)) << "divergence was not injected";
+
+  dep.anti_entropy()->SweepOnce();
+
+  EXPECT_TRUE(RegionConverged(dep, key));
+  for (NodeId n : chain) {
+    EXPECT_TRUE(dep.data_node(n).running()) << "repair restarted node " << n;
+    auto fetched = dep.data_node(n).service().Fetch(key);
+    ASSERT_TRUE(fetched.ok()) << fetched.status();
+    EXPECT_EQ(fetched->value, "repaired-value");
+    EXPECT_GE(fetched->version, 100u);
+  }
+  AntiEntropyStats stats = dep.anti_entropy()->stats();
+  EXPECT_GE(stats.mismatches, 1);
+  EXPECT_GE(stats.syncs, 1);
+  EXPECT_GE(stats.records_shipped, 1);
+}
+
+TEST(AntiEntropyTest, TimerConvergesDivergenceWithinRepairPeriods) {
+  ClusterDeployment dep(EchoFn(), RepairOptions(/*period=*/50e-3));
+  ASSERT_TRUE(dep.Start().ok());
+  for (Key k = 0; k < 16; ++k) {
+    ASSERT_TRUE(dep.Seed(k, "base-" + std::to_string(k)).ok());
+  }
+
+  const Key key = 3;
+  std::vector<NodeId> chain = dep.topology().ReplicasOf(key);
+  ASSERT_TRUE(dep.data_node(chain[2])
+                  .service()
+                  .ApplyIfNewer(key, "timer-repair", /*version=*/77));
+
+  // One repair period is period + the sweep's RPC time; the CI bound is a
+  // generous multiple so a loaded machine cannot flake it. No SweepOnce —
+  // the background timer alone must do the work, with no restarts.
+  EXPECT_TRUE(WaitFor([&] { return RegionConverged(dep, key); }, 5.0))
+      << "replicas never re-converged under the background sweeper";
+  for (NodeId n : chain) {
+    EXPECT_TRUE(dep.data_node(n).running());
+    auto fetched = dep.data_node(n).service().Fetch(key);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched->value, "timer-repair");
+  }
+  EXPECT_GE(dep.anti_entropy()->stats().sweeps, 1);
+}
+
+TEST(AntiEntropyTest, SameVersionTieBreakConvergesToOneWinner) {
+  ClusterDeployment dep(EchoFn(), RepairOptions(/*period=*/3600.0));
+  ASSERT_TRUE(dep.Start().ok());
+  const Key key = 9;
+  ASSERT_TRUE(dep.Seed(key, "original").ok());
+
+  // Concurrent writers can hand the SAME version to DIFFERENT values on
+  // different replicas; without a deterministic tie-break the pair would
+  // re-ship records forever. Lexicographically larger value must win.
+  std::vector<NodeId> chain = dep.topology().ReplicasOf(key);
+  ASSERT_GE(chain.size(), 2u);
+  ASSERT_TRUE(
+      dep.data_node(chain[0]).service().ApplyIfNewer(key, "zzz-wins", 50));
+  ASSERT_TRUE(
+      dep.data_node(chain[1]).service().ApplyIfNewer(key, "aaa-loses", 50));
+
+  // Two sweeps: one to detect + sync, one to confirm quiescence.
+  dep.anti_entropy()->SweepOnce();
+  dep.anti_entropy()->SweepOnce();
+
+  EXPECT_TRUE(RegionConverged(dep, key));
+  for (NodeId n : chain) {
+    auto fetched = dep.data_node(n).service().Fetch(key);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched->value, "zzz-wins")
+        << "replica " << n << " converged to the wrong tie-break winner";
+  }
+
+  // Quiesced: another sweep finds nothing to repair.
+  AntiEntropyStats before = dep.anti_entropy()->stats();
+  dep.anti_entropy()->SweepOnce();
+  AntiEntropyStats after = dep.anti_entropy()->stats();
+  EXPECT_EQ(after.mismatches, before.mismatches)
+      << "converged replicas kept reporting digest mismatches";
+}
+
+TEST(AntiEntropyTest, RestartMergeIsTwoWayAndVersionAware) {
+  // The restart catch-up path shares ApplyIfNewer with anti-entropy; this
+  // pins its TWO-WAY contract: a restart both pulls writes that landed
+  // while the node was dark AND pushes writes only the restarting node
+  // had, without clobbering the newer side in either direction.
+  ClusterDeployment dep(EchoFn(), RepairOptions(/*period=*/3600.0));
+  ASSERT_TRUE(dep.Start().ok());
+  const Key pulled = 12, pushed = 13;
+  ASSERT_TRUE(dep.Seed(pulled, "old-a").ok());
+  ASSERT_TRUE(dep.Seed(pushed, "old-b").ok());
+  std::vector<NodeId> chain = dep.topology().ReplicasOf(pulled);
+  NodeId victim = chain[1];
+  // The restart merges each region against the first surviving replica in
+  // chain order — resolve that partner for each key's own chain.
+  auto merge_partner = [&](Key key) {
+    for (NodeId n : dep.topology().ReplicasOf(key)) {
+      if (n != victim) return n;
+    }
+    return kInvalidNode;
+  };
+  NodeId survivor = merge_partner(pulled);
+  NodeId pushed_partner = merge_partner(pushed);
+  ASSERT_NE(survivor, kInvalidNode);
+  ASSERT_NE(pushed_partner, kInvalidNode);
+
+  // `pushed`: only the victim has the newer value (a write whose fan-out
+  // was lost just before the crash).
+  ASSERT_TRUE(
+      dep.data_node(victim).service().ApplyIfNewer(pushed, "victim-only", 30));
+
+  dep.KillDataNode(victim);
+
+  // `pulled`: written while the victim is dark — the survivor side is now
+  // ahead for this key.
+  ASSERT_TRUE(dep.data_node(survivor)
+                  .service()
+                  .ApplyIfNewer(pulled, "written-while-dark", 40));
+
+  ASSERT_TRUE(dep.RestartDataNode(victim).ok());
+
+  // Pull direction: the victim caught up on the missed write.
+  auto got_pulled = dep.data_node(victim).service().Fetch(pulled);
+  ASSERT_TRUE(got_pulled.ok());
+  EXPECT_EQ(got_pulled->value, "written-while-dark");
+  EXPECT_GE(got_pulled->version, 40u);
+  // Push direction: the victim's exclusive newer write survived the
+  // restart AND reached its merge partner.
+  auto got_pushed = dep.data_node(pushed_partner).service().Fetch(pushed);
+  ASSERT_TRUE(got_pushed.ok());
+  EXPECT_EQ(got_pushed->value, "victim-only");
+  EXPECT_GE(got_pushed->version, 30u);
+  auto kept = dep.data_node(victim).service().Fetch(pushed);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->value, "victim-only");
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -179,6 +179,43 @@ TEST(ClusterTest, ControllerDetectsCrashAndPromotesEveryRegion) {
   }
 }
 
+TEST(ClusterTest, ControllerReadmitsFalselySuspectedNode) {
+  ClusterDeployment deploy(EchoFn(), FastOptions());
+  ASSERT_TRUE(deploy.Start().ok());
+  for (Key k = 0; k < 40; ++k) {
+    ASSERT_TRUE(deploy.Seed(k, "r-" + std::to_string(k)).ok());
+  }
+
+  // False suspicion: mark node 1 down without killing anything. The
+  // process keeps serving, so nothing will ever restart it — before
+  // rejoin, a node in this state stayed out of every replica chain
+  // forever.
+  deploy.topology().MarkNodeDown(1);
+  ASSERT_FALSE(deploy.topology().NodeUp(1));
+  EXPECT_TRUE(deploy.topology().RegionsOwnedBy(1).empty());
+
+  ASSERT_TRUE(WaitFor([&] { return deploy.topology().NodeUp(1); }, 10.0))
+      << "controller never re-admitted the live, still-serving node";
+  ASSERT_NE(deploy.controller(), nullptr);
+  EXPECT_GE(deploy.controller()->stats().nodes_rejoined, 1);
+
+  // Back in the replica chains as a follower: some region lists it again.
+  bool in_a_chain = false;
+  for (int r = 0; r < deploy.topology().num_regions() && !in_a_chain; ++r) {
+    for (NodeId n : deploy.topology().RegionReplicas(r)) {
+      if (n == 1) in_a_chain = true;
+    }
+  }
+  EXPECT_TRUE(in_a_chain) << "rejoined node is in no region's chain";
+
+  // The cluster serves every key throughout.
+  for (Key k = 0; k < 40; ++k) {
+    auto fetched = deploy.client().Fetch(k);
+    ASSERT_TRUE(fetched.ok()) << fetched.status();
+    EXPECT_EQ(fetched->value, "r-" + std::to_string(k));
+  }
+}
+
 /// The acceptance test: kill a data node mid-join; the run must produce
 /// exactly the outputs of a fault-free run — nothing lost, nothing
 /// doubled, values identical.

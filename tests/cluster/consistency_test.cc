@@ -1,0 +1,205 @@
+// ReadConsistency staleness contracts (DESIGN.md §16), including reads
+// racing a region promotion: kOwnerOnly must track the chain head across a
+// promotion and never dip below the durable (fully-replicated) floor,
+// kQuorumVersion must survive any minority of stale replicas, and the
+// PutOutcome receipt must say exactly which writes are durable — the
+// contract the chaos oracle builds its floors from.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "joinopt/cluster/cluster_client.h"
+#include "joinopt/cluster/deployment.h"
+
+namespace joinopt {
+namespace {
+
+UserFn EchoFn() {
+  return [](Key key, const std::string& params, const std::string& value) {
+    return std::to_string(key) + "/" + params + "/" + value;
+  };
+}
+
+ClusterDeploymentOptions ManualLivenessOptions() {
+  ClusterDeploymentOptions opts;
+  opts.topology.num_data_nodes = 3;
+  opts.topology.regions_per_node = 2;
+  opts.topology.replication_factor = 3;
+  opts.start_controller = false;  // liveness flips are the test's to make
+  return opts;
+}
+
+/// Extra client over the deployment's shared topology with its own
+/// consistency mode — the deployment's own client keeps the default.
+std::unique_ptr<ClusterClientService> ClientWithMode(ClusterDeployment& dep,
+                                                     ReadConsistency mode) {
+  ClusterClientOptions copts;
+  copts.read_consistency = mode;
+  copts.recovery.request_timeout = 1.0;
+  copts.recovery.max_attempts = 4;
+  copts.recovery.backoff_base = 2e-3;
+  copts.recovery.backoff_max = 20e-3;
+  return std::make_unique<ClusterClientService>(&dep.topology(), copts);
+}
+
+TEST(ConsistencyTest, QuorumVersionSurvivesMinorityOfStaleReplicas) {
+  ClusterDeployment dep(EchoFn(), ManualLivenessOptions());
+  ASSERT_TRUE(dep.Start().ok());
+  const Key key = 4;
+  ASSERT_TRUE(dep.Seed(key, "v1").ok());
+
+  // v2 lands on two of the three replicas; the third stays stale — a
+  // partitioned follower that missed the fan-out.
+  std::vector<NodeId> chain = dep.topology().ReplicasOf(key);
+  ASSERT_EQ(chain.size(), 3u);
+  ASSERT_TRUE(dep.data_node(chain[0]).service().ApplyIfNewer(key, "v2", 10));
+  ASSERT_TRUE(dep.data_node(chain[1]).service().ApplyIfNewer(key, "v2", 10));
+
+  // Any majority of the full chain intersects {chain[0], chain[1]}, so the
+  // quorum read can never surface the stale copy.
+  auto quorum = ClientWithMode(dep, ReadConsistency::kQuorumVersion);
+  for (int i = 0; i < 8; ++i) {
+    auto fetched = quorum->Fetch(key);
+    ASSERT_TRUE(fetched.ok()) << fetched.status();
+    EXPECT_EQ(fetched->value, "v2");
+    EXPECT_GE(fetched->version, 10u);
+  }
+  ClusterClientStats stats = quorum->stats();
+  EXPECT_GE(stats.quorum_reads, 8);
+  // The stale third replica disagreed on the version every time — each
+  // disagreement is a staleness window kAny would have been exposed to.
+  EXPECT_GE(stats.quorum_divergence, 1);
+
+  // Even with one of the fresh replicas declared down (quorum = majority
+  // of the FULL chain: 2 of {chain[1], chain[2]} must answer), the
+  // surviving fresh copy still wins the version vote.
+  dep.topology().MarkNodeDown(chain[0]);
+  auto fetched = quorum->Fetch(key);
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+  EXPECT_EQ(fetched->value, "v2");
+}
+
+TEST(ConsistencyTest, OwnerOnlyTracksPromotionAndQuorumFindsOrphanedWrite) {
+  ClusterDeployment dep(EchoFn(), ManualLivenessOptions());
+  ASSERT_TRUE(dep.Start().ok());
+  const Key key = 7;
+  ASSERT_TRUE(dep.Seed(key, "acked").ok());
+  std::vector<NodeId> chain = dep.topology().ReplicasOf(key);
+  ASSERT_EQ(chain.size(), 3u);
+  const NodeId old_primary = chain[0];
+
+  // An orphaned write: v2 reached ONLY the primary before it was declared
+  // dead — never fully replicated, so never durable, so no mode owes it.
+  ASSERT_TRUE(
+      dep.data_node(old_primary).service().ApplyIfNewer(key, "orphan", 20));
+
+  auto owner_only = ClientWithMode(dep, ReadConsistency::kOwnerOnly);
+  auto pre = owner_only->Fetch(key);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->value, "orphan") << "owner read must serve the chain head";
+
+  // Promotion: the first live follower becomes chain head. kOwnerOnly now
+  // reads the NEW primary's history — the acked (durable) write is still
+  // visible, the never-acked orphan legitimately is not.
+  ASSERT_GT(dep.topology().MarkNodeDown(old_primary), 0);
+  const NodeId new_primary = dep.topology().ReplicasOf(key)[0];
+  EXPECT_NE(new_primary, old_primary);
+  auto post = owner_only->Fetch(key);
+  ASSERT_TRUE(post.ok()) << post.status();
+  EXPECT_EQ(post->value, "acked")
+      << "promoted primary returned something other than its own history";
+  EXPECT_GE(post->version, 1u);
+
+  // The demoted node rejoins as a follower. A quorum read that counts it
+  // surfaces the orphaned higher version — the receipt that quorum reads
+  // dominate owner reads whenever any replica saw a newer write.
+  dep.topology().MarkNodeUp(old_primary);
+  auto quorum = ClientWithMode(dep, ReadConsistency::kQuorumVersion);
+  auto merged = quorum->Fetch(key);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->value, "orphan");
+  EXPECT_GE(merged->version, 20u);
+}
+
+TEST(ConsistencyTest, ReadsRacingPromotionNeverDipBelowDurableFloor) {
+  ClusterDeployment dep(EchoFn(), ManualLivenessOptions());
+  ASSERT_TRUE(dep.Start().ok());
+  const Key key = 11;
+  auto seeded = dep.Seed(key, "durable-floor");
+  ASSERT_TRUE(seeded.ok());
+  const uint64_t floor_version = *seeded;  // replicated to the full chain
+  const NodeId primary = dep.topology().ReplicasOf(key)[0];
+
+  // Hammer reads in both strict modes while the topology promotes and
+  // demotes under them. Every read must succeed (the chain is re-read per
+  // attempt, so a promotion between attempts redirects, not fails) and
+  // must return at least the durable floor.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reads{0};
+  std::atomic<int64_t> contract_violations{0};
+  auto reader = [&](ReadConsistency mode) {
+    auto client = ClientWithMode(dep, mode);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto fetched = client->Fetch(key);
+      if (!fetched.ok() || fetched->version < floor_version ||
+          fetched->value != "durable-floor") {
+        contract_violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread owner_reader(reader, ReadConsistency::kOwnerOnly);
+  std::thread quorum_reader(reader, ReadConsistency::kQuorumVersion);
+
+  for (int flip = 0; flip < 20; ++flip) {
+    dep.topology().MarkNodeDown(primary);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    dep.topology().MarkNodeUp(primary);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  owner_reader.join();
+  quorum_reader.join();
+
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(contract_violations.load(), 0)
+      << "a read racing promotion failed or returned less than the "
+         "durable floor";
+}
+
+TEST(ConsistencyTest, PutOutcomeIsTheDurabilityReceipt) {
+  ClusterDeployment dep(EchoFn(), ManualLivenessOptions());
+  ASSERT_TRUE(dep.Start().ok());
+  const Key key = 2;
+  std::vector<NodeId> chain = dep.topology().ReplicasOf(key);
+  ASSERT_EQ(chain.size(), 3u);
+
+  // Full chain up: the write is durable — every replica acked.
+  PutOutcome all_up;
+  auto v1 = dep.client().Put(key, "one", &all_up);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(all_up.replicas_acked, 3);
+  EXPECT_EQ(all_up.replicas_skipped, 0);
+  EXPECT_EQ(all_up.replicas_failed, 0);
+  EXPECT_TRUE(all_up.fully_replicated());
+  EXPECT_EQ(all_up.primary_version, *v1);
+
+  // A follower marked down is SKIPPED (a re-sync is owed), so the outcome
+  // must refuse to call the write durable — the oracle treats it as acked
+  // but not a floor.
+  dep.topology().MarkNodeDown(chain[2]);
+  PutOutcome degraded;
+  auto v2 = dep.client().Put(key, "two", &degraded);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(degraded.replicas_skipped, 1);
+  EXPECT_GE(degraded.replicas_acked, 2);
+  EXPECT_FALSE(degraded.fully_replicated());
+}
+
+}  // namespace
+}  // namespace joinopt

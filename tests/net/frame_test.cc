@@ -316,6 +316,14 @@ TEST(FrameCodecTest, PutRequestAndResponseRoundTrip) {
     ASSERT_TRUE(req.ok()) << req.status();
     EXPECT_EQ(req->key, key);
     EXPECT_EQ(req->value, value);
+    EXPECT_EQ(req->version_floor, 0u) << "default must be a primary write";
+
+    uint64_t floor = rng.Next() | 1;  // non-zero: a replica write
+    auto replica = DecodePutRequest(EncodePutRequest(key, value, floor));
+    ASSERT_TRUE(replica.ok()) << replica.status();
+    EXPECT_EQ(replica->key, key);
+    EXPECT_EQ(replica->value, value);
+    EXPECT_EQ(replica->version_floor, floor);
 
     uint64_t version = rng.Next();
     auto ok_resp = DecodePutResponse(EncodePutResponse(version));

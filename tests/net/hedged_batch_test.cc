@@ -1,0 +1,197 @@
+// Hedged idempotent batches (DESIGN.md §16): a straggling tagged
+// ExecuteBatch is duplicated after the hedge delay — against the SAME
+// endpoint, which is safe only because the server's replay-dedup cache
+// absorbs the duplicate (the in-flight-wait path makes racing duplicates
+// exactly-once). The test pins a one-off server-side stall, watches the
+// hedge fire, and checks the duplicate was answered from the dedup cache
+// instead of re-executing the batch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "joinopt/net/rpc_client.h"
+#include "joinopt/net/rpc_server.h"
+#include "joinopt/store/log_store.h"
+
+namespace joinopt {
+namespace {
+
+UserFn EchoFn() {
+  return [](Key key, const std::string& params, const std::string& value) {
+    return std::to_string(key) + "/" + params + "/" + value;
+  };
+}
+
+bool WaitFor(const std::function<bool()>& pred, double timeout_sec) {
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_sec));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Stalls the FIRST ExecuteBatch invocation only — the one-off straggler
+/// shape (GC pause, scheduling hiccup) hedging exists for. Counts batch
+/// executions so the test can prove the duplicate never re-executed.
+class StallFirstBatchService : public DataService {
+ public:
+  StallFirstBatchService(DataService* inner, double stall_seconds)
+      : inner_(inner), stall_seconds_(stall_seconds) {}
+
+  StatusOr<Fetched> Fetch(Key key) override { return inner_->Fetch(key); }
+  StatusOr<std::string> Execute(Key key, const std::string& params,
+                                const UserFn& fn) override {
+    return inner_->Execute(key, params, fn);
+  }
+  std::vector<StatusOr<std::string>> ExecuteBatch(
+      const std::vector<std::pair<Key, std::string>>& items,
+      const UserFn& fn) override {
+    if (batch_executions_.fetch_add(1, std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(stall_seconds_));
+    }
+    return inner_->ExecuteBatch(items, fn);
+  }
+  StatusOr<ItemStat> Stat(Key key) const override { return inner_->Stat(key); }
+  NodeId OwnerOf(Key key) const override { return inner_->OwnerOf(key); }
+
+  int64_t batch_executions() const {
+    return batch_executions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  DataService* inner_;
+  const double stall_seconds_;
+  std::atomic<int64_t> batch_executions_{0};
+};
+
+TEST(HedgedBatchTest, StragglingTaggedBatchIsHedgedAndDedupAbsorbed) {
+  LogStructuredStore store{LogStoreConfig{}};
+  for (Key k = 0; k < 8; ++k) store.Put(k, "v" + std::to_string(k));
+  LogStoreDataService inner(&store, /*num_shards=*/4);
+  StallFirstBatchService stalling(&inner, /*stall_seconds=*/250e-3);
+
+  RpcServer server(&stalling, EchoFn());  // dedup cache on by default
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pre-warmup the manager falls back to a fixed 20 ms delay — far under
+  // the 250 ms stall, so the hedge reliably fires; budget 1.0 never gates.
+  HedgingConfig hc;
+  hc.fallback_delay = 20e-3;
+  hc.warmup = 1 << 20;
+  hc.budget = 1.0;
+  hc.burst = 64.0;
+
+  RpcClientOptions copts;
+  copts.endpoints.push_back(RpcEndpoint{server.host(), server.port()});
+  copts.hedging = std::make_shared<HedgingManager>(hc);
+  copts.hedge_idempotent_batches = true;
+  RpcClientService client(std::move(copts));
+
+  std::vector<std::pair<Key, std::string>> items;
+  for (Key k = 0; k < 4; ++k) items.emplace_back(k, "p" + std::to_string(k));
+  std::vector<StatusOr<std::string>> results =
+      client.ExecuteBatchTagged(items, client.client_id(), /*batch_seq=*/1);
+
+  ASSERT_EQ(results.size(), items.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status();
+    EXPECT_EQ(*results[i], std::to_string(items[i].first) + "/p" +
+                               std::to_string(items[i].first) + "/v" +
+                               std::to_string(items[i].first));
+  }
+
+  // The hedge fired (the primary outlived 20 ms) and, because primary and
+  // hedge raced the SAME tag at the SAME server, the dedup cache absorbed
+  // one of them: the batch body executed exactly once.
+  RecoveryCounters rec = client.recovery_counters();
+  EXPECT_EQ(rec.batch_hedges_sent, 1);
+  EXPECT_EQ(stalling.batch_executions(), 1)
+      << "the hedged duplicate re-executed the batch instead of being "
+         "answered from the dedup cache";
+  // The loser's completion is recorded asynchronously; the server-side
+  // dedup hit is the ground truth it mirrors.
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return server.stats().batch_dedup_hits >= 1 &&
+               client.recovery_counters().batch_hedges_absorbed >= 1;
+      },
+      2.0))
+      << "dedup hit / absorbed-hedge counters never converged: server="
+      << server.stats().batch_dedup_hits << " absorbed="
+      << client.recovery_counters().batch_hedges_absorbed;
+}
+
+TEST(HedgedBatchTest, UntaggedBatchesNeverHedge) {
+  LogStructuredStore store{LogStoreConfig{}};
+  for (Key k = 0; k < 4; ++k) store.Put(k, "v" + std::to_string(k));
+  LogStoreDataService inner(&store, /*num_shards=*/4);
+  StallFirstBatchService stalling(&inner, /*stall_seconds=*/100e-3);
+
+  RpcServer server(&stalling, EchoFn());
+  ASSERT_TRUE(server.Start().ok());
+
+  HedgingConfig hc;
+  hc.fallback_delay = 10e-3;
+  hc.warmup = 1 << 20;
+  hc.budget = 1.0;
+  hc.burst = 64.0;
+
+  RpcClientOptions copts;
+  copts.endpoints.push_back(RpcEndpoint{server.host(), server.port()});
+  copts.hedging = std::make_shared<HedgingManager>(hc);
+  copts.hedge_idempotent_batches = true;
+  RpcClientService client(std::move(copts));
+
+  // client_id 0 disables the server's dedup for this tag, so duplicating
+  // the batch would risk double execution — the client must not hedge it.
+  std::vector<std::pair<Key, std::string>> items{{1, "p"}, {2, "q"}};
+  auto results = client.ExecuteBatchTagged(items, /*client_id=*/0,
+                                           /*batch_seq=*/1);
+  ASSERT_EQ(results.size(), items.size());
+  for (auto& r : results) ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(client.recovery_counters().batch_hedges_sent, 0);
+  EXPECT_EQ(stalling.batch_executions(), 1);
+}
+
+TEST(HedgedBatchTest, OptionOffNeverHedgesBatches) {
+  LogStructuredStore store{LogStoreConfig{}};
+  store.Put(1, "one");
+  LogStoreDataService inner(&store, /*num_shards=*/4);
+  StallFirstBatchService stalling(&inner, /*stall_seconds=*/100e-3);
+  RpcServer server(&stalling, EchoFn());
+  ASSERT_TRUE(server.Start().ok());
+
+  HedgingConfig hc;
+  hc.fallback_delay = 10e-3;
+  hc.warmup = 1 << 20;
+  hc.budget = 1.0;
+
+  RpcClientOptions copts;
+  copts.endpoints.push_back(RpcEndpoint{server.host(), server.port()});
+  copts.hedging = std::make_shared<HedgingManager>(hc);
+  // hedge_idempotent_batches left false: batches stay unhedged even with a
+  // manager installed (reads-only hedging is the conservative default).
+  RpcClientService client(std::move(copts));
+
+  std::vector<std::pair<Key, std::string>> items{{1, "p"}};
+  auto results = client.ExecuteBatchTagged(items, client.client_id(),
+                                           /*batch_seq=*/1);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(client.recovery_counters().batch_hedges_sent, 0);
+}
+
+}  // namespace
+}  // namespace joinopt

@@ -93,6 +93,30 @@ TEST(LogStoreTest, AutoCompactionKeepsFootprintBounded) {
   EXPECT_LT(s.total_bytes, 200 * 88 / 4);
 }
 
+TEST(LogStoreTest, SegmentSlotsAreReusedUnderOverwriteChurn) {
+  // Sustained overwrite load churns through many segment fills; compaction
+  // must return drained segments to the pool, not leave them as husks.
+  // The regression this pins: segments_ once grew with bytes EVER written
+  // (a compacted segment stayed allocated forever, record-vector capacity
+  // included), so a chaos soak leaked memory at the put rate even though
+  // total_bytes looked flat.
+  LogStructuredStore store(SmallSegments());
+  for (int round = 0; round < 500; ++round) {
+    for (Key k = 0; k < 16; ++k) {
+      store.Put(k, std::string(64, static_cast<char>('a' + round % 26)));
+    }
+  }
+  LogStoreStats s = store.stats();
+  EXPECT_EQ(s.live_keys, 16u);
+  // 8000 puts filled ~700 one-KB segments; live data fits in ~2. The
+  // allocated segment count must track the LIVE footprint (plus compaction
+  // slack), not the write history.
+  EXPECT_LE(s.segments, 10u) << "drained segments are not being reused";
+  for (Key k = 0; k < 16; ++k) {
+    ASSERT_TRUE(store.Get(k).ok()) << k;
+  }
+}
+
 TEST(LogStoreTest, RecoveryRebuildsIdenticalIndex) {
   LogStructuredStore store(SmallSegments());
   Rng rng(5);
